@@ -1,0 +1,97 @@
+// Ablation (DESIGN.md): how much does the probabilistic estimator (Fig. 3)
+// buy over naive gradient-peak position, and how do the two miss-rate
+// models compare? Sweeps synthetic machines across L2 sizes, associativity
+// and page policy; each detector variant is scored for exact-size
+// recovery. The paper's qualitative claim: naive peaks misestimate
+// physically indexed caches (e.g. Dempsey "a 1MB L2 cache would be
+// erroneously estimated"), while the probabilistic algorithm is exact.
+#include "bench_util.hpp"
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/cache_size.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+#include "stats/gradient.hpp"
+
+using namespace servet;
+
+namespace {
+
+struct Config {
+    Bytes l2_size;
+    int assoc;
+    sim::PagePolicy policy;
+};
+
+/// Naive baseline: cache size = array size at the apex of each gradient
+/// peak (the Saavedra-Smith reading the paper improves on).
+std::vector<Bytes> naive_peak_detect(const core::McalibratorCurve& curve) {
+    const auto gradient = curve.gradient();
+    std::vector<Bytes> sizes;
+    for (const auto& peak : stats::find_peaks(gradient, 1.12))
+        sizes.push_back(curve.sizes[peak.apex]);
+    return sizes;
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<Config> configs = {
+        {512 * KiB, 8, sim::PagePolicy::Random},  {1 * MiB, 8, sim::PagePolicy::Random},
+        {2 * MiB, 8, sim::PagePolicy::Random},    {2 * MiB, 16, sim::PagePolicy::Random},
+        {3 * MiB, 12, sim::PagePolicy::Random},   {4 * MiB, 16, sim::PagePolicy::Random},
+        {1 * MiB, 8, sim::PagePolicy::Coloring},  {2 * MiB, 8, sim::PagePolicy::Coloring},
+    };
+
+    bench::heading("Ablation — naive peak vs probabilistic estimator (L2 recovery)");
+    TextTable table({"true L2", "assoc", "pages", "naive peak", "paper P(X>K)",
+                     "size-biased (default)"});
+
+    int naive_hits = 0;
+    int paper_hits = 0;
+    int biased_hits = 0;
+    for (const Config& config : configs) {
+        sim::zoo::SyntheticOptions options;
+        options.cores = 1;
+        options.l1_size = 32 * KiB;
+        options.l2_size = config.l2_size;
+        options.l2_assoc = config.assoc;
+        options.page_policy = config.policy;
+        options.jitter = 0.01;
+        SimPlatform platform(sim::zoo::synthetic(options));
+
+        core::McalibratorOptions mc;
+        mc.max_size = 6 * config.l2_size;
+        const auto curve = core::run_mcalibrator(platform, mc);
+
+        const auto naive = naive_peak_detect(curve);
+        const Bytes naive_l2 = naive.size() >= 2 ? naive[1] : 0;
+
+        const auto detect_with = [&](core::MissRateModel model) {
+            core::CacheDetectOptions detect;
+            detect.model = model;
+            const auto levels = core::detect_cache_levels(curve, detect);
+            return levels.size() >= 2 ? levels[1].size : Bytes{0};
+        };
+        const Bytes paper_l2 = detect_with(core::MissRateModel::PaperTail);
+        const Bytes biased_l2 = detect_with(core::MissRateModel::SizeBiased);
+
+        naive_hits += naive_l2 == config.l2_size;
+        paper_hits += paper_l2 == config.l2_size;
+        biased_hits += biased_l2 == config.l2_size;
+
+        table.add_row({format_bytes(config.l2_size), strf("%d", config.assoc),
+                       config.policy == sim::PagePolicy::Coloring ? "colored" : "random",
+                       format_bytes(naive_l2), format_bytes(paper_l2),
+                       format_bytes(biased_l2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nexact recoveries out of %zu: naive %d, paper-tail %d, size-biased %d\n",
+                configs.size(), naive_hits, paper_hits, biased_hits);
+    bench::note(
+        "Expected shape: naive peak positions are correct only under page coloring;\n"
+        "both probabilistic variants handle random placement, with the size-biased\n"
+        "model the most reliable (it matches the per-access miss expectation).");
+    return 0;
+}

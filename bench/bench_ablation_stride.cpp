@@ -1,0 +1,41 @@
+// Ablation (Section III-A's stride rationale): why 1KB? Sweeping the probe
+// stride with the hardware prefetcher on and off shows that strides within
+// prefetch reach (<= 512B, per the paper) hide capacity misses and corrupt
+// the measurement, while 1KB is immune.
+#include "bench_util.hpp"
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+int main() {
+    bench::heading("Ablation — probe stride vs prefetcher (Dempsey, 8MB array)");
+    // 8MB is far past the 2MB L2: an honest probe must report ~memory
+    // latency per access.
+    TextTable table({"stride", "cycles (prefetch on)", "cycles (prefetch off)",
+                     "hidden fraction"});
+
+    for (const Bytes stride : {64ULL, 128ULL, 256ULL, 512ULL, 1024ULL, 2048ULL}) {
+        sim::MachineSpec on = sim::zoo::dempsey();
+        on.measurement_jitter = 0;
+        sim::MachineSpec off = on;
+        off.prefetcher.enabled = false;
+
+        SimPlatform with(on);
+        SimPlatform without(off);
+        const Cycles c_on = with.traverse_cycles(0, 8 * MiB, stride, 2, true);
+        const Cycles c_off = without.traverse_cycles(0, 8 * MiB, stride, 2, true);
+        table.add_row({format_bytes(stride), strf("%.1f", c_on), strf("%.1f", c_off),
+                       strf("%.0f%%", 100.0 * (1.0 - c_on / c_off))});
+    }
+    std::printf("%s", table.render().c_str());
+    bench::note(
+        "\nExpected shape: strides up to the prefetcher reach (512B) hide most of the\n"
+        "miss cost — a cache-size sweep at those strides would see no transition at\n"
+        "all. At the paper's 1KB stride the prefetcher is inert and the probe\n"
+        "reports the true memory latency.");
+    return 0;
+}

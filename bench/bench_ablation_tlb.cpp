@@ -1,0 +1,76 @@
+// Ablation: what does a data TLB do to Servet's measurements? The paper's
+// benchmarks don't model translation costs; on machines with slow page
+// walks the TLB-reach crossing shows up inside the 1KB-stride cache sweep
+// and can masquerade as a small cache level. This bench (i) demonstrates
+// the phantom level on a Dempsey model with a 64-entry / 30-cycle TLB,
+// (ii) measures the TLB explicitly with the dedicated detector, and (iii)
+// shows that the explicit estimate identifies and explains the phantom.
+#include "bench_util.hpp"
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/cache_size.hpp"
+#include "core/tlb_detect.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+std::vector<core::CacheLevelEstimate> detect(SimPlatform& platform) {
+    core::McalibratorOptions mc;
+    mc.max_size = 12 * MiB;
+    core::CacheDetectOptions options;
+    options.page_size = platform.page_size();
+    const auto curve = core::run_mcalibrator(platform, mc);
+    return core::detect_cache_levels(curve, options);
+}
+
+}  // namespace
+
+int main() {
+    bench::heading("Ablation — TLB influence on the cache-size sweep (Dempsey model)");
+
+    sim::MachineSpec clean = sim::zoo::dempsey();
+    sim::MachineSpec tlbful = clean;
+    tlbful.tlb = {.enabled = true, .entries = 64, .miss_cycles = 30};
+
+    TextTable table({"machine variant", "detected levels", "sizes"});
+    for (const auto* variant : {&clean, &tlbful}) {
+        SimPlatform platform(*variant);
+        const auto levels = detect(platform);
+        std::string sizes;
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            if (i) sizes += " / ";
+            sizes += format_bytes(levels[i].size) + " (" + levels[i].method + ")";
+        }
+        table.add_row({variant->tlb.enabled ? "with 64-entry, 30-cycle TLB" : "no TLB",
+                       strf("%zu", levels.size()), sizes});
+    }
+    std::printf("%s", table.render().c_str());
+
+    SimPlatform platform(tlbful);
+    const auto estimate = core::detect_tlb(platform);
+    if (estimate) {
+        std::printf(
+            "\nExplicit TLB probe (page+line stride): %d entries, %.1f-cycle walk, "
+            "reach %s.\n",
+            estimate->entries, estimate->miss_cycles,
+            format_bytes(estimate->reach_bytes).c_str());
+        std::printf(
+            "Any sweep rise of ~%.1f cycles/access located near %s is translation\n"
+            "cost, not a cache level (1KB stride touches 4 elements per page, so the\n"
+            "sweep sees walk/4 per access past reach).\n",
+            estimate->miss_cycles / 4.0, format_bytes(estimate->reach_bytes).c_str());
+    } else {
+        std::printf("\nExplicit TLB probe found no translation-cost step.\n");
+    }
+
+    bench::note(
+        "\nExpected shape: without a TLB the sweep finds exactly L1=16KB and L2=2MB;\n"
+        "with the TLB enabled an extra ~7.5-cycle rise appears at the 256KB reach\n"
+        "and may register as a phantom level. The dedicated probe pins the reach\n"
+        "and walk cost so reports can annotate or discard such rises.");
+    return 0;
+}

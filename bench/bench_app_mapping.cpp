@@ -1,0 +1,98 @@
+// End-to-end validation of the mapping advisor (the paper's "map the
+// processes to specific cores to improve the performance" use case,
+// Sections II/V): place a halo-exchange application naively and with the
+// profile-driven mapper, then *execute* one communication step of each
+// placement on the network model — rounds of concurrent vertex-disjoint
+// transfers — and compare measured step times against the mapper's
+// predictions.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "autotune/mapping.hpp"
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/suite.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+Seconds execute_step(msg::Network& network, const autotune::CommGraph& graph,
+                     const std::vector<CoreId>& placement, Bytes message) {
+    Seconds total = 0;
+    for (const auto& round : autotune::edge_rounds(graph)) {
+        std::vector<CorePair> transfers;
+        for (const auto& edge : round)
+            transfers.push_back({placement[static_cast<std::size_t>(edge.rank_a)],
+                                 placement[static_cast<std::size_t>(edge.rank_b)]});
+        const auto latencies = network.concurrent_latency(transfers, message, 5);
+        total += *std::max_element(latencies.begin(), latencies.end());
+    }
+    return total;
+}
+
+void run_case(const sim::MachineSpec& spec, const std::string& label,
+              const autotune::CommGraph& graph, Bytes message) {
+    SimPlatform platform(spec);
+    msg::SimNetwork network(spec);
+
+    core::SuiteOptions options;
+    options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
+    options.run_shared_cache = false;
+    const auto suite = core::run_suite(platform, &network, options);
+    const core::Profile profile =
+        suite.to_profile(platform.name(), spec.n_cores, spec.page_size);
+
+    autotune::MappingOptions mapping;
+    mapping.message_size = message;
+
+    std::vector<CoreId> naive(static_cast<std::size_t>(graph.ranks));
+    std::iota(naive.begin(), naive.end(), 0);
+    const autotune::MappingResult tuned =
+        autotune::map_processes(profile, graph, mapping);
+
+    const Seconds naive_measured = execute_step(network, graph, naive, message);
+    const Seconds tuned_measured =
+        execute_step(network, graph, tuned.core_of_rank, message);
+    const double predicted_gain =
+        autotune::placement_cost(profile, graph, naive, mapping) / tuned.cost;
+    const double measured_gain = naive_measured / tuned_measured;
+
+    bench::heading(strf("%s (%s messages) on %s", label.c_str(),
+                        format_bytes(message).c_str(), spec.name.c_str()));
+    TextTable table({"placement", "measured step time", "speedup"});
+    table.add_row({"naive (rank = core)", format_latency(naive_measured), "1.00x"});
+    table.add_row({"servet-tuned", format_latency(tuned_measured),
+                   strf("%.2fx", measured_gain)});
+    std::printf("%s", table.render().c_str());
+    std::printf("mapper predicted %.2fx, execution measured %.2fx\n", predicted_gain,
+                measured_gain);
+}
+
+}  // namespace
+
+int main() {
+    run_case(sim::zoo::dunnington(), "Halo exchange 4x6",
+             autotune::CommGraph::stencil2d(4, 6), 32 * KiB);
+    // Contiguous stencils place well by rank order; the mapper must match
+    // (never degrade) the naive placement there.
+    run_case(sim::zoo::finis_terrae(2), "Halo exchange 4x8",
+             autotune::CommGraph::stencil2d(4, 8), 16 * KiB);
+    // Irregular graphs carry no rank-order locality: the profile-driven
+    // mapper clusters communicating ranks inside nodes to dodge InfiniBand.
+    run_case(sim::zoo::finis_terrae(2), "Irregular sparse app (degree ~3)",
+             autotune::CommGraph::random_sparse(32, 3, 0x5eed1), 16 * KiB);
+    run_case(sim::zoo::nehalem2s(), "Halo exchange 2x4",
+             autotune::CommGraph::stencil2d(2, 4), 32 * KiB);
+    bench::note(
+        "\nExpected shape: tuned placements align heavy edges with the measured fast\n"
+        "layers and never lose to the naive baseline; the largest wins come from\n"
+        "irregular graphs on the cluster, where rank order carries no locality and\n"
+        "the mapper keeps traffic off the InfiniBand layer.");
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 10: communication costs.
+//  (a) message latency for pairs (0,k) at the L1 probe size, Dunnington
+//      and Finis Terrae (2 nodes / 32 cores, as in the paper);
+//  (b) latency scalability: slowdown of one message as N messages cross
+//      the layer concurrently (Dunnington inter-processor; FT InfiniBand,
+//      run on a 4-node model so the probe reaches 32 concurrent messages
+//      like the paper's 32-core experiment);
+//  (c)/(d) point-to-point bandwidth per detected layer vs message size.
+//
+// Paper shape: Dunnington latencies tier as shared-L2 < intra-processor <
+// inter-processor; FT intra-node ~2x faster than inter-node; moderate
+// scalability with the InfiniBand message ~7x slower with 31 others in
+// flight; bandwidth curves ordered by layer with the SHM/IBV protocol
+// switch visible as a slope change past the eager threshold.
+#include "bench_util.hpp"
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/comm_costs.hpp"
+#include "msg/sim_network.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+core::CommCostsResult characterize(const sim::MachineSpec& spec, Bytes probe,
+                                   int max_concurrent = 32) {
+    msg::SimNetwork network(spec);
+    core::CommCostsOptions options;
+    options.probe_message = probe;
+    options.max_concurrent = max_concurrent;
+    return core::characterize_communication(network, options);
+}
+
+void print_latency_pairs(const std::string& machine, const core::CommCostsResult& result,
+                         int cores) {
+    bench::heading("Fig. 10a — message latency (L1-sized message), " + machine);
+    TextTable table({"pair", "latency", "layer"});
+    for (CoreId k = 1; k < cores; ++k) {
+        for (const auto& pair : result.pairs) {
+            if (pair.pair == CorePair{0, k})
+                table.add_row({strf("(0,%d)", k), format_latency(pair.latency),
+                               strf("%d", result.layer_of(pair.pair))});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+void print_scalability(const std::string& label, const core::CommLayer& layer) {
+    bench::heading("Fig. 10b — latency scalability, " + label);
+    TextTable table({"concurrent messages", "slowdown vs isolated"});
+    for (std::size_t k = 0; k < layer.slowdown_by_n.size(); ++k)
+        table.add_row({strf("%zu", k + 1), strf("%.2f", layer.slowdown_by_n[k])});
+    std::printf("%s", table.render().c_str());
+}
+
+void print_bandwidth(const std::string& machine, const core::CommCostsResult& result) {
+    bench::heading("Fig. 10c/d — point-to-point bandwidth per layer, " + machine);
+    std::vector<std::string> header = {"message size"};
+    for (std::size_t l = 0; l < result.layers.size(); ++l) {
+        const auto& rep = result.layers[l].representative;
+        header.push_back(strf("layer %zu (%d,%d)", l, rep.a, rep.b));
+    }
+    TextTable table(header);
+    for (std::size_t i = 0; i < result.layers.front().p2p.size(); ++i) {
+        std::vector<std::string> row = {format_bytes(result.layers.front().p2p[i].first)};
+        for (const auto& layer : result.layers) {
+            const auto& [size, latency] = layer.p2p[i];
+            row.push_back(format_bandwidth(static_cast<double>(size) / latency));
+        }
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+    const auto dunnington = characterize(sim::zoo::dunnington(), 32 * KiB);
+    print_latency_pairs("dunnington", dunnington, 24);
+
+    const auto ft2 = characterize(sim::zoo::finis_terrae(2), 16 * KiB);
+    print_latency_pairs("finis-terrae, 2 nodes (cores 16-31 remote)", ft2, 32);
+
+    print_scalability("dunnington inter-processor",
+                      dunnington.layers.back());
+    // 4 nodes give 32 disjoint inter-node pairs: the paper's 32-message probe.
+    const auto ft4 = characterize(sim::zoo::finis_terrae(4), 16 * KiB);
+    print_scalability("finis-terrae InfiniBand (4-node model, 32 senders)",
+                      ft4.layers.back());
+
+    print_bandwidth("dunnington", dunnington);
+    print_bandwidth("finis-terrae (2 nodes)", ft2);
+
+    const auto& ib = ft4.layers.back().slowdown_by_n;
+    bench::note(strf(
+        "\nShape check vs paper: %zu Dunnington layers / %zu FT layers detected;\n"
+        "FT inter/intra latency ratio %.2fx (paper ~2x); InfiniBand slowdown at 32\n"
+        "concurrent messages %.1fx (paper ~7x).",
+        dunnington.layers.size(), ft2.layers.size(),
+        ft2.layers[1].latency / ft2.layers[0].latency,
+        ib.empty() ? 0.0 : ib.back()));
+    return 0;
+}

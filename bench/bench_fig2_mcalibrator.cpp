@@ -1,0 +1,62 @@
+// Figure 2: mcalibrator cycles per access (a) and their gradient
+// C[k+1]/C[k] (b) on the Dempsey and Dunnington machine models.
+//
+// Paper shape: Dempsey shows a sharp L1 step at 16KB and a smeared L2
+// transition with high gradients across [512KB, 2MB]; Dunnington shows the
+// L1 step at 32KB and overlapping L2 (3MB) / L3 (12MB) smears.
+#include "bench_util.hpp"
+
+#include <string_view>
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/mcalibrator.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+void run_machine(const sim::MachineSpec& spec, Bytes max_size, bool csv) {
+    SimPlatform platform(spec);
+    core::McalibratorOptions options;
+    options.max_size = max_size;
+    const core::McalibratorCurve curve = core::run_mcalibrator(platform, options);
+    const auto gradient = curve.gradient();
+
+    if (!csv) bench::heading("Fig. 2 — mcalibrator on " + spec.name);
+    TextTable table(csv ? std::vector<std::string>{"machine", "bytes", "cycles", "gradient"}
+                        : std::vector<std::string>{"array size", "cycles/access (a)",
+                                                   "gradient (b)"});
+    for (std::size_t i = 0; i < curve.points(); ++i) {
+        const std::string g = i < gradient.size() ? strf("%.3f", gradient[i]) : "-";
+        if (csv) {
+            table.add_row({spec.name, strf("%llu", (unsigned long long)curve.sizes[i]),
+                           strf("%.4f", curve.cycles[i]), g});
+        } else {
+            table.add_row({format_bytes(curve.sizes[i]), strf("%.2f", curve.cycles[i]), g});
+        }
+    }
+    std::printf("%s", csv ? table.render_csv().c_str() : table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // --csv emits plot-ready data (one row per machine/size) instead of
+    // the aligned human tables.
+    bool csv = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--csv") csv = true;
+
+    run_machine(sim::zoo::dempsey(), 12 * MiB, csv);
+    run_machine(sim::zoo::dunnington(), 36 * MiB, csv);
+    if (!csv)
+        bench::note(
+            "\nShape check vs paper: Dempsey gradients peak sharply at the 16KB L1 and\n"
+            "stay elevated across [512KB,2MB+] (physically indexed L2 smear); Dunnington\n"
+            "peaks at the 32KB L1 and shows two overlapping elevated regions for the\n"
+            "3MB L2 and 12MB L3.");
+    return 0;
+}

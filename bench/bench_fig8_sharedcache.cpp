@@ -1,0 +1,61 @@
+// Figure 8: shared-cache detection ratios for the pairs containing core 0
+// on Dunnington (a) and Finis Terrae (b).
+//
+// Paper shape: on Dunnington the L2 probe spikes only for pair (0,12) and
+// the L3 probe for (0,{1,2,12,13,14}); on Finis Terrae every ratio stays
+// below 2 (all caches private), with mild >1 texture from the shared
+// memory buses.
+#include "bench_util.hpp"
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/shared_cache.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+void run_machine(const sim::MachineSpec& spec, const std::vector<Bytes>& sizes) {
+    SimPlatform platform(spec);
+    core::SharedCacheOptions options;
+    options.only_with_core = 0;
+    const auto results = core::detect_shared_caches(platform, sizes, options);
+
+    bench::heading("Fig. 8 — shared-cache ratio, pairs (0,k), " + spec.name);
+    std::vector<std::string> header = {"pair"};
+    for (const auto& level : results) header.push_back(format_bytes(level.cache_size));
+    TextTable table(header);
+    for (std::size_t p = 0; p < results.front().pairs.size(); ++p) {
+        std::vector<std::string> row = {
+            strf("(0,%d)", results.front().pairs[p].pair.b)};
+        for (const auto& level : results) row.push_back(strf("%.2f", level.pairs[p].ratio));
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+
+    for (const auto& level : results) {
+        std::printf("%s sharing groups: ", format_bytes(level.cache_size).c_str());
+        if (level.groups.empty()) std::printf("(none — private)");
+        for (const auto& group : level.groups) {
+            std::printf("{");
+            for (std::size_t i = 0; i < group.size(); ++i)
+                std::printf("%s%d", i ? "," : "", group[i]);
+            std::printf("} ");
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int main() {
+    run_machine(sim::zoo::dunnington(), {32 * KiB, 3 * MiB, 12 * MiB});
+    run_machine(sim::zoo::finis_terrae(), {16 * KiB, 256 * KiB, 9 * MiB});
+    bench::note(
+        "\nShape check vs paper: Dunnington ratio > 2 exactly at (0,12) for the 3MB\n"
+        "L2 and at (0,{1,2,12,13,14}) for the 12MB L3 — exposing the interleaved OS\n"
+        "core numbering; Finis Terrae ratios all stay below 2 (private caches).");
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks (google-benchmark) of the hot primitives: the cache
+// model's access path, virtual->physical translation, full engine
+// traversal throughput, the binomial tail, and the probabilistic
+// estimator. These bound the cost of the simulator substrate itself.
+#include <benchmark/benchmark.h>
+
+#include "core/cache_size.hpp"
+#include "core/mcalibrator.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/page_mapper.hpp"
+#include "sim/zoo.hpp"
+#include "stats/binomial.hpp"
+
+using namespace servet;
+
+namespace {
+
+void BM_CacheAccessHit(benchmark::State& state) {
+    sim::SetAssocCache cache({.size = 32 * KiB, .line_size = 64, .associativity = 8});
+    (void)cache.access(0);
+    for (auto _ : state) benchmark::DoNotOptimize(cache.access(0));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStridedSweep(benchmark::State& state) {
+    sim::SetAssocCache cache(
+        {.size = static_cast<Bytes>(state.range(0)), .line_size = 64, .associativity = 8});
+    const Bytes span = 2 * static_cast<Bytes>(state.range(0));
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + 1024) % span;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessStridedSweep)->Arg(32 * 1024)->Arg(2 * 1024 * 1024);
+
+void BM_PageTranslate(benchmark::State& state) {
+    sim::PageMapper mapper(sim::PagePolicy::Random, 4 * KiB, 1 << 22, 64, 7);
+    std::uint64_t vaddr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.translate(vaddr));
+        vaddr = (vaddr + 1024) % (64 * MiB);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PageTranslate);
+
+void BM_EngineTraversal(benchmark::State& state) {
+    sim::MachineSpec spec = sim::zoo::dempsey();
+    spec.measurement_jitter = 0;
+    sim::MachineSim machine(spec);
+    const Bytes size = static_cast<Bytes>(state.range(0));
+    for (auto _ : state) benchmark::DoNotOptimize(machine.traverse_one(0, size, 1 * KiB, 1));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_EngineTraversal)->Arg(256 * 1024)->Arg(4 * 1024 * 1024)->Unit(benchmark::kMillisecond);
+
+void BM_BinomialTail(benchmark::State& state) {
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::binomial_tail_above(3072, 1.0 / 192, 16));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinomialTail);
+
+void BM_ProbabilisticEstimator(benchmark::State& state) {
+    // A representative smeared window (Dempsey L2 shape).
+    core::McalibratorCurve curve;
+    curve.sizes = core::mcalibrator_size_grid(4 * KiB, 16 * MiB);
+    for (const Bytes s : curve.sizes) {
+        const double mr = core::expected_miss_rate(
+            core::MissRateModel::SizeBiased, static_cast<std::int64_t>(s / (4 * KiB)),
+            8.0 * 4096 / (2.0 * 1024 * 1024), 8);
+        curve.cycles.push_back(s <= 32 * KiB ? 3.0 : 15.0 + mr * 235.0);
+    }
+    core::CacheDetectOptions options;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::detect_cache_levels(curve, options));
+    }
+}
+BENCHMARK(BM_ProbabilisticEstimator)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

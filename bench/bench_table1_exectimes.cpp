@@ -1,0 +1,62 @@
+// Table I: execution times of each benchmark on the two multicore
+// clusters. The paper reports wall-clock minutes on real hardware
+// (Dunnington 2/11/20/22 = 55 total; Finis Terrae 2/3/5/33 = 43); our
+// substrate is a simulator, so absolute numbers differ wildly — the
+// reproducible part is the *relative* structure: the pairwise phases
+// dominate, and they are the ones that grow with core count.
+#include "bench_util.hpp"
+
+#include "base/table.hpp"
+#include "core/suite.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+const char* kPhases[] = {"cache_size", "shared_caches", "mem_overhead", "comm_costs"};
+
+std::map<std::string, Seconds> run_machine(const sim::MachineSpec& spec) {
+    SimPlatform platform(spec);
+    msg::SimNetwork network(platform.spec());
+    core::SuiteOptions options;
+    options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
+    return core::run_suite(platform, &network, options).phase_seconds;
+}
+
+}  // namespace
+
+int main() {
+    const auto dunnington = run_machine(sim::zoo::dunnington());
+    const auto ft = run_machine(sim::zoo::finis_terrae(2));
+
+    bench::heading("Table I — execution times of all the benchmarks");
+    TextTable table({"benchmark", "dunnington (s, sim)", "finis-terrae (s, sim)",
+                     "paper dunnington", "paper finis-terrae"});
+    const char* paper_dunnington[] = {"2'", "11'", "20'", "22'"};
+    const char* paper_ft[] = {"2'", "3'", "5'", "33'"};
+    double total_d = 0;
+    double total_ft = 0;
+    for (int i = 0; i < 4; ++i) {
+        const double d = dunnington.count(kPhases[i]) ? dunnington.at(kPhases[i]) : 0.0;
+        const double f = ft.count(kPhases[i]) ? ft.at(kPhases[i]) : 0.0;
+        total_d += d;
+        total_ft += f;
+        table.add_row({kPhases[i], strf("%.1f", d), strf("%.1f", f), paper_dunnington[i],
+                       paper_ft[i]});
+    }
+    table.add_row({"Total", strf("%.1f", total_d), strf("%.1f", total_ft), "55'", "43'"});
+    std::printf("%s", table.render().c_str());
+
+    bench::note(
+        "\nReading vs paper: on real hardware every phase pays wall-clock for every\n"
+        "probe, and the O(pairs) phases dominate (Dunnington 53'/55' pairwise; FT's\n"
+        "comm phase grows to 33' with the 32-core network probes). In this repo the\n"
+        "trace-driven phases (cache sweep, shared caches) carry the simulation cost\n"
+        "while the analytic memory/comm models answer instantly — the preserved\n"
+        "property is that cost scales with probe count, and that the suite runs\n"
+        "once at installation time so absolute cost is unimportant (Section IV-E).");
+    return 0;
+}

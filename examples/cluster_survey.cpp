@@ -1,0 +1,90 @@
+// Cluster survey: run the full suite over every built-in machine model and
+// print a side-by-side comparison — the view a site administrator would
+// generate once at installation time for all partitions of a cluster
+// (Section IV-E), plus each machine's message-aggregation and
+// core-throttling advice derived from its profile.
+//
+//   cluster_survey [--fast]
+#include <cstdio>
+
+#include "autotune/aggregation.hpp"
+#include "autotune/throttle.hpp"
+#include "base/cli.hpp"
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/suite.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+int main(int argc, char** argv) {
+    CliParser cli("Servet cluster survey: profile every built-in machine model.");
+    cli.add_flag("fast", "probe only pairs containing core 0");
+    if (!cli.parse(argc, argv)) return 1;
+
+    std::vector<core::Profile> profiles;
+    for (const sim::MachineSpec& spec :
+         {sim::zoo::dunnington(), sim::zoo::finis_terrae(2), sim::zoo::dempsey()}) {
+        SimPlatform platform(spec);
+        msg::SimNetwork network(platform.spec());
+        core::SuiteOptions options;
+        options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
+        if (cli.flag("fast")) {
+            options.shared_cache.only_with_core = 0;
+            options.mem_overhead.only_with_core = 0;
+        }
+        std::printf("profiling %s ...\n", spec.name.c_str());
+        const core::SuiteResult result =
+            core::run_suite(platform, &network, options);
+        profiles.push_back(result.to_profile(spec.name, spec.n_cores, spec.page_size));
+    }
+
+    TextTable table({"machine", "cores", "caches (sizes)", "mem tiers", "comm layers",
+                     "suite time"});
+    for (const core::Profile& profile : profiles) {
+        std::string caches;
+        for (std::size_t i = 0; i < profile.caches.size(); ++i) {
+            if (i) caches += "/";
+            caches += format_bytes(profile.caches[i].size);
+        }
+        double total = 0;
+        for (const auto& [phase, seconds] : profile.phase_seconds) total += seconds;
+        table.add_row({profile.machine, strf("%d", profile.cores), caches,
+                       strf("%zu", profile.memory.tiers.size()),
+                       strf("%zu", profile.comm.size()), strf("%.1fs", total)});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+
+    // Derived advice per machine.
+    for (const core::Profile& profile : profiles) {
+        std::printf("%s:\n", profile.machine.c_str());
+        if (!profile.memory.tiers.empty()) {
+            if (const auto advice = autotune::advise_core_throttle(profile, 0)) {
+                std::printf(
+                    "  memory: use at most %d concurrent streamers per tier-0 group "
+                    "(aggregate saturates at %s)\n",
+                    advice->recommended_cores,
+                    format_bandwidth(advice->aggregate_by_n.back()).c_str());
+            }
+        }
+        if (!profile.comm.empty()) {
+            // Latency-dominated small messages: the regime where gathering
+            // pays off on poorly scaling interconnects (Section III-D).
+            const auto& slowest = profile.comm.back();
+            if (!slowest.pairs.empty()) {
+                const auto advice = autotune::advise_aggregation(
+                    profile, slowest.pairs.front(), 1 * KiB, 16);
+                if (advice) {
+                    std::printf(
+                        "  comm: 16 concurrent 1KB messages on the slowest layer cost "
+                        "%.1fx one gathered 16KB message -> %s\n",
+                        advice->benefit,
+                        advice->aggregate ? "gather small messages" : "send individually");
+                }
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the example applications: machine selection by name
+// (any zoo model, or the real host via the native backend).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "msg/network.hpp"
+#include "msg/sim_network.hpp"
+#include "msg/thread_network.hpp"
+#include "platform/native_platform.hpp"
+#include "platform/platform.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::examples {
+
+struct Target {
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<msg::Network> network;
+};
+
+/// Build the platform + network for `name`: one of "dunnington",
+/// "finis-terrae", "finis-terrae-2n", "dempsey", "athlon3200", or
+/// "native" (measure this host). Returns nullopt for unknown names.
+inline std::optional<Target> make_target(const std::string& name) {
+    Target target;
+    if (name == "native") {
+        auto platform = std::make_unique<NativePlatform>();
+        target.network = std::make_unique<msg::ThreadNetwork>(platform->core_count());
+        target.platform = std::move(platform);
+        return target;
+    }
+    std::optional<sim::MachineSpec> spec;
+    if (name == "dunnington") spec = sim::zoo::dunnington();
+    if (name == "finis-terrae") spec = sim::zoo::finis_terrae();
+    if (name == "finis-terrae-2n") spec = sim::zoo::finis_terrae(2);
+    if (name == "dempsey") spec = sim::zoo::dempsey();
+    if (name == "athlon3200") spec = sim::zoo::athlon3200();
+    if (!spec) return std::nullopt;
+    auto platform = std::make_unique<SimPlatform>(*spec);
+    if (spec->n_cores > 1) target.network = std::make_unique<msg::SimNetwork>(platform->spec());
+    target.platform = std::move(platform);
+    return target;
+}
+
+inline constexpr const char* kMachineHelp =
+    "dunnington | finis-terrae | finis-terrae-2n | dempsey | athlon3200 | native";
+
+}  // namespace servet::examples

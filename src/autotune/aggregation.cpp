@@ -1,0 +1,38 @@
+#include "autotune/aggregation.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace servet::autotune {
+
+std::optional<AggregationAdvice> advise_aggregation(const core::Profile& profile,
+                                                    CorePair pair, Bytes size, int count) {
+    SERVET_CHECK(count >= 1 && size > 0);
+    const int layer_index = profile.comm_layer_of(pair);
+    if (layer_index < 0) return std::nullopt;
+    const core::ProfileCommLayer& layer =
+        profile.comm[static_cast<std::size_t>(layer_index)];
+
+    const auto isolated = profile.comm_latency(pair, size);
+    const auto gathered = profile.comm_latency(pair, size * static_cast<Bytes>(count));
+    if (!isolated || !gathered) return std::nullopt;
+
+    // Concurrent slowdown from the measured curve; clamp to the last
+    // measured point when `count` exceeds the sweep.
+    double slowdown = 1.0;
+    if (!layer.slowdown.empty()) {
+        const std::size_t index = std::min(static_cast<std::size_t>(count - 1),
+                                           layer.slowdown.size() - 1);
+        slowdown = std::max(1.0, layer.slowdown[index]);
+    }
+
+    AggregationAdvice advice;
+    advice.scattered_cost = *isolated * slowdown;
+    advice.aggregated_cost = *gathered;
+    advice.benefit = advice.scattered_cost / advice.aggregated_cost;
+    advice.aggregate = advice.benefit > 1.0;
+    return advice;
+}
+
+}  // namespace servet::autotune

@@ -1,0 +1,27 @@
+// Message-aggregation advice from the measured layer scalability. The
+// paper's observation (Section III-D): "Sending concurrently N messages of
+// size S usually costs more than sending one message of size N*S. Thus, it
+// is possible to optimize the communication performance by gathering
+// messages in poorly scalable systems." This advisor prices both options
+// from the profile and says which wins.
+#pragma once
+
+#include "base/types.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune {
+
+struct AggregationAdvice {
+    bool aggregate = false;
+    Seconds scattered_cost = 0;   ///< N concurrent messages of `size`
+    Seconds aggregated_cost = 0;  ///< one message of N * `size`
+    double benefit = 0.0;         ///< scattered / aggregated (>1 favours gathering)
+};
+
+/// Price sending `count` concurrent `size`-byte messages across the layer
+/// serving `pair` versus one gathered message. Returns nullopt when the
+/// profile lacks data for the pair.
+[[nodiscard]] std::optional<AggregationAdvice> advise_aggregation(
+    const core::Profile& profile, CorePair pair, Bytes size, int count);
+
+}  // namespace servet::autotune

@@ -1,0 +1,55 @@
+#include "autotune/collective_select.hpp"
+
+#include "base/check.hpp"
+
+namespace servet::autotune {
+
+namespace {
+
+CollectiveChoice pick_cheapest(const core::Profile& profile, std::vector<Schedule> schedules,
+                               Bytes size);
+
+}  // namespace
+
+CollectiveChoice choose_broadcast(const core::Profile& profile, CoreId root,
+                                  const std::vector<CoreId>& cores, Bytes size) {
+    SERVET_CHECK(cores.size() >= 2);
+    std::vector<Schedule> schedules;
+    schedules.push_back(broadcast_flat(root, cores));
+    schedules.push_back(broadcast_binomial(root, cores));
+    schedules.push_back(broadcast_hierarchical(root, cores, profile));
+    schedules.push_back(broadcast_scatter_allgather(root, cores));
+    return pick_cheapest(profile, std::move(schedules), size);
+}
+
+CollectiveChoice choose_allreduce(const core::Profile& profile,
+                                  const std::vector<CoreId>& cores, Bytes size) {
+    SERVET_CHECK(cores.size() >= 2);
+    std::vector<Schedule> schedules;
+    schedules.push_back(allreduce_composed(cores.front(), cores, profile));
+    if ((cores.size() & (cores.size() - 1)) == 0)
+        schedules.push_back(allreduce_recursive_doubling(cores));
+    return pick_cheapest(profile, std::move(schedules), size);
+}
+
+namespace {
+
+CollectiveChoice pick_cheapest(const core::Profile& profile, std::vector<Schedule> schedules,
+                               Bytes size) {
+    CollectiveChoice choice;
+    bool first = true;
+    for (Schedule& schedule : schedules) {
+        const Seconds cost = estimate_schedule(profile, schedule, size);
+        choice.candidates.emplace_back(schedule.algorithm, cost);
+        if (first || cost < choice.estimated_cost) {
+            choice.estimated_cost = cost;
+            choice.schedule = std::move(schedule);
+            first = false;
+        }
+    }
+    return choice;
+}
+
+}  // namespace
+
+}  // namespace servet::autotune

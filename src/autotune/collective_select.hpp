@@ -1,0 +1,33 @@
+// Collective-algorithm selection from a profile: price each broadcast
+// schedule with the measured per-layer latencies and concurrency
+// slowdowns, pick the cheapest. The per-(collective, message-size)
+// algorithm switch this enables is exactly the "several implementations
+// ... adapt the behavior of an application" adoption path of Section V.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autotune/collectives.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune {
+
+struct CollectiveChoice {
+    Schedule schedule;              ///< the winning schedule
+    Seconds estimated_cost = 0;
+    /// Every candidate's estimate, for reporting: (algorithm, cost).
+    std::vector<std::pair<std::string, Seconds>> candidates;
+};
+
+/// Choose the cheapest broadcast schedule for `size`-byte payloads from
+/// `root` over `cores`, according to the profile.
+[[nodiscard]] CollectiveChoice choose_broadcast(const core::Profile& profile, CoreId root,
+                                                const std::vector<CoreId>& cores, Bytes size);
+
+/// Choose the cheapest allreduce: composed reduce+broadcast versus
+/// recursive doubling (the latter only offered for power-of-two counts).
+[[nodiscard]] CollectiveChoice choose_allreduce(const core::Profile& profile,
+                                                const std::vector<CoreId>& cores, Bytes size);
+
+}  // namespace servet::autotune

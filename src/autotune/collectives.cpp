@@ -1,0 +1,330 @@
+#include "autotune/collectives.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/check.hpp"
+#include "stats/unionfind.hpp"
+
+namespace servet::autotune {
+
+std::vector<std::string> Schedule::validate_broadcast(
+    CoreId root, const std::vector<CoreId>& cores) const {
+    std::vector<std::string> problems;
+    std::set<CoreId> holders = {root};
+    const std::set<CoreId> all(cores.begin(), cores.end());
+    if (!all.contains(root)) problems.push_back("root not among cores");
+
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        std::set<CoreId> busy;
+        std::set<CoreId> received_this_round;
+        for (const CorePair& transfer : rounds[r].transfers) {
+            if (!holders.contains(transfer.a))
+                problems.push_back("round " + std::to_string(r) + ": sender " +
+                                   std::to_string(transfer.a) + " does not hold the data");
+            if (holders.contains(transfer.b))
+                problems.push_back("round " + std::to_string(r) + ": receiver " +
+                                   std::to_string(transfer.b) + " already has the data");
+            if (!busy.insert(transfer.a).second || !busy.insert(transfer.b).second)
+                problems.push_back("round " + std::to_string(r) + ": core used twice");
+            if (!all.contains(transfer.a) || !all.contains(transfer.b))
+                problems.push_back("round " + std::to_string(r) + ": unknown core");
+            received_this_round.insert(transfer.b);
+        }
+        holders.insert(received_this_round.begin(), received_this_round.end());
+    }
+    for (CoreId core : cores) {
+        if (!holders.contains(core))
+            problems.push_back("core " + std::to_string(core) + " never receives");
+    }
+    return problems;
+}
+
+Schedule broadcast_flat(CoreId root, const std::vector<CoreId>& cores) {
+    Schedule schedule;
+    schedule.algorithm = "flat";
+    for (CoreId core : cores) {
+        if (core == root) continue;
+        schedule.rounds.push_back({{{root, core}}});
+    }
+    return schedule;
+}
+
+namespace {
+
+/// Binomial rounds over an ordered list whose first element is the
+/// initial holder. Appended to `schedule`, offset into the given rounds
+/// vector so independent trees can run in lockstep.
+void binomial_rounds(const std::vector<CoreId>& ordered, std::vector<Round>& rounds) {
+    std::size_t holders = 1;
+    std::size_t round_index = 0;
+    while (holders < ordered.size()) {
+        if (rounds.size() <= round_index) rounds.emplace_back();
+        Round& round = rounds[round_index];
+        const std::size_t senders = std::min(holders, ordered.size() - holders);
+        for (std::size_t s = 0; s < senders; ++s)
+            round.transfers.push_back({ordered[s], ordered[holders + s]});
+        holders += senders;
+        ++round_index;
+    }
+}
+
+std::vector<CoreId> rotate_to_front(const std::vector<CoreId>& cores, CoreId first) {
+    std::vector<CoreId> ordered;
+    ordered.push_back(first);
+    for (CoreId core : cores)
+        if (core != first) ordered.push_back(core);
+    return ordered;
+}
+
+}  // namespace
+
+Schedule broadcast_binomial(CoreId root, const std::vector<CoreId>& cores) {
+    Schedule schedule;
+    schedule.algorithm = "binomial";
+    binomial_rounds(rotate_to_front(cores, root), schedule.rounds);
+    return schedule;
+}
+
+Schedule broadcast_hierarchical(CoreId root, const std::vector<CoreId>& cores,
+                                const core::Profile& profile) {
+    Schedule schedule;
+    schedule.algorithm = "hierarchical";
+    if (profile.comm.size() < 2) {
+        // One layer: no hierarchy to exploit; degrade to binomial.
+        binomial_rounds(rotate_to_front(cores, root), schedule.rounds);
+        return schedule;
+    }
+
+    // Group cores connected by anything faster than the slowest layer —
+    // e.g. nodes, when the slowest layer is the inter-node network.
+    const int slowest = static_cast<int>(profile.comm.size()) - 1;
+    const CoreId max_core = *std::max_element(cores.begin(), cores.end());
+    stats::UnionFind uf(static_cast<std::size_t>(max_core) + 1);
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        for (std::size_t j = i + 1; j < cores.size(); ++j) {
+            const int layer = profile.comm_layer_of({cores[i], cores[j]});
+            if (layer >= 0 && layer < slowest)
+                uf.unite(static_cast<std::size_t>(cores[i]),
+                         static_cast<std::size_t>(cores[j]));
+        }
+    }
+    std::map<std::size_t, std::vector<CoreId>> groups;
+    for (CoreId core : cores) groups[uf.find(static_cast<std::size_t>(core))].push_back(core);
+
+    // Leaders: the root for its own group, the smallest member elsewhere.
+    std::vector<CoreId> leaders;
+    const std::size_t root_group = uf.find(static_cast<std::size_t>(root));
+    leaders.push_back(root);
+    for (const auto& [id, members] : groups) {
+        if (id != root_group) leaders.push_back(members.front());
+    }
+
+    // Phase 1: binomial over leaders (the slow layer is crossed a minimal
+    // number of times). Phase 2: all groups broadcast internally in
+    // lockstep, sharing round slots.
+    binomial_rounds(leaders, schedule.rounds);
+    std::vector<Round> intra;
+    for (const auto& [id, members] : groups) {
+        const CoreId leader = id == root_group ? root : members.front();
+        binomial_rounds(rotate_to_front(members, leader), intra);
+    }
+    schedule.rounds.insert(schedule.rounds.end(), intra.begin(), intra.end());
+    return schedule;
+}
+
+namespace {
+/// Reverse a broadcast schedule into its mirrored reduction.
+Schedule mirror_schedule(const Schedule& broadcast, const std::string& name) {
+    Schedule mirrored;
+    mirrored.algorithm = name;
+    for (auto it = broadcast.rounds.rbegin(); it != broadcast.rounds.rend(); ++it) {
+        Round round;
+        round.combining = true;  // reduction phases accumulate
+        for (const CorePair& transfer : it->transfers)
+            round.transfers.push_back({transfer.b, transfer.a});
+        mirrored.rounds.push_back(std::move(round));
+    }
+    return mirrored;
+}
+}  // namespace
+
+Schedule reduce_binomial(CoreId root, const std::vector<CoreId>& cores) {
+    return mirror_schedule(broadcast_binomial(root, cores), "binomial-reduce");
+}
+
+Schedule reduce_hierarchical(CoreId root, const std::vector<CoreId>& cores,
+                             const core::Profile& profile) {
+    return mirror_schedule(broadcast_hierarchical(root, cores, profile),
+                           "hierarchical-reduce");
+}
+
+std::vector<std::string> validate_reduce(const Schedule& schedule, CoreId root,
+                                         const std::vector<CoreId>& cores) {
+    // A reduction is sound iff its mirror is a sound broadcast: the
+    // broadcast checker's "sender already holds the data" property becomes
+    // "a core only reduces-up after its whole subtree reported in".
+    return mirror_schedule(schedule, schedule.algorithm + "-mirrored")
+        .validate_broadcast(root, cores);
+}
+
+Schedule allgather_ring(const std::vector<CoreId>& cores, double block_fraction) {
+    SERVET_CHECK(cores.size() >= 2);
+    SERVET_CHECK(block_fraction > 0 && block_fraction <= 1.0);
+    Schedule schedule;
+    schedule.algorithm = "ring-allgather";
+    // Round r: core i forwards the block it received in round r-1 to its
+    // successor. At the transfer level every round is the full ring of
+    // neighbour sends, repeated n-1 times.
+    const std::size_t n = cores.size();
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+        Round round;
+        round.size_factor = block_fraction;
+        for (std::size_t i = 0; i < n; ++i)
+            round.transfers.push_back({cores[i], cores[(i + 1) % n]});
+        schedule.rounds.push_back(std::move(round));
+    }
+    return schedule;
+}
+
+Schedule broadcast_scatter_allgather(CoreId root, const std::vector<CoreId>& cores) {
+    SERVET_CHECK(cores.size() >= 2);
+    Schedule schedule;
+    schedule.algorithm = "scatter-allgather";
+
+    // Binomial scatter: in round k every holder forwards half of the block
+    // range it still owns to a new core. log2(n) rounds with size factors
+    // 1/2, 1/4, ... (each relative to the full payload; ranges shrink as
+    // the tree deepens — the factor is the largest block moved that round,
+    // which is what bounds the round's duration).
+    const std::vector<CoreId> ordered = rotate_to_front(cores, root);
+    const std::size_t n = ordered.size();
+    std::size_t holders = 1;
+    double factor = 0.5;
+    while (holders < n) {
+        Round round;
+        round.size_factor = factor;
+        const std::size_t senders = std::min(holders, n - holders);
+        for (std::size_t s = 0; s < senders; ++s)
+            round.transfers.push_back({ordered[s], ordered[holders + s]});
+        holders += senders;
+        factor = std::max(factor / 2.0, 1.0 / static_cast<double>(n));
+        schedule.rounds.push_back(std::move(round));
+    }
+
+    // Ring allgather of the n scattered blocks (each 1/n of the payload).
+    const Schedule gather = allgather_ring(ordered, 1.0 / static_cast<double>(n));
+    schedule.rounds.insert(schedule.rounds.end(), gather.rounds.begin(),
+                           gather.rounds.end());
+    return schedule;
+}
+
+Schedule allreduce_composed(CoreId root, const std::vector<CoreId>& cores,
+                            const core::Profile& profile) {
+    Schedule schedule;
+    schedule.algorithm = "composed-allreduce";
+    const Schedule down = reduce_hierarchical(root, cores, profile);
+    const Schedule up = broadcast_hierarchical(root, cores, profile);
+    schedule.rounds = down.rounds;
+    schedule.rounds.insert(schedule.rounds.end(), up.rounds.begin(), up.rounds.end());
+    return schedule;
+}
+
+Schedule allreduce_recursive_doubling(const std::vector<CoreId>& cores) {
+    const std::size_t n = cores.size();
+    SERVET_CHECK_MSG(n >= 2 && (n & (n - 1)) == 0,
+                     "recursive doubling needs a power-of-two core count");
+    Schedule schedule;
+    schedule.algorithm = "recursive-doubling";
+    for (std::size_t distance = 1; distance < n; distance *= 2) {
+        Round round;
+        round.combining = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = i ^ distance;
+            if (i < j) {
+                // Both directions: a simultaneous pairwise exchange.
+                round.transfers.push_back({cores[i], cores[j]});
+                round.transfers.push_back({cores[j], cores[i]});
+            }
+        }
+        schedule.rounds.push_back(std::move(round));
+    }
+    return schedule;
+}
+
+std::vector<std::string> validate_allreduce(const Schedule& schedule,
+                                            const std::vector<CoreId>& cores) {
+    std::vector<std::string> problems;
+    // Contribution tracking: sends carry the sender's pre-round set;
+    // receivers merge. Everyone must end holding everyone.
+    std::map<CoreId, std::set<CoreId>> holding;
+    for (CoreId core : cores) holding[core] = {core};
+    for (std::size_t r = 0; r < schedule.rounds.size(); ++r) {
+        const auto snapshot = holding;
+        for (const CorePair& transfer : schedule.rounds[r].transfers) {
+            if (!snapshot.contains(transfer.a) || !snapshot.contains(transfer.b)) {
+                problems.push_back("round " + std::to_string(r) + ": unknown core");
+                continue;
+            }
+            holding[transfer.b].insert(snapshot.at(transfer.a).begin(),
+                                       snapshot.at(transfer.a).end());
+        }
+    }
+    for (CoreId core : cores) {
+        if (holding[core].size() != cores.size())
+            problems.push_back("core " + std::to_string(core) + " misses contributions");
+    }
+    return problems;
+}
+
+Seconds run_schedule(msg::Network& network, const Schedule& schedule, Bytes size, int reps) {
+    SERVET_CHECK(reps > 0);
+    Seconds total = 0;
+    for (const Round& round : schedule.rounds) {
+        if (round.transfers.empty()) continue;
+        const std::vector<Seconds> latencies =
+            network.concurrent_latency(
+                round.transfers,
+                std::max<Bytes>(1, static_cast<Bytes>(round.size_factor *
+                                                      static_cast<double>(size))),
+                reps);
+        total += *std::max_element(latencies.begin(), latencies.end());
+    }
+    return total;
+}
+
+Seconds estimate_schedule(const core::Profile& profile, const Schedule& schedule,
+                          Bytes size) {
+    Seconds total = 0;
+    for (const Round& round : schedule.rounds) {
+        if (round.transfers.empty()) continue;
+        std::map<int, int> per_layer;
+        for (const CorePair& transfer : round.transfers)
+            ++per_layer[profile.comm_layer_of(transfer)];
+
+        Seconds round_time = 0;
+        for (const CorePair& transfer : round.transfers) {
+            const int layer_index = profile.comm_layer_of(transfer);
+            SERVET_CHECK_MSG(layer_index >= 0, "transfer pair not in the profile");
+            const auto base = profile.comm_latency(
+                transfer, std::max<Bytes>(1, static_cast<Bytes>(
+                                                 round.size_factor *
+                                                 static_cast<double>(size))));
+            SERVET_CHECK(base.has_value());
+            const auto& layer = profile.comm[static_cast<std::size_t>(layer_index)];
+            double slowdown = 1.0;
+            if (!layer.slowdown.empty()) {
+                const auto index = std::min<std::size_t>(
+                    static_cast<std::size_t>(per_layer[layer_index] - 1),
+                    layer.slowdown.size() - 1);
+                slowdown = std::max(1.0, layer.slowdown[index]);
+            }
+            round_time = std::max(round_time, *base * slowdown);
+        }
+        total += round_time;
+    }
+    return total;
+}
+
+}  // namespace servet::autotune

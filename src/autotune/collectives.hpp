@@ -1,0 +1,131 @@
+// Collective communication schedules. The optimizations Servet motivates
+// (Section II cites MPI collective tuning on SMP clusters; Section V:
+// "many programs provide several implementations of parts of their code
+// ... Using the system parameters obtained by Servet it is possible to
+// adapt the behavior of an application") need concrete alternatives to
+// choose among. This module provides three broadcast schedules — flat,
+// binomial tree, and a hierarchy-aware two-level tree built from measured
+// communication layers — expressed as rounds of disjoint point-to-point
+// transfers, plus execution/pricing of a schedule against any Network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "core/profile.hpp"
+#include "msg/network.hpp"
+
+namespace servet::autotune {
+
+/// One communication round: transfers that proceed concurrently. Within a
+/// round each core sends at most one message and receives at most one
+/// message (tree schedules are fully vertex-disjoint; the ring allgather
+/// has every core both sending and receiving).
+struct Round {
+    /// Directed transfers as (source, destination) core pairs.
+    std::vector<CorePair> transfers;
+    /// Fraction of the collective's payload each transfer carries (1.0
+    /// for whole-message trees; 1/n-style fractions for scatter/allgather
+    /// phases of large-message algorithms).
+    double size_factor = 1.0;
+    /// Receive semantics when the schedule is *executed* with data:
+    /// combining rounds element-wise accumulate the incoming payload
+    /// (reduction phases); non-combining rounds overwrite (distribution
+    /// phases). Cost estimation ignores this.
+    bool combining = false;
+};
+
+/// A collective expressed as sequential rounds.
+struct Schedule {
+    std::string algorithm;
+    std::vector<Round> rounds;
+
+    /// Structural soundness for a broadcast from `root` over `cores`:
+    /// every non-root core receives exactly once, every sender already
+    /// holds the data, rounds are vertex-disjoint. Returns problems.
+    [[nodiscard]] std::vector<std::string> validate_broadcast(
+        CoreId root, const std::vector<CoreId>& cores) const;
+};
+
+/// Flat broadcast: the root sends to every other core, one per round.
+/// The baseline every tree algorithm is measured against.
+[[nodiscard]] Schedule broadcast_flat(CoreId root, const std::vector<CoreId>& cores);
+
+/// Binomial-tree broadcast: log2(n) rounds, every data holder forwards.
+[[nodiscard]] Schedule broadcast_binomial(CoreId root, const std::vector<CoreId>& cores);
+
+/// Hierarchy-aware broadcast: cores are grouped by the profile's slowest
+/// communication layer (e.g. nodes across InfiniBand); the root reaches
+/// one leader per group through the slow layer (binomial over leaders),
+/// then each group broadcasts internally (binomial over members). This is
+/// the classic two-level SMP-cluster collective of the papers Servet
+/// cites, driven by *measured* topology instead of documentation.
+[[nodiscard]] Schedule broadcast_hierarchical(CoreId root, const std::vector<CoreId>& cores,
+                                              const core::Profile& profile);
+
+/// Reduction to `root`: the mirror image of a broadcast — the same tree
+/// with transfers reversed and rounds replayed back-to-front, so leaves
+/// push partial results upward and every link carries exactly one
+/// message. Mirrors of the corresponding broadcast builders.
+[[nodiscard]] Schedule reduce_binomial(CoreId root, const std::vector<CoreId>& cores);
+[[nodiscard]] Schedule reduce_hierarchical(CoreId root, const std::vector<CoreId>& cores,
+                                           const core::Profile& profile);
+
+/// Structural soundness for a reduction to `root`: every non-root core
+/// sends exactly once, no core sends before its own subtree has reported
+/// in, rounds are vertex-disjoint.
+[[nodiscard]] std::vector<std::string> validate_reduce(const Schedule& schedule, CoreId root,
+                                                       const std::vector<CoreId>& cores);
+
+/// Ring allgather: n-1 rounds; each core forwards the block it received
+/// last round to its ring successor — the bandwidth-optimal schedule for
+/// large blocks. `block_fraction` sets each transfer's share of the
+/// collective payload (1/n when the payload is the concatenation of n
+/// per-core blocks).
+[[nodiscard]] Schedule allgather_ring(const std::vector<CoreId>& cores,
+                                      double block_fraction = 1.0);
+
+/// Van de Geijn large-message broadcast: binomial-scatter the payload
+/// into n blocks (each round forwards half of what a holder owns), then
+/// ring-allgather the blocks. Moves ~2x the payload in total but never
+/// sends the whole message down one link, so for large messages its
+/// bandwidth term beats the binomial tree's log2(n) full-size hops — the
+/// classic size crossover an autotuned collective library switches on.
+[[nodiscard]] Schedule broadcast_scatter_allgather(CoreId root,
+                                                   const std::vector<CoreId>& cores);
+
+/// Allreduce as the composition reduce-to-root + broadcast-from-root:
+/// 2*log2(n) rounds of whole-payload transfers; works for any core count
+/// and any root. The baseline every specialized allreduce is judged
+/// against.
+[[nodiscard]] Schedule allreduce_composed(CoreId root, const std::vector<CoreId>& cores,
+                                          const core::Profile& profile);
+
+/// Recursive-doubling allreduce: log2(n) rounds; in round k cores at
+/// distance 2^k exchange full payloads and combine, so every core ends
+/// with the result — half the depth of the composed form. Requires a
+/// power-of-two core count (callers fall back to allreduce_composed
+/// otherwise; choose_allreduce does this automatically).
+[[nodiscard]] Schedule allreduce_recursive_doubling(const std::vector<CoreId>& cores);
+
+/// Structural check: after the schedule, every core must have combined
+/// every other core's contribution (tracked as contribution sets over the
+/// exchange rounds).
+[[nodiscard]] std::vector<std::string> validate_allreduce(const Schedule& schedule,
+                                                          const std::vector<CoreId>& cores);
+
+/// Execute (or price) a schedule: each round costs the concurrent latency
+/// of its transfers on `network`; rounds are sequential. Returns total
+/// one-message-deep completion time.
+[[nodiscard]] Seconds run_schedule(msg::Network& network, const Schedule& schedule, Bytes size,
+                                   int reps);
+
+/// Price a schedule from a profile alone (no network): each round costs
+/// the max over its transfers of the stored layer latency at `size`,
+/// scaled by the layer's measured concurrency slowdown for the number of
+/// same-layer transfers in the round. Used by the selector.
+[[nodiscard]] Seconds estimate_schedule(const core::Profile& profile,
+                                        const Schedule& schedule, Bytes size);
+
+}  // namespace servet::autotune

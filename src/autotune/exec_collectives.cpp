@@ -1,0 +1,118 @@
+#include "autotune/exec_collectives.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "base/check.hpp"
+
+namespace servet::autotune {
+
+namespace {
+
+/// The transfers core `core` takes part in, in round order, tagged with
+/// its role. Tree rounds are vertex-disjoint, so at most one per round.
+struct Step {
+    std::size_t round;
+    bool is_sender;
+    CoreId peer;
+};
+
+std::vector<Step> steps_for(const Schedule& schedule, CoreId core) {
+    // Within a round, sends come before receives: an exchange round (the
+    // core both sends and receives, as in recursive doubling) must ship
+    // the pre-round value, and buffered sends make send-first
+    // deadlock-free.
+    std::vector<Step> steps;
+    for (std::size_t r = 0; r < schedule.rounds.size(); ++r) {
+        for (const CorePair& transfer : schedule.rounds[r].transfers)
+            if (transfer.a == core) steps.push_back({r, true, transfer.b});
+        for (const CorePair& transfer : schedule.rounds[r].transfers)
+            if (transfer.b == core) steps.push_back({r, false, transfer.a});
+    }
+    return steps;
+}
+
+}  // namespace
+
+std::map<CoreId, std::vector<std::uint8_t>> execute_broadcast(
+    msg::CommWorld& world, const Schedule& schedule, CoreId root,
+    const std::vector<CoreId>& cores, std::span<const std::uint8_t> payload) {
+    for (CoreId core : cores) SERVET_CHECK(core >= 0 && core < world.size());
+
+    std::map<CoreId, std::vector<std::uint8_t>> buffers;
+    for (CoreId core : cores) buffers[core] = {};
+    buffers[root].assign(payload.begin(), payload.end());
+
+    std::vector<std::thread> threads;
+    threads.reserve(cores.size());
+    for (CoreId core : cores) {
+        threads.emplace_back([&, core] {
+            msg::Endpoint endpoint = world.endpoint(core);
+            std::vector<std::uint8_t>& buffer = buffers[core];
+            for (const Step& step : steps_for(schedule, core)) {
+                if (step.is_sender) {
+                    // Dataflow guarantee: a valid broadcast schedule only
+                    // makes a core send after it received (or is the root).
+                    endpoint.send(step.peer, buffer);
+                } else {
+                    endpoint.recv(step.peer, buffer);
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return buffers;
+}
+
+std::map<CoreId, std::vector<double>> execute_allreduce_sum(
+    msg::CommWorld& world, const Schedule& schedule, const std::vector<CoreId>& cores,
+    const std::map<CoreId, std::vector<double>>& contributions) {
+    SERVET_CHECK(!cores.empty());
+    const std::size_t length = contributions.at(cores.front()).size();
+    for (CoreId core : cores) {
+        SERVET_CHECK(core >= 0 && core < world.size());
+        SERVET_CHECK_MSG(contributions.at(core).size() == length,
+                         "all contributions must share one length");
+    }
+
+    std::map<CoreId, std::vector<double>> accumulators = contributions;
+
+    std::vector<std::thread> threads;
+    threads.reserve(cores.size());
+    for (CoreId core : cores) {
+        threads.emplace_back([&, core] {
+            msg::Endpoint endpoint = world.endpoint(core);
+            std::vector<double>& accumulator = accumulators[core];
+            std::vector<std::uint8_t> incoming;
+            for (const Step& step : steps_for(schedule, core)) {
+                if (step.is_sender) {
+                    // steps_for orders sends before receives per round, so
+                    // exchange rounds ship the pre-round accumulator.
+                    endpoint.send(step.peer,
+                                  {reinterpret_cast<const std::uint8_t*>(accumulator.data()),
+                                   accumulator.size() * sizeof(double)});
+                } else {
+                    endpoint.recv(step.peer, incoming);
+                    SERVET_CHECK(incoming.size() == length * sizeof(double));
+                    const auto* values = reinterpret_cast<const double*>(incoming.data());
+                    if (schedule.rounds[step.round].combining) {
+                        for (std::size_t i = 0; i < length; ++i) accumulator[i] += values[i];
+                    } else {
+                        accumulator.assign(values, values + length);
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return accumulators;
+}
+
+std::vector<double> execute_reduce_sum(
+    msg::CommWorld& world, const Schedule& schedule, CoreId root,
+    const std::vector<CoreId>& cores,
+    const std::map<CoreId, std::vector<double>>& contributions) {
+    return execute_allreduce_sum(world, schedule, cores, contributions).at(root);
+}
+
+}  // namespace servet::autotune

@@ -1,0 +1,46 @@
+// Executable collectives: run a Schedule with real data movement over a
+// CommWorld (one driving thread per participating core), rather than just
+// pricing it. This closes the loop on the collective advisor — the same
+// schedule objects the selector prices are the ones applications execute —
+// and the tests verify semantic correctness (exact byte delivery for
+// broadcasts, exact sums for reductions) for every algorithm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "autotune/collectives.hpp"
+#include "msg/comm_world.hpp"
+
+namespace servet::autotune {
+
+/// Execute a whole-payload broadcast schedule (flat, binomial, or
+/// hierarchical — every transfer carries the full payload). `world` must
+/// have at least max(cores)+1 ranks (core ids are used as ranks). Returns
+/// each core's received buffer, keyed by core id; the root maps to the
+/// original payload.
+[[nodiscard]] std::map<CoreId, std::vector<std::uint8_t>> execute_broadcast(
+    msg::CommWorld& world, const Schedule& schedule, CoreId root,
+    const std::vector<CoreId>& cores, std::span<const std::uint8_t> payload);
+
+/// Execute a reduction schedule (reduce_binomial / reduce_hierarchical):
+/// each core contributes `contributions.at(core)`; parents element-wise
+/// add incoming vectors into their accumulator before forwarding. Returns
+/// the root's final accumulator. All contributions must share one length.
+[[nodiscard]] std::vector<double> execute_reduce_sum(
+    msg::CommWorld& world, const Schedule& schedule, CoreId root,
+    const std::vector<CoreId>& cores,
+    const std::map<CoreId, std::vector<double>>& contributions);
+
+/// Execute an allreduce schedule (allreduce_composed or
+/// allreduce_recursive_doubling): like execute_reduce_sum, but every
+/// core's final accumulator is returned and must equal the global sum.
+/// Exchange rounds ship each core's pre-round accumulator (sends precede
+/// receives within a round).
+[[nodiscard]] std::map<CoreId, std::vector<double>> execute_allreduce_sum(
+    msg::CommWorld& world, const Schedule& schedule, const std::vector<CoreId>& cores,
+    const std::map<CoreId, std::vector<double>>& contributions);
+
+}  // namespace servet::autotune

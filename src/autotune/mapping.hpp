@@ -1,0 +1,75 @@
+// Profile-driven process placement — the MPIPP/Mercier-style mapping the
+// paper positions Servet under (Section II): those tools need per-pair
+// communication costs and get them from machine documentation; Servet
+// measures them. Given an application communication graph, the mapper
+// assigns ranks to cores minimizing
+//     sum over edges  weight(i,j) * measured_latency(core_i, core_j)
+//   + memory_weight * contention_penalty(placement)
+// where the contention penalty charges each memory-collision group (from
+// the memory-overhead benchmark) for every extra rank placed in it. A
+// greedy seed is refined by pairwise-swap hill climbing; both steps are
+// deterministic.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune {
+
+/// Undirected application communication graph.
+struct CommGraph {
+    struct Edge {
+        int rank_a = 0;
+        int rank_b = 0;
+        double weight = 1.0;  ///< relative traffic (e.g. messages per step)
+    };
+    int ranks = 0;
+    std::vector<Edge> edges;
+
+    [[nodiscard]] std::vector<std::string> validate() const;
+
+    /// Convenience builders for classic applications.
+    [[nodiscard]] static CommGraph ring(int ranks, double weight = 1.0);
+    [[nodiscard]] static CommGraph stencil2d(int rows, int cols, double weight = 1.0);
+    [[nodiscard]] static CommGraph all_to_all(int ranks, double weight = 1.0);
+    /// Irregular communication (graph-partitioned FEM meshes, sparse
+    /// solvers): each rank talks to ~`degree` random peers with weights in
+    /// [1, 3). Deterministic per seed. The case where rank order carries
+    /// no locality and profile-driven mapping matters most.
+    [[nodiscard]] static CommGraph random_sparse(int ranks, int degree, std::uint64_t seed);
+};
+
+struct MappingOptions {
+    /// Message size used to price edges from the profile's p2p curves.
+    Bytes message_size = 32 * KiB;
+    /// Relative weight of the memory-contention penalty versus
+    /// communication cost (0 = communication only).
+    double memory_weight = 0.25;
+    /// Hill-climbing sweeps over all placement pairs.
+    int refine_sweeps = 8;
+};
+
+struct MappingResult {
+    std::vector<CoreId> core_of_rank;
+    double cost = 0.0;           ///< final objective value
+    double greedy_cost = 0.0;    ///< objective before refinement
+};
+
+/// Greedy partition of a graph's edges into rounds of vertex-disjoint
+/// edges (an edge coloring): the concurrent-transfer schedule of a
+/// bulk-synchronous halo exchange, used to *execute* a placement on a
+/// Network and validate the mapper's predicted improvements end to end.
+[[nodiscard]] std::vector<std::vector<CommGraph::Edge>> edge_rounds(const CommGraph& graph);
+
+/// Objective value of a placement (exposed for tests and ablations).
+[[nodiscard]] double placement_cost(const core::Profile& profile, const CommGraph& graph,
+                                    const std::vector<CoreId>& core_of_rank,
+                                    const MappingOptions& options);
+
+/// Map `graph.ranks` ranks onto the profile's cores (ranks <= cores).
+[[nodiscard]] MappingResult map_processes(const core::Profile& profile, const CommGraph& graph,
+                                          const MappingOptions& options = {});
+
+}  // namespace servet::autotune

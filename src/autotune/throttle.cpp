@@ -1,0 +1,29 @@
+#include "autotune/throttle.hpp"
+
+#include "base/check.hpp"
+
+namespace servet::autotune {
+
+std::optional<ThrottleAdvice> advise_core_throttle(const core::Profile& profile,
+                                                   std::size_t tier,
+                                                   double min_marginal_gain) {
+    SERVET_CHECK(min_marginal_gain >= 0);
+    if (tier >= profile.memory.tiers.size()) return std::nullopt;
+    const auto& curve = profile.memory.tiers[tier].scalability;
+    if (curve.empty()) return std::nullopt;
+
+    ThrottleAdvice advice;
+    advice.aggregate_by_n.reserve(curve.size());
+    for (std::size_t k = 0; k < curve.size(); ++k)
+        advice.aggregate_by_n.push_back(static_cast<double>(k + 1) * curve[k]);
+
+    advice.recommended_cores = 1;
+    for (std::size_t k = 1; k < advice.aggregate_by_n.size(); ++k) {
+        const double gain = advice.aggregate_by_n[k] - advice.aggregate_by_n[k - 1];
+        if (gain < min_marginal_gain * advice.aggregate_by_n[k - 1]) break;
+        advice.recommended_cores = static_cast<int>(k + 1);
+    }
+    return advice;
+}
+
+}  // namespace servet::autotune

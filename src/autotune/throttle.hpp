@@ -1,0 +1,29 @@
+// Core-throttling advice from the memory scalability curves. Section III-C:
+// "autotuning could optimize codes by limiting the number of cores
+// accessing to memory if a poorly scalable memory system is detected."
+// The advisor walks a tier's measured per-core bandwidth curve and stops
+// adding cores once the marginal aggregate-bandwidth gain drops below a
+// threshold.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/types.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune {
+
+struct ThrottleAdvice {
+    int recommended_cores = 1;
+    /// aggregate_by_n[k] = (k+1) * per-core bandwidth with k+1 streamers.
+    std::vector<BytesPerSecond> aggregate_by_n;
+};
+
+/// Advice for memory tier `tier`. `min_marginal_gain` is the fraction of
+/// the current aggregate bandwidth one more core must add to be worth it.
+/// Returns nullopt when the tier has no scalability data.
+[[nodiscard]] std::optional<ThrottleAdvice> advise_core_throttle(
+    const core::Profile& profile, std::size_t tier, double min_marginal_gain = 0.05);
+
+}  // namespace servet::autotune

@@ -1,0 +1,41 @@
+#include "autotune/tiling.hpp"
+
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace servet::autotune {
+
+int max_square_tile(Bytes cache_bytes, const TilingRequest& request) {
+    SERVET_CHECK(request.element_bytes > 0 && request.tiles_in_flight > 0);
+    SERVET_CHECK(request.occupancy > 0 && request.occupancy <= 1.0);
+    const double budget = request.occupancy * static_cast<double>(cache_bytes) /
+                          static_cast<double>(request.tiles_in_flight);
+    const double elements = budget / static_cast<double>(request.element_bytes);
+    const int dim = static_cast<int>(std::floor(std::sqrt(elements)));
+    return dim >= 1 ? dim : 1;
+}
+
+std::vector<TileChoice> plan_tiles(const core::Profile& profile,
+                                   const TilingRequest& request) {
+    SERVET_CHECK(request.physical_index_margin > 0 && request.physical_index_margin <= 1.0);
+    std::vector<TileChoice> plan;
+    plan.reserve(profile.caches.size());
+    for (std::size_t level = 0; level < profile.caches.size(); ++level) {
+        TileChoice choice;
+        choice.level = level;
+        choice.cache_size = profile.caches[level].size;
+        // L1 is virtually indexed and usable to its budgeted capacity;
+        // lower levels need conflict-miss headroom under random placement.
+        const double margin = level == 0 ? 1.0 : request.physical_index_margin;
+        const auto effective = static_cast<Bytes>(
+            margin * static_cast<double>(choice.cache_size));
+        choice.tile_elements = max_square_tile(effective, request);
+        choice.tile_bytes = static_cast<Bytes>(choice.tile_elements) *
+                            static_cast<Bytes>(choice.tile_elements) * request.element_bytes;
+        plan.push_back(choice);
+    }
+    return plan;
+}
+
+}  // namespace servet::autotune

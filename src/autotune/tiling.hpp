@@ -1,0 +1,49 @@
+// Tile-size selection from the measured cache sizes — the paper's first
+// motivating optimization ("Tiling is one of the most widely used
+// optimization techniques and our suite can help ... by providing all the
+// cache sizes in a portable way", Section V). Given how many working
+// arrays a tiled kernel keeps live (3 square tiles for C += A*B) the
+// selector returns the largest tile whose footprint fits a chosen fraction
+// of a cache level, per level.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune {
+
+struct TilingRequest {
+    /// Bytes per array element (8 for double).
+    std::size_t element_bytes = 8;
+    /// Square tiles simultaneously live in cache (3 for C += A*B).
+    int tiles_in_flight = 3;
+    /// Fraction of the cache the tiles may occupy; the rest is left for
+    /// everything else the kernel touches.
+    double occupancy = 0.75;
+    /// Extra derating applied to every level below L1. Those levels are
+    /// physically indexed (Section III-A2): with random page placement a
+    /// working set near capacity already overflows some page sets and
+    /// conflict-misses, so tiles must leave headroom. 0.55 keeps the
+    /// expected page-set occupancy comfortably under the associativity.
+    double physical_index_margin = 0.55;
+};
+
+struct TileChoice {
+    std::size_t level = 0;       ///< cache level the tile targets (0 = L1)
+    Bytes cache_size = 0;
+    int tile_elements = 0;       ///< square tile dimension, in elements
+    Bytes tile_bytes = 0;        ///< footprint of one tile
+};
+
+/// Largest square tile dimension such that `tiles_in_flight` tiles fit in
+/// `occupancy * cache_bytes`. At least 1.
+[[nodiscard]] int max_square_tile(Bytes cache_bytes, const TilingRequest& request);
+
+/// One TileChoice per detected cache level (the multi-level tiling plan of
+/// a blocked kernel). Empty when the profile has no cache estimates.
+[[nodiscard]] std::vector<TileChoice> plan_tiles(const core::Profile& profile,
+                                                 const TilingRequest& request = {});
+
+}  // namespace servet::autotune

@@ -1,0 +1,26 @@
+// Precondition / invariant checking (I.5, I.6 of the Core Guidelines,
+// without a GSL dependency). SERVET_CHECK is always on: the suite is a
+// measurement tool, so failing loudly beats returning garbage estimates.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace servet::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+    std::fprintf(stderr, "servet: check failed: %s at %s:%d%s%s\n", expr, file, line,
+                 msg ? " — " : "", msg ? msg : "");
+    std::abort();
+}
+}  // namespace servet::detail
+
+#define SERVET_CHECK(expr)                                                        \
+    do {                                                                          \
+        if (!(expr)) ::servet::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    } while (false)
+
+#define SERVET_CHECK_MSG(expr, msg)                                              \
+    do {                                                                         \
+        if (!(expr)) ::servet::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    } while (false)

@@ -1,0 +1,107 @@
+#include "base/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "base/check.hpp"
+
+namespace servet {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+    add_flag("help", "show this help and exit");
+}
+
+void CliParser::add_flag(std::string name, std::string help) {
+    entries_.emplace(std::move(name), Entry{std::move(help), "false", /*is_flag=*/true, false});
+}
+
+void CliParser::add_option(std::string name, std::string help, std::string default_value) {
+    entries_.emplace(std::move(name),
+                     Entry{std::move(help), std::move(default_value), /*is_flag=*/false, false});
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (!arg.starts_with("--")) {
+            positional_.emplace_back(arg);
+            continue;
+        }
+        arg.remove_prefix(2);
+        std::string_view key = arg;
+        std::optional<std::string_view> inline_value;
+        if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+            key = arg.substr(0, eq);
+            inline_value = arg.substr(eq + 1);
+        }
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            std::fprintf(stderr, "%s: unknown option --%.*s (see --help)\n", argv[0],
+                         static_cast<int>(key.size()), key.data());
+            return false;
+        }
+        Entry& entry = it->second;
+        entry.seen = true;
+        if (entry.is_flag) {
+            entry.value = inline_value.value_or("true");
+        } else if (inline_value) {
+            entry.value = *inline_value;
+        } else if (i + 1 < argc) {
+            entry.value = argv[++i];
+        } else {
+            std::fprintf(stderr, "%s: option --%.*s requires a value\n", argv[0],
+                         static_cast<int>(key.size()), key.data());
+            return false;
+        }
+    }
+    if (flag("help")) {
+        print_usage(argv[0]);
+        return false;
+    }
+    return true;
+}
+
+bool CliParser::flag(std::string_view name) const {
+    const auto it = entries_.find(name);
+    SERVET_CHECK_MSG(it != entries_.end(), "flag() on unregistered option");
+    return it->second.value == "true";
+}
+
+const std::string& CliParser::option(std::string_view name) const {
+    const auto it = entries_.find(name);
+    SERVET_CHECK_MSG(it != entries_.end(), "option() on unregistered option");
+    return it->second.value;
+}
+
+std::optional<long long> CliParser::option_int(std::string_view name) const {
+    const std::string& text = option(name);
+    long long value = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) return std::nullopt;
+    return value;
+}
+
+std::optional<double> CliParser::option_double(std::string_view name) const {
+    const std::string& text = option(name);
+    double value = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) return std::nullopt;
+    return value;
+}
+
+void CliParser::print_usage(std::string_view argv0) const {
+    std::fprintf(stderr, "%s\n\nusage: %.*s [options]\n\noptions:\n", description_.c_str(),
+                 static_cast<int>(argv0.size()), argv0.data());
+    for (const auto& [name, entry] : entries_) {
+        if (entry.is_flag) {
+            std::fprintf(stderr, "  --%-22s %s\n", name.c_str(), entry.help.c_str());
+        } else {
+            std::string label = name + " <v>";
+            std::fprintf(stderr, "  --%-22s %s (default: %s)\n", label.c_str(),
+                         entry.help.c_str(), entry.value.c_str());
+        }
+    }
+}
+
+}  // namespace servet

@@ -1,0 +1,50 @@
+// Tiny declarative command-line parser for the example/bench executables.
+// Supports `--flag`, `--key value`, `--key=value` and positional arguments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace servet {
+
+class CliParser {
+  public:
+    explicit CliParser(std::string program_description);
+
+    /// Register a boolean flag (`--name`).
+    void add_flag(std::string name, std::string help);
+
+    /// Register a valued option (`--name VALUE` or `--name=VALUE`) with a
+    /// default shown in --help.
+    void add_option(std::string name, std::string help, std::string default_value);
+
+    /// Parse argv. Returns false (after printing a diagnostic) on unknown
+    /// options or a missing value. `--help` prints usage and returns false.
+    [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] bool flag(std::string_view name) const;
+    [[nodiscard]] const std::string& option(std::string_view name) const;
+    [[nodiscard]] std::optional<long long> option_int(std::string_view name) const;
+    [[nodiscard]] std::optional<double> option_double(std::string_view name) const;
+    [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+    void print_usage(std::string_view argv0) const;
+
+  private:
+    struct Entry {
+        std::string help;
+        std::string value;   // current value (default until parsed)
+        bool is_flag = false;
+        bool seen = false;
+    };
+
+    std::string description_;
+    std::map<std::string, Entry, std::less<>> entries_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace servet

@@ -1,0 +1,37 @@
+#include "base/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace servet {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+constexpr const char* level_tag(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+    if (level < log_level()) return;
+    char buf[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "[servet %s] %s\n", level_tag(level), buf);
+}
+
+}  // namespace servet

@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr. The suite's long-running benchmarks
+// (Table I reports 43-55 minutes on real hardware) use this for progress
+// reporting; `--quiet` silences everything below Warn.
+#pragma once
+
+#include <string_view>
+
+namespace servet {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Global threshold; messages below it are dropped. Not synchronized —
+/// set it once at startup before spawning threads.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging. Thread-safe (single write() per message).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace servet
+
+#define SERVET_LOG_DEBUG(...) ::servet::logf(::servet::LogLevel::Debug, __VA_ARGS__)
+#define SERVET_LOG_INFO(...) ::servet::logf(::servet::LogLevel::Info, __VA_ARGS__)
+#define SERVET_LOG_WARN(...) ::servet::logf(::servet::LogLevel::Warn, __VA_ARGS__)
+#define SERVET_LOG_ERROR(...) ::servet::logf(::servet::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,70 @@
+// Deterministic PRNG for the simulator. All simulated physical-page
+// placement, measurement jitter and workload generation flow from explicit
+// seeds so every figure/table bench is exactly reproducible run-to-run.
+//
+// xoshiro256** (public domain construction, Blackman & Vigna) seeded via
+// splitmix64 — small, fast, and not dependent on libstdc++'s unspecified
+// distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace servet {
+
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x5e21e1u) {
+        // splitmix64 seeding: decorrelates consecutive seeds.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+    /// avoid modulo bias (matters for page-set statistics).
+    std::uint64_t next_below(std::uint64_t bound) {
+        const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+        for (;;) {
+            const std::uint64_t r = next_u64();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Multiplicative jitter in [1-amplitude, 1+amplitude]; used for
+    /// measurement-noise injection in tests and noisy-platform models.
+    double jitter(double amplitude) {
+        return 1.0 + amplitude * (2.0 * next_double() - 1.0);
+    }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace servet

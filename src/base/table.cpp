@@ -1,0 +1,78 @@
+#include "base/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "base/check.hpp"
+
+namespace servet {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    SERVET_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    SERVET_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    std::string out;
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size()) out.append(width[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+std::string TextTable::render_csv() const {
+    const auto emit_cell = [](std::string& out, const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos) {
+            out += cell;
+            return;
+        }
+        out += '"';
+        for (char c : cell) {
+            if (c == '"') out += '"';
+            out += c;
+        }
+        out += '"';
+    };
+    std::string out;
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) out += ',';
+            emit_cell(out, row[c]);
+        }
+        out += '\n';
+    };
+    emit_row(header_);
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+std::string strf(const char* fmt, ...) {
+    char buf[512];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+}  // namespace servet

@@ -1,0 +1,33 @@
+// Plain-text table printer used by every bench binary to emit the paper's
+// tables/figure series as aligned columns (easy to eyeball and to diff).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace servet {
+
+class TextTable {
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with columns padded to the widest cell, header underlined.
+    [[nodiscard]] std::string render() const;
+
+    /// Render as RFC-4180-style CSV (plot-ready): header row first, cells
+    /// quoted when they contain commas/quotes/newlines.
+    [[nodiscard]] std::string render_csv() const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper for composing cells.
+[[nodiscard]] std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace servet

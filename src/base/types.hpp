@@ -1,0 +1,63 @@
+// Fundamental vocabulary types shared by every Servet module.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace servet {
+
+/// Logical core identifier, as numbered by the OS (or by a machine model).
+/// The paper's central observation (Fig. 8) is that this numbering need not
+/// follow the physical layout, which is exactly why Servet exists.
+using CoreId = int;
+
+/// A byte count (array size, cache size, message size...).
+using Bytes = std::uint64_t;
+
+/// Simulated or measured cycle count.
+using Cycles = double;
+
+/// Seconds, for latency results.
+using Seconds = double;
+
+/// Bytes per second, for bandwidth results.
+using BytesPerSecond = double;
+
+/// An unordered pair of distinct cores, the unit of all pairwise probing
+/// (shared caches, memory contention, communication latency).
+struct CorePair {
+    CoreId a = 0;
+    CoreId b = 0;
+
+    /// Canonical form: a < b. Pairwise results never depend on order.
+    [[nodiscard]] constexpr CorePair canonical() const {
+        return a <= b ? CorePair{a, b} : CorePair{b, a};
+    }
+
+    friend constexpr bool operator==(const CorePair&, const CorePair&) = default;
+    friend constexpr auto operator<=>(const CorePair&, const CorePair&) = default;
+};
+
+/// All unordered pairs {i, j}, i < j < n_cores; the probe schedule used by
+/// every pairwise benchmark in the suite.
+[[nodiscard]] inline std::vector<CorePair> all_core_pairs(int n_cores) {
+    std::vector<CorePair> pairs;
+    if (n_cores > 1) pairs.reserve(static_cast<std::size_t>(n_cores) * static_cast<std::size_t>(n_cores - 1) / 2);
+    for (CoreId i = 0; i < n_cores; ++i)
+        for (CoreId j = i + 1; j < n_cores; ++j) pairs.push_back({i, j});
+    return pairs;
+}
+
+/// All pairs {0, j} — the subset the paper plots "for clarity purposes".
+[[nodiscard]] inline std::vector<CorePair> pairs_with_core0(int n_cores) {
+    std::vector<CorePair> pairs;
+    for (CoreId j = 1; j < n_cores; ++j) pairs.push_back({0, j});
+    return pairs;
+}
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+}  // namespace servet

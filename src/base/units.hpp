@@ -1,0 +1,27 @@
+// Byte-size parsing and human-readable formatting ("32KB", "12MB", "2.5GB").
+// Used by the CLI tools, the profile file format and every report printer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/types.hpp"
+
+namespace servet {
+
+/// Format a byte count the way the paper does: exact binary units where
+/// possible ("32KB", "12MB"), otherwise one decimal ("2.5MB").
+[[nodiscard]] std::string format_bytes(Bytes n);
+
+/// Parse "4096", "16K", "16KB", "16KiB", "3MB", "12m", "1.5GB" (case
+/// insensitive, binary units). Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Bytes> parse_bytes(std::string_view text);
+
+/// Format a bandwidth as "12.3 GB/s" / "820.0 MB/s".
+[[nodiscard]] std::string format_bandwidth(BytesPerSecond bps);
+
+/// Format a latency as "1.20 us" / "3.45 ms" / "120 ns".
+[[nodiscard]] std::string format_latency(Seconds s);
+
+}  // namespace servet

@@ -1,0 +1,34 @@
+#include "core/assoc_detect.hpp"
+
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace servet::core {
+
+std::optional<int> detect_l1_associativity(Platform& platform, Bytes l1_size,
+                                           const AssocDetectOptions& options) {
+    SERVET_CHECK(l1_size > 0 && options.max_ways >= 2);
+    SERVET_CHECK(options.passes > 0 && options.repeats > 0);
+
+    std::vector<Cycles> cycles;
+    cycles.reserve(static_cast<std::size_t>(options.max_ways));
+    for (int k = 1; k <= options.max_ways; ++k) {
+        Cycles total = 0;
+        for (int r = 0; r < options.repeats; ++r)
+            total += platform.traverse_cycles(options.core,
+                                              static_cast<Bytes>(k) * l1_size, l1_size,
+                                              options.passes, /*fresh_placement=*/true);
+        cycles.push_back(total / options.repeats);
+    }
+
+    // The step from "k ways fit" to "k+1 ways thrash" is the first large
+    // consecutive ratio; its left index is the associativity.
+    for (std::size_t k = 0; k + 1 < cycles.size(); ++k) {
+        if (cycles[k + 1] / cycles[k] > options.gradient_threshold)
+            return static_cast<int>(k) + 1;
+    }
+    return std::nullopt;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,32 @@
+// L1 associativity detection — an X-Ray-style parameter the paper leaves
+// to future work, measurable with the same traversal primitive. Probe:
+// walk k blocks spaced exactly one cache size apart (array of k*CS bytes
+// with stride CS). All k accesses collide in one set of the virtually
+// indexed L1, so they fit while k <= associativity and thrash (LRU,
+// cyclically) the moment k exceeds it: the cycles step identifies K
+// exactly. Lower, physically indexed levels see the k blocks on random
+// frames — spread across their sets — so the step is unmistakably L1's.
+#pragma once
+
+#include <optional>
+
+#include "base/types.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+struct AssocDetectOptions {
+    int max_ways = 32;
+    int passes = 4;
+    int repeats = 3;
+    /// Ratio of consecutive per-access costs that marks the thrash step.
+    double gradient_threshold = 1.5;
+    CoreId core = 0;
+};
+
+/// Detected associativity of the (virtually indexed) L1 of known size
+/// `l1_size`, or nullopt when no conflict step appears up to max_ways.
+[[nodiscard]] std::optional<int> detect_l1_associativity(
+    Platform& platform, Bytes l1_size, const AssocDetectOptions& options = {});
+
+}  // namespace servet::core

@@ -1,0 +1,134 @@
+#include "core/comm_costs.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.hpp"
+#include "base/log.hpp"
+#include "stats/cluster.hpp"
+
+namespace servet::core {
+
+namespace {
+std::vector<Bytes> default_sweep_sizes() {
+    std::vector<Bytes> sizes;
+    for (Bytes s = 1 * KiB; s <= 4 * MiB; s *= 2) sizes.push_back(s);
+    return sizes;
+}
+}  // namespace
+
+std::vector<CorePair> disjoint_pairs(const std::vector<CorePair>& pairs) {
+    std::vector<CorePair> result;
+    std::set<CoreId> used;
+    for (const CorePair& pair : pairs) {
+        if (used.contains(pair.a) || used.contains(pair.b)) continue;
+        used.insert(pair.a);
+        used.insert(pair.b);
+        result.push_back(pair);
+    }
+    return result;
+}
+
+Seconds CommCostsResult::estimate_latency(CorePair pair, Bytes size) const {
+    const int layer_index = layer_of(pair);
+    SERVET_CHECK_MSG(layer_index >= 0, "pair was not characterized");
+    const CommLayer& layer = layers[static_cast<std::size_t>(layer_index)];
+    SERVET_CHECK(!layer.p2p.empty());
+
+    const auto& curve = layer.p2p;  // sorted by size ascending
+    if (size <= curve.front().first) {
+        // Extrapolate below the sweep with the first point's effective
+        // per-byte cost anchored at the probe latency floor.
+        const double scale = static_cast<double>(size) / static_cast<double>(curve.front().first);
+        return curve.front().second * std::max(scale, 0.25);
+    }
+    if (size >= curve.back().first) {
+        // Extrapolate above the sweep at the last segment's bandwidth.
+        const auto& [s1, t1] = curve[curve.size() - 2];
+        const auto& [s2, t2] = curve.back();
+        const double per_byte = (t2 - t1) / static_cast<double>(s2 - s1);
+        return t2 + per_byte * static_cast<double>(size - s2);
+    }
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        if (size > curve[i].first) continue;
+        const auto& [s1, t1] = curve[i - 1];
+        const auto& [s2, t2] = curve[i];
+        const double f =
+            static_cast<double>(size - s1) / static_cast<double>(s2 - s1);
+        return t1 + f * (t2 - t1);
+    }
+    return curve.back().second;  // unreachable
+}
+
+int CommCostsResult::layer_of(CorePair pair) const {
+    const CorePair canonical = pair.canonical();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const auto& layer_pairs = layers[i].pairs;
+        if (std::find(layer_pairs.begin(), layer_pairs.end(), canonical) != layer_pairs.end())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+CommCostsResult characterize_communication(msg::Network& network,
+                                           const CommCostsOptions& options) {
+    const int n = network.endpoint_count();
+    SERVET_CHECK_MSG(n >= 2, "communication characterization needs at least two endpoints");
+    SERVET_CHECK(options.reps > 0 && options.max_concurrent >= 1);
+
+    CommCostsResult result;
+    result.probe_message = options.probe_message;
+
+    // Fig. 7: probe every pair, cluster similar latencies into layers.
+    const std::vector<CorePair> pairs = all_core_pairs(n);
+    stats::SimilarityClusterer clusterer(options.cluster_tolerance);
+    for (const CorePair& pair : pairs) {
+        const Seconds latency =
+            network.pingpong_latency(pair, options.probe_message, options.reps);
+        SERVET_CHECK(latency > 0);
+        clusterer.add(latency, result.pairs.size());
+        result.pairs.push_back({pair, latency});
+    }
+
+    for (const stats::Cluster& cluster : clusterer.clusters()) {
+        CommLayer layer;
+        layer.latency = cluster.representative;
+        for (std::size_t tag : cluster.members) layer.pairs.push_back(result.pairs[tag].pair);
+        layer.representative = layer.pairs.front();
+        result.layers.push_back(std::move(layer));
+    }
+    std::sort(result.layers.begin(), result.layers.end(),
+              [](const CommLayer& a, const CommLayer& b) { return a.latency < b.latency; });
+
+    // Per-layer micro-benchmark of the representative pair (Fig. 10c/d) and
+    // concurrent-message scalability (Fig. 10b).
+    const std::vector<Bytes> sweep =
+        options.sweep_sizes.empty() ? default_sweep_sizes() : options.sweep_sizes;
+    for (CommLayer& layer : result.layers) {
+        for (Bytes size : sweep)
+            layer.p2p.emplace_back(
+                size, network.pingpong_latency(layer.representative, size, options.reps));
+
+        const std::vector<CorePair> senders = disjoint_pairs(layer.pairs);
+        const Seconds isolated =
+            network.pingpong_latency(senders.front(), options.probe_message, options.reps);
+        const int max_n =
+            std::min<int>(options.max_concurrent, static_cast<int>(senders.size()));
+        for (int k = 1; k <= max_n; ++k) {
+            const std::vector<CorePair> active(senders.begin(), senders.begin() + k);
+            const std::vector<Seconds> latencies =
+                network.concurrent_latency(active, options.probe_message, options.reps);
+            // The paper reports how much slower one message gets with the
+            // others in flight: use the mean across active senders.
+            Seconds total = 0;
+            for (Seconds t : latencies) total += t;
+            layer.slowdown_by_n.push_back(total / (static_cast<double>(k) * isolated));
+        }
+    }
+
+    SERVET_LOG_INFO("comm-costs: %zu layers detected over %zu pairs", result.layers.size(),
+                    result.pairs.size());
+    return result;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,64 @@
+#include "core/comm_model.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "stats/linfit.hpp"
+
+namespace servet::core {
+
+HockneyModel fit_hockney(const std::vector<std::pair<Bytes, Seconds>>& points) {
+    SERVET_CHECK(points.size() >= 2);
+    std::vector<double> sizes, latencies;
+    sizes.reserve(points.size());
+    latencies.reserve(points.size());
+    for (const auto& [size, latency] : points) {
+        sizes.push_back(static_cast<double>(size));
+        latencies.push_back(latency);
+    }
+    const stats::LinearFit fit = stats::linear_fit(sizes, latencies);
+
+    HockneyModel model;
+    model.alpha = std::max(fit.intercept, 0.0);
+    model.bandwidth = fit.slope > 0 ? 1.0 / fit.slope : 1e18;
+    return model;
+}
+
+ModelError evaluate_model(const HockneyModel& model,
+                          const std::vector<std::pair<Bytes, Seconds>>& points) {
+    SERVET_CHECK(!points.empty());
+    ModelError error;
+    for (const auto& [size, latency] : points) {
+        SERVET_CHECK(latency > 0);
+        const double relative = std::abs(model.at(size) - latency) / latency;
+        error.mean_relative += relative;
+        error.max_relative = std::max(error.max_relative, relative);
+    }
+    error.mean_relative /= static_cast<double>(points.size());
+    return error;
+}
+
+ModelError evaluate_profile(const Profile& profile, CorePair pair,
+                            const std::vector<std::pair<Bytes, Seconds>>& points) {
+    SERVET_CHECK(!points.empty());
+    ModelError error;
+    for (const auto& [size, latency] : points) {
+        SERVET_CHECK(latency > 0);
+        const auto predicted = profile.comm_latency(pair, size);
+        SERVET_CHECK_MSG(predicted.has_value(), "pair not characterized by the profile");
+        const double relative = std::abs(*predicted - latency) / latency;
+        error.mean_relative += relative;
+        error.max_relative = std::max(error.max_relative, relative);
+    }
+    error.mean_relative /= static_cast<double>(points.size());
+    return error;
+}
+
+HockneyModel fit_hockney_global(const Profile& profile) {
+    std::vector<std::pair<Bytes, Seconds>> all_points;
+    for (const ProfileCommLayer& layer : profile.comm)
+        all_points.insert(all_points.end(), layer.p2p.begin(), layer.p2p.end());
+    return fit_hockney(all_points);
+}
+
+}  // namespace servet::core

@@ -1,0 +1,53 @@
+// Classical communication models, for comparison against Servet's layered
+// piecewise characterization. Section III-D: "Traditionally, the
+// characterization of the communication overhead has been done using
+// extensions either of the LogP model or of Hockney's linear model.
+// However, both of them show poor accuracy on current communication
+// middleware on multicore clusters" — because real middleware switches
+// protocols with message size and latency differs per layer. This module
+// fits those baselines so the claim can be quantified (see
+// bench_ablation_commmodel).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+#include "core/profile.hpp"
+
+namespace servet::core {
+
+/// Hockney's linear model: t(m) = alpha + m / bandwidth.
+struct HockneyModel {
+    Seconds alpha = 0;              ///< zero-byte latency
+    BytesPerSecond bandwidth = 1;   ///< asymptotic bandwidth (1/beta)
+
+    [[nodiscard]] Seconds at(Bytes m) const {
+        return alpha + static_cast<double>(m) / bandwidth;
+    }
+};
+
+/// Least-squares Hockney fit over (size, latency) points. Requires >= 2
+/// points with distinct sizes; a non-increasing fit (negative beta) is
+/// clamped to a huge bandwidth.
+[[nodiscard]] HockneyModel fit_hockney(const std::vector<std::pair<Bytes, Seconds>>& points);
+
+/// Prediction-error summary of a model against measured points.
+struct ModelError {
+    double mean_relative = 0;  ///< mean of |pred - meas| / meas
+    double max_relative = 0;
+};
+
+[[nodiscard]] ModelError evaluate_model(const HockneyModel& model,
+                                        const std::vector<std::pair<Bytes, Seconds>>& points);
+
+/// Relative error of the *profile's* layered piecewise lookup against
+/// measured points for a given pair (the Servet characterization).
+[[nodiscard]] ModelError evaluate_profile(const Profile& profile, CorePair pair,
+                                          const std::vector<std::pair<Bytes, Seconds>>& points);
+
+/// One Hockney model fit across every layer's sweep points at once — the
+/// "single model for the whole machine" usage the paper criticizes.
+[[nodiscard]] HockneyModel fit_hockney_global(const Profile& profile);
+
+}  // namespace servet::core

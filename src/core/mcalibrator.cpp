@@ -1,0 +1,51 @@
+#include "core/mcalibrator.hpp"
+
+#include "base/check.hpp"
+#include "base/log.hpp"
+#include "stats/gradient.hpp"
+
+namespace servet::core {
+
+std::vector<double> McalibratorCurve::gradient() const {
+    return stats::ratio_gradient(cycles);
+}
+
+std::vector<Bytes> mcalibrator_size_grid(Bytes min_size, Bytes max_size) {
+    SERVET_CHECK(min_size > 0 && min_size <= max_size);
+    std::vector<Bytes> grid;
+    Bytes i = min_size;
+    while (i <= max_size) {
+        grid.push_back(i);
+        if (i < 2 * MiB) {
+            i *= 2;
+        } else {
+            i += 1 * MiB;
+        }
+    }
+    return grid;
+}
+
+McalibratorCurve run_mcalibrator(Platform& platform, const McalibratorOptions& options) {
+    SERVET_CHECK(options.stride > 0 && options.passes > 0 && options.repeats > 0);
+    SERVET_CHECK(options.core >= 0 && options.core < platform.core_count());
+
+    McalibratorCurve curve;
+    curve.sizes = mcalibrator_size_grid(options.min_size, options.max_size);
+    curve.cycles.reserve(curve.sizes.size());
+    for (Bytes size : curve.sizes) {
+        Cycles total = 0;
+        for (int r = 0; r < options.repeats; ++r) {
+            const Cycles sample =
+                platform.traverse_cycles(options.core, size, options.stride, options.passes);
+            SERVET_CHECK_MSG(sample > 0, "traversal produced non-positive cycle count");
+            total += sample;
+        }
+        const Cycles c = total / options.repeats;
+        curve.cycles.push_back(c);
+        SERVET_LOG_DEBUG("mcalibrator: %llu bytes -> %.2f cycles/access",
+                         static_cast<unsigned long long>(size), c);
+    }
+    return curve;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,49 @@
+// mcalibrator (Fig. 1): the strided-traversal measurement every cache
+// benchmark in the suite builds on. It sweeps array sizes — doubling up to
+// 2MB, then stepping by 1MB — and records average cycles per access with a
+// 1KB stride. The stride choice is load-bearing (Section III-A): it is
+// larger than any hardware prefetcher's reach, larger than any line size,
+// and a divisor of any cache size, so misses start exactly when the array
+// overflows a cache.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+struct McalibratorOptions {
+    Bytes min_size = 4 * KiB;    ///< MIN_CACHE
+    Bytes max_size = 64 * MiB;   ///< MAX_CACHE
+    Bytes stride = 1 * KiB;
+    int passes = 3;              ///< measured passes per size
+    /// Independent measurements averaged per size. Each repeat allocates a
+    /// fresh array — a fresh random physical placement — so the averaged
+    /// miss rate of physically indexed levels converges to the binomial
+    /// expectation the Fig. 3 estimator fits (a single placement over few
+    /// page sets has large variance; Section III-A2).
+    int repeats = 4;
+    CoreId core = 0;
+};
+
+/// The S and C arrays of Fig. 1 plus their gradient (Fig. 2b).
+struct McalibratorCurve {
+    std::vector<Bytes> sizes;     ///< S: traversed array sizes
+    std::vector<Cycles> cycles;   ///< C: average cycles per access
+
+    /// C[k+1]/C[k] — the series the level detector scans for peaks.
+    [[nodiscard]] std::vector<double> gradient() const;
+
+    [[nodiscard]] std::size_t points() const { return sizes.size(); }
+};
+
+/// The size grid of Fig. 1: min, 2*min, ..., 2MB, 3MB, 4MB, ..., max.
+[[nodiscard]] std::vector<Bytes> mcalibrator_size_grid(Bytes min_size, Bytes max_size);
+
+/// Run the sweep on one core.
+[[nodiscard]] McalibratorCurve run_mcalibrator(Platform& platform,
+                                               const McalibratorOptions& options);
+
+}  // namespace servet::core

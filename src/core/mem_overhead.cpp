@@ -1,0 +1,84 @@
+#include "core/mem_overhead.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "base/log.hpp"
+#include "stats/cluster.hpp"
+#include "stats/unionfind.hpp"
+
+namespace servet::core {
+
+MemOverheadResult characterize_memory_overhead(Platform& platform,
+                                               const MemOverheadOptions& options) {
+    SERVET_CHECK(options.overhead_epsilon > 0 && options.overhead_epsilon < 1);
+    const int n_cores = platform.core_count();
+
+    MemOverheadResult result;
+    result.reference_bandwidth = platform.copy_bandwidth(0, options.array_bytes);
+    SERVET_CHECK(result.reference_bandwidth > 0);
+
+    std::vector<CorePair> pairs;
+    if (options.only_with_core >= 0) {
+        SERVET_CHECK(options.only_with_core < n_cores);
+        for (CoreId j = 0; j < n_cores; ++j)
+            if (j != options.only_with_core)
+                pairs.push_back(CorePair{options.only_with_core, j}.canonical());
+    } else {
+        pairs = all_core_pairs(n_cores);
+    }
+
+    // Fig. 6 main loop: measure each pair, keep those below the reference,
+    // and cluster similar overheads into tiers.
+    stats::SimilarityClusterer clusterer(options.cluster_tolerance);
+    std::vector<CorePair> clustered_pairs;  // tag -> pair, parallel to clusterer tags
+    const double cutoff = (1.0 - options.overhead_epsilon) * result.reference_bandwidth;
+    for (const CorePair& pair : pairs) {
+        const std::vector<BytesPerSecond> both =
+            platform.copy_bandwidth_concurrent({pair.a, pair.b}, options.array_bytes);
+        const BytesPerSecond b = both[0];
+        result.pairs.push_back({pair, b});
+        if (b < cutoff) {
+            clusterer.add(b, clustered_pairs.size());
+            clustered_pairs.push_back(pair);
+        }
+    }
+
+    for (const stats::Cluster& cluster : clusterer.clusters()) {
+        MemOverheadTier tier;
+        tier.bandwidth = cluster.representative;
+        for (std::size_t tag : cluster.members)
+            tier.pairs.push_back(clustered_pairs[tag]);
+        tier.groups = stats::groups_from_pairs(tier.pairs, n_cores);
+        result.tiers.push_back(std::move(tier));
+    }
+    // Report tiers worst-first, like the paper's discussion (bus before cell).
+    std::sort(result.tiers.begin(), result.tiers.end(),
+              [](const MemOverheadTier& a, const MemOverheadTier& b) {
+                  return a.bandwidth < b.bandwidth;
+              });
+
+    // Scalability (Fig. 9b): one representative group per tier is enough —
+    // all groups of a tier behave alike by construction.
+    for (std::size_t t = 0; t < result.tiers.size(); ++t) {
+        const MemOverheadTier& tier = result.tiers[t];
+        if (tier.groups.empty()) continue;
+        MemScalabilityCurve curve;
+        curve.tier = t;
+        curve.group = tier.groups.front();
+        for (std::size_t n = 1; n <= curve.group.size(); ++n) {
+            const std::vector<CoreId> active(curve.group.begin(),
+                                             curve.group.begin() + static_cast<std::ptrdiff_t>(n));
+            const std::vector<BytesPerSecond> bw =
+                platform.copy_bandwidth_concurrent(active, options.array_bytes);
+            curve.bandwidth_by_n.push_back(bw.front());
+        }
+        result.scalability.push_back(std::move(curve));
+    }
+
+    SERVET_LOG_INFO("mem-overhead: ref %.2f GB/s, %zu tiers", result.reference_bandwidth / 1e9,
+                    result.tiers.size());
+    return result;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,63 @@
+// Memory-access-overhead characterization (Fig. 6). Compares the STREAM-
+// style copy bandwidth of an isolated core (the reference) against the
+// bandwidth each core achieves while a second core streams concurrently.
+// Distinct overhead magnitudes are clustered into tiers (the BW/Pm arrays
+// of Fig. 6); connected components of each tier's pair list give the core
+// groups that collide on a shared resource; and per-tier scalability
+// curves measure effective bandwidth as more of a group's cores stream at
+// once — the "should autotuned code limit the number of cores touching
+// memory?" signal of Section III-C.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+struct MemOverheadOptions {
+    /// Copy-array size; must exceed the last-level cache so the copy
+    /// streams from memory (pass ~4x the detected LLC).
+    Bytes array_bytes = 64 * MiB;
+    /// Bandwidths below (1 - overhead_epsilon) * reference count as
+    /// overhead; the rest are "no particular overhead" (Fig. 9a cross-cell
+    /// pairs).
+    double overhead_epsilon = 0.05;
+    /// Relative tolerance for "b is similar to BW[i]" tier clustering.
+    double cluster_tolerance = 0.08;
+    /// Probe only pairs containing this core when >= 0; -1 probes all.
+    CoreId only_with_core = -1;
+};
+
+struct MemPairResult {
+    CorePair pair;
+    BytesPerSecond bandwidth = 0;  ///< first core's bandwidth, both streaming
+};
+
+/// One overhead magnitude and the pairs/groups that suffer it.
+struct MemOverheadTier {
+    BytesPerSecond bandwidth = 0;               ///< BW[i]: tier's mean bandwidth
+    std::vector<CorePair> pairs;                ///< Pm[i]
+    std::vector<std::vector<CoreId>> groups;    ///< connected components of Pm[i]
+};
+
+/// Effective bandwidth vs number of concurrently streaming cores, measured
+/// on one representative group of a tier (Fig. 9b).
+struct MemScalabilityCurve {
+    std::size_t tier = 0;
+    std::vector<CoreId> group;                  ///< the cores used
+    std::vector<BytesPerSecond> bandwidth_by_n; ///< index k: k+1 active cores
+};
+
+struct MemOverheadResult {
+    BytesPerSecond reference_bandwidth = 0;
+    std::vector<MemPairResult> pairs;           ///< every probed pair
+    std::vector<MemOverheadTier> tiers;         ///< n, BW, Pm of Fig. 6
+    std::vector<MemScalabilityCurve> scalability;
+};
+
+[[nodiscard]] MemOverheadResult characterize_memory_overhead(
+    Platform& platform, const MemOverheadOptions& options = {});
+
+}  // namespace servet::core

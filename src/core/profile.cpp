@@ -1,0 +1,555 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace servet::core {
+
+namespace {
+
+constexpr const char* kHeader = "servet-profile 1";
+
+std::string fmt_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);  // exact round-trip
+    return buf;
+}
+
+std::string fmt_groups(const std::vector<std::vector<CoreId>>& groups) {
+    std::string out;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g) out += ';';
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            if (i) out += ',';
+            out += std::to_string(groups[g][i]);
+        }
+    }
+    return out;
+}
+
+std::string fmt_pairs(const std::vector<CorePair>& pairs) {
+    std::string out;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (i) out += ';';
+        out += std::to_string(pairs[i].a) + '-' + std::to_string(pairs[i].b);
+    }
+    return out;
+}
+
+std::string fmt_curve(const std::vector<std::pair<Bytes, Seconds>>& curve) {
+    std::string out;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (i) out += ';';
+        out += std::to_string(curve[i].first) + ':' + fmt_double(curve[i].second);
+    }
+    return out;
+}
+
+std::string fmt_doubles(const std::vector<double>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ',';
+        out += fmt_double(values[i]);
+    }
+    return out;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::string token;
+    std::stringstream stream(text);
+    while (std::getline(stream, token, sep)) parts.push_back(token);
+    return parts;
+}
+
+std::string trim(const std::string& text) {
+    const auto begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    const auto end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+std::optional<double> parse_double(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    return v;
+}
+
+std::optional<long long> parse_int(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    return v;
+}
+
+std::optional<std::vector<std::vector<CoreId>>> parse_groups(const std::string& text) {
+    std::vector<std::vector<CoreId>> groups;
+    if (text.empty()) return groups;
+    for (const std::string& group_text : split(text, ';')) {
+        std::vector<CoreId> group;
+        for (const std::string& core_text : split(group_text, ',')) {
+            const auto core = parse_int(core_text);
+            if (!core) return std::nullopt;
+            group.push_back(static_cast<CoreId>(*core));
+        }
+        if (group.empty()) return std::nullopt;
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+std::optional<std::vector<CorePair>> parse_pairs(const std::string& text) {
+    std::vector<CorePair> pairs;
+    if (text.empty()) return pairs;
+    for (const std::string& pair_text : split(text, ';')) {
+        const auto dash = pair_text.find('-');
+        if (dash == std::string::npos) return std::nullopt;
+        const auto a = parse_int(pair_text.substr(0, dash));
+        const auto b = parse_int(pair_text.substr(dash + 1));
+        if (!a || !b) return std::nullopt;
+        pairs.push_back({static_cast<CoreId>(*a), static_cast<CoreId>(*b)});
+    }
+    return pairs;
+}
+
+std::optional<std::vector<std::pair<Bytes, Seconds>>> parse_curve(const std::string& text) {
+    std::vector<std::pair<Bytes, Seconds>> curve;
+    if (text.empty()) return curve;
+    for (const std::string& point_text : split(text, ';')) {
+        const auto colon = point_text.find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        const auto size = parse_int(point_text.substr(0, colon));
+        const auto latency = parse_double(point_text.substr(colon + 1));
+        if (!size || *size < 0 || !latency) return std::nullopt;
+        curve.emplace_back(static_cast<Bytes>(*size), *latency);
+    }
+    return curve;
+}
+
+std::optional<std::vector<double>> parse_doubles(const std::string& text) {
+    std::vector<double> values;
+    if (text.empty()) return values;
+    for (const std::string& value_text : split(text, ',')) {
+        const auto v = parse_double(value_text);
+        if (!v) return std::nullopt;
+        values.push_back(*v);
+    }
+    return values;
+}
+
+}  // namespace
+
+std::optional<Bytes> Profile::cache_size(std::size_t level) const {
+    if (level >= caches.size()) return std::nullopt;
+    return caches[level].size;
+}
+
+std::optional<Bytes> Profile::last_level_cache() const {
+    if (caches.empty()) return std::nullopt;
+    return caches.back().size;
+}
+
+bool Profile::shares_cache(std::size_t level, CorePair pair) const {
+    if (level >= caches.size()) return false;
+    for (const auto& group : caches[level].groups) {
+        const bool has_a = std::find(group.begin(), group.end(), pair.a) != group.end();
+        const bool has_b = std::find(group.begin(), group.end(), pair.b) != group.end();
+        if (has_a && has_b) return true;
+    }
+    return false;
+}
+
+int Profile::comm_layer_of(CorePair pair) const {
+    const CorePair canonical = pair.canonical();
+    for (std::size_t i = 0; i < comm.size(); ++i) {
+        if (std::find(comm[i].pairs.begin(), comm[i].pairs.end(), canonical) !=
+            comm[i].pairs.end())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::optional<Seconds> Profile::comm_latency(CorePair pair, Bytes size) const {
+    const int layer_index = comm_layer_of(pair);
+    if (layer_index < 0) return std::nullopt;
+    const auto& curve = comm[static_cast<std::size_t>(layer_index)].p2p;
+    if (curve.empty()) return std::nullopt;
+
+    if (size <= curve.front().first) {
+        const double scale =
+            static_cast<double>(size) / static_cast<double>(curve.front().first);
+        return curve.front().second * std::max(scale, 0.25);
+    }
+    if (size >= curve.back().first) {
+        if (curve.size() < 2) return curve.back().second;
+        const auto& [s1, t1] = curve[curve.size() - 2];
+        const auto& [s2, t2] = curve.back();
+        const double per_byte = (t2 - t1) / static_cast<double>(s2 - s1);
+        return t2 + per_byte * static_cast<double>(size - s2);
+    }
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        if (size > curve[i].first) continue;
+        const auto& [s1, t1] = curve[i - 1];
+        const auto& [s2, t2] = curve[i];
+        const double f = static_cast<double>(size - s1) / static_cast<double>(s2 - s1);
+        return t1 + f * (t2 - t1);
+    }
+    return curve.back().second;
+}
+
+int Profile::memory_tier_of(CorePair pair) const {
+    for (std::size_t t = 0; t < memory.tiers.size(); ++t) {
+        for (const auto& group : memory.tiers[t].groups) {
+            const bool has_a = std::find(group.begin(), group.end(), pair.a) != group.end();
+            const bool has_b = std::find(group.begin(), group.end(), pair.b) != group.end();
+            if (has_a && has_b) return static_cast<int>(t);
+        }
+    }
+    return -1;
+}
+
+std::optional<BytesPerSecond> Profile::memory_bandwidth_at(std::size_t tier, int n) const {
+    if (tier >= memory.tiers.size() || n < 1) return std::nullopt;
+    const auto& curve = memory.tiers[tier].scalability;
+    if (curve.empty()) return std::nullopt;
+    const std::size_t index =
+        std::min(static_cast<std::size_t>(n - 1), curve.size() - 1);
+    return curve[index];
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_groups(const std::vector<std::vector<CoreId>>& groups) {
+    std::string out = "[";
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g) out += ",";
+        out += "[";
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            if (i) out += ",";
+            out += std::to_string(groups[g][i]);
+        }
+        out += "]";
+    }
+    return out + "]";
+}
+
+std::string json_doubles(const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ",";
+        out += fmt_double(values[i]);
+    }
+    return out + "]";
+}
+
+}  // namespace
+
+std::string Profile::to_json() const {
+    std::string out;
+    out += "{\n";
+    out += "  \"machine\": \"";
+    out += json_escape(machine);
+    out += "\",\n";
+    out += "  \"cores\": ";
+    out += std::to_string(cores);
+    out += ",\n";
+    out += "  \"page_size\": ";
+    out += std::to_string(page_size);
+    out += ",\n";
+
+    out += "  \"caches\": [";
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+        if (i) out += ",";
+        out += "\n    {\"size\": ";
+        out += std::to_string(caches[i].size);
+        out += ", \"method\": \"";
+        out += json_escape(caches[i].method);
+        out += "\", \"groups\": ";
+        out += json_groups(caches[i].groups);
+        out += "}";
+    }
+    out += caches.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"memory\": {\"reference_bandwidth\": ";
+    out += fmt_double(memory.reference_bandwidth);
+    out += ", \"tiers\": [";
+    for (std::size_t t = 0; t < memory.tiers.size(); ++t) {
+        const auto& tier = memory.tiers[t];
+        if (t) out += ",";
+        out += "\n    {\"bandwidth\": ";
+        out += fmt_double(tier.bandwidth);
+        out += ", \"groups\": ";
+        out += json_groups(tier.groups);
+        out += ", \"scalability\": ";
+        out += json_doubles(tier.scalability);
+        out += "}";
+    }
+    out += memory.tiers.empty() ? "]},\n" : "\n  ]},\n";
+
+    out += "  \"comm_layers\": [";
+    for (std::size_t l = 0; l < comm.size(); ++l) {
+        const auto& layer = comm[l];
+        if (l) out += ",";
+        out += "\n    {\"latency\": ";
+        out += fmt_double(layer.latency);
+        out += ", \"pairs\": [";
+        for (std::size_t p = 0; p < layer.pairs.size(); ++p) {
+            if (p) out += ",";
+            out += "[";
+            out += std::to_string(layer.pairs[p].a);
+            out += ",";
+            out += std::to_string(layer.pairs[p].b);
+            out += "]";
+        }
+        out += "], \"p2p\": [";
+        for (std::size_t p = 0; p < layer.p2p.size(); ++p) {
+            if (p) out += ",";
+            out += "[";
+            out += std::to_string(layer.p2p[p].first);
+            out += ",";
+            out += fmt_double(layer.p2p[p].second);
+            out += "]";
+        }
+        out += "], \"slowdown\": ";
+        out += json_doubles(layer.slowdown);
+        out += "}";
+    }
+    out += comm.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"phase_seconds\": {";
+    std::size_t index = 0;
+    for (const auto& [phase, seconds] : phase_seconds) {
+        if (index++) out += ", ";
+        out += "\"";
+        out += json_escape(phase);
+        out += "\": ";
+        out += fmt_double(seconds);
+    }
+    out += "}\n}\n";
+    return out;
+}
+
+std::string Profile::serialize() const {
+    std::string out;
+    out += kHeader;
+    out += '\n';
+    out += "machine = " + machine + '\n';
+    out += "cores = " + std::to_string(cores) + '\n';
+    out += "page_size = " + std::to_string(page_size) + '\n';
+
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+        out += "\n[cache " + std::to_string(i) + "]\n";
+        out += "size = " + std::to_string(caches[i].size) + '\n';
+        out += "method = " + caches[i].method + '\n';
+        out += "groups = " + fmt_groups(caches[i].groups) + '\n';
+    }
+
+    out += "\n[memory]\n";
+    out += "reference = " + fmt_double(memory.reference_bandwidth) + '\n';
+    for (std::size_t i = 0; i < memory.tiers.size(); ++i) {
+        out += "\n[memory-tier " + std::to_string(i) + "]\n";
+        out += "bandwidth = " + fmt_double(memory.tiers[i].bandwidth) + '\n';
+        out += "groups = " + fmt_groups(memory.tiers[i].groups) + '\n';
+        out += "scalability = " + fmt_doubles(memory.tiers[i].scalability) + '\n';
+    }
+
+    for (std::size_t i = 0; i < comm.size(); ++i) {
+        out += "\n[comm-layer " + std::to_string(i) + "]\n";
+        out += "latency = " + fmt_double(comm[i].latency) + '\n';
+        out += "pairs = " + fmt_pairs(comm[i].pairs) + '\n';
+        out += "p2p = " + fmt_curve(comm[i].p2p) + '\n';
+        out += "slowdown = " + fmt_doubles(comm[i].slowdown) + '\n';
+    }
+
+    if (!phase_seconds.empty()) {
+        out += "\n[timing]\n";
+        for (const auto& [phase, seconds] : phase_seconds)
+            out += phase + " = " + fmt_double(seconds) + '\n';
+    }
+    return out;
+}
+
+std::optional<Profile> Profile::parse(const std::string& text) {
+    std::stringstream stream(text);
+    std::string line;
+    if (!std::getline(stream, line) || trim(line) != kHeader) return std::nullopt;
+
+    Profile profile;
+    enum class Section { Top, Cache, Memory, MemoryTier, CommLayer, Timing };
+    Section section = Section::Top;
+
+    while (std::getline(stream, line)) {
+        line = trim(line);
+        if (line.empty() || line.front() == '#') continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']') return std::nullopt;
+            const std::string name = trim(line.substr(1, line.size() - 2));
+            if (name.starts_with("cache ")) {
+                section = Section::Cache;
+                profile.caches.emplace_back();
+            } else if (name == "memory") {
+                section = Section::Memory;
+            } else if (name.starts_with("memory-tier ")) {
+                section = Section::MemoryTier;
+                profile.memory.tiers.emplace_back();
+            } else if (name.starts_with("comm-layer ")) {
+                section = Section::CommLayer;
+                profile.comm.emplace_back();
+            } else if (name == "timing") {
+                section = Section::Timing;
+            } else {
+                return std::nullopt;
+            }
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) return std::nullopt;
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        const auto fail = [] { return std::optional<Profile>{}; };
+        switch (section) {
+            case Section::Top: {
+                if (key == "machine") {
+                    profile.machine = value;
+                } else if (key == "cores") {
+                    const auto v = parse_int(value);
+                    if (!v) return fail();
+                    profile.cores = static_cast<int>(*v);
+                } else if (key == "page_size") {
+                    const auto v = parse_int(value);
+                    if (!v || *v < 0) return fail();
+                    profile.page_size = static_cast<Bytes>(*v);
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::Cache: {
+                ProfileCacheLevel& cache = profile.caches.back();
+                if (key == "size") {
+                    const auto v = parse_int(value);
+                    if (!v || *v < 0) return fail();
+                    cache.size = static_cast<Bytes>(*v);
+                } else if (key == "method") {
+                    cache.method = value;
+                } else if (key == "groups") {
+                    const auto v = parse_groups(value);
+                    if (!v) return fail();
+                    cache.groups = *v;
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::Memory: {
+                if (key == "reference") {
+                    const auto v = parse_double(value);
+                    if (!v) return fail();
+                    profile.memory.reference_bandwidth = *v;
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::MemoryTier: {
+                ProfileMemoryTier& tier = profile.memory.tiers.back();
+                if (key == "bandwidth") {
+                    const auto v = parse_double(value);
+                    if (!v) return fail();
+                    tier.bandwidth = *v;
+                } else if (key == "groups") {
+                    const auto v = parse_groups(value);
+                    if (!v) return fail();
+                    tier.groups = *v;
+                } else if (key == "scalability") {
+                    const auto v = parse_doubles(value);
+                    if (!v) return fail();
+                    tier.scalability = *v;
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::CommLayer: {
+                ProfileCommLayer& layer = profile.comm.back();
+                if (key == "latency") {
+                    const auto v = parse_double(value);
+                    if (!v) return fail();
+                    layer.latency = *v;
+                } else if (key == "pairs") {
+                    const auto v = parse_pairs(value);
+                    if (!v) return fail();
+                    layer.pairs = *v;
+                } else if (key == "p2p") {
+                    const auto v = parse_curve(value);
+                    if (!v) return fail();
+                    layer.p2p = *v;
+                } else if (key == "slowdown") {
+                    const auto v = parse_doubles(value);
+                    if (!v) return fail();
+                    layer.slowdown = *v;
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::Timing: {
+                const auto v = parse_double(value);
+                if (!v) return fail();
+                profile.phase_seconds[key] = *v;
+                break;
+            }
+        }
+    }
+    return profile;
+}
+
+bool Profile::save(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << serialize();
+    return static_cast<bool>(out);
+}
+
+std::optional<Profile> Profile::load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+}  // namespace servet::core

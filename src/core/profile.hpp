@@ -1,0 +1,107 @@
+// The Servet profile: everything the suite learned about a machine, in a
+// plain-text format. Section IV-E: the benchmarks "must be run only once
+// at installation time ... the information obtained can be stored in a
+// file to be consulted by the applications to guide optimizations". This
+// is that file, plus the query helpers autotuned codes need (message cost
+// lookup, cache sizes, contention groups).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::core {
+
+struct ProfileCacheLevel {
+    Bytes size = 0;
+    std::string method;                       ///< "peak" or "probabilistic"
+    std::vector<std::vector<CoreId>> groups;  ///< cores per shared instance; empty = private
+
+    friend bool operator==(const ProfileCacheLevel&, const ProfileCacheLevel&) = default;
+};
+
+struct ProfileMemoryTier {
+    BytesPerSecond bandwidth = 0;
+    std::vector<std::vector<CoreId>> groups;
+    std::vector<BytesPerSecond> scalability;  ///< index k: k+1 concurrent cores
+
+    friend bool operator==(const ProfileMemoryTier&, const ProfileMemoryTier&) = default;
+};
+
+struct ProfileMemory {
+    BytesPerSecond reference_bandwidth = 0;
+    std::vector<ProfileMemoryTier> tiers;
+
+    friend bool operator==(const ProfileMemory&, const ProfileMemory&) = default;
+};
+
+struct ProfileCommLayer {
+    Seconds latency = 0;
+    std::vector<CorePair> pairs;
+    std::vector<std::pair<Bytes, Seconds>> p2p;  ///< size -> one-way latency
+    std::vector<double> slowdown;                ///< index k: k+1 concurrent messages
+
+    friend bool operator==(const ProfileCommLayer&, const ProfileCommLayer&) = default;
+};
+
+class Profile {
+  public:
+    std::string machine;
+    int cores = 0;
+    Bytes page_size = 0;
+    std::vector<ProfileCacheLevel> caches;
+    ProfileMemory memory;
+    std::vector<ProfileCommLayer> comm;
+    /// Wall-clock per benchmark phase (the Table I rows).
+    std::map<std::string, Seconds> phase_seconds;
+
+    // ---- queries used by the autotune consumers ----
+
+    /// Size of cache level `level` (0 = L1), nullopt when not detected.
+    [[nodiscard]] std::optional<Bytes> cache_size(std::size_t level) const;
+
+    /// Largest detected cache size (the LLC).
+    [[nodiscard]] std::optional<Bytes> last_level_cache() const;
+
+    /// True iff the pair shares the cache at `level`.
+    [[nodiscard]] bool shares_cache(std::size_t level, CorePair pair) const;
+
+    /// Comm layer index of the pair, or -1 when uncharacterized.
+    [[nodiscard]] int comm_layer_of(CorePair pair) const;
+
+    /// Estimated one-way latency between the pair for a `size`-byte
+    /// message, interpolated from the stored per-layer curve.
+    [[nodiscard]] std::optional<Seconds> comm_latency(CorePair pair, Bytes size) const;
+
+    /// Memory tier index whose groups contain both cores (i.e. the pair
+    /// collides on a shared memory resource), or -1.
+    [[nodiscard]] int memory_tier_of(CorePair pair) const;
+
+    /// Effective per-core bandwidth when `n` cores of tier `tier`'s first
+    /// group stream concurrently (clamped to the measured curve).
+    [[nodiscard]] std::optional<BytesPerSecond> memory_bandwidth_at(std::size_t tier,
+                                                                    int n) const;
+
+    // ---- serialization ----
+
+    /// One-way JSON export for interop with external tooling (plotters,
+    /// dashboards). The authoritative round-trip format remains the native
+    /// text one (serialize/parse); JSON is emit-only by design.
+    [[nodiscard]] std::string to_json() const;
+
+    [[nodiscard]] std::string serialize() const;
+    [[nodiscard]] static std::optional<Profile> parse(const std::string& text);
+
+    /// Write to / read from a file. Returns false / nullopt on I/O or
+    /// parse failure.
+    [[nodiscard]] bool save(const std::string& path) const;
+    [[nodiscard]] static std::optional<Profile> load(const std::string& path);
+
+    friend bool operator==(const Profile&, const Profile&) = default;
+};
+
+}  // namespace servet::core

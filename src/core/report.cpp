@@ -1,0 +1,158 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+
+namespace servet::core {
+
+namespace {
+
+std::string group_text(const std::vector<std::vector<CoreId>>& groups) {
+    if (groups.empty()) return "private";
+    std::string out;
+    for (const auto& group : groups) {
+        out += "{";
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            if (i) out += ",";
+            out += std::to_string(group[i]);
+        }
+        out += "} ";
+    }
+    if (!out.empty()) out.pop_back();
+    return out;
+}
+
+std::string doubles_text(const std::vector<double>& values, double scale,
+                         const char* format) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ", ";
+        out += strf(format, values[i] * scale);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string render_markdown(const Profile& profile) {
+    std::string out;
+    out += "# Servet hardware report: " + profile.machine + "\n\n";
+    out += strf("%d cores, %s pages.\n\n", profile.cores,
+                format_bytes(profile.page_size).c_str());
+
+    out += "## Cache hierarchy\n\n";
+    out += "| level | size | detected via | shared by |\n";
+    out += "|---|---|---|---|\n";
+    for (std::size_t i = 0; i < profile.caches.size(); ++i) {
+        const auto& cache = profile.caches[i];
+        out += strf("| L%zu | %s | %s | %s |\n", i + 1, format_bytes(cache.size).c_str(),
+                    cache.method.c_str(), group_text(cache.groups).c_str());
+    }
+
+    out += "\n## Memory\n\n";
+    out += strf("Isolated-core copy bandwidth: %s.\n",
+                format_bandwidth(profile.memory.reference_bandwidth).c_str());
+    for (std::size_t t = 0; t < profile.memory.tiers.size(); ++t) {
+        const auto& tier = profile.memory.tiers[t];
+        out += strf("\n* tier %zu — %s per core under pairwise collision; groups %s", t,
+                    format_bandwidth(tier.bandwidth).c_str(),
+                    group_text(tier.groups).c_str());
+        if (!tier.scalability.empty())
+            out += strf("; per-core bandwidth by concurrent streamers (GB/s): %s",
+                        doubles_text(tier.scalability, 1e-9, "%.2f").c_str());
+        out += "\n";
+    }
+
+    if (!profile.comm.empty()) {
+        out += "\n## Communication layers (fastest first)\n\n";
+        out += "| layer | probe latency | pairs | max slowdown |\n";
+        out += "|---|---|---|---|\n";
+        for (std::size_t l = 0; l < profile.comm.size(); ++l) {
+            const auto& layer = profile.comm[l];
+            out += strf("| %zu | %s | %zu | %s |\n", l,
+                        format_latency(layer.latency).c_str(), layer.pairs.size(),
+                        layer.slowdown.empty()
+                            ? "-"
+                            : strf("%.1fx @ %zu msgs", layer.slowdown.back(),
+                                   layer.slowdown.size())
+                                  .c_str());
+        }
+    }
+
+    if (!profile.phase_seconds.empty()) {
+        out += "\n## Suite execution times\n\n";
+        for (const auto& [phase, seconds] : profile.phase_seconds)
+            out += strf("* %s: %.1f s\n", phase.c_str(), seconds);
+    }
+    return out;
+}
+
+namespace {
+
+/// Emit cores of `members` grouped by the sharing groups of cache level
+/// `level` (descending recursion); cores not covered by any group at this
+/// level fall through to the next one.
+void emit_level(std::string& out, const Profile& profile, int level,
+                const std::vector<CoreId>& members, int& cluster_id) {
+    if (level < 0) {
+        for (CoreId core : members) out += strf("    c%d [label=\"core %d\"];\n", core, core);
+        return;
+    }
+    const auto& groups = profile.caches[static_cast<std::size_t>(level)].groups;
+    std::set<CoreId> covered;
+    for (const auto& group : groups) {
+        std::vector<CoreId> inside;
+        for (CoreId core : group)
+            if (std::find(members.begin(), members.end(), core) != members.end())
+                inside.push_back(core);
+        if (inside.empty()) continue;
+        for (CoreId core : inside) covered.insert(core);
+        out += strf("  subgraph cluster_%d {\n", cluster_id++);
+        out += strf("    label=\"L%d %s\";\n", level + 1,
+                    format_bytes(profile.caches[static_cast<std::size_t>(level)].size)
+                        .c_str());
+        emit_level(out, profile, level - 1, inside, cluster_id);
+        out += "  }\n";
+    }
+    std::vector<CoreId> rest;
+    for (CoreId core : members)
+        if (!covered.contains(core)) rest.push_back(core);
+    if (!rest.empty()) emit_level(out, profile, level - 1, rest, cluster_id);
+}
+
+}  // namespace
+
+std::string render_dot(const Profile& profile) {
+    std::string out = "digraph servet {\n";
+    out += strf("  label=\"%s (measured topology)\";\n", profile.machine.c_str());
+    out += "  node [shape=box];\n";
+
+    std::vector<CoreId> all;
+    for (CoreId core = 0; core < profile.cores; ++core) all.push_back(core);
+    int cluster_id = 0;
+    emit_level(out, profile, static_cast<int>(profile.caches.size()) - 1, all, cluster_id);
+
+    // One representative edge per comm layer.
+    for (std::size_t l = 0; l < profile.comm.size(); ++l) {
+        const auto& layer = profile.comm[l];
+        if (layer.pairs.empty()) continue;
+        const CorePair pair = layer.pairs.front();
+        out += strf("  c%d -> c%d [dir=none, label=\"layer %zu: %s\", style=%s];\n",
+                    pair.a, pair.b, l, format_latency(layer.latency).c_str(),
+                    l + 1 == profile.comm.size() ? "dashed" : "solid");
+    }
+
+    // Memory tiers as legend notes (clusters already encode cache sharing).
+    for (std::size_t t = 0; t < profile.memory.tiers.size(); ++t) {
+        out += strf("  mem_tier_%zu [shape=note, label=\"memory tier %zu: %s\\ngroups %s\"];\n",
+                    t, t, format_bandwidth(profile.memory.tiers[t].bandwidth).c_str(),
+                    group_text(profile.memory.tiers[t].groups).c_str());
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace servet::core

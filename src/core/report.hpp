@@ -1,0 +1,27 @@
+// Report rendering: turn a Profile into human-facing artifacts — a
+// markdown hardware report (the install-time document an administrator
+// files next to the profile) and a Graphviz topology graph whose clusters
+// are the *measured* sharing/contention groups rather than anything read
+// from documentation. Both are pure functions of the profile, so they are
+// unit-testable and identical across the tool, the examples and any
+// downstream use.
+#pragma once
+
+#include <string>
+
+#include "core/profile.hpp"
+
+namespace servet::core {
+
+/// Full markdown report: machine summary, cache hierarchy table, memory
+/// tiers with scalability, communication layers, suite timings, and the
+/// derived advice (core throttling per tier).
+[[nodiscard]] std::string render_markdown(const Profile& profile);
+
+/// Graphviz (dot) topology: one node per core; nested clusters for each
+/// cache level's sharing groups (innermost = lowest shared level); dashed
+/// super-clusters for memory contention groups; edges between group
+/// representatives labelled with the measured layer latencies.
+[[nodiscard]] std::string render_dot(const Profile& profile);
+
+}  // namespace servet::core

@@ -1,0 +1,77 @@
+#include "core/shared_cache.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "base/log.hpp"
+#include "stats/unionfind.hpp"
+
+namespace servet::core {
+
+namespace {
+/// (2/3)*CS rounded down to a whole number of strides ("a little larger
+/// than CS/2": two arrays cannot share the cache, one fits comfortably).
+Bytes probe_array_bytes(Bytes cache_size, Bytes stride) {
+    Bytes bytes = cache_size * 2 / 3;
+    bytes -= bytes % stride;
+    return std::max(bytes, stride);
+}
+}  // namespace
+
+std::vector<SharedCacheLevelResult> detect_shared_caches(Platform& platform,
+                                                         const std::vector<Bytes>& cache_sizes,
+                                                         const SharedCacheOptions& options) {
+    SERVET_CHECK(options.ratio_threshold > 1.0);
+    const int n_cores = platform.core_count();
+    std::vector<CorePair> pairs;
+    if (options.only_with_core >= 0) {
+        SERVET_CHECK(options.only_with_core < n_cores);
+        for (CoreId j = 0; j < n_cores; ++j)
+            if (j != options.only_with_core)
+                pairs.push_back(CorePair{options.only_with_core, j}.canonical());
+    } else {
+        pairs = all_core_pairs(n_cores);
+    }
+
+    std::vector<SharedCacheLevelResult> results;
+    results.reserve(cache_sizes.size());
+    for (Bytes cache_size : cache_sizes) {
+        SharedCacheLevelResult level;
+        level.cache_size = cache_size;
+        level.array_bytes = probe_array_bytes(cache_size, options.stride);
+
+        // Per-core solo references over static buffers (lazy: only cores
+        // that appear in a probed pair get one).
+        std::vector<Cycles> reference(static_cast<std::size_t>(n_cores), 0.0);
+        const auto ref_of = [&](CoreId core) -> Cycles {
+            Cycles& slot = reference[static_cast<std::size_t>(core)];
+            if (slot == 0.0) {
+                slot = platform.traverse_cycles(core, level.array_bytes, options.stride,
+                                                options.passes, /*fresh_placement=*/false);
+                SERVET_CHECK(slot > 0);
+            }
+            return slot;
+        };
+        level.reference_cycles = ref_of(0);
+
+        for (const CorePair& pair : pairs) {
+            const std::vector<Cycles> concurrent = platform.traverse_cycles_concurrent(
+                {pair.a, pair.b}, level.array_bytes, options.stride, options.passes,
+                /*fresh_placement=*/false);
+            // Either member thrashing marks the cache shared; use the worse
+            // of the two per-core ratios.
+            const double ratio =
+                std::max(concurrent[0] / ref_of(pair.a), concurrent[1] / ref_of(pair.b));
+            level.pairs.push_back({pair, ratio});
+            if (ratio > options.ratio_threshold) level.sharing_pairs.push_back(pair);
+        }
+        level.groups = stats::groups_from_pairs(level.sharing_pairs, n_cores);
+        SERVET_LOG_INFO("shared-cache: size %llu -> %zu sharing pairs, %zu groups",
+                        static_cast<unsigned long long>(cache_size),
+                        level.sharing_pairs.size(), level.groups.size());
+        results.push_back(std::move(level));
+    }
+    return results;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,56 @@
+// Shared-cache determination (Fig. 5). For each detected cache level, a
+// reference traversal of a (2/3)*CS array runs on one isolated core; then
+// every core pair runs the same traversal concurrently. Two such arrays
+// cannot coexist in one cache of size CS, so pairs served by the same
+// physical cache thrash each other and their cycle count at least doubles
+// (ratio > 2); pairs with private caches stay near the reference.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+struct SharedCacheOptions {
+    Bytes stride = 1 * KiB;
+    int passes = 3;
+    /// The paper's sharing criterion: concurrent/reference cycle ratio
+    /// above which a pair is declared to share the cache.
+    double ratio_threshold = 2.0;
+    /// Probe only pairs containing this core when >= 0 (the paper's Fig. 8
+    /// plots pairs with core 0); -1 probes all pairs.
+    CoreId only_with_core = -1;
+};
+
+struct SharedCachePairResult {
+    CorePair pair;
+    double ratio = 1.0;  ///< max over the pair of concurrent/reference cycles
+};
+
+/// Results for one cache level.
+struct SharedCacheLevelResult {
+    Bytes cache_size = 0;
+    Bytes array_bytes = 0;                        ///< the (2/3)*CS probe size
+    Cycles reference_cycles = 0;                  ///< core 0's solo cycles
+    std::vector<SharedCachePairResult> pairs;     ///< every probed pair
+    std::vector<CorePair> sharing_pairs;          ///< Psc: ratio > threshold
+    std::vector<std::vector<CoreId>> groups;      ///< cores per cache instance
+};
+
+/// Run the Fig. 5 benchmark for each cache size in `cache_sizes`
+/// (typically the detect_cache_levels output). Groups are derived from the
+/// sharing pairs by connected components.
+///
+/// Robustness refinement over the paper's pseudocode (see DESIGN.md): the
+/// reference is measured per core rather than once, and each probe reuses
+/// a statically placed buffer, so a physically indexed cache's placement
+/// luck appears identically in a core's reference and concurrent runs and
+/// cancels out of the ratio. The paper's single static allocation gets the
+/// same cancellation implicitly.
+[[nodiscard]] std::vector<SharedCacheLevelResult> detect_shared_caches(
+    Platform& platform, const std::vector<Bytes>& cache_sizes,
+    const SharedCacheOptions& options = {});
+
+}  // namespace servet::core

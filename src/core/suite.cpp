@@ -1,0 +1,118 @@
+#include "core/suite.hpp"
+
+#include <chrono>
+
+#include "base/check.hpp"
+#include "base/log.hpp"
+
+namespace servet::core {
+
+namespace {
+class PhaseTimer {
+  public:
+    explicit PhaseTimer(std::map<std::string, Seconds>& sink) : sink_(&sink) {}
+
+    template <typename F>
+    auto time(const std::string& phase, F&& body) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = body();
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        (*sink_)[phase] =
+            std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+        return result;
+    }
+
+  private:
+    std::map<std::string, Seconds>* sink_;
+};
+}  // namespace
+
+Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
+                                Bytes page_size) const {
+    Profile profile;
+    profile.machine = machine_name;
+    profile.cores = cores;
+    profile.page_size = page_size;
+
+    for (std::size_t i = 0; i < cache_levels.size(); ++i) {
+        ProfileCacheLevel cache;
+        cache.size = cache_levels[i].size;
+        cache.method = cache_levels[i].method;
+        if (has_shared_caches && i < shared_caches.size())
+            cache.groups = shared_caches[i].groups;
+        profile.caches.push_back(std::move(cache));
+    }
+
+    if (has_mem_overhead) {
+        profile.memory.reference_bandwidth = mem_overhead.reference_bandwidth;
+        for (std::size_t t = 0; t < mem_overhead.tiers.size(); ++t) {
+            ProfileMemoryTier tier;
+            tier.bandwidth = mem_overhead.tiers[t].bandwidth;
+            tier.groups = mem_overhead.tiers[t].groups;
+            for (const MemScalabilityCurve& scal : mem_overhead.scalability) {
+                if (scal.tier == t) tier.scalability = scal.bandwidth_by_n;
+            }
+            profile.memory.tiers.push_back(std::move(tier));
+        }
+    }
+
+    if (has_comm) {
+        for (const CommLayer& layer : comm.layers) {
+            ProfileCommLayer out;
+            out.latency = layer.latency;
+            out.pairs = layer.pairs;
+            out.p2p = layer.p2p;
+            out.slowdown = layer.slowdown_by_n;
+            profile.comm.push_back(std::move(out));
+        }
+    }
+
+    profile.phase_seconds = phase_seconds;
+    return profile;
+}
+
+SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions options) {
+    SuiteResult result;
+    PhaseTimer timer(result.phase_seconds);
+
+    // Phase 1: cache size estimate (Section III-A).
+    options.detect.page_size = platform.page_size();
+    result.curve = timer.time("cache_size", [&] {
+        return run_mcalibrator(platform, options.mcalibrator);
+    });
+    result.cache_levels = detect_cache_levels(result.curve, options.detect);
+    SERVET_LOG_INFO("suite: detected %zu cache levels", result.cache_levels.size());
+
+    std::vector<Bytes> sizes;
+    for (const CacheLevelEstimate& level : result.cache_levels) sizes.push_back(level.size);
+
+    // Phase 2: shared caches (Section III-B) — needs at least two cores.
+    if (options.run_shared_cache && platform.core_count() > 1 && !sizes.empty()) {
+        result.shared_caches = timer.time("shared_caches", [&] {
+            return detect_shared_caches(platform, sizes, options.shared_cache);
+        });
+        result.has_shared_caches = true;
+    }
+
+    // Phase 3: memory access overhead (Section III-C); arrays must stream
+    // past the LLC.
+    if (options.run_mem_overhead && platform.core_count() > 1) {
+        if (!sizes.empty()) options.mem_overhead.array_bytes = 4 * sizes.back();
+        result.mem_overhead = timer.time("mem_overhead", [&] {
+            return characterize_memory_overhead(platform, options.mem_overhead);
+        });
+        result.has_mem_overhead = true;
+    }
+
+    // Phase 4: communication costs (Section III-D); probe with the L1 size.
+    if (options.run_comm && network != nullptr && network->endpoint_count() > 1) {
+        if (!sizes.empty()) options.comm.probe_message = sizes.front();
+        result.comm = timer.time("comm_costs", [&] {
+            return characterize_communication(*network, options.comm);
+        });
+        result.has_comm = true;
+    }
+    return result;
+}
+
+}  // namespace servet::core

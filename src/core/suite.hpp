@@ -1,0 +1,53 @@
+// Suite driver: runs the four benchmarks in dependency order (cache sizes
+// feed the shared-cache probe, the LLC sizes the memory arrays, the L1
+// size the comm probe message), times each phase like Table I, and folds
+// everything into a Profile.
+#pragma once
+
+#include <memory>
+
+#include "core/cache_size.hpp"
+#include "core/comm_costs.hpp"
+#include "core/mcalibrator.hpp"
+#include "core/mem_overhead.hpp"
+#include "core/profile.hpp"
+#include "core/shared_cache.hpp"
+#include "msg/network.hpp"
+
+namespace servet::core {
+
+struct SuiteOptions {
+    McalibratorOptions mcalibrator;
+    CacheDetectOptions detect;
+    SharedCacheOptions shared_cache;
+    MemOverheadOptions mem_overhead;
+    CommCostsOptions comm;
+    /// Skip phases (a unicore machine has no pairs to probe; a node
+    /// without a network skips comm).
+    bool run_shared_cache = true;
+    bool run_mem_overhead = true;
+    bool run_comm = true;
+};
+
+struct SuiteResult {
+    McalibratorCurve curve;
+    std::vector<CacheLevelEstimate> cache_levels;
+    std::vector<SharedCacheLevelResult> shared_caches;
+    MemOverheadResult mem_overhead;
+    CommCostsResult comm;
+    bool has_shared_caches = false;
+    bool has_mem_overhead = false;
+    bool has_comm = false;
+    std::map<std::string, Seconds> phase_seconds;  ///< Table I rows
+
+    /// Aggregate into the installable profile file.
+    [[nodiscard]] Profile to_profile(const std::string& machine_name, int cores,
+                                     Bytes page_size) const;
+};
+
+/// Run the full suite. `network` may be null (comm phase is skipped); on
+/// single-core platforms the pairwise phases skip themselves.
+[[nodiscard]] SuiteResult run_suite(Platform& platform, msg::Network* network,
+                                    SuiteOptions options = {});
+
+}  // namespace servet::core

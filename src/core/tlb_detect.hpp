@@ -1,0 +1,57 @@
+// TLB-reach detection — an extension beyond the paper's parameter set.
+// Servet's 1KB probe stride touches several elements per page, so on
+// machines with costly page walks the TLB-reach crossing bleeds into the
+// cache-size sweep (the ablation bench demonstrates a phantom "cache
+// level" appearing at TLB reach). Measuring the TLB explicitly, in the
+// Saavedra-Smith tradition, both yields a useful tuning parameter (how
+// big can a working set grow before translations thrash) and lets a
+// report flag suspicious rises in the cache sweep.
+//
+// Probe design: stride = page_size + L1 line. Each access touches a new
+// page (stressing the TLB one entry per access) while walking the L1 sets
+// cyclically — so hundreds of probe pages fit in L1 and the *only* cost
+// transition for small page counts is the TLB's. The cycles curve steps
+// up by exactly the page-walk penalty when the probed pages exceed the
+// TLB entry count.
+#pragma once
+
+#include <optional>
+
+#include "base/types.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+struct TlbDetectOptions {
+    int min_pages = 8;
+    int max_pages = 4096;
+    Bytes l1_line = 64;
+    /// Detected (or known) L1 size. The probe touches one L1 line per
+    /// page, so page counts approaching the L1's line capacity trip the
+    /// L1->L2 capacity transition and would masquerade as a TLB step; the
+    /// probe therefore stays below half that capacity. TLBs whose reach
+    /// exceeds it are reported as undetectable (nullopt). Run the cache
+    /// detection first and pass its L1 estimate here.
+    Bytes l1_size = 16 * KiB;
+    int passes = 3;
+    int repeats = 3;
+    /// Gradient threshold for the reach crossing; the step is sharp (the
+    /// TLB is virtually indexed by definition) but small relative to
+    /// memory transitions, so the threshold is permissive.
+    double gradient_threshold = 1.15;
+    CoreId core = 0;
+};
+
+struct TlbEstimate {
+    int entries = 0;            ///< detected reach, in pages
+    Cycles miss_cycles = 0;     ///< estimated page-walk penalty
+    Bytes reach_bytes = 0;      ///< entries * page_size
+};
+
+/// Measure the data TLB. Returns nullopt when no translation-cost step is
+/// visible in the probed range (e.g. the machine model has no TLB, or its
+/// penalty is below noise).
+[[nodiscard]] std::optional<TlbEstimate> detect_tlb(Platform& platform,
+                                                    const TlbDetectOptions& options = {});
+
+}  // namespace servet::core

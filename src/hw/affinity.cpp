@@ -1,0 +1,43 @@
+#include "hw/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace servet::hw {
+
+int online_core_count() {
+#if defined(__linux__)
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    if (n > 0) return static_cast<int>(n);
+#endif
+    const unsigned hint = std::thread::hardware_concurrency();
+    return hint > 0 ? static_cast<int>(hint) : 1;
+}
+
+bool pin_current_thread(CoreId core) {
+#if defined(__linux__)
+    if (core < 0) return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(core), &set);
+    return sched_setaffinity(0, sizeof set, &set) == 0;
+#else
+    (void)core;
+    return false;
+#endif
+}
+
+CoreId current_core() {
+#if defined(__linux__)
+    const int cpu = sched_getcpu();
+    return cpu >= 0 ? cpu : -1;
+#else
+    return -1;
+#endif
+}
+
+}  // namespace servet::hw

@@ -1,0 +1,21 @@
+// Thread-to-core pinning. Every concurrent measurement in the suite (the
+// paper sets "the affinity of MPI processes to particular cores ... with
+// the sched system library") depends on threads staying where they were
+// put; without pinning, pairwise results are meaningless.
+#pragma once
+
+#include "base/types.hpp"
+
+namespace servet::hw {
+
+/// Number of online logical cores.
+[[nodiscard]] int online_core_count();
+
+/// Pin the calling thread to `core`. Returns false when the OS refuses
+/// (core offline, restricted cpuset, unsupported platform).
+bool pin_current_thread(CoreId core);
+
+/// Core the calling thread is currently running on, or -1 if unknown.
+[[nodiscard]] CoreId current_core();
+
+}  // namespace servet::hw

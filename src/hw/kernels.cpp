@@ -1,0 +1,84 @@
+#include "hw/kernels.hpp"
+
+#include <cstring>
+
+#include "base/check.hpp"
+#include "hw/timer.hpp"
+
+namespace servet::hw {
+
+namespace {
+/// Optimization barrier: forces the compiler to assume `p` escapes.
+inline void escape(void* p) { asm volatile("" : : "g"(p) : "memory"); }
+inline void clobber() { asm volatile("" : : : "memory"); }
+}  // namespace
+
+TraversalBuffer::TraversalBuffer(Bytes bytes, Bytes stride_bytes) {
+    SERVET_CHECK(bytes >= stride_bytes && stride_bytes >= sizeof(std::int32_t));
+    SERVET_CHECK(stride_bytes % sizeof(std::int32_t) == 0);
+    stride_elems_ = static_cast<std::int32_t>(stride_bytes / sizeof(std::int32_t));
+    data_.assign(bytes / sizeof(std::int32_t), stride_elems_);
+    escape(data_.data());
+}
+
+std::int64_t TraversalBuffer::traverse_once() {
+    const std::int32_t* a = data_.data();
+    const std::int64_t size = static_cast<std::int64_t>(data_.size());
+    std::int64_t aux = aux_;
+    // Fig. 1: for (j = 0; j < size; j += A[j]) aux += size. The load of
+    // A[j] is on the critical path of the induction variable, so neither
+    // vectorization nor strength reduction can elide it.
+    for (std::int64_t j = 0; j < size; j += a[j]) aux += size;
+    clobber();
+    aux_ = aux;
+    return aux;
+}
+
+std::uint64_t TraversalBuffer::accesses_per_pass() const {
+    return (data_.size() + static_cast<std::uint64_t>(stride_elems_) - 1) /
+           static_cast<std::uint64_t>(stride_elems_);
+}
+
+Bytes TraversalBuffer::size_bytes() const { return data_.size() * sizeof(std::int32_t); }
+
+Cycles TraversalBuffer::measure_cycles_per_access(int passes) {
+    SERVET_CHECK(passes > 0);
+    (void)traverse_once();  // warm-up
+    const std::uint64_t t0 = timestamp();
+    for (int p = 0; p < passes; ++p) (void)traverse_once();
+    const std::uint64_t elapsed = timestamp() - t0;
+    return static_cast<double>(elapsed) /
+           static_cast<double>(accesses_per_pass() * static_cast<std::uint64_t>(passes));
+}
+
+BytesPerSecond measure_copy_bandwidth(Bytes bytes, int passes) {
+    SERVET_CHECK(bytes >= 64 && passes > 0);
+    const std::size_t n = bytes / sizeof(double);
+    std::vector<double> src(n, 1.0);
+    std::vector<double> dst(n, 0.0);
+    escape(src.data());
+    escape(dst.data());
+
+    std::memcpy(dst.data(), src.data(), n * sizeof(double));  // warm-up
+    clobber();
+
+    const std::uint64_t t0 = timestamp();
+    for (int p = 0; p < passes; ++p) {
+        std::memcpy(dst.data(), src.data(), n * sizeof(double));
+        clobber();
+    }
+    const Seconds elapsed = ticks_to_seconds(timestamp() - t0);
+    SERVET_CHECK(elapsed > 0);
+    // STREAM copy counts bytes read + bytes written.
+    return 2.0 * static_cast<double>(n * sizeof(double)) * passes / elapsed;
+}
+
+void flush_caches(Bytes bytes) {
+    std::vector<std::uint8_t> scratch(bytes, 1);
+    escape(scratch.data());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < scratch.size(); i += 64) sum += scratch[i];
+    escape(&sum);
+}
+
+}  // namespace servet::hw

@@ -1,0 +1,49 @@
+// The native measurement kernels: the mcalibrator traversal of Fig. 1 and
+// a STREAM-style copy. Both follow the paper's anti-optimization tricks —
+// the traversal stride is *read from the array itself* so the compiler
+// cannot fold the loop, and a carried `aux` accumulator keeps the loads
+// live. Results are cycles per access / bytes per second on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::hw {
+
+/// The array traversed by mcalibrator: each element holds the stride (in
+/// elements), exactly as in Fig. 1, so the access pattern is data-dependent.
+class TraversalBuffer {
+  public:
+    /// Build a buffer of `bytes` rounded down to whole elements, every
+    /// element holding `stride_bytes / sizeof(element)`.
+    TraversalBuffer(Bytes bytes, Bytes stride_bytes);
+
+    /// One full traversal (for j = 0; j < size; j += a[j]) accumulating
+    /// into aux; returns aux so the loop cannot be optimized away.
+    std::int64_t traverse_once();
+
+    /// Measured traversal: runs one warm-up pass then `passes` timed
+    /// passes; returns average cycles (TSC ticks) per access.
+    [[nodiscard]] Cycles measure_cycles_per_access(int passes);
+
+    [[nodiscard]] std::uint64_t accesses_per_pass() const;
+    [[nodiscard]] Bytes size_bytes() const;
+
+  private:
+    std::vector<std::int32_t> data_;
+    std::int32_t stride_elems_;
+    std::int64_t aux_ = 0;
+};
+
+/// STREAM-style copy benchmark: bandwidth of copying `bytes` from one
+/// array to another, averaged over `passes` (after one warm-up). The
+/// arrays should be sized well past the last-level cache by the caller.
+[[nodiscard]] BytesPerSecond measure_copy_bandwidth(Bytes bytes, int passes);
+
+/// Defeat-the-cache helper: stream over a scratch buffer of `bytes` so
+/// subsequent measurements start cold.
+void flush_caches(Bytes bytes);
+
+}  // namespace servet::hw

@@ -1,0 +1,62 @@
+#include "hw/timer.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace servet::hw {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr bool kHaveTsc = true;
+
+inline std::uint64_t read_tsc() {
+    std::uint32_t lo = 0, hi = 0;
+    asm volatile("lfence\n\trdtsc" : "=a"(lo), "=d"(hi)::"memory");
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+#else
+constexpr bool kHaveTsc = false;
+
+inline std::uint64_t read_tsc() { return 0; }
+#endif
+
+std::uint64_t steady_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double calibrate_frequency() {
+    if (!kHaveTsc) return 1e9;  // nanoseconds
+    // Measure TSC ticks across a ~10 ms steady_clock window.
+    const std::uint64_t ns0 = steady_ns();
+    const std::uint64_t t0 = read_tsc();
+    std::uint64_t ns1 = ns0;
+    while (ns1 - ns0 < 10'000'000) ns1 = steady_ns();
+    const std::uint64_t t1 = read_tsc();
+    return static_cast<double>(t1 - t0) * 1e9 / static_cast<double>(ns1 - ns0);
+}
+
+}  // namespace
+
+std::uint64_t timestamp() { return kHaveTsc ? read_tsc() : steady_ns(); }
+
+bool timestamp_is_tsc() { return kHaveTsc; }
+
+double timestamp_frequency() {
+    static const double frequency = [] {
+        static std::once_flag flag;
+        static double value = 1e9;
+        std::call_once(flag, [] { value = calibrate_frequency(); });
+        return value;
+    }();
+    return frequency;
+}
+
+Seconds ticks_to_seconds(std::uint64_t ticks) {
+    return static_cast<double>(ticks) / timestamp_frequency();
+}
+
+}  // namespace servet::hw

@@ -1,0 +1,38 @@
+// Cycle-accurate timing for the native backend. Uses the x86 TSC where
+// available (serialized with lfence so it brackets the measured loop, not
+// the surrounding pipeline) and falls back to steady_clock elsewhere. The
+// TSC rate is calibrated once against steady_clock so results can be
+// reported both in cycles (what mcalibrator's algorithm wants) and seconds.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.hpp"
+
+namespace servet::hw {
+
+/// Raw timestamp in TSC ticks (x86) or nanoseconds (fallback).
+[[nodiscard]] std::uint64_t timestamp();
+
+/// True when timestamp() reads the TSC.
+[[nodiscard]] bool timestamp_is_tsc();
+
+/// Ticks per second of timestamp(), calibrated on first use (~10 ms).
+[[nodiscard]] double timestamp_frequency();
+
+/// Convert a timestamp difference to seconds.
+[[nodiscard]] Seconds ticks_to_seconds(std::uint64_t ticks);
+
+/// Stopwatch over timestamp().
+class Stopwatch {
+  public:
+    Stopwatch() : start_(timestamp()) {}
+    void restart() { start_ = timestamp(); }
+    [[nodiscard]] std::uint64_t elapsed_ticks() const { return timestamp() - start_; }
+    [[nodiscard]] Seconds elapsed_seconds() const { return ticks_to_seconds(elapsed_ticks()); }
+
+  private:
+    std::uint64_t start_;
+};
+
+}  // namespace servet::hw

@@ -1,0 +1,99 @@
+#include "hw/topology.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace servet::hw {
+
+std::optional<std::vector<CoreId>> parse_cpulist(const std::string& text) {
+    std::vector<CoreId> cores;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        // Trim whitespace/newline.
+        while (!token.empty() && (token.back() == '\n' || token.back() == ' '))
+            token.pop_back();
+        while (!token.empty() && token.front() == ' ') token.erase(token.begin());
+        if (token.empty()) continue;
+
+        const auto dash = token.find('-');
+        int lo = 0, hi = 0;
+        if (dash == std::string::npos) {
+            const auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), lo);
+            if (ec != std::errc{} || p != token.data() + token.size()) return std::nullopt;
+            hi = lo;
+        } else {
+            const std::string a = token.substr(0, dash);
+            const std::string b = token.substr(dash + 1);
+            const auto [pa, ea] = std::from_chars(a.data(), a.data() + a.size(), lo);
+            const auto [pb, eb] = std::from_chars(b.data(), b.data() + b.size(), hi);
+            if (ea != std::errc{} || eb != std::errc{} || pa != a.data() + a.size() ||
+                pb != b.data() + b.size() || hi < lo)
+                return std::nullopt;
+        }
+        for (int c = lo; c <= hi; ++c) cores.push_back(c);
+    }
+    if (cores.empty()) return std::nullopt;
+    return cores;
+}
+
+std::optional<Bytes> parse_sysfs_size(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    std::size_t pos = 0;
+    unsigned long long value = 0;
+    const auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{}) return std::nullopt;
+    pos = static_cast<std::size_t>(p - text.data());
+    Bytes factor = 1;
+    if (pos < text.size()) {
+        switch (text[pos]) {
+            case 'K': case 'k': factor = KiB; break;
+            case 'M': case 'm': factor = MiB; break;
+            case 'G': case 'g': factor = GiB; break;
+            case '\n': break;
+            default: return std::nullopt;
+        }
+    }
+    return static_cast<Bytes>(value) * factor;
+}
+
+namespace {
+std::optional<std::string> read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+}  // namespace
+
+std::vector<SysfsCache> sysfs_caches(CoreId core) {
+    std::vector<SysfsCache> caches;
+#if defined(__linux__)
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(core) + "/cache/index";
+    for (int index = 0; index < 8; ++index) {
+        const std::string dir = base + std::to_string(index) + "/";
+        const auto level_text = read_file(dir + "level");
+        if (!level_text) break;  // no more indices
+
+        SysfsCache cache;
+        cache.level = std::atoi(level_text->c_str());
+        cache.type = read_file(dir + "type").value_or("");
+        while (!cache.type.empty() && cache.type.back() == '\n') cache.type.pop_back();
+        if (cache.type == "Instruction") continue;
+
+        if (const auto size_text = read_file(dir + "size"))
+            cache.size = parse_sysfs_size(*size_text).value_or(0);
+        if (const auto list_text = read_file(dir + "shared_cpu_list"))
+            cache.shared_with = parse_cpulist(*list_text).value_or(std::vector<CoreId>{});
+        caches.push_back(std::move(cache));
+    }
+#else
+    (void)core;
+#endif
+    return caches;
+}
+
+}  // namespace servet::hw

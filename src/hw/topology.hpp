@@ -1,0 +1,34 @@
+// Optional Linux sysfs topology probe. Servet's whole point is to *measure*
+// the topology rather than trust documentation, but on Linux the kernel's
+// view (/sys/devices/system/cpu/cpu*/cache/) makes a useful cross-check for
+// the native backend: examples print "measured vs sysfs" side by side.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::hw {
+
+struct SysfsCache {
+    int level = 0;                    ///< 1, 2, 3...
+    std::string type;                 ///< "Data", "Instruction", "Unified"
+    Bytes size = 0;
+    std::vector<CoreId> shared_with;  ///< cores sharing this cache instance
+};
+
+/// Caches visible to `core` per sysfs, or empty when sysfs is unavailable
+/// (non-Linux, restricted container). Instruction caches are filtered out —
+/// Servet measures the data path.
+[[nodiscard]] std::vector<SysfsCache> sysfs_caches(CoreId core);
+
+/// Parse a kernel cpulist string ("0-2,12-14") into core ids; exposed for
+/// tests. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<CoreId>> parse_cpulist(const std::string& text);
+
+/// Parse a sysfs cache size string ("32K", "12288K", "3M").
+[[nodiscard]] std::optional<Bytes> parse_sysfs_size(const std::string& text);
+
+}  // namespace servet::hw

@@ -1,0 +1,49 @@
+#include "msg/comm_world.hpp"
+
+#include "base/check.hpp"
+
+namespace servet::msg {
+
+CommWorld::CommWorld(int ranks) {
+    SERVET_CHECK(ranks >= 1);
+    mailboxes_.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Endpoint CommWorld::endpoint(int rank) {
+    SERVET_CHECK(rank >= 0 && rank < size());
+    return Endpoint(this, rank);
+}
+
+int Endpoint::world_size() const { return world_->size(); }
+
+void Endpoint::send(int destination, std::span<const std::uint8_t> payload) {
+    SERVET_CHECK(destination >= 0 && destination < world_->size());
+    SERVET_CHECK_MSG(destination != rank_, "self-send is not supported");
+    world_->mailboxes_[static_cast<std::size_t>(destination)]->post(rank_, payload);
+}
+
+void Endpoint::recv(int source, std::vector<std::uint8_t>& out) {
+    SERVET_CHECK(source >= 0 && source < world_->size());
+    world_->mailboxes_[static_cast<std::size_t>(rank_)]->receive_from(source, out);
+}
+
+bool Endpoint::try_recv(int source, std::vector<std::uint8_t>& out) {
+    SERVET_CHECK(source >= 0 && source < world_->size());
+    return world_->mailboxes_[static_cast<std::size_t>(rank_)]->try_receive_from(source, out);
+}
+
+void Endpoint::barrier() {
+    std::unique_lock lock(world_->barrier_mutex_);
+    const std::uint64_t my_epoch = world_->barrier_epoch_;
+    if (++world_->barrier_waiting_ == world_->size()) {
+        world_->barrier_waiting_ = 0;
+        ++world_->barrier_epoch_;
+        world_->barrier_cv_.notify_all();
+        return;
+    }
+    world_->barrier_cv_.wait(lock,
+                             [&] { return world_->barrier_epoch_ != my_epoch; });
+}
+
+}  // namespace servet::msg

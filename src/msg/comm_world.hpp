@@ -1,0 +1,69 @@
+// A small executable message-passing world: N ranks with mailbox
+// endpoints, blocking and nonblocking point-to-point transfers, and a
+// barrier — enough to *run* the communication patterns the suite measures
+// and the advisors schedule (the MPI role in the paper's setup). Used by
+// the executable collectives (exec_collectives.hpp) and available to
+// applications adopting the library on a shared-memory node.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "msg/mailbox.hpp"
+
+namespace servet::msg {
+
+class CommWorld;
+
+/// A rank's handle into the world. Cheap to copy; thread-compatible (one
+/// thread drives one endpoint, the usual rank-per-thread discipline).
+class Endpoint {
+  public:
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] int world_size() const;
+
+    /// Buffered eager send: copies the payload out immediately.
+    void send(int destination, std::span<const std::uint8_t> payload);
+
+    /// Blocking receive from a specific source.
+    void recv(int source, std::vector<std::uint8_t>& out);
+
+    /// Nonblocking receive; true when a message was consumed.
+    [[nodiscard]] bool try_recv(int source, std::vector<std::uint8_t>& out);
+
+    /// Block until every rank has entered the same barrier epoch.
+    void barrier();
+
+  private:
+    friend class CommWorld;
+    Endpoint(CommWorld* world, int rank) : world_(world), rank_(rank) {}
+
+    CommWorld* world_;
+    int rank_;
+};
+
+class CommWorld {
+  public:
+    explicit CommWorld(int ranks);
+
+    [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
+    [[nodiscard]] Endpoint endpoint(int rank);
+
+  private:
+    friend class Endpoint;
+
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+    // Sense-reversing barrier.
+    std::mutex barrier_mutex_;
+    std::condition_variable barrier_cv_;
+    int barrier_waiting_ = 0;
+    std::uint64_t barrier_epoch_ = 0;
+};
+
+}  // namespace servet::msg

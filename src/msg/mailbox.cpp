@@ -1,0 +1,44 @@
+#include "msg/mailbox.hpp"
+
+#include <algorithm>
+
+namespace servet::msg {
+
+void Mailbox::post(int source, std::span<const std::uint8_t> payload) {
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(Message{source, {payload.begin(), payload.end()}});
+    }
+    ready_.notify_all();
+}
+
+void Mailbox::receive_from(int source, std::vector<std::uint8_t>& out) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                     [source](const Message& m) { return m.source == source; });
+        if (it != queue_.end()) {
+            out = std::move(it->payload);
+            queue_.erase(it);
+            return;
+        }
+        ready_.wait(lock);
+    }
+}
+
+bool Mailbox::try_receive_from(int source, std::vector<std::uint8_t>& out) {
+    std::lock_guard lock(mutex_);
+    const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                 [source](const Message& m) { return m.source == source; });
+    if (it == queue_.end()) return false;
+    out = std::move(it->payload);
+    queue_.erase(it);
+    return true;
+}
+
+std::size_t Mailbox::pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+}
+
+}  // namespace servet::msg

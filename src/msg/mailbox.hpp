@@ -1,0 +1,46 @@
+// Blocking mailbox: the delivery end of the in-process shared-memory
+// transport. Each endpoint owns one mailbox; send() copies the payload in
+// (the write side of a shared-memory transfer) and recv() copies it out
+// (the read side), so a ping-pong over two mailboxes moves bytes through
+// memory twice per direction like a real eager-protocol SHM device.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace servet::msg {
+
+class Mailbox {
+  public:
+    /// Deposit a message from `source`. Thread-safe, never blocks long
+    /// (unbounded queue): the eager protocol.
+    void post(int source, std::span<const std::uint8_t> payload);
+
+    /// Block until a message from `source` arrives, copy it into `out`
+    /// (resized to fit) and consume it. Messages from other sources are
+    /// left queued (tag matching by source).
+    void receive_from(int source, std::vector<std::uint8_t>& out);
+
+    /// Nonblocking variant: consume and return true if a message from
+    /// `source` is already queued, else return false immediately.
+    [[nodiscard]] bool try_receive_from(int source, std::vector<std::uint8_t>& out);
+
+    /// Messages currently queued (any source).
+    [[nodiscard]] std::size_t pending() const;
+
+  private:
+    struct Message {
+        int source;
+        std::vector<std::uint8_t> payload;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Message> queue_;
+};
+
+}  // namespace servet::msg

@@ -1,0 +1,40 @@
+// Communication substrate interface for the comm-costs benchmark
+// (Section III-D). The paper measures MPI point-to-point transfers between
+// processes pinned to specific cores; this interface exposes exactly the
+// observables that benchmark needs — isolated one-way latency between two
+// pinned endpoints, and per-message latency when several pairs transfer at
+// once. ThreadNetwork measures a real in-process transport; SimNetwork
+// evaluates the interconnect model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::msg {
+
+class Network {
+  public:
+    virtual ~Network() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Number of endpoints (== cores; endpoint i is pinned to core i).
+    [[nodiscard]] virtual int endpoint_count() const = 0;
+
+    /// One-way latency of a `size`-byte message between the pair, measured
+    /// by `reps` ping-pong round trips with nothing else in flight.
+    [[nodiscard]] virtual Seconds pingpong_latency(CorePair pair, Bytes size, int reps) = 0;
+
+    /// Per-pair one-way latency when every listed pair transfers
+    /// concurrently (the scalability probe of Fig. 10b). Vertex-disjoint
+    /// pairs give the most faithful native measurements; implementations
+    /// accept overlapping pairs (a core sending and receiving at once)
+    /// and account for them as concurrent traffic. Result is aligned with
+    /// `pairs`.
+    [[nodiscard]] virtual std::vector<Seconds> concurrent_latency(
+        const std::vector<CorePair>& pairs, Bytes size, int reps) = 0;
+};
+
+}  // namespace servet::msg

@@ -1,0 +1,47 @@
+#include "msg/sim_network.hpp"
+
+#include <map>
+
+#include "base/check.hpp"
+
+namespace servet::msg {
+
+SimNetwork::SimNetwork(sim::MachineSpec spec)
+    : spec_(std::move(spec)), model_(spec_), noise_(spec_.seed ^ 0xc0337ULL) {}
+
+std::string SimNetwork::name() const { return "simnet:" + model_.spec().name; }
+
+int SimNetwork::endpoint_count() const { return model_.spec().n_cores; }
+
+Seconds SimNetwork::pingpong_latency(CorePair pair, Bytes size, int reps) {
+    SERVET_CHECK(reps > 0);
+    // Reps average out jitter, as on hardware: simulate each rep's noise.
+    Seconds total = 0;
+    for (int r = 0; r < reps; ++r)
+        total += model_.latency(pair, size) *
+                 noise_.jitter(model_.spec().measurement_jitter);
+    return total / reps;
+}
+
+std::vector<Seconds> SimNetwork::concurrent_latency(const std::vector<CorePair>& pairs,
+                                                    Bytes size, int reps) {
+    SERVET_CHECK(!pairs.empty() && reps > 0);
+    // Contention is per layer: messages sharing a layer slow each other
+    // down; traffic on other layers does not interfere.
+    std::map<int, int> on_layer;
+    for (const CorePair& pair : pairs) ++on_layer[model_.layer_of(pair)];
+
+    std::vector<Seconds> result;
+    result.reserve(pairs.size());
+    for (const CorePair& pair : pairs) {
+        const int concurrent = on_layer[model_.layer_of(pair)];
+        Seconds total = 0;
+        for (int r = 0; r < reps; ++r)
+            total += model_.latency_concurrent(pair, size, concurrent) *
+                     noise_.jitter(model_.spec().measurement_jitter);
+        result.push_back(total / reps);
+    }
+    return result;
+}
+
+}  // namespace servet::msg

@@ -1,0 +1,30 @@
+// Network over the interconnect model, with the machine's deterministic
+// measurement jitter applied per measurement.
+#pragma once
+
+#include "base/rng.hpp"
+#include "msg/network.hpp"
+#include "sim/interconnect.hpp"
+
+namespace servet::msg {
+
+class SimNetwork final : public Network {
+  public:
+    /// Takes its own copy of the spec: temporaries are safe.
+    explicit SimNetwork(sim::MachineSpec spec);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int endpoint_count() const override;
+    [[nodiscard]] Seconds pingpong_latency(CorePair pair, Bytes size, int reps) override;
+    [[nodiscard]] std::vector<Seconds> concurrent_latency(const std::vector<CorePair>& pairs,
+                                                          Bytes size, int reps) override;
+
+    [[nodiscard]] const sim::InterconnectModel& model() const { return model_; }
+
+  private:
+    sim::MachineSpec spec_;
+    sim::InterconnectModel model_;  // references spec_; declared after it
+    Rng noise_;
+};
+
+}  // namespace servet::msg

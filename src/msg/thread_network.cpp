@@ -1,0 +1,83 @@
+#include "msg/thread_network.hpp"
+
+#include <barrier>
+#include <thread>
+
+#include "base/check.hpp"
+#include "hw/affinity.hpp"
+#include "hw/timer.hpp"
+
+namespace servet::msg {
+
+ThreadNetwork::ThreadNetwork(int endpoints, bool pin) : endpoints_(endpoints), pin_(pin) {
+    SERVET_CHECK(endpoints >= 1);
+    mailboxes_.reserve(static_cast<std::size_t>(endpoints));
+    for (int i = 0; i < endpoints; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+std::string ThreadNetwork::name() const {
+    return "threadnet:" + std::to_string(endpoints_) + "-endpoint";
+}
+
+Seconds ThreadNetwork::pingpong_latency(CorePair pair, Bytes size, int reps) {
+    return concurrent_latency({pair}, size, reps).front();
+}
+
+std::vector<Seconds> ThreadNetwork::concurrent_latency(const std::vector<CorePair>& pairs,
+                                                       Bytes size, int reps) {
+    SERVET_CHECK(!pairs.empty() && reps > 0);
+    for (const CorePair& pair : pairs) {
+        SERVET_CHECK(pair.a != pair.b);
+        SERVET_CHECK(pair.a >= 0 && pair.a < endpoints_ && pair.b >= 0 && pair.b < endpoints_);
+    }
+
+    const std::size_t n = pairs.size();
+    std::vector<Seconds> results(n, 0.0);
+    std::barrier sync(static_cast<std::ptrdiff_t>(2 * n));
+
+    std::vector<std::thread> threads;
+    threads.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CorePair pair = pairs[i];
+        // Initiator: times `reps` round trips, reports one-way latency.
+        threads.emplace_back([&, i, pair] {
+            if (pin_) (void)hw::pin_current_thread(pair.a);
+            std::vector<std::uint8_t> buffer(size, 0xab);
+            std::vector<std::uint8_t> incoming;
+            Mailbox& peer = *mailboxes_[static_cast<std::size_t>(pair.b)];
+            Mailbox& mine = *mailboxes_[static_cast<std::size_t>(pair.a)];
+
+            // Warm-up round trip, then barrier so all pairs start together.
+            peer.post(pair.a, buffer);
+            mine.receive_from(pair.b, incoming);
+            sync.arrive_and_wait();
+
+            hw::Stopwatch watch;
+            for (int r = 0; r < reps; ++r) {
+                peer.post(pair.a, buffer);
+                mine.receive_from(pair.b, incoming);
+            }
+            results[i] = watch.elapsed_seconds() / (2.0 * reps);
+        });
+        // Responder: echoes everything back.
+        threads.emplace_back([&, pair] {
+            if (pin_) (void)hw::pin_current_thread(pair.b);
+            std::vector<std::uint8_t> incoming;
+            Mailbox& peer = *mailboxes_[static_cast<std::size_t>(pair.a)];
+            Mailbox& mine = *mailboxes_[static_cast<std::size_t>(pair.b)];
+
+            mine.receive_from(pair.a, incoming);
+            peer.post(pair.b, incoming);
+            sync.arrive_and_wait();
+
+            for (int r = 0; r < reps; ++r) {
+                mine.receive_from(pair.a, incoming);
+                peer.post(pair.b, incoming);
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    return results;
+}
+
+}  // namespace servet::msg

@@ -1,0 +1,35 @@
+// Real in-process message passing: one mailbox per endpoint, measurement
+// threads pinned to the endpoint's core. This is the native counterpart of
+// the paper's MPI micro-benchmark — on a multicore host its pairwise
+// latencies expose the same cache/package/bus hierarchy the paper measures
+// with MPICH2's SHM device.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "msg/mailbox.hpp"
+#include "msg/network.hpp"
+
+namespace servet::msg {
+
+class ThreadNetwork final : public Network {
+  public:
+    /// `endpoints` == number of cores used; endpoint i pins to core i.
+    /// When `pin` is false threads float (useful on machines with fewer
+    /// cores than endpoints, e.g. in unit tests).
+    explicit ThreadNetwork(int endpoints, bool pin = true);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int endpoint_count() const override { return endpoints_; }
+    [[nodiscard]] Seconds pingpong_latency(CorePair pair, Bytes size, int reps) override;
+    [[nodiscard]] std::vector<Seconds> concurrent_latency(const std::vector<CorePair>& pairs,
+                                                          Bytes size, int reps) override;
+
+  private:
+    int endpoints_;
+    bool pin_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace servet::msg

@@ -1,0 +1,114 @@
+#include "platform/decorators.hpp"
+
+#include "base/check.hpp"
+#include "stats/summary.hpp"
+
+namespace servet {
+
+RobustPlatform::RobustPlatform(Platform& inner, int samples)
+    : inner_(&inner), samples_(samples) {
+    SERVET_CHECK(samples >= 1);
+}
+
+std::string RobustPlatform::name() const {
+    return "robust(" + inner_->name() + ", " + std::to_string(samples_) + ")";
+}
+
+Cycles RobustPlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                       int passes, bool fresh_placement) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(samples_));
+    for (int s = 0; s < samples_; ++s)
+        samples.push_back(
+            inner_->traverse_cycles(core, array_bytes, stride, passes, fresh_placement));
+    return stats::median(std::move(samples));
+}
+
+std::vector<Cycles> RobustPlatform::traverse_cycles_concurrent(
+    const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
+    bool fresh_placement) {
+    std::vector<std::vector<Cycles>> runs;
+    runs.reserve(static_cast<std::size_t>(samples_));
+    for (int s = 0; s < samples_; ++s)
+        runs.push_back(inner_->traverse_cycles_concurrent(cores, array_bytes, stride, passes,
+                                                          fresh_placement));
+    std::vector<Cycles> result(cores.size());
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        std::vector<double> per_core;
+        per_core.reserve(runs.size());
+        for (const auto& run : runs) per_core.push_back(run[i]);
+        result[i] = stats::median(std::move(per_core));
+    }
+    return result;
+}
+
+BytesPerSecond RobustPlatform::copy_bandwidth(CoreId core, Bytes array_bytes) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(samples_));
+    for (int s = 0; s < samples_; ++s)
+        samples.push_back(inner_->copy_bandwidth(core, array_bytes));
+    return stats::median(std::move(samples));
+}
+
+std::vector<BytesPerSecond> RobustPlatform::copy_bandwidth_concurrent(
+    const std::vector<CoreId>& cores, Bytes array_bytes) {
+    std::vector<std::vector<BytesPerSecond>> runs;
+    runs.reserve(static_cast<std::size_t>(samples_));
+    for (int s = 0; s < samples_; ++s)
+        runs.push_back(inner_->copy_bandwidth_concurrent(cores, array_bytes));
+    std::vector<BytesPerSecond> result(cores.size());
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        std::vector<double> per_core;
+        per_core.reserve(runs.size());
+        for (const auto& run : runs) per_core.push_back(run[i]);
+        result[i] = stats::median(std::move(per_core));
+    }
+    return result;
+}
+
+FlakyPlatform::FlakyPlatform(Platform& inner, double spike_probability, double spike_factor,
+                             std::uint64_t seed)
+    : inner_(&inner), probability_(spike_probability), factor_(spike_factor), rng_(seed) {
+    SERVET_CHECK(spike_probability >= 0 && spike_probability <= 1);
+    SERVET_CHECK(spike_factor >= 1.0);
+}
+
+std::string FlakyPlatform::name() const { return "flaky(" + inner_->name() + ")"; }
+
+double FlakyPlatform::maybe_spike() {
+    if (rng_.next_double() < probability_) {
+        ++spikes_;
+        return factor_;
+    }
+    return 1.0;
+}
+
+Cycles FlakyPlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                      int passes, bool fresh_placement) {
+    return inner_->traverse_cycles(core, array_bytes, stride, passes, fresh_placement) *
+           maybe_spike();
+}
+
+std::vector<Cycles> FlakyPlatform::traverse_cycles_concurrent(const std::vector<CoreId>& cores,
+                                                              Bytes array_bytes, Bytes stride,
+                                                              int passes,
+                                                              bool fresh_placement) {
+    std::vector<Cycles> result = inner_->traverse_cycles_concurrent(
+        cores, array_bytes, stride, passes, fresh_placement);
+    for (Cycles& c : result) c *= maybe_spike();
+    return result;
+}
+
+BytesPerSecond FlakyPlatform::copy_bandwidth(CoreId core, Bytes array_bytes) {
+    return inner_->copy_bandwidth(core, array_bytes) / maybe_spike();
+}
+
+std::vector<BytesPerSecond> FlakyPlatform::copy_bandwidth_concurrent(
+    const std::vector<CoreId>& cores, Bytes array_bytes) {
+    std::vector<BytesPerSecond> result =
+        inner_->copy_bandwidth_concurrent(cores, array_bytes);
+    for (BytesPerSecond& b : result) b /= maybe_spike();
+    return result;
+}
+
+}  // namespace servet

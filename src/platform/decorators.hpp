@@ -1,0 +1,77 @@
+// Platform decorators.
+//
+// RobustPlatform: repeats every measurement and takes the per-element
+// median — the standard defence against descheduling, interrupts and
+// frequency excursions on real hosts. Wrap a NativePlatform in it for
+// production runs.
+//
+// FlakyPlatform: deterministic fault injection for tests — multiplies a
+// configurable fraction of measurements by a spike factor, simulating a
+// benchmark thread that lost its core for a timeslice. Detection must
+// survive FlakyPlatform when measured through RobustPlatform.
+#pragma once
+
+#include "base/rng.hpp"
+#include "platform/platform.hpp"
+
+namespace servet {
+
+class RobustPlatform final : public Platform {
+  public:
+    /// `inner` must outlive this decorator. `samples` measurements are
+    /// taken per probe; medians are per element for concurrent probes.
+    RobustPlatform(Platform& inner, int samples);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int core_count() const override { return inner_->core_count(); }
+    [[nodiscard]] Bytes page_size() const override { return inner_->page_size(); }
+
+    [[nodiscard]] Cycles traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                         int passes, bool fresh_placement) override;
+    [[nodiscard]] std::vector<Cycles> traverse_cycles_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
+        bool fresh_placement) override;
+    [[nodiscard]] BytesPerSecond copy_bandwidth(CoreId core, Bytes array_bytes) override;
+    [[nodiscard]] std::vector<BytesPerSecond> copy_bandwidth_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes) override;
+
+  private:
+    Platform* inner_;
+    int samples_;
+};
+
+class FlakyPlatform final : public Platform {
+  public:
+    /// Each scalar measurement is independently spiked with probability
+    /// `spike_probability` by factor `spike_factor` (deterministic per
+    /// seed). Spikes inflate traversal cycles and deflate bandwidths, as
+    /// interference does.
+    FlakyPlatform(Platform& inner, double spike_probability, double spike_factor,
+                  std::uint64_t seed);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int core_count() const override { return inner_->core_count(); }
+    [[nodiscard]] Bytes page_size() const override { return inner_->page_size(); }
+
+    [[nodiscard]] Cycles traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                         int passes, bool fresh_placement) override;
+    [[nodiscard]] std::vector<Cycles> traverse_cycles_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
+        bool fresh_placement) override;
+    [[nodiscard]] BytesPerSecond copy_bandwidth(CoreId core, Bytes array_bytes) override;
+    [[nodiscard]] std::vector<BytesPerSecond> copy_bandwidth_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes) override;
+
+    [[nodiscard]] int spikes_injected() const { return spikes_; }
+
+  private:
+    [[nodiscard]] double maybe_spike();
+
+    Platform* inner_;
+    double probability_;
+    double factor_;
+    Rng rng_;
+    int spikes_ = 0;
+};
+
+}  // namespace servet

@@ -1,0 +1,93 @@
+#include "platform/native_platform.hpp"
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "base/check.hpp"
+#include "base/log.hpp"
+#include "hw/affinity.hpp"
+#include "hw/kernels.hpp"
+
+namespace servet {
+
+namespace {
+Bytes detect_page_size() {
+#if defined(__linux__)
+    const long ps = sysconf(_SC_PAGESIZE);
+    if (ps > 0) return static_cast<Bytes>(ps);
+#endif
+    return 4 * KiB;
+}
+}  // namespace
+
+NativePlatform::NativePlatform(int cores)
+    : cores_(cores > 0 ? cores : hw::online_core_count()), page_size_(detect_page_size()) {}
+
+std::string NativePlatform::name() const {
+    return "native:" + std::to_string(cores_) + "-core";
+}
+
+Cycles NativePlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                       int passes, bool fresh_placement) {
+    return traverse_cycles_concurrent({core}, array_bytes, stride, passes, fresh_placement)
+        .front();
+}
+
+std::vector<Cycles> NativePlatform::traverse_cycles_concurrent(const std::vector<CoreId>& cores,
+                                                               Bytes array_bytes, Bytes stride,
+                                                               int passes,
+                                                               bool /*fresh_placement*/) {
+    // The native backend allocates per call; the OS decides placement
+    // either way, so the static-buffer hint has nothing to act on here.
+    SERVET_CHECK(!cores.empty() && passes > 0);
+    const std::size_t n = cores.size();
+    std::vector<Cycles> results(n, 0.0);
+    std::barrier sync(static_cast<std::ptrdiff_t>(n));
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        threads.emplace_back([&, i] {
+            if (!hw::pin_current_thread(cores[i]))
+                SERVET_LOG_WARN("could not pin thread to core %d", cores[i]);
+            hw::TraversalBuffer buffer(array_bytes, stride);
+            (void)buffer.traverse_once();  // private warm-up
+            sync.arrive_and_wait();        // all cores hot before timing
+            results[i] = buffer.measure_cycles_per_access(passes);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    return results;
+}
+
+BytesPerSecond NativePlatform::copy_bandwidth(CoreId core, Bytes array_bytes) {
+    return copy_bandwidth_concurrent({core}, array_bytes).front();
+}
+
+std::vector<BytesPerSecond> NativePlatform::copy_bandwidth_concurrent(
+    const std::vector<CoreId>& cores, Bytes array_bytes) {
+    SERVET_CHECK(!cores.empty());
+    const std::size_t n = cores.size();
+    std::vector<BytesPerSecond> results(n, 0.0);
+    std::barrier sync(static_cast<std::ptrdiff_t>(n));
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        threads.emplace_back([&, i] {
+            if (!hw::pin_current_thread(cores[i]))
+                SERVET_LOG_WARN("could not pin thread to core %d", cores[i]);
+            sync.arrive_and_wait();
+            results[i] = hw::measure_copy_bandwidth(array_bytes, /*passes=*/3);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    return results;
+}
+
+}  // namespace servet

@@ -1,0 +1,37 @@
+// Platform implementation on real hardware: pinned threads, TSC timing,
+// and the Fig. 1 traversal / STREAM copy kernels. Concurrent measurements
+// synchronize on a std::barrier between the warm-up and timed phases so
+// every participating core is actually streaming while any of them is
+// being measured.
+#pragma once
+
+#include "platform/platform.hpp"
+
+namespace servet {
+
+class NativePlatform final : public Platform {
+  public:
+    /// `cores` limits the platform to a subset of the machine (default:
+    /// all online cores). Throws nothing; pinning failures degrade to
+    /// unpinned threads with a warning.
+    explicit NativePlatform(int cores = 0);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int core_count() const override { return cores_; }
+    [[nodiscard]] Bytes page_size() const override { return page_size_; }
+
+    [[nodiscard]] Cycles traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                         int passes, bool fresh_placement) override;
+    [[nodiscard]] std::vector<Cycles> traverse_cycles_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
+        bool fresh_placement) override;
+    [[nodiscard]] BytesPerSecond copy_bandwidth(CoreId core, Bytes array_bytes) override;
+    [[nodiscard]] std::vector<BytesPerSecond> copy_bandwidth_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes) override;
+
+  private:
+    int cores_;
+    Bytes page_size_;
+};
+
+}  // namespace servet

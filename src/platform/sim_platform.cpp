@@ -1,0 +1,45 @@
+#include "platform/sim_platform.hpp"
+
+#include "base/check.hpp"
+
+namespace servet {
+
+SimPlatform::SimPlatform(sim::MachineSpec spec)
+    : sim_(std::move(spec)), noise_(sim_.spec().seed ^ 0x901e54ULL) {}
+
+std::string SimPlatform::name() const { return "sim:" + sim_.spec().name; }
+
+int SimPlatform::core_count() const { return sim_.spec().n_cores; }
+
+Bytes SimPlatform::page_size() const { return sim_.spec().page_size; }
+
+double SimPlatform::jitter() { return noise_.jitter(sim_.spec().measurement_jitter); }
+
+Cycles SimPlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride, int passes,
+                                    bool fresh_placement) {
+    return sim_.traverse_one(core, array_bytes, stride, passes, fresh_placement) * jitter();
+}
+
+std::vector<Cycles> SimPlatform::traverse_cycles_concurrent(const std::vector<CoreId>& cores,
+                                                            Bytes array_bytes, Bytes stride,
+                                                            int passes, bool fresh_placement) {
+    sim::TraversalResult result =
+        sim_.traverse(cores, array_bytes, stride, passes, fresh_placement);
+    for (Cycles& c : result.cycles_per_access) c *= jitter();
+    return std::move(result.cycles_per_access);
+}
+
+BytesPerSecond SimPlatform::copy_bandwidth(CoreId core, Bytes array_bytes) {
+    return sim_.copy_bandwidth(core, {core}, array_bytes) * jitter();
+}
+
+std::vector<BytesPerSecond> SimPlatform::copy_bandwidth_concurrent(
+    const std::vector<CoreId>& cores, Bytes array_bytes) {
+    std::vector<BytesPerSecond> result;
+    result.reserve(cores.size());
+    for (CoreId core : cores)
+        result.push_back(sim_.copy_bandwidth(core, cores, array_bytes) * jitter());
+    return result;
+}
+
+}  // namespace servet

@@ -1,0 +1,42 @@
+// Platform implementation over the machine simulator, with deterministic
+// measurement jitter (spec.measurement_jitter) layered on top so the
+// suite's clustering/thresholding logic is exercised the way real noisy
+// measurements would.
+#pragma once
+
+#include <memory>
+
+#include "base/rng.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace servet {
+
+class SimPlatform final : public Platform {
+  public:
+    explicit SimPlatform(sim::MachineSpec spec);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int core_count() const override;
+    [[nodiscard]] Bytes page_size() const override;
+
+    [[nodiscard]] Cycles traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                         int passes, bool fresh_placement) override;
+    [[nodiscard]] std::vector<Cycles> traverse_cycles_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
+        bool fresh_placement) override;
+    [[nodiscard]] BytesPerSecond copy_bandwidth(CoreId core, Bytes array_bytes) override;
+    [[nodiscard]] std::vector<BytesPerSecond> copy_bandwidth_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes) override;
+
+    [[nodiscard]] const sim::MachineSpec& spec() const { return sim_.spec(); }
+    [[nodiscard]] sim::MachineSim& machine() { return sim_; }
+
+  private:
+    [[nodiscard]] double jitter();
+
+    sim::MachineSim sim_;
+    Rng noise_;
+};
+
+}  // namespace servet

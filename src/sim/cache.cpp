@@ -1,0 +1,86 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "base/check.hpp"
+
+namespace servet::sim {
+
+bool CacheGeometry::valid() const {
+    if (size == 0 || line_size == 0 || associativity <= 0) return false;
+    if (!std::has_single_bit(line_size)) return false;
+    const Bytes way_bytes = line_size * static_cast<Bytes>(associativity);
+    return size % way_bytes == 0 && set_count() >= 1;
+}
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry) : geometry_(geometry) {
+    SERVET_CHECK_MSG(geometry.valid(), "invalid cache geometry");
+    line_shift_ = static_cast<std::uint64_t>(std::countr_zero(geometry.line_size));
+    sets_ = geometry.set_count();
+    ways_.resize(sets_ * static_cast<std::uint64_t>(geometry.associativity));
+}
+
+SetAssocCache::Way* SetAssocCache::find(std::uint64_t line) {
+    const std::uint64_t set = set_index(line);
+    const std::uint64_t tag = tag_of(line);
+    Way* base = &ways_[set * static_cast<std::uint64_t>(geometry_.associativity)];
+    for (int w = 0; w < geometry_.associativity; ++w) {
+        if (base[w].tag == tag) return &base[w];
+    }
+    return nullptr;
+}
+
+SetAssocCache::Way& SetAssocCache::victim(std::uint64_t set) {
+    Way* base = &ways_[set * static_cast<std::uint64_t>(geometry_.associativity)];
+    Way* lru = base;
+    for (int w = 1; w < geometry_.associativity; ++w) {
+        if (base[w].tag == kInvalidTag) return base[w];  // free way first
+        if (base[w].stamp < lru->stamp) lru = &base[w];
+    }
+    return *lru;
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+    const std::uint64_t line = addr >> line_shift_;
+    ++clock_;
+    if (Way* way = find(line)) {
+        way->stamp = clock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    Way& way = victim(set_index(line));
+    way.tag = tag_of(line);
+    way.stamp = clock_;
+    return false;
+}
+
+void SetAssocCache::prefetch_fill(std::uint64_t addr) {
+    const std::uint64_t line = addr >> line_shift_;
+    ++clock_;
+    if (Way* way = find(line)) {
+        way->stamp = clock_;
+        return;
+    }
+    Way& way = victim(set_index(line));
+    way.tag = tag_of(line);
+    way.stamp = clock_;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint64_t set = line % sets_;
+    const std::uint64_t tag = line / sets_;
+    const Way* base = &ways_[set * static_cast<std::uint64_t>(geometry_.associativity)];
+    for (int w = 0; w < geometry_.associativity; ++w) {
+        if (base[w].tag == tag) return true;
+    }
+    return false;
+}
+
+void SetAssocCache::invalidate_all() {
+    for (Way& way : ways_) way = Way{};
+    clock_ = 0;
+}
+
+}  // namespace servet::sim

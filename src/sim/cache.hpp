@@ -1,0 +1,85 @@
+// Set-associative LRU cache model. One instance models one physical cache
+// (an L1, or one shared L2 serving a pair of cores, ...). The simulator
+// builds one instance per cache in the machine and pushes the benchmark's
+// access trace through them, so capacity misses, conflict misses from
+// physical indexing, and inter-core thrashing in shared caches all emerge
+// from the same mechanism that produces them on hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::sim {
+
+/// Static shape of a cache. Set counts need not be powers of two (real
+/// LLCs like the 16-way 12MB Dunnington L3 have 3*2^k sets); indexing is
+/// line % sets.
+struct CacheGeometry {
+    Bytes size = 0;
+    Bytes line_size = 64;
+    int associativity = 8;
+    bool physically_indexed = false;
+
+    [[nodiscard]] std::uint64_t set_count() const {
+        return size / (line_size * static_cast<Bytes>(associativity));
+    }
+
+    /// Page sets of Section III-A2: groups of sets that can receive data
+    /// from one page. CS / (K * PS).
+    [[nodiscard]] std::uint64_t page_set_count(Bytes page_size) const {
+        return size / (static_cast<Bytes>(associativity) * page_size);
+    }
+
+    /// Line size a power of two, size an exact multiple of way capacity,
+    /// and at least one set.
+    [[nodiscard]] bool valid() const;
+};
+
+/// LRU set-associative cache over line addresses.
+class SetAssocCache {
+  public:
+    explicit SetAssocCache(const CacheGeometry& geometry);
+
+    /// Look up the line containing `addr` (a byte address in whichever
+    /// address space this cache is indexed by); on miss, fill it, evicting
+    /// the LRU way. Returns true on hit.
+    bool access(std::uint64_t addr);
+
+    /// Fill without counting a demand access (prefetch path). Touches LRU
+    /// state like a normal fill.
+    void prefetch_fill(std::uint64_t addr);
+
+    /// True iff the line is currently resident (no LRU update, no fill).
+    [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+    void invalidate_all();
+
+    [[nodiscard]] const CacheGeometry& geometry() const { return geometry_; }
+    [[nodiscard]] std::uint64_t hit_count() const { return hits_; }
+    [[nodiscard]] std::uint64_t miss_count() const { return misses_; }
+    void reset_counters() { hits_ = misses_ = 0; }
+
+  private:
+    struct Way {
+        std::uint64_t tag = kInvalidTag;
+        std::uint64_t stamp = 0;  // larger = more recently used
+    };
+    static constexpr std::uint64_t kInvalidTag = ~0ULL;
+
+    [[nodiscard]] std::uint64_t set_index(std::uint64_t line) const { return line % sets_; }
+    [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const { return line / sets_; }
+    Way* find(std::uint64_t line);
+    Way& victim(std::uint64_t set);
+
+    CacheGeometry geometry_;
+    std::uint64_t line_shift_;
+    std::uint64_t sets_;
+    std::vector<Way> ways_;  // set-major layout: ways_[set * assoc + way]
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace servet::sim

@@ -1,0 +1,187 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace servet::sim {
+
+namespace {
+/// Distinct, page-aligned virtual address ranges per (run, core) so every
+/// traversal call allocates "fresh" pages and draws a fresh physical
+/// placement, like a real malloc+touch.
+constexpr std::uint64_t kCoreSpaceBits = 36;  // 64 GiB of virtual space per array
+}  // namespace
+
+MachineSim::MachineSim(MachineSpec spec) : spec_(std::move(spec)), memory_(spec_) {
+    const auto problems = spec_.validate();
+    SERVET_CHECK_MSG(problems.empty(), "machine spec failed validation");
+
+    caches_.reserve(spec_.levels.size());
+    instance_of_.reserve(spec_.levels.size());
+    for (const CacheLevelSpec& level : spec_.levels) {
+        std::vector<SetAssocCache> instances;
+        instances.reserve(level.instances.size());
+        for (std::size_t i = 0; i < level.instances.size(); ++i)
+            instances.emplace_back(level.geometry);
+        caches_.push_back(std::move(instances));
+
+        std::vector<int> core_to_instance(static_cast<std::size_t>(spec_.n_cores), -1);
+        for (std::size_t i = 0; i < level.instances.size(); ++i)
+            for (CoreId c : level.instances[i])
+                core_to_instance[static_cast<std::size_t>(c)] = static_cast<int>(i);
+        instance_of_.push_back(std::move(core_to_instance));
+    }
+    prefetchers_.assign(static_cast<std::size_t>(spec_.n_cores),
+                        StreamPrefetcher(spec_.prefetcher));
+
+    if (spec_.tlb.enabled) {
+        // A fully associative TLB over virtual pages is a one-set cache
+        // with page-sized "lines" and one way per entry.
+        const CacheGeometry tlb_geometry{
+            .size = static_cast<Bytes>(spec_.tlb.entries) * spec_.page_size,
+            .line_size = spec_.page_size,
+            .associativity = spec_.tlb.entries,
+            .physically_indexed = false};
+        tlbs_.assign(static_cast<std::size_t>(spec_.n_cores), SetAssocCache(tlb_geometry));
+    }
+
+    // Physical memory: comfortably larger than all caches plus any working
+    // set we simulate — 16 GiB of frames keeps random placement uniform.
+    const std::uint64_t frames = (16 * GiB) / spec_.page_size;
+    mapper_ = std::make_unique<PageMapper>(spec_.page_policy, spec_.page_size, frames,
+                                           spec_.page_colors(), spec_.seed);
+}
+
+void MachineSim::reset_microarchitecture(Bytes array_bytes, bool fresh_placement) {
+    for (auto& level : caches_)
+        for (SetAssocCache& cache : level) cache.invalidate_all();
+    for (StreamPrefetcher& prefetcher : prefetchers_) prefetcher.reset();
+    for (SetAssocCache& tlb : tlbs_) tlb.invalidate_all();
+    // Reseed the mapper deterministically: per run for fresh allocations,
+    // per array size for static buffers (so a reference run and the pair
+    // runs that are compared against it see identical placements).
+    ++run_counter_;
+    const std::uint64_t salt = fresh_placement ? run_counter_ : array_bytes;
+    const std::uint64_t frames = (16 * GiB) / spec_.page_size;
+    mapper_ = std::make_unique<PageMapper>(spec_.page_policy, spec_.page_size, frames,
+                                           spec_.page_colors(),
+                                           spec_.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+void MachineSim::fill_for_prefetch(CoreId core, std::uint64_t vaddr) {
+    const std::uint64_t paddr = mapper_->translate(vaddr);
+    for (std::size_t level = 0; level < caches_.size(); ++level) {
+        const int instance = instance_of_[level][static_cast<std::size_t>(core)];
+        if (instance < 0) continue;
+        const bool physical = spec_.levels[level].geometry.physically_indexed;
+        caches_[level][static_cast<std::size_t>(instance)].prefetch_fill(physical ? paddr : vaddr);
+    }
+}
+
+Cycles MachineSim::access_cost(CoreId core, std::uint64_t vaddr, double latency_mult) {
+    ++total_accesses_;
+
+    // Prefetcher observes the demand stream and may pull lines in ahead.
+    std::uint64_t prefetch_addrs[8];
+    SERVET_CHECK(spec_.prefetcher.degree <= 8);
+    const int n_prefetch =
+        prefetchers_[static_cast<std::size_t>(core)].observe(vaddr, prefetch_addrs);
+
+    // Translation first: a TLB miss pays the page walk regardless of where
+    // the data itself hits.
+    Cycles tlb_penalty = 0;
+    if (!tlbs_.empty() && !tlbs_[static_cast<std::size_t>(core)].access(vaddr))
+        tlb_penalty = spec_.tlb.miss_cycles;
+
+    const std::uint64_t paddr = mapper_->translate(vaddr);
+    Cycles cost = -1;
+    for (std::size_t level = 0; level < caches_.size(); ++level) {
+        const int instance = instance_of_[level][static_cast<std::size_t>(core)];
+        SERVET_CHECK_MSG(instance >= 0, "core not covered by a cache instance");
+        const bool physical = spec_.levels[level].geometry.physically_indexed;
+        const bool hit =
+            caches_[level][static_cast<std::size_t>(instance)].access(physical ? paddr : vaddr);
+        if (hit) {
+            cost = spec_.levels[level].hit_cycles;
+            break;
+        }
+    }
+    if (cost < 0) cost = spec_.memory.latency_cycles * latency_mult;
+
+    for (int p = 0; p < n_prefetch; ++p) fill_for_prefetch(core, prefetch_addrs[p]);
+    return cost + tlb_penalty;
+}
+
+TraversalResult MachineSim::traverse(const std::vector<CoreId>& cores, Bytes array_bytes,
+                                     Bytes stride, int measure_passes, bool fresh_placement) {
+    SERVET_CHECK(!cores.empty());
+    SERVET_CHECK(array_bytes > 0 && stride > 0 && measure_passes > 0);
+    for (CoreId c : cores) SERVET_CHECK(c >= 0 && c < spec_.n_cores);
+
+    reset_microarchitecture(array_bytes, fresh_placement);
+
+    // Address ranges keyed by core id (not list position), so a core's
+    // static buffer lands on the same pages whether it runs solo or paired.
+    const std::size_t n_cores = cores.size();
+    std::vector<std::uint64_t> base(n_cores);
+    for (std::size_t i = 0; i < n_cores; ++i)
+        base[i] = (static_cast<std::uint64_t>(cores[i]) + 1) << kCoreSpaceBits;
+
+    std::vector<double> latency_mult(n_cores);
+    for (std::size_t i = 0; i < n_cores; ++i)
+        latency_mult[i] = memory_.latency_multiplier(cores[i], cores);
+
+    const Bytes line = spec_.levels.empty() ? 64 : spec_.levels.front().geometry.line_size;
+
+    // Initialization: the benchmark's setup loop writes the stride into
+    // every element, touching each line sequentially. Interleaved across
+    // cores like the measured phase.
+    for (Bytes offset = 0; offset < array_bytes; offset += line)
+        for (std::size_t i = 0; i < n_cores; ++i)
+            (void)access_cost(cores[i], base[i] + offset, latency_mult[i]);
+
+    const std::uint64_t accesses = (array_bytes + stride - 1) / stride;
+    std::vector<Cycles> total(n_cores, 0.0);
+    for (int pass = -1; pass < measure_passes; ++pass) {  // pass -1 = warm-up
+        for (std::uint64_t k = 0; k < accesses; ++k) {
+            const Bytes offset = k * stride;
+            for (std::size_t i = 0; i < n_cores; ++i) {
+                const Cycles cost = access_cost(cores[i], base[i] + offset, latency_mult[i]);
+                if (pass >= 0) total[i] += cost;
+            }
+        }
+    }
+
+    TraversalResult result;
+    result.accesses_per_core = accesses * static_cast<std::uint64_t>(measure_passes);
+    result.cycles_per_access.resize(n_cores);
+    for (std::size_t i = 0; i < n_cores; ++i)
+        result.cycles_per_access[i] = total[i] / static_cast<double>(result.accesses_per_core);
+    return result;
+}
+
+Cycles MachineSim::traverse_one(CoreId core, Bytes array_bytes, Bytes stride,
+                                int measure_passes, bool fresh_placement) {
+    return traverse({core}, array_bytes, stride, measure_passes, fresh_placement)
+        .cycles_per_access.front();
+}
+
+BytesPerSecond MachineSim::copy_bandwidth(CoreId core, const std::vector<CoreId>& active,
+                                          Bytes array_bytes) const {
+    SERVET_CHECK(core >= 0 && core < spec_.n_cores);
+
+    // A copy working set that fits in some cache level streams from that
+    // cache and sees no memory contention. Scale bandwidth by how close the
+    // level is to the core (L1 fastest). Source + destination arrays.
+    const Bytes working_set = 2 * array_bytes;
+    for (std::size_t level = 0; level < spec_.levels.size(); ++level) {
+        if (working_set <= spec_.levels[level].geometry.size) {
+            const double boost = 4.0 / static_cast<double>(level + 1);
+            return spec_.memory.single_core_bandwidth * std::max(boost, 1.5);
+        }
+    }
+    return memory_.stream_bandwidth(core, active);
+}
+
+}  // namespace servet::sim

@@ -1,0 +1,86 @@
+// The machine simulator proper: owns one SetAssocCache per physical cache
+// instance, a stream prefetcher per core, and a page mapper, and pushes
+// benchmark access traces through them. Traversals by multiple cores are
+// interleaved round-robin so thrashing in shared caches (the signal behind
+// the shared-cache benchmark, Fig. 5) emerges from LRU replacement rather
+// than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/page_mapper.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace servet::sim {
+
+struct TraversalResult {
+    std::vector<Cycles> cycles_per_access;  ///< one entry per requested core
+    std::uint64_t accesses_per_core = 0;
+};
+
+class MachineSim {
+  public:
+    explicit MachineSim(MachineSpec spec);
+
+    /// Each core in `cores` traverses its own array of `array_bytes` with
+    /// the given stride (the mcalibrator access pattern, Fig. 1),
+    /// interleaved access-by-access. The array is initialized (every line
+    /// touched sequentially, as the real benchmark's setup loop does), one
+    /// warm-up pass runs unmeasured, then `measure_passes` passes are
+    /// timed.
+    ///
+    /// `fresh_placement` selects the allocation behaviour: true draws a
+    /// fresh random physical placement (a new malloc+touch — what
+    /// mcalibrator's repeats average over); false reuses a placement
+    /// deterministic in (machine, array size, core) — a statically
+    /// allocated buffer, which is what the pairwise shared-cache probe
+    /// needs so its concurrent/reference ratio cancels placement luck.
+    [[nodiscard]] TraversalResult traverse(const std::vector<CoreId>& cores, Bytes array_bytes,
+                                           Bytes stride, int measure_passes,
+                                           bool fresh_placement = true);
+
+    /// Single-core convenience wrapper.
+    [[nodiscard]] Cycles traverse_one(CoreId core, Bytes array_bytes, Bytes stride,
+                                      int measure_passes, bool fresh_placement = true);
+
+    /// Analytic streaming-copy bandwidth (Section III-C substrate): `core`'s
+    /// copy bandwidth while all cores in `active` stream concurrently.
+    /// Arrays that fit in cache short-circuit to cache bandwidth — the
+    /// benchmark layer is responsible for sizing arrays past the LLC.
+    [[nodiscard]] BytesPerSecond copy_bandwidth(CoreId core, const std::vector<CoreId>& active,
+                                                Bytes array_bytes) const;
+
+    [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+    [[nodiscard]] const MemoryModel& memory_model() const { return memory_; }
+
+    /// Total simulated demand accesses since construction (for perf tests).
+    [[nodiscard]] std::uint64_t total_accesses() const { return total_accesses_; }
+
+  private:
+    struct CoreRun;  // per-core traversal state
+
+    /// Cost of one demand access by `core` at virtual address `vaddr`,
+    /// including prefetcher side effects. `latency_mult` scales the
+    /// main-memory latency (bus queueing under concurrency).
+    Cycles access_cost(CoreId core, std::uint64_t vaddr, double latency_mult);
+
+    void fill_for_prefetch(CoreId core, std::uint64_t vaddr);
+    void reset_microarchitecture(Bytes array_bytes, bool fresh_placement);
+
+    MachineSpec spec_;
+    MemoryModel memory_;
+    std::vector<std::vector<SetAssocCache>> caches_;  // [level][instance]
+    std::vector<std::vector<int>> instance_of_;       // [level][core] -> instance
+    std::vector<StreamPrefetcher> prefetchers_;       // per core
+    std::vector<SetAssocCache> tlbs_;                 // per core, when enabled
+    std::unique_ptr<PageMapper> mapper_;
+    std::uint64_t run_counter_ = 0;
+    std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace servet::sim

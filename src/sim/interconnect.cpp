@@ -1,0 +1,33 @@
+#include "sim/interconnect.hpp"
+
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace servet::sim {
+
+InterconnectModel::InterconnectModel(const MachineSpec& spec) : spec_(&spec) {
+    SERVET_CHECK_MSG(!spec.comm_layers.empty() || spec.n_cores == 1,
+                     "interconnect model needs comm layers");
+}
+
+const CommLayerSpec& InterconnectModel::layer(int index) const {
+    SERVET_CHECK(index >= 0 && index < layer_count());
+    return spec_->comm_layers[static_cast<std::size_t>(index)];
+}
+
+Seconds InterconnectModel::latency(CorePair pair, Bytes size) const {
+    const CommLayerSpec& l = layer(layer_of(pair));
+    Seconds t = l.base_latency + static_cast<double>(size) / l.bandwidth;
+    if (size > l.eager_threshold) t += l.rendezvous_extra;
+    return t;
+}
+
+Seconds InterconnectModel::latency_concurrent(CorePair pair, Bytes size, int concurrent) const {
+    SERVET_CHECK(concurrent >= 1);
+    const CommLayerSpec& l = layer(layer_of(pair));
+    return latency(pair, size) * std::pow(static_cast<double>(concurrent),
+                                          l.concurrency_exponent);
+}
+
+}  // namespace servet::sim

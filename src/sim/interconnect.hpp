@@ -1,0 +1,39 @@
+// Interconnect model: per-layer, protocol-aware message latency with a
+// concurrency penalty. Covers the three layers the paper characterizes —
+// intra-processor shared memory, inter-processor shared memory, and the
+// cluster network — including the eager/rendezvous protocol switch that
+// makes LogP/Hockney-style single-line models inaccurate (Section III-D)
+// and the sub-linear scalability of Fig. 10b.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/machine.hpp"
+
+namespace servet::sim {
+
+class InterconnectModel {
+  public:
+    explicit InterconnectModel(const MachineSpec& spec);
+
+    /// Index of the layer carrying traffic between the pair.
+    [[nodiscard]] int layer_of(CorePair pair) const { return spec_->comm_layer_of(pair); }
+
+    [[nodiscard]] const CommLayerSpec& layer(int index) const;
+    [[nodiscard]] int layer_count() const { return static_cast<int>(spec_->comm_layers.size()); }
+
+    /// One-way latency for an isolated message of `size` bytes.
+    [[nodiscard]] Seconds latency(CorePair pair, Bytes size) const;
+
+    /// One-way latency when `concurrent` messages (including this one)
+    /// traverse the same layer simultaneously: latency * N^exponent.
+    [[nodiscard]] Seconds latency_concurrent(CorePair pair, Bytes size, int concurrent) const;
+
+    [[nodiscard]] const MachineSpec& spec() const { return *spec_; }
+
+  private:
+    const MachineSpec* spec_;
+};
+
+}  // namespace servet::sim

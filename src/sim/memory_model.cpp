@@ -1,0 +1,52 @@
+#include "sim/memory_model.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace servet::sim {
+
+MemoryModel::MemoryModel(const MachineSpec& spec) : spec_(&spec) {}
+
+int MemoryModel::active_in_domain(const ContentionDomainSpec& domain,
+                                  const std::vector<CoreId>& active) const {
+    int count = 0;
+    for (CoreId c : active) {
+        if (std::find(domain.members.begin(), domain.members.end(), c) != domain.members.end())
+            ++count;
+    }
+    return count;
+}
+
+BytesPerSecond MemoryModel::stream_bandwidth(CoreId core,
+                                             const std::vector<CoreId>& active) const {
+    SERVET_CHECK(std::find(active.begin(), active.end(), core) != active.end());
+    const MemorySpec& memory = spec_->memory;
+    double bandwidth = memory.single_core_bandwidth;
+    for (const ContentionDomainSpec& domain : memory.domains) {
+        if (std::find(domain.members.begin(), domain.members.end(), core) == domain.members.end())
+            continue;
+        const int sharers = active_in_domain(domain, active);
+        SERVET_CHECK(sharers >= 1);
+        const double share =
+            domain.aggregate_bandwidth_factor * memory.single_core_bandwidth /
+            static_cast<double>(sharers);
+        bandwidth = std::min(bandwidth, share);
+    }
+    return bandwidth;
+}
+
+double MemoryModel::latency_multiplier(CoreId core, const std::vector<CoreId>& active) const {
+    double multiplier = 1.0;
+    for (const ContentionDomainSpec& domain : spec_->memory.domains) {
+        if (std::find(domain.members.begin(), domain.members.end(), core) == domain.members.end())
+            continue;
+        const int sharers = active_in_domain(domain, active);
+        if (sharers > 1)
+            multiplier = std::max(
+                multiplier, 1.0 + domain.latency_factor_per_extra * static_cast<double>(sharers - 1));
+    }
+    return multiplier;
+}
+
+}  // namespace servet::sim

@@ -1,0 +1,40 @@
+// Steady-state memory contention model. Concurrent streaming cores split
+// each shared resource's aggregate bandwidth; a core's effective bandwidth
+// is capped by the tightest resource on its path. This produces exactly the
+// tiered structure the paper measures on Finis Terrae (Fig. 9a): bus-mates
+// are slower than cell-mates, cell-mates slower than the solo reference,
+// and cross-cell pairs see no overhead at all.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/machine.hpp"
+
+namespace servet::sim {
+
+class MemoryModel {
+  public:
+    explicit MemoryModel(const MachineSpec& spec);
+
+    /// Streaming (copy) bandwidth seen by `core` while every core in
+    /// `active` (which must include `core`) streams concurrently.
+    [[nodiscard]] BytesPerSecond stream_bandwidth(CoreId core,
+                                                  const std::vector<CoreId>& active) const;
+
+    /// Multiplier (>= 1) on the main-memory access latency for `core` when
+    /// the cores in `active` are hitting memory concurrently; models
+    /// queueing on shared buses during the cache benchmarks.
+    [[nodiscard]] double latency_multiplier(CoreId core,
+                                            const std::vector<CoreId>& active) const;
+
+    [[nodiscard]] const MachineSpec& spec() const { return *spec_; }
+
+  private:
+    [[nodiscard]] int active_in_domain(const ContentionDomainSpec& domain,
+                                       const std::vector<CoreId>& active) const;
+
+    const MachineSpec* spec_;
+};
+
+}  // namespace servet::sim

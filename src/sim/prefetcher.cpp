@@ -1,0 +1,40 @@
+#include "sim/prefetcher.hpp"
+
+#include <cstdlib>
+
+namespace servet::sim {
+
+int StreamPrefetcher::observe(std::uint64_t vaddr, std::uint64_t* out) {
+    if (!spec_.enabled) return 0;
+
+    int emitted = 0;
+    if (has_last_) {
+        const std::int64_t stride =
+            static_cast<std::int64_t>(vaddr) - static_cast<std::int64_t>(last_addr_);
+        const std::uint64_t magnitude = static_cast<std::uint64_t>(std::llabs(stride));
+        if (stride != 0 && magnitude <= spec_.max_stride && stride == last_stride_) {
+            ++streak_;
+        } else {
+            last_stride_ = (stride != 0 && magnitude <= spec_.max_stride) ? stride : 0;
+            streak_ = last_stride_ != 0 ? 1 : 0;
+        }
+        if (streaming()) {
+            for (int d = 1; d <= spec_.degree; ++d) {
+                out[emitted++] =
+                    static_cast<std::uint64_t>(static_cast<std::int64_t>(vaddr) + d * last_stride_);
+            }
+        }
+    }
+    last_addr_ = vaddr;
+    has_last_ = true;
+    return emitted;
+}
+
+void StreamPrefetcher::reset() {
+    last_addr_ = 0;
+    last_stride_ = 0;
+    streak_ = 0;
+    has_last_ = false;
+}
+
+}  // namespace servet::sim

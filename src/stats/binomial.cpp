@@ -1,0 +1,62 @@
+#include "stats/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace servet::stats {
+
+double log_binomial_coefficient(std::int64_t n, std::int64_t k) {
+    SERVET_CHECK(n >= 0 && k >= 0 && k <= n);
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::int64_t n, double p, std::int64_t k) {
+    SERVET_CHECK(n >= 0 && p >= 0.0 && p <= 1.0);
+    if (k < 0 || k > n) return 0.0;
+    if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0) return k == n ? 1.0 : 0.0;
+    const double log_pmf = log_binomial_coefficient(n, k) +
+                           static_cast<double>(k) * std::log(p) +
+                           static_cast<double>(n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+double binomial_tail_above(std::int64_t n, double p, std::int64_t k) {
+    SERVET_CHECK(n >= 0 && p >= 0.0 && p <= 1.0);
+    if (k < 0) return 1.0;
+    if (k >= n) return 0.0;
+    if (p == 0.0) return 0.0;
+    if (p == 1.0) return 1.0;
+
+    // Sum the smaller side for accuracy, then complement if needed.
+    const double mean = binomial_mean(n, p);
+    if (static_cast<double>(k) + 1.0 > mean) {
+        // Tail above k is the small side: sum P(X = j), j = k+1..n, stopping
+        // once terms no longer contribute.
+        double sum = 0.0;
+        double term = binomial_pmf(n, p, k + 1);
+        sum += term;
+        for (std::int64_t j = k + 2; j <= n && term > 0.0; ++j) {
+            // Ratio recurrence: P(j)/P(j-1) = (n-j+1)/j * p/(1-p).
+            term *= static_cast<double>(n - j + 1) / static_cast<double>(j) * (p / (1.0 - p));
+            sum += term;
+            if (term < sum * 1e-16) break;
+        }
+        return std::min(sum, 1.0);
+    }
+    // CDF(k) is the small side.
+    double sum = 0.0;
+    double term = binomial_pmf(n, p, 0);
+    sum += term;
+    for (std::int64_t j = 1; j <= k; ++j) {
+        term *= static_cast<double>(n - j + 1) / static_cast<double>(j) * (p / (1.0 - p));
+        sum += term;
+    }
+    return std::clamp(1.0 - sum, 0.0, 1.0);
+}
+
+}  // namespace servet::stats

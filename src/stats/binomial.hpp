@@ -1,0 +1,30 @@
+// Binomial distribution, exactly as used by the probabilistic cache-size
+// estimator of Section III-A2: with NP pages accessed and a K-way cache of
+// size CS divided into CS/(K*PS) page sets, the pages landing in one page
+// set follow X ~ B(NP, (K*PS)/CS) and the expected miss rate is P(X > K).
+#pragma once
+
+#include <cstdint>
+
+namespace servet::stats {
+
+/// P(X > k) for X ~ Binomial(n, p).
+///
+/// Computed as 1 - CDF(k) with term-by-term evaluation in log space, so it
+/// stays accurate for the large n (thousands of pages) and tiny p (one page
+/// set among hundreds) that the cache estimator produces. Preconditions:
+/// n >= 0, 0 <= p <= 1.
+[[nodiscard]] double binomial_tail_above(std::int64_t n, double p, std::int64_t k);
+
+/// P(X = k) for X ~ Binomial(n, p).
+[[nodiscard]] double binomial_pmf(std::int64_t n, double p, std::int64_t k);
+
+/// Mean n*p — trivially, but keeps call sites self-describing.
+[[nodiscard]] inline double binomial_mean(std::int64_t n, double p) {
+    return static_cast<double>(n) * p;
+}
+
+/// ln(n choose k) via lgamma; exposed for tests.
+[[nodiscard]] double log_binomial_coefficient(std::int64_t n, std::int64_t k);
+
+}  // namespace servet::stats

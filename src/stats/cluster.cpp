@@ -1,0 +1,53 @@
+#include "stats/cluster.hpp"
+
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace servet::stats {
+
+SimilarityClusterer::SimilarityClusterer(double tolerance) : tolerance_(tolerance) {
+    SERVET_CHECK_MSG(tolerance >= 0.0 && tolerance < 1.0, "tolerance must be in [0, 1)");
+}
+
+bool SimilarityClusterer::similar(double a, double b) const {
+    const double scale = std::max(std::abs(a), std::abs(b));
+    return std::abs(a - b) <= tolerance_ * scale;
+}
+
+std::size_t SimilarityClusterer::add(double value, std::size_t tag) {
+    // Pick the closest similar cluster, not merely the first, so ordering of
+    // inputs cannot glue two distinct tiers together through a borderline
+    // sample.
+    std::size_t best = clusters_.size();
+    double best_distance = 0.0;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        if (!similar(value, clusters_[i].representative)) continue;
+        const double distance = std::abs(value - clusters_[i].representative);
+        if (best == clusters_.size() || distance < best_distance) {
+            best = i;
+            best_distance = distance;
+        }
+    }
+    if (best == clusters_.size()) {
+        clusters_.push_back(Cluster{value, {tag}});
+        sums_.push_back(value);
+        return clusters_.size() - 1;
+    }
+    Cluster& cluster = clusters_[best];
+    cluster.members.push_back(tag);
+    sums_[best] += value;
+    cluster.representative = sums_[best] / static_cast<double>(cluster.members.size());
+    return best;
+}
+
+std::vector<std::size_t> cluster_by_similarity(const std::vector<double>& values,
+                                               double tolerance) {
+    SimilarityClusterer clusterer(tolerance);
+    std::vector<std::size_t> assignment;
+    assignment.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) assignment.push_back(clusterer.add(values[i], i));
+    return assignment;
+}
+
+}  // namespace servet::stats

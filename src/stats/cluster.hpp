@@ -1,0 +1,45 @@
+// Similarity clustering for measured values. This is the grouping step the
+// paper applies verbatim in Figures 6 and 7: walk the measurements, and for
+// each value either attach it to an existing cluster whose representative is
+// "similar", or open a new cluster. Two values are similar when they differ
+// by at most `tolerance` relatively.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::stats {
+
+struct Cluster {
+    double representative = 0.0;        ///< running mean of members
+    std::vector<std::size_t> members;   ///< indices into the input sequence
+};
+
+class SimilarityClusterer {
+  public:
+    /// tolerance is relative: |v - rep| <= tolerance * max(|v|, |rep|).
+    explicit SimilarityClusterer(double tolerance);
+
+    /// Assign value (with caller-side index `tag`) to a cluster; returns the
+    /// cluster index. Representative is updated to the members' mean, so
+    /// clusters track drift without splitting on measurement noise.
+    std::size_t add(double value, std::size_t tag);
+
+    [[nodiscard]] const std::vector<Cluster>& clusters() const { return clusters_; }
+    [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+
+    [[nodiscard]] bool similar(double a, double b) const;
+
+  private:
+    double tolerance_;
+    std::vector<Cluster> clusters_;
+    std::vector<double> sums_;  // per-cluster sum, for exact means
+};
+
+/// One-shot convenience: cluster `values`; result[i] = cluster id of value i.
+[[nodiscard]] std::vector<std::size_t> cluster_by_similarity(const std::vector<double>& values,
+                                                             double tolerance);
+
+}  // namespace servet::stats

@@ -1,0 +1,43 @@
+#include "stats/gradient.hpp"
+
+#include "base/check.hpp"
+
+namespace servet::stats {
+
+std::vector<double> ratio_gradient(const std::vector<double>& c) {
+    std::vector<double> g;
+    if (c.size() < 2) return g;
+    g.reserve(c.size() - 1);
+    for (std::size_t k = 0; k + 1 < c.size(); ++k) {
+        SERVET_CHECK_MSG(c[k] > 0.0, "cycle counts must be positive");
+        g.push_back(c[k + 1] / c[k]);
+    }
+    return g;
+}
+
+std::vector<Peak> find_peaks(const std::vector<double>& gradient, double threshold) {
+    std::vector<Peak> peaks;
+    std::size_t i = 0;
+    while (i < gradient.size()) {
+        if (gradient[i] <= threshold) {
+            ++i;
+            continue;
+        }
+        Peak peak;
+        peak.first = i;
+        peak.apex = i;
+        peak.apex_value = gradient[i];
+        while (i < gradient.size() && gradient[i] > threshold) {
+            if (gradient[i] > peak.apex_value) {
+                peak.apex = i;
+                peak.apex_value = gradient[i];
+            }
+            ++i;
+        }
+        peak.last = i - 1;
+        peaks.push_back(peak);
+    }
+    return peaks;
+}
+
+}  // namespace servet::stats

@@ -1,0 +1,33 @@
+// Gradient and peak detection over mcalibrator outputs (Section III-A1,
+// Fig. 2b). The "gradient" is the paper's ratio C[k+1]/C[k]: a sharp rise in
+// per-access cycles shows up as a peak in this ratio, and the first peak
+// marks the L1 capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace servet::stats {
+
+/// g[k] = c[k+1] / c[k] for 0 <= k < n-1. Requires all c > 0.
+[[nodiscard]] std::vector<double> ratio_gradient(const std::vector<double>& c);
+
+struct Peak {
+    std::size_t first = 0;   ///< index of first gradient sample in the peak
+    std::size_t last = 0;    ///< index of last gradient sample in the peak
+    std::size_t apex = 0;    ///< index of the maximum gradient within it
+    double apex_value = 1.0;
+
+    /// A peak confined to one sample — the page-coloring / virtually-indexed
+    /// signature (Fig. 4: "peak related only to a single array size").
+    [[nodiscard]] bool single_sample() const { return first == last; }
+};
+
+/// Find maximal runs of gradient samples above `threshold`, each reported as
+/// one Peak. The paper's algorithm (Fig. 4) branches on whether a peak spans
+/// one array size (use its position directly) or several (run the
+/// probabilistic estimator over the run).
+[[nodiscard]] std::vector<Peak> find_peaks(const std::vector<double>& gradient,
+                                           double threshold);
+
+}  // namespace servet::stats

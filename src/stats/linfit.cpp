@@ -1,0 +1,58 @@
+#include "stats/linfit.hpp"
+
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace servet::stats {
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+    SERVET_CHECK(x.size() == y.size() && x.size() >= 2);
+    const double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    SERVET_CHECK_MSG(denom != 0.0, "x values must not be constant");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double mean_y = sy / n;
+    double ss_res = 0, ss_tot = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = y[i] - fit.at(x[i]);
+        ss_res += r * r;
+        const double d = y[i] - mean_y;
+        ss_tot += d * d;
+    }
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+double PowerFit::at(double x) const { return scale * std::pow(x, exponent); }
+
+PowerFit power_fit(const std::vector<double>& x, const std::vector<double>& y) {
+    SERVET_CHECK(x.size() == y.size() && x.size() >= 2);
+    std::vector<double> lx, ly;
+    lx.reserve(x.size());
+    ly.reserve(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        SERVET_CHECK_MSG(x[i] > 0 && y[i] > 0, "power_fit requires positive data");
+        lx.push_back(std::log(x[i]));
+        ly.push_back(std::log(y[i]));
+    }
+    const LinearFit log_fit = linear_fit(lx, ly);
+    PowerFit fit;
+    fit.scale = std::exp(log_fit.intercept);
+    fit.exponent = log_fit.slope;
+    fit.r2 = log_fit.r2;
+    return fit;
+}
+
+}  // namespace servet::stats

@@ -1,0 +1,36 @@
+// Least-squares fits for communication modelling. The comm-costs benchmark
+// characterizes each layer with a piecewise-linear latency model in the
+// Hockney spirit (t = L0 + size/BW per protocol region), and the scalability
+// analysis fits a power law penalty(n) = a * n^b to concurrent-message
+// slowdowns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace servet::stats {
+
+struct LinearFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;  ///< coefficient of determination
+
+    [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least squares y = intercept + slope*x. Requires >= 2 points and
+/// non-constant x.
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+struct PowerFit {
+    double scale = 1.0;     ///< a in y = a * x^b
+    double exponent = 0.0;  ///< b
+    double r2 = 0.0;
+
+    [[nodiscard]] double at(double x) const;
+};
+
+/// Fit y = a*x^b by OLS in log-log space. Requires all x, y > 0.
+[[nodiscard]] PowerFit power_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace servet::stats

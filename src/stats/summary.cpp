@@ -1,0 +1,65 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/check.hpp"
+
+namespace servet::stats {
+
+double median(std::vector<double> values) {
+    SERVET_CHECK(!values.empty());
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                     values.end());
+    const double upper = values[mid];
+    if (values.size() % 2 == 1) return upper;
+    const double lower =
+        *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (lower + upper);
+}
+
+double mad(std::vector<double> values) {
+    SERVET_CHECK(!values.empty());
+    const double m = median(values);
+    for (double& v : values) v = std::abs(v - m);
+    return 1.4826 * median(std::move(values));
+}
+
+double mean(const std::vector<double>& values) {
+    SERVET_CHECK(!values.empty());
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double min_value(const std::vector<double>& values) {
+    SERVET_CHECK(!values.empty());
+    return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(const std::vector<double>& values) {
+    SERVET_CHECK(!values.empty());
+    return *std::max_element(values.begin(), values.end());
+}
+
+std::uint64_t mode(const std::vector<std::uint64_t>& values) {
+    SERVET_CHECK(!values.empty());
+    std::map<std::uint64_t, std::size_t> counts;
+    for (std::uint64_t v : values) ++counts[v];
+
+    std::size_t best_count = 0;
+    std::uint64_t best_value = values.front();
+    // Scan in input order so ties resolve to the earliest-seen value.
+    for (std::uint64_t v : values) {
+        const std::size_t c = counts[v];
+        if (c > best_count) {
+            best_count = c;
+            best_value = v;
+        }
+    }
+    return best_value;
+}
+
+}  // namespace servet::stats

@@ -1,0 +1,34 @@
+// Robust summary statistics. Measurement repetition in the suite reduces
+// via median (outlier-immune: one descheduled run must not shift a cycle
+// estimate), and the probabilistic cache estimator takes the statistical
+// mode of its top candidates (Fig. 3: "the statistical mode of CS using the
+// five elements of div with the lowest values").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace servet::stats {
+
+/// Median (average of the two central elements for even sizes). Input is
+/// copied; empty input is a precondition violation.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Median absolute deviation (scaled by 1.4826 to be consistent with the
+/// standard deviation under normality).
+[[nodiscard]] double mad(std::vector<double> values);
+
+/// Arithmetic mean. Empty input is a precondition violation.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Minimum / maximum. Empty input is a precondition violation.
+[[nodiscard]] double min_value(const std::vector<double>& values);
+[[nodiscard]] double max_value(const std::vector<double>& values);
+
+/// Statistical mode over integral candidates. Ties break toward the value
+/// that appears *earliest* in the input — for the cache estimator that is
+/// the candidate with the lowest divergence, matching the paper's intent of
+/// preferring the best-fitting size.
+[[nodiscard]] std::uint64_t mode(const std::vector<std::uint64_t>& values);
+
+}  // namespace servet::stats

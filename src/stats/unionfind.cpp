@@ -1,0 +1,69 @@
+#include "stats/unionfind.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.hpp"
+
+namespace servet::stats {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_size_(n, 1), set_count_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+    SERVET_CHECK(x < parent_.size());
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];  // path halving
+        x = parent_[x];
+    }
+    return x;
+}
+
+bool UnionFind::unite(std::size_t x, std::size_t y) {
+    std::size_t rx = find(x);
+    std::size_t ry = find(y);
+    if (rx == ry) return false;
+    if (rank_size_[rx] < rank_size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    rank_size_[rx] += rank_size_[ry];
+    --set_count_;
+    return true;
+}
+
+bool UnionFind::connected(std::size_t x, std::size_t y) { return find(x) == find(y); }
+
+std::vector<std::vector<std::size_t>> UnionFind::components() {
+    std::map<std::size_t, std::vector<std::size_t>> by_root;
+    for (std::size_t i = 0; i < parent_.size(); ++i) by_root[find(i)].push_back(i);
+    std::vector<std::vector<std::size_t>> result;
+    result.reserve(by_root.size());
+    for (auto& [root, members] : by_root) result.push_back(std::move(members));
+    // by_root is keyed by root id, but we want deterministic order by the
+    // smallest member (members are already sorted since we insert 0..n-1).
+    std::sort(result.begin(), result.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return result;
+}
+
+std::vector<std::vector<CoreId>> groups_from_pairs(const std::vector<CorePair>& pairs,
+                                                   int n_cores) {
+    SERVET_CHECK(n_cores >= 0);
+    UnionFind uf(static_cast<std::size_t>(n_cores));
+    for (const CorePair& pair : pairs) {
+        SERVET_CHECK(pair.a >= 0 && pair.a < n_cores && pair.b >= 0 && pair.b < n_cores);
+        uf.unite(static_cast<std::size_t>(pair.a), static_cast<std::size_t>(pair.b));
+    }
+    std::vector<std::vector<CoreId>> groups;
+    for (const auto& component : uf.components()) {
+        if (component.size() < 2) continue;  // no edge ⇒ not a group
+        std::vector<CoreId> group;
+        group.reserve(component.size());
+        for (std::size_t member : component) group.push_back(static_cast<CoreId>(member));
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+}  // namespace servet::stats

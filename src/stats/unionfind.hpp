@@ -1,0 +1,44 @@
+// Disjoint-set structure used to turn pair lists into core groups. The
+// paper (Section III-C) derives groups from overhead pair lists — e.g. the
+// pairs (0,1),(0,2),(3,4),(3,5) yield groups {0,1,2} and {3,4,5} — which is
+// precisely connected components over the pair graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace servet::stats {
+
+class UnionFind {
+  public:
+    explicit UnionFind(std::size_t n);
+
+    /// Representative of x's set (with path halving).
+    [[nodiscard]] std::size_t find(std::size_t x);
+
+    /// Union by size; returns true when the sets were distinct.
+    bool unite(std::size_t x, std::size_t y);
+
+    [[nodiscard]] bool connected(std::size_t x, std::size_t y);
+    [[nodiscard]] std::size_t set_count() const { return set_count_; }
+    [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+    /// All components as sorted member lists, singletons included, ordered
+    /// by smallest member.
+    [[nodiscard]] std::vector<std::vector<std::size_t>> components();
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> rank_size_;
+    std::size_t set_count_;
+};
+
+/// The paper's derivation: connected components of the pair graph restricted
+/// to components with at least one edge (isolated cores are not part of any
+/// overhead/sharing group).
+[[nodiscard]] std::vector<std::vector<CoreId>> groups_from_pairs(
+    const std::vector<CorePair>& pairs, int n_cores);
+
+}  // namespace servet::stats

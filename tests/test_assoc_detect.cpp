@@ -1,0 +1,61 @@
+#include "core/assoc_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+TEST(AssocDetect, ZooMachines) {
+    struct Case {
+        sim::MachineSpec spec;
+        int expected;
+    };
+    for (const Case& machine : {Case{sim::zoo::dunnington(), 8},
+                                Case{sim::zoo::finis_terrae(), 4},
+                                Case{sim::zoo::dempsey(), 8},
+                                Case{sim::zoo::athlon3200(), 2},
+                                Case{sim::zoo::nehalem2s(), 8}}) {
+        SimPlatform platform(machine.spec);
+        const Bytes l1 = machine.spec.levels[0].geometry.size;
+        const auto assoc = detect_l1_associativity(platform, l1);
+        ASSERT_TRUE(assoc.has_value()) << machine.spec.name;
+        EXPECT_EQ(*assoc, machine.expected) << machine.spec.name;
+    }
+}
+
+class AssocSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssocSweep, SyntheticRecovery) {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 32 * KiB;
+    options.l1_assoc = GetParam();
+    options.jitter = 0.01;
+    SimPlatform platform(sim::zoo::synthetic(options));
+    const auto assoc = detect_l1_associativity(platform, 32 * KiB);
+    ASSERT_TRUE(assoc.has_value());
+    EXPECT_EQ(*assoc, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssocSweep, ::testing::Values(2, 4, 8, 16));
+
+TEST(AssocDetect, NoStepMeansNullopt) {
+    // Probing with a wildly wrong "L1 size" (tiny stride blocks all land
+    // in cache): max_ways blocks of 1KB trivially fit a 32KB L1 -> no
+    // conflict step within range.
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 32 * KiB;
+    options.l1_assoc = 8;
+    options.jitter = 0.0;
+    SimPlatform platform(sim::zoo::synthetic(options));
+    AssocDetectOptions detect;
+    detect.max_ways = 8;
+    EXPECT_FALSE(detect_l1_associativity(platform, 1 * KiB, detect).has_value());
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,71 @@
+#include "autotune/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::autotune {
+namespace {
+
+core::Profile profile_with_layer(std::vector<double> slowdown) {
+    core::Profile profile;
+    profile.cores = 2;
+    core::ProfileCommLayer layer;
+    layer.latency = 5e-6;
+    layer.pairs = {{0, 1}};
+    // Linear latency curve: 4us base + 1us per KB.
+    layer.p2p = {{1 * KiB, 5e-6}, {2 * KiB, 6e-6}, {16 * KiB, 20e-6}, {64 * KiB, 68e-6}};
+    layer.slowdown = std::move(slowdown);
+    profile.comm = {layer};
+    return profile;
+}
+
+TEST(Aggregation, PoorlyScalingLayerFavoursGathering) {
+    // Section III-D: N concurrent messages of size S cost more than one of
+    // N*S on a poorly scaling layer.
+    const auto profile = profile_with_layer({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+    const auto advice = advise_aggregation(profile, {0, 1}, 2 * KiB, 8);
+    ASSERT_TRUE(advice.has_value());
+    // scattered: 6us * 8x slowdown = 48us; gathered: 16KB -> 20us.
+    EXPECT_NEAR(advice->scattered_cost, 48e-6, 1e-9);
+    EXPECT_NEAR(advice->aggregated_cost, 20e-6, 1e-9);
+    EXPECT_TRUE(advice->aggregate);
+    EXPECT_NEAR(advice->benefit, 2.4, 0.01);
+}
+
+TEST(Aggregation, FullyScalableLayerKeepsMessagesSeparate) {
+    const auto profile = profile_with_layer({1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+    const auto advice = advise_aggregation(profile, {0, 1}, 2 * KiB, 8);
+    ASSERT_TRUE(advice.has_value());
+    // scattered: 6us (each message pays only itself); gathered: 20us.
+    EXPECT_FALSE(advice->aggregate);
+    EXPECT_LT(advice->benefit, 1.0);
+}
+
+TEST(Aggregation, SingleMessageNeverAggregates) {
+    const auto profile = profile_with_layer({1.0, 2.0});
+    const auto advice = advise_aggregation(profile, {0, 1}, 4 * KiB, 1);
+    ASSERT_TRUE(advice.has_value());
+    EXPECT_NEAR(advice->benefit, 1.0, 1e-9);
+    EXPECT_FALSE(advice->aggregate);
+}
+
+TEST(Aggregation, SlowdownClampedBeyondSweep) {
+    const auto profile = profile_with_layer({1.0, 2.0});  // measured to N=2 only
+    const auto a4 = advise_aggregation(profile, {0, 1}, 1 * KiB, 4);
+    ASSERT_TRUE(a4.has_value());
+    EXPECT_NEAR(a4->scattered_cost, 5e-6 * 2.0, 1e-12);  // clamps at 2x
+}
+
+TEST(Aggregation, MissingSlowdownTreatedAsScalable) {
+    const auto profile = profile_with_layer({});
+    const auto advice = advise_aggregation(profile, {0, 1}, 2 * KiB, 4);
+    ASSERT_TRUE(advice.has_value());
+    EXPECT_NEAR(advice->scattered_cost, 6e-6, 1e-12);
+}
+
+TEST(Aggregation, UnknownPairGivesNothing) {
+    const auto profile = profile_with_layer({1.0});
+    EXPECT_FALSE(advise_aggregation(profile, {0, 7}, KiB, 2).has_value());
+}
+
+}  // namespace
+}  // namespace servet::autotune

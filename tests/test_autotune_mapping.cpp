@@ -1,0 +1,227 @@
+#include "autotune/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace servet::autotune {
+namespace {
+
+/// Four cores; {0,1} and {2,3} are "fast" pairs (1us), everything else 5us.
+/// Cores {0,1} additionally collide on a memory bus at half bandwidth.
+core::Profile toy_profile() {
+    core::Profile profile;
+    profile.machine = "toy";
+    profile.cores = 4;
+    profile.page_size = 4096;
+
+    core::ProfileCommLayer fast;
+    fast.latency = 1e-6;
+    fast.pairs = {{0, 1}, {2, 3}};
+    fast.p2p = {{1 * KiB, 1e-6}, {64 * KiB, 2e-6}};
+    core::ProfileCommLayer slow;
+    slow.latency = 5e-6;
+    slow.pairs = {{0, 2}, {0, 3}, {1, 2}, {1, 3}};
+    slow.p2p = {{1 * KiB, 5e-6}, {64 * KiB, 10e-6}};
+    profile.comm = {fast, slow};
+
+    profile.memory.reference_bandwidth = 2e9;
+    core::ProfileMemoryTier tier;
+    tier.bandwidth = 1e9;
+    tier.groups = {{0, 1}};
+    tier.scalability = {2e9, 1e9};
+    profile.memory.tiers = {tier};
+    return profile;
+}
+
+TEST(CommGraph, RingShape) {
+    const CommGraph ring = CommGraph::ring(4);
+    EXPECT_EQ(ring.ranks, 4);
+    EXPECT_EQ(ring.edges.size(), 4u);
+    EXPECT_TRUE(ring.validate().empty());
+    // Two ranks: a single edge, not a doubled one.
+    EXPECT_EQ(CommGraph::ring(2).edges.size(), 1u);
+}
+
+TEST(CommGraph, Stencil2dShape) {
+    const CommGraph stencil = CommGraph::stencil2d(2, 3);
+    EXPECT_EQ(stencil.ranks, 6);
+    // Horizontal: 2 rows x 2 = 4; vertical: 1 x 3 = 3.
+    EXPECT_EQ(stencil.edges.size(), 7u);
+    EXPECT_TRUE(stencil.validate().empty());
+}
+
+TEST(CommGraph, AllToAllShape) {
+    const CommGraph a2a = CommGraph::all_to_all(4);
+    EXPECT_EQ(a2a.edges.size(), 6u);
+    EXPECT_TRUE(a2a.validate().empty());
+}
+
+TEST(CommGraph, ValidationCatchesMistakes) {
+    CommGraph graph;
+    graph.ranks = 2;
+    graph.edges = {{0, 5, 1.0}};
+    EXPECT_FALSE(graph.validate().empty());
+    graph.edges = {{0, 0, 1.0}};
+    EXPECT_FALSE(graph.validate().empty());
+    graph.edges = {{0, 1, -2.0}};
+    EXPECT_FALSE(graph.validate().empty());
+}
+
+TEST(PlacementCost, HandComputedCommTerm) {
+    const core::Profile profile = toy_profile();
+    CommGraph graph;
+    graph.ranks = 2;
+    graph.edges = {{0, 1, 3.0}};
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    options.memory_weight = 0.0;
+    // Ranks on a fast pair: 3 * 1us.
+    EXPECT_NEAR(placement_cost(profile, graph, {0, 1}, options), 3e-6, 1e-12);
+    // Ranks on a slow pair: 3 * 5us.
+    EXPECT_NEAR(placement_cost(profile, graph, {0, 2}, options), 15e-6, 1e-12);
+}
+
+TEST(PlacementCost, MemoryPenaltyCharged) {
+    const core::Profile profile = toy_profile();
+    CommGraph graph;
+    graph.ranks = 2;  // no edges: pure contention objective
+    MappingOptions options;
+    options.memory_weight = 1.0;
+    const double colliding = placement_cost(profile, graph, {0, 1}, options);
+    const double spread = placement_cost(profile, graph, {0, 2}, options);
+    EXPECT_GT(colliding, spread);
+    EXPECT_DOUBLE_EQ(spread, 0.0);
+    // Severity 0.5, one extra occupant, unit = slowest layer latency 5us.
+    EXPECT_NEAR(colliding, 0.5 * 5e-6, 1e-12);
+}
+
+TEST(MapProcesses, PairLandsOnFastCores) {
+    const core::Profile profile = toy_profile();
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    options.memory_weight = 0.0;
+    const MappingResult result = map_processes(profile, CommGraph::ring(2), options);
+    const CorePair placed{result.core_of_rank[0], result.core_of_rank[1]};
+    EXPECT_EQ(profile.comm_layer_of(placed), 0) << "pair must use a fast layer";
+}
+
+TEST(MapProcesses, MemoryWeightSteersAwayFromContention) {
+    const core::Profile profile = toy_profile();
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    options.memory_weight = 20.0;  // contention dominates
+    const MappingResult result = map_processes(profile, CommGraph::ring(2), options);
+    // {2,3} is as fast as {0,1} but has no memory collision.
+    const std::vector<CoreId> sorted_cores = [&] {
+        std::vector<CoreId> cores = result.core_of_rank;
+        std::sort(cores.begin(), cores.end());
+        return cores;
+    }();
+    EXPECT_EQ(sorted_cores, (std::vector<CoreId>{2, 3}));
+}
+
+TEST(MapProcesses, RefinementNeverWorsens) {
+    const core::Profile profile = toy_profile();
+    for (const auto& graph :
+         {CommGraph::ring(4), CommGraph::all_to_all(3), CommGraph::stencil2d(2, 2)}) {
+        const MappingResult result = map_processes(profile, graph, {});
+        EXPECT_LE(result.cost, result.greedy_cost + 1e-15);
+    }
+}
+
+TEST(MapProcesses, PlacementIsInjective) {
+    const core::Profile profile = toy_profile();
+    const MappingResult result = map_processes(profile, CommGraph::ring(4), {});
+    std::vector<CoreId> cores = result.core_of_rank;
+    std::sort(cores.begin(), cores.end());
+    EXPECT_EQ(std::adjacent_find(cores.begin(), cores.end()), cores.end());
+}
+
+TEST(MapProcesses, FourRanksUseBothFastPairs) {
+    // Ring of 4 on the toy machine: the optimum pairs neighbours over the
+    // two fast links; total cost 2*1us + 2*5us.
+    const core::Profile profile = toy_profile();
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    options.memory_weight = 0.0;
+    const MappingResult result = map_processes(profile, CommGraph::ring(4), options);
+    EXPECT_NEAR(result.cost, 2 * 1e-6 + 2 * 5e-6, 1e-12);
+}
+
+TEST(CommGraph, RandomSparseIsValidAndDeterministic) {
+    const CommGraph a = CommGraph::random_sparse(16, 3, 42);
+    const CommGraph b = CommGraph::random_sparse(16, 3, 42);
+    EXPECT_TRUE(a.validate().empty());
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (std::size_t i = 0; i < a.edges.size(); ++i) {
+        EXPECT_EQ(a.edges[i].rank_a, b.edges[i].rank_a);
+        EXPECT_EQ(a.edges[i].rank_b, b.edges[i].rank_b);
+        EXPECT_DOUBLE_EQ(a.edges[i].weight, b.edges[i].weight);
+    }
+    // Different seeds differ.
+    const CommGraph c = CommGraph::random_sparse(16, 3, 43);
+    EXPECT_NE(a.edges.size() == c.edges.size() &&
+                  a.edges.front().rank_b == c.edges.front().rank_b &&
+                  a.edges.front().weight == c.edges.front().weight,
+              true);
+}
+
+TEST(CommGraph, RandomSparseNoDuplicatesOrSelfLoops) {
+    const CommGraph graph = CommGraph::random_sparse(24, 4, 7);
+    std::set<std::pair<int, int>> seen;
+    for (const auto& edge : graph.edges) {
+        EXPECT_NE(edge.rank_a, edge.rank_b);
+        EXPECT_TRUE(seen.insert({edge.rank_a, edge.rank_b}).second);
+        EXPECT_GE(edge.weight, 1.0);
+        EXPECT_LT(edge.weight, 3.0);
+    }
+}
+
+TEST(EdgeRounds, RoundsAreVertexDisjointAndComplete) {
+    for (const auto& graph :
+         {CommGraph::stencil2d(4, 4), CommGraph::all_to_all(6),
+          CommGraph::random_sparse(12, 3, 5)}) {
+        const auto rounds = edge_rounds(graph);
+        std::size_t total = 0;
+        for (const auto& round : rounds) {
+            std::set<int> busy;
+            for (const auto& edge : round) {
+                EXPECT_TRUE(busy.insert(edge.rank_a).second);
+                EXPECT_TRUE(busy.insert(edge.rank_b).second);
+            }
+            total += round.size();
+        }
+        EXPECT_EQ(total, graph.edges.size());
+        EXPECT_FALSE(rounds.empty());
+    }
+}
+
+TEST(EdgeRounds, StencilNeedsFewRounds) {
+    // A 2D stencil is 4-edge-colorable; greedy should stay close.
+    const auto rounds = edge_rounds(CommGraph::stencil2d(6, 6));
+    EXPECT_LE(rounds.size(), 6u);
+}
+
+TEST(MapProcesses, NeverWorseThanIdentity) {
+    const core::Profile profile = toy_profile();
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    for (const auto& graph :
+         {CommGraph::ring(4), CommGraph::random_sparse(4, 2, 11), CommGraph::stencil2d(2, 2)}) {
+        std::vector<CoreId> identity = {0, 1, 2, 3};
+        const double naive = placement_cost(profile, graph, identity, options);
+        const MappingResult tuned = map_processes(profile, graph, options);
+        EXPECT_LE(tuned.cost, naive + 1e-15);
+    }
+}
+
+TEST(MapProcessesDeath, MoreRanksThanCores) {
+    const core::Profile profile = toy_profile();
+    EXPECT_DEATH((void)map_processes(profile, CommGraph::ring(5), {}), "");
+}
+
+}  // namespace
+}  // namespace servet::autotune

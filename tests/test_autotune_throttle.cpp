@@ -1,0 +1,62 @@
+#include "autotune/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::autotune {
+namespace {
+
+core::Profile profile_with_scalability(std::vector<double> per_core_bw) {
+    core::Profile profile;
+    profile.memory.reference_bandwidth = per_core_bw.empty() ? 1.0 : per_core_bw[0];
+    core::ProfileMemoryTier tier;
+    tier.bandwidth = per_core_bw.empty() ? 0.0 : per_core_bw.back();
+    tier.groups = {{0, 1, 2, 3}};
+    tier.scalability = std::move(per_core_bw);
+    profile.memory.tiers = {tier};
+    return profile;
+}
+
+TEST(Throttle, SaturatingBusStopsEarly) {
+    // Aggregate: 2.0, 2.2, 2.22, 2.22 GB/s -> adding cores 3 and 4 gains
+    // almost nothing; recommend 2.
+    const auto profile =
+        profile_with_scalability({2.0e9, 1.1e9, 0.74e9, 0.555e9});
+    const auto advice = advise_core_throttle(profile, 0, 0.05);
+    ASSERT_TRUE(advice.has_value());
+    EXPECT_EQ(advice->recommended_cores, 2);
+    ASSERT_EQ(advice->aggregate_by_n.size(), 4u);
+    EXPECT_NEAR(advice->aggregate_by_n[1], 2.2e9, 1e3);
+}
+
+TEST(Throttle, LinearScalingUsesAllCores) {
+    const auto profile = profile_with_scalability({2e9, 2e9, 2e9, 2e9});
+    const auto advice = advise_core_throttle(profile, 0, 0.05);
+    ASSERT_TRUE(advice.has_value());
+    EXPECT_EQ(advice->recommended_cores, 4);
+}
+
+TEST(Throttle, HardSaturationStopsAtOne) {
+    // A fully serialized bus: aggregate flat at 2 GB/s from the start.
+    const auto profile = profile_with_scalability({2e9, 1e9, 0.6667e9, 0.5e9});
+    const auto advice = advise_core_throttle(profile, 0, 0.05);
+    ASSERT_TRUE(advice.has_value());
+    EXPECT_EQ(advice->recommended_cores, 1);
+}
+
+TEST(Throttle, ThresholdControlsGreed) {
+    // Aggregate grows 10% per step: accepted at 5%, rejected at 15%.
+    const auto profile = profile_with_scalability({1.0e9, 0.55e9, 0.4033e9});
+    EXPECT_EQ(advise_core_throttle(profile, 0, 0.05)->recommended_cores, 3);
+    EXPECT_EQ(advise_core_throttle(profile, 0, 0.15)->recommended_cores, 1);
+}
+
+TEST(Throttle, MissingTierOrData) {
+    EXPECT_FALSE(advise_core_throttle(core::Profile{}, 0).has_value());
+    const auto profile = profile_with_scalability({});
+    EXPECT_FALSE(advise_core_throttle(profile, 0).has_value());
+    const auto ok = profile_with_scalability({1e9});
+    EXPECT_FALSE(advise_core_throttle(ok, 5).has_value());
+}
+
+}  // namespace
+}  // namespace servet::autotune

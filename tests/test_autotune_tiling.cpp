@@ -1,0 +1,88 @@
+#include "autotune/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace servet::autotune {
+namespace {
+
+core::Profile profile_with_caches() {
+    core::Profile profile;
+    profile.cores = 1;
+    profile.caches = {{32 * KiB, "peak", {}},
+                      {3 * MiB, "probabilistic", {}},
+                      {12 * MiB, "probabilistic", {}}};
+    return profile;
+}
+
+TEST(MaxSquareTile, FitsBudgetExactly) {
+    // 3 double tiles in 75% of 32KB: budget 8192B/tile -> 1024 elements ->
+    // 32x32.
+    TilingRequest request;
+    EXPECT_EQ(max_square_tile(32 * KiB, request), 32);
+}
+
+TEST(MaxSquareTile, ScalesWithCache) {
+    TilingRequest request;
+    const int small = max_square_tile(32 * KiB, request);
+    const int big = max_square_tile(12 * MiB, request);
+    // 384x capacity -> ~sqrt(384) ~ 19.6x tile dimension.
+    EXPECT_NEAR(static_cast<double>(big) / small, 19.6, 0.7);
+}
+
+TEST(MaxSquareTile, ElementSizeMatters) {
+    TilingRequest doubles;
+    TilingRequest floats;
+    floats.element_bytes = 4;
+    EXPECT_NEAR(static_cast<double>(max_square_tile(1 * MiB, floats)) /
+                    max_square_tile(1 * MiB, doubles),
+                std::sqrt(2.0), 0.05);
+}
+
+TEST(MaxSquareTile, MoreTilesInFlightShrinkTile) {
+    TilingRequest two;
+    two.tiles_in_flight = 2;
+    TilingRequest eight;
+    eight.tiles_in_flight = 8;
+    EXPECT_GT(max_square_tile(1 * MiB, two), max_square_tile(1 * MiB, eight));
+}
+
+TEST(MaxSquareTile, NeverBelowOne) {
+    TilingRequest request;
+    request.element_bytes = 1 << 20;
+    EXPECT_EQ(max_square_tile(64, request), 1);
+}
+
+TEST(PlanTiles, OneChoicePerLevel) {
+    const auto plan = plan_tiles(profile_with_caches());
+    ASSERT_EQ(plan.size(), 3u);
+    for (std::size_t level = 0; level < 3; ++level) {
+        EXPECT_EQ(plan[level].level, level);
+        EXPECT_GT(plan[level].tile_elements, 0);
+    }
+    EXPECT_LT(plan[0].tile_elements, plan[1].tile_elements);
+    EXPECT_LT(plan[1].tile_elements, plan[2].tile_elements);
+}
+
+TEST(PlanTiles, FootprintWithinBudget) {
+    TilingRequest request;
+    const auto plan = plan_tiles(profile_with_caches(), request);
+    for (const TileChoice& choice : plan) {
+        EXPECT_LE(static_cast<double>(choice.tile_bytes) * request.tiles_in_flight,
+                  request.occupancy * static_cast<double>(choice.cache_size) + 1.0);
+    }
+}
+
+TEST(PlanTiles, EmptyProfileEmptyPlan) {
+    EXPECT_TRUE(plan_tiles(core::Profile{}).empty());
+}
+
+TEST(PlanTilesDeath, RejectsBadRequest) {
+    TilingRequest request;
+    request.occupancy = 0.0;
+    EXPECT_DEATH((void)plan_tiles(profile_with_caches(), request), "");
+}
+
+}  // namespace
+}  // namespace servet::autotune

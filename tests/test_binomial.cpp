@@ -1,0 +1,122 @@
+#include "stats/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace servet::stats {
+namespace {
+
+TEST(BinomialPmf, SumsToOne) {
+    for (const auto& [n, p] : {std::pair{10LL, 0.5}, {50LL, 0.1}, {200LL, 0.02}}) {
+        double sum = 0;
+        for (std::int64_t k = 0; k <= n; ++k) sum += binomial_pmf(n, p, k);
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "n=" << n << " p=" << p;
+    }
+}
+
+TEST(BinomialPmf, MatchesClosedFormSmall) {
+    // B(4, 0.5): pmf = C(4,k)/16.
+    EXPECT_NEAR(binomial_pmf(4, 0.5, 0), 1.0 / 16, 1e-14);
+    EXPECT_NEAR(binomial_pmf(4, 0.5, 1), 4.0 / 16, 1e-14);
+    EXPECT_NEAR(binomial_pmf(4, 0.5, 2), 6.0 / 16, 1e-14);
+    EXPECT_NEAR(binomial_pmf(4, 0.5, 4), 1.0 / 16, 1e-14);
+}
+
+TEST(BinomialPmf, OutOfRangeIsZero) {
+    EXPECT_EQ(binomial_pmf(10, 0.3, -1), 0.0);
+    EXPECT_EQ(binomial_pmf(10, 0.3, 11), 0.0);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+    EXPECT_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+    EXPECT_EQ(binomial_pmf(10, 0.0, 1), 0.0);
+    EXPECT_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+    EXPECT_EQ(binomial_pmf(10, 1.0, 9), 0.0);
+}
+
+TEST(BinomialTail, ComplementOfCdf) {
+    const std::int64_t n = 30;
+    const double p = 0.2;
+    for (std::int64_t k = 0; k < n; ++k) {
+        double cdf = 0;
+        for (std::int64_t j = 0; j <= k; ++j) cdf += binomial_pmf(n, p, j);
+        EXPECT_NEAR(binomial_tail_above(n, p, k), 1.0 - cdf, 1e-10) << "k=" << k;
+    }
+}
+
+TEST(BinomialTail, EdgeCases) {
+    EXPECT_EQ(binomial_tail_above(10, 0.5, -1), 1.0);
+    EXPECT_EQ(binomial_tail_above(10, 0.5, 10), 0.0);
+    EXPECT_EQ(binomial_tail_above(10, 0.5, 42), 0.0);
+    EXPECT_EQ(binomial_tail_above(10, 0.0, 3), 0.0);
+    EXPECT_EQ(binomial_tail_above(10, 1.0, 3), 1.0);
+    EXPECT_EQ(binomial_tail_above(0, 0.5, 0), 0.0);
+}
+
+TEST(BinomialTail, MonotoneInK) {
+    const std::int64_t n = 100;
+    const double p = 0.1;
+    double previous = 1.0;
+    for (std::int64_t k = 0; k <= n; ++k) {
+        const double tail = binomial_tail_above(n, p, k);
+        EXPECT_LE(tail, previous + 1e-12);
+        previous = tail;
+    }
+}
+
+TEST(BinomialTail, MonotoneInP) {
+    double previous = 0.0;
+    for (double p = 0.05; p <= 0.95; p += 0.05) {
+        const double tail = binomial_tail_above(64, p, 8);
+        EXPECT_GE(tail, previous - 1e-12);
+        previous = tail;
+    }
+}
+
+TEST(BinomialTail, LargeNAccuracy) {
+    // The cache estimator regime: thousands of pages, tiny p. Compare to a
+    // direct Poisson bound: binomial tail should be close to Poisson(n*p)
+    // tail for small p (sanity, not equality).
+    const std::int64_t n = 3072;
+    const double p = 1.0 / 192.0;  // mean 16
+    const double tail = binomial_tail_above(n, p, 16);
+    EXPECT_GT(tail, 0.35);
+    EXPECT_LT(tail, 0.52);
+}
+
+TEST(BinomialTail, SymmetryAtHalf) {
+    // For p = 1/2: P(X > k) == P(X < n-k) == 1 - P(X > n-k-1).
+    const std::int64_t n = 21;
+    for (std::int64_t k = 0; k < n; ++k) {
+        const double a = binomial_tail_above(n, 0.5, k);
+        const double b = 1.0 - binomial_tail_above(n, 0.5, n - k - 1);
+        EXPECT_NEAR(a, b, 1e-10);
+    }
+}
+
+TEST(LogBinomialCoefficient, MatchesSmallValues) {
+    EXPECT_NEAR(log_binomial_coefficient(5, 2), std::log(10.0), 1e-12);
+    EXPECT_NEAR(log_binomial_coefficient(10, 0), 0.0, 1e-12);
+    EXPECT_NEAR(log_binomial_coefficient(10, 10), 0.0, 1e-12);
+    EXPECT_NEAR(log_binomial_coefficient(52, 5), std::log(2598960.0), 1e-9);
+}
+
+class BinomialMeanParam
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, double>> {};
+
+TEST_P(BinomialMeanParam, MeanViaExpectation) {
+    const auto [n, p] = GetParam();
+    double mean = 0;
+    for (std::int64_t k = 0; k <= n; ++k)
+        mean += static_cast<double>(k) * binomial_pmf(n, p, k);
+    EXPECT_NEAR(mean, binomial_mean(n, p), 1e-9 * std::max(1.0, binomial_mean(n, p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BinomialMeanParam,
+                         ::testing::Combine(::testing::Values(1, 8, 64, 300),
+                                            ::testing::Values(0.01, 0.25, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace servet::stats

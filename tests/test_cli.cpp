@@ -1,0 +1,108 @@
+#include "base/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+    std::vector<const char*> argv = {"prog"};
+    argv.insert(argv.end(), args);
+    return argv;
+}
+
+TEST(Cli, FlagDefaultsFalse) {
+    CliParser cli("test");
+    cli.add_flag("verbose", "be chatty");
+    const auto argv = argv_of({});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(cli.flag("verbose"));
+}
+
+TEST(Cli, FlagSet) {
+    CliParser cli("test");
+    cli.add_flag("verbose", "be chatty");
+    const auto argv = argv_of({"--verbose"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, OptionDefault) {
+    CliParser cli("test");
+    cli.add_option("machine", "target machine", "dunnington");
+    const auto argv = argv_of({});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.option("machine"), "dunnington");
+}
+
+TEST(Cli, OptionSeparateValue) {
+    CliParser cli("test");
+    cli.add_option("machine", "target machine", "dunnington");
+    const auto argv = argv_of({"--machine", "dempsey"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.option("machine"), "dempsey");
+}
+
+TEST(Cli, OptionEqualsValue) {
+    CliParser cli("test");
+    cli.add_option("machine", "target machine", "dunnington");
+    const auto argv = argv_of({"--machine=athlon"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.option("machine"), "athlon");
+}
+
+TEST(Cli, MissingValueFails) {
+    CliParser cli("test");
+    cli.add_option("machine", "target machine", "dunnington");
+    const auto argv = argv_of({"--machine"});
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, UnknownOptionFails) {
+    CliParser cli("test");
+    const auto argv = argv_of({"--bogus"});
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+    CliParser cli("test");
+    const auto argv = argv_of({"--help"});
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, PositionalCollected) {
+    CliParser cli("test");
+    cli.add_flag("verbose", "chatty");
+    const auto argv = argv_of({"input.txt", "--verbose", "more.txt"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.txt");
+    EXPECT_EQ(cli.positional()[1], "more.txt");
+}
+
+TEST(Cli, IntOptionParses) {
+    CliParser cli("test");
+    cli.add_option("cores", "core count", "4");
+    const auto argv = argv_of({"--cores", "24"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.option_int("cores"), 24);
+}
+
+TEST(Cli, IntOptionRejectsGarbage) {
+    CliParser cli("test");
+    cli.add_option("cores", "core count", "x");
+    const auto argv = argv_of({});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(cli.option_int("cores").has_value());
+}
+
+TEST(Cli, DoubleOptionParses) {
+    CliParser cli("test");
+    cli.add_option("threshold", "ratio", "2.0");
+    const auto argv = argv_of({"--threshold=2.5"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_DOUBLE_EQ(cli.option_double("threshold").value(), 2.5);
+}
+
+}  // namespace
+}  // namespace servet

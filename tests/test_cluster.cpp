@@ -1,0 +1,84 @@
+#include "stats/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::stats {
+namespace {
+
+TEST(SimilarityClusterer, ZeroToleranceSeparatesEverything) {
+    SimilarityClusterer clusterer(0.0);
+    clusterer.add(1.0, 0);
+    clusterer.add(1.0001, 1);
+    clusterer.add(1.0, 2);
+    EXPECT_EQ(clusterer.cluster_count(), 2u);  // the exact duplicate merges
+}
+
+TEST(SimilarityClusterer, GroupsWithinTolerance) {
+    SimilarityClusterer clusterer(0.10);
+    clusterer.add(100.0, 0);
+    clusterer.add(105.0, 1);   // within 10% of 100
+    clusterer.add(200.0, 2);   // new cluster
+    clusterer.add(195.0, 3);   // joins 200
+    EXPECT_EQ(clusterer.cluster_count(), 2u);
+    EXPECT_EQ(clusterer.clusters()[0].members.size(), 2u);
+    EXPECT_EQ(clusterer.clusters()[1].members.size(), 2u);
+}
+
+TEST(SimilarityClusterer, RepresentativeIsMean) {
+    SimilarityClusterer clusterer(0.10);
+    clusterer.add(100.0, 0);
+    clusterer.add(104.0, 1);
+    EXPECT_DOUBLE_EQ(clusterer.clusters()[0].representative, 102.0);
+}
+
+TEST(SimilarityClusterer, PicksClosestCluster) {
+    SimilarityClusterer clusterer(0.20);
+    clusterer.add(100.0, 0);
+    clusterer.add(120.0, 1);  // 20% of 120 covers both; should join 100's cluster? No:
+    // |120-100| = 20 <= 0.2*120 = 24, so they merge into one cluster at 110.
+    ASSERT_EQ(clusterer.cluster_count(), 1u);
+    // A value equidistant-ish must join the *closest* of two clusters.
+    SimilarityClusterer c2(0.15);
+    c2.add(100.0, 0);
+    c2.add(130.0, 1);  // separate (30 > 19.5)
+    const std::size_t chosen = c2.add(112.0, 2);  // similar to both; closer to 100
+    EXPECT_EQ(chosen, 0u);
+}
+
+TEST(SimilarityClusterer, MemberTagsPreserved) {
+    SimilarityClusterer clusterer(0.05);
+    clusterer.add(10.0, 7);
+    clusterer.add(10.2, 42);
+    ASSERT_EQ(clusterer.clusters()[0].members.size(), 2u);
+    EXPECT_EQ(clusterer.clusters()[0].members[0], 7u);
+    EXPECT_EQ(clusterer.clusters()[0].members[1], 42u);
+}
+
+TEST(ClusterBySimilarity, AssignsIds) {
+    const auto assignment = cluster_by_similarity({1.0, 1.02, 5.0, 5.1, 1.01}, 0.10);
+    ASSERT_EQ(assignment.size(), 5u);
+    EXPECT_EQ(assignment[0], assignment[1]);
+    EXPECT_EQ(assignment[0], assignment[4]);
+    EXPECT_EQ(assignment[2], assignment[3]);
+    EXPECT_NE(assignment[0], assignment[2]);
+}
+
+TEST(ClusterBySimilarity, CommLayerScenario) {
+    // The Fig. 7 shape: three latency tiers with ±3% noise must yield
+    // exactly three layers at 10% tolerance.
+    std::vector<double> latencies;
+    for (double base : {0.7e-6, 1.0e-6, 1.6e-6}) {
+        for (int i = -2; i <= 2; ++i) latencies.push_back(base * (1.0 + 0.015 * i));
+    }
+    const auto assignment = cluster_by_similarity(latencies, 0.10);
+    std::set<std::size_t> ids(assignment.begin(), assignment.end());
+    EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(SimilarityClustererDeath, RejectsBadTolerance) {
+    EXPECT_DEATH(SimilarityClusterer(-0.1), "tolerance");
+    EXPECT_DEATH(SimilarityClusterer(1.0), "tolerance");
+}
+
+}  // namespace
+}  // namespace servet::stats

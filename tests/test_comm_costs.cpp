@@ -1,0 +1,136 @@
+#include "core/comm_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msg/sim_network.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+TEST(DisjointPairs, GreedyMatching) {
+    const auto result = disjoint_pairs({{0, 1}, {0, 2}, {2, 3}, {4, 5}});
+    EXPECT_EQ(result, (std::vector<CorePair>{{0, 1}, {2, 3}, {4, 5}}));
+}
+
+TEST(DisjointPairs, EmptyInput) { EXPECT_TRUE(disjoint_pairs({}).empty()); }
+
+TEST(CommCosts, DunningtonThreeLayers) {
+    const sim::MachineSpec spec = sim::zoo::dunnington();
+    msg::SimNetwork network(spec);
+    CommCostsOptions options;
+    options.probe_message = 32 * KiB;
+    const CommCostsResult result = characterize_communication(network, options);
+
+    ASSERT_EQ(result.layers.size(), 3u);
+    // Fastest first: shared-L2 (12 pairs), intra-processor (48),
+    // inter-processor (216).
+    EXPECT_EQ(result.layers[0].pairs.size(), 12u);
+    EXPECT_EQ(result.layers[1].pairs.size(), 48u);
+    EXPECT_EQ(result.layers[2].pairs.size(), 216u);
+    EXPECT_LT(result.layers[0].latency, result.layers[1].latency);
+    EXPECT_LT(result.layers[1].latency, result.layers[2].latency);
+}
+
+TEST(CommCosts, FinisTerraeTwoLayersTwoToOne) {
+    // Fig. 10a: intra-node transfers are about twice as fast as
+    // inter-node ones at the L1 probe size.
+    const sim::MachineSpec spec = sim::zoo::finis_terrae(2);
+    msg::SimNetwork network(spec);
+    CommCostsOptions options;
+    options.probe_message = 16 * KiB;
+    const CommCostsResult result = characterize_communication(network, options);
+
+    ASSERT_EQ(result.layers.size(), 2u);
+    EXPECT_EQ(result.layers[0].pairs.size(), 240u);
+    EXPECT_EQ(result.layers[1].pairs.size(), 256u);
+    EXPECT_NEAR(result.layers[1].latency / result.layers[0].latency, 2.0, 0.3);
+}
+
+TEST(CommCosts, LayerOfClassifiesProbedPairs) {
+    const sim::MachineSpec spec = sim::zoo::dunnington();
+    msg::SimNetwork network(spec);
+    const CommCostsResult result = characterize_communication(network, {});
+    EXPECT_EQ(result.layer_of({0, 12}), 0);
+    EXPECT_EQ(result.layer_of({12, 0}), 0);  // order-insensitive
+    EXPECT_EQ(result.layer_of({0, 1}), 1);
+    EXPECT_EQ(result.layer_of({0, 3}), 2);
+    EXPECT_EQ(result.layer_of({0, 99}), -1);
+}
+
+TEST(CommCosts, SlowdownGrowsWithConcurrency) {
+    const sim::MachineSpec spec = sim::zoo::finis_terrae(2);
+    msg::SimNetwork network(spec);
+    CommCostsOptions options;
+    options.probe_message = 16 * KiB;
+    const CommCostsResult result = characterize_communication(network, options);
+    const auto& ib = result.layers[1].slowdown_by_n;
+    ASSERT_GE(ib.size(), 8u);
+    EXPECT_NEAR(ib[0], 1.0, 0.08);
+    for (std::size_t k = 1; k < ib.size(); ++k) EXPECT_GE(ib[k], ib[k - 1] * 0.93);
+    EXPECT_GT(ib.back(), 3.0);  // the moderate scalability of Fig. 10b
+}
+
+TEST(CommCosts, P2pCurveMonotoneAndComplete) {
+    const sim::MachineSpec spec = sim::zoo::dunnington();
+    msg::SimNetwork network(spec);
+    const CommCostsResult result = characterize_communication(network, {});
+    for (const CommLayer& layer : result.layers) {
+        ASSERT_FALSE(layer.p2p.empty());
+        EXPECT_EQ(layer.p2p.front().first, 1 * KiB);
+        EXPECT_EQ(layer.p2p.back().first, 4 * MiB);
+        for (std::size_t i = 1; i < layer.p2p.size(); ++i)
+            EXPECT_GT(layer.p2p[i].second, layer.p2p[i - 1].second * 0.95);
+    }
+}
+
+TEST(CommCosts, EstimateLatencyInterpolates) {
+    sim::MachineSpec spec = sim::zoo::dunnington();
+    spec.measurement_jitter = 0.0;
+    msg::SimNetwork network(spec);
+    const CommCostsResult result = characterize_communication(network, {});
+    sim::InterconnectModel model(spec);
+    // At a size between sweep points the estimate must be within a few
+    // percent of the model (the curve is piecewise linear in size).
+    for (const Bytes size : {3 * KiB, 48 * KiB, 768 * KiB}) {
+        const Seconds estimated = result.estimate_latency({0, 3}, size);
+        const Seconds truth = model.latency({0, 3}, size);
+        EXPECT_NEAR(estimated / truth, 1.0, 0.08) << size;
+    }
+}
+
+TEST(CommCosts, EstimateLatencyExtrapolatesAboveSweep) {
+    sim::MachineSpec spec = sim::zoo::dunnington();
+    spec.measurement_jitter = 0.0;
+    msg::SimNetwork network(spec);
+    const CommCostsResult result = characterize_communication(network, {});
+    sim::InterconnectModel model(spec);
+    const Seconds estimated = result.estimate_latency({0, 3}, 16 * MiB);
+    EXPECT_NEAR(estimated / model.latency({0, 3}, 16 * MiB), 1.0, 0.1);
+}
+
+TEST(CommCosts, CustomSweepRespected) {
+    const sim::MachineSpec spec = sim::zoo::dempsey();
+    msg::SimNetwork network(spec);
+    CommCostsOptions options;
+    options.sweep_sizes = {4 * KiB, 64 * KiB};
+    const CommCostsResult result = characterize_communication(network, options);
+    for (const CommLayer& layer : result.layers) {
+        ASSERT_EQ(layer.p2p.size(), 2u);
+        EXPECT_EQ(layer.p2p[0].first, 4 * KiB);
+        EXPECT_EQ(layer.p2p[1].first, 64 * KiB);
+    }
+}
+
+TEST(CommCosts, MaxConcurrentCapsScalabilityProbe) {
+    const sim::MachineSpec spec = sim::zoo::dunnington();
+    msg::SimNetwork network(spec);
+    CommCostsOptions options;
+    options.max_concurrent = 3;
+    const CommCostsResult result = characterize_communication(network, options);
+    for (const CommLayer& layer : result.layers)
+        EXPECT_LE(layer.slowdown_by_n.size(), 3u);
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,91 @@
+#include "core/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::core {
+namespace {
+
+TEST(Hockney, RecoversExactLinearCosts) {
+    // t = 2us + m / 1GB/s.
+    std::vector<std::pair<Bytes, Seconds>> points;
+    for (const Bytes m : {1 * KiB, 4 * KiB, 64 * KiB, 1 * MiB})
+        points.emplace_back(m, 2e-6 + static_cast<double>(m) / 1e9);
+    const HockneyModel model = fit_hockney(points);
+    EXPECT_NEAR(model.alpha, 2e-6, 1e-10);
+    EXPECT_NEAR(model.bandwidth, 1e9, 1e3);
+    const auto error = evaluate_model(model, points);
+    EXPECT_LT(error.max_relative, 1e-6);
+}
+
+TEST(Hockney, AtEvaluates) {
+    const HockneyModel model{.alpha = 1e-6, .bandwidth = 2e9};
+    EXPECT_NEAR(model.at(2 * MiB), 1e-6 + 2.0 * 1024 * 1024 / 2e9, 1e-12);
+}
+
+TEST(Hockney, ProtocolStepBreaksTheLine) {
+    // Eager below 32KB, +10us rendezvous above: no single line fits.
+    std::vector<std::pair<Bytes, Seconds>> points;
+    for (const Bytes m : {1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB}) {
+        Seconds t = 2e-6 + static_cast<double>(m) / 1e9;
+        if (m > 32 * KiB) t += 10e-6;
+        points.emplace_back(m, t);
+    }
+    const auto error = evaluate_model(fit_hockney(points), points);
+    EXPECT_GT(error.max_relative, 0.25);
+}
+
+TEST(Hockney, FlatLatencyClampsBandwidth) {
+    std::vector<std::pair<Bytes, Seconds>> points = {{1 * KiB, 5e-6}, {1 * MiB, 5e-6}};
+    const HockneyModel model = fit_hockney(points);
+    EXPECT_GT(model.bandwidth, 1e15);  // slope ~0 clamped
+}
+
+TEST(ProfileModel, LayeredLookupBeatsGlobalHockney) {
+    // Two layers with very different costs: a global Hockney fit must be
+    // far off for at least one of them; the profile lookup is exact on its
+    // own sweep points.
+    Profile profile;
+    profile.cores = 4;
+    ProfileCommLayer fast;
+    fast.latency = 1e-6;
+    fast.pairs = {{0, 1}};
+    ProfileCommLayer slow;
+    slow.latency = 20e-6;
+    slow.pairs = {{0, 2}};
+    for (const Bytes m : {1 * KiB, 8 * KiB, 64 * KiB, 512 * KiB}) {
+        fast.p2p.emplace_back(m, 1e-6 + static_cast<double>(m) / 2e9);
+        slow.p2p.emplace_back(m, 20e-6 + static_cast<double>(m) / 0.2e9);
+    }
+    profile.comm = {fast, slow};
+
+    const HockneyModel global = fit_hockney_global(profile);
+    const auto global_on_fast = evaluate_model(global, fast.p2p);
+    const auto servet_on_fast = evaluate_profile(profile, {0, 1}, fast.p2p);
+    EXPECT_GT(global_on_fast.max_relative, 0.5);
+    EXPECT_LT(servet_on_fast.max_relative, 1e-9);
+}
+
+TEST(ProfileModel, EvaluateProfileInterpolatedPointsClose) {
+    Profile profile;
+    profile.cores = 2;
+    ProfileCommLayer layer;
+    layer.latency = 1e-6;
+    layer.pairs = {{0, 1}};
+    for (const Bytes m : {1 * KiB, 2 * KiB, 4 * KiB, 8 * KiB})
+        layer.p2p.emplace_back(m, 1e-6 + static_cast<double>(m) / 1e9);
+    profile.comm = {layer};
+    // Points between grid sizes: linear interpolation of a linear curve is
+    // exact.
+    std::vector<std::pair<Bytes, Seconds>> validation = {
+        {3 * KiB, 1e-6 + 3.0 * 1024 / 1e9}, {6 * KiB, 1e-6 + 6.0 * 1024 / 1e9}};
+    const auto error = evaluate_profile(profile, {0, 1}, validation);
+    EXPECT_LT(error.max_relative, 1e-9);
+}
+
+TEST(ProfileModelDeath, UncharacterizedPair) {
+    Profile profile;
+    EXPECT_DEATH((void)evaluate_profile(profile, {0, 1}, {{1 * KiB, 1e-6}}), "");
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,240 @@
+#include "msg/comm_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "autotune/exec_collectives.hpp"
+#include "base/rng.hpp"
+
+namespace servet::msg {
+namespace {
+
+TEST(CommWorld, SendAndRecvBetweenRanks) {
+    CommWorld world(3);
+    Endpoint a = world.endpoint(0);
+    Endpoint b = world.endpoint(2);
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+    a.send(2, payload);
+    std::vector<std::uint8_t> received;
+    b.recv(0, received);
+    EXPECT_EQ(received, payload);
+    EXPECT_EQ(a.world_size(), 3);
+    EXPECT_EQ(b.rank(), 2);
+}
+
+TEST(CommWorld, TryRecvNonblocking) {
+    CommWorld world(2);
+    Endpoint a = world.endpoint(0);
+    Endpoint b = world.endpoint(1);
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(b.try_recv(0, out));
+    a.send(1, std::vector<std::uint8_t>{9});
+    EXPECT_TRUE(b.try_recv(0, out));
+    EXPECT_EQ(out[0], 9);
+    EXPECT_FALSE(b.try_recv(0, out));
+}
+
+TEST(CommWorld, CrossThreadPingPong) {
+    CommWorld world(2);
+    std::thread peer([&] {
+        Endpoint b = world.endpoint(1);
+        std::vector<std::uint8_t> incoming;
+        for (int i = 0; i < 50; ++i) {
+            b.recv(0, incoming);
+            incoming.push_back(static_cast<std::uint8_t>(i));
+            b.send(0, incoming);
+        }
+    });
+    Endpoint a = world.endpoint(0);
+    std::vector<std::uint8_t> buffer = {0};
+    for (int i = 0; i < 50; ++i) {
+        a.send(1, buffer);
+        a.recv(1, buffer);
+    }
+    peer.join();
+    EXPECT_EQ(buffer.size(), 51u);  // one byte appended per round trip
+}
+
+TEST(CommWorld, BarrierSynchronizesAllRanks) {
+    const int ranks = 4;
+    CommWorld world(ranks);
+    std::atomic<int> before{0};
+    std::atomic<int> after{0};
+    std::vector<std::thread> threads;
+    for (int r = 0; r < ranks; ++r) {
+        threads.emplace_back([&, r] {
+            Endpoint endpoint = world.endpoint(r);
+            for (int epoch = 0; epoch < 20; ++epoch) {
+                before.fetch_add(1);
+                endpoint.barrier();
+                // Everyone must have incremented `before` for this epoch.
+                EXPECT_GE(before.load(), (epoch + 1) * ranks);
+                after.fetch_add(1);
+                endpoint.barrier();
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(after.load(), 20 * ranks);
+}
+
+TEST(CommWorldDeath, SelfSendRejected) {
+    CommWorld world(2);
+    Endpoint a = world.endpoint(0);
+    EXPECT_DEATH(a.send(0, std::vector<std::uint8_t>{1}), "self-send");
+}
+
+// Executable collectives: semantic verification.
+
+std::vector<CoreId> core_range(int n) {
+    std::vector<CoreId> cores;
+    for (int i = 0; i < n; ++i) cores.push_back(i);
+    return cores;
+}
+
+std::vector<std::uint8_t> random_payload(std::size_t size, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> payload(size);
+    for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.next_below(256));
+    return payload;
+}
+
+TEST(ExecBroadcast, FlatDeliversExactBytes) {
+    CommWorld world(5);
+    const auto cores = core_range(5);
+    const auto payload = random_payload(4096, 1);
+    const auto buffers = autotune::execute_broadcast(
+        world, autotune::broadcast_flat(2, cores), 2, cores, payload);
+    for (CoreId core : cores) EXPECT_EQ(buffers.at(core), payload) << core;
+}
+
+TEST(ExecBroadcast, BinomialDeliversForEveryRoot) {
+    for (const CoreId root : {0, 3, 6}) {
+        CommWorld world(7);
+        const auto cores = core_range(7);
+        const auto payload = random_payload(1024, 7 + static_cast<std::uint64_t>(root));
+        const auto buffers = autotune::execute_broadcast(
+            world, autotune::broadcast_binomial(root, cores), root, cores, payload);
+        for (CoreId core : cores) EXPECT_EQ(buffers.at(core), payload) << core;
+    }
+}
+
+TEST(ExecBroadcast, HierarchicalDeliversOnTwoLayerProfile) {
+    // Two groups {0..3} {4..7} split by a slow layer.
+    core::Profile profile;
+    profile.cores = 8;
+    core::ProfileCommLayer fast, slow;
+    fast.latency = 1e-6;
+    slow.latency = 9e-6;
+    for (CoreId a = 0; a < 8; ++a) {
+        for (CoreId b = a + 1; b < 8; ++b) {
+            if ((a < 4) == (b < 4)) {
+                fast.pairs.push_back({a, b});
+            } else {
+                slow.pairs.push_back({a, b});
+            }
+        }
+    }
+    fast.p2p = {{1 * KiB, 1e-6}};
+    slow.p2p = {{1 * KiB, 9e-6}};
+    profile.comm = {fast, slow};
+
+    CommWorld world(8);
+    const auto cores = core_range(8);
+    const auto payload = random_payload(2048, 99);
+    const auto schedule = autotune::broadcast_hierarchical(1, cores, profile);
+    ASSERT_TRUE(schedule.validate_broadcast(1, cores).empty());
+    const auto buffers = autotune::execute_broadcast(world, schedule, 1, cores, payload);
+    for (CoreId core : cores) EXPECT_EQ(buffers.at(core), payload) << core;
+}
+
+TEST(ExecReduce, BinomialSumsExactly) {
+    const int n = 6;
+    CommWorld world(n);
+    const auto cores = core_range(n);
+    std::map<CoreId, std::vector<double>> contributions;
+    std::vector<double> expected(8, 0.0);
+    Rng rng(31);
+    for (CoreId core : cores) {
+        std::vector<double> contribution(8);
+        for (std::size_t i = 0; i < contribution.size(); ++i) {
+            contribution[i] = static_cast<double>(rng.next_below(1000));
+            expected[i] += contribution[i];
+        }
+        contributions[core] = std::move(contribution);
+    }
+    const auto result = autotune::execute_reduce_sum(
+        world, autotune::reduce_binomial(0, cores), 0, cores, contributions);
+    ASSERT_EQ(result.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_DOUBLE_EQ(result[i], expected[i]) << i;
+}
+
+TEST(ExecReduce, NonZeroRoot) {
+    const int n = 5;
+    CommWorld world(n);
+    const auto cores = core_range(n);
+    std::map<CoreId, std::vector<double>> contributions;
+    for (CoreId core : cores) contributions[core] = {1.0};
+    const auto result = autotune::execute_reduce_sum(
+        world, autotune::reduce_binomial(3, cores), 3, cores, contributions);
+    EXPECT_DOUBLE_EQ(result[0], static_cast<double>(n));
+}
+
+TEST(ExecAllreduce, RecursiveDoublingAllCoresGetTheSum) {
+    const int n = 8;
+    CommWorld world(n);
+    const auto cores = core_range(n);
+    std::map<CoreId, std::vector<double>> contributions;
+    std::vector<double> expected(4, 0.0);
+    Rng rng(71);
+    for (CoreId core : cores) {
+        std::vector<double> contribution(4);
+        for (auto& v : contribution) {
+            v = static_cast<double>(rng.next_below(100));
+        }
+        for (std::size_t i = 0; i < 4; ++i) expected[i] += contribution[i];
+        contributions[core] = std::move(contribution);
+    }
+    const auto result = autotune::execute_allreduce_sum(
+        world, autotune::allreduce_recursive_doubling(cores), cores, contributions);
+    for (CoreId core : cores) {
+        ASSERT_EQ(result.at(core).size(), 4u);
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_DOUBLE_EQ(result.at(core)[i], expected[i]) << core << "," << i;
+    }
+}
+
+TEST(ExecAllreduce, ComposedAllCoresGetTheSum) {
+    // Composed = reduce (combining) + broadcast (overwriting): every core
+    // must still end with exactly the global sum, not a double-counted one.
+    const int n = 6;
+    CommWorld world(n);
+    const auto cores = core_range(n);
+    core::Profile profile;  // no comm layers: hierarchical degrades to binomial
+    std::map<CoreId, std::vector<double>> contributions;
+    double expected = 0;
+    for (CoreId core : cores) {
+        contributions[core] = {static_cast<double>(core + 1)};
+        expected += static_cast<double>(core + 1);
+    }
+    const auto schedule = autotune::allreduce_composed(0, cores, profile);
+    const auto result =
+        autotune::execute_allreduce_sum(world, schedule, cores, contributions);
+    for (CoreId core : cores)
+        EXPECT_DOUBLE_EQ(result.at(core)[0], expected) << core;
+}
+
+TEST(ExecBroadcastDeath, WorldTooSmall) {
+    CommWorld world(2);
+    const auto cores = core_range(4);
+    EXPECT_DEATH((void)autotune::execute_broadcast(
+                     world, autotune::broadcast_flat(0, cores), 0, cores,
+                     std::vector<std::uint8_t>{1}),
+                 "");
+}
+
+}  // namespace
+}  // namespace servet::msg

@@ -1,0 +1,112 @@
+// Failure injection (DESIGN.md testing strategy): detection must survive
+// interference spikes when measured through the robust decorator.
+#include "platform/decorators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cache_size.hpp"
+#include "core/mem_overhead.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet {
+namespace {
+
+sim::MachineSpec quiet_synthetic() {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 4;
+    options.l1_size = 16 * KiB;
+    options.l2_size = 512 * KiB;
+    options.jitter = 0.0;
+    return sim::zoo::synthetic(options);
+}
+
+TEST(FlakyPlatform, InjectsSpikesDeterministically) {
+    SimPlatform inner(quiet_synthetic());
+    FlakyPlatform flaky_a(inner, 0.3, 10.0, 99);
+    SimPlatform inner_b(quiet_synthetic());
+    FlakyPlatform flaky_b(inner_b, 0.3, 10.0, 99);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(flaky_a.traverse_cycles(0, 8 * KiB, 1 * KiB, 1, true),
+                         flaky_b.traverse_cycles(0, 8 * KiB, 1 * KiB, 1, true));
+    }
+    EXPECT_GT(flaky_a.spikes_injected(), 0);
+}
+
+TEST(FlakyPlatform, ZeroProbabilityIsTransparent) {
+    SimPlatform inner(quiet_synthetic());
+    FlakyPlatform flaky(inner, 0.0, 10.0, 7);
+    SimPlatform reference(quiet_synthetic());
+    EXPECT_DOUBLE_EQ(flaky.traverse_cycles(0, 8 * KiB, 1 * KiB, 2, false),
+                     reference.traverse_cycles(0, 8 * KiB, 1 * KiB, 2, false));
+    EXPECT_EQ(flaky.spikes_injected(), 0);
+}
+
+TEST(FlakyPlatform, SpikesDeflateBandwidth) {
+    SimPlatform inner(quiet_synthetic());
+    FlakyPlatform flaky(inner, 1.0, 4.0, 7);  // every measurement spiked
+    SimPlatform reference(quiet_synthetic());
+    EXPECT_NEAR(flaky.copy_bandwidth(0, 16 * MiB) * 4.0,
+                reference.copy_bandwidth(0, 16 * MiB), 1e3);
+}
+
+TEST(RobustPlatform, MedianRejectsMinoritySpikes) {
+    SimPlatform inner(quiet_synthetic());
+    FlakyPlatform flaky(inner, 0.2, 20.0, 31);
+    RobustPlatform robust(flaky, 5);
+    SimPlatform reference(quiet_synthetic());
+    const Cycles truth = reference.traverse_cycles(0, 8 * KiB, 1 * KiB, 2, false);
+    for (int i = 0; i < 10; ++i) {
+        const Cycles measured = robust.traverse_cycles(0, 8 * KiB, 1 * KiB, 2, false);
+        EXPECT_NEAR(measured, truth, 0.15 * truth) << "iteration " << i;
+    }
+}
+
+TEST(RobustPlatform, ConcurrentMediansPerElement) {
+    SimPlatform inner(quiet_synthetic());
+    RobustPlatform robust(inner, 3);
+    const auto cycles = robust.traverse_cycles_concurrent({0, 1}, 8 * KiB, 1 * KiB, 2, false);
+    ASSERT_EQ(cycles.size(), 2u);
+    EXPECT_GT(cycles[0], 0.0);
+}
+
+TEST(RobustPlatform, NamePropagates) {
+    SimPlatform inner(quiet_synthetic());
+    RobustPlatform robust(inner, 3);
+    EXPECT_NE(robust.name().find("robust("), std::string::npos);
+    EXPECT_NE(robust.name().find("synthetic"), std::string::npos);
+}
+
+TEST(FailureInjection, CacheDetectionSurvivesThroughRobustPlatform) {
+    // End to end: 10% of measurements spiked 8x. Raw detection may or may
+    // not survive; through a median-of-5 it must recover exact sizes.
+    SimPlatform inner(quiet_synthetic());
+    FlakyPlatform flaky(inner, 0.10, 8.0, 1234);
+    RobustPlatform robust(flaky, 5);
+
+    core::McalibratorOptions mc;
+    mc.max_size = 3 * MiB;
+    const auto levels = core::detect_cache_levels(robust, mc);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0].size, 16 * KiB);
+    EXPECT_EQ(levels[1].size, 512 * KiB);
+    EXPECT_GT(flaky.spikes_injected(), 0) << "the fault injector must have fired";
+}
+
+TEST(FailureInjection, MemoryTiersSurviveThroughRobustPlatform) {
+    sim::MachineSpec spec = sim::zoo::finis_terrae();
+    spec.measurement_jitter = 0.0;
+    SimPlatform inner(spec);
+    FlakyPlatform flaky(inner, 0.10, 5.0, 77);
+    RobustPlatform robust(flaky, 5);
+
+    core::MemOverheadOptions options;
+    options.array_bytes = 36 * MiB;
+    options.only_with_core = 0;
+    const auto result = core::characterize_memory_overhead(robust, options);
+    ASSERT_EQ(result.tiers.size(), 2u);
+    EXPECT_NEAR(result.tiers[0].bandwidth / result.reference_bandwidth, 0.55, 0.05);
+}
+
+}  // namespace
+}  // namespace servet

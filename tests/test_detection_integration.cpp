@@ -1,0 +1,112 @@
+// Integration: the full measurement + detection pipeline must recover the
+// ground-truth cache hierarchy of every machine model — the paper's
+// Section IV-A claim ("10 cache sizes in total ... all the estimates
+// agreed with the specifications"), scored against the simulator's specs.
+#include <gtest/gtest.h>
+
+#include "core/cache_size.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+std::vector<CacheLevelEstimate> detect_on(const sim::MachineSpec& spec, Bytes max_size) {
+    SimPlatform platform(spec);
+    McalibratorOptions mc;
+    mc.max_size = max_size;
+    CacheDetectOptions options;
+    options.page_size = spec.page_size;
+    const McalibratorCurve curve = run_mcalibrator(platform, mc);
+    return detect_cache_levels(curve, options);
+}
+
+void expect_matches_spec(const sim::MachineSpec& spec,
+                         const std::vector<CacheLevelEstimate>& levels) {
+    ASSERT_EQ(levels.size(), spec.levels.size()) << spec.name;
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        EXPECT_EQ(levels[i].size, spec.levels[i].geometry.size)
+            << spec.name << " level " << i;
+}
+
+TEST(DetectionIntegration, Dunnington) {
+    const auto spec = sim::zoo::dunnington();
+    expect_matches_spec(spec, detect_on(spec, 36 * MiB));
+}
+
+TEST(DetectionIntegration, FinisTerrae) {
+    const auto spec = sim::zoo::finis_terrae();
+    expect_matches_spec(spec, detect_on(spec, 30 * MiB));
+}
+
+TEST(DetectionIntegration, Dempsey) {
+    const auto spec = sim::zoo::dempsey();
+    expect_matches_spec(spec, detect_on(spec, 12 * MiB));
+}
+
+TEST(DetectionIntegration, Athlon3200) {
+    const auto spec = sim::zoo::athlon3200();
+    expect_matches_spec(spec, detect_on(spec, 4 * MiB));
+}
+
+TEST(DetectionIntegration, PageColoringOsDetectedPositionally) {
+    // With page coloring the L2 must be found by peak position, as Fig. 4
+    // prescribes, and still be exact.
+    sim::MachineSpec spec = sim::zoo::dempsey();
+    spec.page_policy = sim::PagePolicy::Coloring;
+    const auto levels = detect_on(spec, 12 * MiB);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[1].size, 2 * MiB);
+    EXPECT_EQ(levels[1].method, "peak");
+}
+
+struct SyntheticCase {
+    Bytes l2_size;
+    int l2_assoc;
+    sim::PagePolicy policy;
+};
+
+class SyntheticDetection : public ::testing::TestWithParam<SyntheticCase> {};
+
+TEST_P(SyntheticDetection, RecoversHierarchy) {
+    const auto& param = GetParam();
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 32 * KiB;
+    options.l2_size = param.l2_size;
+    options.l2_assoc = param.l2_assoc;
+    options.page_policy = param.policy;
+    options.jitter = 0.01;
+    const sim::MachineSpec spec = sim::zoo::synthetic(options);
+
+    const auto levels = detect_on(spec, 6 * param.l2_size);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0].size, 32 * KiB);
+    EXPECT_EQ(levels[1].size, param.l2_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SyntheticDetection,
+    ::testing::Values(SyntheticCase{512 * KiB, 8, sim::PagePolicy::Random},
+                      SyntheticCase{1 * MiB, 16, sim::PagePolicy::Random},
+                      SyntheticCase{2 * MiB, 8, sim::PagePolicy::Random},
+                      SyntheticCase{2 * MiB, 8, sim::PagePolicy::Coloring},
+                      SyntheticCase{3 * MiB, 12, sim::PagePolicy::Random},
+                      SyntheticCase{1 * MiB, 16, sim::PagePolicy::Coloring}));
+
+TEST(DetectionIntegration, ToleratesStrongerNoise) {
+    // Failure injection: 4% multiplicative jitter (double the default)
+    // must not break L1/L2 size recovery.
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 32 * KiB;
+    options.l2_size = 1 * MiB;
+    options.jitter = 0.04;
+    const auto levels = detect_on(sim::zoo::synthetic(options), 8 * MiB);
+    ASSERT_GE(levels.size(), 2u);
+    EXPECT_EQ(levels[0].size, 32 * KiB);
+    EXPECT_EQ(levels[1].size, 1 * MiB);
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,146 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/zoo.hpp"
+
+namespace servet::sim {
+namespace {
+
+MachineSpec quiet(MachineSpec spec) {
+    spec.measurement_jitter = 0.0;
+    return spec;
+}
+
+TEST(Engine, L1ResidentArrayCostsL1HitTime) {
+    MachineSim machine(quiet(zoo::dunnington()));
+    // 16KB fits the 32KB L1; steady-state cost == L1 hit cycles.
+    const Cycles c = machine.traverse_one(0, 16 * KiB, 1 * KiB, 3);
+    EXPECT_NEAR(c, machine.spec().levels[0].hit_cycles, 0.2);
+}
+
+TEST(Engine, HugeArrayCostsMemoryLatency) {
+    MachineSim machine(quiet(zoo::dempsey()));
+    const Cycles c = machine.traverse_one(0, 32 * MiB, 1 * KiB, 3);
+    EXPECT_NEAR(c, machine.spec().memory.latency_cycles, 15.0);
+}
+
+TEST(Engine, ColoringGivesExactCapacityCliffs) {
+    MachineSpec spec = quiet(zoo::finis_terrae());
+    spec.page_policy = PagePolicy::Coloring;
+    MachineSim machine(spec);
+    // With page coloring every level behaves virtually indexed: exactly at
+    // capacity all hits, just past it all misses (stride divides size).
+    EXPECT_NEAR(machine.traverse_one(0, 9 * MiB, 1 * KiB, 3), 30.0, 0.5);
+    EXPECT_NEAR(machine.traverse_one(0, 10 * MiB, 1 * KiB, 3), 300.0, 5.0);
+}
+
+TEST(Engine, RandomPlacementSmearsTransition) {
+    // Without coloring, a physically indexed cache misses *before* its
+    // capacity (Section III-A2): at 8MB of a 9MB L3 some page sets already
+    // overflow.
+    MachineSim machine(quiet(zoo::finis_terrae()));
+    const Cycles at_8mb = machine.traverse_one(0, 8 * MiB, 1 * KiB, 3);
+    EXPECT_GT(at_8mb, 40.0);   // visibly above the 30-cycle L3 plateau
+    EXPECT_LT(at_8mb, 290.0);  // but not fully missing either
+}
+
+TEST(Engine, FreshPlacementVariesStaticDoesNot) {
+    MachineSim machine(quiet(zoo::finis_terrae()));
+    const Cycles s1 = machine.traverse_one(0, 8 * MiB, 1 * KiB, 2, /*fresh=*/false);
+    const Cycles s2 = machine.traverse_one(0, 8 * MiB, 1 * KiB, 2, /*fresh=*/false);
+    EXPECT_DOUBLE_EQ(s1, s2) << "static placement must reproduce exactly";
+
+    bool varied = false;
+    const Cycles f1 = machine.traverse_one(0, 8 * MiB, 1 * KiB, 2, /*fresh=*/true);
+    for (int i = 0; i < 4 && !varied; ++i)
+        varied = machine.traverse_one(0, 8 * MiB, 1 * KiB, 2, /*fresh=*/true) != f1;
+    EXPECT_TRUE(varied) << "fresh placements should differ at a smeared size";
+}
+
+TEST(Engine, SharedCacheThrashing) {
+    // Dunnington: cores 0 and 12 share a 3MB L2. Two 2MB arrays cannot
+    // coexist -> the pair's cycles at least double the solo run (Fig. 5).
+    MachineSim machine(quiet(zoo::dunnington()));
+    const Bytes array = 2 * MiB;
+    const Cycles solo = machine.traverse_one(0, array, 1 * KiB, 3, false);
+    const auto pair = machine.traverse({0, 12}, array, 1 * KiB, 3, false);
+    EXPECT_GT(pair.cycles_per_access[0] / solo, 2.0);
+    // Cores 0 and 1 have different L2s: no thrash.
+    const auto unshared = machine.traverse({0, 1}, array, 1 * KiB, 3, false);
+    EXPECT_LT(unshared.cycles_per_access[0] / solo, 1.5);
+}
+
+TEST(Engine, ConcurrentResultsAlignWithCores) {
+    MachineSim machine(quiet(zoo::dunnington()));
+    const auto result = machine.traverse({5, 17}, 2 * MiB, 1 * KiB, 2, false);
+    ASSERT_EQ(result.cycles_per_access.size(), 2u);
+    EXPECT_GT(result.accesses_per_core, 0u);
+}
+
+TEST(Engine, PrefetcherHidesSmallStrideMisses) {
+    // The paper's rationale for the 1KB stride: a 256B stride is within
+    // prefetch reach, so capacity misses get hidden and the measured
+    // cycles stay near the hit time even past the cache size.
+    MachineSpec spec = quiet(zoo::dempsey());
+    MachineSim with(spec);
+    const Cycles hidden = with.traverse_one(0, 8 * MiB, 256, 2);
+
+    spec.prefetcher.enabled = false;
+    MachineSim without(spec);
+    const Cycles exposed = without.traverse_one(0, 8 * MiB, 256, 2);
+
+    EXPECT_LT(hidden, 0.3 * exposed)
+        << "prefetcher should hide most misses at 256B stride";
+    // And at the probe stride of 1KB the prefetcher must not help.
+    MachineSim with2(quiet(zoo::dempsey()));
+    const Cycles probe = with2.traverse_one(0, 8 * MiB, 1 * KiB, 2);
+    EXPECT_GT(probe, 0.8 * exposed);
+}
+
+TEST(Engine, CopyBandwidthCacheResidentIsFast) {
+    MachineSim machine(quiet(zoo::dunnington()));
+    const BytesPerSecond cached = machine.copy_bandwidth(0, {0}, 512 * KiB);
+    const BytesPerSecond streaming = machine.copy_bandwidth(0, {0}, 64 * MiB);
+    EXPECT_GT(cached, streaming);
+    EXPECT_DOUBLE_EQ(streaming, machine.spec().memory.single_core_bandwidth);
+}
+
+TEST(Engine, CopyBandwidthContention) {
+    MachineSim machine(quiet(zoo::finis_terrae()));
+    const BytesPerSecond solo = machine.copy_bandwidth(0, {0}, 64 * MiB);
+    const BytesPerSecond paired = machine.copy_bandwidth(0, {0, 1}, 64 * MiB);
+    EXPECT_NEAR(paired / solo, 0.55, 1e-9);
+}
+
+TEST(Engine, MemoryLatencyMultiplierAppliedToMisses) {
+    // Two FT bus-mates streaming past every cache: per-access cost rises
+    // by the bus queueing factor (1.35) relative to solo.
+    MachineSim machine(quiet(zoo::finis_terrae()));
+    const Cycles solo = machine.traverse_one(0, 32 * MiB, 1 * KiB, 2, false);
+    const auto pair = machine.traverse({0, 1}, 32 * MiB, 1 * KiB, 2, false);
+    EXPECT_NEAR(pair.cycles_per_access[0] / solo, 1.35, 0.06);
+}
+
+TEST(Engine, TotalAccessCounterAdvances) {
+    MachineSim machine(quiet(zoo::dempsey()));
+    const std::uint64_t before = machine.total_accesses();
+    (void)machine.traverse_one(0, 64 * KiB, 1 * KiB, 1);
+    EXPECT_GT(machine.total_accesses(), before);
+}
+
+TEST(EngineDeath, RejectsBadArguments) {
+    MachineSim machine(quiet(zoo::dempsey()));
+    EXPECT_DEATH((void)machine.traverse({}, KiB, KiB, 1), "");
+    EXPECT_DEATH((void)machine.traverse({5}, KiB, KiB, 1), "");  // core out of range
+    EXPECT_DEATH((void)machine.traverse({0}, KiB, KiB, 0), "");
+}
+
+TEST(EngineDeath, InvalidSpecRejected) {
+    MachineSpec spec = zoo::dempsey();
+    spec.levels[0].geometry.size = spec.levels[1].geometry.size;
+    EXPECT_DEATH(MachineSim{spec}, "validation");
+}
+
+}  // namespace
+}  // namespace servet::sim

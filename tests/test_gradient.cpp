@@ -1,0 +1,72 @@
+#include "stats/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::stats {
+namespace {
+
+TEST(RatioGradient, ComputesRatios) {
+    const auto g = ratio_gradient({2.0, 4.0, 4.0, 1.0});
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_DOUBLE_EQ(g[0], 2.0);
+    EXPECT_DOUBLE_EQ(g[1], 1.0);
+    EXPECT_DOUBLE_EQ(g[2], 0.25);
+}
+
+TEST(RatioGradient, ShortInputs) {
+    EXPECT_TRUE(ratio_gradient({}).empty());
+    EXPECT_TRUE(ratio_gradient({5.0}).empty());
+}
+
+TEST(FindPeaks, NoPeaksOnPlateau) {
+    EXPECT_TRUE(find_peaks({1.0, 1.01, 0.99, 1.0}, 1.1).empty());
+}
+
+TEST(FindPeaks, SingleSamplePeak) {
+    const auto peaks = find_peaks({1.0, 5.0, 1.0}, 1.1);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].first, 1u);
+    EXPECT_EQ(peaks[0].last, 1u);
+    EXPECT_EQ(peaks[0].apex, 1u);
+    EXPECT_DOUBLE_EQ(peaks[0].apex_value, 5.0);
+    EXPECT_TRUE(peaks[0].single_sample());
+}
+
+TEST(FindPeaks, MultiSamplePeakTracksApex) {
+    const auto peaks = find_peaks({1.0, 1.3, 2.5, 1.4, 1.0}, 1.1);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].first, 1u);
+    EXPECT_EQ(peaks[0].last, 3u);
+    EXPECT_EQ(peaks[0].apex, 2u);
+    EXPECT_FALSE(peaks[0].single_sample());
+}
+
+TEST(FindPeaks, MultiplePeaks) {
+    const auto peaks = find_peaks({3.0, 1.0, 1.0, 2.0, 2.1, 1.0}, 1.1);
+    ASSERT_EQ(peaks.size(), 2u);
+    EXPECT_EQ(peaks[0].first, 0u);
+    EXPECT_TRUE(peaks[0].single_sample());
+    EXPECT_EQ(peaks[1].first, 3u);
+    EXPECT_EQ(peaks[1].last, 4u);
+    EXPECT_EQ(peaks[1].apex, 4u);
+}
+
+TEST(FindPeaks, ThresholdIsExclusive) {
+    // Exactly-at-threshold samples are not peaks.
+    EXPECT_TRUE(find_peaks({1.1, 1.1}, 1.1).empty());
+    EXPECT_EQ(find_peaks({1.1001}, 1.1).size(), 1u);
+}
+
+TEST(FindPeaks, PeakAtEnd) {
+    const auto peaks = find_peaks({1.0, 1.0, 1.5, 1.6}, 1.1);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].first, 2u);
+    EXPECT_EQ(peaks[0].last, 3u);
+}
+
+TEST(RatioGradientDeath, RejectsNonPositive) {
+    EXPECT_DEATH((void)ratio_gradient({1.0, 0.0, 2.0}), "positive");
+}
+
+}  // namespace
+}  // namespace servet::stats

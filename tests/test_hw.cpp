@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "hw/affinity.hpp"
+#include "hw/kernels.hpp"
+#include "hw/timer.hpp"
+#include "hw/topology.hpp"
+
+namespace servet::hw {
+namespace {
+
+TEST(Timer, TimestampMonotone) {
+    const auto t0 = timestamp();
+    const auto t1 = timestamp();
+    EXPECT_GE(t1, t0);
+}
+
+TEST(Timer, FrequencyPlausible) {
+    const double f = timestamp_frequency();
+    EXPECT_GT(f, 1e6);    // at least MHz
+    EXPECT_LT(f, 1e11);   // below 100 GHz
+}
+
+TEST(Timer, TicksToSecondsScales) {
+    const double one_second = ticks_to_seconds(
+        static_cast<std::uint64_t>(timestamp_frequency()));
+    EXPECT_NEAR(one_second, 1.0, 0.01);
+}
+
+TEST(Timer, StopwatchMeasuresElapsed) {
+    Stopwatch watch;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+    EXPECT_GT(watch.elapsed_ticks(), 0u);
+    EXPECT_GT(watch.elapsed_seconds(), 0.0);
+    EXPECT_LT(watch.elapsed_seconds(), 5.0);
+}
+
+TEST(Affinity, CoreCountPositive) { EXPECT_GE(online_core_count(), 1); }
+
+TEST(Affinity, PinToCoreZero) {
+    // Core 0 always exists; pinning to it should succeed on Linux.
+    EXPECT_TRUE(pin_current_thread(0));
+    const CoreId where = current_core();
+    if (where >= 0) {
+        EXPECT_EQ(where, 0);
+    }
+}
+
+TEST(Affinity, PinToNegativeFails) { EXPECT_FALSE(pin_current_thread(-1)); }
+
+TEST(Kernels, TraversalBufferAccessCount) {
+    TraversalBuffer buffer(8 * KiB, 1 * KiB);
+    EXPECT_EQ(buffer.accesses_per_pass(), 8u);
+    EXPECT_EQ(buffer.size_bytes(), 8 * KiB);
+}
+
+TEST(Kernels, TraversalRoundsDownToElements) {
+    TraversalBuffer buffer(1025, 1024);
+    EXPECT_EQ(buffer.size_bytes(), 1024u);
+    EXPECT_EQ(buffer.accesses_per_pass(), 1u);
+}
+
+TEST(Kernels, TraverseOnceAccumulates) {
+    TraversalBuffer buffer(4 * KiB, 1 * KiB);
+    const auto first = buffer.traverse_once();
+    const auto second = buffer.traverse_once();
+    EXPECT_GT(second, first);  // aux carries across passes
+}
+
+TEST(Kernels, MeasureCyclesPositiveAndStable) {
+    TraversalBuffer buffer(64 * KiB, 1 * KiB);
+    const Cycles c = buffer.measure_cycles_per_access(5);
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, 1e7);
+}
+
+TEST(Kernels, BiggerThanCacheIsSlower) {
+    // Even without knowing this host's hierarchy, a 64MB strided walk
+    // must cost more per access than a 16KB one.
+    TraversalBuffer small(16 * KiB, 1 * KiB);
+    TraversalBuffer big(64 * MiB, 1 * KiB);
+    const Cycles fast = small.measure_cycles_per_access(20);
+    const Cycles slow = big.measure_cycles_per_access(3);
+    EXPECT_GT(slow, fast);
+}
+
+TEST(Kernels, CopyBandwidthPlausible) {
+    const BytesPerSecond bw = measure_copy_bandwidth(8 * MiB, 3);
+    EXPECT_GT(bw, 1e8);   // above 100 MB/s
+    EXPECT_LT(bw, 1e13);  // below 10 TB/s
+}
+
+TEST(Kernels, FlushCachesRuns) { flush_caches(4 * MiB); }
+
+// sysfs parsing helpers.
+
+TEST(Topology, ParseCpulistSingles) {
+    EXPECT_EQ(parse_cpulist("3"), (std::vector<CoreId>{3}));
+    EXPECT_EQ(parse_cpulist("0,2,4"), (std::vector<CoreId>{0, 2, 4}));
+}
+
+TEST(Topology, ParseCpulistRanges) {
+    EXPECT_EQ(parse_cpulist("0-3"), (std::vector<CoreId>{0, 1, 2, 3}));
+    EXPECT_EQ(parse_cpulist("0-2,12-14\n"),
+              (std::vector<CoreId>{0, 1, 2, 12, 13, 14}));
+}
+
+TEST(Topology, ParseCpulistRejectsGarbage) {
+    EXPECT_FALSE(parse_cpulist("").has_value());
+    EXPECT_FALSE(parse_cpulist("a-b").has_value());
+    EXPECT_FALSE(parse_cpulist("3-1").has_value());
+}
+
+TEST(Topology, ParseSysfsSize) {
+    EXPECT_EQ(parse_sysfs_size("32K"), 32 * KiB);
+    EXPECT_EQ(parse_sysfs_size("12288K"), 12 * MiB);
+    EXPECT_EQ(parse_sysfs_size("3M\n"), 3 * MiB);
+    EXPECT_EQ(parse_sysfs_size("64"), 64u);
+    EXPECT_FALSE(parse_sysfs_size("").has_value());
+    EXPECT_FALSE(parse_sysfs_size("12Q").has_value());
+}
+
+TEST(Topology, SysfsCachesDoNotCrash) {
+    // Content depends on the host; the call must be safe everywhere and
+    // never return instruction caches.
+    const auto caches = sysfs_caches(0);
+    for (const SysfsCache& cache : caches) {
+        EXPECT_NE(cache.type, "Instruction");
+        EXPECT_GE(cache.level, 1);
+    }
+}
+
+}  // namespace
+}  // namespace servet::hw

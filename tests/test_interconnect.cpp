@@ -1,0 +1,89 @@
+#include "sim/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/zoo.hpp"
+
+namespace servet::sim {
+namespace {
+
+TEST(Interconnect, LatencyIsBasePlusTransfer) {
+    const MachineSpec spec = zoo::dunnington();
+    InterconnectModel model(spec);
+    const CommLayerSpec& layer = model.layer(model.layer_of({0, 12}));
+    const Bytes size = 4 * KiB;  // below eager threshold
+    EXPECT_DOUBLE_EQ(model.latency({0, 12}, size),
+                     layer.base_latency + static_cast<double>(size) / layer.bandwidth);
+}
+
+TEST(Interconnect, RendezvousKicksInAboveEagerThreshold) {
+    const MachineSpec spec = zoo::finis_terrae(2);
+    InterconnectModel model(spec);
+    const CommLayerSpec& ib = model.layer(model.layer_of({0, 16}));
+    const Seconds below = model.latency({0, 16}, ib.eager_threshold);
+    const Seconds above = model.latency({0, 16}, ib.eager_threshold + 1);
+    // The one extra byte also costs 1/bandwidth; allow for it.
+    EXPECT_NEAR(above - below, ib.rendezvous_extra, 1.0 / ib.bandwidth + 1e-12);
+}
+
+TEST(Interconnect, LatencyMonotoneInSize) {
+    const MachineSpec spec = zoo::dunnington();
+    InterconnectModel model(spec);
+    Seconds previous = 0;
+    for (Bytes size = 1 * KiB; size <= 4 * MiB; size *= 2) {
+        const Seconds t = model.latency({0, 3}, size);
+        EXPECT_GT(t, previous);
+        previous = t;
+    }
+}
+
+TEST(Interconnect, LayerOrderingMatchesHierarchy) {
+    // Shared-L2 < intra-processor < inter-processor at any size.
+    const MachineSpec spec = zoo::dunnington();
+    InterconnectModel model(spec);
+    for (Bytes size : {1 * KiB, 32 * KiB, 1 * MiB}) {
+        EXPECT_LT(model.latency({0, 12}, size), model.latency({0, 1}, size));
+        EXPECT_LT(model.latency({0, 1}, size), model.latency({0, 3}, size));
+    }
+}
+
+TEST(Interconnect, ConcurrencyPenaltyIsPowerLaw) {
+    const MachineSpec spec = zoo::finis_terrae(2);
+    InterconnectModel model(spec);
+    const CommLayerSpec& ib = model.layer(model.layer_of({0, 16}));
+    const Seconds isolated = model.latency({0, 16}, 16 * KiB);
+    for (int n : {1, 2, 8, 32}) {
+        EXPECT_NEAR(model.latency_concurrent({0, 16}, 16 * KiB, n),
+                    isolated * std::pow(n, ib.concurrency_exponent), 1e-12);
+    }
+}
+
+TEST(Interconnect, PaperSevenTimesAt32Messages) {
+    // Section IV-D: "a message sent through the InfiniBand network ...
+    // when there are other 31 messages is 7 times slower".
+    const MachineSpec spec = zoo::finis_terrae(4);
+    InterconnectModel model(spec);
+    const Seconds isolated = model.latency({0, 16}, 16 * KiB);
+    const Seconds crowded = model.latency_concurrent({0, 16}, 16 * KiB, 32);
+    EXPECT_NEAR(crowded / isolated, 7.0, 0.3);
+}
+
+TEST(Interconnect, IntraNodeTwiceAsFastAsInterNode) {
+    // Section IV-D: FT intra-node ~2x faster than inter-node at the L1
+    // (16KB) probe size.
+    const MachineSpec spec = zoo::finis_terrae(2);
+    InterconnectModel model(spec);
+    const double ratio = model.latency({0, 16}, 16 * KiB) / model.latency({0, 1}, 16 * KiB);
+    EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(InterconnectDeath, BadConcurrency) {
+    const MachineSpec spec = zoo::dunnington();
+    InterconnectModel model(spec);
+    EXPECT_DEATH((void)model.latency_concurrent({0, 1}, KiB, 0), "");
+}
+
+}  // namespace
+}  // namespace servet::sim

@@ -1,0 +1,59 @@
+#include "stats/linfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace servet::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+    const auto fit = linear_fit({1, 2, 3, 4}, {3.0, 5.0, 7.0, 9.0});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.at(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataLowersR2) {
+    const auto fit = linear_fit({1, 2, 3, 4, 5}, {2.0, 4.5, 5.5, 8.4, 9.6});
+    EXPECT_GT(fit.r2, 0.9);
+    EXPECT_LT(fit.r2, 1.0);
+    EXPECT_NEAR(fit.slope, 1.9, 0.2);
+}
+
+TEST(LinearFit, ConstantYHasZeroSlope) {
+    const auto fit = linear_fit({1, 2, 3}, {5.0, 5.0, 5.0});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.r2, 1.0);  // degenerate ss_tot handled
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+    // The comm scalability model: y = 1.0 * n^0.565 (the FT InfiniBand
+    // exponent; 32^0.565 ~ 7).
+    std::vector<double> x, y;
+    for (int n = 1; n <= 32; ++n) {
+        x.push_back(n);
+        y.push_back(std::pow(n, 0.565));
+    }
+    const auto fit = power_fit(x, y);
+    EXPECT_NEAR(fit.exponent, 0.565, 1e-10);
+    EXPECT_NEAR(fit.scale, 1.0, 1e-10);
+    EXPECT_NEAR(fit.at(32.0), 7.08, 0.05);
+}
+
+TEST(PowerFit, RecoversScale) {
+    const auto fit = power_fit({1, 2, 4, 8}, {3.0, 6.0, 12.0, 24.0});
+    EXPECT_NEAR(fit.exponent, 1.0, 1e-10);
+    EXPECT_NEAR(fit.scale, 3.0, 1e-10);
+}
+
+TEST(LinFitDeath, RejectsBadInput) {
+    EXPECT_DEATH((void)linear_fit({1}, {2}), "");
+    EXPECT_DEATH((void)linear_fit({1, 1}, {2, 3}), "constant");
+    EXPECT_DEATH((void)power_fit({1, -2}, {2, 3}), "positive");
+}
+
+}  // namespace
+}  // namespace servet::stats

@@ -1,0 +1,59 @@
+#include "base/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet {
+namespace {
+
+class LogLevelGuard {
+  public:
+    LogLevelGuard() : saved_(log_level()) {}
+    ~LogLevelGuard() { set_log_level(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::Debug);
+    EXPECT_EQ(log_level(), LogLevel::Debug);
+    set_log_level(LogLevel::Error);
+    EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, LevelsAreOrdered) {
+    EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+    EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+    EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+}
+
+TEST(Log, EmitBelowThresholdIsSafeNoop) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::Error);
+    // Must not crash or emit; we can at least exercise the path.
+    logf(LogLevel::Debug, "dropped %d", 1);
+    logf(LogLevel::Info, "dropped %s", "too");
+}
+
+TEST(Log, EmitAboveThresholdIsSafe) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    logf(LogLevel::Warn, "hello %d", 42);
+    const std::string captured = testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("[servet warn] hello 42"), std::string::npos);
+}
+
+TEST(Log, LongMessagesTruncateSafely) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::Debug);
+    const std::string huge(5000, 'x');
+    testing::internal::CaptureStderr();
+    logf(LogLevel::Error, "%s", huge.c_str());
+    const std::string captured = testing::internal::GetCapturedStderr();
+    EXPECT_LT(captured.size(), 1200u);  // buffer-bounded
+}
+
+}  // namespace
+}  // namespace servet

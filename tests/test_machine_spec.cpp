@@ -1,0 +1,162 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/zoo.hpp"
+
+namespace servet::sim {
+namespace {
+
+class ZooSpecsValidate : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooSpecsValidate, NoProblems) {
+    const MachineSpec spec = zoo::paper_machines()[static_cast<std::size_t>(GetParam())];
+    const auto problems = spec.validate();
+    EXPECT_TRUE(problems.empty()) << spec.name << ": " << problems.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, ZooSpecsValidate, ::testing::Range(0, 4));
+
+TEST(ZooSpecs, MultiNodeFinisTerraeValidates) {
+    for (int nodes : {2, 4}) {
+        const MachineSpec spec = zoo::finis_terrae(nodes);
+        EXPECT_TRUE(spec.validate().empty());
+        EXPECT_EQ(spec.n_cores, 16 * nodes);
+        EXPECT_EQ(spec.node_count(), nodes);
+    }
+}
+
+TEST(DunningtonTopology, PaperSharingStructure) {
+    // Fig. 8a: core 0 shares L2 with core 12, and L3 with
+    // {0,1,2,12,13,14} — not with cores 3..11.
+    const MachineSpec spec = zoo::dunnington();
+    EXPECT_TRUE(spec.share_level(1, 0, 12));
+    EXPECT_FALSE(spec.share_level(1, 0, 1));
+    for (CoreId c : {1, 2, 12, 13, 14}) EXPECT_TRUE(spec.share_level(2, 0, c)) << c;
+    for (CoreId c : {3, 11, 15, 23}) EXPECT_FALSE(spec.share_level(2, 0, c)) << c;
+    // L1 is private.
+    EXPECT_FALSE(spec.share_level(0, 0, 12));
+}
+
+TEST(DunningtonTopology, InstancePartitionCounts) {
+    const MachineSpec spec = zoo::dunnington();
+    EXPECT_EQ(spec.levels[0].instances.size(), 24u);
+    EXPECT_EQ(spec.levels[1].instances.size(), 12u);
+    EXPECT_EQ(spec.levels[2].instances.size(), 4u);
+}
+
+TEST(DunningtonTopology, CommLayerClassification) {
+    const MachineSpec spec = zoo::dunnington();
+    EXPECT_EQ(spec.comm_layers[static_cast<std::size_t>(spec.comm_layer_of({0, 12}))].name,
+              "shared-L2");
+    EXPECT_EQ(spec.comm_layers[static_cast<std::size_t>(spec.comm_layer_of({0, 1}))].name,
+              "intra-processor");
+    EXPECT_EQ(spec.comm_layers[static_cast<std::size_t>(spec.comm_layer_of({0, 3}))].name,
+              "inter-processor");
+}
+
+TEST(FinisTerraeTopology, AllCachesPrivate) {
+    const MachineSpec spec = zoo::finis_terrae();
+    for (int level = 0; level < 3; ++level)
+        EXPECT_EQ(spec.levels[static_cast<std::size_t>(level)].instances.size(), 16u);
+}
+
+TEST(FinisTerraeTopology, NodesAndLayers) {
+    const MachineSpec spec = zoo::finis_terrae(2);
+    EXPECT_EQ(spec.node_of(0), 0);
+    EXPECT_EQ(spec.node_of(15), 0);
+    EXPECT_EQ(spec.node_of(16), 1);
+    EXPECT_EQ(spec.comm_layers[static_cast<std::size_t>(spec.comm_layer_of({0, 15}))].name,
+              "intra-node-shm");
+    EXPECT_EQ(spec.comm_layers[static_cast<std::size_t>(spec.comm_layer_of({0, 16}))].name,
+              "infiniband");
+}
+
+TEST(MachineSpec, PageColorsIsLargestPhysicallyIndexed) {
+    const MachineSpec dunnington = zoo::dunnington();
+    // L3: 12MB / (16 * 4KB) = 192 page sets > L2's 64.
+    EXPECT_EQ(dunnington.page_colors(), 192u);
+    const MachineSpec ft = zoo::finis_terrae();
+    EXPECT_EQ(ft.page_colors(), 48u);
+}
+
+TEST(MachineSpec, CycleTime) {
+    const MachineSpec spec = zoo::dunnington();
+    EXPECT_NEAR(spec.cycle_time(), 1e-9 / 2.4, 1e-15);
+}
+
+TEST(MachineSpec, InstanceOfUnknownCore) {
+    const MachineSpec spec = zoo::dempsey();
+    EXPECT_EQ(spec.instance_of(0, 7), -1);
+}
+
+// Validation catches structural mistakes.
+
+MachineSpec broken_base() { return zoo::dempsey(); }
+
+TEST(SpecValidation, CoreInTwoInstances) {
+    MachineSpec spec = broken_base();
+    spec.levels[0].instances = {{0, 1}, {1}};
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, CoreMissingFromLevel) {
+    MachineSpec spec = broken_base();
+    spec.levels[0].instances = {{0}};
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, NonGrowingLevels) {
+    MachineSpec spec = broken_base();
+    spec.levels[1].geometry.size = spec.levels[0].geometry.size;
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, PhysicallyIndexedL1Rejected) {
+    MachineSpec spec = broken_base();
+    spec.levels[0].geometry.physically_indexed = true;
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, BadNodeDivision) {
+    MachineSpec spec = broken_base();
+    spec.cores_per_node = 3;  // does not divide 2 cores... wait, 2 % 3 != 0
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, MissingCatchAllLayer) {
+    MachineSpec spec = zoo::dunnington();
+    spec.comm_layers.pop_back();  // drop the IntraNode catch-all
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, EmptyContentionDomain) {
+    MachineSpec spec = broken_base();
+    spec.memory.domains.push_back({.name = "empty", .members = {}});
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, JitterRange) {
+    MachineSpec spec = broken_base();
+    spec.measurement_jitter = 0.7;
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SpecValidation, SyntheticBuilderShapes) {
+    zoo::SyntheticOptions options;
+    options.cores = 8;
+    options.l2_sharing = 4;
+    const MachineSpec spec = zoo::synthetic(options);
+    EXPECT_TRUE(spec.validate().empty());
+    EXPECT_EQ(spec.levels[1].instances.size(), 2u);
+    EXPECT_TRUE(spec.share_level(1, 0, 3));
+    EXPECT_FALSE(spec.share_level(1, 3, 4));
+}
+
+TEST(CommLayerOfDeath, SamePairRejected) {
+    const MachineSpec spec = zoo::dunnington();
+    EXPECT_DEATH((void)spec.comm_layer_of({3, 3}), "");
+}
+
+}  // namespace
+}  // namespace servet::sim

@@ -1,0 +1,93 @@
+#include "core/mcalibrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+TEST(SizeGrid, DoublesThenStepsOneMegabyte) {
+    // Fig. 1: i *= 2 below 2MB, i += 1MB above.
+    const auto grid = mcalibrator_size_grid(4 * KiB, 6 * MiB);
+    const std::vector<Bytes> expected = {4 * KiB,  8 * KiB,   16 * KiB, 32 * KiB,
+                                         64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB,
+                                         1 * MiB,  2 * MiB,   3 * MiB,  4 * MiB,
+                                         5 * MiB,  6 * MiB};
+    EXPECT_EQ(grid, expected);
+}
+
+TEST(SizeGrid, SingleSize) {
+    EXPECT_EQ(mcalibrator_size_grid(8 * KiB, 8 * KiB), std::vector<Bytes>{8 * KiB});
+}
+
+TEST(SizeGrid, StopsAtMax) {
+    const auto grid = mcalibrator_size_grid(1 * MiB, 2 * MiB + 512 * KiB);
+    EXPECT_EQ(grid, (std::vector<Bytes>{1 * MiB, 2 * MiB}));
+}
+
+TEST(Mcalibrator, CurveShapesFollowHierarchy) {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 16 * KiB;
+    options.l2_size = 256 * KiB;
+    options.jitter = 0.0;
+    SimPlatform platform(sim::zoo::synthetic(options));
+
+    McalibratorOptions mc;
+    mc.min_size = 4 * KiB;
+    mc.max_size = 2 * MiB;
+    mc.repeats = 2;
+    const McalibratorCurve curve = run_mcalibrator(platform, mc);
+
+    ASSERT_EQ(curve.sizes.size(), curve.cycles.size());
+    ASSERT_EQ(curve.points(), mcalibrator_size_grid(mc.min_size, mc.max_size).size());
+    // Small arrays cost the L1 hit time; huge ones the memory latency.
+    EXPECT_NEAR(curve.cycles.front(), 2.0, 0.3);
+    EXPECT_NEAR(curve.cycles.back(), 220.0, 20.0);
+    // The curve is (weakly) increasing up to noise.
+    for (std::size_t i = 1; i < curve.points(); ++i)
+        EXPECT_GT(curve.cycles[i], 0.55 * curve.cycles[i - 1]);
+}
+
+TEST(Mcalibrator, GradientMatchesCycles) {
+    McalibratorCurve curve;
+    curve.sizes = {1, 2, 4};
+    curve.cycles = {2.0, 2.0, 8.0};
+    const auto g = curve.gradient();
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_DOUBLE_EQ(g[0], 1.0);
+    EXPECT_DOUBLE_EQ(g[1], 4.0);
+}
+
+TEST(Mcalibrator, RepeatsReducePlacementVariance) {
+    // At a smeared size, single fresh measurements vary; the averaged
+    // curve value from many repeats should be close between two runs.
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 16 * KiB;
+    options.l2_size = 256 * KiB;
+    options.l2_assoc = 8;
+    options.page_size = 16 * KiB;  // only 2 page sets: maximal variance
+    options.jitter = 0.0;
+    SimPlatform platform(sim::zoo::synthetic(options));
+
+    McalibratorOptions mc;
+    mc.min_size = 256 * KiB;
+    mc.max_size = 256 * KiB;
+    mc.repeats = 24;
+    const Cycles a = run_mcalibrator(platform, mc).cycles.front();
+    const Cycles b = run_mcalibrator(platform, mc).cycles.front();
+    EXPECT_NEAR(a / b, 1.0, 0.25);
+}
+
+TEST(McalibratorDeath, RejectsBadOptions) {
+    SimPlatform platform(sim::zoo::dempsey());
+    McalibratorOptions mc;
+    mc.core = 7;  // out of range
+    EXPECT_DEATH((void)run_mcalibrator(platform, mc), "");
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,96 @@
+#include "core/mem_overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+TEST(MemOverhead, FinisTerraeTwoTiersBusAndCell) {
+    // Fig. 9a: bus pairs lowest, cell pairs ~25% below the reference,
+    // cross-cell pairs unaffected.
+    SimPlatform platform(sim::zoo::finis_terrae());
+    MemOverheadOptions options;
+    options.array_bytes = 36 * MiB;
+    const MemOverheadResult result = characterize_memory_overhead(platform, options);
+
+    ASSERT_EQ(result.tiers.size(), 2u);
+    const auto& bus = result.tiers[0];    // sorted worst-first
+    const auto& cell = result.tiers[1];
+    EXPECT_NEAR(bus.bandwidth / result.reference_bandwidth, 0.55, 0.05);
+    EXPECT_NEAR(cell.bandwidth / result.reference_bandwidth, 0.75, 0.05);
+
+    ASSERT_EQ(bus.groups.size(), 4u);
+    EXPECT_EQ(bus.groups[0], (std::vector<CoreId>{0, 1, 2, 3}));
+    ASSERT_EQ(cell.groups.size(), 2u);
+    EXPECT_EQ(cell.groups[0], (std::vector<CoreId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(MemOverhead, DunningtonSingleUniformTier) {
+    SimPlatform platform(sim::zoo::dunnington());
+    MemOverheadOptions options;
+    options.array_bytes = 48 * MiB;
+    options.only_with_core = 0;  // Fig. 9a plots core-0 pairs
+    const MemOverheadResult result = characterize_memory_overhead(platform, options);
+    ASSERT_EQ(result.tiers.size(), 1u);
+    EXPECT_EQ(result.tiers[0].pairs.size(), 23u);  // every pair collides
+    EXPECT_NEAR(result.tiers[0].bandwidth / result.reference_bandwidth, 0.7, 0.04);
+}
+
+TEST(MemOverhead, ScalabilityCurvesDecrease) {
+    SimPlatform platform(sim::zoo::finis_terrae());
+    MemOverheadOptions options;
+    options.array_bytes = 36 * MiB;
+    const MemOverheadResult result = characterize_memory_overhead(platform, options);
+    ASSERT_EQ(result.scalability.size(), 2u);
+    for (const MemScalabilityCurve& curve : result.scalability) {
+        ASSERT_GE(curve.bandwidth_by_n.size(), 4u);
+        for (std::size_t k = 1; k < curve.bandwidth_by_n.size(); ++k)
+            EXPECT_LE(curve.bandwidth_by_n[k], curve.bandwidth_by_n[k - 1] * 1.05);
+        // The full group saturates the resource well below the reference.
+        EXPECT_LT(curve.bandwidth_by_n.back(), 0.5 * result.reference_bandwidth);
+    }
+}
+
+TEST(MemOverhead, CrossCellPairsReportedButNotTiered) {
+    SimPlatform platform(sim::zoo::finis_terrae());
+    MemOverheadOptions options;
+    options.array_bytes = 36 * MiB;
+    options.only_with_core = 0;
+    const MemOverheadResult result = characterize_memory_overhead(platform, options);
+    // 15 probed pairs; only the 7 same-cell ones carry overhead.
+    EXPECT_EQ(result.pairs.size(), 15u);
+    std::size_t tiered = 0;
+    for (const auto& tier : result.tiers) tiered += tier.pairs.size();
+    EXPECT_EQ(tiered, 7u);
+}
+
+TEST(MemOverhead, NoDomainsMeansNoTiers) {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 4;
+    const sim::MachineSpec base = sim::zoo::synthetic(options);
+    sim::MachineSpec spec = base;
+    spec.memory.domains.clear();
+    SimPlatform platform(spec);
+    MemOverheadOptions mem;
+    mem.array_bytes = 16 * MiB;
+    const MemOverheadResult result = characterize_memory_overhead(platform, mem);
+    EXPECT_TRUE(result.tiers.empty());
+    EXPECT_TRUE(result.scalability.empty());
+}
+
+TEST(MemOverhead, ReferenceBandwidthMatchesModel) {
+    sim::MachineSpec spec = sim::zoo::finis_terrae();
+    spec.measurement_jitter = 0.0;
+    SimPlatform platform(spec);
+    MemOverheadOptions options;
+    options.array_bytes = 36 * MiB;
+    options.only_with_core = 0;
+    const MemOverheadResult result = characterize_memory_overhead(platform, options);
+    EXPECT_DOUBLE_EQ(result.reference_bandwidth, spec.memory.single_core_bandwidth);
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,106 @@
+#include "sim/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/zoo.hpp"
+
+namespace servet::sim {
+namespace {
+
+std::vector<CoreId> cores(std::initializer_list<CoreId> list) { return list; }
+
+TEST(MemoryModel, SoloGetsFullBandwidth) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    EXPECT_DOUBLE_EQ(model.stream_bandwidth(0, cores({0})),
+                     spec.memory.single_core_bandwidth);
+}
+
+TEST(MemoryModel, FinisTerraeTiersMatchPaperFig9a) {
+    // Fig. 9a: pairs on the same bus see the lowest bandwidth, pairs in
+    // the same cell ~25% below the reference, cross-cell pairs none.
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    const double ref = spec.memory.single_core_bandwidth;
+
+    const double bus_pair = model.stream_bandwidth(0, cores({0, 1}));
+    const double cell_pair = model.stream_bandwidth(0, cores({0, 4}));
+    const double cross_pair = model.stream_bandwidth(0, cores({0, 8}));
+
+    EXPECT_NEAR(bus_pair / ref, 0.55, 1e-9);
+    EXPECT_NEAR(cell_pair / ref, 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(cross_pair, ref);
+    EXPECT_LT(bus_pair, cell_pair);
+    EXPECT_LT(cell_pair, cross_pair);
+}
+
+TEST(MemoryModel, DunningtonUniformPairOverhead) {
+    // Fig. 9a: on Dunnington the overhead "is the same independently of
+    // the pair of cores".
+    const MachineSpec spec = zoo::dunnington();
+    MemoryModel model(spec);
+    const double first = model.stream_bandwidth(0, cores({0, 1}));
+    for (CoreId other : {2, 5, 11, 12, 13, 23}) {
+        EXPECT_DOUBLE_EQ(model.stream_bandwidth(0, cores({0, other})), first) << other;
+        EXPECT_LT(first, spec.memory.single_core_bandwidth);
+    }
+}
+
+TEST(MemoryModel, BandwidthSharesScaleWithActiveCount) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    // Bus aggregate is 1.1x solo: k sharers each get 1.1/k (once < solo).
+    const double ref = spec.memory.single_core_bandwidth;
+    EXPECT_NEAR(model.stream_bandwidth(0, cores({0, 1, 2})) / ref, 1.1 / 3, 1e-9);
+    EXPECT_NEAR(model.stream_bandwidth(0, cores({0, 1, 2, 3})) / ref, 1.1 / 4, 1e-9);
+}
+
+TEST(MemoryModel, TightestDomainWins) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    const double ref = spec.memory.single_core_bandwidth;
+    // 0,1 share a bus; 4 is in the same cell only. With {0,1,4} active the
+    // cell (1.5/3 = 0.5) is tighter than core 0's bus (1.1/2 = 0.55), and
+    // core 4's own bus has a single streamer, so all three are cell-bound.
+    EXPECT_NEAR(model.stream_bandwidth(0, cores({0, 1, 4})) / ref, 0.5, 1e-9);
+    EXPECT_NEAR(model.stream_bandwidth(4, cores({0, 1, 4})) / ref, 0.5, 1e-9);
+    // With only the bus pair active, the bus is the binding constraint.
+    EXPECT_NEAR(model.stream_bandwidth(0, cores({0, 1})) / ref, 0.55, 1e-9);
+}
+
+TEST(MemoryModel, InactiveCoresDoNotCount) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    EXPECT_DOUBLE_EQ(model.stream_bandwidth(0, cores({0, 8, 9, 10})),
+                     spec.memory.single_core_bandwidth);
+}
+
+TEST(MemoryModel, LatencyMultiplierSoloIsOne) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    EXPECT_DOUBLE_EQ(model.latency_multiplier(0, cores({0})), 1.0);
+}
+
+TEST(MemoryModel, LatencyMultiplierGrowsWithSharers) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    const double pair = model.latency_multiplier(0, cores({0, 1}));
+    const double quad = model.latency_multiplier(0, cores({0, 1, 2, 3}));
+    EXPECT_NEAR(pair, 1.35, 1e-9);   // bus: 0.35 per extra
+    EXPECT_NEAR(quad, 2.05, 1e-9);   // 1 + 3*0.35
+}
+
+TEST(MemoryModel, LatencyMultiplierCrossCellIsOne) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    EXPECT_DOUBLE_EQ(model.latency_multiplier(0, cores({0, 8})), 1.0);
+}
+
+TEST(MemoryModelDeath, ObserverMustBeActive) {
+    const MachineSpec spec = zoo::finis_terrae();
+    MemoryModel model(spec);
+    EXPECT_DEATH((void)model.stream_bandwidth(0, cores({1, 2})), "");
+}
+
+}  // namespace
+}  // namespace servet::sim

@@ -1,0 +1,56 @@
+// Smoke tests for the native backend. The CI host may have a single core,
+// so these validate plumbing and sanity, not topology results.
+#include "platform/native_platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet {
+namespace {
+
+TEST(NativePlatform, ReportsHostShape) {
+    NativePlatform platform;
+    EXPECT_GE(platform.core_count(), 1);
+    EXPECT_GE(platform.page_size(), 512u);
+    EXPECT_NE(platform.name().find("native:"), std::string::npos);
+}
+
+TEST(NativePlatform, CoreCountOverride) {
+    NativePlatform platform(1);
+    EXPECT_EQ(platform.core_count(), 1);
+}
+
+TEST(NativePlatform, TraverseCyclesPositive) {
+    NativePlatform platform(1);
+    const Cycles c = platform.traverse_cycles(0, 64 * KiB, 1 * KiB, 3, true);
+    EXPECT_GT(c, 0.0);
+}
+
+TEST(NativePlatform, CacheEffectVisible) {
+    NativePlatform platform(1);
+    const Cycles small = platform.traverse_cycles(0, 8 * KiB, 1 * KiB, 20, true);
+    const Cycles large = platform.traverse_cycles(0, 64 * MiB, 1 * KiB, 2, true);
+    EXPECT_GT(large, small);
+}
+
+TEST(NativePlatform, ConcurrentAlignedWithCores) {
+    NativePlatform platform(1);
+    const auto cycles = platform.traverse_cycles_concurrent({0}, 32 * KiB, 1 * KiB, 3, true);
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_GT(cycles[0], 0.0);
+}
+
+TEST(NativePlatform, CopyBandwidthPositive) {
+    NativePlatform platform(1);
+    const BytesPerSecond bw = platform.copy_bandwidth(0, 4 * MiB);
+    EXPECT_GT(bw, 0.0);
+}
+
+TEST(NativePlatform, CopyBandwidthConcurrentAligned) {
+    NativePlatform platform(1);
+    const auto bws = platform.copy_bandwidth_concurrent({0}, 4 * MiB);
+    ASSERT_EQ(bws.size(), 1u);
+    EXPECT_GT(bws[0], 0.0);
+}
+
+}  // namespace
+}  // namespace servet

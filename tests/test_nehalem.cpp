@@ -1,0 +1,78 @@
+// The post-paper control machine: a Nehalem-style 2-socket NUMA node.
+// The suite must characterize a topology generation the paper never
+// evaluated — per-socket shared L3, integrated memory controllers with
+// good pairwise scalability, three comm layers — with no detector changes.
+#include <gtest/gtest.h>
+
+#include "core/suite.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+const SuiteResult& nehalem_suite() {
+    static const SuiteResult result = [] {
+        const sim::MachineSpec spec = sim::zoo::nehalem2s();
+        SimPlatform platform(spec);
+        msg::SimNetwork network(spec);
+        SuiteOptions options;
+        options.mcalibrator.max_size = 24 * MiB;
+        return run_suite(platform, &network, options);
+    }();
+    return result;
+}
+
+TEST(Nehalem, SpecValidates) {
+    EXPECT_TRUE(sim::zoo::nehalem2s().validate().empty());
+}
+
+TEST(Nehalem, CacheSizesRecovered) {
+    const auto& levels = nehalem_suite().cache_levels;
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_EQ(levels[0].size, 32 * KiB);
+    EXPECT_EQ(levels[1].size, 256 * KiB);
+    EXPECT_EQ(levels[2].size, 8 * MiB);
+}
+
+TEST(Nehalem, SocketSharedL3Detected) {
+    const auto& shared = nehalem_suite().shared_caches;
+    ASSERT_EQ(shared.size(), 3u);
+    EXPECT_TRUE(shared[0].sharing_pairs.empty());
+    EXPECT_TRUE(shared[1].sharing_pairs.empty());
+    ASSERT_EQ(shared[2].groups.size(), 2u);
+    EXPECT_EQ(shared[2].groups[0], (std::vector<CoreId>{0, 1, 2, 3}));
+    EXPECT_EQ(shared[2].groups[1], (std::vector<CoreId>{4, 5, 6, 7}));
+}
+
+TEST(Nehalem, MemoryTiersPerSocket) {
+    const auto& mem = nehalem_suite().mem_overhead;
+    ASSERT_EQ(mem.tiers.size(), 1u);
+    // A pair on one socket keeps 80% of the solo bandwidth — far better
+    // than the FSB machines (55-70%).
+    EXPECT_NEAR(mem.tiers[0].bandwidth / mem.reference_bandwidth, 0.8, 0.04);
+    ASSERT_EQ(mem.tiers[0].groups.size(), 2u);
+    EXPECT_EQ(mem.tiers[0].groups[0], (std::vector<CoreId>{0, 1, 2, 3}));
+}
+
+TEST(Nehalem, ThreeCommLayers) {
+    const auto& comm = nehalem_suite().comm;
+    ASSERT_EQ(comm.layers.size(), 2u);
+    // Shared-L3 pairs: 2 sockets x C(4,2) = 12; QPI pairs: 4*4 = 16.
+    EXPECT_EQ(comm.layers[0].pairs.size(), 12u);
+    EXPECT_EQ(comm.layers[1].pairs.size(), 16u);
+    EXPECT_LT(comm.layers[0].latency, comm.layers[1].latency);
+}
+
+TEST(Nehalem, ProfileRoundTrips) {
+    const sim::MachineSpec spec = sim::zoo::nehalem2s();
+    const Profile profile = nehalem_suite().to_profile(spec.name, spec.n_cores,
+                                                       spec.page_size);
+    const auto parsed = Profile::parse(profile.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, profile);
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,102 @@
+#include "sim/page_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace servet::sim {
+namespace {
+
+constexpr Bytes kPage = 4 * KiB;
+constexpr std::uint64_t kFrames = 1 << 20;
+
+TEST(PageMapper, DeterministicPerSeed) {
+    PageMapper a(PagePolicy::Random, kPage, kFrames, 64, 7);
+    PageMapper b(PagePolicy::Random, kPage, kFrames, 64, 7);
+    for (std::uint64_t vp = 0; vp < 100; ++vp) EXPECT_EQ(a.frame_of(vp), b.frame_of(vp));
+}
+
+TEST(PageMapper, StableAcrossRepeatedTranslation) {
+    PageMapper mapper(PagePolicy::Random, kPage, kFrames, 64, 11);
+    const std::uint64_t first = mapper.frame_of(5);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(mapper.frame_of(5), first);
+}
+
+TEST(PageMapper, FramesAreUnique) {
+    PageMapper mapper(PagePolicy::Random, kPage, kFrames, 64, 13);
+    std::set<std::uint64_t> frames;
+    for (std::uint64_t vp = 0; vp < 5000; ++vp)
+        EXPECT_TRUE(frames.insert(mapper.frame_of(vp)).second) << "duplicate frame";
+}
+
+TEST(PageMapper, TranslatePreservesOffset) {
+    PageMapper mapper(PagePolicy::Random, kPage, kFrames, 64, 17);
+    const std::uint64_t vaddr = 42 * kPage + 1234;
+    const std::uint64_t paddr = mapper.translate(vaddr);
+    EXPECT_EQ(paddr % kPage, 1234u);
+    EXPECT_EQ(paddr / kPage, mapper.frame_of(42));
+}
+
+TEST(PageMapper, ColoringMatchesVirtualColor) {
+    // Page coloring: the frame's cache color equals the virtual page's, so
+    // physically indexed caches behave as if virtually indexed
+    // (Section III-A2's "some OSs solve this problem applying page
+    // coloring").
+    const std::uint64_t colors = 64;
+    PageMapper mapper(PagePolicy::Coloring, kPage, kFrames, colors, 19);
+    for (std::uint64_t vp = 0; vp < 1000; ++vp)
+        EXPECT_EQ(mapper.frame_of(vp) % colors, vp % colors);
+}
+
+TEST(PageMapper, ColoringFramesUnique) {
+    PageMapper mapper(PagePolicy::Coloring, kPage, kFrames, 64, 23);
+    std::set<std::uint64_t> frames;
+    for (std::uint64_t vp = 0; vp < 2000; ++vp)
+        EXPECT_TRUE(frames.insert(mapper.frame_of(vp)).second);
+}
+
+TEST(PageMapper, RandomColorsRoughlyUniform) {
+    const std::uint64_t colors = 16;
+    PageMapper mapper(PagePolicy::Random, kPage, kFrames, colors, 29);
+    std::map<std::uint64_t, int> histogram;
+    const int pages = 16000;
+    for (int vp = 0; vp < pages; ++vp)
+        ++histogram[mapper.frame_of(static_cast<std::uint64_t>(vp)) % colors];
+    for (const auto& [color, count] : histogram) {
+        EXPECT_GT(count, pages / 16 * 0.85);
+        EXPECT_LT(count, pages / 16 * 1.15);
+    }
+}
+
+TEST(PageMapper, ResetForgetsAndReproduces) {
+    PageMapper mapper(PagePolicy::Random, kPage, kFrames, 64, 31);
+    const std::uint64_t before = mapper.frame_of(7);
+    (void)mapper.frame_of(8);
+    EXPECT_EQ(mapper.mapped_pages(), 2u);
+    mapper.reset();
+    EXPECT_EQ(mapper.mapped_pages(), 0u);
+    // Same seed, same first-touch order -> same mapping.
+    EXPECT_EQ(mapper.frame_of(7), before);
+}
+
+TEST(PageMapper, TouchOrderIndependent) {
+    // A page's frame is a function of (seed, vpage) alone (collisions
+    // aside), so a statically placed buffer lands identically whether it
+    // is initialized alone or interleaved with another core's buffer —
+    // the property the shared-cache ratio cancellation relies on.
+    PageMapper a(PagePolicy::Random, kPage, kFrames, 64, 37);
+    PageMapper b(PagePolicy::Random, kPage, kFrames, 64, 37);
+    (void)a.frame_of(1);
+    const std::uint64_t a2 = a.frame_of(2);
+    EXPECT_EQ(b.frame_of(2), a2);  // touched first over there
+    EXPECT_EQ(b.frame_of(1), a.frame_of(1));
+}
+
+TEST(PageMapperDeath, RejectsBadConfig) {
+    EXPECT_DEATH(PageMapper(PagePolicy::Random, 3000, kFrames, 4, 1), "power of two");
+    EXPECT_DEATH(PageMapper(PagePolicy::Random, kPage, 4, 4, 1), "physical memory");
+}
+
+}  // namespace
+}  // namespace servet::sim

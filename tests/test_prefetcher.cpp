@@ -1,0 +1,106 @@
+#include "sim/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::sim {
+namespace {
+
+PrefetcherSpec default_spec() {
+    return {.enabled = true, .max_stride = 512, .trigger_streak = 2, .degree = 2};
+}
+
+TEST(Prefetcher, DisabledEmitsNothing) {
+    StreamPrefetcher prefetcher({.enabled = false});
+    std::uint64_t out[8];
+    for (std::uint64_t a = 0; a < 10 * 64; a += 64) EXPECT_EQ(prefetcher.observe(a, out), 0);
+}
+
+TEST(Prefetcher, DetectsSequentialStream) {
+    StreamPrefetcher prefetcher(default_spec());
+    std::uint64_t out[8];
+    EXPECT_EQ(prefetcher.observe(0, out), 0);     // no history
+    EXPECT_EQ(prefetcher.observe(64, out), 0);    // streak 1
+    const int n = prefetcher.observe(128, out);   // streak 2 -> streaming
+    ASSERT_EQ(n, 2);
+    EXPECT_EQ(out[0], 192u);
+    EXPECT_EQ(out[1], 256u);
+    EXPECT_TRUE(prefetcher.streaming());
+}
+
+TEST(Prefetcher, IgnoresStrideBeyondReach) {
+    // Section III-A: "current prefetchers work with strides up to 256 or
+    // 512 bytes" — the 1KB probe stride must not trigger it.
+    StreamPrefetcher prefetcher(default_spec());
+    std::uint64_t out[8];
+    for (std::uint64_t a = 0; a < 20 * KiB; a += 1 * KiB)
+        EXPECT_EQ(prefetcher.observe(a, out), 0) << "1KB stride must not stream";
+    EXPECT_FALSE(prefetcher.streaming());
+}
+
+TEST(Prefetcher, TracksExactly512ByteStride) {
+    StreamPrefetcher prefetcher(default_spec());
+    std::uint64_t out[8];
+    (void)prefetcher.observe(0, out);
+    (void)prefetcher.observe(512, out);
+    const int n = prefetcher.observe(1024, out);
+    ASSERT_EQ(n, 2);
+    EXPECT_EQ(out[0], 1536u);
+}
+
+TEST(Prefetcher, BackwardStreamsWork) {
+    StreamPrefetcher prefetcher(default_spec());
+    std::uint64_t out[8];
+    (void)prefetcher.observe(10 * 64, out);
+    (void)prefetcher.observe(9 * 64, out);
+    const int n = prefetcher.observe(8 * 64, out);
+    ASSERT_EQ(n, 2);
+    EXPECT_EQ(out[0], 7u * 64);
+}
+
+TEST(Prefetcher, StrideChangeResetsStreak) {
+    StreamPrefetcher prefetcher(default_spec());
+    std::uint64_t out[8];
+    (void)prefetcher.observe(0, out);
+    (void)prefetcher.observe(64, out);
+    (void)prefetcher.observe(128, out);  // streaming now
+    EXPECT_EQ(prefetcher.observe(128 + 256, out), 0);  // stride changed
+    EXPECT_FALSE(prefetcher.streaming());
+    // The second same-stride delta re-earns the streak (trigger_streak=2).
+    EXPECT_GT(prefetcher.observe(128 + 512, out), 0);
+}
+
+TEST(Prefetcher, TriggerStreakRespected) {
+    StreamPrefetcher prefetcher({.enabled = true, .max_stride = 512,
+                                 .trigger_streak = 4, .degree = 1});
+    std::uint64_t out[8];
+    (void)prefetcher.observe(0, out);
+    EXPECT_EQ(prefetcher.observe(64, out), 0);
+    EXPECT_EQ(prefetcher.observe(128, out), 0);
+    EXPECT_EQ(prefetcher.observe(192, out), 0);
+    EXPECT_EQ(prefetcher.observe(256, out), 1);  // 4th same-stride repeat
+}
+
+TEST(Prefetcher, ResetClearsState) {
+    StreamPrefetcher prefetcher(default_spec());
+    std::uint64_t out[8];
+    (void)prefetcher.observe(0, out);
+    (void)prefetcher.observe(64, out);
+    (void)prefetcher.observe(128, out);
+    prefetcher.reset();
+    EXPECT_FALSE(prefetcher.streaming());
+    EXPECT_EQ(prefetcher.observe(192, out), 0);  // history gone
+}
+
+TEST(Prefetcher, DegreeControlsFanout) {
+    StreamPrefetcher prefetcher({.enabled = true, .max_stride = 512,
+                                 .trigger_streak = 2, .degree = 4});
+    std::uint64_t out[8];
+    (void)prefetcher.observe(0, out);
+    (void)prefetcher.observe(64, out);
+    const int n = prefetcher.observe(128, out);
+    ASSERT_EQ(n, 4);
+    for (int d = 0; d < 4; ++d) EXPECT_EQ(out[d], 128u + 64u * static_cast<unsigned>(d + 1));
+}
+
+}  // namespace
+}  // namespace servet::sim

@@ -1,0 +1,76 @@
+// Randomized end-to-end property: for machines drawn at random from the
+// plausible configuration space, the full measurement pipeline must
+// recover the ground truth — sizes exactly, sharing topology exactly.
+// This is the generalization claim behind the paper's four-machine
+// validation, executed over a seeded family instead.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "core/cache_size.hpp"
+#include "core/shared_cache.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet {
+namespace {
+
+sim::zoo::SyntheticOptions random_options(std::uint64_t seed) {
+    Rng rng(seed);
+    sim::zoo::SyntheticOptions options;
+    options.cores = rng.next_below(2) == 0 ? 2 : 4;
+    const Bytes l1_choices[] = {16 * KiB, 32 * KiB, 64 * KiB};
+    options.l1_size = l1_choices[rng.next_below(3)];
+    const Bytes l2_choices[] = {512 * KiB, 1 * MiB, 2 * MiB, 3 * MiB};
+    options.l2_size = l2_choices[rng.next_below(4)];
+    // 12 ways divide only 3*2^k sizes (way capacity must divide the size).
+    if (options.l2_size % (3 * 256 * KiB) == 0) {
+        const int assoc_choices[] = {8, 12, 16};
+        options.l2_assoc = assoc_choices[rng.next_below(3)];
+    } else {
+        const int assoc_choices[] = {8, 16};
+        options.l2_assoc = assoc_choices[rng.next_below(2)];
+    }
+    options.l2_sharing = (options.cores == 4 && rng.next_below(2) == 0) ? 2 : 1;
+    options.page_policy =
+        rng.next_below(3) == 0 ? sim::PagePolicy::Coloring : sim::PagePolicy::Random;
+    options.jitter = 0.01;
+    options.seed = seed * 977;
+    return options;
+}
+
+class RandomMachineRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMachineRecovery, FullPipelineRecoversGroundTruth) {
+    const sim::zoo::SyntheticOptions options = random_options(GetParam());
+    const sim::MachineSpec spec = sim::zoo::synthetic(options);
+    SimPlatform platform(spec);
+
+    // Cache sizes.
+    core::McalibratorOptions mc;
+    mc.max_size = 6 * options.l2_size;
+    const auto levels = core::detect_cache_levels(platform, mc);
+    ASSERT_EQ(levels.size(), 2u)
+        << "seed " << GetParam() << ": L1=" << options.l1_size
+        << " L2=" << options.l2_size << " K=" << options.l2_assoc;
+    EXPECT_EQ(levels[0].size, options.l1_size) << "seed " << GetParam();
+    EXPECT_EQ(levels[1].size, options.l2_size) << "seed " << GetParam();
+
+    // Sharing topology.
+    const auto shared =
+        core::detect_shared_caches(platform, {levels[0].size, levels[1].size});
+    ASSERT_EQ(shared.size(), 2u);
+    EXPECT_TRUE(shared[0].sharing_pairs.empty()) << "L1 is always private";
+    if (options.l2_sharing == 1) {
+        EXPECT_TRUE(shared[1].sharing_pairs.empty()) << "seed " << GetParam();
+    } else {
+        ASSERT_EQ(shared[1].groups.size(), 2u) << "seed " << GetParam();
+        EXPECT_EQ(shared[1].groups[0], (std::vector<CoreId>{0, 1}));
+        EXPECT_EQ(shared[1].groups[1], (std::vector<CoreId>{2, 3}));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMachineRecovery,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace servet

@@ -1,0 +1,104 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::core {
+namespace {
+
+Profile dunnington_like_profile() {
+    Profile profile;
+    profile.machine = "sim:dunnington";
+    profile.cores = 6;  // one package worth, for compact assertions
+    profile.page_size = 4096;
+    profile.caches = {
+        {32 * KiB, "peak", {}},
+        {3 * MiB, "probabilistic", {{0, 3}, {1, 4}, {2, 5}}},
+        {12 * MiB, "probabilistic", {{0, 1, 2, 3, 4, 5}}},
+    };
+    profile.memory.reference_bandwidth = 3.5e9;
+    ProfileMemoryTier tier;
+    tier.bandwidth = 2.45e9;
+    tier.groups = {{0, 1, 2, 3, 4, 5}};
+    tier.scalability = {3.5e9, 2.45e9};
+    profile.memory.tiers = {tier};
+    ProfileCommLayer fast, slow;
+    fast.latency = 0.7e-6;
+    fast.pairs = {{0, 3}};
+    fast.slowdown = {1.0, 1.2};
+    slow.latency = 1.6e-6;
+    slow.pairs = {{0, 1}, {0, 2}};
+    profile.comm = {fast, slow};
+    profile.phase_seconds = {{"cache_size", 12.0}};
+    return profile;
+}
+
+TEST(MarkdownReport, ContainsAllSections) {
+    const std::string report = render_markdown(dunnington_like_profile());
+    EXPECT_NE(report.find("# Servet hardware report: sim:dunnington"), std::string::npos);
+    EXPECT_NE(report.find("## Cache hierarchy"), std::string::npos);
+    EXPECT_NE(report.find("## Memory"), std::string::npos);
+    EXPECT_NE(report.find("## Communication layers"), std::string::npos);
+    EXPECT_NE(report.find("## Suite execution times"), std::string::npos);
+}
+
+TEST(MarkdownReport, CacheRowsCarryFacts) {
+    const std::string report = render_markdown(dunnington_like_profile());
+    EXPECT_NE(report.find("| L1 | 32KB | peak | private |"), std::string::npos);
+    EXPECT_NE(report.find("| L2 | 3MB | probabilistic | {0,3} {1,4} {2,5} |"),
+              std::string::npos);
+    EXPECT_NE(report.find("| L3 | 12MB |"), std::string::npos);
+}
+
+TEST(MarkdownReport, MemoryAndCommFacts) {
+    const std::string report = render_markdown(dunnington_like_profile());
+    EXPECT_NE(report.find("3.50 GB/s"), std::string::npos);
+    EXPECT_NE(report.find("3.50, 2.45"), std::string::npos);  // scalability curve
+    EXPECT_NE(report.find("1.2x @ 2 msgs"), std::string::npos);
+}
+
+TEST(MarkdownReport, EmptyProfileStillRenders) {
+    Profile empty;
+    empty.machine = "bare";
+    const std::string report = render_markdown(empty);
+    EXPECT_NE(report.find("bare"), std::string::npos);
+    EXPECT_EQ(report.find("## Communication layers"), std::string::npos);
+}
+
+TEST(DotReport, NestedClustersFollowSharingGroups) {
+    const std::string dot = render_dot(dunnington_like_profile());
+    EXPECT_NE(dot.find("digraph servet"), std::string::npos);
+    // One L3 cluster and three L2 clusters inside it.
+    EXPECT_EQ(dot.find("label=\"L3 12MB\""), dot.rfind("label=\"L3 12MB\""));
+    std::size_t l2_count = 0;
+    for (std::size_t pos = dot.find("label=\"L2 3MB\""); pos != std::string::npos;
+         pos = dot.find("label=\"L2 3MB\"", pos + 1))
+        ++l2_count;
+    EXPECT_EQ(l2_count, 3u);
+    // Every core appears as a node.
+    for (int core = 0; core < 6; ++core) {
+        std::string needle = "c";
+        needle += std::to_string(core);
+        needle += " [label=\"core";
+        EXPECT_NE(dot.find(needle), std::string::npos) << core;
+    }
+}
+
+TEST(DotReport, CommEdgesAndMemoryNotes) {
+    const std::string dot = render_dot(dunnington_like_profile());
+    EXPECT_NE(dot.find("c0 -> c3"), std::string::npos);   // fast layer representative
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // slowest layer
+    EXPECT_NE(dot.find("memory tier 0"), std::string::npos);
+}
+
+TEST(DotReport, PrivateCachesYieldFlatGraph) {
+    Profile profile;
+    profile.machine = "flat";
+    profile.cores = 3;
+    profile.caches = {{16 * KiB, "peak", {}}};
+    const std::string dot = render_dot(profile);
+    EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+    EXPECT_NE(dot.find("c2 [label=\"core 2\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace servet::core

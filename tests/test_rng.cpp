@@ -1,0 +1,73 @@
+#include "base/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace servet {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+    EXPECT_EQ(seen.size(), 8u);  // all 8 values appear in 500 draws
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+    Rng rng(13);
+    std::vector<int> counts(16, 0);
+    const int draws = 160000;
+    for (int i = 0; i < draws; ++i) ++counts[rng.next_below(16)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / 16 * 0.9);
+        EXPECT_LT(c, draws / 16 * 1.1);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, JitterWithinAmplitude) {
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        const double j = rng.jitter(0.05);
+        EXPECT_GE(j, 0.95);
+        EXPECT_LE(j, 1.05);
+    }
+}
+
+TEST(Rng, JitterZeroAmplitudeIsIdentity) {
+    Rng rng(23);
+    for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.jitter(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace servet

@@ -1,0 +1,117 @@
+#include "core/shared_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+TEST(SharedCache, DunningtonCore0PairsMatchFig8a) {
+    // Fig. 8a: probing pairs (0,k), core 0 shares L2 with core 12 and L3
+    // with {1,2,12,13,14}; nothing at L1.
+    SimPlatform platform(sim::zoo::dunnington());
+    SharedCacheOptions options;
+    options.only_with_core = 0;
+    const auto results =
+        detect_shared_caches(platform, {32 * KiB, 3 * MiB, 12 * MiB}, options);
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_TRUE(results[0].sharing_pairs.empty());
+
+    ASSERT_EQ(results[1].sharing_pairs.size(), 1u);
+    EXPECT_EQ(results[1].sharing_pairs[0], (CorePair{0, 12}));
+
+    std::vector<CoreId> l3_partners;
+    for (const CorePair& pair : results[2].sharing_pairs) l3_partners.push_back(pair.b);
+    std::sort(l3_partners.begin(), l3_partners.end());
+    EXPECT_EQ(l3_partners, (std::vector<CoreId>{1, 2, 12, 13, 14}));
+}
+
+TEST(SharedCache, DunningtonFullScanRecoversInstances) {
+    SimPlatform platform(sim::zoo::dunnington());
+    const auto results = detect_shared_caches(platform, {3 * MiB, 12 * MiB});
+    ASSERT_EQ(results.size(), 2u);
+
+    // L2: twelve {i, i+12} groups.
+    ASSERT_EQ(results[0].groups.size(), 12u);
+    for (CoreId i = 0; i < 12; ++i)
+        EXPECT_EQ(results[0].groups[static_cast<std::size_t>(i)],
+                  (std::vector<CoreId>{i, i + 12}));
+
+    // L3: the four hexacore packages with the interleaved OS numbering.
+    ASSERT_EQ(results[1].groups.size(), 4u);
+    EXPECT_EQ(results[1].groups[0], (std::vector<CoreId>{0, 1, 2, 12, 13, 14}));
+    EXPECT_EQ(results[1].groups[3], (std::vector<CoreId>{9, 10, 11, 21, 22, 23}));
+}
+
+TEST(SharedCache, FinisTerraeAllPrivate) {
+    // Fig. 8b: every ratio stays below 2 on Finis Terrae.
+    SimPlatform platform(sim::zoo::finis_terrae());
+    const auto results =
+        detect_shared_caches(platform, {16 * KiB, 256 * KiB, 9 * MiB});
+    for (const auto& level : results) {
+        EXPECT_TRUE(level.sharing_pairs.empty())
+            << "false sharing at " << level.cache_size;
+        for (const auto& pair : level.pairs) EXPECT_LT(pair.ratio, 2.0);
+    }
+}
+
+TEST(SharedCache, FinisTerraeBusPairsShowMildOverhead) {
+    // Fig. 8b's visible texture: bus-mates' memory misses queue, so their
+    // L3-level ratio sits above 1 without crossing the threshold.
+    SimPlatform platform(sim::zoo::finis_terrae());
+    SharedCacheOptions options;
+    options.only_with_core = 0;
+    const auto results = detect_shared_caches(platform, {9 * MiB}, options);
+    const auto& pairs = results[0].pairs;
+    const auto find_ratio = [&](CoreId b) {
+        const auto it = std::find_if(pairs.begin(), pairs.end(), [b](const auto& p) {
+            return p.pair == CorePair{0, b};
+        });
+        return it->ratio;
+    };
+    EXPECT_GT(find_ratio(1), 1.02);   // same bus
+    EXPECT_LT(find_ratio(8), 1.35);   // different cell
+}
+
+TEST(SharedCache, SyntheticSharedL2Groups) {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 4;
+    options.l2_sharing = 2;  // {0,1} and {2,3}
+    options.l2_size = 1 * MiB;
+    const sim::MachineSpec spec = sim::zoo::synthetic(options);
+    SimPlatform platform(spec);
+    const auto results = detect_shared_caches(platform, {32 * KiB, 1 * MiB});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].sharing_pairs.empty());
+    ASSERT_EQ(results[1].groups.size(), 2u);
+    EXPECT_EQ(results[1].groups[0], (std::vector<CoreId>{0, 1}));
+    EXPECT_EQ(results[1].groups[1], (std::vector<CoreId>{2, 3}));
+}
+
+TEST(SharedCache, ArrayBytesAreTwoThirdsRounded) {
+    SimPlatform platform(sim::zoo::dempsey());
+    const auto results = detect_shared_caches(platform, {2 * MiB});
+    EXPECT_EQ(results[0].array_bytes, (2 * MiB * 2 / 3) / KiB * KiB);
+    EXPECT_GT(results[0].reference_cycles, 0.0);
+}
+
+TEST(SharedCache, RatiosReportedForEveryProbedPair) {
+    SimPlatform platform(sim::zoo::dempsey());
+    const auto results = detect_shared_caches(platform, {16 * KiB});
+    EXPECT_EQ(results[0].pairs.size(), 1u);  // 2 cores -> 1 pair
+}
+
+TEST(SharedCacheDeath, BadThreshold) {
+    SimPlatform platform(sim::zoo::dempsey());
+    SharedCacheOptions options;
+    options.ratio_threshold = 0.5;
+    EXPECT_DEATH((void)detect_shared_caches(platform, {16 * KiB}, options), "");
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,65 @@
+// Cross-validation property: the trace-driven simulator and the analytic
+// binomial page-set model were built independently (SetAssocCache + random
+// PageMapper vs. expected_miss_rate), yet they describe the same physics.
+// For any physically indexed cache, the measured steady-state miss rate of
+// the 1KB-stride sweep — averaged over placements — must match the
+// size-biased binomial expectation. A regression in either the cache
+// model, the page mapper, or the estimator's maths breaks this.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cache_size.hpp"
+#include "sim/engine.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet {
+namespace {
+
+class MissRateCrossValidation
+    : public ::testing::TestWithParam<std::tuple<Bytes, int, double>> {};
+
+TEST_P(MissRateCrossValidation, SimMatchesBinomial) {
+    const auto [l2_size, assoc, size_factor] = GetParam();
+
+    sim::zoo::SyntheticOptions options;
+    options.cores = 1;
+    options.l1_size = 16 * KiB;
+    options.l1_assoc = 8;
+    options.l2_size = l2_size;
+    options.l2_assoc = assoc;
+    options.jitter = 0.0;
+    const sim::MachineSpec spec = sim::zoo::synthetic(options);
+    sim::MachineSim machine(spec);
+
+    const auto array_bytes =
+        static_cast<Bytes>(size_factor * static_cast<double>(l2_size)) / KiB * KiB;
+    const double l2_hit = spec.levels[1].hit_cycles;
+    const double memory = spec.memory.latency_cycles;
+
+    // Average the measured miss rate over independent placements.
+    const int repeats = 12;
+    double measured = 0;
+    for (int r = 0; r < repeats; ++r) {
+        const Cycles c = machine.traverse_one(0, array_bytes, 1 * KiB, 3);
+        measured += (c - l2_hit) / (memory - l2_hit);
+    }
+    measured /= repeats;
+
+    const double p = static_cast<double>(assoc) * 4096.0 / static_cast<double>(l2_size);
+    const double predicted = core::expected_miss_rate(
+        core::MissRateModel::SizeBiased,
+        static_cast<std::int64_t>(array_bytes / (4 * KiB)), p, assoc);
+
+    EXPECT_NEAR(measured, predicted, 0.05)
+        << "CS=" << l2_size << " K=" << assoc << " size=" << array_bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MissRateCrossValidation,
+    ::testing::Combine(::testing::Values(512 * KiB, 1 * MiB, 2 * MiB),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Values(0.75, 1.0, 1.5, 2.5)));
+
+}  // namespace
+}  // namespace servet

@@ -1,0 +1,119 @@
+#include "core/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::core {
+namespace {
+
+sim::MachineSpec small_machine() {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 4;
+    options.l1_size = 16 * KiB;
+    options.l2_size = 256 * KiB;
+    options.l2_sharing = 2;
+    options.jitter = 0.01;
+    return sim::zoo::synthetic(options);
+}
+
+SuiteOptions fast_options() {
+    SuiteOptions options;
+    options.mcalibrator.max_size = 2 * MiB;
+    options.mcalibrator.repeats = 3;
+    return options;
+}
+
+TEST(Suite, RunsAllPhasesOnMulticore) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    const SuiteResult result = run_suite(platform, &network, fast_options());
+
+    ASSERT_EQ(result.cache_levels.size(), 2u);
+    EXPECT_EQ(result.cache_levels[0].size, 16 * KiB);
+    EXPECT_EQ(result.cache_levels[1].size, 256 * KiB);
+
+    ASSERT_TRUE(result.has_shared_caches);
+    ASSERT_EQ(result.shared_caches.size(), 2u);
+    ASSERT_EQ(result.shared_caches[1].groups.size(), 2u);
+    EXPECT_EQ(result.shared_caches[1].groups[0], (std::vector<CoreId>{0, 1}));
+
+    ASSERT_TRUE(result.has_mem_overhead);
+    EXPECT_GT(result.mem_overhead.reference_bandwidth, 0.0);
+
+    ASSERT_TRUE(result.has_comm);
+    EXPECT_EQ(result.comm.probe_message, 16 * KiB);  // the detected L1 size
+    EXPECT_EQ(result.comm.layers.size(), 2u);
+
+    // Table I bookkeeping: all four phases timed.
+    EXPECT_EQ(result.phase_seconds.size(), 4u);
+    for (const auto& [phase, seconds] : result.phase_seconds) EXPECT_GE(seconds, 0.0);
+}
+
+TEST(Suite, UnicoreSkipsPairwisePhases) {
+    SimPlatform platform(sim::zoo::athlon3200());
+    SuiteOptions options = fast_options();
+    const SuiteResult result = run_suite(platform, nullptr, options);
+    EXPECT_FALSE(result.has_shared_caches);
+    EXPECT_FALSE(result.has_mem_overhead);
+    EXPECT_FALSE(result.has_comm);
+    EXPECT_EQ(result.cache_levels.size(), 2u);
+}
+
+TEST(Suite, NullNetworkSkipsComm) {
+    SimPlatform platform(small_machine());
+    const SuiteResult result = run_suite(platform, nullptr, fast_options());
+    EXPECT_FALSE(result.has_comm);
+    EXPECT_TRUE(result.has_mem_overhead);
+}
+
+TEST(Suite, PhaseTogglesRespected) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    SuiteOptions options = fast_options();
+    options.run_shared_cache = false;
+    options.run_mem_overhead = false;
+    const SuiteResult result = run_suite(platform, &network, options);
+    EXPECT_FALSE(result.has_shared_caches);
+    EXPECT_FALSE(result.has_mem_overhead);
+    EXPECT_TRUE(result.has_comm);
+}
+
+TEST(Suite, ToProfileCarriesEverything) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    const SuiteResult result = run_suite(platform, &network, fast_options());
+    const Profile profile =
+        result.to_profile(platform.name(), platform.core_count(), platform.page_size());
+
+    EXPECT_EQ(profile.machine, platform.name());
+    EXPECT_EQ(profile.cores, 4);
+    ASSERT_EQ(profile.caches.size(), 2u);
+    EXPECT_EQ(profile.caches[1].size, 256 * KiB);
+    EXPECT_EQ(profile.caches[1].groups.size(), 2u);
+    EXPECT_GT(profile.memory.reference_bandwidth, 0.0);
+    EXPECT_EQ(profile.comm.size(), result.comm.layers.size());
+    EXPECT_EQ(profile.phase_seconds.size(), 4u);
+
+    // And the profile round-trips through the file format.
+    const auto reparsed = Profile::parse(profile.serialize());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(*reparsed, profile);
+}
+
+TEST(Suite, ProfileQueriesWorkOnSuiteOutput) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    const SuiteResult result = run_suite(platform, &network, fast_options());
+    const Profile profile = result.to_profile(platform.name(), 4, platform.page_size());
+
+    EXPECT_TRUE(profile.shares_cache(1, {0, 1}));
+    EXPECT_FALSE(profile.shares_cache(1, {1, 2}));
+    EXPECT_EQ(profile.comm_layer_of({0, 1}), 0);  // shared-L2 layer is fastest
+    EXPECT_TRUE(profile.comm_latency({0, 2}, 8 * KiB).has_value());
+}
+
+}  // namespace
+}  // namespace servet::core

@@ -1,0 +1,56 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet::stats {
+namespace {
+
+TEST(Median, OddCount) { EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0); }
+
+TEST(Median, EvenCountAveragesCenter) {
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, SingleElement) { EXPECT_DOUBLE_EQ(median({7.0}), 7.0); }
+
+TEST(Median, RobustToOutlier) {
+    EXPECT_DOUBLE_EQ(median({10.0, 10.0, 10.0, 10.0, 1e9}), 10.0);
+}
+
+TEST(Mad, ZeroForConstant) { EXPECT_DOUBLE_EQ(mad({5.0, 5.0, 5.0}), 0.0); }
+
+TEST(Mad, ScalesWithSpread) {
+    const double narrow = mad({10.0, 11.0, 12.0, 13.0, 14.0});
+    const double wide = mad({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_GT(wide, narrow * 5);
+    // Consistency factor: MAD of {1..5} is 1 * 1.4826.
+    EXPECT_NEAR(narrow, 1.4826, 1e-9);
+}
+
+TEST(Mean, Averages) { EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5); }
+
+TEST(MinMax, Work) {
+    EXPECT_DOUBLE_EQ(min_value({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(max_value({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(Mode, PicksMostFrequent) {
+    EXPECT_EQ(mode({1, 2, 2, 3, 2}), 2u);
+}
+
+TEST(Mode, TieBreaksToEarliest) {
+    // Fig. 3: ties resolve toward the lowest-divergence (earliest) entry.
+    EXPECT_EQ(mode({9, 5, 9, 5}), 9u);
+    EXPECT_EQ(mode({5, 9, 9, 5}), 5u);
+}
+
+TEST(Mode, AllDistinctGivesFirst) { EXPECT_EQ(mode({42, 7, 13}), 42u); }
+
+TEST(SummaryDeath, EmptyInputsAbort) {
+    EXPECT_DEATH((void)median({}), "");
+    EXPECT_DEATH((void)mean({}), "");
+    EXPECT_DEATH((void)mode({}), "");
+}
+
+}  // namespace
+}  // namespace servet::stats

@@ -1,0 +1,59 @@
+#include "base/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace servet {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable table({"size", "cycles"});
+    table.add_row({"32KB", "3.0"});
+    table.add_row({"12MB", "250.1"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("size"), std::string::npos);
+    EXPECT_NE(out.find("12MB"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnWidthFollowsWidestCell) {
+    TextTable table({"a", "b"});
+    table.add_row({"wide-cell-value", "x"});
+    const std::string out = table.render();
+    const auto header_line = out.substr(0, out.find('\n'));
+    // 'b' starts after the widest a-column cell plus 2 spaces.
+    EXPECT_GE(header_line.find('b'), std::string("wide-cell-value").size() + 2);
+}
+
+TEST(TextTable, RowCount) {
+    TextTable table({"x"});
+    EXPECT_EQ(table.row_count(), 0u);
+    table.add_row({"1"});
+    table.add_row({"2"});
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, CsvPlain) {
+    TextTable table({"size", "cycles"});
+    table.add_row({"32KB", "3.0"});
+    EXPECT_EQ(table.render_csv(), "size,cycles\n32KB,3.0\n");
+}
+
+TEST(TextTable, CsvQuotesSpecials) {
+    TextTable table({"a", "b"});
+    table.add_row({"x,y", "say \"hi\""});
+    EXPECT_EQ(table.render_csv(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTableDeath, MismatchedRowAborts) {
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.add_row({"only-one"}), "row width");
+}
+
+TEST(Strf, FormatsLikePrintf) {
+    EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+}
+
+}  // namespace
+}  // namespace servet

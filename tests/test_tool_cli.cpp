@@ -1,0 +1,96 @@
+// End-to-end test of the installed `servet` binary: the install-time
+// workflow (profile -> report -> price) executed through the real CLI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef SERVET_TOOL_PATH
+#error "SERVET_TOOL_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+    int exit_code;
+    std::string output;
+};
+
+CommandResult run_tool(const std::string& args) {
+    const std::string out_path = ::testing::TempDir() + "/servet_tool_out.txt";
+    const std::string command =
+        std::string(SERVET_TOOL_PATH) + " " + args + " > " + out_path + " 2>&1";
+    const int status = std::system(command.c_str());
+    std::ifstream in(out_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::remove(out_path.c_str());
+    return {WEXITSTATUS(status), buffer.str()};
+}
+
+std::string profile_path() { return ::testing::TempDir() + "/tool_cli.profile"; }
+
+TEST(ToolCli, NoArgsPrintsUsageAndFails) {
+    const auto result = run_tool("");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("usage: servet"), std::string::npos);
+}
+
+TEST(ToolCli, MachinesListsTargets) {
+    const auto result = run_tool("machines");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.output.find("dunnington"), std::string::npos);
+    EXPECT_NE(result.output.find("native"), std::string::npos);
+}
+
+TEST(ToolCli, ProfileReportPriceWorkflow) {
+    // Dempsey is the cheapest multicore model to measure.
+    const auto profile = run_tool("profile --machine dempsey --fast --out " + profile_path());
+    ASSERT_EQ(profile.exit_code, 0) << profile.output;
+    EXPECT_NE(profile.output.find("2 cache levels"), std::string::npos);
+
+    const auto report = run_tool("report --profile " + profile_path());
+    EXPECT_EQ(report.exit_code, 0);
+    EXPECT_NE(report.output.find("16KB"), std::string::npos);
+    EXPECT_NE(report.output.find("2MB"), std::string::npos);
+
+    const auto markdown = run_tool("report --markdown --profile " + profile_path());
+    EXPECT_EQ(markdown.exit_code, 0);
+    EXPECT_NE(markdown.output.find("# Servet hardware report"), std::string::npos);
+
+    const auto dot = run_tool("report --dot --profile " + profile_path());
+    EXPECT_EQ(dot.exit_code, 0);
+    EXPECT_NE(dot.output.find("digraph servet"), std::string::npos);
+
+    const auto json = run_tool("report --json --profile " + profile_path());
+    EXPECT_EQ(json.exit_code, 0);
+    EXPECT_NE(json.output.find("\"machine\""), std::string::npos);
+
+    const auto price = run_tool("price --profile " + profile_path() +
+                                " --from 0 --to 1 --size 64KB");
+    EXPECT_EQ(price.exit_code, 0);
+    EXPECT_NE(price.output.find("(0,1) 64KB one-way"), std::string::npos);
+
+    std::remove(profile_path().c_str());
+}
+
+TEST(ToolCli, UnknownMachineFails) {
+    const auto result = run_tool("profile --machine bogus");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("unknown machine"), std::string::npos);
+}
+
+TEST(ToolCli, MissingProfileFails) {
+    const auto result = run_tool("report --profile /nonexistent.profile");
+    EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(ToolCli, UnknownCommandFails) {
+    const auto result = run_tool("frobnicate");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("usage"), std::string::npos);
+}
+
+}  // namespace

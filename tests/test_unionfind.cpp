@@ -1,0 +1,105 @@
+#include "stats/unionfind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+
+namespace servet::stats {
+namespace {
+
+TEST(UnionFind, StartsAllSingletons) {
+    UnionFind uf(5);
+    EXPECT_EQ(uf.set_count(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMerges) {
+    UnionFind uf(4);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0));  // already joined
+    EXPECT_EQ(uf.set_count(), 3u);
+    EXPECT_TRUE(uf.connected(0, 1));
+    EXPECT_FALSE(uf.connected(0, 2));
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+    UnionFind uf(6);
+    uf.unite(0, 1);
+    uf.unite(1, 2);
+    uf.unite(4, 5);
+    EXPECT_TRUE(uf.connected(0, 2));
+    EXPECT_TRUE(uf.connected(4, 5));
+    EXPECT_FALSE(uf.connected(2, 4));
+}
+
+TEST(UnionFind, ComponentsSortedBySmallestMember) {
+    UnionFind uf(6);
+    uf.unite(4, 5);
+    uf.unite(0, 2);
+    const auto components = uf.components();
+    ASSERT_EQ(components.size(), 4u);
+    EXPECT_EQ(components[0], (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(components[1], (std::vector<std::size_t>{1}));
+    EXPECT_EQ(components[2], (std::vector<std::size_t>{3}));
+    EXPECT_EQ(components[3], (std::vector<std::size_t>{4, 5}));
+}
+
+TEST(GroupsFromPairs, PaperExample) {
+    // Section III-C: pairs (0,1),(0,2),(3,4),(3,5) identify groups
+    // {0,1,2} and {3,4,5}.
+    const auto groups =
+        groups_from_pairs({{0, 1}, {0, 2}, {3, 4}, {3, 5}}, 6);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], (std::vector<CoreId>{0, 1, 2}));
+    EXPECT_EQ(groups[1], (std::vector<CoreId>{3, 4, 5}));
+}
+
+TEST(GroupsFromPairs, SingletonsExcluded) {
+    const auto groups = groups_from_pairs({{1, 2}}, 5);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], (std::vector<CoreId>{1, 2}));
+}
+
+TEST(GroupsFromPairs, EmptyPairsNoGroups) {
+    EXPECT_TRUE(groups_from_pairs({}, 8).empty());
+}
+
+TEST(GroupsFromPairs, DunningtonL2Shape) {
+    // 12 disjoint pairs {i, i+12} -> 12 groups of 2.
+    std::vector<CorePair> pairs;
+    for (CoreId i = 0; i < 12; ++i) pairs.push_back({i, i + 12});
+    const auto groups = groups_from_pairs(pairs, 24);
+    ASSERT_EQ(groups.size(), 12u);
+    for (CoreId i = 0; i < 12; ++i)
+        EXPECT_EQ(groups[static_cast<std::size_t>(i)], (std::vector<CoreId>{i, i + 12}));
+}
+
+TEST(UnionFind, PropertyMatchesNaiveReference) {
+    // Random unions; compare connectivity against a brute-force labelling.
+    Rng rng(99);
+    const std::size_t n = 32;
+    UnionFind uf(n);
+    std::vector<std::size_t> label(n);
+    for (std::size_t i = 0; i < n; ++i) label[i] = i;
+
+    for (int step = 0; step < 60; ++step) {
+        const std::size_t a = rng.next_below(n);
+        const std::size_t b = rng.next_below(n);
+        if (a == b) continue;
+        uf.unite(a, b);
+        const std::size_t from = label[b], to = label[a];
+        for (std::size_t i = 0; i < n; ++i)
+            if (label[i] == from) label[i] = to;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_EQ(uf.connected(i, j), label[i] == label[j]) << i << "," << j;
+}
+
+TEST(UnionFindDeath, OutOfRange) {
+    UnionFind uf(3);
+    EXPECT_DEATH((void)uf.find(3), "");
+}
+
+}  // namespace
+}  // namespace servet::stats

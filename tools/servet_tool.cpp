@@ -1,0 +1,347 @@
+// The servet command-line tool: run the suite once at installation time,
+// store the profile, and consult it later — the deployment model of
+// Section IV-E. Subcommands:
+//
+//   servet machines                       list available targets
+//   servet profile  [--machine M] [--out FILE] [--fast] [--robust N]
+//   servet report   --profile FILE       pretty-print a stored profile
+//   servet tlb      [--machine M]        measure the data TLB
+//   servet price    --profile FILE --from A --to B --size S
+//                                         cost one message from the profile
+#include <cstdio>
+#include <cstring>
+
+#include "autotune/collective_select.hpp"
+#include "autotune/mapping.hpp"
+#include "base/cli.hpp"
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/report.hpp"
+#include "core/suite.hpp"
+#include "core/tlb_detect.hpp"
+#include "msg/sim_network.hpp"
+#include "msg/thread_network.hpp"
+#include "platform/decorators.hpp"
+#include "platform/native_platform.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+using namespace servet;
+
+namespace {
+
+struct Target {
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<msg::Network> network;
+};
+
+std::optional<Target> make_target(const std::string& name) {
+    Target target;
+    if (name == "native") {
+        auto platform = std::make_unique<NativePlatform>();
+        target.network = std::make_unique<msg::ThreadNetwork>(platform->core_count());
+        target.platform = std::move(platform);
+        return target;
+    }
+    std::optional<sim::MachineSpec> spec;
+    if (name == "dunnington") spec = sim::zoo::dunnington();
+    if (name == "finis-terrae") spec = sim::zoo::finis_terrae();
+    if (name == "finis-terrae-2n") spec = sim::zoo::finis_terrae(2);
+    if (name == "dempsey") spec = sim::zoo::dempsey();
+    if (name == "athlon3200") spec = sim::zoo::athlon3200();
+    if (name == "nehalem2s") spec = sim::zoo::nehalem2s();
+    if (!spec) return std::nullopt;
+    auto platform = std::make_unique<SimPlatform>(*spec);
+    if (spec->n_cores > 1) target.network = std::make_unique<msg::SimNetwork>(*spec);
+    target.platform = std::move(platform);
+    return target;
+}
+
+int cmd_machines() {
+    TextTable table({"name", "kind", "cores", "description"});
+    table.add_row({"native", "hardware", "-", "this host, measured with pinned threads"});
+    const auto add = [&](const sim::MachineSpec& spec, const char* description) {
+        table.add_row({spec.name, "model", strf("%d", spec.n_cores), description});
+    };
+    add(sim::zoo::dunnington(), "4x Xeon E7450, shared L2 pairs + L3 packages");
+    add(sim::zoo::finis_terrae(), "HP RX7640 node, Itanium2, cells + shared buses");
+    add(sim::zoo::finis_terrae(2), "two RX7640 nodes over InfiniBand");
+    add(sim::zoo::dempsey(), "Xeon 5060, the smeared-L2 case of Fig. 2");
+    add(sim::zoo::athlon3200(), "unicore AMD Athlon");
+    add(sim::zoo::nehalem2s(), "post-paper control: 2-socket NUMA with shared L3");
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int cmd_profile(int argc, const char* const* argv) {
+    CliParser cli("servet profile: run the full suite and store the result.");
+    cli.add_option("machine", "target (see 'servet machines')", "native");
+    cli.add_option("out", "profile file to write", "servet.profile");
+    cli.add_option("robust", "median-of-N outlier rejection (1 = off)", "1");
+    cli.add_flag("fast", "fewer repeats, core-0 pairs only");
+    if (!cli.parse(argc, argv)) return 1;
+
+    auto target = make_target(cli.option("machine"));
+    if (!target) {
+        std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
+        return 1;
+    }
+    Platform* platform = target->platform.get();
+    std::unique_ptr<RobustPlatform> robust;
+    const int samples = static_cast<int>(cli.option_int("robust").value_or(1));
+    if (samples > 1) {
+        robust = std::make_unique<RobustPlatform>(*platform, samples);
+        platform = robust.get();
+    }
+
+    core::SuiteOptions options;
+    if (cli.flag("fast")) {
+        options.mcalibrator.repeats = 2;
+        options.shared_cache.only_with_core = 0;
+        options.mem_overhead.only_with_core = 0;
+    }
+    const core::SuiteResult result =
+        core::run_suite(*platform, target->network.get(), options);
+    const core::Profile profile = result.to_profile(
+        platform->name(), platform->core_count(), platform->page_size());
+
+    const std::string& path = cli.option("out");
+    if (!profile.save(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("profile of %s written to %s (%zu cache levels, %zu memory tiers, "
+                "%zu comm layers)\n",
+                profile.machine.c_str(), path.c_str(), profile.caches.size(),
+                profile.memory.tiers.size(), profile.comm.size());
+    return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+    CliParser cli("servet report: pretty-print a stored profile.");
+    cli.add_option("profile", "profile file to read", "servet.profile");
+    cli.add_flag("markdown", "emit the full markdown report");
+    cli.add_flag("dot", "emit a Graphviz topology graph of the measured sharing groups");
+    cli.add_flag("json", "emit the profile as JSON for external tooling");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto profile = core::Profile::load(cli.option("profile"));
+    if (!profile) {
+        std::fprintf(stderr, "cannot read %s\n", cli.option("profile").c_str());
+        return 1;
+    }
+    if (cli.flag("markdown")) {
+        std::printf("%s", core::render_markdown(*profile).c_str());
+        return 0;
+    }
+    if (cli.flag("dot")) {
+        std::printf("%s", core::render_dot(*profile).c_str());
+        return 0;
+    }
+    if (cli.flag("json")) {
+        std::printf("%s", profile->to_json().c_str());
+        return 0;
+    }
+    std::printf("machine %s: %d cores, %s pages\n\n", profile->machine.c_str(),
+                profile->cores, format_bytes(profile->page_size).c_str());
+
+    TextTable caches({"level", "size", "method", "sharing"});
+    for (std::size_t i = 0; i < profile->caches.size(); ++i) {
+        const auto& cache = profile->caches[i];
+        std::string sharing = cache.groups.empty() ? "private" : "";
+        for (const auto& group : cache.groups) {
+            sharing += "{";
+            for (std::size_t j = 0; j < group.size(); ++j) {
+                if (j) sharing += ",";
+                sharing += std::to_string(group[j]);
+            }
+            sharing += "} ";
+        }
+        caches.add_row({strf("L%zu", i + 1), format_bytes(cache.size), cache.method,
+                        sharing});
+    }
+    std::printf("%s\n", caches.render().c_str());
+
+    std::printf("memory reference bandwidth: %s\n",
+                format_bandwidth(profile->memory.reference_bandwidth).c_str());
+    for (std::size_t t = 0; t < profile->memory.tiers.size(); ++t) {
+        const auto& tier = profile->memory.tiers[t];
+        std::printf("  tier %zu: %s per colliding core, %zu groups\n", t,
+                    format_bandwidth(tier.bandwidth).c_str(), tier.groups.size());
+    }
+    std::printf("\ncommunication layers:\n");
+    for (std::size_t l = 0; l < profile->comm.size(); ++l) {
+        const auto& layer = profile->comm[l];
+        std::printf("  layer %zu: %s at probe size, %zu pairs, %zu-point p2p curve\n", l,
+                    format_latency(layer.latency).c_str(), layer.pairs.size(),
+                    layer.p2p.size());
+    }
+    if (!profile->phase_seconds.empty()) {
+        std::printf("\nsuite phase timings:\n");
+        for (const auto& [phase, seconds] : profile->phase_seconds)
+            std::printf("  %-16s %.1f s\n", phase.c_str(), seconds);
+    }
+    return 0;
+}
+
+int cmd_tlb(int argc, const char* const* argv) {
+    CliParser cli("servet tlb: measure the data TLB (reach and walk cost).");
+    cli.add_option("machine", "target (see 'servet machines')", "native");
+    cli.add_option("l1", "known L1 size bounding the probe", "16KB");
+    if (!cli.parse(argc, argv)) return 1;
+
+    auto target = make_target(cli.option("machine"));
+    if (!target) {
+        std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
+        return 1;
+    }
+    core::TlbDetectOptions options;
+    options.l1_size = parse_bytes(cli.option("l1")).value_or(16 * KiB);
+    const auto estimate = core::detect_tlb(*target->platform, options);
+    if (!estimate) {
+        std::printf("no TLB cost step detected within the probe range "
+                    "(absent, cheap, or reach beyond L1-bounded probe)\n");
+        return 0;
+    }
+    std::printf("data TLB: %d entries, ~%.1f-cycle walk, reach %s\n", estimate->entries,
+                estimate->miss_cycles, format_bytes(estimate->reach_bytes).c_str());
+    return 0;
+}
+
+int cmd_price(int argc, const char* const* argv) {
+    CliParser cli("servet price: cost a point-to-point message from a profile.");
+    cli.add_option("profile", "profile file to read", "servet.profile");
+    cli.add_option("from", "source core", "0");
+    cli.add_option("to", "destination core", "1");
+    cli.add_option("size", "message size", "32KB");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto profile = core::Profile::load(cli.option("profile"));
+    if (!profile) {
+        std::fprintf(stderr, "cannot read %s\n", cli.option("profile").c_str());
+        return 1;
+    }
+    const CorePair pair{static_cast<CoreId>(cli.option_int("from").value_or(0)),
+                        static_cast<CoreId>(cli.option_int("to").value_or(1))};
+    const Bytes size = parse_bytes(cli.option("size")).value_or(32 * KiB);
+    const auto latency = profile->comm_latency(pair, size);
+    if (!latency) {
+        std::fprintf(stderr, "pair (%d,%d) is not characterized in this profile\n", pair.a,
+                     pair.b);
+        return 1;
+    }
+    std::printf("(%d,%d) %s one-way: %s (layer %d)\n", pair.a, pair.b,
+                format_bytes(size).c_str(), format_latency(*latency).c_str(),
+                profile->comm_layer_of(pair));
+    return 0;
+}
+
+int cmd_map(int argc, const char* const* argv) {
+    CliParser cli("servet map: place application ranks from a stored profile.");
+    cli.add_option("profile", "profile file to read", "servet.profile");
+    cli.add_option("app", "pattern: stencil | ring | alltoall | random", "stencil");
+    cli.add_option("ranks", "number of ranks", "8");
+    cli.add_option("message", "message size pricing the edges", "32KB");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto profile = core::Profile::load(cli.option("profile"));
+    if (!profile) {
+        std::fprintf(stderr, "cannot read %s\n", cli.option("profile").c_str());
+        return 1;
+    }
+    const int ranks = static_cast<int>(cli.option_int("ranks").value_or(8));
+    if (ranks < 2 || ranks > profile->cores) {
+        std::fprintf(stderr, "ranks must be in [2, %d]\n", profile->cores);
+        return 1;
+    }
+    autotune::CommGraph graph;
+    const std::string& app = cli.option("app");
+    if (app == "ring") {
+        graph = autotune::CommGraph::ring(ranks);
+    } else if (app == "alltoall") {
+        graph = autotune::CommGraph::all_to_all(ranks);
+    } else if (app == "random") {
+        graph = autotune::CommGraph::random_sparse(ranks, 3, 0x5eed);
+    } else {
+        int rows = 1;
+        for (int r = 1; r * r <= ranks; ++r)
+            if (ranks % r == 0) rows = r;
+        graph = autotune::CommGraph::stencil2d(rows, ranks / rows);
+    }
+
+    autotune::MappingOptions options;
+    options.message_size = parse_bytes(cli.option("message")).value_or(32 * KiB);
+    const autotune::MappingResult result =
+        autotune::map_processes(*profile, graph, options);
+    std::printf("# rank -> core (objective %.3e, greedy seed %.3e)\n", result.cost,
+                result.greedy_cost);
+    for (int r = 0; r < ranks; ++r)
+        std::printf("%d %d\n", r, result.core_of_rank[static_cast<std::size_t>(r)]);
+    return 0;
+}
+
+int cmd_broadcast(int argc, const char* const* argv) {
+    CliParser cli("servet broadcast: choose a collective algorithm from a profile.");
+    cli.add_option("profile", "profile file to read", "servet.profile");
+    cli.add_option("size", "payload size", "64KB");
+    cli.add_option("root", "root core", "0");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto profile = core::Profile::load(cli.option("profile"));
+    if (!profile) {
+        std::fprintf(stderr, "cannot read %s\n", cli.option("profile").c_str());
+        return 1;
+    }
+    if (profile->cores < 2 || profile->comm.empty()) {
+        std::fprintf(stderr, "profile carries no communication characterization\n");
+        return 1;
+    }
+    std::vector<CoreId> cores;
+    for (CoreId c = 0; c < profile->cores; ++c) cores.push_back(c);
+    const Bytes size = parse_bytes(cli.option("size")).value_or(64 * KiB);
+    const CoreId root = static_cast<CoreId>(cli.option_int("root").value_or(0));
+
+    const auto choice = autotune::choose_broadcast(*profile, root, cores, size);
+    std::printf("broadcast of %s from core %d over %d cores:\n",
+                format_bytes(size).c_str(), root, profile->cores);
+    for (const auto& [name, cost] : choice.candidates)
+        std::printf("  %-18s %s%s\n", name.c_str(), format_latency(cost).c_str(),
+                    name == choice.schedule.algorithm ? "   <- selected" : "");
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "servet — measure multicore hardware parameters for autotuning\n\n"
+                 "usage: servet <command> [options]\n\n"
+                 "commands:\n"
+                 "  machines   list available measurement targets\n"
+                 "  profile    run the full suite and store the profile file\n"
+                 "  report     pretty-print a stored profile\n"
+                 "  tlb        measure the data TLB\n"
+                 "  price      cost a message between two cores from a profile\n"
+                 "  map        place application ranks using a profile\n"
+                 "  broadcast  choose a collective algorithm from a profile\n\n"
+                 "run 'servet <command> --help' for per-command options.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    const int sub_argc = argc - 1;
+    const char* const* sub_argv = argv + 1;
+    if (command == "machines") return cmd_machines();
+    if (command == "profile") return cmd_profile(sub_argc, sub_argv);
+    if (command == "report") return cmd_report(sub_argc, sub_argv);
+    if (command == "tlb") return cmd_tlb(sub_argc, sub_argv);
+    if (command == "price") return cmd_price(sub_argc, sub_argv);
+    if (command == "map") return cmd_map(sub_argc, sub_argv);
+    if (command == "broadcast") return cmd_broadcast(sub_argc, sub_argv);
+    usage();
+    return command == "--help" || command == "help" ? 0 : 1;
+}
