@@ -6,6 +6,10 @@
 // dominate, and they are the ones that grow with core count.
 #include "bench_util.hpp"
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
 #include "base/table.hpp"
 #include "core/suite.hpp"
 #include "msg/sim_network.hpp"
@@ -18,19 +22,35 @@ namespace {
 
 const char* kPhases[] = {"cache_size", "shared_caches", "mem_overhead", "comm_costs"};
 
-std::map<std::string, Seconds> run_machine(const sim::MachineSpec& spec) {
+std::map<std::string, Seconds> run_machine(const sim::MachineSpec& spec, int jobs) {
     SimPlatform platform(spec);
     msg::SimNetwork network(platform.spec());
     core::SuiteOptions options;
     options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
+    options.jobs = jobs;
     return core::run_suite(platform, &network, options).phase_seconds;
 }
 
 }  // namespace
 
-int main() {
-    const auto dunnington = run_machine(sim::zoo::dunnington());
-    const auto ft = run_machine(sim::zoo::finis_terrae(2));
+int main(int argc, char** argv) {
+    // --jobs N parallelizes the measurement engine; the phase rows then
+    // report summed task time while the wall row shows the actual elapsed
+    // time, which is the serial-vs-parallel comparison worth recording.
+    int jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[i + 1]);
+    }
+    if (jobs < 1) jobs = 1;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto dunnington = run_machine(sim::zoo::dunnington(), jobs);
+    const auto ft = run_machine(sim::zoo::finis_terrae(2), jobs);
+    const double wall_seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     bench::heading("Table I — execution times of all the benchmarks");
     TextTable table({"benchmark", "dunnington (s, sim)", "finis-terrae (s, sim)",
@@ -49,6 +69,7 @@ int main() {
     }
     table.add_row({"Total", strf("%.1f", total_d), strf("%.1f", total_ft), "55'", "43'"});
     std::printf("%s", table.render().c_str());
+    std::printf("\nwall-clock for both machines at --jobs %d: %.1f s\n", jobs, wall_seconds);
 
     bench::note(
         "\nReading vs paper: on real hardware every phase pays wall-clock for every\n"

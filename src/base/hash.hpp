@@ -1,0 +1,69 @@
+// Stable, seedable hashing for content addressing. Measurement memoization
+// and per-task RNG seeding both need hashes that are identical across
+// runs, platforms and compilers, so everything here is a fixed algorithm
+// (FNV-1a / splitmix64) rather than std::hash, whose values are
+// unspecified and may change between libstdc++ versions.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace servet {
+
+/// FNV-1a over a byte string. Stable across platforms; good enough to
+/// content-address measurement keys (collisions would need ~2^32 keys).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// splitmix64 finalizer: decorrelates related inputs (key ^ salt patterns)
+/// before they are used as RNG seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Incremental structural fingerprint (FNV-1a over a typed field stream).
+/// Used to content-address a MachineSpec: two specs with equal fields get
+/// equal fingerprints, and any field change perturbs it.
+class Fingerprint {
+  public:
+    void add(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+    void add(std::int64_t v) { add(static_cast<std::uint64_t>(v)); }
+    void add(int v) { add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+    void add(bool v) { add(static_cast<std::uint64_t>(v)); }
+    void add(double v) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        add(bits);
+    }
+    void add(std::string_view s) {
+        add(static_cast<std::uint64_t>(s.size()));  // length-prefix: "ab","c" != "a","bc"
+        for (const char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace servet

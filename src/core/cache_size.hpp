@@ -69,6 +69,8 @@ struct CacheLevelEstimate {
     /// was derived from (indices into sizes/cycles).
     std::size_t window_first = 0;
     std::size_t window_last = 0;
+
+    [[nodiscard]] bool operator==(const CacheLevelEstimate&) const = default;
 };
 
 /// Candidate cache sizes scanned by the probabilistic estimator: the

@@ -15,6 +15,20 @@ std::vector<Bytes> default_sweep_sizes() {
     for (Bytes s = 1 * KiB; s <= 4 * MiB; s *= 2) sizes.push_back(s);
     return sizes;
 }
+
+/// Ping-pong task for one pair. The key is shared between the layer scan,
+/// the per-layer sweep and the isolated baseline, so overlapping probes
+/// (the sweep size that equals the probe size, the baseline of a pair the
+/// scan already measured) memo-hit instead of re-measuring.
+MeasureTask pingpong_task(CorePair pair, Bytes size, int reps) {
+    MeasureTask task;
+    task.key = "comm/pp/m" + std::to_string(size) + "/r" + std::to_string(reps) + "/" +
+               std::to_string(pair.a) + "-" + std::to_string(pair.b);
+    task.body = [pair, size, reps](Platform*, msg::Network* network) {
+        return std::vector<double>{network->pingpong_latency(pair, size, reps)};
+    };
+    return task;
+}
 }  // namespace
 
 std::vector<CorePair> disjoint_pairs(const std::vector<CorePair>& pairs) {
@@ -70,24 +84,31 @@ int CommCostsResult::layer_of(CorePair pair) const {
     return -1;
 }
 
-CommCostsResult characterize_communication(msg::Network& network,
+CommCostsResult characterize_communication(MeasureEngine& engine,
                                            const CommCostsOptions& options) {
-    const int n = network.endpoint_count();
+    SERVET_CHECK(engine.network() != nullptr);
+    const int n = engine.network()->endpoint_count();
     SERVET_CHECK_MSG(n >= 2, "communication characterization needs at least two endpoints");
     SERVET_CHECK(options.reps > 0 && options.max_concurrent >= 1);
 
     CommCostsResult result;
     result.probe_message = options.probe_message;
 
-    // Fig. 7: probe every pair, cluster similar latencies into layers.
+    // Fig. 7: probe every pair (batch 1, all independent), cluster similar
+    // latencies into layers.
     const std::vector<CorePair> pairs = all_core_pairs(n);
+    std::vector<MeasureTask> probe_tasks;
+    probe_tasks.reserve(pairs.size());
+    for (const CorePair& pair : pairs)
+        probe_tasks.push_back(pingpong_task(pair, options.probe_message, options.reps));
+    const std::vector<std::vector<double>> probed = engine.run(probe_tasks);
+
     stats::SimilarityClusterer clusterer(options.cluster_tolerance);
-    for (const CorePair& pair : pairs) {
-        const Seconds latency =
-            network.pingpong_latency(pair, options.probe_message, options.reps);
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        const Seconds latency = probed[pi][0];
         SERVET_CHECK(latency > 0);
         clusterer.add(latency, result.pairs.size());
-        result.pairs.push_back({pair, latency});
+        result.pairs.push_back({pairs[pi], latency});
     }
 
     for (const stats::Cluster& cluster : clusterer.clusters()) {
@@ -100,35 +121,81 @@ CommCostsResult characterize_communication(msg::Network& network,
     std::sort(result.layers.begin(), result.layers.end(),
               [](const CommLayer& a, const CommLayer& b) { return a.latency < b.latency; });
 
-    // Per-layer micro-benchmark of the representative pair (Fig. 10c/d) and
-    // concurrent-message scalability (Fig. 10b).
+    // Batch 2 — per-layer micro-benchmark of the representative pair
+    // (Fig. 10c/d), isolated baseline, and concurrent-message scalability
+    // (Fig. 10b). Every (layer, size) and (layer, k) point is independent.
     const std::vector<Bytes> sweep =
         options.sweep_sizes.empty() ? default_sweep_sizes() : options.sweep_sizes;
+    std::vector<MeasureTask> detail_tasks;
+    struct LayerPlan {
+        std::vector<std::size_t> sweep_task;       // aligned with `sweep`
+        std::size_t isolated_task = 0;
+        std::vector<std::size_t> concurrent_task;  // index k-1: k senders
+    };
+    std::vector<LayerPlan> plans;
+    plans.reserve(result.layers.size());
     for (CommLayer& layer : result.layers) {
-        for (Bytes size : sweep)
-            layer.p2p.emplace_back(
-                size, network.pingpong_latency(layer.representative, size, options.reps));
+        LayerPlan plan;
+        for (Bytes size : sweep) {
+            plan.sweep_task.push_back(detail_tasks.size());
+            detail_tasks.push_back(pingpong_task(layer.representative, size, options.reps));
+        }
 
         const std::vector<CorePair> senders = disjoint_pairs(layer.pairs);
-        const Seconds isolated =
-            network.pingpong_latency(senders.front(), options.probe_message, options.reps);
+        plan.isolated_task = detail_tasks.size();
+        detail_tasks.push_back(
+            pingpong_task(senders.front(), options.probe_message, options.reps));
         const int max_n =
             std::min<int>(options.max_concurrent, static_cast<int>(senders.size()));
         for (int k = 1; k <= max_n; ++k) {
             const std::vector<CorePair> active(senders.begin(), senders.begin() + k);
-            const std::vector<Seconds> latencies =
-                network.concurrent_latency(active, options.probe_message, options.reps);
+            MeasureTask task;
+            task.key = "comm/cc/m" + std::to_string(options.probe_message) + "/r" +
+                       std::to_string(options.reps);
+            for (const CorePair& pair : active) {
+                task.key += '/';
+                task.key += std::to_string(pair.a);
+                task.key += '-';
+                task.key += std::to_string(pair.b);
+            }
+            task.body = [active, options](Platform*, msg::Network* network) {
+                return network->concurrent_latency(active, options.probe_message,
+                                                   options.reps);
+            };
+            plan.concurrent_task.push_back(detail_tasks.size());
+            detail_tasks.push_back(std::move(task));
+        }
+        plans.push_back(std::move(plan));
+    }
+    const std::vector<std::vector<double>> detailed = engine.run(detail_tasks);
+
+    for (std::size_t li = 0; li < result.layers.size(); ++li) {
+        CommLayer& layer = result.layers[li];
+        const LayerPlan& plan = plans[li];
+        for (std::size_t si = 0; si < sweep.size(); ++si)
+            layer.p2p.emplace_back(sweep[si], detailed[plan.sweep_task[si]][0]);
+
+        const Seconds isolated = detailed[plan.isolated_task][0];
+        for (std::size_t ki = 0; ki < plan.concurrent_task.size(); ++ki) {
+            const std::vector<double>& latencies = detailed[plan.concurrent_task[ki]];
             // The paper reports how much slower one message gets with the
             // others in flight: use the mean across active senders.
             Seconds total = 0;
             for (Seconds t : latencies) total += t;
-            layer.slowdown_by_n.push_back(total / (static_cast<double>(k) * isolated));
+            layer.slowdown_by_n.push_back(
+                total / (static_cast<double>(latencies.size()) * isolated));
         }
     }
 
     SERVET_LOG_INFO("comm-costs: %zu layers detected over %zu pairs", result.layers.size(),
                     result.pairs.size());
     return result;
+}
+
+CommCostsResult characterize_communication(msg::Network& network,
+                                           const CommCostsOptions& options) {
+    MeasureEngine engine(nullptr, &network, nullptr, nullptr);
+    return characterize_communication(engine, options);
 }
 
 }  // namespace servet::core

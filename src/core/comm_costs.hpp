@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "core/measure.hpp"
 #include "msg/network.hpp"
 
 namespace servet::core {
@@ -33,6 +34,8 @@ struct CommCostsOptions {
 struct CommPairLatency {
     CorePair pair;
     Seconds latency = 0;
+
+    [[nodiscard]] bool operator==(const CommPairLatency&) const = default;
 };
 
 struct CommLayer {
@@ -43,6 +46,8 @@ struct CommLayer {
     /// slowdown_by_n[k] = latency with k+1 concurrent messages / isolated
     /// latency, over disjoint pairs of this layer.
     std::vector<double> slowdown_by_n;
+
+    [[nodiscard]] bool operator==(const CommLayer&) const = default;
 };
 
 struct CommCostsResult {
@@ -59,12 +64,18 @@ struct CommCostsResult {
     /// Layer index the pair was assigned to, or -1 if the pair was never
     /// probed (shouldn't happen for in-range cores).
     [[nodiscard]] int layer_of(CorePair pair) const;
+
+    [[nodiscard]] bool operator==(const CommCostsResult&) const = default;
 };
 
 /// Maximal set of vertex-disjoint pairs drawn from `pairs`, greedily; the
 /// concurrent senders for the scalability probe.
 [[nodiscard]] std::vector<CorePair> disjoint_pairs(const std::vector<CorePair>& pairs);
 
+[[nodiscard]] CommCostsResult characterize_communication(MeasureEngine& engine,
+                                                         const CommCostsOptions& options = {});
+
+/// Convenience entry: serial, unmemoized engine over `network`.
 [[nodiscard]] CommCostsResult characterize_communication(msg::Network& network,
                                                          const CommCostsOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "exec/task_key.hpp"
 #include "stats/gradient.hpp"
 
 namespace servet::core {
@@ -25,27 +26,53 @@ std::vector<Bytes> mcalibrator_size_grid(Bytes min_size, Bytes max_size) {
     return grid;
 }
 
-McalibratorCurve run_mcalibrator(Platform& platform, const McalibratorOptions& options) {
+McalibratorCurve run_mcalibrator(MeasureEngine& engine, const McalibratorOptions& options) {
     SERVET_CHECK(options.stride > 0 && options.passes > 0 && options.repeats > 0);
-    SERVET_CHECK(options.core >= 0 && options.core < platform.core_count());
+    SERVET_CHECK(engine.platform() != nullptr);
+    SERVET_CHECK(options.core >= 0 && options.core < engine.platform()->core_count());
 
     McalibratorCurve curve;
     curve.sizes = mcalibrator_size_grid(options.min_size, options.max_size);
-    curve.cycles.reserve(curve.sizes.size());
+
+    // One task per array size: the task owns all `repeats` fresh
+    // allocations of that size, so the averaged placements stay private to
+    // it; the placement salt decorrelates placements across sizes.
+    std::vector<MeasureTask> tasks;
+    tasks.reserve(curve.sizes.size());
     for (Bytes size : curve.sizes) {
-        Cycles total = 0;
-        for (int r = 0; r < options.repeats; ++r) {
-            const Cycles sample =
-                platform.traverse_cycles(options.core, size, options.stride, options.passes);
-            SERVET_CHECK_MSG(sample > 0, "traversal produced non-positive cycle count");
-            total += sample;
-        }
-        const Cycles c = total / options.repeats;
-        curve.cycles.push_back(c);
+        MeasureTask task;
+        task.key = "mcal/c" + std::to_string(options.core) + "/t" +
+                   std::to_string(options.stride) + "/p" + std::to_string(options.passes) +
+                   "/r" + std::to_string(options.repeats) + "/b" + std::to_string(size);
+        // Domain-separated from the noise seed (seed_of(key)) so the
+        // placement and jitter streams stay independent.
+        task.placement_salt = exec::seed_of(task.key + "/pp");
+        task.body = [size, options](Platform* platform, msg::Network*) {
+            Cycles total = 0;
+            for (int r = 0; r < options.repeats; ++r) {
+                const Cycles sample = platform->traverse_cycles(options.core, size,
+                                                                options.stride, options.passes);
+                SERVET_CHECK_MSG(sample > 0, "traversal produced non-positive cycle count");
+                total += sample;
+            }
+            return std::vector<double>{total / options.repeats};
+        };
+        tasks.push_back(std::move(task));
+    }
+
+    const std::vector<std::vector<double>> measured = engine.run(tasks);
+    curve.cycles.reserve(curve.sizes.size());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        curve.cycles.push_back(measured[i][0]);
         SERVET_LOG_DEBUG("mcalibrator: %llu bytes -> %.2f cycles/access",
-                         static_cast<unsigned long long>(size), c);
+                         static_cast<unsigned long long>(curve.sizes[i]), measured[i][0]);
     }
     return curve;
+}
+
+McalibratorCurve run_mcalibrator(Platform& platform, const McalibratorOptions& options) {
+    MeasureEngine engine(&platform, nullptr, nullptr, nullptr);
+    return run_mcalibrator(engine, options);
 }
 
 }  // namespace servet::core

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "core/measure.hpp"
 #include "platform/platform.hpp"
 
 namespace servet::core {
@@ -37,12 +38,18 @@ struct McalibratorCurve {
     [[nodiscard]] std::vector<double> gradient() const;
 
     [[nodiscard]] std::size_t points() const { return sizes.size(); }
+
+    [[nodiscard]] bool operator==(const McalibratorCurve&) const = default;
 };
 
 /// The size grid of Fig. 1: min, 2*min, ..., 2MB, 3MB, 4MB, ..., max.
 [[nodiscard]] std::vector<Bytes> mcalibrator_size_grid(Bytes min_size, Bytes max_size);
 
-/// Run the sweep on one core.
+/// Run the sweep on one core, one measurement task per array size.
+[[nodiscard]] McalibratorCurve run_mcalibrator(MeasureEngine& engine,
+                                               const McalibratorOptions& options);
+
+/// Convenience entry: serial, unmemoized engine over `platform`.
 [[nodiscard]] McalibratorCurve run_mcalibrator(Platform& platform,
                                                const McalibratorOptions& options);
 

@@ -1,0 +1,74 @@
+#include "core/measure.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/hash.hpp"
+#include "exec/task_key.hpp"
+
+namespace servet::core {
+
+MeasureEngine::MeasureEngine(Platform* platform, msg::Network* network, exec::ThreadPool* pool,
+                             exec::MemoCache* memo)
+    : platform_(platform), network_(network), pool_(pool), memo_(memo) {
+    SERVET_CHECK_MSG(platform_ != nullptr || network_ != nullptr,
+                     "measurement engine needs at least one substrate");
+    const bool platform_forks = platform_ == nullptr || platform_->fork(0, 0) != nullptr;
+    const bool network_forks = network_ == nullptr || network_->fork(0) != nullptr;
+    deterministic_ = platform_forks && network_forks;
+    if (!deterministic_) return;
+    // Combine whichever fingerprints exist; either being 0 (not
+    // content-addressable) poisons the whole engine's, disabling the memo.
+    std::uint64_t fp = platform_ != nullptr ? platform_->fingerprint() : ~0ULL;
+    if (fp != 0 && network_ != nullptr) {
+        const std::uint64_t net_fp = network_->fingerprint();
+        fp = net_fp == 0 ? 0 : fp ^ mix64(net_fp);
+    }
+    fingerprint_ = fp;
+}
+
+std::string MeasureEngine::memo_key(const std::string& task_key) const {
+    char prefix[20];
+    std::snprintf(prefix, sizeof prefix, "%016llx/",
+                  static_cast<unsigned long long>(fingerprint_));
+    return prefix + task_key;
+}
+
+std::vector<double> MeasureEngine::run_one(const MeasureTask& task) {
+    SERVET_CHECK_MSG(!task.key.empty(), "measurement task needs a key");
+    std::string key;
+    if (memoizable()) {
+        key = memo_key(task.key);
+        if (std::optional<std::vector<double>> hit = memo_->lookup(key))
+            return *std::move(hit);
+    }
+    std::vector<double> values;
+    if (deterministic_) {
+        const std::uint64_t seed = exec::seed_of(task.key);
+        std::unique_ptr<Platform> platform;
+        if (platform_ != nullptr) platform = platform_->fork(seed, task.placement_salt);
+        std::unique_ptr<msg::Network> network;
+        if (network_ != nullptr) network = network_->fork(seed);
+        values = task.body(platform.get(), network.get());
+    } else {
+        values = task.body(platform_, network_);
+    }
+    if (memoizable()) memo_->store(key, values);
+    return values;
+}
+
+std::vector<std::vector<double>> MeasureEngine::run(const std::vector<MeasureTask>& tasks) {
+    std::vector<std::vector<double>> results(tasks.size());
+    // Non-deterministic substrates are shared mutable state: tasks must
+    // run one at a time, in index order, on the caller's thread.
+    if (deterministic_ && pool_ != nullptr && tasks.size() > 1) {
+        pool_->parallel_for(tasks.size(),
+                            [&](std::size_t i) { results[i] = run_one(tasks[i]); });
+    } else {
+        for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = run_one(tasks[i]);
+    }
+    return results;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,80 @@
+// The deterministic measurement engine behind the suite's parallelism.
+// Every detection phase decomposes into independent MeasureTasks, each
+// identified by a stable key encoding its full parameterization. The
+// engine runs a batch of tasks — concurrently on a ThreadPool when the
+// substrate supports per-task replicas, serially otherwise — and both
+// paths produce byte-identical results: a task's RNG seeds derive from
+// its key, never from scheduling order, and each task measures a private
+// Platform/Network fork. Results of content-addressable platforms are
+// additionally memoized in an exec::MemoCache keyed by (substrate
+// fingerprint, task key), which deduplicates repeated probes within a run
+// and, through the cache's file format, across tool invocations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/memo_cache.hpp"
+#include "exec/pool.hpp"
+#include "msg/network.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+/// One independent measurement.
+struct MeasureTask {
+    /// Stable identity: benchmark kind plus every parameter that affects
+    /// the measured values. Derives the replica RNG seeds and the memo
+    /// key, so two tasks with equal keys must measure the same thing.
+    std::string key;
+    /// Non-zero perturbs the replica's physical page placement — fresh-
+    /// allocation probes (the mcalibrator sweep) want decorrelated
+    /// placements per task. Zero keeps the platform's placement, so
+    /// static-buffer probes of one array size see identical placements
+    /// across tasks and concurrent/reference ratios cancel placement
+    /// luck.
+    std::uint64_t placement_salt = 0;
+    /// The measurement. Receives a private replica of whichever of
+    /// platform/network the engine owns (the shared originals when the
+    /// substrate cannot fork); absent substrates are null.
+    std::function<std::vector<double>(Platform*, msg::Network*)> body;
+};
+
+class MeasureEngine {
+  public:
+    /// Either of `platform`/`network` may be null when no phase needs it;
+    /// `pool` (null = serial) and `memo` (null = no memoization) are
+    /// optional. Parallelism and memoization engage only when every
+    /// present substrate is deterministic (forkable).
+    MeasureEngine(Platform* platform, msg::Network* network, exec::ThreadPool* pool,
+                  exec::MemoCache* memo);
+
+    /// Per-task replicas exist: parallel runs are byte-identical to
+    /// serial ones, and repeated runs to each other.
+    [[nodiscard]] bool deterministic() const { return deterministic_; }
+    /// Results are content-addressable and a cache was supplied.
+    [[nodiscard]] bool memoizable() const { return memo_ != nullptr && fingerprint_ != 0; }
+    /// Combined substrate fingerprint (0 = not content-addressable).
+    [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+    [[nodiscard]] Platform* platform() const { return platform_; }
+    [[nodiscard]] msg::Network* network() const { return network_; }
+
+    /// Runs every task and returns their values aligned with `tasks`.
+    std::vector<std::vector<double>> run(const std::vector<MeasureTask>& tasks);
+
+  private:
+    [[nodiscard]] std::vector<double> run_one(const MeasureTask& task);
+    [[nodiscard]] std::string memo_key(const std::string& task_key) const;
+
+    Platform* platform_;
+    msg::Network* network_;
+    exec::ThreadPool* pool_;
+    exec::MemoCache* memo_;
+    std::uint64_t fingerprint_ = 0;
+    bool deterministic_ = false;
+};
+
+}  // namespace servet::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "core/measure.hpp"
 #include "platform/platform.hpp"
 
 namespace servet::core {
@@ -33,6 +34,8 @@ struct MemOverheadOptions {
 struct MemPairResult {
     CorePair pair;
     BytesPerSecond bandwidth = 0;  ///< first core's bandwidth, both streaming
+
+    [[nodiscard]] bool operator==(const MemPairResult&) const = default;
 };
 
 /// One overhead magnitude and the pairs/groups that suffer it.
@@ -40,6 +43,8 @@ struct MemOverheadTier {
     BytesPerSecond bandwidth = 0;               ///< BW[i]: tier's mean bandwidth
     std::vector<CorePair> pairs;                ///< Pm[i]
     std::vector<std::vector<CoreId>> groups;    ///< connected components of Pm[i]
+
+    [[nodiscard]] bool operator==(const MemOverheadTier&) const = default;
 };
 
 /// Effective bandwidth vs number of concurrently streaming cores, measured
@@ -48,6 +53,8 @@ struct MemScalabilityCurve {
     std::size_t tier = 0;
     std::vector<CoreId> group;                  ///< the cores used
     std::vector<BytesPerSecond> bandwidth_by_n; ///< index k: k+1 active cores
+
+    [[nodiscard]] bool operator==(const MemScalabilityCurve&) const = default;
 };
 
 struct MemOverheadResult {
@@ -55,8 +62,14 @@ struct MemOverheadResult {
     std::vector<MemPairResult> pairs;           ///< every probed pair
     std::vector<MemOverheadTier> tiers;         ///< n, BW, Pm of Fig. 6
     std::vector<MemScalabilityCurve> scalability;
+
+    [[nodiscard]] bool operator==(const MemOverheadResult&) const = default;
 };
 
+[[nodiscard]] MemOverheadResult characterize_memory_overhead(
+    MeasureEngine& engine, const MemOverheadOptions& options = {});
+
+/// Convenience entry: serial, unmemoized engine over `platform`.
 [[nodiscard]] MemOverheadResult characterize_memory_overhead(
     Platform& platform, const MemOverheadOptions& options = {});
 

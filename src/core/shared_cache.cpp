@@ -1,6 +1,7 @@
 #include "core/shared_cache.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "base/check.hpp"
 #include "base/log.hpp"
@@ -16,13 +17,16 @@ Bytes probe_array_bytes(Bytes cache_size, Bytes stride) {
     bytes -= bytes % stride;
     return std::max(bytes, stride);
 }
+
+constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
 }  // namespace
 
-std::vector<SharedCacheLevelResult> detect_shared_caches(Platform& platform,
+std::vector<SharedCacheLevelResult> detect_shared_caches(MeasureEngine& engine,
                                                          const std::vector<Bytes>& cache_sizes,
                                                          const SharedCacheOptions& options) {
     SERVET_CHECK(options.ratio_threshold > 1.0);
-    const int n_cores = platform.core_count();
+    SERVET_CHECK(engine.platform() != nullptr);
+    const int n_cores = engine.platform()->core_count();
     std::vector<CorePair> pairs;
     if (options.only_with_core >= 0) {
         SERVET_CHECK(options.only_with_core < n_cores);
@@ -33,31 +37,82 @@ std::vector<SharedCacheLevelResult> detect_shared_caches(Platform& platform,
         pairs = all_core_pairs(n_cores);
     }
 
+    // Cores whose solo reference the ratio computation needs: every pair
+    // member, plus core 0 (reported as the level's reference).
+    std::vector<char> needs_ref(static_cast<std::size_t>(n_cores), 0);
+    needs_ref[0] = 1;
+    for (const CorePair& pair : pairs) {
+        needs_ref[static_cast<std::size_t>(pair.a)] = 1;
+        needs_ref[static_cast<std::size_t>(pair.b)] = 1;
+    }
+
+    // One batch of tasks across every level: all probes of all cache
+    // sizes are independent. The placement salt is 0 throughout — a static
+    // buffer's placement must match between a core's reference task and
+    // its pair tasks so placement luck cancels out of the ratio.
+    struct LevelPlan {
+        std::vector<std::size_t> ref_task;   // per core; kNoTask = unused
+        std::vector<std::size_t> pair_task;  // aligned with `pairs`
+    };
+    std::vector<MeasureTask> tasks;
+    std::vector<LevelPlan> plans;
+    plans.reserve(cache_sizes.size());
+    for (Bytes cache_size : cache_sizes) {
+        const Bytes array_bytes = probe_array_bytes(cache_size, options.stride);
+        const std::string prefix = "shc/b" + std::to_string(array_bytes) + "/t" +
+                                   std::to_string(options.stride) + "/p" +
+                                   std::to_string(options.passes);
+        LevelPlan plan;
+        plan.ref_task.assign(static_cast<std::size_t>(n_cores), kNoTask);
+        for (CoreId core = 0; core < n_cores; ++core) {
+            if (!needs_ref[static_cast<std::size_t>(core)]) continue;
+            plan.ref_task[static_cast<std::size_t>(core)] = tasks.size();
+            MeasureTask task;
+            task.key = prefix + "/ref/c" + std::to_string(core);
+            task.body = [core, array_bytes, options](Platform* platform, msg::Network*) {
+                const Cycles cycles =
+                    platform->traverse_cycles(core, array_bytes, options.stride, options.passes,
+                                              /*fresh_placement=*/false);
+                SERVET_CHECK(cycles > 0);
+                return std::vector<double>{cycles};
+            };
+            tasks.push_back(std::move(task));
+        }
+        for (const CorePair& pair : pairs) {
+            plan.pair_task.push_back(tasks.size());
+            MeasureTask task;
+            task.key = prefix + "/pair/" + std::to_string(pair.a) + "-" +
+                       std::to_string(pair.b);
+            task.body = [pair, array_bytes, options](Platform* platform, msg::Network*) {
+                return platform->traverse_cycles_concurrent({pair.a, pair.b}, array_bytes,
+                                                            options.stride, options.passes,
+                                                            /*fresh_placement=*/false);
+            };
+            tasks.push_back(std::move(task));
+        }
+        plans.push_back(std::move(plan));
+    }
+
+    const std::vector<std::vector<double>> measured = engine.run(tasks);
+
     std::vector<SharedCacheLevelResult> results;
     results.reserve(cache_sizes.size());
-    for (Bytes cache_size : cache_sizes) {
+    for (std::size_t li = 0; li < cache_sizes.size(); ++li) {
+        const LevelPlan& plan = plans[li];
         SharedCacheLevelResult level;
-        level.cache_size = cache_size;
-        level.array_bytes = probe_array_bytes(cache_size, options.stride);
+        level.cache_size = cache_sizes[li];
+        level.array_bytes = probe_array_bytes(cache_sizes[li], options.stride);
 
-        // Per-core solo references over static buffers (lazy: only cores
-        // that appear in a probed pair get one).
-        std::vector<Cycles> reference(static_cast<std::size_t>(n_cores), 0.0);
         const auto ref_of = [&](CoreId core) -> Cycles {
-            Cycles& slot = reference[static_cast<std::size_t>(core)];
-            if (slot == 0.0) {
-                slot = platform.traverse_cycles(core, level.array_bytes, options.stride,
-                                                options.passes, /*fresh_placement=*/false);
-                SERVET_CHECK(slot > 0);
-            }
-            return slot;
+            const std::size_t task = plan.ref_task[static_cast<std::size_t>(core)];
+            SERVET_CHECK(task != kNoTask);
+            return measured[task][0];
         };
         level.reference_cycles = ref_of(0);
 
-        for (const CorePair& pair : pairs) {
-            const std::vector<Cycles> concurrent = platform.traverse_cycles_concurrent(
-                {pair.a, pair.b}, level.array_bytes, options.stride, options.passes,
-                /*fresh_placement=*/false);
+        for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+            const CorePair& pair = pairs[pi];
+            const std::vector<double>& concurrent = measured[plan.pair_task[pi]];
             // Either member thrashing marks the cache shared; use the worse
             // of the two per-core ratios.
             const double ratio =
@@ -67,11 +122,18 @@ std::vector<SharedCacheLevelResult> detect_shared_caches(Platform& platform,
         }
         level.groups = stats::groups_from_pairs(level.sharing_pairs, n_cores);
         SERVET_LOG_INFO("shared-cache: size %llu -> %zu sharing pairs, %zu groups",
-                        static_cast<unsigned long long>(cache_size),
+                        static_cast<unsigned long long>(level.cache_size),
                         level.sharing_pairs.size(), level.groups.size());
         results.push_back(std::move(level));
     }
     return results;
+}
+
+std::vector<SharedCacheLevelResult> detect_shared_caches(Platform& platform,
+                                                         const std::vector<Bytes>& cache_sizes,
+                                                         const SharedCacheOptions& options) {
+    MeasureEngine engine(&platform, nullptr, nullptr, nullptr);
+    return detect_shared_caches(engine, cache_sizes, options);
 }
 
 }  // namespace servet::core

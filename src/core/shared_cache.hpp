@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "core/measure.hpp"
 #include "platform/platform.hpp"
 
 namespace servet::core {
@@ -27,6 +28,8 @@ struct SharedCacheOptions {
 struct SharedCachePairResult {
     CorePair pair;
     double ratio = 1.0;  ///< max over the pair of concurrent/reference cycles
+
+    [[nodiscard]] bool operator==(const SharedCachePairResult&) const = default;
 };
 
 /// Results for one cache level.
@@ -37,6 +40,8 @@ struct SharedCacheLevelResult {
     std::vector<SharedCachePairResult> pairs;     ///< every probed pair
     std::vector<CorePair> sharing_pairs;          ///< Psc: ratio > threshold
     std::vector<std::vector<CoreId>> groups;      ///< cores per cache instance
+
+    [[nodiscard]] bool operator==(const SharedCacheLevelResult&) const = default;
 };
 
 /// Run the Fig. 5 benchmark for each cache size in `cache_sizes`
@@ -49,6 +54,11 @@ struct SharedCacheLevelResult {
 /// luck appears identically in a core's reference and concurrent runs and
 /// cancels out of the ratio. The paper's single static allocation gets the
 /// same cancellation implicitly.
+[[nodiscard]] std::vector<SharedCacheLevelResult> detect_shared_caches(
+    MeasureEngine& engine, const std::vector<Bytes>& cache_sizes,
+    const SharedCacheOptions& options = {});
+
+/// Convenience entry: serial, unmemoized engine over `platform`.
 [[nodiscard]] std::vector<SharedCacheLevelResult> detect_shared_caches(
     Platform& platform, const std::vector<Bytes>& cache_sizes,
     const SharedCacheOptions& options = {});

@@ -1,31 +1,26 @@
 #include "core/suite.hpp"
 
-#include <chrono>
-
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "core/measure.hpp"
+#include "exec/dag.hpp"
+#include "exec/memo_cache.hpp"
+#include "exec/pool.hpp"
 
 namespace servet::core {
 
-namespace {
-class PhaseTimer {
-  public:
-    explicit PhaseTimer(std::map<std::string, Seconds>& sink) : sink_(&sink) {}
+void PhaseTimer::record(const std::string& phase, Seconds elapsed) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    (*sink_)[phase] += elapsed;
+}
 
-    template <typename F>
-    auto time(const std::string& phase, F&& body) {
-        const auto start = std::chrono::steady_clock::now();
-        auto result = body();
-        const auto elapsed = std::chrono::steady_clock::now() - start;
-        (*sink_)[phase] =
-            std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
-        return result;
-    }
-
-  private:
-    std::map<std::string, Seconds>* sink_;
-};
-}  // namespace
+bool SuiteResult::measurements_equal(const SuiteResult& other) const {
+    return curve == other.curve && cache_levels == other.cache_levels &&
+           has_shared_caches == other.has_shared_caches &&
+           shared_caches == other.shared_caches &&
+           has_mem_overhead == other.has_mem_overhead && mem_overhead == other.mem_overhead &&
+           has_comm == other.has_comm && comm == other.comm;
+}
 
 Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
                                 Bytes page_size) const {
@@ -72,13 +67,30 @@ Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
 }
 
 SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions options) {
+    SERVET_CHECK(options.jobs >= 1);
     SuiteResult result;
     PhaseTimer timer(result.phase_seconds);
 
-    // Phase 1: cache size estimate (Section III-A).
+    // jobs counts concurrent measurement tasks; the calling thread
+    // participates in every parallel_for, so the pool holds jobs-1 workers.
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (options.jobs > 1) pool = std::make_unique<exec::ThreadPool>(options.jobs - 1);
+
+    exec::MemoCache memo;
+    const bool want_memo = options.use_memo || !options.memo_path.empty();
+    if (!options.memo_path.empty() && memo.load_file(options.memo_path))
+        SERVET_LOG_INFO("suite: loaded %zu memo records from %s", memo.size(),
+                        options.memo_path.c_str());
+
+    MeasureEngine engine(&platform, network, pool.get(), want_memo ? &memo : nullptr);
+    if (pool != nullptr && !engine.deterministic())
+        SERVET_LOG_INFO("suite: platform is not forkable; running serially");
+
+    // Phase 1: cache size estimate (Section III-A). Runs first — every
+    // other phase is sized by its result — with its sweep parallel inside.
     options.detect.page_size = platform.page_size();
     result.curve = timer.time("cache_size", [&] {
-        return run_mcalibrator(platform, options.mcalibrator);
+        return run_mcalibrator(engine, options.mcalibrator);
     });
     result.cache_levels = detect_cache_levels(result.curve, options.detect);
     SERVET_LOG_INFO("suite: detected %zu cache levels", result.cache_levels.size());
@@ -86,31 +98,56 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     std::vector<Bytes> sizes;
     for (const CacheLevelEstimate& level : result.cache_levels) sizes.push_back(level.size);
 
+    // Phases 2-4 are mutually independent given the sizes: run them as a
+    // three-node DAG, concurrently when a pool exists.
+    exec::TaskDag dag;
+
     // Phase 2: shared caches (Section III-B) — needs at least two cores.
     if (options.run_shared_cache && platform.core_count() > 1 && !sizes.empty()) {
-        result.shared_caches = timer.time("shared_caches", [&] {
-            return detect_shared_caches(platform, sizes, options.shared_cache);
+        dag.add("shared_caches", [&] {
+            result.shared_caches = timer.time("shared_caches", [&] {
+                return detect_shared_caches(engine, sizes, options.shared_cache);
+            });
+            result.has_shared_caches = true;
         });
-        result.has_shared_caches = true;
     }
 
     // Phase 3: memory access overhead (Section III-C); arrays must stream
     // past the LLC.
     if (options.run_mem_overhead && platform.core_count() > 1) {
         if (!sizes.empty()) options.mem_overhead.array_bytes = 4 * sizes.back();
-        result.mem_overhead = timer.time("mem_overhead", [&] {
-            return characterize_memory_overhead(platform, options.mem_overhead);
+        dag.add("mem_overhead", [&] {
+            result.mem_overhead = timer.time("mem_overhead", [&] {
+                return characterize_memory_overhead(engine, options.mem_overhead);
+            });
+            result.has_mem_overhead = true;
         });
-        result.has_mem_overhead = true;
     }
 
     // Phase 4: communication costs (Section III-D); probe with the L1 size.
     if (options.run_comm && network != nullptr && network->endpoint_count() > 1) {
         if (!sizes.empty()) options.comm.probe_message = sizes.front();
-        result.comm = timer.time("comm_costs", [&] {
-            return characterize_communication(*network, options.comm);
+        dag.add("comm_costs", [&] {
+            result.comm = timer.time("comm_costs", [&] {
+                return characterize_communication(engine, options.comm);
+            });
+            result.has_comm = true;
         });
-        result.has_comm = true;
+    }
+
+    // A non-deterministic platform is shared mutable state: its phases
+    // must not overlap, so the DAG degrades to the serial path.
+    dag.run(engine.deterministic() ? pool.get() : nullptr);
+
+    result.memo_hits = memo.hits();
+    result.memo_misses = memo.misses();
+    if (!options.memo_path.empty() && engine.memoizable()) {
+        if (memo.save_file(options.memo_path)) {
+            SERVET_LOG_INFO("suite: saved %zu memo records to %s", memo.size(),
+                            options.memo_path.c_str());
+        } else {
+            SERVET_LOG_ERROR("suite: failed to save memo to %s", options.memo_path.c_str());
+        }
     }
     return result;
 }

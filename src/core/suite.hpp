@@ -2,9 +2,22 @@
 // feed the shared-cache probe, the LLC sizes the memory arrays, the L1
 // size the comm probe message), times each phase like Table I, and folds
 // everything into a Profile.
+//
+// Parallelism: with jobs > 1, each phase fans its measurement tasks out
+// over a thread pool, and the three phases downstream of cache-size
+// detection — mutually independent once the sizes are known — run as
+// concurrent nodes of a task DAG. On deterministic (forkable) platforms,
+// every task's RNG seeds derive from its stable key, never from
+// scheduling order, so a parallel run's Profile is byte-identical to the
+// serial one.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "core/cache_size.hpp"
 #include "core/comm_costs.hpp"
@@ -15,6 +28,31 @@
 #include "msg/network.hpp"
 
 namespace servet::core {
+
+/// Accumulates wall-clock seconds per phase into a shared sink. Repeated
+/// timings of one phase add up (a phase that runs in several pieces
+/// reports its total, not the last piece), and recording is thread-safe
+/// so concurrent DAG phases can share one sink.
+class PhaseTimer {
+  public:
+    explicit PhaseTimer(std::map<std::string, Seconds>& sink) : sink_(&sink) {}
+
+    template <typename F>
+    auto time(const std::string& phase, F&& body) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = std::forward<F>(body)();
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        record(phase,
+               std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count());
+        return result;
+    }
+
+    void record(const std::string& phase, Seconds elapsed);
+
+  private:
+    std::mutex mutex_;
+    std::map<std::string, Seconds>* sink_;
+};
 
 struct SuiteOptions {
     McalibratorOptions mcalibrator;
@@ -27,6 +65,17 @@ struct SuiteOptions {
     bool run_shared_cache = true;
     bool run_mem_overhead = true;
     bool run_comm = true;
+    /// Concurrent measurement tasks (1 = serial). Only deterministic
+    /// (forkable) platforms parallelize; results are byte-identical to a
+    /// serial run either way.
+    int jobs = 1;
+    /// Reuse measurements within the run (content-addressable platforms
+    /// only; repeated probes of one (machine, task) pair replay the
+    /// stored values).
+    bool use_memo = true;
+    /// When non-empty, merge the memo from this file before the run and
+    /// save it back after — measurement reuse across tool invocations.
+    std::string memo_path;
 };
 
 struct SuiteResult {
@@ -39,6 +88,13 @@ struct SuiteResult {
     bool has_mem_overhead = false;
     bool has_comm = false;
     std::map<std::string, Seconds> phase_seconds;  ///< Table I rows
+    std::uint64_t memo_hits = 0;                   ///< memo lookups served
+    std::uint64_t memo_misses = 0;                 ///< memo lookups measured
+
+    /// Every measured quantity equal (phase timings and memo statistics
+    /// excluded — wall clock can never repeat). This is the determinism
+    /// contract a parallel run is tested against.
+    [[nodiscard]] bool measurements_equal(const SuiteResult& other) const;
 
     /// Aggregate into the installable profile file.
     [[nodiscard]] Profile to_profile(const std::string& machine_name, int cores,

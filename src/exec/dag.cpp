@@ -1,0 +1,153 @@
+#include "exec/dag.hpp"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "base/check.hpp"
+
+namespace servet::exec {
+
+std::size_t TaskDag::index_of(const std::string& key) const {
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].key == key) return i;
+    return nodes_.size();
+}
+
+void TaskDag::add(std::string key, std::function<void()> body,
+                  const std::vector<std::string>& deps) {
+    SERVET_CHECK_MSG(index_of(key) == nodes_.size(), "duplicate task key");
+    Node node;
+    node.key = std::move(key);
+    node.body = std::move(body);
+    for (const std::string& dep : deps) {
+        const std::size_t d = index_of(dep);
+        SERVET_CHECK_MSG(d < nodes_.size(), "dependency not added before dependent");
+        node.deps.push_back(d);
+        nodes_[d].dependents.push_back(nodes_.size());
+    }
+    nodes_.push_back(std::move(node));
+}
+
+namespace {
+
+enum class State { Pending, Done, Failed };
+
+bool ready(const std::vector<State>& state, const std::vector<std::size_t>& deps) {
+    for (const std::size_t d : deps)
+        if (state[d] != State::Done) return false;
+    return true;
+}
+
+/// True when some dependency failed (or was itself skipped).
+bool blocked(const std::vector<State>& state, const std::vector<std::size_t>& deps) {
+    for (const std::size_t d : deps)
+        if (state[d] == State::Failed) return true;
+    return false;
+}
+
+}  // namespace
+
+void TaskDag::run_serial() {
+    std::vector<State> state(nodes_.size(), State::Pending);
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+
+    // Insertion order is a valid topological order (deps precede
+    // dependents by construction), so one pass settles everything, and
+    // skips propagate through chains naturally.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (blocked(state, nodes_[i].deps)) {
+            state[i] = State::Failed;
+            continue;
+        }
+        try {
+            nodes_[i].body();
+            state[i] = State::Done;
+        } catch (...) {
+            state[i] = State::Failed;
+            if (!error || i < error_index) {
+                error = std::current_exception();
+                error_index = i;
+            }
+        }
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+void TaskDag::run_parallel(ThreadPool& pool) {
+    struct Shared {
+        std::mutex mutex;
+        std::condition_variable all_settled;
+        std::vector<State> state;
+        std::size_t settled = 0;
+        std::exception_ptr error;
+        std::size_t error_index = 0;
+        std::function<void(std::size_t)> spawn;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->state.assign(nodes_.size(), State::Pending);
+
+    // Settles node i with the given outcome and returns the tasks that
+    // became runnable. Skips sweep transitively via a worklist: a failed
+    // node fails its pending dependents, which fail theirs, and so on.
+    const auto settle = [this, shared](std::size_t i, std::exception_ptr error) {
+        std::vector<std::size_t> runnable;
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (error && (!shared->error || i < shared->error_index)) {
+            shared->error = error;
+            shared->error_index = i;
+        }
+        shared->state[i] = error ? State::Failed : State::Done;
+        ++shared->settled;
+        std::vector<std::size_t> sweep{i};
+        while (!sweep.empty()) {
+            const std::size_t s = sweep.back();
+            sweep.pop_back();
+            for (const std::size_t dep : nodes_[s].dependents) {
+                if (shared->state[dep] != State::Pending) continue;
+                if (blocked(shared->state, nodes_[dep].deps)) {
+                    shared->state[dep] = State::Failed;
+                    ++shared->settled;
+                    sweep.push_back(dep);
+                } else if (ready(shared->state, nodes_[dep].deps)) {
+                    runnable.push_back(dep);
+                }
+            }
+        }
+        shared->all_settled.notify_all();
+        return runnable;
+    };
+
+    shared->spawn = [this, shared, &pool, settle](std::size_t i) {
+        pool.submit([this, shared, settle, i] {
+            std::exception_ptr error;
+            try {
+                nodes_[i].body();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            for (const std::size_t next : settle(i, error)) shared->spawn(next);
+        });
+    };
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].deps.empty()) shared->spawn(i);
+
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->all_settled.wait(lock, [&] { return shared->settled == nodes_.size(); });
+    if (shared->error) std::rethrow_exception(shared->error);
+}
+
+void TaskDag::run(ThreadPool* pool) {
+    SERVET_CHECK_MSG(!ran_, "TaskDag::run is single-shot");
+    ran_ = true;
+    if (nodes_.empty()) return;
+    if (pool == nullptr) {
+        run_serial();
+        return;
+    }
+    run_parallel(*pool);
+}
+
+}  // namespace servet::exec

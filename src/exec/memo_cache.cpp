@@ -1,0 +1,95 @@
+#include "exec/memo_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace servet::exec {
+
+namespace {
+constexpr const char* kHeader = "servet-memo 1";
+
+std::string fmt_hexfloat(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+}  // namespace
+
+std::optional<std::vector<double>> MemoCache::lookup(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void MemoCache::store(const std::string& key, std::vector<double> values) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.try_emplace(key, std::move(values));
+}
+
+std::size_t MemoCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t MemoCache::hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t MemoCache::misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+bool MemoCache::load_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader) return false;
+
+    std::map<std::string, std::vector<double>> loaded;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        std::string key;
+        std::size_t count = 0;
+        if (!(fields >> key >> count)) return false;
+        std::vector<double> values;
+        values.reserve(count);
+        std::string token;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!(fields >> token)) return false;
+            char* end = nullptr;
+            const double v = std::strtod(token.c_str(), &end);
+            if (end == token.c_str() || *end != '\0') return false;
+            values.push_back(v);
+        }
+        loaded.emplace(std::move(key), std::move(values));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, values] : loaded) entries_.try_emplace(key, std::move(values));
+    return true;
+}
+
+bool MemoCache::save_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << kHeader << '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, values] : entries_) {
+        out << key << ' ' << values.size();
+        for (const double v : values) out << ' ' << fmt_hexfloat(v);
+        out << '\n';
+    }
+    return bool(out);
+}
+
+}  // namespace servet::exec

@@ -1,0 +1,54 @@
+// Content-addressed measurement memo cache. A deterministic measurement
+// is a pure function of (machine fingerprint, task key), so its result
+// can be stored and replayed: repeated probes inside one suite run (the
+// comm phase re-prices a pair the layer scan already measured), across
+// runs in one process (warm reruns), and across servet_tool invocations
+// via the text file format:
+//
+//   servet-memo 1
+//   <key> <count> <v0> <v1> ...
+//
+// one record per line; keys contain no whitespace; values are C hexfloats
+// ("%a"), which round-trip doubles exactly — byte-identical results are
+// the whole point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace servet::exec {
+
+class MemoCache {
+  public:
+    /// Returns the stored values, or nullopt (and counts a miss).
+    [[nodiscard]] std::optional<std::vector<double>> lookup(const std::string& key) const;
+
+    /// Stores the result of `key`. First store wins: a concurrent
+    /// duplicate (two tasks racing on the same key) must carry the same
+    /// values by determinism, so the duplicate is simply dropped.
+    void store(const std::string& key, std::vector<double> values);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::uint64_t hits() const;
+    [[nodiscard]] std::uint64_t misses() const;
+
+    /// Merge records from `path` (existing keys keep their values).
+    /// Returns false when the file is absent or malformed.
+    bool load_file(const std::string& path);
+
+    /// Write every record to `path` (sorted by key, so the file is
+    /// deterministic). Returns false on I/O failure.
+    [[nodiscard]] bool save_file(const std::string& path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<double>> entries_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace servet::exec

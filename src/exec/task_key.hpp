@@ -1,0 +1,20 @@
+// Task identity for the deterministic measurement engine. Every
+// independent measurement task carries a stable string key naming what it
+// measures ("mcal/core=0/size=32768/..."); the key — never the scheduling
+// order — seeds the task's private RNGs, which is what makes a parallel
+// run bit-identical to a serial one.
+#pragma once
+
+#include <string_view>
+
+#include "base/hash.hpp"
+
+namespace servet::exec {
+
+/// RNG seed of the task with this key. Depends only on the key text, so
+/// two runs (or two schedulings of one run) agree on every task's noise.
+[[nodiscard]] constexpr std::uint64_t seed_of(std::string_view key) {
+    return mix64(fnv1a64(key));
+}
+
+}  // namespace servet::exec

@@ -7,6 +7,8 @@
 // evaluates the interconnect model.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,19 @@ class Network {
     virtual ~Network() = default;
 
     [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Stable content hash of the modeled fabric, or 0 when the network
+    /// is not content-addressable (a real transport). Mirrors
+    /// Platform::fingerprint.
+    [[nodiscard]] virtual std::uint64_t fingerprint() const { return 0; }
+
+    /// Independent replica for one measurement task, seeded by
+    /// `noise_salt` (derived from a stable task key), or nullptr when the
+    /// transport cannot be replicated. Mirrors Platform::fork.
+    [[nodiscard]] virtual std::unique_ptr<Network> fork(std::uint64_t noise_salt) const {
+        (void)noise_salt;
+        return nullptr;
+    }
 
     /// Number of endpoints (== cores; endpoint i is pinned to core i).
     [[nodiscard]] virtual int endpoint_count() const = 0;

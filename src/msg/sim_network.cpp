@@ -3,13 +3,24 @@
 #include <map>
 
 #include "base/check.hpp"
+#include "base/hash.hpp"
 
 namespace servet::msg {
 
 SimNetwork::SimNetwork(sim::MachineSpec spec)
     : spec_(std::move(spec)), model_(spec_), noise_(spec_.seed ^ 0xc0337ULL) {}
 
+SimNetwork::SimNetwork(sim::MachineSpec spec, std::uint64_t noise_seed)
+    : spec_(std::move(spec)), model_(spec_), noise_(noise_seed) {}
+
 std::string SimNetwork::name() const { return "simnet:" + model_.spec().name; }
+
+std::uint64_t SimNetwork::fingerprint() const { return spec_.fingerprint(); }
+
+std::unique_ptr<Network> SimNetwork::fork(std::uint64_t noise_salt) const {
+    const std::uint64_t noise_seed = mix64(spec_.seed ^ 0xc0337ULL ^ noise_salt);
+    return std::make_unique<SimNetwork>(spec_, noise_seed);
+}
 
 int SimNetwork::endpoint_count() const { return model_.spec().n_cores; }
 

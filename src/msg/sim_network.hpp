@@ -12,8 +12,12 @@ class SimNetwork final : public Network {
   public:
     /// Takes its own copy of the spec: temporaries are safe.
     explicit SimNetwork(sim::MachineSpec spec);
+    /// Replica constructor: same fabric, private noise stream.
+    SimNetwork(sim::MachineSpec spec, std::uint64_t noise_seed);
 
     [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::uint64_t fingerprint() const override;
+    [[nodiscard]] std::unique_ptr<Network> fork(std::uint64_t noise_salt) const override;
     [[nodiscard]] int endpoint_count() const override;
     [[nodiscard]] Seconds pingpong_latency(CorePair pair, Bytes size, int reps) override;
     [[nodiscard]] std::vector<Seconds> concurrent_latency(const std::vector<CorePair>& pairs,

@@ -8,6 +8,8 @@
 // as portable as the paper claims.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,26 @@ class Platform {
     [[nodiscard]] virtual std::string name() const = 0;
     [[nodiscard]] virtual int core_count() const = 0;
     [[nodiscard]] virtual Bytes page_size() const = 0;
+
+    /// Stable content hash of the measured machine, or 0 when the
+    /// platform is not content-addressable (real hardware drifts run to
+    /// run). Non-zero fingerprints key the measurement memo cache.
+    [[nodiscard]] virtual std::uint64_t fingerprint() const { return 0; }
+
+    /// Independent replica of this platform for one measurement task, or
+    /// nullptr when replicas are impossible (real hardware: concurrent
+    /// probes would contend for the very resources being measured).
+    /// `noise_salt` seeds the replica's measurement-noise RNG and
+    /// `placement_salt` (when non-zero) perturbs its physical page
+    /// placement; deriving both from a stable task key — never from
+    /// scheduling order — is what makes parallel suite runs bit-identical
+    /// to serial ones.
+    [[nodiscard]] virtual std::unique_ptr<Platform> fork(std::uint64_t noise_salt,
+                                                         std::uint64_t placement_salt) const {
+        (void)noise_salt;
+        (void)placement_salt;
+        return nullptr;
+    }
 
     /// Average cycles per access of the mcalibrator traversal (Fig. 1):
     /// `core` walks an array of `array_bytes` with `stride`, one warm-up

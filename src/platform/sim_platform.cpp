@@ -1,13 +1,31 @@
 #include "platform/sim_platform.hpp"
 
 #include "base/check.hpp"
+#include "base/hash.hpp"
 
 namespace servet {
 
 SimPlatform::SimPlatform(sim::MachineSpec spec)
     : sim_(std::move(spec)), noise_(sim_.spec().seed ^ 0x901e54ULL) {}
 
+SimPlatform::SimPlatform(sim::MachineSpec spec, std::uint64_t noise_seed)
+    : sim_(std::move(spec)), noise_(noise_seed) {}
+
 std::string SimPlatform::name() const { return "sim:" + sim_.spec().name; }
+
+std::uint64_t SimPlatform::fingerprint() const { return sim_.spec().fingerprint(); }
+
+std::unique_ptr<Platform> SimPlatform::fork(std::uint64_t noise_salt,
+                                            std::uint64_t placement_salt) const {
+    sim::MachineSpec replica = sim_.spec();
+    // The placement salt gives fresh-allocation tasks (the mcalibrator
+    // sweep) decorrelated physical placements per task. Tasks probing
+    // static buffers pass 0 so a size's placement stays identical across
+    // tasks and reference/concurrent ratios cancel placement luck.
+    if (placement_salt != 0) replica.seed ^= mix64(placement_salt);
+    const std::uint64_t noise_seed = mix64(replica.seed ^ 0x901e54ULL ^ noise_salt);
+    return std::make_unique<SimPlatform>(std::move(replica), noise_seed);
+}
 
 int SimPlatform::core_count() const { return sim_.spec().n_cores; }
 

@@ -15,10 +15,15 @@ namespace servet {
 class SimPlatform final : public Platform {
   public:
     explicit SimPlatform(sim::MachineSpec spec);
+    /// Replica constructor: same machine, private noise stream.
+    SimPlatform(sim::MachineSpec spec, std::uint64_t noise_seed);
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] int core_count() const override;
     [[nodiscard]] Bytes page_size() const override;
+    [[nodiscard]] std::uint64_t fingerprint() const override;
+    [[nodiscard]] std::unique_ptr<Platform> fork(std::uint64_t noise_salt,
+                                                 std::uint64_t placement_salt) const override;
 
     [[nodiscard]] Cycles traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
                                          int passes, bool fresh_placement) override;

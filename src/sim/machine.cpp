@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "base/hash.hpp"
 #include "base/units.hpp"
 
 namespace servet::sim {
@@ -51,6 +52,56 @@ std::uint64_t MachineSpec::page_colors() const {
         colors = std::max(colors, level.geometry.page_set_count(page_size));
     }
     return colors;
+}
+
+std::uint64_t MachineSpec::fingerprint() const {
+    Fingerprint fp;
+    fp.add(name);
+    fp.add(n_cores);
+    fp.add(cores_per_node);
+    fp.add(clock_ghz);
+    fp.add(page_size);
+    fp.add(static_cast<int>(page_policy));
+    fp.add(prefetcher.enabled);
+    fp.add(prefetcher.max_stride);
+    fp.add(prefetcher.trigger_streak);
+    fp.add(prefetcher.degree);
+    fp.add(tlb.enabled);
+    fp.add(tlb.entries);
+    fp.add(tlb.miss_cycles);
+    for (const CacheLevelSpec& level : levels) {
+        fp.add(level.name);
+        fp.add(level.geometry.size);
+        fp.add(level.geometry.line_size);
+        fp.add(level.geometry.associativity);
+        fp.add(level.geometry.physically_indexed);
+        fp.add(level.hit_cycles);
+        for (const auto& instance : level.instances) {
+            fp.add(static_cast<std::uint64_t>(instance.size()));
+            for (const CoreId c : instance) fp.add(c);
+        }
+    }
+    fp.add(memory.latency_cycles);
+    fp.add(memory.single_core_bandwidth);
+    for (const ContentionDomainSpec& domain : memory.domains) {
+        fp.add(domain.name);
+        for (const CoreId c : domain.members) fp.add(c);
+        fp.add(domain.aggregate_bandwidth_factor);
+        fp.add(domain.latency_factor_per_extra);
+    }
+    for (const CommLayerSpec& layer : comm_layers) {
+        fp.add(layer.name);
+        fp.add(static_cast<int>(layer.scope.kind));
+        fp.add(layer.scope.level);
+        fp.add(layer.base_latency);
+        fp.add(layer.bandwidth);
+        fp.add(layer.eager_threshold);
+        fp.add(layer.rendezvous_extra);
+        fp.add(layer.concurrency_exponent);
+    }
+    fp.add(measurement_jitter);
+    fp.add(seed);
+    return fp.value();
 }
 
 std::vector<std::string> MachineSpec::validate() const {

@@ -118,6 +118,12 @@ struct MachineSpec {
     /// Seconds per simulated cycle.
     [[nodiscard]] Seconds cycle_time() const { return 1e-9 / clock_ghz; }
 
+    /// Stable structural hash over every field: two specs with equal
+    /// fields agree, any change perturbs it. Content-addresses the
+    /// measurement memo cache (exec::MemoCache) — a cached measurement is
+    /// only valid for the exact machine it was taken on.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
     /// Human-readable structural problems; empty means the spec is sound.
     [[nodiscard]] std::vector<std::string> validate() const;
 };

@@ -1,0 +1,17 @@
+servet-profile 1
+machine = sim:athlon3200
+cores = 1
+page_size = 4096
+
+[cache 0]
+size = 65536
+method = peak
+groups = 
+
+[cache 1]
+size = 524288
+method = probabilistic
+groups = 
+
+[memory]
+reference = 0

@@ -1,0 +1,57 @@
+// Shared between the golden-profile regression test and the
+// regen_golden_profiles tool so both always agree on which machines are
+// pinned and with what suite options. A golden captures the complete
+// serialized Profile of a zoo machine; any change to the measurement
+// pipeline that moves a detected quantity shows up as a text diff
+// against tests/golden/<file>.profile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/suite.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::golden {
+
+struct GoldenMachine {
+    std::string file;  ///< basename under tests/golden/, without extension
+    sim::MachineSpec spec;
+};
+
+inline std::vector<GoldenMachine> golden_machines() {
+    return {
+        {"dempsey", sim::zoo::dempsey()},
+        {"athlon3200", sim::zoo::athlon3200()},
+        {"nehalem2s", sim::zoo::nehalem2s()},
+    };
+}
+
+/// Trimmed options so a golden run takes seconds, not minutes: the
+/// mcalibrator sweep stops at 3x the machine's last cache and averages
+/// two repeats per size. Detection accuracy is not asserted here — the
+/// golden pins whatever the pipeline produces, bit for bit.
+inline core::SuiteOptions golden_options(const sim::MachineSpec& spec) {
+    core::SuiteOptions options;
+    options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
+    options.mcalibrator.repeats = 2;
+    return options;
+}
+
+/// Runs the suite and serializes the resulting profile with the
+/// phase_seconds block stripped — wall clock is the one measured
+/// quantity that can never repeat.
+inline std::string golden_profile_text(const GoldenMachine& machine) {
+    SimPlatform platform(machine.spec);
+    msg::SimNetwork network(platform.spec());
+    const core::SuiteResult result =
+        core::run_suite(platform, &network, golden_options(machine.spec));
+    core::Profile profile =
+        result.to_profile(platform.name(), platform.core_count(), platform.page_size());
+    profile.phase_seconds.clear();
+    return profile.serialize();
+}
+
+}  // namespace servet::golden

@@ -1,0 +1,32 @@
+// Rewrites the golden profiles under tests/golden/. Run it through the
+// build system — `cmake --build build --target regen_golden_profiles` —
+// after an intentional change to the measurement pipeline, then review
+// the git diff of the goldens like any other code change.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "golden_profiles_common.hpp"
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <golden-dir>\n", argv[0]);
+        return 2;
+    }
+    const std::string dir = argv[1];
+    for (const auto& machine : servet::golden::golden_machines()) {
+        const std::string path = dir + "/" + machine.file + ".profile";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+            return 1;
+        }
+        out << servet::golden::golden_profile_text(machine);
+        if (!out.flush()) {
+            std::fprintf(stderr, "write to %s failed\n", path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,296 @@
+// Stress and edge-case coverage for the servet::exec substrate: the
+// cooperative thread pool (exception propagation, nesting, degenerate
+// sizes), the task DAG (ordering, transitive failure skips), the memo
+// cache (exact round-trips, first-store-wins), and the stable hashing
+// that seeds measurement tasks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/hash.hpp"
+#include "exec/dag.hpp"
+#include "exec/memo_cache.hpp"
+#include "exec/pool.hpp"
+#include "exec/task_key.hpp"
+
+namespace servet::exec {
+namespace {
+
+TEST(ThreadPool, ClampsWorkerCount) {
+    EXPECT_EQ(ThreadPool(0).thread_count(), 1);
+    EXPECT_EQ(ThreadPool(-3).thread_count(), 1);
+    EXPECT_EQ(ThreadPool(3).thread_count(), 3);
+}
+
+TEST(ThreadPool, ParallelForZeroTasksReturnsImmediately) {
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleTaskRunsOnce) {
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallel_for(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, EveryIterationRunsExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { ++counts[i]; });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleWorkerPoolCompletes) {
+    ThreadPool pool(1);
+    std::atomic<int> calls{0};
+    pool.parallel_for(100, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, SmallestIndexExceptionWins) {
+    ThreadPool pool(4);
+    const auto body = [](std::size_t i) {
+        if (i == 3 || i == 7) throw std::runtime_error(std::to_string(i));
+    };
+    // Iterations are claimed in index order, so index 3 is always claimed
+    // and its exception must be the one rethrown, regardless of timing.
+    try {
+        pool.parallel_for(64, body);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "3");
+    }
+}
+
+TEST(ThreadPool, ExceptionAbandonsUnclaimedIterations) {
+    ThreadPool pool(2);
+    constexpr std::size_t kN = 1000000;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(pool.parallel_for(kN,
+                                   [&](std::size_t i) {
+                                       if (i == 0) throw std::runtime_error("boom");
+                                       ++executed;
+                                   }),
+                 std::runtime_error);
+    EXPECT_LT(executed.load(), kN - 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallel_for(4, [&](std::size_t) {
+        pool.parallel_for(8, [&](std::size_t) { ++calls; });
+    });
+    EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelFor) {
+    ThreadPool pool(1);
+    std::atomic<int> calls{0};
+    pool.parallel_for(2, [&](std::size_t) {
+        pool.parallel_for(2, [&](std::size_t) {
+            pool.parallel_for(2, [&](std::size_t) { ++calls; });
+        });
+    });
+    EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, SubmittedTasksRun) {
+    std::atomic<int> calls{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&] { ++calls; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(TaskDag, SerialRunsInInsertionOrderAmongReady) {
+    TaskDag dag;
+    std::vector<std::string> order;
+    dag.add("a", [&] { order.push_back("a"); });
+    dag.add("b", [&] { order.push_back("b"); }, {"a"});
+    dag.add("c", [&] { order.push_back("c"); });
+    dag.run(nullptr);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "a");
+    EXPECT_EQ(order[1], "b");
+    EXPECT_EQ(order[2], "c");
+}
+
+TEST(TaskDag, ParallelRespectsDependencies) {
+    ThreadPool pool(3);
+    TaskDag dag;
+    std::atomic<bool> a_done{false};
+    std::atomic<bool> b_done{false};
+    std::atomic<bool> dep_violated{false};
+    dag.add("a", [&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        a_done = true;
+    });
+    dag.add("b", [&] { b_done = true; });
+    dag.add("c", [&] {
+        if (!a_done || !b_done) dep_violated = true;
+    }, {"a", "b"});
+    dag.run(&pool);
+    EXPECT_TRUE(a_done);
+    EXPECT_TRUE(b_done);
+    EXPECT_FALSE(dep_violated);
+}
+
+TEST(TaskDag, FailureSkipsDependentsTransitively) {
+    for (const bool parallel : {false, true}) {
+        ThreadPool pool(2);
+        TaskDag dag;
+        std::atomic<int> ran{0};
+        dag.add("a", [] { throw std::runtime_error("a failed"); });
+        dag.add("b", [&] { ++ran; }, {"a"});
+        dag.add("c", [&] { ++ran; }, {"b"});
+        dag.add("d", [&] { ++ran; });
+        try {
+            dag.run(parallel ? &pool : nullptr);
+            FAIL() << "expected the failure to be rethrown (parallel=" << parallel << ")";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "a failed");
+        }
+        EXPECT_EQ(ran.load(), 1) << "only the independent task may run";
+    }
+}
+
+TEST(TaskDag, FirstFailureByInsertionOrderRethrown) {
+    TaskDag dag;
+    dag.add("a", [] { throw std::runtime_error("first"); });
+    dag.add("b", [] { throw std::runtime_error("second"); });
+    try {
+        dag.run(nullptr);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(TaskDag, EmptyDagRuns) {
+    TaskDag dag;
+    dag.run(nullptr);
+    EXPECT_EQ(dag.task_count(), 0u);
+}
+
+TEST(MemoCache, StoreThenLookup) {
+    MemoCache memo;
+    EXPECT_FALSE(memo.lookup("k").has_value());
+    memo.store("k", {1.5, -2.25});
+    const auto hit = memo.lookup("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, (std::vector<double>{1.5, -2.25}));
+    EXPECT_EQ(memo.hits(), 1u);
+    EXPECT_EQ(memo.misses(), 1u);
+}
+
+TEST(MemoCache, FirstStoreWins) {
+    MemoCache memo;
+    memo.store("k", {1.0});
+    memo.store("k", {2.0});
+    EXPECT_EQ(memo.lookup("k")->front(), 1.0);
+    EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(MemoCache, FileRoundTripIsExact) {
+    const std::string path = testing::TempDir() + "memo_roundtrip.txt";
+    const std::vector<double> gnarly{1.0 / 3.0, 6.62607015e-34, -0.0, 1e300,
+                                     0x1.fffffffffffffp+1023};
+    {
+        MemoCache memo;
+        memo.store("b/key", gnarly);
+        memo.store("a/key", {42.0});
+        ASSERT_TRUE(memo.save_file(path));
+    }
+    MemoCache loaded;
+    ASSERT_TRUE(loaded.load_file(path));
+    EXPECT_EQ(loaded.size(), 2u);
+    const auto hit = loaded.lookup("b/key");
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_EQ(hit->size(), gnarly.size());
+    for (std::size_t i = 0; i < gnarly.size(); ++i) {
+        // Byte-exact: compare representations, not approximate values.
+        EXPECT_EQ((*hit)[i], gnarly[i]) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MemoCache, LoadMergeKeepsExistingRecords) {
+    const std::string path = testing::TempDir() + "memo_merge.txt";
+    {
+        MemoCache memo;
+        memo.store("shared", {1.0});
+        memo.store("fresh", {2.0});
+        ASSERT_TRUE(memo.save_file(path));
+    }
+    MemoCache memo;
+    memo.store("shared", {99.0});
+    ASSERT_TRUE(memo.load_file(path));
+    EXPECT_EQ(memo.lookup("shared")->front(), 99.0);  // existing record kept
+    EXPECT_EQ(memo.lookup("fresh")->front(), 2.0);
+    std::remove(path.c_str());
+}
+
+TEST(MemoCache, RejectsMissingAndMalformedFiles) {
+    MemoCache memo;
+    EXPECT_FALSE(memo.load_file("/nonexistent/memo.txt"));
+
+    const std::string path = testing::TempDir() + "memo_bad.txt";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not-a-memo-header\nk 1 0x1p+0\n", f);
+    std::fclose(f);
+    EXPECT_FALSE(memo.load_file(path));
+    EXPECT_EQ(memo.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Hashing, Fnv1aIsStableAcrossRuns) {
+    // Pinned value: task keys and memo files depend on this never moving.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("servet"), fnv1a64(std::string("servet")));
+}
+
+TEST(Hashing, SeedOfSeparatesNearbyKeys) {
+    std::set<std::uint64_t> seeds;
+    for (int i = 0; i < 1000; ++i)
+        seeds.insert(seed_of("mcal/c0/b" + std::to_string(i)));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Hashing, FingerprintOrderAndValueSensitive) {
+    Fingerprint a;
+    a.add(1);
+    a.add(2);
+    Fingerprint b;
+    b.add(2);
+    b.add(1);
+    EXPECT_NE(a.value(), b.value());
+
+    Fingerprint c;
+    c.add(1.0);
+    Fingerprint d;
+    d.add(1.5);
+    EXPECT_NE(c.value(), d.value());
+}
+
+}  // namespace
+}  // namespace servet::exec

@@ -1,0 +1,60 @@
+// Golden-profile regression tests: the full serialized Profile of each
+// pinned zoo machine must match tests/golden/<name>.profile byte for
+// byte. This is the detection suite's end-to-end determinism anchor —
+// any change to task keys, seeding, placement, clustering, or the file
+// format moves a golden. Intentional changes are re-pinned with
+// `cmake --build build --target regen_golden_profiles`.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_profiles_common.hpp"
+
+namespace servet::golden {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) ADD_FAILURE() << "cannot read golden " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+const GoldenMachine& machine_named(const std::string& file) {
+    static const std::vector<GoldenMachine> machines = golden_machines();
+    for (const auto& machine : machines)
+        if (machine.file == file) return machine;
+    throw std::runtime_error("no golden machine named " + file);
+}
+
+void expect_matches_golden(const std::string& file) {
+    const std::string golden = read_file(std::string(SERVET_GOLDEN_DIR) + "/" + file +
+                                         ".profile");
+    ASSERT_FALSE(golden.empty());
+    const std::string produced = golden_profile_text(machine_named(file));
+    EXPECT_EQ(produced, golden)
+        << "profile for " << file << " drifted from its golden; if the change is "
+        << "intentional, rebuild target regen_golden_profiles and review the diff";
+}
+
+TEST(GoldenProfiles, Dempsey) { expect_matches_golden("dempsey"); }
+
+TEST(GoldenProfiles, Athlon3200) { expect_matches_golden("athlon3200"); }
+
+TEST(GoldenProfiles, Nehalem2S) { expect_matches_golden("nehalem2s"); }
+
+// The golden files are regeneration output, so a machine added to
+// golden_machines() without a checked-in golden fails here rather than
+// silently going untested.
+TEST(GoldenProfiles, EveryPinnedMachineHasAGolden) {
+    for (const auto& machine : golden_machines()) {
+        std::ifstream in(std::string(SERVET_GOLDEN_DIR) + "/" + machine.file + ".profile");
+        EXPECT_TRUE(in.good()) << "missing golden for " << machine.file;
+    }
+}
+
+}  // namespace
+}  // namespace servet::golden

@@ -26,6 +26,27 @@ SuiteOptions fast_options() {
     return options;
 }
 
+TEST(PhaseTimer, AccumulatesRepeatedRecordings) {
+    std::map<std::string, Seconds> sink;
+    PhaseTimer timer(sink);
+    timer.record("comm_costs", 1.0);
+    timer.record("comm_costs", 2.0);
+    timer.record("cache_size", 0.5);
+    // A phase that runs in several pieces reports its total — record()
+    // must add, not overwrite.
+    EXPECT_DOUBLE_EQ(sink["comm_costs"], 3.0);
+    EXPECT_DOUBLE_EQ(sink["cache_size"], 0.5);
+}
+
+TEST(PhaseTimer, TimeReturnsBodyResultAndRecords) {
+    std::map<std::string, Seconds> sink;
+    PhaseTimer timer(sink);
+    const int value = timer.time("phase", [] { return 7; });
+    EXPECT_EQ(value, 7);
+    ASSERT_EQ(sink.count("phase"), 1u);
+    EXPECT_GE(sink["phase"], 0.0);
+}
+
 TEST(Suite, RunsAllPhasesOnMulticore) {
     SimPlatform platform(small_machine());
     msg::SimNetwork network(platform.spec());
@@ -79,6 +100,26 @@ TEST(Suite, PhaseTogglesRespected) {
     EXPECT_FALSE(result.has_shared_caches);
     EXPECT_FALSE(result.has_mem_overhead);
     EXPECT_TRUE(result.has_comm);
+}
+
+TEST(Suite, ParallelJobsMatchSerialOnSmallMachine) {
+    // Cheap determinism check that rides in the fast tier (and under
+    // TSan in CI); the heavyweight zoo machines live in
+    // test_parallel_suite.cpp.
+    SuiteOptions serial_options = fast_options();
+    SuiteOptions parallel_options = fast_options();
+    parallel_options.jobs = 3;
+
+    SimPlatform serial_platform(small_machine());
+    msg::SimNetwork serial_network(serial_platform.spec());
+    const SuiteResult serial = run_suite(serial_platform, &serial_network, serial_options);
+
+    SimPlatform parallel_platform(small_machine());
+    msg::SimNetwork parallel_network(parallel_platform.spec());
+    const SuiteResult parallel =
+        run_suite(parallel_platform, &parallel_network, parallel_options);
+
+    EXPECT_TRUE(serial.measurements_equal(parallel));
 }
 
 TEST(Suite, ToProfileCarriesEverything) {

@@ -78,6 +78,8 @@ int cmd_profile(int argc, const char* const* argv) {
     cli.add_option("machine", "target (see 'servet machines')", "native");
     cli.add_option("out", "profile file to write", "servet.profile");
     cli.add_option("robust", "median-of-N outlier rejection (1 = off)", "1");
+    cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
+    cli.add_option("memo", "measurement memo file reused across invocations", "");
     cli.add_flag("fast", "fewer repeats, core-0 pairs only");
     if (!cli.parse(argc, argv)) return 1;
 
@@ -100,8 +102,19 @@ int cmd_profile(int argc, const char* const* argv) {
         options.shared_cache.only_with_core = 0;
         options.mem_overhead.only_with_core = 0;
     }
+    const auto jobs = cli.option_int("jobs");
+    if (!jobs || *jobs < 1) {
+        std::fprintf(stderr, "--jobs must be an integer >= 1\n");
+        return 1;
+    }
+    options.jobs = static_cast<int>(*jobs);
+    options.memo_path = cli.option("memo");
     const core::SuiteResult result =
         core::run_suite(*platform, target->network.get(), options);
+    if (result.memo_hits > 0)
+        std::printf("memo: %llu of %llu measurements replayed\n",
+                    static_cast<unsigned long long>(result.memo_hits),
+                    static_cast<unsigned long long>(result.memo_hits + result.memo_misses));
     const core::Profile profile = result.to_profile(
         platform->name(), platform->core_count(), platform->page_size());
 
