@@ -13,6 +13,8 @@
 #include "base/table.hpp"
 #include "core/suite.hpp"
 #include "msg/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/sim_platform.hpp"
 #include "sim/zoo.hpp"
 
@@ -38,11 +40,17 @@ int main(int argc, char** argv) {
     // report summed task time while the wall row shows the actual elapsed
     // time, which is the serial-vs-parallel comparison worth recording.
     int jobs = 1;
+    const char* trace_path = nullptr;
+    const char* metrics_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             jobs = std::atoi(argv[i + 1]);
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_path = argv[i + 1];
+        if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
+            metrics_path = argv[i + 1];
     }
     if (jobs < 1) jobs = 1;
+    if (trace_path != nullptr) obs::tracer().set_enabled(true);
 
     const auto wall_start = std::chrono::steady_clock::now();
     const auto dunnington = run_machine(sim::zoo::dunnington(), jobs);
@@ -79,5 +87,21 @@ int main(int argc, char** argv) {
         "while the analytic memory/comm models answer instantly — the preserved\n"
         "property is that cost scales with probe count, and that the suite runs\n"
         "once at installation time so absolute cost is unimportant (Section IV-E).");
+
+    if (trace_path != nullptr) {
+        obs::tracer().set_enabled(false);
+        if (!obs::tracer().write_chrome_trace(trace_path)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path);
+            return 1;
+        }
+        std::printf("trace written to %s\n", trace_path);
+    }
+    if (metrics_path != nullptr) {
+        if (!obs::write_metrics_json(metrics_path)) {
+            std::fprintf(stderr, "cannot write %s\n", metrics_path);
+            return 1;
+        }
+        std::printf("metrics written to %s\n", metrics_path);
+    }
     return 0;
 }

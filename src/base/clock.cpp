@@ -1,0 +1,30 @@
+#include "base/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace servet {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+    const auto elapsed = std::chrono::steady_clock::now() - process_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+int thread_ordinal() {
+    static std::atomic<int> next{0};
+    thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
+}  // namespace servet

@@ -1,0 +1,20 @@
+// Process-wide monotonic clock and dense thread ids, shared by the log
+// prefix and the obs subsystem (tracing spans, metric timestamps) so every
+// observability record is stamped from one time base and a `t3` in a log
+// line is the same thread as `tid: 3` in a trace file.
+#pragma once
+
+#include <cstdint>
+
+namespace servet {
+
+/// Monotonic nanoseconds since the first call in this process (the
+/// process epoch). Thread-safe; the epoch is latched once.
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+/// Dense per-thread ordinal assigned on first use (the thread that asks
+/// first gets 0 — in practice the main thread). Stable for the thread's
+/// lifetime; ids are never reused within a process.
+[[nodiscard]] int thread_ordinal();
+
+}  // namespace servet

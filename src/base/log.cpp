@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "base/clock.hpp"
+
 namespace servet {
 
 namespace {
@@ -31,7 +33,10 @@ void logf(LogLevel level, const char* fmt, ...) {
     va_start(args, fmt);
     std::vsnprintf(buf, sizeof buf, fmt, args);
     va_end(args);
-    std::fprintf(stderr, "[servet %s] %s\n", level_tag(level), buf);
+    // Same clock/thread ids as obs trace spans (see header).
+    const double seconds = static_cast<double>(monotonic_ns()) / 1e9;
+    std::fprintf(stderr, "[servet %s +%.3f t%d] %s\n", level_tag(level), seconds,
+                 thread_ordinal(), buf);
 }
 
 }  // namespace servet

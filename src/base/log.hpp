@@ -1,6 +1,11 @@
 // Minimal leveled logging to stderr. The suite's long-running benchmarks
 // (Table I reports 43-55 minutes on real hardware) use this for progress
 // reporting; `--quiet` silences everything below Warn.
+//
+// Each line is prefixed `[servet <level> +<seconds> t<ordinal>]` where the
+// timestamp and thread ordinal come from base/clock — the same time base
+// and thread ids the obs subsystem stamps trace spans with, so log lines
+// and trace slices correlate directly.
 #pragma once
 
 #include <string_view>
@@ -9,8 +14,10 @@ namespace servet {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 
-/// Global threshold; messages below it are dropped. Not synchronized —
-/// set it once at startup before spawning threads.
+/// Global threshold; messages below it are dropped. Backed by a
+/// std::atomic<LogLevel> (relaxed), so pool worker threads may read it
+/// while another thread adjusts it — no ordering is implied beyond the
+/// level value itself.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 

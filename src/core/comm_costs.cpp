@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "obs/metrics.hpp"
 #include "stats/cluster.hpp"
 
 namespace servet::core {
@@ -101,6 +102,8 @@ CommCostsResult characterize_communication(MeasureEngine& engine,
     probe_tasks.reserve(pairs.size());
     for (const CorePair& pair : pairs)
         probe_tasks.push_back(pingpong_task(pair, options.probe_message, options.reps));
+    obs::counter("phase.comm_costs.measurements", obs::Stability::Stable)
+        .add(probe_tasks.size());
     const std::vector<std::vector<double>> probed = engine.run(probe_tasks);
 
     stats::SimilarityClusterer clusterer(options.cluster_tolerance);
@@ -167,6 +170,8 @@ CommCostsResult characterize_communication(MeasureEngine& engine,
         }
         plans.push_back(std::move(plan));
     }
+    obs::counter("phase.comm_costs.measurements", obs::Stability::Stable)
+        .add(detail_tasks.size());
     const std::vector<std::vector<double>> detailed = engine.run(detail_tasks);
 
     for (std::size_t li = 0; li < result.layers.size(); ++li) {

@@ -3,6 +3,7 @@
 #include "base/check.hpp"
 #include "base/log.hpp"
 #include "exec/task_key.hpp"
+#include "obs/metrics.hpp"
 #include "stats/gradient.hpp"
 
 namespace servet::core {
@@ -59,6 +60,10 @@ McalibratorCurve run_mcalibrator(MeasureEngine& engine, const McalibratorOptions
         };
         tasks.push_back(std::move(task));
     }
+
+    obs::counter("phase.cache_size.measurements", obs::Stability::Stable).add(tasks.size());
+    obs::counter("phase.cache_size.iterations", obs::Stability::Stable)
+        .add(tasks.size() * static_cast<std::uint64_t>(options.repeats));
 
     const std::vector<std::vector<double>> measured = engine.run(tasks);
     curve.cycles.reserve(curve.sizes.size());

@@ -1,13 +1,45 @@
 #include "core/measure.hpp"
 
 #include <cstdio>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "base/check.hpp"
+#include "base/clock.hpp"
 #include "base/hash.hpp"
 #include "exec/task_key.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::core {
+
+namespace {
+
+obs::Counter& batches_counter() {
+    static obs::Counter& c = obs::counter("exec.batches", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& requested_counter() {
+    static obs::Counter& c = obs::counter("exec.tasks.requested", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& run_counter() {
+    static obs::Counter& c = obs::counter("exec.tasks.run", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& deduped_counter() {
+    static obs::Counter& c = obs::counter("exec.tasks.deduped", obs::Stability::Stable);
+    return c;
+}
+obs::Histogram& task_us_histogram() {
+    static obs::Histogram& h =
+        obs::histogram("exec.task.us", obs::Stability::Volatile,
+                       {10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0});
+    return h;
+}
+
+}  // namespace
 
 MeasureEngine::MeasureEngine(Platform* platform, msg::Network* network, exec::ThreadPool* pool,
                              exec::MemoCache* memo)
@@ -37,6 +69,8 @@ std::string MeasureEngine::memo_key(const std::string& task_key) const {
 
 std::vector<double> MeasureEngine::run_one(const MeasureTask& task) {
     SERVET_CHECK_MSG(!task.key.empty(), "measurement task needs a key");
+    SERVET_TRACE_SPAN("measure/" + task.key);
+    const std::uint64_t start_ns = monotonic_ns();
     std::string key;
     if (memoizable()) {
         key = memo_key(task.key);
@@ -55,19 +89,50 @@ std::vector<double> MeasureEngine::run_one(const MeasureTask& task) {
         values = task.body(platform_, network_);
     }
     if (memoizable()) memo_->store(key, values);
+    task_us_histogram().observe(static_cast<double>(monotonic_ns() - start_ns) / 1e3);
     return values;
 }
 
 std::vector<std::vector<double>> MeasureEngine::run(const std::vector<MeasureTask>& tasks) {
+    batches_counter().increment();
+    requested_counter().add(tasks.size());
     std::vector<std::vector<double>> results(tasks.size());
+
     // Non-deterministic substrates are shared mutable state: tasks must
-    // run one at a time, in index order, on the caller's thread.
-    if (deterministic_ && pool_ != nullptr && tasks.size() > 1) {
-        pool_->parallel_for(tasks.size(),
-                            [&](std::size_t i) { results[i] = run_one(tasks[i]); });
-    } else {
+    // run one at a time, in index order, on the caller's thread. Equal
+    // keys are NOT deduplicated here — on a non-deterministic substrate
+    // each occurrence is a genuine remeasurement.
+    if (!deterministic_) {
+        run_counter().add(tasks.size());
         for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = run_one(tasks[i]);
+        return results;
     }
+
+    // Within-batch dedup. Two tasks with equal keys measure the same
+    // thing (the MeasureTask::key contract), so the duplicate's result is
+    // a copy. Beyond saving work, this is what keeps execution counts
+    // schedule-invariant: without it, two racing duplicates may both miss
+    // the memo and both execute under --jobs N, while a serial run
+    // executes once and hits once.
+    std::vector<std::size_t> unique;                // first occurrence of each key
+    std::vector<std::size_t> source(tasks.size());  // index -> its representative
+    std::unordered_map<std::string_view, std::size_t> first;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto [it, inserted] = first.try_emplace(tasks[i].key, i);
+        source[i] = it->second;
+        if (inserted) unique.push_back(i);
+    }
+    deduped_counter().add(tasks.size() - unique.size());
+    run_counter().add(unique.size());
+
+    if (pool_ != nullptr && unique.size() > 1) {
+        pool_->parallel_for(unique.size(),
+                            [&](std::size_t u) { results[unique[u]] = run_one(tasks[unique[u]]); });
+    } else {
+        for (const std::size_t u : unique) results[u] = run_one(tasks[u]);
+    }
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        if (source[i] != i) results[i] = results[source[i]];
     return results;
 }
 

@@ -4,6 +4,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "obs/metrics.hpp"
 #include "stats/cluster.hpp"
 #include "stats/unionfind.hpp"
 
@@ -57,6 +58,7 @@ MemOverheadResult characterize_memory_overhead(MeasureEngine& engine,
         };
         tasks.push_back(std::move(task));
     }
+    obs::counter("phase.mem_overhead.measurements", obs::Stability::Stable).add(tasks.size());
     const std::vector<std::vector<double>> measured = engine.run(tasks);
 
     MemOverheadResult result;
@@ -113,6 +115,8 @@ MemOverheadResult characterize_memory_overhead(MeasureEngine& engine,
             scal_owner.emplace_back(t, n - 1);
         }
     }
+    obs::counter("phase.mem_overhead.measurements", obs::Stability::Stable)
+        .add(scal_tasks.size());
     const std::vector<std::vector<double>> scal_measured = engine.run(scal_tasks);
     for (std::size_t t = 0; t < result.tiers.size(); ++t) {
         if (result.tiers[t].groups.empty()) continue;

@@ -355,6 +355,17 @@ std::string Profile::to_json() const {
         out += "\": ";
         out += fmt_double(seconds);
     }
+    out += "},\n";
+
+    out += "  \"counters\": {";
+    index = 0;
+    for (const auto& [name, value] : counters) {
+        if (index++) out += ", ";
+        out += "\"";
+        out += json_escape(name);
+        out += "\": ";
+        out += std::to_string(value);
+    }
     out += "}\n}\n";
     return out;
 }
@@ -396,6 +407,12 @@ std::string Profile::serialize() const {
         for (const auto& [phase, seconds] : phase_seconds)
             out += phase + " = " + fmt_double(seconds) + '\n';
     }
+
+    if (!counters.empty()) {
+        out += "\n[counters]\n";
+        for (const auto& [name, value] : counters)
+            out += name + " = " + std::to_string(value) + '\n';
+    }
     return out;
 }
 
@@ -405,7 +422,7 @@ std::optional<Profile> Profile::parse(const std::string& text) {
     if (!std::getline(stream, line) || trim(line) != kHeader) return std::nullopt;
 
     Profile profile;
-    enum class Section { Top, Cache, Memory, MemoryTier, CommLayer, Timing };
+    enum class Section { Top, Cache, Memory, MemoryTier, CommLayer, Timing, Counters };
     Section section = Section::Top;
 
     while (std::getline(stream, line)) {
@@ -428,6 +445,8 @@ std::optional<Profile> Profile::parse(const std::string& text) {
                 profile.comm.emplace_back();
             } else if (name == "timing") {
                 section = Section::Timing;
+            } else if (name == "counters") {
+                section = Section::Counters;
             } else {
                 return std::nullopt;
             }
@@ -530,6 +549,12 @@ std::optional<Profile> Profile::parse(const std::string& text) {
                 const auto v = parse_double(value);
                 if (!v) return fail();
                 profile.phase_seconds[key] = *v;
+                break;
+            }
+            case Section::Counters: {
+                const auto v = parse_int(value);
+                if (!v || *v < 0) return fail();
+                profile.counters[key] = static_cast<std::uint64_t>(*v);
                 break;
             }
         }

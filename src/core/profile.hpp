@@ -6,6 +6,7 @@
 // lookup, cache sizes, contention groups).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -58,6 +59,11 @@ class Profile {
     std::vector<ProfileCommLayer> comm;
     /// Wall-clock per benchmark phase (the Table I rows).
     std::map<std::string, Seconds> phase_seconds;
+    /// Deterministic observability counters of the producing run (the
+    /// `[counters]` section). Schedule-invariant event counts — identical
+    /// for --jobs 1 and --jobs N — so golden tests pin them. Empty unless
+    /// the run asked for them (SuiteOptions::profile_counters).
+    std::map<std::string, std::uint64_t> counters;
 
     // ---- queries used by the autotune consumers ----
 

@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "obs/metrics.hpp"
 #include "stats/unionfind.hpp"
 
 namespace servet::core {
@@ -93,6 +94,7 @@ std::vector<SharedCacheLevelResult> detect_shared_caches(MeasureEngine& engine,
         plans.push_back(std::move(plan));
     }
 
+    obs::counter("phase.shared_caches.measurements", obs::Stability::Stable).add(tasks.size());
     const std::vector<std::vector<double>> measured = engine.run(tasks);
 
     std::vector<SharedCacheLevelResult> results;

@@ -6,6 +6,8 @@
 #include "exec/dag.hpp"
 #include "exec/memo_cache.hpp"
 #include "exec/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::core {
 
@@ -63,13 +65,21 @@ Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
     }
 
     profile.phase_seconds = phase_seconds;
+    if (embed_counters) profile.counters = counters;
     return profile;
 }
 
 SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions options) {
+    SERVET_TRACE_SPAN("suite/run");
     SERVET_CHECK(options.jobs >= 1);
     SuiteResult result;
+    result.embed_counters = options.profile_counters;
     PhaseTimer timer(result.phase_seconds);
+
+    // Snapshot the Stable counters so the result reports this run's deltas
+    // — robust when several suites run in one process (tests, tools).
+    const std::map<std::string, std::uint64_t> counters_before =
+        obs::registry().stable_counters();
 
     // jobs counts concurrent measurement tasks; the calling thread
     // participates in every parallel_for, so the pool holds jobs-1 workers.
@@ -141,6 +151,23 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
 
     result.memo_hits = memo.hits();
     result.memo_misses = memo.misses();
+
+    for (const auto& [name, value] : obs::registry().stable_counters()) {
+        const auto it = counters_before.find(name);
+        const std::uint64_t before = it == counters_before.end() ? 0 : it->second;
+        if (value > before) result.counters.emplace(name, value - before);
+    }
+    const auto counter_or_zero = [&](const char* name) {
+        const auto it = result.counters.find(name);
+        return it == result.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    SERVET_LOG_INFO(
+        "suite: measurements %llu run, %llu deduped; memo %llu hits / %llu misses",
+        static_cast<unsigned long long>(counter_or_zero("exec.tasks.run")),
+        static_cast<unsigned long long>(counter_or_zero("exec.tasks.deduped")),
+        static_cast<unsigned long long>(counter_or_zero("exec.memo.hits")),
+        static_cast<unsigned long long>(counter_or_zero("exec.memo.misses")));
+
     if (!options.memo_path.empty() && engine.memoizable()) {
         if (memo.save_file(options.memo_path)) {
             SERVET_LOG_INFO("suite: saved %zu memo records to %s", memo.size(),

@@ -26,6 +26,7 @@
 #include "core/profile.hpp"
 #include "core/shared_cache.hpp"
 #include "msg/network.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::core {
 
@@ -39,6 +40,7 @@ class PhaseTimer {
 
     template <typename F>
     auto time(const std::string& phase, F&& body) {
+        SERVET_TRACE_SPAN("phase/" + phase);
         const auto start = std::chrono::steady_clock::now();
         auto result = std::forward<F>(body)();
         const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -76,6 +78,9 @@ struct SuiteOptions {
     /// When non-empty, merge the memo from this file before the run and
     /// save it back after — measurement reuse across tool invocations.
     std::string memo_path;
+    /// Embed the run's deterministic counter block (SuiteResult::counters)
+    /// in the profile produced by to_profile — golden tests pin it.
+    bool profile_counters = false;
 };
 
 struct SuiteResult {
@@ -90,6 +95,11 @@ struct SuiteResult {
     std::map<std::string, Seconds> phase_seconds;  ///< Table I rows
     std::uint64_t memo_hits = 0;                   ///< memo lookups served
     std::uint64_t memo_misses = 0;                 ///< memo lookups measured
+    /// This run's deltas of every Stable obs counter (nonzero ones only):
+    /// schedule-invariant, so --jobs 1 and --jobs N report identical maps.
+    std::map<std::string, std::uint64_t> counters;
+    /// Copy `counters` into the profile (SuiteOptions::profile_counters).
+    bool embed_counters = false;
 
     /// Every measured quantity equal (phase timings and memo statistics
     /// excluded — wall clock can never repeat). This is the determinism

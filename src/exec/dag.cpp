@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "base/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::exec {
 
@@ -62,6 +64,7 @@ void TaskDag::run_serial() {
             continue;
         }
         try {
+            SERVET_TRACE_SPAN("dag/" + nodes_[i].key);
             nodes_[i].body();
             state[i] = State::Done;
         } catch (...) {
@@ -123,6 +126,7 @@ void TaskDag::run_parallel(ThreadPool& pool) {
         pool.submit([this, shared, settle, i] {
             std::exception_ptr error;
             try {
+                SERVET_TRACE_SPAN("dag/" + nodes_[i].key);
                 nodes_[i].body();
             } catch (...) {
                 error = std::current_exception();
@@ -143,6 +147,7 @@ void TaskDag::run(ThreadPool* pool) {
     SERVET_CHECK_MSG(!ran_, "TaskDag::run is single-shot");
     ran_ = true;
     if (nodes_.empty()) return;
+    obs::counter("exec.dag.nodes", obs::Stability::Stable).add(nodes_.size());
     if (pool == nullptr) {
         run_serial();
         return;

@@ -5,10 +5,27 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace servet::exec {
 
 namespace {
 constexpr const char* kHeader = "servet-memo 1";
+
+// Stable: the engine dedups equal keys within a batch, so which lookups
+// hit is a function of the task stream, not of scheduling.
+obs::Counter& hit_counter() {
+    static obs::Counter& c = obs::counter("exec.memo.hits", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& miss_counter() {
+    static obs::Counter& c = obs::counter("exec.memo.misses", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& store_counter() {
+    static obs::Counter& c = obs::counter("exec.memo.stores", obs::Stability::Stable);
+    return c;
+}
 
 std::string fmt_hexfloat(double v) {
     char buf[48];
@@ -22,15 +39,17 @@ std::optional<std::vector<double>> MemoCache::lookup(const std::string& key) con
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++misses_;
+        miss_counter().increment();
         return std::nullopt;
     }
     ++hits_;
+    hit_counter().increment();
     return it->second;
 }
 
 void MemoCache::store(const std::string& key, std::vector<double> values) {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.try_emplace(key, std::move(values));
+    if (entries_.try_emplace(key, std::move(values)).second) store_counter().increment();
 }
 
 std::size_t MemoCache::size() const {

@@ -5,10 +5,25 @@
 #include <memory>
 
 #include "base/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::exec {
 
 namespace {
+
+// Pool shape depends on --jobs, so these are observability-only metrics:
+// a jobs=1 run submits nothing (the caller drains parallel_for itself).
+obs::Counter& submitted_counter() {
+    static obs::Counter& c =
+        obs::counter("exec.pool.tasks_submitted", obs::Stability::Volatile);
+    return c;
+}
+
+obs::Gauge& queue_hwm_gauge() {
+    static obs::Gauge& g = obs::gauge("exec.pool.queue_hwm");
+    return g;
+}
 
 /// Shared state of one parallel_for invocation. Claim/finish counters are
 /// separate because an error abandons unclaimed iterations: completion
@@ -88,6 +103,7 @@ void ThreadPool::worker_loop() {
             queue_.pop_front();
         }
         try {
+            SERVET_TRACE_SPAN("exec/task");
             task();
         } catch (...) {
             SERVET_LOG_ERROR("exec: exception escaped a submitted task (dropped)");
@@ -96,10 +112,14 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+    std::size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        depth = queue_.size();
     }
+    submitted_counter().increment();
+    queue_hwm_gauge().record_max(depth);
     ready_.notify_one();
 }
 

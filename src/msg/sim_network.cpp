@@ -1,17 +1,65 @@
 #include "msg/sim_network.hpp"
 
 #include <map>
+#include <string>
 
 #include "base/check.hpp"
 #include "base/hash.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::msg {
 
+namespace {
+
+obs::Counter& pingpong_calls() {
+    static obs::Counter& c = obs::counter("msg.pingpong.calls", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& concurrent_calls() {
+    static obs::Counter& c = obs::counter("msg.concurrent.calls", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& messages_counter() {
+    static obs::Counter& c = obs::counter("msg.messages", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& bytes_counter() {
+    static obs::Counter& c = obs::counter("msg.bytes", obs::Stability::Stable);
+    return c;
+}
+
+std::vector<obs::Counter*> layer_counters(int layers) {
+    std::vector<obs::Counter*> result;
+    result.reserve(static_cast<std::size_t>(layers));
+    for (int k = 0; k < layers; ++k)
+        result.push_back(&obs::counter("msg.layer" + std::to_string(k) + ".transfers",
+                                       obs::Stability::Stable));
+    return result;
+}
+
+}  // namespace
+
 SimNetwork::SimNetwork(sim::MachineSpec spec)
-    : spec_(std::move(spec)), model_(spec_), noise_(spec_.seed ^ 0xc0337ULL) {}
+    : spec_(std::move(spec)),
+      model_(spec_),
+      noise_(spec_.seed ^ 0xc0337ULL),
+      layer_transfers_(layer_counters(model_.layer_count())) {}
 
 SimNetwork::SimNetwork(sim::MachineSpec spec, std::uint64_t noise_seed)
-    : spec_(std::move(spec)), model_(spec_), noise_(noise_seed) {}
+    : spec_(std::move(spec)),
+      model_(spec_),
+      noise_(noise_seed),
+      layer_transfers_(layer_counters(model_.layer_count())) {}
+
+void SimNetwork::count_transfers(CorePair pair, Bytes size, int reps) {
+    // A ping-pong rep is two messages, one each way.
+    const std::uint64_t transfers = 2 * static_cast<std::uint64_t>(reps);
+    messages_counter().add(transfers);
+    bytes_counter().add(transfers * size);
+    const int layer = model_.layer_of(pair);
+    if (layer >= 0 && layer < static_cast<int>(layer_transfers_.size()))
+        layer_transfers_[static_cast<std::size_t>(layer)]->add(transfers);
+}
 
 std::string SimNetwork::name() const { return "simnet:" + model_.spec().name; }
 
@@ -25,7 +73,10 @@ std::unique_ptr<Network> SimNetwork::fork(std::uint64_t noise_salt) const {
 int SimNetwork::endpoint_count() const { return model_.spec().n_cores; }
 
 Seconds SimNetwork::pingpong_latency(CorePair pair, Bytes size, int reps) {
+    SERVET_TRACE_SPAN("msg/pingpong");
     SERVET_CHECK(reps > 0);
+    pingpong_calls().increment();
+    count_transfers(pair, size, reps);
     // Reps average out jitter, as on hardware: simulate each rep's noise.
     Seconds total = 0;
     for (int r = 0; r < reps; ++r)
@@ -36,7 +87,10 @@ Seconds SimNetwork::pingpong_latency(CorePair pair, Bytes size, int reps) {
 
 std::vector<Seconds> SimNetwork::concurrent_latency(const std::vector<CorePair>& pairs,
                                                     Bytes size, int reps) {
+    SERVET_TRACE_SPAN("msg/concurrent");
     SERVET_CHECK(!pairs.empty() && reps > 0);
+    concurrent_calls().increment();
+    for (const CorePair& pair : pairs) count_transfers(pair, size, reps);
     // Contention is per layer: messages sharing a layer slow each other
     // down; traffic on other layers does not interfere.
     std::map<int, int> on_layer;

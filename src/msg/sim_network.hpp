@@ -2,8 +2,11 @@
 // measurement jitter applied per measurement.
 #pragma once
 
+#include <vector>
+
 #include "base/rng.hpp"
 #include "msg/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/interconnect.hpp"
 
 namespace servet::msg {
@@ -26,9 +29,14 @@ class SimNetwork final : public Network {
     [[nodiscard]] const sim::InterconnectModel& model() const { return model_; }
 
   private:
+    /// Credits `2 * reps` simulated transfers of `size` bytes on `pair`'s
+    /// layer to the msg.* counters.
+    void count_transfers(CorePair pair, Bytes size, int reps);
+
     sim::MachineSpec spec_;
     sim::InterconnectModel model_;  // references spec_; declared after it
     Rng noise_;
+    std::vector<obs::Counter*> layer_transfers_;  // msg.layer<k>.transfers
 };
 
 }  // namespace servet::msg

@@ -6,6 +6,8 @@
 #include "base/check.hpp"
 #include "hw/affinity.hpp"
 #include "hw/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::msg {
 
@@ -20,12 +22,19 @@ std::string ThreadNetwork::name() const {
 }
 
 Seconds ThreadNetwork::pingpong_latency(CorePair pair, Bytes size, int reps) {
+    obs::counter("msg.pingpong.calls", obs::Stability::Stable).increment();
     return concurrent_latency({pair}, size, reps).front();
 }
 
 std::vector<Seconds> ThreadNetwork::concurrent_latency(const std::vector<CorePair>& pairs,
                                                        Bytes size, int reps) {
+    SERVET_TRACE_SPAN("msg/concurrent");
     SERVET_CHECK(!pairs.empty() && reps > 0);
+    obs::counter("msg.concurrent.calls", obs::Stability::Stable).increment();
+    // Each measured rep is a round trip: two messages of `size` per pair.
+    const std::uint64_t transfers = 2 * static_cast<std::uint64_t>(reps) * pairs.size();
+    obs::counter("msg.messages", obs::Stability::Stable).add(transfers);
+    obs::counter("msg.bytes", obs::Stability::Stable).add(transfers * size);
     for (const CorePair& pair : pairs) {
         SERVET_CHECK(pair.a != pair.b);
         SERVET_CHECK(pair.a >= 0 && pair.a < endpoints_ && pair.b >= 0 && pair.b < endpoints_);

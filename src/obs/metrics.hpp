@@ -1,0 +1,155 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, designed around the suite's determinism contract. Every
+// metric carries a Stability class: Stable metrics count logical events
+// whose totals are independent of scheduling and wall clock (cache hits
+// per simulated traversal, tasks executed, messages priced), so a
+// `--jobs 4` run reports byte-identical values to a `--jobs 1` run and a
+// golden test can pin them. Volatile metrics (queue high-water marks,
+// task durations) are real observability but excluded from deterministic
+// exports by construction.
+//
+// Naming convention (docs/observability.md): `<subsystem>.<object>.<event>`
+// in lowercase, e.g. `sim.cache.L1.misses`, `exec.memo.hits`,
+// `phase.comm_costs.measurements`.
+//
+// Hot-path rule: subsystems accumulate locally (plain integers in the
+// simulator's inner loop) and flush aggregate deltas here at a natural
+// quiescent point; registry handles are stable for the process lifetime,
+// so looking one up once and keeping the pointer is idiomatic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace servet::obs {
+
+/// Whether a metric's value is reproducible across schedules (see file
+/// comment). Stable metrics enter deterministic exports and golden tests.
+enum class Stability { Stable, Volatile };
+
+/// Monotonic event count. add() is wait-free; totals are order-independent
+/// sums, which is what makes Stable counters schedule-invariant.
+class Counter {
+  public:
+    void add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+    void increment() { add(1); }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write or high-water-mark sample (queue depths, pool sizes).
+/// Always Volatile: which write lands last depends on scheduling.
+class Gauge {
+  public:
+    void set(std::uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+    /// Raises the gauge to `value` if larger (high-water mark).
+    void record_max(std::uint64_t value) {
+        std::uint64_t seen = value_.load(std::memory_order_relaxed);
+        while (seen < value &&
+               !value_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds, plus one
+/// implicit overflow bucket, so there are bounds.size()+1 counts. Bounds
+/// are fixed at registration — deterministic bucketing is what lets a
+/// Stable histogram be golden-tested.
+class Histogram {
+  public:
+    void observe(double value);
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    /// Per-bucket counts, aligned with bounds() plus the overflow bucket.
+    [[nodiscard]] std::vector<std::uint64_t> counts() const;
+    [[nodiscard]] std::uint64_t total() const;
+
+  private:
+    friend class Registry;
+    explicit Histogram(std::vector<double> bounds);
+
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+};
+
+/// Registry of every metric in the process. Handles returned by
+/// counter()/gauge()/histogram() stay valid forever; re-registering a
+/// name returns the existing metric (the stability and bounds of the
+/// first registration win).
+class Registry {
+  public:
+    Counter& counter(const std::string& name, Stability stability);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name, Stability stability,
+                         std::vector<double> bounds);
+
+    /// Current values of every Stable counter, sorted by name. This is
+    /// the block run_suite snapshots (as start/end deltas) and the
+    /// profile embeds.
+    [[nodiscard]] std::map<std::string, std::uint64_t> stable_counters() const;
+
+    /// Full JSON export: {"deterministic": {counters, histograms},
+    /// "volatile": {counters, gauges, histograms}}. Keys sorted, so equal
+    /// metric values render byte-identically.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Only the "deterministic" object of to_json() — the byte-comparable
+    /// part of a metrics export.
+    [[nodiscard]] std::string deterministic_json() const;
+
+    /// Rows for a human summary table: {name, kind, stability, value}.
+    /// Counters/gauges render their value; histograms render
+    /// "n=<total> [c0 c1 ...]".
+    [[nodiscard]] std::vector<std::vector<std::string>> summary_rows() const;
+
+    /// Zero every value (counts, gauges, histogram buckets), keeping the
+    /// registered metrics. Test isolation only.
+    void reset_values();
+
+  private:
+    struct CounterEntry {
+        Counter metric;
+        Stability stability;
+    };
+    struct HistogramEntry {
+        HistogramEntry(Stability s, std::vector<double> bounds)
+            : metric(std::move(bounds)), stability(s) {}
+        Histogram metric;
+        Stability stability;
+    };
+
+    mutable std::mutex mutex_;  // guards the maps, not the metric values
+    std::map<std::string, std::unique_ptr<CounterEntry>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<HistogramEntry>> histograms_;
+};
+
+/// The process-wide registry every subsystem reports into.
+[[nodiscard]] Registry& registry();
+
+/// Shorthands against the global registry.
+[[nodiscard]] Counter& counter(const std::string& name, Stability stability);
+[[nodiscard]] Gauge& gauge(const std::string& name);
+[[nodiscard]] Histogram& histogram(const std::string& name, Stability stability,
+                                   std::vector<double> bounds);
+
+/// Writes registry().to_json() to `path`. False on I/O failure.
+[[nodiscard]] bool write_metrics_json(const std::string& path);
+
+}  // namespace servet::obs

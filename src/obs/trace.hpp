@@ -1,0 +1,129 @@
+// Hierarchical tracing spans over per-thread buffers, exportable as
+// Chrome trace_event JSON ("traceEvents" complete events) for
+// chrome://tracing / Perfetto. Usage:
+//
+//   void run_phase() {
+//       SERVET_TRACE_SPAN("suite/comm_costs");
+//       ...           // nested SERVET_TRACE_SPANs become child slices
+//   }
+//
+// Design constraints, in order:
+//  * Disabled cost ~0: a span checks one relaxed atomic and does nothing
+//    else, so spans stay compiled into release hot paths.
+//  * No cross-thread contention while recording: each thread appends to
+//    its own fixed-capacity buffer; the only synchronization is a
+//    release-store of the event count, which an exporter pairs with an
+//    acquire-load. No locks, no shared cache lines on the record path.
+//  * Bounded memory: a full buffer drops further events (counted in
+//    `obs.trace.dropped`) rather than reallocating or overwriting — every
+//    published event is immutable, so exporting concurrently with
+//    recording is race-free by construction.
+//
+// Timestamps come from base/clock (the same time base the log prefix
+// prints), thread ids are base/clock thread ordinals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace servet::obs {
+
+/// One finished span, as stored and as snapshotted for tests.
+struct SpanEvent {
+    static constexpr std::size_t kMaxName = 64;  // longer names truncate
+
+    char name[kMaxName];
+    std::uint64_t start_ns;
+    std::uint64_t end_ns;
+    std::int32_t tid;    ///< base/clock thread ordinal
+    std::int32_t depth;  ///< nesting depth on its thread, outermost = 0
+};
+
+class Tracer {
+  public:
+    /// Spans record only while enabled. Enabling mid-process is fine
+    /// (spans open at enable time record from their start normally; a
+    /// span constructed while disabled stays a no-op even if tracing is
+    /// enabled before it closes).
+    void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+    [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Capacity (events per thread) for buffers created after the call.
+    void set_thread_capacity(std::size_t events);
+
+    /// Events dropped on full buffers since construction/reset.
+    [[nodiscard]] std::uint64_t dropped() const {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /// Every recorded event across all threads (snapshot; recording may
+    /// continue concurrently and later events are simply not included).
+    [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+
+    /// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
+    /// "ms"} with one phase-"X" complete event per span, ts/dur in
+    /// microseconds relative to the process epoch.
+    [[nodiscard]] std::string chrome_trace_json() const;
+
+    /// Writes chrome_trace_json() to `path`. False on I/O failure.
+    [[nodiscard]] bool write_chrome_trace(const std::string& path) const;
+
+    /// Drops every recorded event and zeroes the drop counter. The
+    /// per-thread buffers stay registered. Quiescent use only (tests,
+    /// between tool runs): events recorded concurrently may be lost or
+    /// survive, but nothing tears.
+    void reset();
+
+    // -- recording internals (used by TraceSpan, not call sites) --
+
+    struct ThreadBuffer {
+        explicit ThreadBuffer(std::size_t capacity) : events(capacity) {}
+        std::vector<SpanEvent> events;
+        std::atomic<std::size_t> count{0};  ///< published events
+        std::int32_t depth = 0;             ///< open spans, owner thread only
+    };
+
+    /// This thread's buffer, registered on first use.
+    [[nodiscard]] ThreadBuffer& local_buffer();
+    void count_drop() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+
+  private:
+    mutable std::mutex mutex_;  // guards buffers_ registration/snapshot
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::size_t> thread_capacity_{1 << 16};
+};
+
+/// The process-wide tracer every SERVET_TRACE_SPAN records into.
+[[nodiscard]] Tracer& tracer();
+
+/// RAII span: records [construction, destruction) into the calling
+/// thread's buffer when tracing is enabled. Name is captured (and
+/// truncated to SpanEvent::kMaxName-1) at construction.
+class TraceSpan {
+  public:
+    explicit TraceSpan(const char* name);
+    explicit TraceSpan(const std::string& name) : TraceSpan(name.c_str()) {}
+    ~TraceSpan();
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+  private:
+    Tracer::ThreadBuffer* buffer_ = nullptr;  // null when disabled at entry
+    std::uint64_t start_ns_ = 0;
+    std::int32_t depth_ = 0;
+    char name_[SpanEvent::kMaxName];
+};
+
+}  // namespace servet::obs
+
+#define SERVET_OBS_CONCAT2(a, b) a##b
+#define SERVET_OBS_CONCAT(a, b) SERVET_OBS_CONCAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define SERVET_TRACE_SPAN(name) \
+    ::servet::obs::TraceSpan SERVET_OBS_CONCAT(servet_trace_span_, __LINE__)(name)

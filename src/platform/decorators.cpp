@@ -1,9 +1,32 @@
 #include "platform/decorators.hpp"
 
 #include "base/check.hpp"
+#include "obs/metrics.hpp"
 #include "stats/summary.hpp"
 
 namespace servet {
+
+namespace {
+
+obs::Counter& robust_samples() {
+    static obs::Counter& c =
+        obs::counter("platform.robust.samples", obs::Stability::Stable);
+    return c;
+}
+obs::Counter& robust_discarded() {
+    static obs::Counter& c =
+        obs::counter("platform.robust.discarded", obs::Stability::Stable);
+    return c;
+}
+
+/// One robust aggregation: `samples` raw measurements taken, all but the
+/// median-defining one discarded as potential outliers.
+void count_robust(int samples) {
+    robust_samples().add(static_cast<std::uint64_t>(samples));
+    robust_discarded().add(static_cast<std::uint64_t>(samples - 1));
+}
+
+}  // namespace
 
 RobustPlatform::RobustPlatform(Platform& inner, int samples)
     : inner_(&inner), samples_(samples) {
@@ -16,6 +39,7 @@ std::string RobustPlatform::name() const {
 
 Cycles RobustPlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
                                        int passes, bool fresh_placement) {
+    count_robust(samples_);
     std::vector<double> samples;
     samples.reserve(static_cast<std::size_t>(samples_));
     for (int s = 0; s < samples_; ++s)
@@ -27,6 +51,7 @@ Cycles RobustPlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes str
 std::vector<Cycles> RobustPlatform::traverse_cycles_concurrent(
     const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
     bool fresh_placement) {
+    count_robust(samples_);
     std::vector<std::vector<Cycles>> runs;
     runs.reserve(static_cast<std::size_t>(samples_));
     for (int s = 0; s < samples_; ++s)
@@ -43,6 +68,7 @@ std::vector<Cycles> RobustPlatform::traverse_cycles_concurrent(
 }
 
 BytesPerSecond RobustPlatform::copy_bandwidth(CoreId core, Bytes array_bytes) {
+    count_robust(samples_);
     std::vector<double> samples;
     samples.reserve(static_cast<std::size_t>(samples_));
     for (int s = 0; s < samples_; ++s)
@@ -52,6 +78,7 @@ BytesPerSecond RobustPlatform::copy_bandwidth(CoreId core, Bytes array_bytes) {
 
 std::vector<BytesPerSecond> RobustPlatform::copy_bandwidth_concurrent(
     const std::vector<CoreId>& cores, Bytes array_bytes) {
+    count_robust(samples_);
     std::vector<std::vector<BytesPerSecond>> runs;
     runs.reserve(static_cast<std::size_t>(samples_));
     for (int s = 0; s < samples_; ++s)

@@ -46,12 +46,18 @@ bool SetAssocCache::access(std::uint64_t addr) {
     if (Way* way = find(line)) {
         way->stamp = clock_;
         ++hits_;
+        if (way->prefetched) {
+            ++prefetch_useful_;
+            way->prefetched = false;
+        }
         return true;
     }
     ++misses_;
     Way& way = victim(set_index(line));
+    if (way.tag != kInvalidTag) ++evictions_;
     way.tag = tag_of(line);
     way.stamp = clock_;
+    way.prefetched = false;
     return false;
 }
 
@@ -63,8 +69,11 @@ void SetAssocCache::prefetch_fill(std::uint64_t addr) {
         return;
     }
     Way& way = victim(set_index(line));
+    if (way.tag != kInvalidTag) ++evictions_;
     way.tag = tag_of(line);
     way.stamp = clock_;
+    way.prefetched = true;
+    ++prefetch_fills_;
 }
 
 bool SetAssocCache::contains(std::uint64_t addr) const {

@@ -59,12 +59,22 @@ class SetAssocCache {
     [[nodiscard]] const CacheGeometry& geometry() const { return geometry_; }
     [[nodiscard]] std::uint64_t hit_count() const { return hits_; }
     [[nodiscard]] std::uint64_t miss_count() const { return misses_; }
-    void reset_counters() { hits_ = misses_ = 0; }
+    /// Valid lines displaced by demand or prefetch fills.
+    [[nodiscard]] std::uint64_t eviction_count() const { return evictions_; }
+    /// Lines installed by prefetch_fill (cold installs, not LRU touches).
+    [[nodiscard]] std::uint64_t prefetch_fill_count() const { return prefetch_fills_; }
+    /// Demand hits on lines a prefetch installed that no demand access had
+    /// touched yet — the prefetcher's useful work.
+    [[nodiscard]] std::uint64_t prefetch_useful_count() const { return prefetch_useful_; }
+    void reset_counters() {
+        hits_ = misses_ = evictions_ = prefetch_fills_ = prefetch_useful_ = 0;
+    }
 
   private:
     struct Way {
         std::uint64_t tag = kInvalidTag;
         std::uint64_t stamp = 0;  // larger = more recently used
+        bool prefetched = false;  // installed by prefetch, no demand hit yet
     };
     static constexpr std::uint64_t kInvalidTag = ~0ULL;
 
@@ -80,6 +90,9 @@ class SetAssocCache {
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t prefetch_fills_ = 0;
+    std::uint64_t prefetch_useful_ = 0;
 };
 
 }  // namespace servet::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "obs/trace.hpp"
 
 namespace servet::sim {
 
@@ -51,6 +52,65 @@ MachineSim::MachineSim(MachineSpec spec) : spec_(std::move(spec)), memory_(spec_
     const std::uint64_t frames = (16 * GiB) / spec_.page_size;
     mapper_ = std::make_unique<PageMapper>(spec_.page_policy, spec_.page_size, frames,
                                            spec_.page_colors(), spec_.seed);
+
+    register_counters();
+}
+
+void MachineSim::register_counters() {
+    using obs::Stability;
+    counters_.levels.reserve(spec_.levels.size());
+    for (const CacheLevelSpec& level : spec_.levels) {
+        const std::string base = "sim.cache." + level.name;
+        counters_.levels.push_back(
+            {&obs::counter(base + ".hits", Stability::Stable),
+             &obs::counter(base + ".misses", Stability::Stable),
+             &obs::counter(base + ".evictions", Stability::Stable)});
+    }
+    counters_.prefetch_issued = &obs::counter("sim.prefetch.issued", Stability::Stable);
+    counters_.prefetch_useful = &obs::counter("sim.prefetch.useful", Stability::Stable);
+    counters_.tlb_misses = &obs::counter("sim.tlb.misses", Stability::Stable);
+    counters_.page_faults = &obs::counter("sim.page.faults", Stability::Stable);
+    counters_.page_translations = &obs::counter("sim.page.translations", Stability::Stable);
+    counters_.contended_accesses =
+        &obs::counter("sim.mem.contended_accesses", Stability::Stable);
+    counters_.traverse_calls = &obs::counter("sim.traverse.calls", Stability::Stable);
+    counters_.bandwidth_queries = &obs::counter("sim.bandwidth.queries", Stability::Stable);
+    counters_.traverse_accesses =
+        &obs::histogram("sim.traverse.accesses", Stability::Stable,
+                        {1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+}
+
+void MachineSim::flush_traverse_counters(std::uint64_t demand_accesses) {
+    for (std::size_t level = 0; level < caches_.size(); ++level) {
+        std::uint64_t hits = 0, misses = 0, evictions = 0, useful = 0;
+        for (SetAssocCache& cache : caches_[level]) {
+            hits += cache.hit_count();
+            misses += cache.miss_count();
+            evictions += cache.eviction_count();
+            useful += cache.prefetch_useful_count();
+            cache.reset_counters();
+        }
+        counters_.levels[level].hits->add(hits);
+        counters_.levels[level].misses->add(misses);
+        counters_.levels[level].evictions->add(evictions);
+        counters_.prefetch_useful->add(useful);
+    }
+    std::uint64_t tlb_misses = 0;
+    for (SetAssocCache& tlb : tlbs_) {
+        tlb_misses += tlb.miss_count();
+        tlb.reset_counters();
+    }
+    counters_.tlb_misses->add(tlb_misses);
+    // The mapper is recreated at traverse start, so its totals are this
+    // traverse's page-map faults and translations.
+    counters_.page_faults->add(mapper_->mapped_pages());
+    counters_.page_translations->add(mapper_->translation_count());
+    counters_.prefetch_issued->add(tally_prefetch_issued_);
+    counters_.contended_accesses->add(tally_contended_);
+    tally_prefetch_issued_ = 0;
+    tally_contended_ = 0;
+    counters_.traverse_calls->increment();
+    counters_.traverse_accesses->observe(static_cast<double>(demand_accesses));
 }
 
 void MachineSim::reset_microarchitecture(Bytes array_bytes, bool fresh_placement) {
@@ -107,18 +167,24 @@ Cycles MachineSim::access_cost(CoreId core, std::uint64_t vaddr, double latency_
             break;
         }
     }
-    if (cost < 0) cost = spec_.memory.latency_cycles * latency_mult;
+    if (cost < 0) {
+        cost = spec_.memory.latency_cycles * latency_mult;
+        if (latency_mult > 1.0) ++tally_contended_;  // bus-queueing stall
+    }
 
+    tally_prefetch_issued_ += static_cast<std::uint64_t>(n_prefetch);
     for (int p = 0; p < n_prefetch; ++p) fill_for_prefetch(core, prefetch_addrs[p]);
     return cost + tlb_penalty;
 }
 
 TraversalResult MachineSim::traverse(const std::vector<CoreId>& cores, Bytes array_bytes,
                                      Bytes stride, int measure_passes, bool fresh_placement) {
+    SERVET_TRACE_SPAN("sim/traverse");
     SERVET_CHECK(!cores.empty());
     SERVET_CHECK(array_bytes > 0 && stride > 0 && measure_passes > 0);
     for (CoreId c : cores) SERVET_CHECK(c >= 0 && c < spec_.n_cores);
 
+    const std::uint64_t accesses_before = total_accesses_;
     reset_microarchitecture(array_bytes, fresh_placement);
 
     // Address ranges keyed by core id (not list position), so a core's
@@ -153,6 +219,8 @@ TraversalResult MachineSim::traverse(const std::vector<CoreId>& cores, Bytes arr
         }
     }
 
+    flush_traverse_counters(total_accesses_ - accesses_before);
+
     TraversalResult result;
     result.accesses_per_core = accesses * static_cast<std::uint64_t>(measure_passes);
     result.cycles_per_access.resize(n_cores);
@@ -170,6 +238,7 @@ Cycles MachineSim::traverse_one(CoreId core, Bytes array_bytes, Bytes stride,
 BytesPerSecond MachineSim::copy_bandwidth(CoreId core, const std::vector<CoreId>& active,
                                           Bytes array_bytes) const {
     SERVET_CHECK(core >= 0 && core < spec_.n_cores);
+    counters_.bandwidth_queries->increment();
 
     // A copy working set that fits in some cache level streams from that
     // cache and sees no memory contention. Scale bandwidth by how close the

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/page_mapper.hpp"
@@ -72,6 +73,33 @@ class MachineSim {
     void fill_for_prefetch(CoreId core, std::uint64_t vaddr);
     void reset_microarchitecture(Bytes array_bytes, bool fresh_placement);
 
+    /// Registry handles looked up once at construction (hot-path rule in
+    /// obs/metrics.hpp), fed aggregate deltas by flush_traverse_counters.
+    struct CounterHandles {
+        struct Level {
+            obs::Counter* hits;
+            obs::Counter* misses;
+            obs::Counter* evictions;
+        };
+        std::vector<Level> levels;
+        obs::Counter* prefetch_issued;
+        obs::Counter* prefetch_useful;
+        obs::Counter* tlb_misses;
+        obs::Counter* page_faults;
+        obs::Counter* page_translations;
+        obs::Counter* contended_accesses;
+        obs::Counter* traverse_calls;
+        obs::Counter* bandwidth_queries;
+        obs::Histogram* traverse_accesses;
+    };
+    void register_counters();
+
+    /// Sums the per-cache/TLB/mapper counts accumulated since the last
+    /// reset_microarchitecture, pushes them to the registry, and zeroes
+    /// the local counts. Called once at the end of every traverse, so the
+    /// simulator's inner loop never touches an atomic.
+    void flush_traverse_counters(std::uint64_t demand_accesses);
+
     MachineSpec spec_;
     MemoryModel memory_;
     std::vector<std::vector<SetAssocCache>> caches_;  // [level][instance]
@@ -81,6 +109,9 @@ class MachineSim {
     std::unique_ptr<PageMapper> mapper_;
     std::uint64_t run_counter_ = 0;
     std::uint64_t total_accesses_ = 0;
+    CounterHandles counters_;
+    std::uint64_t tally_prefetch_issued_ = 0;
+    std::uint64_t tally_contended_ = 0;
 };
 
 }  // namespace servet::sim

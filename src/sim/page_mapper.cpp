@@ -51,6 +51,7 @@ std::uint64_t PageMapper::frame_of(std::uint64_t vpage) {
 }
 
 std::uint64_t PageMapper::translate(std::uint64_t vaddr) {
+    ++translations_;
     const std::uint64_t vpage = vaddr >> page_shift_;
     const std::uint64_t offset = vaddr & (page_size_ - 1);
     return (frame_of(vpage) << page_shift_) | offset;
@@ -59,6 +60,7 @@ std::uint64_t PageMapper::translate(std::uint64_t vaddr) {
 void PageMapper::reset() {
     map_.clear();
     used_frames_.clear();
+    translations_ = 0;
 }
 
 }  // namespace servet::sim

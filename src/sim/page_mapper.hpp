@@ -46,6 +46,9 @@ class PageMapper {
     [[nodiscard]] Bytes page_size() const { return page_size_; }
     [[nodiscard]] PagePolicy policy() const { return policy_; }
     [[nodiscard]] std::size_t mapped_pages() const { return map_.size(); }
+    /// translate() calls since construction/reset. mapped_pages() is the
+    /// fault count (lazy first-touch assignments) of the same window.
+    [[nodiscard]] std::uint64_t translation_count() const { return translations_; }
 
   private:
     PagePolicy policy_;
@@ -56,6 +59,7 @@ class PageMapper {
     std::uint64_t seed_;
     std::unordered_map<std::uint64_t, std::uint64_t> map_;
     std::unordered_set<std::uint64_t> used_frames_;
+    std::uint64_t translations_ = 0;
 };
 
 }  // namespace servet::sim

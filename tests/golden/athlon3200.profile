@@ -15,3 +15,23 @@ groups =
 
 [memory]
 reference = 0
+
+[counters]
+exec.batches = 1
+exec.memo.misses = 9
+exec.memo.stores = 9
+exec.tasks.requested = 9
+exec.tasks.run = 9
+phase.cache_size.iterations = 18
+phase.cache_size.measurements = 9
+sim.cache.L1.evictions = 68632
+sim.cache.L1.hits = 66342
+sim.cache.L1.misses = 15418
+sim.cache.L2.evictions = 28548
+sim.cache.L2.hits = 4740
+sim.cache.L2.misses = 10678
+sim.page.faults = 1040
+sim.page.translations = 212504
+sim.prefetch.issued = 130744
+sim.prefetch.useful = 66535
+sim.traverse.calls = 18

@@ -26,3 +26,36 @@ latency = 1.2168432629813091e-05
 pairs = 0-1
 p2p = 1024:1.8757191746579809e-06;2048:2.5673385928920614e-06;4096:3.9401556784938858e-06;8192:6.6615034281167777e-06;16384:1.2168432629813091e-05;32768:2.2959364946313531e-05;65536:4.6918735207289187e-05;131072:9.0883026617701469e-05;262144:0.00017765754875713092;524288:0.0003541553089364014;1048576:0.0007014585779461372;2097152:0.0013954703572761299;4194304:0.0027920744424286942
 slowdown = 1.0005001280484815
+
+[counters]
+exec.batches = 6
+exec.dag.nodes = 3
+exec.memo.hits = 1
+exec.memo.misses = 38
+exec.memo.stores = 38
+exec.tasks.deduped = 1
+exec.tasks.requested = 40
+exec.tasks.run = 39
+msg.bytes = 336158720
+msg.concurrent.calls = 1
+msg.layer0.transfers = 560
+msg.messages = 560
+msg.pingpong.calls = 13
+phase.cache_size.iterations = 28
+phase.cache_size.measurements = 14
+phase.comm_costs.measurements = 16
+phase.mem_overhead.measurements = 4
+phase.shared_caches.measurements = 6
+sim.bandwidth.queries = 6
+sim.cache.L1.evictions = 1002456
+sim.cache.L1.hits = 809028
+sim.cache.L1.misses = 201932
+sim.cache.L2.evictions = 499410
+sim.cache.L2.hits = 43464
+sim.cache.L2.misses = 158468
+sim.mem.contended_accesses = 1904
+sim.page.faults = 12670
+sim.page.translations = 2628352
+sim.prefetch.issued = 1617392
+sim.prefetch.useful = 819509
+sim.traverse.calls = 34

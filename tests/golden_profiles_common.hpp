@@ -32,11 +32,14 @@ inline std::vector<GoldenMachine> golden_machines() {
 /// Trimmed options so a golden run takes seconds, not minutes: the
 /// mcalibrator sweep stops at 3x the machine's last cache and averages
 /// two repeats per size. Detection accuracy is not asserted here — the
-/// golden pins whatever the pipeline produces, bit for bit.
+/// golden pins whatever the pipeline produces, bit for bit. The
+/// deterministic observability counters ride along ([counters] section),
+/// so a schedule-dependent counting site also shows up as a golden diff.
 inline core::SuiteOptions golden_options(const sim::MachineSpec& spec) {
     core::SuiteOptions options;
     options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
     options.mcalibrator.repeats = 2;
+    options.profile_counters = true;
     return options;
 }
 

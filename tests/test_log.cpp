@@ -42,7 +42,21 @@ TEST(Log, EmitAboveThresholdIsSafe) {
     testing::internal::CaptureStderr();
     logf(LogLevel::Warn, "hello %d", 42);
     const std::string captured = testing::internal::GetCapturedStderr();
-    EXPECT_NE(captured.find("[servet warn] hello 42"), std::string::npos);
+    EXPECT_NE(captured.find("[servet warn +"), std::string::npos);
+    EXPECT_NE(captured.find("] hello 42"), std::string::npos);
+}
+
+TEST(Log, PrefixCarriesClockTimestampAndThreadOrdinal) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    logf(LogLevel::Info, "stamped");
+    const std::string captured = testing::internal::GetCapturedStderr();
+    // "[servet info +<seconds> t<ordinal>] stamped" — the timestamp and
+    // ordinal come from base/clock, shared with obs trace spans.
+    EXPECT_NE(captured.find("[servet info +"), std::string::npos);
+    EXPECT_NE(captured.find(" t"), std::string::npos);
+    EXPECT_NE(captured.find("] stamped"), std::string::npos);
 }
 
 TEST(Log, LongMessagesTruncateSafely) {

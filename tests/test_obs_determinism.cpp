@@ -1,0 +1,72 @@
+// The determinism contract of the Stable metrics, end to end: a suite
+// run at --jobs 4 must report exactly the same deterministic counter
+// deltas as the same run at --jobs 1. This is the property that lets the
+// golden profiles embed a [counters] section and lets CI compare metrics
+// exports across schedules byte for byte.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/suite.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet {
+namespace {
+
+core::SuiteOptions cheap_options(const sim::MachineSpec& spec, int jobs) {
+    core::SuiteOptions options;
+    options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
+    options.mcalibrator.repeats = 2;
+    options.jobs = jobs;
+    return options;
+}
+
+std::map<std::string, std::uint64_t> run_counters(int jobs) {
+    const sim::MachineSpec spec = sim::zoo::dempsey();
+    SimPlatform platform(spec);
+    msg::SimNetwork network(platform.spec());
+    const core::SuiteResult result =
+        core::run_suite(platform, &network, cheap_options(spec, jobs));
+    return result.counters;
+}
+
+TEST(ObsDeterminism, SuiteCountersIdenticalAcrossJobs) {
+    const auto serial = run_counters(1);
+    const auto parallel = run_counters(4);
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel)
+        << "a Stable counter moved with the schedule; either the counting "
+        << "site races or the metric belongs in Stability::Volatile";
+}
+
+TEST(ObsDeterminism, CountersCoverEveryInstrumentedSubsystem) {
+    const auto counters = run_counters(1);
+    // One representative per instrumented layer: exec engine, memo,
+    // simulator caches/prefetch/pages, suite phases, and the message
+    // layer. (The trimmed sweep stays inside the TLB, so TLB misses are
+    // legitimately zero here and not asserted.)
+    for (const char* name :
+         {"exec.tasks.run", "exec.memo.misses", "exec.dag.nodes",
+          "sim.cache.L1.hits", "sim.cache.L1.misses", "sim.prefetch.issued",
+          "sim.page.faults", "sim.traverse.calls",
+          "phase.cache_size.measurements", "phase.comm_costs.measurements",
+          "msg.messages", "msg.bytes"}) {
+        EXPECT_TRUE(counters.contains(name)) << "missing counter " << name;
+        if (counters.contains(name)) {
+            EXPECT_GT(counters.at(name), 0u) << name;
+        }
+    }
+}
+
+TEST(ObsDeterminism, RepeatedRunsReportIdenticalDeltas) {
+    // The registry accumulates across runs in one process; the per-run
+    // delta in SuiteResult::counters must not.
+    EXPECT_EQ(run_counters(2), run_counters(2));
+}
+
+}  // namespace
+}  // namespace servet

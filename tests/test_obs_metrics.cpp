@@ -1,0 +1,146 @@
+// Unit tests for the metrics registry: counter/gauge semantics, fixed
+// histogram bucketing (inclusive upper bounds plus an overflow bucket),
+// the Stable/Volatile split that feeds deterministic exports, and the
+// JSON/summary shapes.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace servet::obs {
+namespace {
+
+// The registry is process-global; values are zeroed per test (the
+// registered names persist, which mirrors production use).
+class ObsMetrics : public ::testing::Test {
+  protected:
+    void SetUp() override { registry().reset_values(); }
+    void TearDown() override { registry().reset_values(); }
+};
+
+TEST_F(ObsMetrics, CounterAccumulatesAndRegistrationIsIdempotent) {
+    Counter& c = counter("test.counter.basic", Stability::Stable);
+    c.increment();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Re-registering a name returns the same metric, not a fresh zero.
+    EXPECT_EQ(&counter("test.counter.basic", Stability::Stable), &c);
+    EXPECT_EQ(counter("test.counter.basic", Stability::Stable).value(), 42u);
+}
+
+TEST_F(ObsMetrics, GaugeRecordMaxIsAHighWaterMark) {
+    Gauge& g = gauge("test.gauge.hwm");
+    g.record_max(7);
+    g.record_max(3);
+    EXPECT_EQ(g.value(), 7u);
+    g.set(2);
+    EXPECT_EQ(g.value(), 2u);
+    g.record_max(9);
+    EXPECT_EQ(g.value(), 9u);
+}
+
+TEST_F(ObsMetrics, HistogramBucketsOnInclusiveUpperBounds) {
+    Histogram& h =
+        histogram("test.hist.buckets", Stability::Stable, {10.0, 100.0, 1000.0});
+    ASSERT_EQ(h.bounds().size(), 3u);
+
+    h.observe(0.0);     // <= 10        -> bucket 0
+    h.observe(10.0);    // == bound     -> bucket 0 (inclusive)
+    h.observe(10.5);    //              -> bucket 1
+    h.observe(100.0);   //              -> bucket 1
+    h.observe(1000.0);  //              -> bucket 2
+    h.observe(1001.0);  // past last    -> overflow bucket
+    h.observe(1e9);     //              -> overflow bucket
+
+    const std::vector<std::uint64_t> counts = h.counts();
+    ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 2u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST_F(ObsMetrics, ConcurrentCounterAddsDoNotLoseEvents) {
+    Counter& c = counter("test.counter.concurrent", Stability::Stable);
+    constexpr int kThreads = 4;
+    constexpr int kAddsPerThread = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAddsPerThread; ++i) c.increment();
+        });
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kAddsPerThread));
+}
+
+TEST_F(ObsMetrics, StableCountersExcludeVolatileMetrics) {
+    counter("test.stable.events", Stability::Stable).add(5);
+    counter("test.volatile.submissions", Stability::Volatile).add(5);
+    gauge("test.volatile.depth").set(5);
+
+    const auto stable = registry().stable_counters();
+    EXPECT_EQ(stable.at("test.stable.events"), 5u);
+    EXPECT_FALSE(stable.contains("test.volatile.submissions"));
+    EXPECT_FALSE(stable.contains("test.volatile.depth"));
+}
+
+TEST_F(ObsMetrics, JsonSplitsDeterministicFromVolatile) {
+    counter("test.stable.events", Stability::Stable).add(3);
+    counter("test.volatile.submissions", Stability::Volatile).add(4);
+    histogram("test.hist.stable", Stability::Stable, {1.0}).observe(0.5);
+
+    const std::string json = registry().to_json();
+    EXPECT_NE(json.find("\"deterministic\""), std::string::npos);
+    EXPECT_NE(json.find("\"volatile\""), std::string::npos);
+
+    const std::string deterministic = registry().deterministic_json();
+    EXPECT_NE(deterministic.find("test.stable.events"), std::string::npos);
+    EXPECT_NE(deterministic.find("test.hist.stable"), std::string::npos);
+    EXPECT_EQ(deterministic.find("test.volatile.submissions"), std::string::npos);
+
+    // Byte-stable render: the property golden tests rely on.
+    EXPECT_EQ(deterministic, registry().deterministic_json());
+}
+
+TEST_F(ObsMetrics, SummaryRowsHaveFourColumnsAndRenderValues) {
+    counter("test.stable.events", Stability::Stable).add(5);
+    histogram("test.hist.buckets", Stability::Stable, {10.0, 100.0, 1000.0}).observe(50.0);
+
+    bool saw_counter = false;
+    bool saw_histogram = false;
+    for (const std::vector<std::string>& row : registry().summary_rows()) {
+        ASSERT_EQ(row.size(), 4u);
+        if (row[0] == "test.stable.events") {
+            saw_counter = true;
+            EXPECT_EQ(row[1], "counter");
+            EXPECT_EQ(row[2], "stable");
+            EXPECT_EQ(row[3], "5");
+        }
+        if (row[0] == "test.hist.buckets") {
+            saw_histogram = true;
+            EXPECT_EQ(row[1], "histogram");
+            EXPECT_NE(row[3].find("n=1"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_histogram);
+}
+
+TEST_F(ObsMetrics, ResetValuesZeroesButKeepsRegistrations) {
+    Counter& c = counter("test.counter.reset", Stability::Stable);
+    Histogram& h = histogram("test.hist.reset", Stability::Stable, {1.0});
+    c.add(9);
+    h.observe(0.5);
+    registry().reset_values();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(&counter("test.counter.reset", Stability::Stable), &c);
+}
+
+}  // namespace
+}  // namespace servet::obs

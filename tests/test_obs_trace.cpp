@@ -1,0 +1,161 @@
+// Unit tests for the tracing spans: nesting depths, bounded buffers
+// with drop counting, concurrent recording (the TSan CI job runs these),
+// and the Chrome trace_event JSON shape.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace servet::obs {
+namespace {
+
+// The tracer is process-global with per-thread buffers, so every test
+// starts from a clean slate and leaves tracing disabled.
+class ObsTrace : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        tracer().set_enabled(false);
+        tracer().reset();
+    }
+    void TearDown() override {
+        tracer().set_enabled(false);
+        tracer().reset();
+    }
+};
+
+std::vector<SpanEvent> events_named(const std::string& name) {
+    std::vector<SpanEvent> found;
+    for (const SpanEvent& event : tracer().snapshot())
+        if (name == event.name) found.push_back(event);
+    return found;
+}
+
+TEST_F(ObsTrace, DisabledSpansRecordNothing) {
+    { SERVET_TRACE_SPAN("quiet"); }
+    EXPECT_TRUE(tracer().snapshot().empty());
+    EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+TEST_F(ObsTrace, SpanEnabledAfterConstructionStaysNoOp) {
+    // The enabled check happens at span entry; flipping the switch while
+    // a span is open must not produce a half-measured event.
+    {
+        SERVET_TRACE_SPAN("late");
+        tracer().set_enabled(true);
+    }
+    EXPECT_TRUE(events_named("late").empty());
+}
+
+TEST_F(ObsTrace, NestedSpansRecordDepthsAndContainment) {
+    tracer().set_enabled(true);
+    {
+        SERVET_TRACE_SPAN("outer");
+        {
+            SERVET_TRACE_SPAN("middle");
+            { SERVET_TRACE_SPAN("inner"); }
+        }
+        { SERVET_TRACE_SPAN("sibling"); }
+    }
+
+    const auto outer = events_named("outer");
+    const auto middle = events_named("middle");
+    const auto inner = events_named("inner");
+    const auto sibling = events_named("sibling");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(middle.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    ASSERT_EQ(sibling.size(), 1u);
+
+    EXPECT_EQ(outer[0].depth, 0);
+    EXPECT_EQ(middle[0].depth, 1);
+    EXPECT_EQ(inner[0].depth, 2);
+    EXPECT_EQ(sibling[0].depth, 1);
+
+    // Children close before their parent and sit inside its interval.
+    EXPECT_GE(inner[0].start_ns, middle[0].start_ns);
+    EXPECT_LE(inner[0].end_ns, middle[0].end_ns);
+    EXPECT_GE(middle[0].start_ns, outer[0].start_ns);
+    EXPECT_LE(middle[0].end_ns, outer[0].end_ns);
+    EXPECT_EQ(inner[0].tid, outer[0].tid);
+}
+
+TEST_F(ObsTrace, LongNamesTruncate) {
+    tracer().set_enabled(true);
+    const std::string long_name(3 * SpanEvent::kMaxName, 'x');
+    { SERVET_TRACE_SPAN(long_name); }
+    const auto snapshot = tracer().snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(std::string(snapshot[0].name),
+              std::string(SpanEvent::kMaxName - 1, 'x'));
+}
+
+TEST_F(ObsTrace, FullBufferDropsNewestAndCounts) {
+    // Capacity applies to buffers registered after the call, so the
+    // overflow has to happen on a fresh thread.
+    constexpr std::size_t kCapacity = 8;
+    constexpr std::size_t kSpans = 20;
+    tracer().set_thread_capacity(kCapacity);
+    tracer().set_enabled(true);
+    std::thread recorder([] {
+        for (std::size_t i = 0; i < kSpans; ++i) { SERVET_TRACE_SPAN("overflow"); }
+    });
+    recorder.join();
+    tracer().set_thread_capacity(1 << 16);
+
+    EXPECT_EQ(events_named("overflow").size(), kCapacity);
+    EXPECT_EQ(tracer().dropped(), kSpans - kCapacity);
+}
+
+TEST_F(ObsTrace, ConcurrentRecordingAndExportIsRaceFree) {
+    // Four recorders plus a concurrent exporter; under TSan this is the
+    // test that proves the release/acquire count publication suffices.
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 500;
+    tracer().set_enabled(true);
+    std::vector<std::thread> recorders;
+    recorders.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        recorders.emplace_back([] {
+            for (int i = 0; i < kSpansPerThread; ++i) { SERVET_TRACE_SPAN("worker"); }
+        });
+    }
+    for (int i = 0; i < 50; ++i) {
+        (void)tracer().snapshot();
+        (void)tracer().chrome_trace_json();
+    }
+    for (std::thread& thread : recorders) thread.join();
+
+    EXPECT_EQ(events_named("worker").size(),
+              static_cast<std::size_t>(kThreads * kSpansPerThread));
+    EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+TEST_F(ObsTrace, ChromeTraceJsonShape) {
+    tracer().set_enabled(true);
+    {
+        SERVET_TRACE_SPAN("suite/run");
+        { SERVET_TRACE_SPAN("phase/cache_size"); }
+    }
+    const std::string json = tracer().chrome_trace_json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("suite/run"), std::string::npos);
+    EXPECT_NE(json.find("phase/cache_size"), std::string::npos);
+}
+
+TEST_F(ObsTrace, ResetDropsEventsAndZeroesDropCounter) {
+    tracer().set_enabled(true);
+    { SERVET_TRACE_SPAN("gone"); }
+    ASSERT_FALSE(tracer().snapshot().empty());
+    tracer().reset();
+    EXPECT_TRUE(tracer().snapshot().empty());
+    EXPECT_EQ(tracer().dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace servet::obs

@@ -2,6 +2,9 @@
 // workflow (profile -> report -> price) executed through the real CLI.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,7 +22,13 @@ struct CommandResult {
 };
 
 CommandResult run_tool(const std::string& args) {
-    const std::string out_path = ::testing::TempDir() + "/servet_tool_out.txt";
+    // Unique per process and per call: ctest runs each ToolCli test as its
+    // own process against the same TempDir, so a shared capture file would
+    // race (one test deleting another's output mid-read).
+    static std::atomic<int> serial{0};
+    const std::string out_path = ::testing::TempDir() + "/servet_tool_out_" +
+                                 std::to_string(::getpid()) + "_" +
+                                 std::to_string(serial.fetch_add(1)) + ".txt";
     const std::string command =
         std::string(SERVET_TOOL_PATH) + " " + args + " > " + out_path + " 2>&1";
     const int status = std::system(command.c_str());
@@ -74,6 +83,48 @@ TEST(ToolCli, ProfileReportPriceWorkflow) {
     EXPECT_NE(price.output.find("(0,1) 64KB one-way"), std::string::npos);
 
     std::remove(profile_path().c_str());
+}
+
+TEST(ToolCli, ProfileExportsTraceAndMetrics) {
+    const std::string trace_path = ::testing::TempDir() + "/tool_cli_trace.json";
+    const std::string metrics_path = ::testing::TempDir() + "/tool_cli_metrics.json";
+    const auto profile = run_tool("profile --machine dempsey --fast --profile-counters"
+                                  " --out " + profile_path() +
+                                  " --trace " + trace_path +
+                                  " --metrics " + metrics_path);
+    ASSERT_EQ(profile.exit_code, 0) << profile.output;
+    EXPECT_NE(profile.output.find("trace written to"), std::string::npos);
+    EXPECT_NE(profile.output.find("metrics written to"), std::string::npos);
+
+    std::ifstream trace_in(trace_path);
+    std::stringstream trace;
+    trace << trace_in.rdbuf();
+    EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.str().find("suite/run"), std::string::npos);
+
+    std::ifstream metrics_in(metrics_path);
+    std::stringstream metrics;
+    metrics << metrics_in.rdbuf();
+    EXPECT_NE(metrics.str().find("\"deterministic\""), std::string::npos);
+    EXPECT_NE(metrics.str().find("exec.tasks.run"), std::string::npos);
+
+    // --profile-counters embeds the deterministic block in the profile.
+    std::ifstream profile_in(profile_path());
+    std::stringstream stored;
+    stored << profile_in.rdbuf();
+    EXPECT_NE(stored.str().find("[counters]"), std::string::npos);
+
+    std::remove(trace_path.c_str());
+    std::remove(metrics_path.c_str());
+    std::remove(profile_path().c_str());
+}
+
+TEST(ToolCli, MetricsSubcommandPrintsSummaryTable) {
+    const auto result = run_tool("metrics --machine dempsey --fast");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("metric"), std::string::npos);
+    EXPECT_NE(result.output.find("exec.tasks.run"), std::string::npos);
+    EXPECT_NE(result.output.find("stable"), std::string::npos);
 }
 
 TEST(ToolCli, UnknownMachineFails) {

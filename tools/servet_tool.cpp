@@ -8,6 +8,8 @@
 //   servet tlb      [--machine M]        measure the data TLB
 //   servet price    --profile FILE --from A --to B --size S
 //                                         cost one message from the profile
+//   servet metrics  [--machine M] [--out FILE]
+//                                         run the suite, summarize obs metrics
 #include <cstdio>
 #include <cstring>
 
@@ -19,6 +21,8 @@
 #include "core/report.hpp"
 #include "core/suite.hpp"
 #include "core/tlb_detect.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "msg/sim_network.hpp"
 #include "msg/thread_network.hpp"
 #include "platform/decorators.hpp"
@@ -80,7 +84,10 @@ int cmd_profile(int argc, const char* const* argv) {
     cli.add_option("robust", "median-of-N outlier rejection (1 = off)", "1");
     cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
     cli.add_option("memo", "measurement memo file reused across invocations", "");
+    cli.add_option("trace", "write a Chrome trace_event JSON of the run", "");
+    cli.add_option("metrics", "write the metrics registry as JSON", "");
     cli.add_flag("fast", "fewer repeats, core-0 pairs only");
+    cli.add_flag("profile-counters", "embed deterministic counters in the profile");
     if (!cli.parse(argc, argv)) return 1;
 
     auto target = make_target(cli.option("machine"));
@@ -109,8 +116,25 @@ int cmd_profile(int argc, const char* const* argv) {
     }
     options.jobs = static_cast<int>(*jobs);
     options.memo_path = cli.option("memo");
+    options.profile_counters = cli.flag("profile-counters");
+    if (!cli.option("trace").empty()) obs::tracer().set_enabled(true);
     const core::SuiteResult result =
         core::run_suite(*platform, target->network.get(), options);
+    if (!cli.option("trace").empty()) {
+        obs::tracer().set_enabled(false);
+        if (!obs::tracer().write_chrome_trace(cli.option("trace"))) {
+            std::fprintf(stderr, "cannot write %s\n", cli.option("trace").c_str());
+            return 1;
+        }
+        std::printf("trace written to %s\n", cli.option("trace").c_str());
+    }
+    if (!cli.option("metrics").empty()) {
+        if (!obs::write_metrics_json(cli.option("metrics"))) {
+            std::fprintf(stderr, "cannot write %s\n", cli.option("metrics").c_str());
+            return 1;
+        }
+        std::printf("metrics written to %s\n", cli.option("metrics").c_str());
+    }
     if (result.memo_hits > 0)
         std::printf("memo: %llu of %llu measurements replayed\n",
                     static_cast<unsigned long long>(result.memo_hits),
@@ -323,6 +347,48 @@ int cmd_broadcast(int argc, const char* const* argv) {
     return 0;
 }
 
+int cmd_metrics(int argc, const char* const* argv) {
+    CliParser cli("servet metrics: run the suite and summarize the obs metrics registry.");
+    cli.add_option("machine", "target (see 'servet machines')", "dunnington");
+    cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
+    cli.add_option("out", "also write the registry as JSON to this file", "");
+    cli.add_flag("fast", "fewer repeats, core-0 pairs only");
+    if (!cli.parse(argc, argv)) return 1;
+
+    auto target = make_target(cli.option("machine"));
+    if (!target) {
+        std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
+        return 1;
+    }
+    core::SuiteOptions options;
+    if (cli.flag("fast")) {
+        options.mcalibrator.repeats = 2;
+        options.shared_cache.only_with_core = 0;
+        options.mem_overhead.only_with_core = 0;
+    }
+    const auto jobs = cli.option_int("jobs");
+    if (!jobs || *jobs < 1) {
+        std::fprintf(stderr, "--jobs must be an integer >= 1\n");
+        return 1;
+    }
+    options.jobs = static_cast<int>(*jobs);
+    (void)core::run_suite(*target->platform, target->network.get(), options);
+
+    TextTable table({"metric", "kind", "stability", "value"});
+    for (const std::vector<std::string>& row : obs::registry().summary_rows())
+        table.add_row(row);
+    std::printf("%s", table.render().c_str());
+
+    if (!cli.option("out").empty()) {
+        if (!obs::write_metrics_json(cli.option("out"))) {
+            std::fprintf(stderr, "cannot write %s\n", cli.option("out").c_str());
+            return 1;
+        }
+        std::printf("metrics written to %s\n", cli.option("out").c_str());
+    }
+    return 0;
+}
+
 void usage() {
     std::fprintf(stderr,
                  "servet — measure multicore hardware parameters for autotuning\n\n"
@@ -334,7 +400,8 @@ void usage() {
                  "  tlb        measure the data TLB\n"
                  "  price      cost a message between two cores from a profile\n"
                  "  map        place application ranks using a profile\n"
-                 "  broadcast  choose a collective algorithm from a profile\n\n"
+                 "  broadcast  choose a collective algorithm from a profile\n"
+                 "  metrics    run the suite and summarize the obs metrics registry\n\n"
                  "run 'servet <command> --help' for per-command options.\n");
 }
 
@@ -355,6 +422,7 @@ int main(int argc, char** argv) {
     if (command == "price") return cmd_price(sub_argc, sub_argv);
     if (command == "map") return cmd_map(sub_argc, sub_argv);
     if (command == "broadcast") return cmd_broadcast(sub_argc, sub_argv);
+    if (command == "metrics") return cmd_metrics(sub_argc, sub_argv);
     usage();
     return command == "--help" || command == "help" ? 0 : 1;
 }
