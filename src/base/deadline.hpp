@@ -1,0 +1,69 @@
+// Cooperative per-task deadlines. The measurement engine cannot preempt a
+// probe that hangs (killing a thread mid-measurement is UB territory), so
+// the contract is cooperative: the engine arms a thread-local deadline
+// around each task body, and long-running or stalled probe code polls
+// deadline_exceeded() at safe points. The simulated-hang fault injector is
+// the canonical poller — a "hung" probe stalls in small sleeps until the
+// deadline cuts it off with TaskDeadlineExceeded, which phase isolation
+// then reports as a per-phase error instead of wedging the whole suite.
+//
+// The deadline is wall clock and therefore Volatile by nature; whether it
+// fires must not influence any Stable counter on fault-free runs. Tests
+// that combine hangs with determinism checks use hang budgets far above
+// the deadline so the timeout outcome itself is deterministic.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+
+#include "base/types.hpp"
+
+namespace servet {
+
+/// A cooperative deadline cut a task off.
+struct TaskDeadlineExceeded : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+// steady_clock time_point of the armed deadline; min() = disarmed.
+inline thread_local std::chrono::steady_clock::time_point task_deadline =
+    std::chrono::steady_clock::time_point::min();
+}  // namespace detail
+
+/// True when a deadline is armed on this thread and has passed.
+[[nodiscard]] inline bool deadline_exceeded() {
+    return detail::task_deadline != std::chrono::steady_clock::time_point::min() &&
+           std::chrono::steady_clock::now() >= detail::task_deadline;
+}
+
+/// Throws TaskDeadlineExceeded when the armed deadline has passed. Probe
+/// code with unbounded loops calls this at iteration boundaries.
+inline void check_deadline() {
+    if (deadline_exceeded())
+        throw TaskDeadlineExceeded("task exceeded its measurement deadline");
+}
+
+/// Arms a deadline `budget` seconds from now for the lifetime of the
+/// guard (budget <= 0 arms nothing). Nesting keeps the tighter outer
+/// deadline: an inner guard never extends what the engine armed.
+class DeadlineGuard {
+  public:
+    explicit DeadlineGuard(Seconds budget) : previous_(detail::task_deadline) {
+        if (budget <= 0) return;
+        const auto mine =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(budget));
+        if (previous_ == std::chrono::steady_clock::time_point::min() || mine < previous_)
+            detail::task_deadline = mine;
+    }
+    ~DeadlineGuard() { detail::task_deadline = previous_; }
+    DeadlineGuard(const DeadlineGuard&) = delete;
+    DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+
+  private:
+    std::chrono::steady_clock::time_point previous_;
+};
+
+}  // namespace servet

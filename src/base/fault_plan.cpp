@@ -1,0 +1,116 @@
+#include "base/fault_plan.hpp"
+
+#include <cstdlib>
+
+#include "base/check.hpp"
+#include "base/hash.hpp"
+
+namespace servet {
+
+namespace {
+
+std::optional<double> parse_probability(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    if (v < 0.0 || v > 1.0) return std::nullopt;
+    return v;
+}
+
+std::optional<double> parse_factor(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    if (v < 1.0) return std::nullopt;
+    return v;
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::fingerprint() const {
+    Fingerprint fp;
+    fp.add(spike_probability);
+    fp.add(spike_factor);
+    fp.add(nan_probability);
+    fp.add(throw_probability);
+    fp.add(hang_probability);
+    fp.add(hang_seconds);
+    fp.add(drop_probability);
+    fp.add(delay_probability);
+    fp.add(delay_factor);
+    fp.add(seed);
+    return fp.value();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
+    FaultPlan plan;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(',', begin);
+        if (end == std::string::npos) end = spec.size();
+        const std::string field = spec.substr(begin, end - begin);
+        begin = end + 1;
+        if (field.empty()) continue;
+
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) return std::nullopt;
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+
+        const auto set_probability = [&](double& slot) {
+            const auto v = parse_probability(value);
+            if (v) slot = *v;
+            return v.has_value();
+        };
+        const auto set_factor = [&](double& slot) {
+            const auto v = parse_factor(value);
+            if (v) slot = *v;
+            return v.has_value();
+        };
+
+        bool ok = false;
+        if (key == "spike") {
+            ok = set_probability(plan.spike_probability);
+        } else if (key == "factor") {
+            ok = set_factor(plan.spike_factor);
+        } else if (key == "nan") {
+            ok = set_probability(plan.nan_probability);
+        } else if (key == "throw") {
+            ok = set_probability(plan.throw_probability);
+        } else if (key == "hang") {
+            ok = set_probability(plan.hang_probability);
+        } else if (key == "hang_seconds") {
+            char* endp = nullptr;
+            const double v = std::strtod(value.c_str(), &endp);
+            ok = !value.empty() && endp == value.c_str() + value.size() && v > 0.0;
+            if (ok) plan.hang_seconds = v;
+        } else if (key == "drop") {
+            ok = set_probability(plan.drop_probability);
+        } else if (key == "delay") {
+            ok = set_probability(plan.delay_probability);
+        } else if (key == "delay_factor") {
+            ok = set_factor(plan.delay_factor);
+        } else if (key == "seed") {
+            char* endp = nullptr;
+            const unsigned long long v = std::strtoull(value.c_str(), &endp, 0);
+            ok = !value.empty() && endp == value.c_str() + value.size();
+            if (ok) plan.seed = v;
+        }
+        if (!ok) return std::nullopt;
+    }
+    return plan;
+}
+
+FaultPlan FaultPlan::from_env(const FaultPlan& fallback) {
+    const char* spec = std::getenv("SERVET_FAULTS");
+    if (spec == nullptr) return fallback;
+    const auto plan = parse(spec);
+    SERVET_CHECK_MSG(plan.has_value(), "SERVET_FAULTS is set but does not parse");
+    return *plan;
+}
+
+FaultPlan FaultPlan::from_env() { return from_env(FaultPlan{}); }
+
+}  // namespace servet

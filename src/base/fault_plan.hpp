@@ -1,0 +1,87 @@
+// Deterministic fault injection, described as data. A FaultPlan names the
+// failure modes a test (or a CI job) wants the measurement stack to
+// survive: measurement spikes, NaN returns, thrown probe errors and
+// simulated hangs on the platform side; message drops and delays on the
+// network side. Every injector draws its decisions from an Rng seeded by
+// the plan (mixed per replica with the task-key salt), so a faulty run is
+// exactly reproducible and parallel runs inject the same faults as serial
+// ones — the determinism contract extends to the failure paths.
+//
+// The plan lives in base/ because both platform/ (FlakyPlatform) and
+// msg/ (FaultyNetwork) consume it, and those layers do not see each
+// other.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "base/types.hpp"
+
+namespace servet {
+
+/// A probe failed in a way that models a real measurement error (a
+/// benchmark thread killed mid-run, a timer syscall failing). Phase
+/// isolation in the suite turns these into per-phase errors.
+struct ProbeFault : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// A message was "lost": the transport timed out waiting for it.
+/// Transient by definition — callers with a retry budget (comm_costs)
+/// re-issue the transfer; out of budget it escalates like a ProbeFault.
+struct TransientNetworkError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+    // ---- platform faults (FlakyPlatform), per scalar measurement ----
+    double spike_probability = 0.0;  ///< multiply cycles (divide bandwidth)
+    double spike_factor = 4.0;       ///< by this factor (>= 1)
+    double nan_probability = 0.0;    ///< return NaN instead of the value
+    double throw_probability = 0.0;  ///< throw ProbeFault
+    double hang_probability = 0.0;   ///< stall until deadline or hang_seconds
+    Seconds hang_seconds = 60.0;     ///< cap on a simulated hang's stall
+
+    // ---- network faults (FaultyNetwork), per latency measurement ----
+    double drop_probability = 0.0;   ///< throw TransientNetworkError
+    double delay_probability = 0.0;  ///< multiply the latency
+    double delay_factor = 4.0;       ///< by this factor (>= 1)
+
+    std::uint64_t seed = 0x5eedULL;
+
+    [[nodiscard]] bool any_platform_faults() const {
+        return spike_probability > 0 || nan_probability > 0 || throw_probability > 0 ||
+               hang_probability > 0;
+    }
+    [[nodiscard]] bool any_network_faults() const {
+        return drop_probability > 0 || delay_probability > 0;
+    }
+    [[nodiscard]] bool active() const {
+        return any_platform_faults() || any_network_faults();
+    }
+
+    /// Stable content hash of every field. Fault injectors mix this into
+    /// their substrate fingerprint so faulty measurements never collide
+    /// with clean ones in the memo cache.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
+    /// Parses "key=value,key=value" specs, e.g.
+    /// "spike=0.05,factor=8,nan=0.01,throw=0.01,drop=0.02,seed=42".
+    /// Keys: spike, factor, nan, throw, hang, hang_seconds, drop, delay,
+    /// delay_factor, seed. Unknown keys or malformed values reject the
+    /// whole spec. An empty spec is the inactive plan.
+    [[nodiscard]] static std::optional<FaultPlan> parse(const std::string& spec);
+
+    /// Plan from the SERVET_FAULTS environment variable (the CI fault
+    /// job sets it), or `fallback` (default: the inactive plan) when
+    /// unset. A set-but-malformed value is a loud failure: tests must not
+    /// silently run fault-free.
+    [[nodiscard]] static FaultPlan from_env(const FaultPlan& fallback);
+    [[nodiscard]] static FaultPlan from_env();
+
+    friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace servet

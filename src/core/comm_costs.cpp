@@ -4,6 +4,7 @@
 #include <set>
 
 #include "base/check.hpp"
+#include "base/fault_plan.hpp"
 #include "base/log.hpp"
 #include "obs/metrics.hpp"
 #include "stats/cluster.hpp"
@@ -11,6 +12,29 @@
 namespace servet::core {
 
 namespace {
+
+obs::Counter& retries_counter() {
+    // Stable: drops derive from the fault plan's seed and the task-key
+    // salts, so which probes retry is schedule-invariant.
+    static obs::Counter& c =
+        obs::counter("phase.comm_costs.retries", obs::Stability::Stable);
+    return c;
+}
+
+/// Runs `probe` with up to `max_retries` re-measures on transient
+/// transport loss; the last attempt's error propagates.
+template <typename Probe>
+auto with_retries(int max_retries, Probe&& probe) {
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return probe();
+        } catch (const TransientNetworkError&) {
+            if (attempt >= max_retries) throw;
+            retries_counter().increment();
+        }
+    }
+}
+
 std::vector<Bytes> default_sweep_sizes() {
     std::vector<Bytes> sizes;
     for (Bytes s = 1 * KiB; s <= 4 * MiB; s *= 2) sizes.push_back(s);
@@ -21,12 +45,14 @@ std::vector<Bytes> default_sweep_sizes() {
 /// the per-layer sweep and the isolated baseline, so overlapping probes
 /// (the sweep size that equals the probe size, the baseline of a pair the
 /// scan already measured) memo-hit instead of re-measuring.
-MeasureTask pingpong_task(CorePair pair, Bytes size, int reps) {
+MeasureTask pingpong_task(CorePair pair, Bytes size, int reps, int max_retries) {
     MeasureTask task;
     task.key = "comm/pp/m" + std::to_string(size) + "/r" + std::to_string(reps) + "/" +
                std::to_string(pair.a) + "-" + std::to_string(pair.b);
-    task.body = [pair, size, reps](Platform*, msg::Network* network) {
-        return std::vector<double>{network->pingpong_latency(pair, size, reps)};
+    task.body = [pair, size, reps, max_retries](Platform*, msg::Network* network) {
+        return with_retries(max_retries, [&] {
+            return std::vector<double>{network->pingpong_latency(pair, size, reps)};
+        });
     };
     return task;
 }
@@ -101,7 +127,8 @@ CommCostsResult characterize_communication(MeasureEngine& engine,
     std::vector<MeasureTask> probe_tasks;
     probe_tasks.reserve(pairs.size());
     for (const CorePair& pair : pairs)
-        probe_tasks.push_back(pingpong_task(pair, options.probe_message, options.reps));
+        probe_tasks.push_back(
+            pingpong_task(pair, options.probe_message, options.reps, options.max_retries));
     obs::counter("phase.comm_costs.measurements", obs::Stability::Stable)
         .add(probe_tasks.size());
     const std::vector<std::vector<double>> probed = engine.run(probe_tasks);
@@ -141,13 +168,14 @@ CommCostsResult characterize_communication(MeasureEngine& engine,
         LayerPlan plan;
         for (Bytes size : sweep) {
             plan.sweep_task.push_back(detail_tasks.size());
-            detail_tasks.push_back(pingpong_task(layer.representative, size, options.reps));
+            detail_tasks.push_back(
+                pingpong_task(layer.representative, size, options.reps, options.max_retries));
         }
 
         const std::vector<CorePair> senders = disjoint_pairs(layer.pairs);
         plan.isolated_task = detail_tasks.size();
-        detail_tasks.push_back(
-            pingpong_task(senders.front(), options.probe_message, options.reps));
+        detail_tasks.push_back(pingpong_task(senders.front(), options.probe_message,
+                                             options.reps, options.max_retries));
         const int max_n =
             std::min<int>(options.max_concurrent, static_cast<int>(senders.size()));
         for (int k = 1; k <= max_n; ++k) {
@@ -162,8 +190,10 @@ CommCostsResult characterize_communication(MeasureEngine& engine,
                 task.key += std::to_string(pair.b);
             }
             task.body = [active, options](Platform*, msg::Network* network) {
-                return network->concurrent_latency(active, options.probe_message,
-                                                   options.reps);
+                return with_retries(options.max_retries, [&] {
+                    return network->concurrent_latency(active, options.probe_message,
+                                                       options.reps);
+                });
             };
             plan.concurrent_task.push_back(detail_tasks.size());
             detail_tasks.push_back(std::move(task));

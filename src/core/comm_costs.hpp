@@ -29,6 +29,11 @@ struct CommCostsOptions {
     std::vector<Bytes> sweep_sizes;
     /// Cap on concurrent messages in the scalability probe.
     int max_concurrent = 32;
+    /// Re-measures allowed per probe when the transport reports a
+    /// transient loss (TransientNetworkError — a dropped message, a timed-
+    /// out reply). Retries are part of the task body, so a retried probe
+    /// stays deterministic per task key. Exhausting the budget rethrows.
+    int max_retries = 2;
 };
 
 struct CommPairLatency {

@@ -1,12 +1,14 @@
 #include "core/measure.hpp"
 
 #include <cstdio>
+#include <exception>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "base/check.hpp"
 #include "base/clock.hpp"
+#include "base/deadline.hpp"
 #include "base/hash.hpp"
 #include "exec/task_key.hpp"
 #include "obs/metrics.hpp"
@@ -32,6 +34,12 @@ obs::Counter& deduped_counter() {
     static obs::Counter& c = obs::counter("exec.tasks.deduped", obs::Stability::Stable);
     return c;
 }
+// Stable: which tasks fail is a function of task keys and fault-plan
+// seeds, and run() executes every task even when some throw.
+obs::Counter& failed_counter() {
+    static obs::Counter& c = obs::counter("exec.tasks.failed", obs::Stability::Stable);
+    return c;
+}
 obs::Histogram& task_us_histogram() {
     static obs::Histogram& h =
         obs::histogram("exec.task.us", obs::Stability::Volatile,
@@ -46,8 +54,11 @@ MeasureEngine::MeasureEngine(Platform* platform, msg::Network* network, exec::Th
     : platform_(platform), network_(network), pool_(pool), memo_(memo) {
     SERVET_CHECK_MSG(platform_ != nullptr || network_ != nullptr,
                      "measurement engine needs at least one substrate");
-    const bool platform_forks = platform_ == nullptr || platform_->fork(0, 0) != nullptr;
-    const bool network_forks = network_ == nullptr || network_->fork(0) != nullptr;
+    // forkable() is the documented query for replica support; the old
+    // probe-by-discarded-fork(0, 0) burned a full substrate clone (and on
+    // stateful platforms could perturb them) just to learn a static fact.
+    const bool platform_forks = platform_ == nullptr || platform_->forkable();
+    const bool network_forks = network_ == nullptr || network_->forkable();
     deterministic_ = platform_forks && network_forks;
     if (!deterministic_) return;
     // Combine whichever fingerprints exist; either being 0 (not
@@ -78,6 +89,7 @@ std::vector<double> MeasureEngine::run_one(const MeasureTask& task) {
             return *std::move(hit);
     }
     std::vector<double> values;
+    DeadlineGuard deadline(task_deadline_);
     if (deterministic_) {
         const std::uint64_t seed = exec::seed_of(task.key);
         std::unique_ptr<Platform> platform;
@@ -98,13 +110,37 @@ std::vector<std::vector<double>> MeasureEngine::run(const std::vector<MeasureTas
     requested_counter().add(tasks.size());
     std::vector<std::vector<double>> results(tasks.size());
 
+    // A throwing task must not cut the batch short: the remaining tasks
+    // still run (their counter contributions are part of the Stable
+    // contract — a serial run that stopped at the first throw would
+    // disagree with a parallel run that had already finished later
+    // tasks), errors are collected per index, and the lowest-index one is
+    // rethrown once the batch is complete.
+    std::vector<std::exception_ptr> errors(tasks.size());
+    const auto run_at = [&](std::size_t i) {
+        try {
+            results[i] = run_one(tasks[i]);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+    const auto rethrow_first = [&](std::uint64_t failures) {
+        failed_counter().add(failures);
+        for (const std::exception_ptr& e : errors)
+            if (e) std::rethrow_exception(e);
+    };
+
     // Non-deterministic substrates are shared mutable state: tasks must
     // run one at a time, in index order, on the caller's thread. Equal
     // keys are NOT deduplicated here — on a non-deterministic substrate
     // each occurrence is a genuine remeasurement.
     if (!deterministic_) {
         run_counter().add(tasks.size());
-        for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = run_one(tasks[i]);
+        for (std::size_t i = 0; i < tasks.size(); ++i) run_at(i);
+        std::uint64_t failures = 0;
+        for (const std::exception_ptr& e : errors)
+            if (e) ++failures;
+        if (failures > 0) rethrow_first(failures);
         return results;
     }
 
@@ -126,13 +162,21 @@ std::vector<std::vector<double>> MeasureEngine::run(const std::vector<MeasureTas
     run_counter().add(unique.size());
 
     if (pool_ != nullptr && unique.size() > 1) {
-        pool_->parallel_for(unique.size(),
-                            [&](std::size_t u) { results[unique[u]] = run_one(tasks[unique[u]]); });
+        pool_->parallel_for(unique.size(), [&](std::size_t u) { run_at(unique[u]); });
     } else {
-        for (const std::size_t u : unique) results[u] = run_one(tasks[u]);
+        for (const std::size_t u : unique) run_at(u);
     }
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-        if (source[i] != i) results[i] = results[source[i]];
+    // A duplicate shares its representative's fate — result or error —
+    // exactly as if it had executed.
+    std::uint64_t failures = 0;
+    for (const std::size_t u : unique)
+        if (errors[u]) ++failures;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (source[i] == i) continue;
+        results[i] = results[source[i]];
+        errors[i] = errors[source[i]];
+    }
+    if (failures > 0) rethrow_first(failures);
     return results;
 }
 

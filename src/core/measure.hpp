@@ -59,10 +59,21 @@ class MeasureEngine {
     /// Combined substrate fingerprint (0 = not content-addressable).
     [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
 
+    /// Arms a cooperative per-task deadline: each task body runs under a
+    /// DeadlineGuard of this many seconds, and deadline-aware substrates
+    /// (FlakyPlatform's simulated hangs, long native probes) abort with
+    /// TaskDeadlineExceeded once it passes. 0 (the default) disables it.
+    void set_task_deadline(Seconds seconds) { task_deadline_ = seconds; }
+    [[nodiscard]] Seconds task_deadline() const { return task_deadline_; }
+
     [[nodiscard]] Platform* platform() const { return platform_; }
     [[nodiscard]] msg::Network* network() const { return network_; }
 
     /// Runs every task and returns their values aligned with `tasks`.
+    /// Fault-tolerant: a throwing task does not stop the batch — every
+    /// other task still executes (so Stable counters stay schedule-
+    /// invariant even under injected faults), then the lowest-index
+    /// task's exception is rethrown to the caller.
     std::vector<std::vector<double>> run(const std::vector<MeasureTask>& tasks);
 
   private:
@@ -75,6 +86,7 @@ class MeasureEngine {
     exec::MemoCache* memo_;
     std::uint64_t fingerprint_ = 0;
     bool deterministic_ = false;
+    Seconds task_deadline_ = 0;
 };
 
 }  // namespace servet::core

@@ -366,6 +366,18 @@ std::string Profile::to_json() const {
         out += "\": ";
         out += std::to_string(value);
     }
+    out += "},\n";
+
+    out += "  \"errors\": {";
+    index = 0;
+    for (const auto& [phase, message] : errors) {
+        if (index++) out += ", ";
+        out += "\"";
+        out += json_escape(phase);
+        out += "\": \"";
+        out += json_escape(message);
+        out += "\"";
+    }
     out += "}\n}\n";
     return out;
 }
@@ -413,6 +425,18 @@ std::string Profile::serialize() const {
         for (const auto& [name, value] : counters)
             out += name + " = " + std::to_string(value) + '\n';
     }
+
+    if (!errors.empty()) {
+        out += "\n[errors]\n";
+        for (const auto& [phase, message] : errors) {
+            // The format is line-oriented; fold any newline an exception
+            // message smuggled in.
+            std::string flat = message;
+            for (char& c : flat)
+                if (c == '\n' || c == '\r') c = ' ';
+            out += phase + " = " + flat + '\n';
+        }
+    }
     return out;
 }
 
@@ -422,7 +446,7 @@ std::optional<Profile> Profile::parse(const std::string& text) {
     if (!std::getline(stream, line) || trim(line) != kHeader) return std::nullopt;
 
     Profile profile;
-    enum class Section { Top, Cache, Memory, MemoryTier, CommLayer, Timing, Counters };
+    enum class Section { Top, Cache, Memory, MemoryTier, CommLayer, Timing, Counters, Errors };
     Section section = Section::Top;
 
     while (std::getline(stream, line)) {
@@ -447,6 +471,8 @@ std::optional<Profile> Profile::parse(const std::string& text) {
                 section = Section::Timing;
             } else if (name == "counters") {
                 section = Section::Counters;
+            } else if (name == "errors") {
+                section = Section::Errors;
             } else {
                 return std::nullopt;
             }
@@ -555,6 +581,10 @@ std::optional<Profile> Profile::parse(const std::string& text) {
                 const auto v = parse_int(value);
                 if (!v || *v < 0) return fail();
                 profile.counters[key] = static_cast<std::uint64_t>(*v);
+                break;
+            }
+            case Section::Errors: {
+                profile.errors[key] = value;
                 break;
             }
         }

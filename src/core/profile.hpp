@@ -64,6 +64,12 @@ class Profile {
     /// for --jobs 1 and --jobs N — so golden tests pin them. Empty unless
     /// the run asked for them (SuiteOptions::profile_counters).
     std::map<std::string, std::uint64_t> counters;
+    /// Phases that failed in the producing run, phase name -> first error
+    /// message (the `[errors]` section). A profile with entries here is
+    /// partial: the listed phases' sections are missing or incomplete, the
+    /// rest are trustworthy. Empty for clean runs, and the section is
+    /// omitted entirely so historical profiles parse unchanged.
+    std::map<std::string, std::string> errors;
 
     // ---- queries used by the autotune consumers ----
 

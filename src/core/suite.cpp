@@ -1,5 +1,8 @@
 #include "core/suite.hpp"
 
+#include <algorithm>
+#include <exception>
+
 #include "base/check.hpp"
 #include "base/log.hpp"
 #include "core/measure.hpp"
@@ -21,7 +24,7 @@ bool SuiteResult::measurements_equal(const SuiteResult& other) const {
            has_shared_caches == other.has_shared_caches &&
            shared_caches == other.shared_caches &&
            has_mem_overhead == other.has_mem_overhead && mem_overhead == other.mem_overhead &&
-           has_comm == other.has_comm && comm == other.comm;
+           has_comm == other.has_comm && comm == other.comm && errors == other.errors;
 }
 
 Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
@@ -66,6 +69,7 @@ Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
 
     profile.phase_seconds = phase_seconds;
     if (embed_counters) profile.counters = counters;
+    for (const PhaseError& error : errors) profile.errors[error.phase] = error.message;
     return profile;
 }
 
@@ -88,22 +92,58 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
 
     exec::MemoCache memo;
     const bool want_memo = options.use_memo || !options.memo_path.empty();
-    if (!options.memo_path.empty() && memo.load_file(options.memo_path))
-        SERVET_LOG_INFO("suite: loaded %zu memo records from %s", memo.size(),
-                        options.memo_path.c_str());
+    if (!options.memo_path.empty()) {
+        switch (memo.load_file(options.memo_path)) {
+            case exec::MemoLoad::Loaded:
+                SERVET_LOG_INFO("suite: loaded %zu memo records from %s", memo.size(),
+                                options.memo_path.c_str());
+                break;
+            case exec::MemoLoad::Absent:
+                break;  // cold start: the save below will create it
+            case exec::MemoLoad::Malformed:
+                // Not fatal — the run just re-measures — but silence here
+                // would hide a corrupt file that keeps every future run
+                // cold until the save path overwrites it.
+                SERVET_LOG_WARN("suite: ignoring malformed memo file %s",
+                                options.memo_path.c_str());
+                break;
+        }
+    }
 
     MeasureEngine engine(&platform, network, pool.get(), want_memo ? &memo : nullptr);
+    engine.set_task_deadline(options.task_deadline);
     if (pool != nullptr && !engine.deterministic())
         SERVET_LOG_INFO("suite: platform is not forkable; running serially");
+
+    // Phase isolation: a phase body that throws is recorded — name plus
+    // message — instead of propagating, so one broken probe costs its
+    // phase, not the suite. The sink is mutex-guarded (DAG phases run
+    // concurrently) and sorted by phase name at the end, keeping the
+    // error list schedule-invariant.
+    std::mutex errors_mutex;
+    obs::Counter& phase_errors =
+        obs::counter("suite.phase.errors", obs::Stability::Stable);
+    const auto isolate = [&](const std::string& phase, auto&& body) {
+        try {
+            body();
+        } catch (const std::exception& e) {
+            phase_errors.increment();
+            SERVET_LOG_WARN("suite: phase %s failed: %s", phase.c_str(), e.what());
+            const std::lock_guard<std::mutex> lock(errors_mutex);
+            result.errors.push_back({phase, e.what()});
+        }
+    };
 
     // Phase 1: cache size estimate (Section III-A). Runs first — every
     // other phase is sized by its result — with its sweep parallel inside.
     options.detect.page_size = platform.page_size();
-    result.curve = timer.time("cache_size", [&] {
-        return run_mcalibrator(engine, options.mcalibrator);
+    isolate("cache_size", [&] {
+        result.curve = timer.time("cache_size", [&] {
+            return run_mcalibrator(engine, options.mcalibrator);
+        });
+        result.cache_levels = detect_cache_levels(result.curve, options.detect);
+        SERVET_LOG_INFO("suite: detected %zu cache levels", result.cache_levels.size());
     });
-    result.cache_levels = detect_cache_levels(result.curve, options.detect);
-    SERVET_LOG_INFO("suite: detected %zu cache levels", result.cache_levels.size());
 
     std::vector<Bytes> sizes;
     for (const CacheLevelEstimate& level : result.cache_levels) sizes.push_back(level.size);
@@ -115,10 +155,12 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     // Phase 2: shared caches (Section III-B) — needs at least two cores.
     if (options.run_shared_cache && platform.core_count() > 1 && !sizes.empty()) {
         dag.add("shared_caches", [&] {
-            result.shared_caches = timer.time("shared_caches", [&] {
-                return detect_shared_caches(engine, sizes, options.shared_cache);
+            isolate("shared_caches", [&] {
+                result.shared_caches = timer.time("shared_caches", [&] {
+                    return detect_shared_caches(engine, sizes, options.shared_cache);
+                });
+                result.has_shared_caches = true;
             });
-            result.has_shared_caches = true;
         });
     }
 
@@ -127,10 +169,12 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     if (options.run_mem_overhead && platform.core_count() > 1) {
         if (!sizes.empty()) options.mem_overhead.array_bytes = 4 * sizes.back();
         dag.add("mem_overhead", [&] {
-            result.mem_overhead = timer.time("mem_overhead", [&] {
-                return characterize_memory_overhead(engine, options.mem_overhead);
+            isolate("mem_overhead", [&] {
+                result.mem_overhead = timer.time("mem_overhead", [&] {
+                    return characterize_memory_overhead(engine, options.mem_overhead);
+                });
+                result.has_mem_overhead = true;
             });
-            result.has_mem_overhead = true;
         });
     }
 
@@ -138,16 +182,24 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     if (options.run_comm && network != nullptr && network->endpoint_count() > 1) {
         if (!sizes.empty()) options.comm.probe_message = sizes.front();
         dag.add("comm_costs", [&] {
-            result.comm = timer.time("comm_costs", [&] {
-                return characterize_communication(engine, options.comm);
+            isolate("comm_costs", [&] {
+                result.comm = timer.time("comm_costs", [&] {
+                    return characterize_communication(engine, options.comm);
+                });
+                result.has_comm = true;
             });
-            result.has_comm = true;
         });
     }
 
     // A non-deterministic platform is shared mutable state: its phases
     // must not overlap, so the DAG degrades to the serial path.
     dag.run(engine.deterministic() ? pool.get() : nullptr);
+
+    std::sort(result.errors.begin(), result.errors.end(),
+              [](const PhaseError& a, const PhaseError& b) { return a.phase < b.phase; });
+    if (!result.errors.empty())
+        SERVET_LOG_WARN("suite: %zu phase(s) failed; profile will be partial",
+                        result.errors.size());
 
     result.memo_hits = memo.hits();
     result.memo_misses = memo.misses();

@@ -81,6 +81,20 @@ struct SuiteOptions {
     /// Embed the run's deterministic counter block (SuiteResult::counters)
     /// in the profile produced by to_profile — golden tests pin it.
     bool profile_counters = false;
+    /// Cooperative per-measurement-task deadline in seconds (0 = none).
+    /// Deadline-aware substrates abort a task that overruns it with
+    /// TaskDeadlineExceeded, which phase isolation then records instead
+    /// of letting one hung probe stall the whole suite.
+    Seconds task_deadline = 0;
+};
+
+/// One failed phase of a suite run: the phase's DAG/timing name plus the
+/// message of the exception that ended it.
+struct PhaseError {
+    std::string phase;
+    std::string message;
+
+    friend bool operator==(const PhaseError&, const PhaseError&) = default;
 };
 
 struct SuiteResult {
@@ -100,6 +114,14 @@ struct SuiteResult {
     std::map<std::string, std::uint64_t> counters;
     /// Copy `counters` into the profile (SuiteOptions::profile_counters).
     bool embed_counters = false;
+    /// Phases that threw, sorted by phase name. Phase isolation: a failed
+    /// phase is recorded here — its result fields keep their defaults and
+    /// its has_* flag stays false — while every other phase still runs.
+    /// Empty means a fully successful run.
+    std::vector<PhaseError> errors;
+
+    /// True when at least one phase failed (the result is partial).
+    [[nodiscard]] bool partial() const { return !errors.empty(); }
 
     /// Every measured quantity equal (phase timings and memo statistics
     /// excluded — wall clock can never repeat). This is the determinism
@@ -113,6 +135,11 @@ struct SuiteResult {
 
 /// Run the full suite. `network` may be null (comm phase is skipped); on
 /// single-core platforms the pairwise phases skip themselves.
+///
+/// Fault tolerance: a phase that throws does not abort the run. Its error
+/// lands in SuiteResult::errors, the remaining phases execute, the memo
+/// (when configured) is still saved, and to_profile emits a partial
+/// profile whose [errors] section names the failed phases.
 [[nodiscard]] SuiteResult run_suite(Platform& platform, msg::Network* network,
                                     SuiteOptions options = {});
 

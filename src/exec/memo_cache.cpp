@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace servet::exec {
@@ -48,6 +49,10 @@ std::optional<std::vector<double>> MemoCache::lookup(const std::string& key) con
 }
 
 void MemoCache::store(const std::string& key, std::vector<double> values) {
+    // The file format separates fields with whitespace; a key containing
+    // any would corrupt every record after it on reload.
+    SERVET_CHECK_MSG(key.find_first_of(" \t\n\r") == std::string::npos,
+                     "memo key must not contain whitespace");
     std::lock_guard<std::mutex> lock(mutex_);
     if (entries_.try_emplace(key, std::move(values)).second) store_counter().increment();
 }
@@ -67,11 +72,11 @@ std::uint64_t MemoCache::misses() const {
     return misses_;
 }
 
-bool MemoCache::load_file(const std::string& path) {
+MemoLoad MemoCache::load_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) return false;
+    if (!in) return MemoLoad::Absent;
     std::string line;
-    if (!std::getline(in, line) || line != kHeader) return false;
+    if (!std::getline(in, line) || line != kHeader) return MemoLoad::Malformed;
 
     std::map<std::string, std::vector<double>> loaded;
     while (std::getline(in, line)) {
@@ -79,15 +84,15 @@ bool MemoCache::load_file(const std::string& path) {
         std::istringstream fields(line);
         std::string key;
         std::size_t count = 0;
-        if (!(fields >> key >> count)) return false;
+        if (!(fields >> key >> count)) return MemoLoad::Malformed;
         std::vector<double> values;
         values.reserve(count);
         std::string token;
         for (std::size_t i = 0; i < count; ++i) {
-            if (!(fields >> token)) return false;
+            if (!(fields >> token)) return MemoLoad::Malformed;
             char* end = nullptr;
             const double v = std::strtod(token.c_str(), &end);
-            if (end == token.c_str() || *end != '\0') return false;
+            if (end == token.c_str() || *end != '\0') return MemoLoad::Malformed;
             values.push_back(v);
         }
         loaded.emplace(std::move(key), std::move(values));
@@ -95,20 +100,35 @@ bool MemoCache::load_file(const std::string& path) {
 
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [key, values] : loaded) entries_.try_emplace(key, std::move(values));
-    return true;
+    return MemoLoad::Loaded;
 }
 
 bool MemoCache::save_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << kHeader << '\n';
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, values] : entries_) {
-        out << key << ' ' << values.size();
-        for (const double v : values) out << ' ' << fmt_hexfloat(v);
-        out << '\n';
+    // Write a temporary sibling first and rename it into place: rename(2)
+    // within a directory is atomic, so readers see either the old file or
+    // the complete new one, never a torn write.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) return false;
+        out << kHeader << '\n';
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [key, values] : entries_) {
+            out << key << ' ' << values.size();
+            for (const double v : values) out << ' ' << fmt_hexfloat(v);
+            out << '\n';
+        }
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
     }
-    return bool(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 }  // namespace servet::exec

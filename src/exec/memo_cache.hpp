@@ -22,6 +22,12 @@
 
 namespace servet::exec {
 
+/// Outcome of MemoCache::load_file. Absent is routine (first run, cold
+/// cache); Malformed means a file existed but was rejected — callers
+/// should surface that, since silently dropping a memo repeats every
+/// measurement.
+enum class MemoLoad { Loaded, Absent, Malformed };
+
 class MemoCache {
   public:
     /// Returns the stored values, or nullopt (and counts a miss).
@@ -37,11 +43,14 @@ class MemoCache {
     [[nodiscard]] std::uint64_t misses() const;
 
     /// Merge records from `path` (existing keys keep their values).
-    /// Returns false when the file is absent or malformed.
-    bool load_file(const std::string& path);
+    /// A malformed file (bad header, truncated record, unparseable value)
+    /// loads nothing, even from its valid prefix.
+    MemoLoad load_file(const std::string& path);
 
     /// Write every record to `path` (sorted by key, so the file is
-    /// deterministic). Returns false on I/O failure.
+    /// deterministic). Returns false on I/O failure. The write is atomic:
+    /// a temporary sibling is renamed over `path`, so a crash mid-write
+    /// can never leave a truncated memo where a good one stood.
     [[nodiscard]] bool save_file(const std::string& path) const;
 
   private:

@@ -27,6 +27,10 @@ class Network {
     /// Platform::fingerprint.
     [[nodiscard]] virtual std::uint64_t fingerprint() const { return 0; }
 
+    /// Whether fork() produces replicas, without the cost of building and
+    /// discarding one. Mirrors Platform::forkable; must agree with fork().
+    [[nodiscard]] virtual bool forkable() const { return false; }
+
     /// Independent replica for one measurement task, seeded by
     /// `noise_salt` (derived from a stable task key), or nullptr when the
     /// transport cannot be replicated. Mirrors Platform::fork.

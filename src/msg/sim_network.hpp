@@ -20,6 +20,7 @@ class SimNetwork final : public Network {
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] std::uint64_t fingerprint() const override;
+    [[nodiscard]] bool forkable() const override { return true; }
     [[nodiscard]] std::unique_ptr<Network> fork(std::uint64_t noise_salt) const override;
     [[nodiscard]] int endpoint_count() const override;
     [[nodiscard]] Seconds pingpong_latency(CorePair pair, Bytes size, int reps) override;

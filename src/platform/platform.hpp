@@ -30,6 +30,13 @@ class Platform {
     /// run). Non-zero fingerprints key the measurement memo cache.
     [[nodiscard]] virtual std::uint64_t fingerprint() const { return 0; }
 
+    /// Whether fork() produces replicas. Cheap by contract: engines call
+    /// this during construction to decide between the parallel and serial
+    /// paths, and probing with a throwaway fork() would clone an entire
+    /// simulated machine just to discard it. Must agree with fork():
+    /// forkable() == (fork(...) != nullptr).
+    [[nodiscard]] virtual bool forkable() const { return false; }
+
     /// Independent replica of this platform for one measurement task, or
     /// nullptr when replicas are impossible (real hardware: concurrent
     /// probes would contend for the very resources being measured).

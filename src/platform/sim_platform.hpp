@@ -22,6 +22,7 @@ class SimPlatform final : public Platform {
     [[nodiscard]] int core_count() const override;
     [[nodiscard]] Bytes page_size() const override;
     [[nodiscard]] std::uint64_t fingerprint() const override;
+    [[nodiscard]] bool forkable() const override { return true; }
     [[nodiscard]] std::unique_ptr<Platform> fork(std::uint64_t noise_salt,
                                                  std::uint64_t placement_salt) const override;
 

@@ -10,6 +10,11 @@ namespace servet::stats {
 
 double median(std::vector<double> values) {
     SERVET_CHECK(!values.empty());
+    // NaN breaks nth_element's strict weak ordering (undefined behaviour,
+    // not just a wrong answer) and any non-finite sample means the
+    // measurement layer failed to screen its inputs — fail loudly.
+    for (const double v : values)
+        SERVET_CHECK_MSG(std::isfinite(v), "median: non-finite input sample");
     const std::size_t mid = values.size() / 2;
     std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
                      values.end());
@@ -22,7 +27,7 @@ double median(std::vector<double> values) {
 
 double mad(std::vector<double> values) {
     SERVET_CHECK(!values.empty());
-    const double m = median(values);
+    const double m = median(values);  // also screens non-finite inputs
     for (double& v : values) v = std::abs(v - m);
     return 1.4826 * median(std::move(values));
 }

@@ -11,11 +11,14 @@
 namespace servet::stats {
 
 /// Median (average of the two central elements for even sizes). Input is
-/// copied; empty input is a precondition violation.
+/// copied; empty input or any non-finite element is a precondition
+/// violation (NaN under nth_element is undefined behaviour — callers
+/// screen samples first, as the adaptive robust sampler does).
 [[nodiscard]] double median(std::vector<double> values);
 
 /// Median absolute deviation (scaled by 1.4826 to be consistent with the
-/// standard deviation under normality).
+/// standard deviation under normality). Same finiteness precondition as
+/// median.
 [[nodiscard]] double mad(std::vector<double> values);
 
 /// Arithmetic mean. Empty input is a precondition violation.

@@ -220,7 +220,7 @@ TEST(MemoCache, FileRoundTripIsExact) {
         ASSERT_TRUE(memo.save_file(path));
     }
     MemoCache loaded;
-    ASSERT_TRUE(loaded.load_file(path));
+    ASSERT_EQ(loaded.load_file(path), MemoLoad::Loaded);
     EXPECT_EQ(loaded.size(), 2u);
     const auto hit = loaded.lookup("b/key");
     ASSERT_TRUE(hit.has_value());
@@ -242,7 +242,7 @@ TEST(MemoCache, LoadMergeKeepsExistingRecords) {
     }
     MemoCache memo;
     memo.store("shared", {99.0});
-    ASSERT_TRUE(memo.load_file(path));
+    ASSERT_EQ(memo.load_file(path), MemoLoad::Loaded);
     EXPECT_EQ(memo.lookup("shared")->front(), 99.0);  // existing record kept
     EXPECT_EQ(memo.lookup("fresh")->front(), 2.0);
     std::remove(path.c_str());
@@ -250,14 +250,14 @@ TEST(MemoCache, LoadMergeKeepsExistingRecords) {
 
 TEST(MemoCache, RejectsMissingAndMalformedFiles) {
     MemoCache memo;
-    EXPECT_FALSE(memo.load_file("/nonexistent/memo.txt"));
+    EXPECT_EQ(memo.load_file("/nonexistent/memo.txt"), MemoLoad::Absent);
 
     const std::string path = testing::TempDir() + "memo_bad.txt";
     std::FILE* f = std::fopen(path.c_str(), "w");
     ASSERT_NE(f, nullptr);
     std::fputs("not-a-memo-header\nk 1 0x1p+0\n", f);
     std::fclose(f);
-    EXPECT_FALSE(memo.load_file(path));
+    EXPECT_EQ(memo.load_file(path), MemoLoad::Malformed);
     EXPECT_EQ(memo.size(), 0u);
     std::remove(path.c_str());
 }

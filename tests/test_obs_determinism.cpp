@@ -8,8 +8,11 @@
 #include <map>
 #include <string>
 
+#include "base/fault_plan.hpp"
 #include "core/suite.hpp"
+#include "msg/faulty_network.hpp"
 #include "msg/sim_network.hpp"
+#include "platform/decorators.hpp"
 #include "platform/sim_platform.hpp"
 #include "sim/zoo.hpp"
 
@@ -66,6 +69,51 @@ TEST(ObsDeterminism, RepeatedRunsReportIdenticalDeltas) {
     // The registry accumulates across runs in one process; the per-run
     // delta in SuiteResult::counters must not.
     EXPECT_EQ(run_counters(2), run_counters(2));
+}
+
+std::map<std::string, std::uint64_t> run_faulty_counters(int jobs) {
+    // Fault rates low enough that the robust sampler absorbs everything
+    // (no phase fails), at a fixed seed: every injection decision derives
+    // from (plan seed, task key), so schedule must not move the counts.
+    FaultPlan plan;
+    plan.spike_probability = 0.04;
+    plan.spike_factor = 8.0;
+    plan.nan_probability = 0.02;
+    plan.drop_probability = 0.08;
+    plan.delay_probability = 0.05;
+    plan.seed = 1337;
+
+    const sim::MachineSpec spec = sim::zoo::dempsey();
+    SimPlatform raw(spec);
+    FlakyPlatform flaky(raw, plan);
+    RobustOptions robust_options;
+    robust_options.min_samples = 3;
+    robust_options.max_samples = 9;
+    robust_options.max_retries = 50;
+    RobustPlatform platform(flaky, robust_options);
+    msg::SimNetwork raw_network(spec);
+    msg::FaultyNetwork network(raw_network, plan);
+
+    const core::SuiteResult result =
+        core::run_suite(platform, &network, cheap_options(spec, jobs));
+    EXPECT_FALSE(result.partial()) << result.errors.front().phase << ": "
+                                   << result.errors.front().message;
+    return result.counters;
+}
+
+TEST(ObsDeterminism, FaultInjectionCountersIdenticalAcrossJobs) {
+    const auto serial = run_faulty_counters(1);
+    const auto parallel = run_faulty_counters(4);
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel)
+        << "fault-injection or robust-sampling counters moved with the "
+        << "schedule; replica fault streams must derive from task keys";
+    // The faulty run must actually have exercised the machinery.
+    EXPECT_GT(serial.at("platform.fault.spikes"), 0u);
+    EXPECT_GT(serial.at("platform.robust.samples"), 0u);
+    EXPECT_GT(serial.at("msg.fault.drops"), 0u);
+    EXPECT_GT(serial.at("phase.comm_costs.retries"), 0u);
 }
 
 }  // namespace

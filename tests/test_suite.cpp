@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "base/hash.hpp"
+#include "exec/memo_cache.hpp"
 #include "msg/sim_network.hpp"
 #include "platform/sim_platform.hpp"
 #include "sim/zoo.hpp"
@@ -142,6 +148,112 @@ TEST(Suite, ToProfileCarriesEverything) {
     const auto reparsed = Profile::parse(profile.serialize());
     ASSERT_TRUE(reparsed.has_value());
     EXPECT_EQ(*reparsed, profile);
+}
+
+/// Forwards everything to a SimPlatform except the copy-bandwidth probes,
+/// which always throw — only the mem_overhead phase uses those, so a
+/// suite run through this wrapper fails exactly one phase.
+class BrokenCopyPlatform final : public Platform {
+  public:
+    explicit BrokenCopyPlatform(Platform& inner) : inner_(&inner) {}
+
+    [[nodiscard]] std::string name() const override {
+        return "brokencopy(" + inner_->name() + ")";
+    }
+    [[nodiscard]] int core_count() const override { return inner_->core_count(); }
+    [[nodiscard]] Bytes page_size() const override { return inner_->page_size(); }
+    [[nodiscard]] std::uint64_t fingerprint() const override {
+        const std::uint64_t inner = inner_->fingerprint();
+        return inner == 0 ? 0 : inner ^ mix64(0xb20c3u);
+    }
+    [[nodiscard]] bool forkable() const override { return inner_->forkable(); }
+    [[nodiscard]] std::unique_ptr<Platform> fork(std::uint64_t noise_salt,
+                                                 std::uint64_t placement_salt) const override {
+        std::unique_ptr<Platform> inner = inner_->fork(noise_salt, placement_salt);
+        if (inner == nullptr) return nullptr;
+        return std::unique_ptr<Platform>(new BrokenCopyPlatform(std::move(inner)));
+    }
+
+    [[nodiscard]] Cycles traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride,
+                                         int passes, bool fresh_placement) override {
+        return inner_->traverse_cycles(core, array_bytes, stride, passes, fresh_placement);
+    }
+    [[nodiscard]] std::vector<Cycles> traverse_cycles_concurrent(
+        const std::vector<CoreId>& cores, Bytes array_bytes, Bytes stride, int passes,
+        bool fresh_placement) override {
+        return inner_->traverse_cycles_concurrent(cores, array_bytes, stride, passes,
+                                                  fresh_placement);
+    }
+    [[nodiscard]] BytesPerSecond copy_bandwidth(CoreId, Bytes) override {
+        throw std::runtime_error("memory probe exploded");
+    }
+    [[nodiscard]] std::vector<BytesPerSecond> copy_bandwidth_concurrent(
+        const std::vector<CoreId>&, Bytes) override {
+        throw std::runtime_error("memory probe exploded");
+    }
+
+  private:
+    explicit BrokenCopyPlatform(std::unique_ptr<Platform> owned)
+        : inner_(owned.get()), owned_(std::move(owned)) {}
+
+    Platform* inner_;
+    std::unique_ptr<Platform> owned_;
+};
+
+TEST(PhaseIsolation, FailedPhaseIsRecordedWhileOthersComplete) {
+    SimPlatform inner(small_machine());
+    BrokenCopyPlatform platform(inner);
+    msg::SimNetwork network(inner.spec());
+    const SuiteResult result = run_suite(platform, &network, fast_options());
+
+    ASSERT_TRUE(result.partial());
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.errors[0].phase, "mem_overhead");
+    EXPECT_NE(result.errors[0].message.find("memory probe exploded"), std::string::npos);
+
+    // The failed phase keeps its defaults...
+    EXPECT_FALSE(result.has_mem_overhead);
+    // ...and every other phase still ran to completion.
+    ASSERT_EQ(result.cache_levels.size(), 2u);
+    EXPECT_EQ(result.cache_levels[0].size, 16 * KiB);
+    EXPECT_TRUE(result.has_shared_caches);
+    EXPECT_TRUE(result.has_comm);
+}
+
+TEST(PhaseIsolation, PartialProfileRoundTripsErrorsSection) {
+    SimPlatform inner(small_machine());
+    BrokenCopyPlatform platform(inner);
+    msg::SimNetwork network(inner.spec());
+    const SuiteResult result = run_suite(platform, &network, fast_options());
+    ASSERT_TRUE(result.partial());
+
+    const Profile profile =
+        result.to_profile(platform.name(), platform.core_count(), platform.page_size());
+    ASSERT_EQ(profile.errors.count("mem_overhead"), 1u);
+
+    const std::string text = profile.serialize();
+    EXPECT_NE(text.find("[errors]"), std::string::npos);
+    const auto reparsed = Profile::parse(text);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(*reparsed, profile);
+}
+
+TEST(PhaseIsolation, MemoIsSavedDespitePhaseFailure) {
+    // The successful phases' measurements must not be lost: a rerun after
+    // fixing the failure should replay them from the memo file.
+    SimPlatform inner(small_machine());
+    BrokenCopyPlatform platform(inner);
+    msg::SimNetwork network(inner.spec());
+    SuiteOptions options = fast_options();
+    const std::string path = testing::TempDir() + "memo_partial.txt";
+    options.memo_path = path;
+    const SuiteResult result = run_suite(platform, &network, options);
+    ASSERT_TRUE(result.partial());
+
+    exec::MemoCache memo;
+    EXPECT_EQ(memo.load_file(path), exec::MemoLoad::Loaded);
+    EXPECT_GT(memo.size(), 0u);
+    std::remove(path.c_str());
 }
 
 TEST(Suite, ProfileQueriesWorkOnSuiteOutput) {

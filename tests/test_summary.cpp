@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace servet::stats {
 namespace {
 
@@ -50,6 +52,19 @@ TEST(SummaryDeath, EmptyInputsAbort) {
     EXPECT_DEATH((void)median({}), "");
     EXPECT_DEATH((void)mean({}), "");
     EXPECT_DEATH((void)mode({}), "");
+}
+
+TEST(SummaryDeath, NonFiniteInputsAbort) {
+    // A NaN sample silently poisons nth_element-based medians (NaN
+    // comparisons are unordered, so the partition itself is undefined
+    // behaviour territory): callers must reject non-finite samples before
+    // statistics, and these checks catch the ones that slip through.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH((void)median({1.0, nan, 3.0}), "non-finite");
+    EXPECT_DEATH((void)median({inf}), "non-finite");
+    EXPECT_DEATH((void)median({-inf, 1.0}), "non-finite");
+    EXPECT_DEATH((void)mad({1.0, 2.0, nan}), "non-finite");
 }
 
 }  // namespace

@@ -127,6 +127,49 @@ TEST(ToolCli, MetricsSubcommandPrintsSummaryTable) {
     EXPECT_NE(result.output.find("stable"), std::string::npos);
 }
 
+TEST(ToolCli, InjectedPhaseFailureYieldsPartialProfileAndExitCode3) {
+    // throw=1 makes every platform probe throw, so the platform-side
+    // phases fail; the comm phase measures through the network and still
+    // completes. The tool must write the partial profile, name the failed
+    // phases, and exit with the documented partial-success code.
+    const std::string path = ::testing::TempDir() + "/tool_cli_partial.profile";
+    const auto result =
+        run_tool("profile --machine dempsey --fast --faults throw=1,seed=1 --out " + path);
+    EXPECT_EQ(result.exit_code, 3) << result.output;
+    EXPECT_NE(result.output.find("phase"), std::string::npos);
+    EXPECT_NE(result.output.find("failed"), std::string::npos);
+
+    std::ifstream in(path);
+    std::stringstream stored;
+    stored << in.rdbuf();
+    EXPECT_NE(stored.str().find("[errors]"), std::string::npos);
+    EXPECT_NE(stored.str().find("cache_size"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ToolCli, FaultsWithRobustSamplingStillSucceed) {
+    // Survivable fault rates through the adaptive sampler: exit 0 and a
+    // complete profile, faults notwithstanding.
+    const std::string path = ::testing::TempDir() + "/tool_cli_faulty.profile";
+    const auto result = run_tool(
+        "profile --machine dempsey --fast --jobs 4 --robust 3 --robust-max 9"
+        " --faults spike=0.05,factor=8,nan=0.02,seed=1337 --out " + path);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+
+    std::ifstream in(path);
+    std::stringstream stored;
+    stored << in.rdbuf();
+    EXPECT_EQ(stored.str().find("[errors]"), std::string::npos);
+    EXPECT_NE(stored.str().find("[cache 0]"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ToolCli, MalformedFaultSpecFails) {
+    const auto result = run_tool("profile --machine dempsey --fast --faults bogus=1");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("fault"), std::string::npos);
+}
+
 TEST(ToolCli, UnknownMachineFails) {
     const auto result = run_tool("profile --machine bogus");
     EXPECT_NE(result.exit_code, 0);

@@ -10,12 +10,14 @@
 //                                         cost one message from the profile
 //   servet metrics  [--machine M] [--out FILE]
 //                                         run the suite, summarize obs metrics
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
 #include "autotune/collective_select.hpp"
 #include "autotune/mapping.hpp"
 #include "base/cli.hpp"
+#include "base/fault_plan.hpp"
 #include "base/table.hpp"
 #include "base/units.hpp"
 #include "core/report.hpp"
@@ -23,6 +25,7 @@
 #include "core/tlb_detect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "msg/faulty_network.hpp"
 #include "msg/sim_network.hpp"
 #include "msg/thread_network.hpp"
 #include "platform/decorators.hpp"
@@ -33,6 +36,11 @@
 using namespace servet;
 
 namespace {
+
+/// `servet profile` wrote a profile, but at least one phase failed and
+/// the file's [errors] section lists it. Distinct from 1 (hard failure,
+/// nothing usable written) so scripts can keep the partial profile.
+constexpr int kExitPartialProfile = 3;
 
 struct Target {
     std::unique_ptr<Platform> platform;
@@ -82,6 +90,12 @@ int cmd_profile(int argc, const char* const* argv) {
     cli.add_option("machine", "target (see 'servet machines')", "native");
     cli.add_option("out", "profile file to write", "servet.profile");
     cli.add_option("robust", "median-of-N outlier rejection (1 = off)", "1");
+    cli.add_option("robust-max", "adaptive sampling cap (> --robust enables convergence-"
+                   "driven sampling)", "0");
+    cli.add_option("faults", "inject faults: spike=P,factor=F,nan=P,throw=P,hang=P,"
+                   "drop=P,delay=P,seed=N (testing)", "");
+    cli.add_option("task-deadline", "per-measurement-task deadline in seconds (0 = off)",
+                   "0");
     cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
     cli.add_option("memo", "measurement memo file reused across invocations", "");
     cli.add_option("trace", "write a Chrome trace_event JSON of the run", "");
@@ -96,9 +110,41 @@ int cmd_profile(int argc, const char* const* argv) {
         return 1;
     }
     Platform* platform = target->platform.get();
+    msg::Network* network = target->network.get();
+
+    // Fault injection wraps the raw substrates first, so robust sampling
+    // sees (and has to survive) the injected faults — the composition a
+    // real noisy machine presents.
+    std::optional<FaultPlan> faults;
+    std::unique_ptr<FlakyPlatform> flaky;
+    std::unique_ptr<msg::FaultyNetwork> faulty_net;
+    if (!cli.option("faults").empty()) {
+        faults = FaultPlan::parse(cli.option("faults"));
+        if (!faults) {
+            std::fprintf(stderr, "invalid --faults spec '%s'\n",
+                         cli.option("faults").c_str());
+            return 1;
+        }
+        if (faults->any_platform_faults()) {
+            flaky = std::make_unique<FlakyPlatform>(*platform, *faults);
+            platform = flaky.get();
+        }
+        if (network != nullptr && faults->any_network_faults()) {
+            faulty_net = std::make_unique<msg::FaultyNetwork>(*network, *faults);
+            network = faulty_net.get();
+        }
+    }
+
     std::unique_ptr<RobustPlatform> robust;
     const int samples = static_cast<int>(cli.option_int("robust").value_or(1));
-    if (samples > 1) {
+    const int samples_max = static_cast<int>(cli.option_int("robust-max").value_or(0));
+    if (samples_max > samples) {
+        RobustOptions robust_options;
+        robust_options.min_samples = std::max(samples, 1);
+        robust_options.max_samples = samples_max;
+        robust = std::make_unique<RobustPlatform>(*platform, robust_options);
+        platform = robust.get();
+    } else if (samples > 1) {
         robust = std::make_unique<RobustPlatform>(*platform, samples);
         platform = robust.get();
     }
@@ -117,9 +163,14 @@ int cmd_profile(int argc, const char* const* argv) {
     options.jobs = static_cast<int>(*jobs);
     options.memo_path = cli.option("memo");
     options.profile_counters = cli.flag("profile-counters");
+    const auto task_deadline = cli.option_double("task-deadline");
+    if (!task_deadline || *task_deadline < 0) {
+        std::fprintf(stderr, "--task-deadline must be a number >= 0\n");
+        return 1;
+    }
+    options.task_deadline = *task_deadline;
     if (!cli.option("trace").empty()) obs::tracer().set_enabled(true);
-    const core::SuiteResult result =
-        core::run_suite(*platform, target->network.get(), options);
+    const core::SuiteResult result = core::run_suite(*platform, network, options);
     if (!cli.option("trace").empty()) {
         obs::tracer().set_enabled(false);
         if (!obs::tracer().write_chrome_trace(cli.option("trace"))) {
@@ -151,6 +202,14 @@ int cmd_profile(int argc, const char* const* argv) {
                 "%zu comm layers)\n",
                 profile.machine.c_str(), path.c_str(), profile.caches.size(),
                 profile.memory.tiers.size(), profile.comm.size());
+    if (result.partial()) {
+        for (const core::PhaseError& error : result.errors)
+            std::fprintf(stderr, "phase %s failed: %s\n", error.phase.c_str(),
+                         error.message.c_str());
+        std::fprintf(stderr, "%zu phase(s) failed; the profile is partial (see its "
+                     "[errors] section)\n", result.errors.size());
+        return kExitPartialProfile;
+    }
     return 0;
 }
 
