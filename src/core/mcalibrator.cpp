@@ -2,6 +2,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "core/probe_common.hpp"
 #include "exec/task_key.hpp"
 #include "obs/metrics.hpp"
 #include "stats/gradient.hpp"
@@ -50,12 +51,9 @@ McalibratorCurve run_mcalibrator(MeasureEngine& engine, const McalibratorOptions
         task.placement_salt = exec::seed_of(task.key + "/pp");
         task.body = [size, options](Platform* platform, msg::Network*) {
             Cycles total = 0;
-            for (int r = 0; r < options.repeats; ++r) {
-                const Cycles sample = platform->traverse_cycles(options.core, size,
-                                                                options.stride, options.passes);
-                SERVET_CHECK_MSG(sample > 0, "traversal produced non-positive cycle count");
-                total += sample;
-            }
+            for (int r = 0; r < options.repeats; ++r)
+                total += checked_traverse(platform, options.core, size, options.stride,
+                                          options.passes, /*fresh_placement=*/true);
             return std::vector<double>{total / options.repeats};
         };
         tasks.push_back(std::move(task));

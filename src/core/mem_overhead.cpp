@@ -4,6 +4,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "core/probe_common.hpp"
 #include "obs/metrics.hpp"
 #include "stats/cluster.hpp"
 #include "stats/unionfind.hpp"
@@ -26,16 +27,7 @@ MemOverheadResult characterize_memory_overhead(MeasureEngine& engine,
     SERVET_CHECK(options.overhead_epsilon > 0 && options.overhead_epsilon < 1);
     SERVET_CHECK(engine.platform() != nullptr);
     const int n_cores = engine.platform()->core_count();
-
-    std::vector<CorePair> pairs;
-    if (options.only_with_core >= 0) {
-        SERVET_CHECK(options.only_with_core < n_cores);
-        for (CoreId j = 0; j < n_cores; ++j)
-            if (j != options.only_with_core)
-                pairs.push_back(CorePair{options.only_with_core, j}.canonical());
-    } else {
-        pairs = all_core_pairs(n_cores);
-    }
+    const std::vector<CorePair> pairs = probe_pairs(n_cores, options.only_with_core);
 
     // Batch 1: the isolated reference plus every pair, all independent.
     const std::string prefix = "mem/b" + std::to_string(options.array_bytes);

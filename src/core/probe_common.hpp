@@ -1,0 +1,37 @@
+// Small helpers shared by the pairwise detection probes (shared-cache,
+// memory-overhead): the pair schedule and the checked traversal sample.
+#pragma once
+
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/types.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::core {
+
+/// The probe's pair schedule: every canonical pair of distinct cores, or —
+/// when `only_with_core` is a valid core id — just the pairs containing it
+/// (the cheaper star schedule the paper uses on large node counts).
+[[nodiscard]] inline std::vector<CorePair> probe_pairs(int n_cores, CoreId only_with_core) {
+    if (only_with_core < 0) return all_core_pairs(n_cores);
+    SERVET_CHECK(only_with_core < n_cores);
+    std::vector<CorePair> pairs;
+    pairs.reserve(static_cast<std::size_t>(n_cores > 0 ? n_cores - 1 : 0));
+    for (CoreId j = 0; j < n_cores; ++j)
+        if (j != only_with_core) pairs.push_back(CorePair{only_with_core, j}.canonical());
+    return pairs;
+}
+
+/// One traversal sample with the probe-wide sanity check applied: a
+/// non-positive cycle count can only mean a broken platform (or a fault
+/// injected into one), and must fail loudly rather than skew a ratio.
+[[nodiscard]] inline Cycles checked_traverse(Platform* platform, CoreId core, Bytes array_bytes,
+                                             Bytes stride, int passes, bool fresh_placement) {
+    const Cycles cycles =
+        platform->traverse_cycles(core, array_bytes, stride, passes, fresh_placement);
+    SERVET_CHECK_MSG(cycles > 0, "traversal produced non-positive cycle count");
+    return cycles;
+}
+
+}  // namespace servet::core

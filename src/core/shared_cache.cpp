@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "base/log.hpp"
+#include "core/probe_common.hpp"
 #include "obs/metrics.hpp"
 #include "stats/unionfind.hpp"
 
@@ -28,15 +29,7 @@ std::vector<SharedCacheLevelResult> detect_shared_caches(MeasureEngine& engine,
     SERVET_CHECK(options.ratio_threshold > 1.0);
     SERVET_CHECK(engine.platform() != nullptr);
     const int n_cores = engine.platform()->core_count();
-    std::vector<CorePair> pairs;
-    if (options.only_with_core >= 0) {
-        SERVET_CHECK(options.only_with_core < n_cores);
-        for (CoreId j = 0; j < n_cores; ++j)
-            if (j != options.only_with_core)
-                pairs.push_back(CorePair{options.only_with_core, j}.canonical());
-    } else {
-        pairs = all_core_pairs(n_cores);
-    }
+    const std::vector<CorePair> pairs = probe_pairs(n_cores, options.only_with_core);
 
     // Cores whose solo reference the ratio computation needs: every pair
     // member, plus core 0 (reported as the level's reference).
@@ -71,11 +64,9 @@ std::vector<SharedCacheLevelResult> detect_shared_caches(MeasureEngine& engine,
             MeasureTask task;
             task.key = prefix + "/ref/c" + std::to_string(core);
             task.body = [core, array_bytes, options](Platform* platform, msg::Network*) {
-                const Cycles cycles =
-                    platform->traverse_cycles(core, array_bytes, options.stride, options.passes,
-                                              /*fresh_placement=*/false);
-                SERVET_CHECK(cycles > 0);
-                return std::vector<double>{cycles};
+                return std::vector<double>{checked_traverse(platform, core, array_bytes,
+                                                            options.stride, options.passes,
+                                                            /*fresh_placement=*/false)};
             };
             tasks.push_back(std::move(task));
         }

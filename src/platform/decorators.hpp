@@ -21,7 +21,10 @@
 //
 // Both decorators forward fork(): wrapping a forkable platform keeps the
 // engine's parallel, memoized path, with the decorator re-applied around
-// each replica.
+// each replica. Forwarding is also what carries inner-platform modes
+// through a decorator stack — in particular SimPlatform's traversal
+// engine selection (batched vs reference, docs/simulator.md) survives
+// wrapping and forking without the decorators knowing it exists.
 #pragma once
 
 #include <atomic>

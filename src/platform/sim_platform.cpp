@@ -24,7 +24,9 @@ std::unique_ptr<Platform> SimPlatform::fork(std::uint64_t noise_salt,
     // tasks and reference/concurrent ratios cancel placement luck.
     if (placement_salt != 0) replica.seed ^= mix64(placement_salt);
     const std::uint64_t noise_seed = mix64(replica.seed ^ 0x901e54ULL ^ noise_salt);
-    return std::make_unique<SimPlatform>(std::move(replica), noise_seed);
+    auto fork = std::make_unique<SimPlatform>(std::move(replica), noise_seed);
+    fork->set_engine(engine_);
+    return fork;
 }
 
 int SimPlatform::core_count() const { return sim_.spec().n_cores; }
@@ -35,14 +37,17 @@ double SimPlatform::jitter() { return noise_.jitter(sim_.spec().measurement_jitt
 
 Cycles SimPlatform::traverse_cycles(CoreId core, Bytes array_bytes, Bytes stride, int passes,
                                     bool fresh_placement) {
-    return sim_.traverse_one(core, array_bytes, stride, passes, fresh_placement) * jitter();
+    return traverse_cycles_concurrent({core}, array_bytes, stride, passes, fresh_placement)
+        .front();
 }
 
 std::vector<Cycles> SimPlatform::traverse_cycles_concurrent(const std::vector<CoreId>& cores,
                                                             Bytes array_bytes, Bytes stride,
                                                             int passes, bool fresh_placement) {
     sim::TraversalResult result =
-        sim_.traverse(cores, array_bytes, stride, passes, fresh_placement);
+        engine_ == Engine::Batched
+            ? sim_.traverse(cores, array_bytes, stride, passes, fresh_placement)
+            : sim_.traverse_reference(cores, array_bytes, stride, passes, fresh_placement);
     for (Cycles& c : result.cycles_per_access) c *= jitter();
     return std::move(result.cycles_per_access);
 }

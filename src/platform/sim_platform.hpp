@@ -14,6 +14,12 @@ namespace servet {
 
 class SimPlatform final : public Platform {
   public:
+    /// Which MachineSim engine serves traversal requests. Batched is the
+    /// production line-stream pipeline; Reference is the scalar oracle —
+    /// cycle-for-cycle identical, kept selectable so equivalence suites
+    /// and the perf smoke test can drive both through the platform API.
+    enum class Engine { Batched, Reference };
+
     explicit SimPlatform(sim::MachineSpec spec);
     /// Replica constructor: same machine, private noise stream.
     SimPlatform(sim::MachineSpec spec, std::uint64_t noise_seed);
@@ -38,11 +44,17 @@ class SimPlatform final : public Platform {
     [[nodiscard]] const sim::MachineSpec& spec() const { return sim_.spec(); }
     [[nodiscard]] sim::MachineSim& machine() { return sim_; }
 
+    /// Engine selection survives fork(), so a suite run pinned to the
+    /// scalar oracle stays on it across replicas.
+    void set_engine(Engine engine) { engine_ = engine; }
+    [[nodiscard]] Engine engine() const { return engine_; }
+
   private:
     [[nodiscard]] double jitter();
 
     sim::MachineSim sim_;
     Rng noise_;
+    Engine engine_ = Engine::Batched;
 };
 
 }  // namespace servet

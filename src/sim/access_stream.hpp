@@ -1,0 +1,54 @@
+// AccessStream: the line-stream representation of one core's traversal.
+//
+// The benchmark access pattern behind every Servet probe (Fig. 1) is two
+// constant-stride sweeps over one array: a setup sweep that touches every
+// cache line sequentially, then repeated probe passes at the measurement
+// stride. Instead of re-deriving `base + offset` per element inside the
+// simulator's hot loop, the engine plans both sweeps once per
+// (array, stride, core) as AccessRuns — (base, stride, count) triples —
+// and streams them. A run is also the unit the prefetcher model consumes
+// (StreamPrefetcher::plan_run) and the granularity at which the engine
+// resolves page translations.
+#pragma once
+
+#include <cstdint>
+
+#include "base/check.hpp"
+#include "base/types.hpp"
+
+namespace servet::sim {
+
+/// One constant-stride run of demand accesses: addresses `base + k*stride`
+/// for k in [0, count).
+struct AccessRun {
+    std::uint64_t base = 0;
+    std::int64_t stride = 0;  ///< signed: boundary math stays exact
+    std::uint64_t count = 0;
+
+    [[nodiscard]] std::uint64_t address(std::uint64_t k) const {
+        return static_cast<std::uint64_t>(static_cast<std::int64_t>(base) +
+                                          static_cast<std::int64_t>(k) * stride);
+    }
+};
+
+/// One core's planned traversal: the line-granular init sweep plus the
+/// probe pass replayed for the warm-up and every measured pass.
+struct AccessStream {
+    AccessRun init;     ///< every line touched once, sequentially
+    AccessRun measure;  ///< ceil(array/stride) probe accesses per pass
+
+    /// Plan the traversal of `array_bytes` at `stride` from virtual
+    /// address `base`, with `line_size` the innermost cache's line.
+    [[nodiscard]] static AccessStream plan(std::uint64_t base, Bytes array_bytes, Bytes stride,
+                                           Bytes line_size) {
+        SERVET_CHECK(array_bytes > 0 && stride > 0 && line_size > 0);
+        AccessStream stream;
+        stream.init = {base, static_cast<std::int64_t>(line_size),
+                       (array_bytes + line_size - 1) / line_size};
+        stream.measure = {base, static_cast<std::int64_t>(stride),
+                          (array_bytes + stride - 1) / stride};
+        return stream;
+    }
+};
+
+}  // namespace servet::sim

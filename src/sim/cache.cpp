@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "base/check.hpp"
@@ -10,6 +11,8 @@ bool CacheGeometry::valid() const {
     if (size == 0 || line_size == 0 || associativity <= 0) return false;
     if (!std::has_single_bit(line_size)) return false;
     const Bytes way_bytes = line_size * static_cast<Bytes>(associativity);
+    // `size % way_bytes == 0 && size > 0` implies at least one set, so the
+    // set_count() call below never trips its degenerate-geometry check.
     return size % way_bytes == 0 && set_count() >= 1;
 }
 
@@ -17,78 +20,32 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geometry) : geometry_(geometry
     SERVET_CHECK_MSG(geometry.valid(), "invalid cache geometry");
     line_shift_ = static_cast<std::uint64_t>(std::countr_zero(geometry.line_size));
     sets_ = geometry.set_count();
-    ways_.resize(sets_ * static_cast<std::uint64_t>(geometry.associativity));
-}
-
-SetAssocCache::Way* SetAssocCache::find(std::uint64_t line) {
-    const std::uint64_t set = set_index(line);
-    const std::uint64_t tag = tag_of(line);
-    Way* base = &ways_[set * static_cast<std::uint64_t>(geometry_.associativity)];
-    for (int w = 0; w < geometry_.associativity; ++w) {
-        if (base[w].tag == tag) return &base[w];
+    assoc_ = geometry.associativity;
+    sets_pow2_ = std::has_single_bit(sets_);
+    if (sets_pow2_) {
+        set_shift_ = static_cast<std::uint64_t>(std::countr_zero(sets_));
+        set_mask_ = sets_ - 1;
     }
-    return nullptr;
-}
-
-SetAssocCache::Way& SetAssocCache::victim(std::uint64_t set) {
-    Way* base = &ways_[set * static_cast<std::uint64_t>(geometry_.associativity)];
-    Way* lru = base;
-    for (int w = 1; w < geometry_.associativity; ++w) {
-        if (base[w].tag == kInvalidTag) return base[w];  // free way first
-        if (base[w].stamp < lru->stamp) lru = &base[w];
-    }
-    return *lru;
-}
-
-bool SetAssocCache::access(std::uint64_t addr) {
-    const std::uint64_t line = addr >> line_shift_;
-    ++clock_;
-    if (Way* way = find(line)) {
-        way->stamp = clock_;
-        ++hits_;
-        if (way->prefetched) {
-            ++prefetch_useful_;
-            way->prefetched = false;
-        }
-        return true;
-    }
-    ++misses_;
-    Way& way = victim(set_index(line));
-    if (way.tag != kInvalidTag) ++evictions_;
-    way.tag = tag_of(line);
-    way.stamp = clock_;
-    way.prefetched = false;
-    return false;
-}
-
-void SetAssocCache::prefetch_fill(std::uint64_t addr) {
-    const std::uint64_t line = addr >> line_shift_;
-    ++clock_;
-    if (Way* way = find(line)) {
-        way->stamp = clock_;
-        return;
-    }
-    Way& way = victim(set_index(line));
-    if (way.tag != kInvalidTag) ++evictions_;
-    way.tag = tag_of(line);
-    way.stamp = clock_;
-    way.prefetched = true;
-    ++prefetch_fills_;
+    const std::uint64_t n_ways = sets_ * static_cast<std::uint64_t>(geometry.associativity);
+    tags_.assign(n_ways, kInvalidTag);
+    stamps_.assign(n_ways, 0);
+    prefetched_.assign(n_ways, 0);
 }
 
 bool SetAssocCache::contains(std::uint64_t addr) const {
     const std::uint64_t line = addr >> line_shift_;
-    const std::uint64_t set = line % sets_;
-    const std::uint64_t tag = line / sets_;
-    const Way* base = &ways_[set * static_cast<std::uint64_t>(geometry_.associativity)];
-    for (int w = 0; w < geometry_.associativity; ++w) {
-        if (base[w].tag == tag) return true;
+    const std::uint64_t base = set_index(line) * static_cast<std::uint64_t>(assoc_);
+    const std::uint64_t tag = tag_of(line);
+    for (int w = 0; w < assoc_; ++w) {
+        if (tags_[base + static_cast<std::uint64_t>(w)] == tag) return true;
     }
     return false;
 }
 
 void SetAssocCache::invalidate_all() {
-    for (Way& way : ways_) way = Way{};
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    std::fill(prefetched_.begin(), prefetched_.end(), 0);
     clock_ = 0;
 }
 

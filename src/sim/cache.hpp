@@ -4,11 +4,22 @@
 // access trace through them, so capacity misses, conflict misses from
 // physical indexing, and inter-core thrashing in shared caches all emerge
 // from the same mechanism that produces them on hardware.
+//
+// Replacement is age-stamp LRU: every way carries a monotonically
+// increasing stamp rather than living in a recency-ordered list, so a hit
+// is one store instead of a reorder. The batched engine (sim/engine.hpp)
+// leans on that: access() and prefetch_fill() are defined inline here so
+// the line-stream inner loop compiles down to a tag scan and a stamp
+// write with no call overhead. State is stored structure-of-arrays (tags,
+// stamps, and prefetch bits in separate set-major vectors) so the tag
+// scan of an 8-way set reads one cache line of the host machine, not
+// three.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "base/check.hpp"
 #include "base/types.hpp"
 
 namespace servet::sim {
@@ -23,17 +34,25 @@ struct CacheGeometry {
     bool physically_indexed = false;
 
     [[nodiscard]] std::uint64_t set_count() const {
-        return size / (line_size * static_cast<Bytes>(associativity));
+        const Bytes way_capacity = line_size * static_cast<Bytes>(associativity);
+        SERVET_CHECK_MSG(way_capacity > 0 && size / way_capacity >= 1,
+                         "degenerate cache geometry: zero sets");
+        return size / way_capacity;
     }
 
     /// Page sets of Section III-A2: groups of sets that can receive data
-    /// from one page. CS / (K * PS).
+    /// from one page. CS / (K * PS). Zero is a legal answer (a cache whose
+    /// way capacity is below one page has no whole page set); only a zero
+    /// divisor is degenerate.
     [[nodiscard]] std::uint64_t page_set_count(Bytes page_size) const {
-        return size / (static_cast<Bytes>(associativity) * page_size);
+        const Bytes way_pages = static_cast<Bytes>(associativity) * page_size;
+        SERVET_CHECK_MSG(way_pages > 0, "degenerate cache geometry: zero-byte ways");
+        return size / way_pages;
     }
 
     /// Line size a power of two, size an exact multiple of way capacity,
-    /// and at least one set.
+    /// and at least one set. Never aborts: degenerate geometries (the ones
+    /// set_count() refuses) report false here.
     [[nodiscard]] bool valid() const;
 };
 
@@ -45,11 +64,50 @@ class SetAssocCache {
     /// Look up the line containing `addr` (a byte address in whichever
     /// address space this cache is indexed by); on miss, fill it, evicting
     /// the LRU way. Returns true on hit.
-    bool access(std::uint64_t addr);
+    bool access(std::uint64_t addr) {
+        const std::uint64_t line = addr >> line_shift_;
+        const std::uint64_t tag = tag_of(line);
+        const std::uint64_t base = set_index(line) * static_cast<std::uint64_t>(assoc_);
+        ++clock_;
+        const int hit_w = scan(base, tag);
+        if (hit_w >= 0) {
+            const std::uint64_t i = base + static_cast<std::uint64_t>(hit_w);
+            stamps_[i] = clock_;
+            ++hits_;
+            if (prefetched_[i] != 0) {
+                ++prefetch_useful_;
+                prefetched_[i] = 0;
+            }
+            return true;
+        }
+        ++misses_;
+        const std::uint64_t v = victim_in(base);
+        if (tags_[v] != kInvalidTag) ++evictions_;
+        tags_[v] = tag;
+        stamps_[v] = clock_;
+        prefetched_[v] = 0;
+        return false;
+    }
 
     /// Fill without counting a demand access (prefetch path). Touches LRU
     /// state like a normal fill.
-    void prefetch_fill(std::uint64_t addr);
+    void prefetch_fill(std::uint64_t addr) {
+        const std::uint64_t line = addr >> line_shift_;
+        const std::uint64_t tag = tag_of(line);
+        const std::uint64_t base = set_index(line) * static_cast<std::uint64_t>(assoc_);
+        ++clock_;
+        const int hit_w = scan(base, tag);
+        if (hit_w >= 0) {
+            stamps_[base + static_cast<std::uint64_t>(hit_w)] = clock_;
+            return;
+        }
+        const std::uint64_t v = victim_in(base);
+        if (tags_[v] != kInvalidTag) ++evictions_;
+        tags_[v] = tag;
+        stamps_[v] = clock_;
+        prefetched_[v] = 1;
+        ++prefetch_fills_;
+    }
 
     /// True iff the line is currently resident (no LRU update, no fill).
     [[nodiscard]] bool contains(std::uint64_t addr) const;
@@ -71,22 +129,73 @@ class SetAssocCache {
     }
 
   private:
-    struct Way {
-        std::uint64_t tag = kInvalidTag;
-        std::uint64_t stamp = 0;  // larger = more recently used
-        bool prefetched = false;  // installed by prefetch, no demand hit yet
-    };
     static constexpr std::uint64_t kInvalidTag = ~0ULL;
 
-    [[nodiscard]] std::uint64_t set_index(std::uint64_t line) const { return line % sets_; }
-    [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const { return line / sets_; }
-    Way* find(std::uint64_t line);
-    Way& victim(std::uint64_t set);
+    // Most real geometries have power-of-two set counts; that case gets a
+    // shift/mask instead of div/mod, which matters because the traversal
+    // engines do several set/tag computations per simulated access.
+    [[nodiscard]] std::uint64_t set_index(std::uint64_t line) const {
+        return sets_pow2_ ? (line & set_mask_) : (line % sets_);
+    }
+    [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const {
+        return sets_pow2_ ? (line >> set_shift_) : (line / sets_);
+    }
+    /// Way index holding `tag` in the set starting at flat index `base`,
+    /// or -1. A line lives in at most one way (fills only install absent
+    /// lines), so the scan has no early exit: a branch-free full pass over
+    /// the set's tags compiles to straight-line compare+cmov when the trip
+    /// count is a compile-time constant, which the dispatch below arranges
+    /// for the associativities real cache levels use. Large fully
+    /// associative shapes (TLBs) take the generic loop; their scans are
+    /// memory-bound either way.
+    template <int kAssoc>
+    [[nodiscard]] static int scan_fixed(const std::uint64_t* tags, std::uint64_t tag) {
+        int hit_w = -1;
+        for (int w = 0; w < kAssoc; ++w) hit_w = tags[w] == tag ? w : hit_w;
+        return hit_w;
+    }
+    [[nodiscard]] int scan(std::uint64_t base, std::uint64_t tag) const {
+        const std::uint64_t* tags = tags_.data() + base;
+        switch (assoc_) {
+            case 4: return scan_fixed<4>(tags, tag);
+            case 8: return scan_fixed<8>(tags, tag);
+            case 12: return scan_fixed<12>(tags, tag);
+            case 16: return scan_fixed<16>(tags, tag);
+            default: break;
+        }
+        int hit_w = -1;
+        for (int w = 0; w < assoc_; ++w) hit_w = tags[w] == tag ? w : hit_w;
+        return hit_w;
+    }
+
+    /// Index of the way to replace in the set starting at `base`: the
+    /// first free way past way 0 if any, else the smallest stamp (way 0
+    /// included, ties keep the lowest index — and a free way 0 wins the
+    /// stamp comparison because free ways carry stamp 0).
+    std::uint64_t victim_in(std::uint64_t base) const {
+        std::uint64_t lru = base;
+        for (int w = 1; w < assoc_; ++w) {
+            const std::uint64_t i = base + static_cast<std::uint64_t>(w);
+            if (tags_[i] == kInvalidTag) return i;  // free way first
+            if (stamps_[i] < stamps_[lru]) lru = i;
+        }
+        return lru;
+    }
 
     CacheGeometry geometry_;
     std::uint64_t line_shift_;
     std::uint64_t sets_;
-    std::vector<Way> ways_;  // set-major layout: ways_[set * assoc + way]
+    int assoc_;
+    bool sets_pow2_;
+    std::uint64_t set_shift_ = 0;  // valid when sets_pow2_
+    std::uint64_t set_mask_ = 0;   // valid when sets_pow2_
+    // Set-major structure-of-arrays: entry set * assoc + way of each
+    // vector describes one way. tags_ holds kInvalidTag for free ways,
+    // stamps_ the LRU age stamp (larger = more recent, 0 = never used),
+    // prefetched_ a 0/1 "installed by prefetch, no demand hit yet" flag.
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> stamps_;
+    std::vector<std::uint8_t> prefetched_;
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -12,7 +12,47 @@ namespace {
 /// traversal call allocates "fresh" pages and draws a fresh physical
 /// placement, like a real malloc+touch.
 constexpr std::uint64_t kCoreSpaceBits = 36;  // 64 GiB of virtual space per array
+
+/// Sentinel for the per-core one-entry page-translation caches: no array
+/// page can shift down to all-ones (arrays live at (core+1) << 36).
+constexpr std::uint64_t kNoPage = ~0ULL;
+
+/// How many of a run's `count` accesses emit prefetches under `plan` —
+/// the closed form of the per-access condition in batched_access
+/// (access 0 emits iff first_emits; access i >= 1 emits iff
+/// i >= emit_from). Lets the batched pass account for translations and
+/// prefetch issues once per run instead of once per access.
+std::uint64_t emitting_accesses(const StreamRunPlan& plan, std::uint64_t count) {
+    if (count == 0) return 0;
+    std::uint64_t n = plan.first_emits ? 1 : 0;
+    const std::uint64_t from = plan.emit_from < 1 ? 1 : plan.emit_from;
+    if (count > from) n += count - from;
+    return n;
+}
 }  // namespace
+
+/// Per-core state of one batched traversal: the address cursor, the core's
+/// resolved lookup path, its prefetcher's run plan, and the two one-entry
+/// page-translation caches. Demand and fill translations cache separately
+/// on purpose: a prefetch fill's page is never TLB-validated, so letting a
+/// fill populate the demand cache would skip a TLB access that the scalar
+/// oracle performs (and that could miss).
+struct MachineSim::CoreRun {
+    std::uint64_t base = 0;    ///< start of this core's virtual array
+    std::uint64_t cursor = 0;  ///< address of the next demand access
+    double latency_mult = 1.0;
+    const ResolvedLevel* path = nullptr;
+    std::size_t path_len = 0;
+    SetAssocCache* tlb = nullptr;  ///< null when the TLB model is off
+    StreamPrefetcher* prefetcher = nullptr;
+    int degree = 0;  ///< prefetcher->spec().degree, hoisted out of the hot loop
+    StreamRunPlan plan;
+    std::uint64_t demand_page = kNoPage;
+    std::uint64_t demand_frame_base = 0;
+    std::uint64_t fill_page = kNoPage;
+    std::uint64_t fill_frame_base = 0;
+    Cycles total = 0;  ///< measured-pass cycle accumulator
+};
 
 MachineSim::MachineSim(MachineSpec spec) : spec_(std::move(spec)), memory_(spec_) {
     const auto problems = spec_.validate();
@@ -52,8 +92,27 @@ MachineSim::MachineSim(MachineSpec spec) : spec_(std::move(spec)), memory_(spec_
     const std::uint64_t frames = (16 * GiB) / spec_.page_size;
     mapper_ = std::make_unique<PageMapper>(spec_.page_policy, spec_.page_size, frames,
                                            spec_.page_colors(), spec_.seed);
+    page_shift_ = mapper_->page_shift();
+    page_mask_ = spec_.page_size - 1;
 
+    build_resolved_paths();
     register_counters();
+}
+
+void MachineSim::build_resolved_paths() {
+    resolved_paths_.assign(static_cast<std::size_t>(spec_.n_cores),
+                           std::vector<ResolvedLevel>{});
+    for (CoreId core = 0; core < spec_.n_cores; ++core) {
+        std::vector<ResolvedLevel>& path = resolved_paths_[static_cast<std::size_t>(core)];
+        path.reserve(spec_.levels.size());
+        for (std::size_t level = 0; level < spec_.levels.size(); ++level) {
+            const int instance = instance_of_[level][static_cast<std::size_t>(core)];
+            SERVET_CHECK_MSG(instance >= 0, "core not covered by a cache instance");
+            path.push_back({&caches_[level][static_cast<std::size_t>(instance)],
+                            spec_.levels[level].hit_cycles,
+                            spec_.levels[level].geometry.physically_indexed});
+        }
+    }
 }
 
 void MachineSim::register_counters() {
@@ -102,11 +161,16 @@ void MachineSim::flush_traverse_counters(std::uint64_t demand_accesses) {
     }
     counters_.tlb_misses->add(tlb_misses);
     // The mapper is recreated at traverse start, so its totals are this
-    // traverse's page-map faults and translations.
+    // traverse's page-map faults. Translations are tallied logically (one
+    // per demand access plus one per prefetch fill) rather than read from
+    // the mapper: the batched engine answers most translations from its
+    // page caches without a mapper call, and the counter must not depend
+    // on which engine ran.
     counters_.page_faults->add(mapper_->mapped_pages());
-    counters_.page_translations->add(mapper_->translation_count());
+    counters_.page_translations->add(tally_translations_);
     counters_.prefetch_issued->add(tally_prefetch_issued_);
     counters_.contended_accesses->add(tally_contended_);
+    tally_translations_ = 0;
     tally_prefetch_issued_ = 0;
     tally_contended_ = 0;
     counters_.traverse_calls->increment();
@@ -127,9 +191,11 @@ void MachineSim::reset_microarchitecture(Bytes array_bytes, bool fresh_placement
     mapper_ = std::make_unique<PageMapper>(spec_.page_policy, spec_.page_size, frames,
                                            spec_.page_colors(),
                                            spec_.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+    build_resolved_paths();
 }
 
 void MachineSim::fill_for_prefetch(CoreId core, std::uint64_t vaddr) {
+    ++tally_translations_;
     const std::uint64_t paddr = mapper_->translate(vaddr);
     for (std::size_t level = 0; level < caches_.size(); ++level) {
         const int instance = instance_of_[level][static_cast<std::size_t>(core)];
@@ -141,6 +207,7 @@ void MachineSim::fill_for_prefetch(CoreId core, std::uint64_t vaddr) {
 
 Cycles MachineSim::access_cost(CoreId core, std::uint64_t vaddr, double latency_mult) {
     ++total_accesses_;
+    ++tally_translations_;
 
     // Prefetcher observes the demand stream and may pull lines in ahead.
     std::uint64_t prefetch_addrs[8];
@@ -177,12 +244,102 @@ Cycles MachineSim::access_cost(CoreId core, std::uint64_t vaddr, double latency_
     return cost + tlb_penalty;
 }
 
-TraversalResult MachineSim::traverse(const std::vector<CoreId>& cores, Bytes array_bytes,
-                                     Bytes stride, int measure_passes, bool fresh_placement) {
+void MachineSim::reference_pass(const std::vector<CoreId>& cores,
+                                const std::vector<std::uint64_t>& bases, const AccessRun& run,
+                                const std::vector<double>& latency_mult,
+                                std::vector<Cycles>* totals) {
+    for (std::uint64_t k = 0; k < run.count; ++k) {
+        const std::uint64_t offset = run.address(k);
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            const Cycles cost = access_cost(cores[i], bases[i] + offset, latency_mult[i]);
+            if (totals != nullptr) (*totals)[i] += cost;
+        }
+    }
+}
+
+inline void MachineSim::batched_fill(CoreRun& run, std::uint64_t vaddr) {
+    const std::uint64_t vpage = vaddr >> page_shift_;
+    std::uint64_t paddr;
+    if (vpage == run.fill_page) {
+        paddr = run.fill_frame_base | (vaddr & page_mask_);
+    } else {
+        paddr = mapper_->translate(vaddr);
+        run.fill_page = vpage;
+        run.fill_frame_base = paddr & ~page_mask_;
+    }
+    for (std::size_t l = 0; l < run.path_len; ++l)
+        run.path[l].cache->prefetch_fill(run.path[l].physically_indexed ? paddr : vaddr);
+}
+
+inline Cycles MachineSim::batched_access(CoreRun& run, std::uint64_t vaddr,
+                                         std::uint64_t index) {
+    // Translation. Consecutive demand accesses to the same page cannot
+    // change this core's TLB outcome (nothing else touches its TLB in
+    // between, and prefetch fills never do), so the TLB and mapper are
+    // consulted only on a page crossing.
+    Cycles tlb_penalty = 0;
+    const std::uint64_t vpage = vaddr >> page_shift_;
+    std::uint64_t paddr;
+    if (vpage == run.demand_page) {
+        paddr = run.demand_frame_base | (vaddr & page_mask_);
+    } else {
+        if (run.tlb != nullptr && !run.tlb->access(vaddr)) tlb_penalty = spec_.tlb.miss_cycles;
+        paddr = mapper_->translate(vaddr);
+        run.demand_page = vpage;
+        run.demand_frame_base = paddr & ~page_mask_;
+    }
+
+    Cycles cost = -1;
+    for (std::size_t l = 0; l < run.path_len; ++l) {
+        if (run.path[l].cache->access(run.path[l].physically_indexed ? paddr : vaddr)) {
+            cost = run.path[l].hit_cycles;
+            break;
+        }
+    }
+    if (cost < 0) {
+        cost = spec_.memory.latency_cycles * run.latency_mult;
+        if (run.latency_mult > 1.0) ++tally_contended_;  // bus-queueing stall
+    }
+
+    // Prefetch emission follows the run plan; fills land after the demand
+    // lookup, exactly where the scalar oracle issues them.
+    const bool emits = (index == 0) ? run.plan.first_emits : (index >= run.plan.emit_from);
+    if (emits) {
+        const std::int64_t pf_stride =
+            (index == 0) ? run.plan.first_stride : run.plan.emit_stride;
+        for (int d = 1; d <= run.degree; ++d) {
+            const std::uint64_t pf_addr = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(vaddr) + static_cast<std::int64_t>(d) * pf_stride);
+            batched_fill(run, pf_addr);
+        }
+    }
+    return cost + tlb_penalty;
+}
+
+template <bool kMeasure>
+void MachineSim::batched_pass(std::vector<CoreRun>& runs, std::int64_t stride,
+                              std::uint64_t count) {
+    for (std::uint64_t k = 0; k < count; ++k) {
+        for (CoreRun& run : runs) {
+            const Cycles cost = batched_access(run, run.cursor, k);
+            run.cursor += static_cast<std::uint64_t>(stride);
+            if constexpr (kMeasure) run.total += cost;
+        }
+    }
+}
+
+TraversalResult MachineSim::run_traversal(const std::vector<CoreId>& cores, Bytes array_bytes,
+                                          Bytes stride, int measure_passes,
+                                          bool fresh_placement, bool batched) {
     SERVET_TRACE_SPAN("sim/traverse");
     SERVET_CHECK(!cores.empty());
     SERVET_CHECK(array_bytes > 0 && stride > 0 && measure_passes > 0);
     for (CoreId c : cores) SERVET_CHECK(c >= 0 && c < spec_.n_cores);
+    // Each core needs its own array, prefetcher stream, and page caches;
+    // listing a core twice would silently alias them.
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        for (std::size_t j = i + 1; j < cores.size(); ++j)
+            SERVET_CHECK_MSG(cores[i] != cores[j], "traverse cores must be distinct");
 
     const std::uint64_t accesses_before = total_accesses_;
     reset_microarchitecture(array_bytes, fresh_placement);
@@ -194,39 +351,83 @@ TraversalResult MachineSim::traverse(const std::vector<CoreId>& cores, Bytes arr
     for (std::size_t i = 0; i < n_cores; ++i)
         base[i] = (static_cast<std::uint64_t>(cores[i]) + 1) << kCoreSpaceBits;
 
-    std::vector<double> latency_mult(n_cores);
-    for (std::size_t i = 0; i < n_cores; ++i)
-        latency_mult[i] = memory_.latency_multiplier(cores[i], cores);
+    const std::vector<double> latency_mult = memory_.latency_multipliers(cores);
 
     const Bytes line = spec_.levels.empty() ? 64 : spec_.levels.front().geometry.line_size;
+    // Runs are planned as offsets from zero; each core adds its own base.
+    const AccessStream stream = AccessStream::plan(0, array_bytes, stride, line);
 
-    // Initialization: the benchmark's setup loop writes the stride into
-    // every element, touching each line sequentially. Interleaved across
-    // cores like the measured phase.
-    for (Bytes offset = 0; offset < array_bytes; offset += line)
-        for (std::size_t i = 0; i < n_cores; ++i)
-            (void)access_cost(cores[i], base[i] + offset, latency_mult[i]);
-
-    const std::uint64_t accesses = (array_bytes + stride - 1) / stride;
     std::vector<Cycles> total(n_cores, 0.0);
-    for (int pass = -1; pass < measure_passes; ++pass) {  // pass -1 = warm-up
-        for (std::uint64_t k = 0; k < accesses; ++k) {
-            const Bytes offset = k * stride;
-            for (std::size_t i = 0; i < n_cores; ++i) {
-                const Cycles cost = access_cost(cores[i], base[i] + offset, latency_mult[i]);
-                if (pass >= 0) total[i] += cost;
-            }
+    if (batched) {
+        std::vector<CoreRun> runs(n_cores);
+        for (std::size_t i = 0; i < n_cores; ++i) {
+            const std::size_t core = static_cast<std::size_t>(cores[i]);
+            runs[i].base = base[i];
+            runs[i].latency_mult = latency_mult[i];
+            runs[i].path = resolved_paths_[core].data();
+            runs[i].path_len = resolved_paths_[core].size();
+            runs[i].tlb = tlbs_.empty() ? nullptr : &tlbs_[core];
+            runs[i].prefetcher = &prefetchers_[core];
+            runs[i].degree = prefetchers_[core].spec().degree;
         }
+        const auto begin_run = [this](std::vector<CoreRun>& rs, const AccessRun& r) {
+            for (CoreRun& run : rs) {
+                run.cursor = run.base + r.base;
+                run.plan = run.prefetcher->plan_run(run.cursor, r.stride, r.count);
+                // The batched inner loop keeps no per-access tallies; the
+                // whole pass is accounted here in closed form (one logical
+                // translation per demand access and per prefetch fill,
+                // matching what the scalar oracle counts as it goes).
+                const std::uint64_t issued =
+                    emitting_accesses(run.plan, r.count) *
+                    static_cast<std::uint64_t>(run.degree);
+                total_accesses_ += r.count;
+                tally_translations_ += r.count + issued;
+                tally_prefetch_issued_ += issued;
+            }
+        };
+        begin_run(runs, stream.init);
+        batched_pass<false>(runs, stream.init.stride, stream.init.count);
+        for (int pass = -1; pass < measure_passes; ++pass) {  // pass -1 = warm-up
+            begin_run(runs, stream.measure);
+            if (pass >= 0)
+                batched_pass<true>(runs, stream.measure.stride, stream.measure.count);
+            else
+                batched_pass<false>(runs, stream.measure.stride, stream.measure.count);
+        }
+        for (std::size_t i = 0; i < n_cores; ++i) total[i] = runs[i].total;
+    } else {
+        // Initialization: the benchmark's setup loop writes the stride into
+        // every element, touching each line sequentially. Interleaved across
+        // cores like the measured phase.
+        reference_pass(cores, base, stream.init, latency_mult, nullptr);
+        for (int pass = -1; pass < measure_passes; ++pass)  // pass -1 = warm-up
+            reference_pass(cores, base, stream.measure, latency_mult,
+                           pass >= 0 ? &total : nullptr);
     }
 
     flush_traverse_counters(total_accesses_ - accesses_before);
 
     TraversalResult result;
-    result.accesses_per_core = accesses * static_cast<std::uint64_t>(measure_passes);
+    result.accesses_per_core =
+        stream.measure.count * static_cast<std::uint64_t>(measure_passes);
     result.cycles_per_access.resize(n_cores);
     for (std::size_t i = 0; i < n_cores; ++i)
         result.cycles_per_access[i] = total[i] / static_cast<double>(result.accesses_per_core);
     return result;
+}
+
+TraversalResult MachineSim::traverse(const std::vector<CoreId>& cores, Bytes array_bytes,
+                                     Bytes stride, int measure_passes, bool fresh_placement) {
+    return run_traversal(cores, array_bytes, stride, measure_passes, fresh_placement,
+                         /*batched=*/true);
+}
+
+TraversalResult MachineSim::traverse_reference(const std::vector<CoreId>& cores,
+                                               Bytes array_bytes, Bytes stride,
+                                               int measure_passes, bool fresh_placement) {
+    return run_traversal(cores, array_bytes, stride, measure_passes, fresh_placement,
+                         /*batched=*/false);
 }
 
 Cycles MachineSim::traverse_one(CoreId core, Bytes array_bytes, Bytes stride,

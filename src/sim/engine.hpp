@@ -4,6 +4,21 @@
 // interleaved round-robin so thrashing in shared caches (the signal behind
 // the shared-cache benchmark, Fig. 5) emerges from LRU replacement rather
 // than being scripted.
+//
+// Two engines execute the same machine model (docs/simulator.md):
+//
+//  - traverse(): the batched line-stream pipeline. Each core's traversal
+//    is planned once as an AccessStream, the cache lookup path per core is
+//    resolved to a flat array at reset time, the prefetcher is notified
+//    per constant-stride run instead of per access, and a one-entry
+//    per-core page-translation cache collapses the page mapper and TLB
+//    work to one consultation per page crossing.
+//
+//  - traverse_reference(): the scalar oracle — one access_cost() call per
+//    core per element. Slow, obviously correct, and the equivalence
+//    anchor: both engines must agree cycle-for-cycle and Stable-counter-
+//    for-counter (tests/test_batched_equivalence.cpp), which is what lets
+//    the golden profiles stay pinned across engine work.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +27,7 @@
 
 #include "base/types.hpp"
 #include "obs/metrics.hpp"
+#include "sim/access_stream.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/page_mapper.hpp"
@@ -28,12 +44,12 @@ class MachineSim {
   public:
     explicit MachineSim(MachineSpec spec);
 
-    /// Each core in `cores` traverses its own array of `array_bytes` with
-    /// the given stride (the mcalibrator access pattern, Fig. 1),
-    /// interleaved access-by-access. The array is initialized (every line
-    /// touched sequentially, as the real benchmark's setup loop does), one
-    /// warm-up pass runs unmeasured, then `measure_passes` passes are
-    /// timed.
+    /// Each core in `cores` (all distinct) traverses its own array of
+    /// `array_bytes` with the given stride (the mcalibrator access
+    /// pattern, Fig. 1), interleaved access-by-access. The array is
+    /// initialized (every line touched sequentially, as the real
+    /// benchmark's setup loop does), one warm-up pass runs unmeasured,
+    /// then `measure_passes` passes are timed.
     ///
     /// `fresh_placement` selects the allocation behaviour: true draws a
     /// fresh random physical placement (a new malloc+touch — what
@@ -41,11 +57,22 @@ class MachineSim {
     /// deterministic in (machine, array size, core) — a statically
     /// allocated buffer, which is what the pairwise shared-cache probe
     /// needs so its concurrent/reference ratio cancels placement luck.
+    ///
+    /// Runs the batched line-stream engine; cycle-for-cycle equal to
+    /// traverse_reference().
     [[nodiscard]] TraversalResult traverse(const std::vector<CoreId>& cores, Bytes array_bytes,
                                            Bytes stride, int measure_passes,
                                            bool fresh_placement = true);
 
-    /// Single-core convenience wrapper.
+    /// The retained scalar engine: same contract, same results, one
+    /// access_cost() per core per element. The equivalence oracle for
+    /// traverse(); also a readable spec of the access semantics.
+    [[nodiscard]] TraversalResult traverse_reference(const std::vector<CoreId>& cores,
+                                                     Bytes array_bytes, Bytes stride,
+                                                     int measure_passes,
+                                                     bool fresh_placement = true);
+
+    /// Single-core convenience wrapper over traverse().
     [[nodiscard]] Cycles traverse_one(CoreId core, Bytes array_bytes, Bytes stride,
                                       int measure_passes, bool fresh_placement = true);
 
@@ -63,15 +90,59 @@ class MachineSim {
     [[nodiscard]] std::uint64_t total_accesses() const { return total_accesses_; }
 
   private:
-    struct CoreRun;  // per-core traversal state
+    /// One step of a core's resolved lookup path: the physical cache
+    /// instance serving the core at one level, with the level's cost and
+    /// indexing mode flattened out of the spec. Rebuilt (cheaply) by
+    /// reset_microarchitecture so the hot loop never consults
+    /// instance_of_ or spec_.levels.
+    struct ResolvedLevel {
+        SetAssocCache* cache;
+        Cycles hit_cycles;
+        bool physically_indexed;
+    };
+
+    struct CoreRun;  // per-core batched traversal state (engine.cpp)
+
+    /// Shared scaffolding of both engines: argument checks, microarch
+    /// reset, address-space and contention setup, the init + warm-up +
+    /// measured pass schedule, counter flush, and result packaging.
+    /// `batched` picks the execution engine for the passes.
+    [[nodiscard]] TraversalResult run_traversal(const std::vector<CoreId>& cores,
+                                                Bytes array_bytes, Bytes stride,
+                                                int measure_passes, bool fresh_placement,
+                                                bool batched);
+
+    /// Scalar engine: one interleaved constant-stride run over all cores,
+    /// one access_cost() per element per core, accumulating per-core
+    /// cycles into `totals` when non-null. The single loop body behind the
+    /// init pass, the warm-up, and every measured pass. `run` holds
+    /// offsets; each core's address is `bases[i] + run.address(k)`.
+    void reference_pass(const std::vector<CoreId>& cores,
+                        const std::vector<std::uint64_t>& bases, const AccessRun& run,
+                        const std::vector<double>& latency_mult, std::vector<Cycles>* totals);
+
+    /// Batched engine: the same interleaved run, streamed through the
+    /// resolved paths with run-level prefetcher plans and page-translation
+    /// caches. kMeasure selects cycle accumulation at compile time.
+    template <bool kMeasure>
+    void batched_pass(std::vector<CoreRun>& runs, std::int64_t stride, std::uint64_t count);
+
+    /// One batched demand access (defined in engine.cpp, inlined into the
+    /// pass loops). `index` is the access's position within its run; the
+    /// run's StreamRunPlan decides whether it emits prefetches.
+    Cycles batched_access(CoreRun& run, std::uint64_t vaddr, std::uint64_t index);
+    /// One batched prefetch fill through `run`'s resolved path.
+    void batched_fill(CoreRun& run, std::uint64_t vaddr);
 
     /// Cost of one demand access by `core` at virtual address `vaddr`,
     /// including prefetcher side effects. `latency_mult` scales the
-    /// main-memory latency (bus queueing under concurrency).
+    /// main-memory latency (bus queueing under concurrency). The scalar
+    /// oracle's inner step.
     Cycles access_cost(CoreId core, std::uint64_t vaddr, double latency_mult);
 
     void fill_for_prefetch(CoreId core, std::uint64_t vaddr);
     void reset_microarchitecture(Bytes array_bytes, bool fresh_placement);
+    void build_resolved_paths();
 
     /// Registry handles looked up once at construction (hot-path rule in
     /// obs/metrics.hpp), fed aggregate deltas by flush_traverse_counters.
@@ -106,12 +177,22 @@ class MachineSim {
     std::vector<std::vector<int>> instance_of_;       // [level][core] -> instance
     std::vector<StreamPrefetcher> prefetchers_;       // per core
     std::vector<SetAssocCache> tlbs_;                 // per core, when enabled
+    std::vector<std::vector<ResolvedLevel>> resolved_paths_;  // [core][level]
     std::unique_ptr<PageMapper> mapper_;
+    std::uint64_t page_shift_ = 0;
+    std::uint64_t page_mask_ = 0;  // page_size - 1
     std::uint64_t run_counter_ = 0;
     std::uint64_t total_accesses_ = 0;
     CounterHandles counters_;
     std::uint64_t tally_prefetch_issued_ = 0;
     std::uint64_t tally_contended_ = 0;
+    /// Logical translation count: one per demand access plus one per
+    /// prefetch fill, whichever engine ran. The scalar oracle performs
+    /// exactly one PageMapper::translate() per logical translation; the
+    /// batched engine elides physical translations behind its page caches
+    /// but tallies them here, so `sim.page.translations` is engine-
+    /// invariant and the goldens stay pinned.
+    std::uint64_t tally_translations_ = 0;
 };
 
 }  // namespace servet::sim

@@ -142,7 +142,10 @@ std::vector<std::string> MachineSpec::validate() const {
                 complain(level.name + ": core " + std::to_string(c) +
                          " must appear in exactly one instance");
         }
-        if (level.geometry.physically_indexed &&
+        // Only consult page_set_count on a geometry that passed valid():
+        // it CHECK-aborts on degenerate shapes, and validate() must
+        // complain, not abort.
+        if (level.geometry.physically_indexed && level.geometry.valid() &&
             level.geometry.page_set_count(page_size) == 0)
             complain(level.name + ": fewer than one page set; page size too large");
     }

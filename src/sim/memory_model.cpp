@@ -36,6 +36,13 @@ BytesPerSecond MemoryModel::stream_bandwidth(CoreId core,
     return bandwidth;
 }
 
+std::vector<double> MemoryModel::latency_multipliers(const std::vector<CoreId>& active) const {
+    std::vector<double> multipliers;
+    multipliers.reserve(active.size());
+    for (CoreId core : active) multipliers.push_back(latency_multiplier(core, active));
+    return multipliers;
+}
+
 double MemoryModel::latency_multiplier(CoreId core, const std::vector<CoreId>& active) const {
     double multiplier = 1.0;
     for (const ContentionDomainSpec& domain : spec_->memory.domains) {

@@ -28,6 +28,11 @@ class MemoryModel {
     [[nodiscard]] double latency_multiplier(CoreId core,
                                             const std::vector<CoreId>& active) const;
 
+    /// latency_multiplier for every core in `active` at once, aligned with
+    /// `active` — the per-traversal batch the engine resolves up front.
+    [[nodiscard]] std::vector<double> latency_multipliers(
+        const std::vector<CoreId>& active) const;
+
     [[nodiscard]] const MachineSpec& spec() const { return *spec_; }
 
   private:

@@ -44,6 +44,7 @@ class PageMapper {
     void reset();
 
     [[nodiscard]] Bytes page_size() const { return page_size_; }
+    [[nodiscard]] std::uint64_t page_shift() const { return page_shift_; }
     [[nodiscard]] PagePolicy policy() const { return policy_; }
     [[nodiscard]] std::size_t mapped_pages() const { return map_.size(); }
     /// translate() calls since construction/reset. mapped_pages() is the

@@ -1,5 +1,6 @@
 #include "sim/prefetcher.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace servet::sim {
@@ -28,6 +29,62 @@ int StreamPrefetcher::observe(std::uint64_t vaddr, std::uint64_t* out) {
     last_addr_ = vaddr;
     has_last_ = true;
     return emitted;
+}
+
+StreamRunPlan StreamPrefetcher::plan_run(std::uint64_t start, std::int64_t stride,
+                                         std::uint64_t count) {
+    StreamRunPlan plan;
+    plan.emit_from = count;
+    // Disabled observe() is a pure no-op (it does not even record the
+    // address), so a disabled plan leaves the state alone too.
+    if (!spec_.enabled || count == 0) return plan;
+
+    // Access 0 follows the generic transition: its incoming stride is the
+    // boundary step from whatever access preceded this run.
+    if (has_last_) {
+        const std::int64_t step =
+            static_cast<std::int64_t>(start) - static_cast<std::int64_t>(last_addr_);
+        const std::uint64_t magnitude = static_cast<std::uint64_t>(std::llabs(step));
+        const bool trackable = step != 0 && magnitude <= spec_.max_stride;
+        if (trackable && step == last_stride_) {
+            ++streak_;
+        } else {
+            last_stride_ = trackable ? step : 0;
+            streak_ = last_stride_ != 0 ? 1 : 0;
+        }
+        if (streaming()) {
+            plan.first_emits = true;
+            plan.first_stride = last_stride_;
+        }
+    }
+    has_last_ = true;
+
+    // Accesses 1..count-1 all step by `stride`, so the streak recurrence is
+    // closed-form: a trackable stride scores streak_at_1 + (i - 1) at
+    // access i and emits once that reaches the trigger.
+    if (count >= 2) {
+        const std::uint64_t magnitude = static_cast<std::uint64_t>(std::llabs(stride));
+        const bool trackable = stride != 0 && magnitude <= spec_.max_stride;
+        if (trackable) {
+            const int streak_at_1 = (stride == last_stride_) ? streak_ + 1 : 1;
+            last_stride_ = stride;
+            plan.emit_stride = stride;
+            const std::uint64_t first = 1 + static_cast<std::uint64_t>(std::max(
+                                                0, spec_.trigger_streak - streak_at_1));
+            plan.emit_from = std::min(first, count);
+            streak_ = streak_at_1 + static_cast<int>(count - 2);
+        } else {
+            last_stride_ = 0;
+            streak_ = 0;
+            plan.emit_stride = 0;
+            // A non-positive trigger keeps streaming() true even at streak
+            // zero (observe() would emit degree copies of each address).
+            if (spec_.trigger_streak <= 0) plan.emit_from = 1;
+        }
+    }
+    last_addr_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(start) +
+                                            static_cast<std::int64_t>(count - 1) * stride);
+    return plan;
 }
 
 void StreamPrefetcher::reset() {

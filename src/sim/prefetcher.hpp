@@ -4,6 +4,15 @@
 // corrupts the size estimate. This model captures that: it detects a stable
 // stride and, once confident, pulls the next line(s) into the hierarchy
 // ahead of the demand access — but only for strides it can track.
+//
+// Two entry points drive the same state machine:
+//  - observe(): one demand access at a time (the scalar oracle path).
+//  - plan_run(): a whole constant-stride run at once (the batched engine).
+//    The run's per-access emission schedule is closed-form — streaks grow
+//    by one per access — so the plan advances internal state to the end of
+//    the run and tells the caller exactly which accesses would have
+//    emitted prefetches, byte-for-byte equal to calling observe() per
+//    access (tests/test_prefetcher.cpp pins the equivalence).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,19 @@ struct PrefetcherSpec {
     int degree = 2;           ///< lines fetched ahead once streaming
 };
 
+/// Emission schedule for one constant-stride run of demand accesses, as
+/// plan_run() computes it. Access 0 (whose incoming stride is the boundary
+/// step from whatever preceded the run) is described separately from the
+/// steady accesses 1..count-1.
+struct StreamRunPlan {
+    bool first_emits = false;       ///< access 0 emits `degree` prefetches
+    std::int64_t first_stride = 0;  ///< tracked stride behind access 0's emission
+    /// Smallest index >= 1 that emits; every later access emits too.
+    /// >= count means no steady-state emission in this run.
+    std::uint64_t emit_from = 0;
+    std::int64_t emit_stride = 0;   ///< tracked stride for accesses >= 1
+};
+
 class StreamPrefetcher {
   public:
     explicit StreamPrefetcher(const PrefetcherSpec& spec) : spec_(spec) {}
@@ -28,6 +50,14 @@ class StreamPrefetcher {
     /// space for at least spec.degree entries); those addresses should be
     /// filled into the cache hierarchy by the engine.
     int observe(std::uint64_t vaddr, std::uint64_t* out);
+
+    /// Observe a whole run of `count` accesses at `start`, `start +
+    /// stride`, ..., advancing internal state exactly as `count` observe()
+    /// calls would, and return which accesses emit prefetches. An emitting
+    /// access i issues spec().degree addresses `addr_i + d * stride'` for
+    /// d = 1..degree, with stride' the plan's stride for that access.
+    [[nodiscard]] StreamRunPlan plan_run(std::uint64_t start, std::int64_t stride,
+                                         std::uint64_t count);
 
     void reset();
 

@@ -49,6 +49,26 @@ INSTANTIATE_TEST_SUITE_P(
         GeometryCase{{3 * MiB, 64, 12, true}, true},     // Dunnington L2
         GeometryCase{{64, 64, 1, false}, true}));        // minimal single set
 
+TEST(CacheGeometry, DegenerateGeometriesReportInvalidWithoutAborting) {
+    // valid() must be safe to call on any shape — it is the guard callers
+    // use before the CHECK-protected accessors.
+    const CacheGeometry zero_sets{.size = 256, .line_size = 64, .associativity = 8};
+    EXPECT_FALSE(zero_sets.valid());  // way capacity 512 > size
+    const CacheGeometry no_ways{.size = 4 * KiB, .line_size = 64, .associativity = 0};
+    EXPECT_FALSE(no_ways.valid());
+}
+
+TEST(CacheGeometryDeath, SetCountChecksDegenerateShapes) {
+    // A geometry whose way capacity exceeds its size has zero sets; using
+    // it for indexing would divide by zero downstream, so set_count()
+    // refuses outright rather than returning 0.
+    const CacheGeometry zero_sets{.size = 256, .line_size = 64, .associativity = 8};
+    EXPECT_DEATH((void)zero_sets.set_count(), "degenerate cache geometry");
+    const CacheGeometry no_ways{.size = 4 * KiB, .line_size = 64, .associativity = 0};
+    EXPECT_DEATH((void)no_ways.set_count(), "degenerate cache geometry");
+    EXPECT_DEATH((void)no_ways.page_set_count(4 * KiB), "degenerate cache geometry");
+}
+
 TEST(SetAssocCache, MissesThenHits) {
     SetAssocCache cache(small_cache());
     EXPECT_FALSE(cache.access(0x1000));

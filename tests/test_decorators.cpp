@@ -70,6 +70,26 @@ TEST(RobustPlatform, ConcurrentMediansPerElement) {
     EXPECT_GT(cycles[0], 0.0);
 }
 
+TEST(RobustPlatform, EngineSelectionSurvivesWrappingAndFork) {
+    // The decorator forwards fork() to the inner platform, so a
+    // reference-engine SimPlatform stays on the reference engine through
+    // a robust wrapper and its replicas — and, by the engine-equivalence
+    // contract (docs/simulator.md), measures the same cycles either way.
+    SimPlatform batched_inner(quiet_synthetic());
+    SimPlatform reference_inner(quiet_synthetic());
+    reference_inner.set_engine(SimPlatform::Engine::Reference);
+    RobustPlatform batched(batched_inner, 3);
+    RobustPlatform reference(reference_inner, 3);
+
+    EXPECT_DOUBLE_EQ(batched.traverse_cycles(0, 64 * KiB, 1 * KiB, 2, false),
+                     reference.traverse_cycles(0, 64 * KiB, 1 * KiB, 2, false));
+
+    const auto batched_fork = batched.fork(5, 9);
+    const auto reference_fork = reference.fork(5, 9);
+    EXPECT_DOUBLE_EQ(batched_fork->traverse_cycles(0, 64 * KiB, 1 * KiB, 2, true),
+                     reference_fork->traverse_cycles(0, 64 * KiB, 1 * KiB, 2, true));
+}
+
 TEST(RobustPlatform, NamePropagates) {
     SimPlatform inner(quiet_synthetic());
     RobustPlatform robust(inner, 3);

@@ -129,11 +129,40 @@ TEST(Engine, TotalAccessCounterAdvances) {
     EXPECT_GT(machine.total_accesses(), before);
 }
 
+TEST(Engine, ReferenceEngineAgreesWithBatched) {
+    // The scalar oracle and the batched pipeline must produce identical
+    // results from identical simulator state. Fresh placement advances
+    // run_counter_ identically in both, so mirrored call sequences on two
+    // instances stay in lockstep (the zoo-wide sweep lives in
+    // test_batched_equivalence).
+    MachineSim batched(quiet(zoo::dunnington()));
+    MachineSim reference(quiet(zoo::dunnington()));
+    const auto b = batched.traverse({0, 12}, 2 * MiB, 1 * KiB, 3, false);
+    const auto r = reference.traverse_reference({0, 12}, 2 * MiB, 1 * KiB, 3, false);
+    ASSERT_EQ(b.cycles_per_access.size(), r.cycles_per_access.size());
+    EXPECT_EQ(b.accesses_per_core, r.accesses_per_core);
+    for (std::size_t i = 0; i < b.cycles_per_access.size(); ++i)
+        EXPECT_DOUBLE_EQ(b.cycles_per_access[i], r.cycles_per_access[i]);
+    EXPECT_EQ(batched.total_accesses(), reference.total_accesses());
+}
+
+TEST(Engine, ReferenceEngineSmearedSizeFreshPlacement) {
+    // The hard case: random placement, physically indexed L3 partially
+    // overflowing, prefetcher active at a 256B stride.
+    MachineSim batched(quiet(zoo::finis_terrae()));
+    MachineSim reference(quiet(zoo::finis_terrae()));
+    EXPECT_DOUBLE_EQ(batched.traverse_one(0, 8 * MiB, 256, 2, true),
+                     reference.traverse_reference({0}, 8 * MiB, 256, 2, true)
+                         .cycles_per_access.front());
+}
+
 TEST(EngineDeath, RejectsBadArguments) {
     MachineSim machine(quiet(zoo::dempsey()));
     EXPECT_DEATH((void)machine.traverse({}, KiB, KiB, 1), "");
     EXPECT_DEATH((void)machine.traverse({5}, KiB, KiB, 1), "");  // core out of range
     EXPECT_DEATH((void)machine.traverse({0}, KiB, KiB, 0), "");
+    EXPECT_DEATH((void)machine.traverse({0, 0}, KiB, KiB, 1), "distinct");
+    EXPECT_DEATH((void)machine.traverse_reference({1, 1}, KiB, KiB, 1), "distinct");
 }
 
 TEST(EngineDeath, InvalidSpecRejected) {

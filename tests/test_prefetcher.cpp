@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+
 namespace servet::sim {
 namespace {
 
@@ -89,6 +94,103 @@ TEST(Prefetcher, ResetClearsState) {
     prefetcher.reset();
     EXPECT_FALSE(prefetcher.streaming());
     EXPECT_EQ(prefetcher.observe(192, out), 0);  // history gone
+}
+
+struct RunSchedule {
+    std::uint64_t start;
+    std::int64_t stride;
+    std::uint64_t count;
+};
+
+/// The batched engine's correctness hinges on plan_run() being a drop-in
+/// for per-access observe(). Replay the same run schedule through two
+/// prefetchers — one per access, one per run — and require identical
+/// emission decisions, identical prefetch addresses, and identical state.
+void expect_plan_matches_observe(const PrefetcherSpec& spec,
+                                 const std::vector<RunSchedule>& schedule) {
+    StreamPrefetcher scalar(spec);
+    StreamPrefetcher planned(spec);
+    std::uint64_t out[8];
+    ASSERT_LE(spec.degree, 8);
+    for (std::size_t r = 0; r < schedule.size(); ++r) {
+        const RunSchedule& run = schedule[r];
+        const StreamRunPlan plan = planned.plan_run(run.start, run.stride, run.count);
+        std::uint64_t addr = run.start;
+        for (std::uint64_t k = 0; k < run.count; ++k) {
+            const int n = scalar.observe(addr, out);
+            const bool plan_emits = (k == 0) ? plan.first_emits : k >= plan.emit_from;
+            ASSERT_EQ(n > 0, plan_emits) << "run " << r << " access " << k;
+            if (n > 0) {
+                ASSERT_EQ(n, spec.degree);
+                const std::int64_t plan_stride = (k == 0) ? plan.first_stride : plan.emit_stride;
+                for (int d = 1; d <= n; ++d)
+                    ASSERT_EQ(out[d - 1],
+                              static_cast<std::uint64_t>(static_cast<std::int64_t>(addr) +
+                                                         d * plan_stride))
+                        << "run " << r << " access " << k << " prefetch " << d;
+            }
+            addr += static_cast<std::uint64_t>(run.stride);
+        }
+        ASSERT_EQ(scalar.streaming(), planned.streaming()) << "after run " << r;
+    }
+}
+
+TEST(PrefetcherPlan, MatchesObserveOnBenchmarkShapes) {
+    // The engine's actual workload: a line-granular init sweep followed by
+    // repeated probe passes (boundary step jumps back to base each pass).
+    for (Bytes probe_stride : {64ull, 128ull, 256ull, 512ull, 1024ull}) {
+        std::vector<RunSchedule> schedule;
+        schedule.push_back({1 << 20, 64, 128});  // init: 8KB of lines
+        for (int pass = 0; pass < 3; ++pass)
+            schedule.push_back({1 << 20, static_cast<std::int64_t>(probe_stride),
+                                (8 * KiB) / probe_stride});
+        expect_plan_matches_observe(
+            {.enabled = true, .max_stride = 512, .trigger_streak = 2, .degree = 2}, schedule);
+    }
+}
+
+TEST(PrefetcherPlan, MatchesObserveAcrossTriggerAndDegree) {
+    for (int trigger : {0, 1, 2, 5}) {
+        for (int degree : {1, 3, 8}) {
+            const PrefetcherSpec spec{.enabled = true, .max_stride = 512,
+                                      .trigger_streak = trigger, .degree = degree};
+            expect_plan_matches_observe(spec, {{4096, 64, 10},
+                                               {4096, -64, 10},    // backward
+                                               {4096, 640, 5},     // untrackable
+                                               {4096, 512, 7},     // boundary stride
+                                               {4096, 512, 1},     // single access
+                                               {4608, 512, 6}});   // continues the stream
+        }
+    }
+}
+
+TEST(PrefetcherPlan, DisabledPlanIsNoOp) {
+    StreamPrefetcher planned({.enabled = false});
+    const StreamRunPlan plan = planned.plan_run(0, 64, 100);
+    EXPECT_FALSE(plan.first_emits);
+    EXPECT_GE(plan.emit_from, 100u);
+    expect_plan_matches_observe({.enabled = false}, {{0, 64, 100}, {0, 64, 100}});
+}
+
+TEST(PrefetcherPlan, MatchesObserveOnRandomSchedules) {
+    Rng rng(0x9f1a2ULL);
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        PrefetcherSpec spec;
+        spec.enabled = rng.next_below(8) != 0;
+        spec.max_stride = 64ull << rng.next_below(5);  // 64..1024
+        spec.trigger_streak = static_cast<int>(rng.next_below(5));
+        spec.degree = 1 + static_cast<int>(rng.next_below(8));
+        std::vector<RunSchedule> schedule;
+        const std::size_t n_runs = 1 + rng.next_below(6);
+        for (std::size_t r = 0; r < n_runs; ++r) {
+            const std::uint64_t start = 4096 + 64 * rng.next_below(1024);
+            std::int64_t stride =
+                static_cast<std::int64_t>(64ull << rng.next_below(6));  // 64..2048
+            if (rng.next_below(2) == 0) stride = -stride;
+            schedule.push_back({start, stride, 1 + rng.next_below(40)});
+        }
+        expect_plan_matches_observe(spec, schedule);
+    }
 }
 
 TEST(Prefetcher, DegreeControlsFanout) {

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Perf smoke test for the simulation core (CI job perf-smoke).
+
+Runs ``bench_micro --json`` (or reads a saved run) and compares the
+batched/reference engine speedup against the committed baseline in
+BENCH_simcore.json. Absolute simulated-accesses/sec depend on the host,
+so the check is on the ratio, which is machine-independent to first
+order: both engines run the same cache/TLB/page-mapper models on the
+same workload in the same process.
+
+Failure conditions:
+  * current speedup < (1 - tolerance) * baseline speedup   (regression)
+  * current speedup < the hard floor (default 2.0) the batched engine
+    is required to clear over the scalar oracle
+
+Stdlib only. Exit 0 on pass, 1 on regression, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def load_current(args: argparse.Namespace) -> dict:
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as f:
+            return json.load(f)
+    try:
+        out = subprocess.run(
+            [args.bench, "--json"], check=True, capture_output=True, text=True,
+            timeout=args.timeout,
+        ).stdout
+    except FileNotFoundError:
+        print(f"perf_smoke: benchmark binary not found: {args.bench}", file=sys.stderr)
+        raise SystemExit(2)
+    except subprocess.CalledProcessError as err:
+        print(f"perf_smoke: {args.bench} --json failed:\n{err.stderr}", file=sys.stderr)
+        raise SystemExit(2)
+    return json.loads(out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="build/bench/bench_micro",
+                        help="path to the bench_micro binary")
+    parser.add_argument("--baseline", default="BENCH_simcore.json",
+                        help="committed baseline JSON")
+    parser.add_argument("--input", default=None,
+                        help="read a saved `bench_micro --json` run instead of executing")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop below the baseline speedup")
+    parser.add_argument("--floor", type=float, default=2.0,
+                        help="hard minimum batched/reference speedup")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="benchmark runs; the best speedup is judged (CI boxes are noisy)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-run benchmark timeout in seconds")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except OSError as err:
+        print(f"perf_smoke: cannot read baseline: {err}", file=sys.stderr)
+        return 2
+
+    repeats = 1 if args.input else max(1, args.repeats)
+    best = None
+    for _ in range(repeats):
+        current = load_current(args)
+        if current.get("benchmark") != baseline.get("benchmark"):
+            print(
+                f"perf_smoke: benchmark mismatch: current "
+                f"{current.get('benchmark')!r} vs baseline "
+                f"{baseline.get('benchmark')!r}", file=sys.stderr)
+            return 2
+        if current.get("workload") != baseline.get("workload"):
+            print(
+                f"perf_smoke: workload mismatch: current "
+                f"{current.get('workload')!r} vs baseline "
+                f"{baseline.get('workload')!r} — reseed BENCH_simcore.json",
+                file=sys.stderr)
+            return 2
+        if best is None or current["speedup"] > best["speedup"]:
+            best = current
+
+    speedup = float(best["speedup"])
+    baseline_speedup = float(baseline["speedup"])
+    threshold = (1.0 - args.tolerance) * baseline_speedup
+
+    print(f"perf_smoke: workload          {best['workload']}")
+    for scenario in best.get("scenarios", []):
+        print(f"perf_smoke: {scenario['engine']:>10} engine  "
+              f"{scenario['accesses_per_sec']:>12,.0f} simulated accesses/sec")
+    print(f"perf_smoke: speedup           {speedup:.3f} (best of {repeats})")
+    print(f"perf_smoke: baseline speedup  {baseline_speedup:.3f} "
+          f"(floor {threshold:.3f} at {args.tolerance:.0%} tolerance, "
+          f"hard floor {args.floor:.1f})")
+
+    ok = True
+    if speedup < threshold:
+        print("perf_smoke: FAIL — speedup regressed more than "
+              f"{args.tolerance:.0%} below the committed baseline", file=sys.stderr)
+        ok = False
+    if speedup < args.floor:
+        print(f"perf_smoke: FAIL — speedup below the hard {args.floor:.1f}x floor",
+              file=sys.stderr)
+        ok = False
+    if ok:
+        print("perf_smoke: OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
