@@ -62,6 +62,20 @@ struct FaultPlan {
         return any_platform_faults() || any_network_faults();
     }
 
+    /// True when the plan can change a *value* the platform reports.
+    /// Spikes and NaNs do; throws and hangs only change whether/when a
+    /// measurement completes — a probe that survives them reports the
+    /// true value. Fault injectors key their substrate fingerprint on
+    /// this: a hang-only plan measures the same machine, so its results
+    /// may share a memo cache and a run journal with clean runs (that is
+    /// what lets a run killed mid-hang resume fault-free).
+    [[nodiscard]] bool perturbs_platform_values() const {
+        return spike_probability > 0 || nan_probability > 0;
+    }
+    /// Network counterpart: delays change measured latency, drops only
+    /// force retries (the retried transfer reports the true latency).
+    [[nodiscard]] bool perturbs_network_values() const { return delay_probability > 0; }
+
     /// Stable content hash of every field. Fault injectors mix this into
     /// their substrate fingerprint so faulty measurements never collide
     /// with clean ones in the memo cache.

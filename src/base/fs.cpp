@@ -1,0 +1,88 @@
+#include "base/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace servet {
+
+namespace {
+
+/// fsync the directory containing `path`, so the rename that just landed
+/// there survives a power loss. Best-effort: some filesystems refuse
+/// directory fsync, and the file-level fsync already happened.
+void fsync_parent_dir(const std::string& path) {
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;
+    (void)::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+bool create_directories(const std::string& path) {
+    if (path.empty()) return false;
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return false;
+    return std::filesystem::is_directory(path, ec);
+}
+
+bool create_parent_dirs(const std::string& path) {
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    if (parent.empty()) return true;
+    return create_directories(parent.string());
+}
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+
+    const char* data = content.data();
+    std::size_t remaining = content.size();
+    while (remaining > 0) {
+        const ssize_t n = ::write(fd, data, remaining);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return false;
+        }
+        data += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    // The rename must not outrun the data: fsync before the new name can
+    // point at the new content, or a crash could expose an empty file
+    // under the final path.
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    fsync_parent_dir(path);
+    return true;
+}
+
+FileRead read_file(const std::string& path, std::string* out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return errno == ENOENT ? FileRead::Absent : FileRead::Error;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return FileRead::Error;
+    *out = buffer.str();
+    return FileRead::Ok;
+}
+
+}  // namespace servet

@@ -1,0 +1,37 @@
+// Crash-safe filesystem primitives shared by everything that persists
+// state (profiles, measurement memos, the run journal). The invariant all
+// of them need is the same: a reader must see either the old complete
+// file or the new complete file, never a torn write — so whole-file saves
+// go through write_file_atomic (tmp sibling + fsync + rename + directory
+// fsync), and growing files append through fd-based writers that the
+// owner fsyncs at commit points.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace servet {
+
+/// mkdir -p. Returns true when the directory exists on return (already
+/// present counts as success).
+[[nodiscard]] bool create_directories(const std::string& path);
+
+/// Creates the directory that will contain `path`. A bare filename has no
+/// parent to create and trivially succeeds.
+[[nodiscard]] bool create_parent_dirs(const std::string& path);
+
+/// Crash-atomic whole-file write: `content` lands in a temporary sibling,
+/// is flushed to disk (fsync), renamed over `path` (atomic within a
+/// directory per POSIX), and the directory entry itself is fsync'd. A
+/// crash at any point leaves either the previous file or the new one.
+/// Returns false on any I/O failure, with the temporary removed.
+[[nodiscard]] bool write_file_atomic(const std::string& path, std::string_view content);
+
+/// Outcome of read_file: distinguishes "nothing there" (routine — first
+/// run) from "there but unreadable" (worth a diagnostic).
+enum class FileRead { Ok, Absent, Error };
+
+/// Reads the whole file into `out` (unmodified unless Ok is returned).
+[[nodiscard]] FileRead read_file(const std::string& path, std::string* out);
+
+}  // namespace servet

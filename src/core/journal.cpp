@@ -1,0 +1,330 @@
+#include "core/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "base/fs.hpp"
+#include "base/hash.hpp"
+#include "base/log.hpp"
+
+namespace servet::core {
+
+namespace {
+
+constexpr const char* kHeader = "servet-journal 1";
+constexpr const char* kFileName = "journal.servet";
+
+std::string hex64(std::uint64_t v) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::optional<std::uint64_t> parse_hex64(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(text.c_str(), &end, 16);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    return v;
+}
+
+std::string fmt_seconds(Seconds v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+/// Reads the next '\n'-terminated line starting at `pos`; false at EOF or
+/// on an unterminated line (a torn append never counts as a line).
+bool next_line(const std::string& text, std::size_t& pos, std::string& line) {
+    if (pos >= text.size()) return false;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+}
+
+/// "key = value" with the profile format's spacing; empty key on mismatch.
+std::pair<std::string, std::string> split_kv(const std::string& line) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return {};
+    const auto trim = [](std::string s) {
+        const auto begin = s.find_first_not_of(" \t\r");
+        if (begin == std::string::npos) return std::string{};
+        const auto end = s.find_last_not_of(" \t\r");
+        return s.substr(begin, end - begin + 1);
+    };
+    return {trim(line.substr(0, eq)), trim(line.substr(eq + 1))};
+}
+
+}  // namespace
+
+std::uint64_t suite_options_hash(const SuiteOptions& options) {
+    Fingerprint fp;
+    fp.add(std::string_view("suite-options 1"));
+    const McalibratorOptions& mc = options.mcalibrator;
+    fp.add(mc.min_size);
+    fp.add(mc.max_size);
+    fp.add(mc.stride);
+    fp.add(mc.passes);
+    fp.add(mc.repeats);
+    fp.add(mc.core);
+    const CacheDetectOptions& detect = options.detect;
+    // detect.page_size is excluded: run_suite overwrites it from the
+    // platform, whose identity the journal header carries already.
+    fp.add(detect.gradient_threshold);
+    fp.add(detect.min_total_rise);
+    fp.add(detect.split_prominence);
+    fp.add(static_cast<std::uint64_t>(detect.associativities.size()));
+    for (const int k : detect.associativities) fp.add(k);
+    fp.add(detect.mode_votes);
+    fp.add(static_cast<int>(detect.model));
+    const SharedCacheOptions& shared = options.shared_cache;
+    fp.add(shared.stride);
+    fp.add(shared.passes);
+    fp.add(shared.ratio_threshold);
+    fp.add(shared.only_with_core);
+    const MemOverheadOptions& mem = options.mem_overhead;
+    fp.add(mem.array_bytes);
+    fp.add(mem.overhead_epsilon);
+    fp.add(mem.cluster_tolerance);
+    fp.add(mem.only_with_core);
+    const CommCostsOptions& comm = options.comm;
+    fp.add(comm.probe_message);
+    fp.add(comm.reps);
+    fp.add(comm.cluster_tolerance);
+    fp.add(static_cast<std::uint64_t>(comm.sweep_sizes.size()));
+    for (const Bytes size : comm.sweep_sizes) fp.add(size);
+    fp.add(comm.max_concurrent);
+    fp.add(comm.max_retries);
+    fp.add(options.run_shared_cache);
+    fp.add(options.run_mem_overhead);
+    fp.add(options.run_comm);
+    return fp.value();
+}
+
+std::string RunJournal::file_path(const std::string& run_dir) {
+    return run_dir + "/" + kFileName;
+}
+
+RunJournal::RunJournal(const std::string& run_dir, const Header& header, Mode mode)
+    : path_(file_path(run_dir)), header_(header) {
+    if (!create_directories(run_dir))
+        throw JournalError("cannot create run directory " + run_dir);
+
+    std::string text;
+    const FileRead read = read_file(path_, &text);
+    if (read == FileRead::Error)
+        throw JournalError("cannot read run journal " + path_);
+
+    if (mode == Mode::Resume && read == FileRead::Ok) {
+        load(text);
+        return;
+    }
+    // Fresh journal (Create, or Resume with nothing to resume): write the
+    // header block atomically so a half-created journal never exists.
+    std::string out = std::string(kHeader) + '\n';
+    out += "options = " + hex64(header_.options_hash) + '\n';
+    out += "fingerprint = " + hex64(header_.fingerprint) + '\n';
+    out += "machine = " + header_.machine + '\n';
+    out += "cores = " + std::to_string(header_.cores) + '\n';
+    out += "page_size = " + std::to_string(header_.page_size) + '\n';
+    if (!write_file_atomic(path_, out))
+        throw JournalError("cannot write run journal " + path_);
+}
+
+void RunJournal::load(const std::string& text) {
+    std::size_t pos = 0;
+    std::string line;
+    if (!next_line(text, pos, line) || line != kHeader)
+        throw JournalError("malformed run journal " + path_ +
+                           ": bad header (not a servet journal?)");
+
+    Header loaded;
+    for (const char* key : {"options", "fingerprint", "machine", "cores", "page_size"}) {
+        if (!next_line(text, pos, line))
+            throw JournalError("malformed run journal " + path_ + ": truncated header");
+        const auto [k, v] = split_kv(line);
+        if (k != key)
+            throw JournalError("malformed run journal " + path_ + ": expected '" + key +
+                               "', found '" + line + "'");
+        if (k == "machine") {
+            loaded.machine = v;
+            continue;
+        }
+        if (k == "options" || k == "fingerprint") {
+            const auto parsed = parse_hex64(v);
+            if (!parsed)
+                throw JournalError("malformed run journal " + path_ + ": bad " + k);
+            (k == "options" ? loaded.options_hash : loaded.fingerprint) = *parsed;
+            continue;
+        }
+        char* end = nullptr;
+        const long long parsed = std::strtoll(v.c_str(), &end, 10);
+        if (v.empty() || end != v.c_str() + v.size() || parsed < 0)
+            throw JournalError("malformed run journal " + path_ + ": bad " + k);
+        if (k == "cores")
+            loaded.cores = static_cast<int>(parsed);
+        else
+            loaded.page_size = static_cast<Bytes>(parsed);
+    }
+
+    // Compatibility: resuming must never mix measurements of different
+    // configurations or machines into one profile.
+    if (loaded.options_hash != header_.options_hash)
+        throw JournalError("run journal " + path_ + " was written with options hash " +
+                           hex64(loaded.options_hash) + " but this run's is " +
+                           hex64(header_.options_hash) +
+                           "; pass the same suite options to resume, or use a fresh "
+                           "--run-dir");
+    if (loaded.fingerprint != 0 && header_.fingerprint != 0) {
+        if (loaded.fingerprint != header_.fingerprint)
+            throw JournalError("run journal " + path_ + " measured machine fingerprint " +
+                               hex64(loaded.fingerprint) + " but this run targets " +
+                               hex64(header_.fingerprint) +
+                               "; resume on the same machine, or use a fresh --run-dir");
+    } else if (loaded.machine != header_.machine) {
+        // No content fingerprint to compare (real hardware): the machine
+        // name is the only identity available.
+        throw JournalError("run journal " + path_ + " measured machine '" + loaded.machine +
+                           "' but this run targets '" + header_.machine +
+                           "'; resume on the same machine, or use a fresh --run-dir");
+    }
+    if (loaded.cores != header_.cores || loaded.page_size != header_.page_size)
+        throw JournalError("run journal " + path_ + " measured a machine with " +
+                           std::to_string(loaded.cores) + " cores and " +
+                           std::to_string(loaded.page_size) + "-byte pages; this run's has " +
+                           std::to_string(header_.cores) + " and " +
+                           std::to_string(header_.page_size));
+
+    // Records. Anything that fails to parse from here on is a torn tail —
+    // the signature of a crash mid-append — and is discarded, not fatal:
+    // appends are serialized, so only the last record can be torn.
+    while (true) {
+        const std::size_t record_start = pos;
+        if (!next_line(text, pos, line)) {
+            dropped_torn_tail_ = record_start < text.size();
+            return;
+        }
+        if (line.empty()) continue;
+        std::istringstream fields{line};
+        std::string tag;
+        std::string phase;
+        std::size_t length = 0;
+        std::string seconds_text;
+        if (!(fields >> tag >> phase >> length >> seconds_text) || tag != "phase" ||
+            pos + length + 1 > text.size()) {
+            dropped_torn_tail_ = true;
+            return;
+        }
+        char* end = nullptr;
+        const double seconds = std::strtod(seconds_text.c_str(), &end);
+        if (end != seconds_text.c_str() + seconds_text.size()) {
+            dropped_torn_tail_ = true;
+            return;
+        }
+        std::string payload = text.substr(pos, length);
+        pos += length;
+        if (text[pos] != '\n') {
+            dropped_torn_tail_ = true;
+            return;
+        }
+        ++pos;
+        std::string commit_line;
+        if (!next_line(text, pos, commit_line)) {
+            dropped_torn_tail_ = true;
+            return;
+        }
+        std::istringstream commit_fields{commit_line};
+        std::string commit_tag;
+        std::string commit_phase;
+        std::string hash_text;
+        if (!(commit_fields >> commit_tag >> commit_phase >> hash_text) ||
+            commit_tag != "commit" || commit_phase != phase) {
+            dropped_torn_tail_ = true;
+            return;
+        }
+        const auto hash = parse_hex64(hash_text);
+        if (!hash || *hash != fnv1a64(payload)) {
+            dropped_torn_tail_ = true;
+            return;
+        }
+        // Later records win: a repair rewrite never duplicates, but a
+        // re-measured phase appended after a replayed one must shadow it.
+        records_.insert_or_assign(phase, Record{std::move(payload), seconds});
+    }
+}
+
+const RunJournal::Record* RunJournal::find(const std::string& phase) const {
+    const auto it = records_.find(phase);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+bool RunJournal::append(const std::string& phase, const std::string& payload,
+                        Seconds seconds, std::uint64_t digest) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string record = "phase " + phase + ' ' + std::to_string(payload.size()) + ' ' +
+                         fmt_seconds(seconds) + '\n';
+    record += payload;
+    record += '\n';
+    record += "commit " + phase + ' ' + hex64(fnv1a64(payload)) + ' ' + hex64(digest) + '\n';
+
+    const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) return false;
+    const char* data = record.data();
+    std::size_t remaining = record.size();
+    while (remaining > 0) {
+        const ssize_t n = ::write(fd, data, remaining);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            return false;
+        }
+        data += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    // The fsync is the commit point: once it returns, this phase survives
+    // any crash. A torn write before it is discarded on load by the
+    // length/hash framing.
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (synced) records_.insert_or_assign(phase, Record{payload, seconds});
+    return synced;
+}
+
+bool RunJournal::drop(const std::string& phase) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (records_.erase(phase) == 0) return true;
+    if (write_file_atomic(path_, serialize_all())) return true;
+    SERVET_LOG_ERROR("journal: cannot rewrite %s after dropping phase %s", path_.c_str(),
+                     phase.c_str());
+    return false;
+}
+
+std::string RunJournal::serialize_all() const {
+    std::string out = std::string(kHeader) + '\n';
+    out += "options = " + hex64(header_.options_hash) + '\n';
+    out += "fingerprint = " + hex64(header_.fingerprint) + '\n';
+    out += "machine = " + header_.machine + '\n';
+    out += "cores = " + std::to_string(header_.cores) + '\n';
+    out += "page_size = " + std::to_string(header_.page_size) + '\n';
+    for (const auto& [phase, record] : records_) {
+        out += "phase " + phase + ' ' + std::to_string(record.payload.size()) + ' ' +
+               fmt_seconds(record.seconds) + '\n';
+        out += record.payload;
+        out += '\n';
+        out += "commit " + phase + ' ' + hex64(fnv1a64(record.payload)) + ' ' + hex64(0) +
+               '\n';
+    }
+    return out;
+}
+
+}  // namespace servet::core

@@ -1,0 +1,410 @@
+#include "core/phase_codec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace servet::core {
+
+namespace {
+
+// %a hexfloats round-trip every finite double bit-exactly through strtod;
+// that exactness is what lets a journal replay reproduce a profile byte
+// for byte.
+std::string hex(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+std::optional<double> parse_hex(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    return v;
+}
+
+std::optional<long long> parse_ll(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    return v;
+}
+
+/// Cores as "0,1,2"; the empty list as "-" (a field must not vanish from
+/// a space-separated record).
+std::string fmt_cores(const std::vector<CoreId>& cores) {
+    if (cores.empty()) return "-";
+    std::string out;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(cores[i]);
+    }
+    return out;
+}
+
+std::optional<std::vector<CoreId>> parse_cores(const std::string& text) {
+    std::vector<CoreId> cores;
+    if (text == "-") return cores;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        const auto v = parse_ll(token);
+        if (!v) return std::nullopt;
+        cores.push_back(static_cast<CoreId>(*v));
+    }
+    if (cores.empty()) return std::nullopt;
+    return cores;
+}
+
+/// Doubles as "a,b,c" hexfloats; empty as "-".
+std::string fmt_doubles(const std::vector<double>& values) {
+    if (values.empty()) return "-";
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ',';
+        out += hex(values[i]);
+    }
+    return out;
+}
+
+std::optional<std::vector<double>> parse_doubles(const std::string& text) {
+    std::vector<double> values;
+    if (text == "-") return values;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        const auto v = parse_hex(token);
+        if (!v) return std::nullopt;
+        values.push_back(*v);
+    }
+    if (values.empty()) return std::nullopt;
+    return values;
+}
+
+/// Line-dispatch loop shared by every decoder: feeds each non-empty line's
+/// first token and the rest of its fields to `handle`, which returns false
+/// to reject the payload.
+template <typename Handler>
+bool for_each_record(const std::string& text, Handler&& handle) {
+    std::stringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        std::string tag;
+        if (!(fields >> tag)) return false;
+        if (!handle(tag, fields)) return false;
+    }
+    return true;
+}
+
+/// True when the stream has no further non-space content (arity check:
+/// trailing junk rejects the record).
+bool exhausted(std::istringstream& fields) {
+    std::string rest;
+    return !(fields >> rest);
+}
+
+}  // namespace
+
+std::string encode_cache_size(const CacheSizePayload& payload) {
+    SERVET_CHECK(payload.curve.sizes.size() == payload.curve.cycles.size());
+    std::string out;
+    for (std::size_t i = 0; i < payload.curve.sizes.size(); ++i)
+        out += "point " + std::to_string(payload.curve.sizes[i]) + ' ' +
+               hex(payload.curve.cycles[i]) + '\n';
+    for (const CacheLevelEstimate& level : payload.levels) {
+        SERVET_CHECK_MSG(!level.method.empty() &&
+                             level.method.find_first_of(" \t\n\r") == std::string::npos,
+                         "cache level method must be a single token");
+        out += "level " + std::to_string(level.size) + ' ' + level.method + ' ' +
+               std::to_string(level.window_first) + ' ' + std::to_string(level.window_last) +
+               '\n';
+    }
+    return out;
+}
+
+std::optional<CacheSizePayload> decode_cache_size(const std::string& text) {
+    CacheSizePayload payload;
+    const bool ok = for_each_record(text, [&](const std::string& tag,
+                                              std::istringstream& fields) {
+        if (tag == "point") {
+            long long size = 0;
+            std::string cycles;
+            if (!(fields >> size >> cycles) || size < 0 || !exhausted(fields)) return false;
+            const auto v = parse_hex(cycles);
+            if (!v) return false;
+            payload.curve.sizes.push_back(static_cast<Bytes>(size));
+            payload.curve.cycles.push_back(*v);
+            return true;
+        }
+        if (tag == "level") {
+            long long size = 0;
+            std::string method;
+            long long first = 0;
+            long long last = 0;
+            if (!(fields >> size >> method >> first >> last) || size < 0 || first < 0 ||
+                last < 0 || !exhausted(fields))
+                return false;
+            CacheLevelEstimate level;
+            level.size = static_cast<Bytes>(size);
+            level.method = method;
+            level.window_first = static_cast<std::size_t>(first);
+            level.window_last = static_cast<std::size_t>(last);
+            payload.levels.push_back(std::move(level));
+            return true;
+        }
+        return false;
+    });
+    if (!ok) return std::nullopt;
+    return payload;
+}
+
+std::string encode_shared_caches(const std::vector<SharedCacheLevelResult>& levels) {
+    std::string out;
+    for (const SharedCacheLevelResult& level : levels) {
+        out += "level " + std::to_string(level.cache_size) + ' ' +
+               std::to_string(level.array_bytes) + ' ' + hex(level.reference_cycles) + '\n';
+        for (const SharedCachePairResult& pair : level.pairs)
+            out += "pair " + std::to_string(pair.pair.a) + ' ' + std::to_string(pair.pair.b) +
+                   ' ' + hex(pair.ratio) + '\n';
+        for (const CorePair& pair : level.sharing_pairs)
+            out += "sharing " + std::to_string(pair.a) + ' ' + std::to_string(pair.b) + '\n';
+        for (const std::vector<CoreId>& group : level.groups)
+            out += "group " + fmt_cores(group) + '\n';
+    }
+    return out;
+}
+
+std::optional<std::vector<SharedCacheLevelResult>> decode_shared_caches(
+    const std::string& text) {
+    std::vector<SharedCacheLevelResult> levels;
+    const bool ok = for_each_record(text, [&](const std::string& tag,
+                                              std::istringstream& fields) {
+        if (tag == "level") {
+            long long cache_size = 0;
+            long long array_bytes = 0;
+            std::string reference;
+            if (!(fields >> cache_size >> array_bytes >> reference) || cache_size < 0 ||
+                array_bytes < 0 || !exhausted(fields))
+                return false;
+            const auto v = parse_hex(reference);
+            if (!v) return false;
+            SharedCacheLevelResult level;
+            level.cache_size = static_cast<Bytes>(cache_size);
+            level.array_bytes = static_cast<Bytes>(array_bytes);
+            level.reference_cycles = *v;
+            levels.push_back(std::move(level));
+            return true;
+        }
+        if (levels.empty()) return false;  // every other tag attaches to a level
+        SharedCacheLevelResult& level = levels.back();
+        if (tag == "pair") {
+            int a = 0;
+            int b = 0;
+            std::string ratio;
+            if (!(fields >> a >> b >> ratio) || !exhausted(fields)) return false;
+            const auto v = parse_hex(ratio);
+            if (!v) return false;
+            level.pairs.push_back({{a, b}, *v});
+            return true;
+        }
+        if (tag == "sharing") {
+            int a = 0;
+            int b = 0;
+            if (!(fields >> a >> b) || !exhausted(fields)) return false;
+            level.sharing_pairs.push_back({a, b});
+            return true;
+        }
+        if (tag == "group") {
+            std::string cores;
+            if (!(fields >> cores) || !exhausted(fields)) return false;
+            const auto group = parse_cores(cores);
+            if (!group) return false;
+            level.groups.push_back(*group);
+            return true;
+        }
+        return false;
+    });
+    if (!ok) return std::nullopt;
+    return levels;
+}
+
+std::string encode_mem_overhead(const MemOverheadResult& result) {
+    std::string out = "reference " + hex(result.reference_bandwidth) + '\n';
+    for (const MemPairResult& pair : result.pairs)
+        out += "pair " + std::to_string(pair.pair.a) + ' ' + std::to_string(pair.pair.b) +
+               ' ' + hex(pair.bandwidth) + '\n';
+    for (const MemOverheadTier& tier : result.tiers) {
+        out += "tier " + hex(tier.bandwidth) + '\n';
+        for (const CorePair& pair : tier.pairs)
+            out += "tier-pair " + std::to_string(pair.a) + ' ' + std::to_string(pair.b) + '\n';
+        for (const std::vector<CoreId>& group : tier.groups)
+            out += "tier-group " + fmt_cores(group) + '\n';
+    }
+    for (const MemScalabilityCurve& scal : result.scalability)
+        out += "scal " + std::to_string(scal.tier) + ' ' + fmt_cores(scal.group) + ' ' +
+               fmt_doubles(scal.bandwidth_by_n) + '\n';
+    return out;
+}
+
+std::optional<MemOverheadResult> decode_mem_overhead(const std::string& text) {
+    MemOverheadResult result;
+    const bool ok = for_each_record(text, [&](const std::string& tag,
+                                              std::istringstream& fields) {
+        if (tag == "reference") {
+            std::string value;
+            if (!(fields >> value) || !exhausted(fields)) return false;
+            const auto v = parse_hex(value);
+            if (!v) return false;
+            result.reference_bandwidth = *v;
+            return true;
+        }
+        if (tag == "pair") {
+            int a = 0;
+            int b = 0;
+            std::string bandwidth;
+            if (!(fields >> a >> b >> bandwidth) || !exhausted(fields)) return false;
+            const auto v = parse_hex(bandwidth);
+            if (!v) return false;
+            result.pairs.push_back({{a, b}, *v});
+            return true;
+        }
+        if (tag == "tier") {
+            std::string bandwidth;
+            if (!(fields >> bandwidth) || !exhausted(fields)) return false;
+            const auto v = parse_hex(bandwidth);
+            if (!v) return false;
+            MemOverheadTier tier;
+            tier.bandwidth = *v;
+            result.tiers.push_back(std::move(tier));
+            return true;
+        }
+        if (tag == "tier-pair" || tag == "tier-group") {
+            if (result.tiers.empty()) return false;
+            MemOverheadTier& tier = result.tiers.back();
+            if (tag == "tier-pair") {
+                int a = 0;
+                int b = 0;
+                if (!(fields >> a >> b) || !exhausted(fields)) return false;
+                tier.pairs.push_back({a, b});
+                return true;
+            }
+            std::string cores;
+            if (!(fields >> cores) || !exhausted(fields)) return false;
+            const auto group = parse_cores(cores);
+            if (!group) return false;
+            tier.groups.push_back(*group);
+            return true;
+        }
+        if (tag == "scal") {
+            long long tier = 0;
+            std::string cores;
+            std::string bandwidths;
+            if (!(fields >> tier >> cores >> bandwidths) || tier < 0 || !exhausted(fields))
+                return false;
+            const auto group = parse_cores(cores);
+            const auto curve = parse_doubles(bandwidths);
+            if (!group || !curve) return false;
+            MemScalabilityCurve scal;
+            scal.tier = static_cast<std::size_t>(tier);
+            scal.group = *group;
+            scal.bandwidth_by_n = *curve;
+            result.scalability.push_back(std::move(scal));
+            return true;
+        }
+        return false;
+    });
+    if (!ok) return std::nullopt;
+    return result;
+}
+
+std::string encode_comm_costs(const CommCostsResult& result) {
+    std::string out = "probe " + std::to_string(result.probe_message) + '\n';
+    for (const CommPairLatency& pair : result.pairs)
+        out += "pair " + std::to_string(pair.pair.a) + ' ' + std::to_string(pair.pair.b) +
+               ' ' + hex(pair.latency) + '\n';
+    for (const CommLayer& layer : result.layers) {
+        out += "layer " + hex(layer.latency) + ' ' + std::to_string(layer.representative.a) +
+               ' ' + std::to_string(layer.representative.b) + '\n';
+        for (const CorePair& pair : layer.pairs)
+            out += "layer-pair " + std::to_string(pair.a) + ' ' + std::to_string(pair.b) +
+                   '\n';
+        for (const auto& [size, latency] : layer.p2p)
+            out += "p2p " + std::to_string(size) + ' ' + hex(latency) + '\n';
+        out += "slowdown " + fmt_doubles(layer.slowdown_by_n) + '\n';
+    }
+    return out;
+}
+
+std::optional<CommCostsResult> decode_comm_costs(const std::string& text) {
+    CommCostsResult result;
+    const bool ok = for_each_record(text, [&](const std::string& tag,
+                                              std::istringstream& fields) {
+        if (tag == "probe") {
+            long long bytes = 0;
+            if (!(fields >> bytes) || bytes < 0 || !exhausted(fields)) return false;
+            result.probe_message = static_cast<Bytes>(bytes);
+            return true;
+        }
+        if (tag == "pair") {
+            int a = 0;
+            int b = 0;
+            std::string latency;
+            if (!(fields >> a >> b >> latency) || !exhausted(fields)) return false;
+            const auto v = parse_hex(latency);
+            if (!v) return false;
+            result.pairs.push_back({{a, b}, *v});
+            return true;
+        }
+        if (tag == "layer") {
+            std::string latency;
+            int a = 0;
+            int b = 0;
+            if (!(fields >> latency >> a >> b) || !exhausted(fields)) return false;
+            const auto v = parse_hex(latency);
+            if (!v) return false;
+            CommLayer layer;
+            layer.latency = *v;
+            layer.representative = {a, b};
+            result.layers.push_back(std::move(layer));
+            return true;
+        }
+        if (result.layers.empty()) return false;
+        CommLayer& layer = result.layers.back();
+        if (tag == "layer-pair") {
+            int a = 0;
+            int b = 0;
+            if (!(fields >> a >> b) || !exhausted(fields)) return false;
+            layer.pairs.push_back({a, b});
+            return true;
+        }
+        if (tag == "p2p") {
+            long long size = 0;
+            std::string latency;
+            if (!(fields >> size >> latency) || size < 0 || !exhausted(fields)) return false;
+            const auto v = parse_hex(latency);
+            if (!v) return false;
+            layer.p2p.emplace_back(static_cast<Bytes>(size), *v);
+            return true;
+        }
+        if (tag == "slowdown") {
+            std::string values;
+            if (!(fields >> values) || !exhausted(fields)) return false;
+            const auto v = parse_doubles(values);
+            if (!v) return false;
+            layer.slowdown_by_n = *v;
+            return true;
+        }
+        return false;
+    });
+    if (!ok) return std::nullopt;
+    return result;
+}
+
+}  // namespace servet::core

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "base/check.hpp"
+#include "base/fs.hpp"
 
 namespace servet::core {
 
@@ -593,18 +594,30 @@ std::optional<Profile> Profile::parse(const std::string& text) {
 }
 
 bool Profile::save(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << serialize();
-    return static_cast<bool>(out);
+    // Crash-atomic: fsync'd under a temporary sibling name, then renamed
+    // into place. The profile is the suite's whole product — a crash or
+    // power loss mid-save must never leave a truncated file where a good
+    // profile stood (or would stand).
+    return write_file_atomic(path, serialize());
 }
 
-std::optional<Profile> Profile::load(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) return std::nullopt;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    return parse(buffer.str());
+std::optional<Profile> Profile::load(const std::string& path, std::string* diagnostic) {
+    std::string text;
+    switch (read_file(path, &text)) {
+        case FileRead::Absent:
+            if (diagnostic != nullptr) *diagnostic = "no such file: " + path;
+            return std::nullopt;
+        case FileRead::Error:
+            if (diagnostic != nullptr) *diagnostic = "cannot read " + path;
+            return std::nullopt;
+        case FileRead::Ok:
+            break;
+    }
+    std::optional<Profile> profile = parse(text);
+    if (!profile && diagnostic != nullptr)
+        *diagnostic =
+            path + " exists but is not a valid servet profile (corrupt or wrong format)";
+    return profile;
 }
 
 }  // namespace servet::core

@@ -108,10 +108,15 @@ class Profile {
     [[nodiscard]] std::string serialize() const;
     [[nodiscard]] static std::optional<Profile> parse(const std::string& text);
 
-    /// Write to / read from a file. Returns false / nullopt on I/O or
-    /// parse failure.
+    /// Write to a file, crash-atomically (fsync'd temporary + rename): a
+    /// reader never sees a torn profile. Returns false on I/O failure.
     [[nodiscard]] bool save(const std::string& path) const;
-    [[nodiscard]] static std::optional<Profile> load(const std::string& path);
+
+    /// Read from a file. On nullopt, `diagnostic` (when given) says *why*
+    /// — a missing file and a malformed one call for different fixes, so
+    /// the CLI must not report them with one message.
+    [[nodiscard]] static std::optional<Profile> load(const std::string& path,
+                                                     std::string* diagnostic = nullptr);
 
     friend bool operator==(const Profile&, const Profile&) = default;
 };

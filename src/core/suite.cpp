@@ -1,11 +1,18 @@
 #include "core/suite.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+#include <optional>
+#include <utility>
 
 #include "base/check.hpp"
+#include "base/fs.hpp"
+#include "base/hash.hpp"
 #include "base/log.hpp"
+#include "core/journal.hpp"
 #include "core/measure.hpp"
+#include "core/phase_codec.hpp"
 #include "exec/dag.hpp"
 #include "exec/memo_cache.hpp"
 #include "exec/pool.hpp"
@@ -17,6 +24,12 @@ namespace servet::core {
 void PhaseTimer::record(const std::string& phase, Seconds elapsed) {
     const std::lock_guard<std::mutex> lock(mutex_);
     (*sink_)[phase] += elapsed;
+}
+
+Seconds PhaseTimer::total(const std::string& phase) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sink_->find(phase);
+    return it == sink_->end() ? 0 : it->second;
 }
 
 bool SuiteResult::measurements_equal(const SuiteResult& other) const {
@@ -76,6 +89,11 @@ Profile SuiteResult::to_profile(const std::string& machine_name, int cores,
 SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions options) {
     SERVET_TRACE_SPAN("suite/run");
     SERVET_CHECK(options.jobs >= 1);
+    // The journal identity hashes the options exactly as the caller
+    // passed them — before the per-phase sizes derived below (page_size,
+    // array_bytes, probe_message) overwrite anything — so a resumed run
+    // that passes the same flags hashes the same.
+    const std::uint64_t options_hash = suite_options_hash(options);
     SuiteResult result;
     result.embed_counters = options.profile_counters;
     PhaseTimer timer(result.phase_seconds);
@@ -109,11 +127,104 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
                 break;
         }
     }
+    if (want_memo && !options.run_dir.empty() && create_directories(options.run_dir)) {
+        // Task-level crash recovery: each fresh measurement appends to
+        // run_dir/memo.servet as it lands, so a killed run's *partial*
+        // phase is warm on resume — the phase re-runs, but every task it
+        // already measured replays from the memo. The load is torn-tail
+        // tolerant because dying mid-append is this file's normal case.
+        const std::string memo_journal = options.run_dir + "/memo.servet";
+        if (memo.load_file(memo_journal, exec::MemoLoadMode::TornTailOk) ==
+            exec::MemoLoad::Loaded)
+            SERVET_LOG_INFO("suite: loaded %zu memo records from run journal %s",
+                            memo.size(), memo_journal.c_str());
+        if (!memo.journal_to(memo_journal))
+            SERVET_LOG_WARN("suite: cannot journal measurements to %s",
+                            memo_journal.c_str());
+    }
 
     MeasureEngine engine(&platform, network, pool.get(), want_memo ? &memo : nullptr);
     engine.set_task_deadline(options.task_deadline);
     if (pool != nullptr && !engine.deterministic())
         SERVET_LOG_INFO("suite: platform is not forkable; running serially");
+
+    // Crash safety: with a run directory, every completed phase commits
+    // to a write-ahead journal, and a resumed run replays the committed
+    // phases instead of re-measuring them. An incompatible journal throws
+    // out of run_suite — that is the refusal path, not a phase error.
+    std::unique_ptr<RunJournal> journal;
+    if (!options.run_dir.empty()) {
+        RunJournal::Header header;
+        header.options_hash = options_hash;
+        header.fingerprint = engine.fingerprint();
+        header.machine = platform.name();
+        header.cores = platform.core_count();
+        header.page_size = platform.page_size();
+        journal = std::make_unique<RunJournal>(
+            options.run_dir, header,
+            options.resume ? RunJournal::Mode::Resume : RunJournal::Mode::Create);
+        if (journal->dropped_torn_tail())
+            SERVET_LOG_WARN(
+                "suite: journal in %s had a torn trailing record (crash mid-commit); "
+                "that phase will re-run",
+                options.run_dir.c_str());
+        if (options.resume && !journal->records().empty())
+            SERVET_LOG_INFO("suite: resuming from %s with %zu committed phase(s)",
+                            options.run_dir.c_str(), journal->records().size());
+        // Targeted re-measurement (validate --repair): invalidate the
+        // implicated phases up front, then let the normal replay/commit
+        // path re-measure exactly those.
+        for (const std::string& phase : options.remeasure) {
+            if (journal->find(phase) == nullptr) continue;
+            if (journal->drop(phase))
+                SERVET_LOG_INFO("suite: dropped phase %s from journal; it will "
+                                "re-measure",
+                                phase.c_str());
+            else
+                SERVET_LOG_WARN("suite: cannot drop phase %s from journal %s",
+                                phase.c_str(), options.run_dir.c_str());
+        }
+    }
+    obs::Counter& journal_replays =
+        obs::counter("suite.journal.phases.replayed", obs::Stability::Stable);
+    obs::Counter& journal_appends =
+        obs::counter("suite.journal.phases.appended", obs::Stability::Stable);
+    std::atomic<std::uint64_t> replayed_here{0};
+    std::atomic<std::uint64_t> appended_here{0};
+
+    // Forensic digest stored on each commit line: the Stable counters at
+    // commit time. Not used for replay decisions (per-phase deltas are
+    // not schedule-invariant when DAG phases overlap).
+    const auto counters_digest = [] {
+        Fingerprint fp;
+        for (const auto& [name, value] : obs::registry().stable_counters()) {
+            fp.add(std::string_view(name));
+            fp.add(value);
+        }
+        return fp.value();
+    };
+    const auto replay = [&](const std::string& phase, const RunJournal::Record& record) {
+        timer.record(phase, record.seconds);
+        journal_replays.increment();
+        replayed_here.fetch_add(1, std::memory_order_relaxed);
+        SERVET_LOG_INFO("suite: phase %s replayed from journal (%zu-byte record)",
+                        phase.c_str(), record.payload.size());
+    };
+    // Commit runs inside the phase's isolate() body, after the phase's
+    // result landed: an append failure only costs crash protection, a
+    // decode failure on a later resume only costs a re-measurement.
+    const auto commit = [&](const std::string& phase, std::string payload) {
+        if (journal == nullptr) return;
+        if (journal->append(phase, std::move(payload), timer.total(phase),
+                            counters_digest())) {
+            journal_appends.increment();
+            appended_here.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            SERVET_LOG_WARN("suite: cannot append phase %s to journal %s; this phase "
+                            "loses crash protection",
+                            phase.c_str(), options.run_dir.c_str());
+        }
+    };
 
     // Phase isolation: a phase body that throws is recorded — name plus
     // message — instead of propagating, so one broken probe costs its
@@ -137,13 +248,31 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     // Phase 1: cache size estimate (Section III-A). Runs first — every
     // other phase is sized by its result — with its sweep parallel inside.
     options.detect.page_size = platform.page_size();
-    isolate("cache_size", [&] {
-        result.curve = timer.time("cache_size", [&] {
-            return run_mcalibrator(engine, options.mcalibrator);
+    // A replayed phase bypasses isolate(): decoding a committed record
+    // cannot throw, and a corrupt record falls through to re-measurement.
+    const RunJournal::Record* cache_record =
+        journal == nullptr ? nullptr : journal->find("cache_size");
+    std::optional<CacheSizePayload> cache_payload;
+    if (cache_record != nullptr) {
+        cache_payload = decode_cache_size(cache_record->payload);
+        if (!cache_payload)
+            SERVET_LOG_WARN("suite: journaled cache_size record does not decode; "
+                            "re-measuring");
+    }
+    if (cache_payload) {
+        result.curve = std::move(cache_payload->curve);
+        result.cache_levels = std::move(cache_payload->levels);
+        replay("cache_size", *cache_record);
+    } else {
+        isolate("cache_size", [&] {
+            result.curve = timer.time("cache_size", [&] {
+                return run_mcalibrator(engine, options.mcalibrator);
+            });
+            result.cache_levels = detect_cache_levels(result.curve, options.detect);
+            SERVET_LOG_INFO("suite: detected %zu cache levels", result.cache_levels.size());
+            commit("cache_size", encode_cache_size({result.curve, result.cache_levels}));
         });
-        result.cache_levels = detect_cache_levels(result.curve, options.detect);
-        SERVET_LOG_INFO("suite: detected %zu cache levels", result.cache_levels.size());
-    });
+    }
 
     std::vector<Bytes> sizes;
     for (const CacheLevelEstimate& level : result.cache_levels) sizes.push_back(level.size);
@@ -155,11 +284,24 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     // Phase 2: shared caches (Section III-B) — needs at least two cores.
     if (options.run_shared_cache && platform.core_count() > 1 && !sizes.empty()) {
         dag.add("shared_caches", [&] {
+            if (journal != nullptr) {
+                if (const RunJournal::Record* record = journal->find("shared_caches")) {
+                    if (auto decoded = decode_shared_caches(record->payload)) {
+                        result.shared_caches = std::move(*decoded);
+                        result.has_shared_caches = true;
+                        replay("shared_caches", *record);
+                        return;
+                    }
+                    SERVET_LOG_WARN("suite: journaled shared_caches record does not "
+                                    "decode; re-measuring");
+                }
+            }
             isolate("shared_caches", [&] {
                 result.shared_caches = timer.time("shared_caches", [&] {
                     return detect_shared_caches(engine, sizes, options.shared_cache);
                 });
                 result.has_shared_caches = true;
+                commit("shared_caches", encode_shared_caches(result.shared_caches));
             });
         });
     }
@@ -169,11 +311,24 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     if (options.run_mem_overhead && platform.core_count() > 1) {
         if (!sizes.empty()) options.mem_overhead.array_bytes = 4 * sizes.back();
         dag.add("mem_overhead", [&] {
+            if (journal != nullptr) {
+                if (const RunJournal::Record* record = journal->find("mem_overhead")) {
+                    if (auto decoded = decode_mem_overhead(record->payload)) {
+                        result.mem_overhead = std::move(*decoded);
+                        result.has_mem_overhead = true;
+                        replay("mem_overhead", *record);
+                        return;
+                    }
+                    SERVET_LOG_WARN("suite: journaled mem_overhead record does not "
+                                    "decode; re-measuring");
+                }
+            }
             isolate("mem_overhead", [&] {
                 result.mem_overhead = timer.time("mem_overhead", [&] {
                     return characterize_memory_overhead(engine, options.mem_overhead);
                 });
                 result.has_mem_overhead = true;
+                commit("mem_overhead", encode_mem_overhead(result.mem_overhead));
             });
         });
     }
@@ -182,11 +337,24 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
     if (options.run_comm && network != nullptr && network->endpoint_count() > 1) {
         if (!sizes.empty()) options.comm.probe_message = sizes.front();
         dag.add("comm_costs", [&] {
+            if (journal != nullptr) {
+                if (const RunJournal::Record* record = journal->find("comm_costs")) {
+                    if (auto decoded = decode_comm_costs(record->payload)) {
+                        result.comm = std::move(*decoded);
+                        result.has_comm = true;
+                        replay("comm_costs", *record);
+                        return;
+                    }
+                    SERVET_LOG_WARN("suite: journaled comm_costs record does not "
+                                    "decode; re-measuring");
+                }
+            }
             isolate("comm_costs", [&] {
                 result.comm = timer.time("comm_costs", [&] {
                     return characterize_communication(engine, options.comm);
                 });
                 result.has_comm = true;
+                commit("comm_costs", encode_comm_costs(result.comm));
             });
         });
     }
@@ -203,6 +371,8 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
 
     result.memo_hits = memo.hits();
     result.memo_misses = memo.misses();
+    result.journal_replayed = replayed_here.load(std::memory_order_relaxed);
+    result.journal_appended = appended_here.load(std::memory_order_relaxed);
 
     for (const auto& [name, value] : obs::registry().stable_counters()) {
         const auto it = counters_before.find(name);

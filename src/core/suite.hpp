@@ -51,6 +51,9 @@ class PhaseTimer {
 
     void record(const std::string& phase, Seconds elapsed);
 
+    /// Accumulated seconds of `phase` so far (0 when never recorded).
+    [[nodiscard]] Seconds total(const std::string& phase);
+
   private:
     std::mutex mutex_;
     std::map<std::string, Seconds>* sink_;
@@ -86,6 +89,24 @@ struct SuiteOptions {
     /// TaskDeadlineExceeded, which phase isolation then records instead
     /// of letting one hung probe stall the whole suite.
     Seconds task_deadline = 0;
+    /// When non-empty, the run keeps a write-ahead phase journal under
+    /// this directory (core/journal.hpp): each completed phase's full
+    /// result is committed and fsync'd as it lands, and the measurement
+    /// memo is journaled incrementally, so a run killed mid-suite loses
+    /// at most the in-flight work.
+    std::string run_dir;
+    /// Resume from the journal found under run_dir: committed phases are
+    /// replayed bit-exactly without re-measurement (their wall-clock
+    /// restored from the producing run), and only missing or previously
+    /// failed phases re-run. run_suite throws JournalError when the
+    /// journal's options hash or machine identity disagrees with this
+    /// run — resuming must never mix measurements of two configurations.
+    /// Requires run_dir; an absent journal degrades to a fresh run.
+    bool resume = false;
+    /// Phases to drop from the journal before replay (resume mode only):
+    /// `servet validate --repair` lists the phases its violations
+    /// implicate here, so exactly those re-measure while the rest replay.
+    std::vector<std::string> remeasure;
 };
 
 /// One failed phase of a suite run: the phase's DAG/timing name plus the
@@ -109,6 +130,8 @@ struct SuiteResult {
     std::map<std::string, Seconds> phase_seconds;  ///< Table I rows
     std::uint64_t memo_hits = 0;                   ///< memo lookups served
     std::uint64_t memo_misses = 0;                 ///< memo lookups measured
+    std::uint64_t journal_replayed = 0;            ///< phases restored from the journal
+    std::uint64_t journal_appended = 0;            ///< phases committed to the journal
     /// This run's deltas of every Stable obs counter (nonzero ones only):
     /// schedule-invariant, so --jobs 1 and --jobs N report identical maps.
     std::map<std::string, std::uint64_t> counters;
@@ -140,6 +163,11 @@ struct SuiteResult {
 /// lands in SuiteResult::errors, the remaining phases execute, the memo
 /// (when configured) is still saved, and to_profile emits a partial
 /// profile whose [errors] section names the failed phases.
+///
+/// Crash safety: with SuiteOptions::run_dir set, completed phases are
+/// journaled as they land and a resumed run (SuiteOptions::resume)
+/// replays them bit-exactly. Throws JournalError when an existing journal
+/// is incompatible with this run's options or machine.
 [[nodiscard]] SuiteResult run_suite(Platform& platform, msg::Network* network,
                                     SuiteOptions options = {});
 

@@ -1,0 +1,56 @@
+// Profile validation: checks a measured Profile against the physical
+// invariants any real memory hierarchy and interconnect must satisfy —
+// cache sizes strictly increase up the hierarchy, shared-core groups
+// partition the cores, bandwidth ratios sit in sane bands, communication
+// latency never falls as layers get more remote. A profile that violates
+// one of these was produced by a corrupted file, a buggy edit, or a run
+// perturbed badly enough that its measurements cannot be trusted;
+// `servet validate` reports each violation with a stable code and the
+// suite phase it implicates, and `--repair` re-measures exactly those
+// phases through the run journal (core/journal.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+
+namespace servet::core {
+
+enum class Severity {
+    Warning,  ///< suspicious but physically possible; reported, exit 0
+    Error,    ///< physically impossible or unusable; exit non-zero
+};
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+struct Violation {
+    /// Stable machine-readable code, e.g. "cache.size-order". Tests and
+    /// scripts match on this, not on the message.
+    std::string code;
+    Severity severity = Severity::Error;
+    /// Suite phase whose re-measurement would refresh the violated data:
+    /// "cache_size", "shared_caches", "mem_overhead", or "comm_costs".
+    /// Empty when no phase is implicated (e.g. a malformed header field).
+    std::string phase;
+    /// Human-readable diagnostic with the offending values.
+    std::string message;
+};
+
+struct ValidationReport {
+    std::vector<Violation> violations;
+
+    /// True when any violation is Severity::Error.
+    [[nodiscard]] bool has_errors() const;
+
+    /// Unique phases implicated by Error-severity violations, in suite
+    /// order. A "cache_size" implication expands to every phase: the
+    /// downstream phases were sized by the cache-size result, so its
+    /// corruption poisons them all.
+    [[nodiscard]] std::vector<std::string> implicated_phases() const;
+};
+
+/// Checks `profile` against the invariants above. Pure; never throws.
+[[nodiscard]] ValidationReport validate_profile(const Profile& profile);
+
+}  // namespace servet::core

@@ -1,11 +1,17 @@
 #include "exec/memo_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "base/check.hpp"
+#include "base/fs.hpp"
 #include "obs/metrics.hpp"
 
 namespace servet::exec {
@@ -33,7 +39,37 @@ std::string fmt_hexfloat(double v) {
     std::snprintf(buf, sizeof buf, "%a", v);
     return buf;
 }
+
+std::string format_record(const std::string& key, const std::vector<double>& values) {
+    std::string line = key + ' ' + std::to_string(values.size());
+    for (const double v : values) {
+        line += ' ';
+        line += fmt_hexfloat(v);
+    }
+    line += '\n';
+    return line;
+}
+
+/// Full write with EINTR retry; short writes continue where they left off.
+bool write_all(int fd, const std::string& data) {
+    const char* p = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+        const ssize_t n = ::write(fd, p, remaining);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
 }  // namespace
+
+MemoCache::~MemoCache() {
+    if (journal_fd_ >= 0) ::close(journal_fd_);
+}
 
 std::optional<std::vector<double>> MemoCache::lookup(const std::string& key) const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -54,7 +90,38 @@ void MemoCache::store(const std::string& key, std::vector<double> values) {
     SERVET_CHECK_MSG(key.find_first_of(" \t\n\r") == std::string::npos,
                      "memo key must not contain whitespace");
     std::lock_guard<std::mutex> lock(mutex_);
-    if (entries_.try_emplace(key, std::move(values)).second) store_counter().increment();
+    const auto [it, fresh] = entries_.try_emplace(key, std::move(values));
+    if (!fresh) return;
+    store_counter().increment();
+    journal_append_locked(it->first, it->second);
+}
+
+void MemoCache::journal_append_locked(const std::string& key,
+                                      const std::vector<double>& values) {
+    if (journal_fd_ < 0) return;
+    // No fsync: the journal guards against the *process* dying (SIGKILL,
+    // OOM), not against power loss — a lost memo line only costs one
+    // re-measurement, never correctness, so the cheap write is the right
+    // trade inside the measurement hot path.
+    if (!write_all(journal_fd_, format_record(key, values))) {
+        ::close(journal_fd_);
+        journal_fd_ = -1;
+    }
+}
+
+bool MemoCache::journal_to(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (journal_fd_ >= 0) ::close(journal_fd_);
+    journal_fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (journal_fd_ < 0) return false;
+    struct stat st {};
+    if (::fstat(journal_fd_, &st) != 0 ||
+        (st.st_size == 0 && !write_all(journal_fd_, std::string(kHeader) + '\n'))) {
+        ::close(journal_fd_);
+        journal_fd_ = -1;
+        return false;
+    }
+    return true;
 }
 
 std::size_t MemoCache::size() const {
@@ -72,28 +139,50 @@ std::uint64_t MemoCache::misses() const {
     return misses_;
 }
 
-MemoLoad MemoCache::load_file(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) return MemoLoad::Absent;
+MemoLoad MemoCache::load_file(const std::string& path, MemoLoadMode mode) {
+    std::string text;
+    switch (read_file(path, &text)) {
+        case FileRead::Absent:
+            return MemoLoad::Absent;
+        case FileRead::Error:
+            return MemoLoad::Malformed;
+        case FileRead::Ok:
+            break;
+    }
+    // Every complete journal append ends in '\n', so an unterminated last
+    // line is a torn write — and dangerous: a hexfloat truncated mid-token
+    // can still parse as a valid (wrong) shorter number. Cut it off before
+    // parsing rather than trusting the line parser to notice.
+    if (mode == MemoLoadMode::TornTailOk && !text.empty() && text.back() != '\n')
+        text.erase(text.find_last_of('\n') + 1);
+
+    std::istringstream in(text);
     std::string line;
     if (!std::getline(in, line) || line != kHeader) return MemoLoad::Malformed;
 
     std::map<std::string, std::vector<double>> loaded;
-    while (std::getline(in, line)) {
+    bool torn = false;
+    while (!torn && std::getline(in, line)) {
         if (line.empty()) continue;
         std::istringstream fields(line);
         std::string key;
         std::size_t count = 0;
-        if (!(fields >> key >> count)) return MemoLoad::Malformed;
         std::vector<double> values;
-        values.reserve(count);
         std::string token;
-        for (std::size_t i = 0; i < count; ++i) {
-            if (!(fields >> token)) return MemoLoad::Malformed;
+        bool ok = static_cast<bool>(fields >> key >> count);
+        values.reserve(ok ? count : 0);
+        for (std::size_t i = 0; ok && i < count; ++i) {
+            ok = static_cast<bool>(fields >> token);
+            if (!ok) break;
             char* end = nullptr;
             const double v = std::strtod(token.c_str(), &end);
-            if (end == token.c_str() || *end != '\0') return MemoLoad::Malformed;
-            values.push_back(v);
+            ok = end != token.c_str() && *end == '\0';
+            if (ok) values.push_back(v);
+        }
+        if (!ok) {
+            if (mode == MemoLoadMode::Strict) return MemoLoad::Malformed;
+            torn = true;  // keep the valid prefix; the rest is a crash's tail
+            break;
         }
         loaded.emplace(std::move(key), std::move(values));
     }
@@ -104,31 +193,15 @@ MemoLoad MemoCache::load_file(const std::string& path) {
 }
 
 bool MemoCache::save_file(const std::string& path) const {
-    // Write a temporary sibling first and rename it into place: rename(2)
-    // within a directory is atomic, so readers see either the old file or
-    // the complete new one, never a torn write.
-    const std::string tmp = path + ".tmp";
+    // Crash-atomic: the content is fsync'd under a temporary sibling name
+    // and renamed into place, so readers see either the old file or the
+    // complete new one, never a torn write — even across a power loss.
+    std::string out = std::string(kHeader) + '\n';
     {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) return false;
-        out << kHeader << '\n';
         std::lock_guard<std::mutex> lock(mutex_);
-        for (const auto& [key, values] : entries_) {
-            out << key << ' ' << values.size();
-            for (const double v : values) out << ' ' << fmt_hexfloat(v);
-            out << '\n';
-        }
-        out.flush();
-        if (!out) {
-            std::remove(tmp.c_str());
-            return false;
-        }
+        for (const auto& [key, values] : entries_) out += format_record(key, values);
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return write_file_atomic(path, out);
 }
 
 }  // namespace servet::exec

@@ -28,8 +28,20 @@ namespace servet::exec {
 /// measurement.
 enum class MemoLoad { Loaded, Absent, Malformed };
 
+/// Strict rejects the whole file on any malformed record — right for
+/// memo files produced by the atomic save_file, where corruption means
+/// something rewrote the file. TornTailOk keeps the valid prefix and
+/// discards everything from the first bad record on — right for the
+/// incremental journal (journal_to), whose tail is legitimately torn
+/// when the process was killed mid-append.
+enum class MemoLoadMode { Strict, TornTailOk };
+
 class MemoCache {
   public:
+    MemoCache() = default;
+    ~MemoCache();
+    MemoCache(const MemoCache&) = delete;
+    MemoCache& operator=(const MemoCache&) = delete;
     /// Returns the stored values, or nullopt (and counts a miss).
     [[nodiscard]] std::optional<std::vector<double>> lookup(const std::string& key) const;
 
@@ -43,9 +55,20 @@ class MemoCache {
     [[nodiscard]] std::uint64_t misses() const;
 
     /// Merge records from `path` (existing keys keep their values).
-    /// A malformed file (bad header, truncated record, unparseable value)
-    /// loads nothing, even from its valid prefix.
-    MemoLoad load_file(const std::string& path);
+    /// Strict mode: a malformed file (bad header, truncated record,
+    /// unparseable value) loads nothing, even from its valid prefix.
+    /// TornTailOk mode: the valid prefix loads and the torn tail is
+    /// dropped; only a bad header is Malformed.
+    MemoLoad load_file(const std::string& path, MemoLoadMode mode = MemoLoadMode::Strict);
+
+    /// Task-level write-ahead journal: from this call on, every fresh
+    /// store() appends its record to `path` immediately (creating the
+    /// file with its header when absent, appending to an existing one).
+    /// Appends are plain write(2)s — they survive the process being
+    /// killed, which is the crash model here; load the file back with
+    /// MemoLoadMode::TornTailOk. Returns false when the file cannot be
+    /// opened (the cache still works, it just isn't journaled).
+    [[nodiscard]] bool journal_to(const std::string& path);
 
     /// Write every record to `path` (sorted by key, so the file is
     /// deterministic). Returns false on I/O failure. The write is atomic:
@@ -54,10 +77,13 @@ class MemoCache {
     [[nodiscard]] bool save_file(const std::string& path) const;
 
   private:
+    void journal_append_locked(const std::string& key, const std::vector<double>& values);
+
     mutable std::mutex mutex_;
     std::map<std::string, std::vector<double>> entries_;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
+    int journal_fd_ = -1;
 };
 
 }  // namespace servet::exec

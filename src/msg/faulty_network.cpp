@@ -41,6 +41,11 @@ std::string FaultyNetwork::name() const { return "faulty(" + inner_->name() + ")
 std::uint64_t FaultyNetwork::fingerprint() const {
     const std::uint64_t inner = inner_->fingerprint();
     if (inner == 0) return 0;
+    // Mirrors FlakyPlatform: a drop-only plan never changes a measured
+    // latency (the retried transfer reports the true value), so it keeps
+    // the inner fingerprint and stays memo/journal-compatible with clean
+    // runs. Only delays perturb values.
+    if (!plan_.perturbs_network_values()) return inner;
     return inner ^ mix64(plan_.fingerprint());
 }
 

@@ -225,6 +225,12 @@ std::string FlakyPlatform::name() const { return "flaky(" + inner_->name() + ")"
 std::uint64_t FlakyPlatform::fingerprint() const {
     const std::uint64_t inner = inner_->fingerprint();
     if (inner == 0) return 0;
+    // Only value-perturbing plans change what this substrate *measures*.
+    // A throw/hang-only plan reports the inner platform's true values, so
+    // it keeps the inner fingerprint: its surviving measurements are
+    // memo- and journal-compatible with clean runs — which is what lets a
+    // suite killed mid-hang resume without re-injecting the faults.
+    if (!plan_.perturbs_platform_values()) return inner;
     return inner ^ mix64(plan_.fingerprint());
 }
 

@@ -10,6 +10,8 @@
 //                                         cost one message from the profile
 //   servet metrics  [--machine M] [--out FILE]
 //                                         run the suite, summarize obs metrics
+//   servet validate --profile FILE       check a profile against physical
+//                                         invariants; --repair re-measures
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -18,11 +20,14 @@
 #include "autotune/mapping.hpp"
 #include "base/cli.hpp"
 #include "base/fault_plan.hpp"
+#include "base/fs.hpp"
 #include "base/table.hpp"
 #include "base/units.hpp"
+#include "core/journal.hpp"
 #include "core/report.hpp"
 #include "core/suite.hpp"
 #include "core/tlb_detect.hpp"
+#include "core/validate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "msg/faulty_network.hpp"
@@ -41,6 +46,16 @@ namespace {
 /// the file's [errors] section lists it. Distinct from 1 (hard failure,
 /// nothing usable written) so scripts can keep the partial profile.
 constexpr int kExitPartialProfile = 3;
+
+/// `servet profile --resume` refused: the journal under --run-dir was
+/// written by a run with different options or on a different machine.
+/// Distinct from 1 so scripts can distinguish "wrong invocation" from
+/// "use a fresh --run-dir".
+constexpr int kExitIncompatibleJournal = 2;
+
+/// `servet validate` found at least one Error-severity violation (and
+/// --repair, if given, could not clear it).
+constexpr int kExitInvalidProfile = 2;
 
 struct Target {
     std::unique_ptr<Platform> platform;
@@ -85,70 +100,83 @@ int cmd_machines() {
     return 0;
 }
 
-int cmd_profile(int argc, const char* const* argv) {
-    CliParser cli("servet profile: run the full suite and store the result.");
+/// Registers the options shared by every command that *measures* —
+/// `profile` and `validate --repair`. The repair path must rebuild the
+/// same platform/decorator stack and the same suite options as the run
+/// that wrote the journal, or the journal's compatibility check (options
+/// hash, substrate fingerprint) will refuse it.
+void add_measurement_options(CliParser& cli) {
     cli.add_option("machine", "target (see 'servet machines')", "native");
-    cli.add_option("out", "profile file to write", "servet.profile");
     cli.add_option("robust", "median-of-N outlier rejection (1 = off)", "1");
     cli.add_option("robust-max", "adaptive sampling cap (> --robust enables convergence-"
                    "driven sampling)", "0");
     cli.add_option("faults", "inject faults: spike=P,factor=F,nan=P,throw=P,hang=P,"
                    "drop=P,delay=P,seed=N (testing)", "");
-    cli.add_option("task-deadline", "per-measurement-task deadline in seconds (0 = off)",
-                   "0");
     cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
-    cli.add_option("memo", "measurement memo file reused across invocations", "");
-    cli.add_option("trace", "write a Chrome trace_event JSON of the run", "");
-    cli.add_option("metrics", "write the metrics registry as JSON", "");
     cli.add_flag("fast", "fewer repeats, core-0 pairs only");
-    cli.add_flag("profile-counters", "embed deterministic counters in the profile");
-    if (!cli.parse(argc, argv)) return 1;
+}
 
+/// The measurement substrate a run drives: the raw target plus the
+/// decorators the flags asked for, with `platform`/`network` pointing at
+/// the top of each stack.
+struct MeasureStack {
+    Target target;
+    std::unique_ptr<FlakyPlatform> flaky;
+    std::unique_ptr<msg::FaultyNetwork> faulty_net;
+    std::unique_ptr<RobustPlatform> robust;
+    Platform* platform = nullptr;
+    msg::Network* network = nullptr;
+};
+
+std::optional<MeasureStack> make_measure_stack(const CliParser& cli) {
+    MeasureStack stack;
     auto target = make_target(cli.option("machine"));
     if (!target) {
         std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
-        return 1;
+        return std::nullopt;
     }
-    Platform* platform = target->platform.get();
-    msg::Network* network = target->network.get();
+    stack.target = std::move(*target);
+    stack.platform = stack.target.platform.get();
+    stack.network = stack.target.network.get();
 
     // Fault injection wraps the raw substrates first, so robust sampling
     // sees (and has to survive) the injected faults — the composition a
     // real noisy machine presents.
-    std::optional<FaultPlan> faults;
-    std::unique_ptr<FlakyPlatform> flaky;
-    std::unique_ptr<msg::FaultyNetwork> faulty_net;
     if (!cli.option("faults").empty()) {
-        faults = FaultPlan::parse(cli.option("faults"));
+        const std::optional<FaultPlan> faults = FaultPlan::parse(cli.option("faults"));
         if (!faults) {
             std::fprintf(stderr, "invalid --faults spec '%s'\n",
                          cli.option("faults").c_str());
-            return 1;
+            return std::nullopt;
         }
         if (faults->any_platform_faults()) {
-            flaky = std::make_unique<FlakyPlatform>(*platform, *faults);
-            platform = flaky.get();
+            stack.flaky = std::make_unique<FlakyPlatform>(*stack.platform, *faults);
+            stack.platform = stack.flaky.get();
         }
-        if (network != nullptr && faults->any_network_faults()) {
-            faulty_net = std::make_unique<msg::FaultyNetwork>(*network, *faults);
-            network = faulty_net.get();
+        if (stack.network != nullptr && faults->any_network_faults()) {
+            stack.faulty_net = std::make_unique<msg::FaultyNetwork>(*stack.network, *faults);
+            stack.network = stack.faulty_net.get();
         }
     }
 
-    std::unique_ptr<RobustPlatform> robust;
     const int samples = static_cast<int>(cli.option_int("robust").value_or(1));
     const int samples_max = static_cast<int>(cli.option_int("robust-max").value_or(0));
     if (samples_max > samples) {
         RobustOptions robust_options;
         robust_options.min_samples = std::max(samples, 1);
         robust_options.max_samples = samples_max;
-        robust = std::make_unique<RobustPlatform>(*platform, robust_options);
-        platform = robust.get();
+        stack.robust = std::make_unique<RobustPlatform>(*stack.platform, robust_options);
+        stack.platform = stack.robust.get();
     } else if (samples > 1) {
-        robust = std::make_unique<RobustPlatform>(*platform, samples);
-        platform = robust.get();
+        stack.robust = std::make_unique<RobustPlatform>(*stack.platform, samples);
+        stack.platform = stack.robust.get();
     }
+    return stack;
+}
 
+/// Suite options from the shared measurement flags. Nullopt (with a
+/// message) on invalid values.
+std::optional<core::SuiteOptions> make_suite_options(const CliParser& cli) {
     core::SuiteOptions options;
     if (cli.flag("fast")) {
         options.mcalibrator.repeats = 2;
@@ -158,10 +186,44 @@ int cmd_profile(int argc, const char* const* argv) {
     const auto jobs = cli.option_int("jobs");
     if (!jobs || *jobs < 1) {
         std::fprintf(stderr, "--jobs must be an integer >= 1\n");
-        return 1;
+        return std::nullopt;
     }
     options.jobs = static_cast<int>(*jobs);
+    return options;
+}
+
+int cmd_profile(int argc, const char* const* argv) {
+    CliParser cli("servet profile: run the full suite and store the result.");
+    add_measurement_options(cli);
+    cli.add_option("out", "profile file to write", "servet.profile");
+    cli.add_option("task-deadline", "per-measurement-task deadline in seconds (0 = off)",
+                   "0");
+    cli.add_option("memo", "measurement memo file reused across invocations", "");
+    cli.add_option("run-dir", "run directory holding the crash-safe phase journal", "");
+    cli.add_option("trace", "write a Chrome trace_event JSON of the run", "");
+    cli.add_option("metrics", "write the metrics registry as JSON", "");
+    cli.add_flag("resume", "replay completed phases from the --run-dir journal and "
+                 "re-measure only the rest");
+    cli.add_flag("no-timing", "omit the [timing] section (wall clock never repeats; "
+                 "resumed and uninterrupted runs then diff byte-identical)");
+    cli.add_flag("profile-counters", "embed deterministic counters in the profile");
+    if (!cli.parse(argc, argv)) return 1;
+
+    std::optional<MeasureStack> stack = make_measure_stack(cli);
+    if (!stack) return 1;
+    Platform* platform = stack->platform;
+    msg::Network* network = stack->network;
+
+    std::optional<core::SuiteOptions> parsed_options = make_suite_options(cli);
+    if (!parsed_options) return 1;
+    core::SuiteOptions options = std::move(*parsed_options);
     options.memo_path = cli.option("memo");
+    options.run_dir = cli.option("run-dir");
+    options.resume = cli.flag("resume");
+    if (options.resume && options.run_dir.empty()) {
+        std::fprintf(stderr, "--resume requires --run-dir (the journal to resume from)\n");
+        return 1;
+    }
     options.profile_counters = cli.flag("profile-counters");
     const auto task_deadline = cli.option_double("task-deadline");
     if (!task_deadline || *task_deadline < 0) {
@@ -169,8 +231,30 @@ int cmd_profile(int argc, const char* const* argv) {
         return 1;
     }
     options.task_deadline = *task_deadline;
+
+    // Output paths may name directories that do not exist yet; creating
+    // them here beats a suite run that measures for an hour and then
+    // cannot write its product.
+    for (const char* opt : {"out", "memo", "trace", "metrics"}) {
+        const std::string& path = cli.option(opt);
+        if (!path.empty() && !create_parent_dirs(path)) {
+            std::fprintf(stderr, "cannot create parent directory of %s\n", path.c_str());
+            return 1;
+        }
+    }
+
     if (!cli.option("trace").empty()) obs::tracer().set_enabled(true);
-    const core::SuiteResult result = core::run_suite(*platform, network, options);
+    core::SuiteResult result;
+    try {
+        result = core::run_suite(*platform, network, options);
+    } catch (const core::JournalError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return kExitIncompatibleJournal;
+    }
+    if (result.journal_replayed > 0)
+        std::printf("journal: %llu phase(s) replayed, %llu re-measured\n",
+                    static_cast<unsigned long long>(result.journal_replayed),
+                    static_cast<unsigned long long>(result.journal_appended));
     if (!cli.option("trace").empty()) {
         obs::tracer().set_enabled(false);
         if (!obs::tracer().write_chrome_trace(cli.option("trace"))) {
@@ -190,8 +274,9 @@ int cmd_profile(int argc, const char* const* argv) {
         std::printf("memo: %llu of %llu measurements replayed\n",
                     static_cast<unsigned long long>(result.memo_hits),
                     static_cast<unsigned long long>(result.memo_hits + result.memo_misses));
-    const core::Profile profile = result.to_profile(
+    core::Profile profile = result.to_profile(
         platform->name(), platform->core_count(), platform->page_size());
+    if (cli.flag("no-timing")) profile.phase_seconds.clear();
 
     const std::string& path = cli.option("out");
     if (!profile.save(path)) {
@@ -448,6 +533,101 @@ int cmd_metrics(int argc, const char* const* argv) {
     return 0;
 }
 
+int cmd_validate(int argc, const char* const* argv) {
+    CliParser cli("servet validate: check a stored profile against the physical "
+                  "invariants every real machine satisfies.");
+    add_measurement_options(cli);
+    cli.add_option("profile", "profile file to check", "servet.profile");
+    cli.add_option("run-dir", "run directory holding the producing run's journal "
+                   "(needed by --repair)", "");
+    cli.add_flag("repair", "re-measure exactly the implicated phases via the --run-dir "
+                 "journal and rewrite the profile (pass the same measurement flags as "
+                 "the producing run)");
+    cli.add_flag("no-timing", "omit the [timing] section from the repaired profile");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const std::string& path = cli.option("profile");
+    std::string diagnostic;
+    const std::optional<core::Profile> profile = core::Profile::load(path, &diagnostic);
+    if (!profile) {
+        std::fprintf(stderr, "%s\n", diagnostic.c_str());
+        return 1;
+    }
+
+    const auto print_report = [](const core::ValidationReport& report) {
+        for (const core::Violation& v : report.violations) {
+            if (v.phase.empty())
+                std::printf("%-7s %-26s %s\n", core::to_string(v.severity), v.code.c_str(),
+                            v.message.c_str());
+            else
+                std::printf("%-7s %-26s [%s] %s\n", core::to_string(v.severity),
+                            v.code.c_str(), v.phase.c_str(), v.message.c_str());
+        }
+    };
+
+    const core::ValidationReport report = core::validate_profile(*profile);
+    print_report(report);
+    if (!report.has_errors()) {
+        std::printf("%s: profile of %s passes validation (%zu warning(s))\n", path.c_str(),
+                    profile->machine.c_str(), report.violations.size());
+        return 0;
+    }
+    if (!cli.flag("repair")) {
+        std::fprintf(stderr, "%s: profile violates physical invariants; re-measure the "
+                     "implicated phase(s) or rerun with --repair --run-dir\n",
+                     path.c_str());
+        return kExitInvalidProfile;
+    }
+
+    if (cli.option("run-dir").empty()) {
+        std::fprintf(stderr, "--repair requires --run-dir (the producing run's journal "
+                     "locates the phases to re-measure)\n");
+        return 1;
+    }
+    std::optional<MeasureStack> stack = make_measure_stack(cli);
+    if (!stack) return 1;
+    std::optional<core::SuiteOptions> options = make_suite_options(cli);
+    if (!options) return 1;
+    options->run_dir = cli.option("run-dir");
+    options->resume = true;
+    options->remeasure = report.implicated_phases();
+
+    std::string phases;
+    for (const std::string& phase : options->remeasure)
+        phases += (phases.empty() ? "" : ", ") + phase;
+    std::printf("repair: re-measuring %s\n", phases.c_str());
+
+    core::SuiteResult result;
+    try {
+        result = core::run_suite(*stack->platform, stack->network, *options);
+    } catch (const core::JournalError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return kExitIncompatibleJournal;
+    }
+    core::Profile repaired = result.to_profile(stack->platform->name(),
+                                               stack->platform->core_count(),
+                                               stack->platform->page_size());
+    if (cli.flag("no-timing")) repaired.phase_seconds.clear();
+
+    const core::ValidationReport after = core::validate_profile(repaired);
+    if (after.has_errors()) {
+        print_report(after);
+        std::fprintf(stderr, "repair re-measured %llu phase(s) but the result still "
+                     "violates invariants; the measurement itself is suspect\n",
+                     static_cast<unsigned long long>(result.journal_appended));
+        return kExitInvalidProfile;
+    }
+    if (!repaired.save(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("repair: %llu phase(s) replayed, %llu re-measured; valid profile "
+                "rewritten to %s\n",
+                static_cast<unsigned long long>(result.journal_replayed),
+                static_cast<unsigned long long>(result.journal_appended), path.c_str());
+    return 0;
+}
+
 void usage() {
     std::fprintf(stderr,
                  "servet — measure multicore hardware parameters for autotuning\n\n"
@@ -460,7 +640,9 @@ void usage() {
                  "  price      cost a message between two cores from a profile\n"
                  "  map        place application ranks using a profile\n"
                  "  broadcast  choose a collective algorithm from a profile\n"
-                 "  metrics    run the suite and summarize the obs metrics registry\n\n"
+                 "  metrics    run the suite and summarize the obs metrics registry\n"
+                 "  validate   check a profile against physical invariants "
+                 "(--repair re-measures)\n\n"
                  "run 'servet <command> --help' for per-command options.\n");
 }
 
@@ -482,6 +664,7 @@ int main(int argc, char** argv) {
     if (command == "map") return cmd_map(sub_argc, sub_argv);
     if (command == "broadcast") return cmd_broadcast(sub_argc, sub_argv);
     if (command == "metrics") return cmd_metrics(sub_argc, sub_argv);
+    if (command == "validate") return cmd_validate(sub_argc, sub_argv);
     usage();
     return command == "--help" || command == "help" ? 0 : 1;
 }
