@@ -17,7 +17,16 @@ CollectiveChoice choose_broadcast(const core::Profile& profile, CoreId root,
     std::vector<Schedule> schedules;
     schedules.push_back(broadcast_flat(root, cores));
     schedules.push_back(broadcast_binomial(root, cores));
-    schedules.push_back(broadcast_hierarchical(root, cores, profile));
+    if (profile.topology.enabled()) {
+        // Cluster profile: the tiered schedule picks a sub-algorithm per
+        // topology tier. broadcast_hierarchical is skipped — its O(n^2)
+        // pair classification does not scale to the rank counts topology
+        // profiles describe, and the tiered tree subsumes its two-level
+        // structure.
+        schedules.push_back(broadcast_tiered(root, cores, profile, size));
+    } else {
+        schedules.push_back(broadcast_hierarchical(root, cores, profile));
+    }
     schedules.push_back(broadcast_scatter_allgather(root, cores));
     return pick_cheapest(profile, std::move(schedules), size);
 }

@@ -135,6 +135,108 @@ Schedule broadcast_hierarchical(CoreId root, const std::vector<CoreId>& cores,
 }
 
 namespace {
+
+/// Flat rounds over an ordered list whose first element holds the data:
+/// the leader sends to one member per round. Shares round slots like
+/// binomial_rounds so lockstep trees overlay.
+void flat_rounds(const std::vector<CoreId>& ordered, std::vector<Round>& rounds) {
+    for (std::size_t i = 1; i < ordered.size(); ++i) {
+        if (rounds.size() < i) rounds.emplace_back();
+        rounds[i - 1].transfers.push_back({ordered[0], ordered[i]});
+    }
+}
+
+/// Grouping keys of a node along the topology hierarchy, outermost first
+/// (excluding the final per-node core stage). Empty when the shape gives
+/// no grouping above the node.
+std::vector<int> node_path(const core::ProfileTopology& topology, int node) {
+    const auto& dims = topology.dims;
+    if (topology.kind == "fat-tree" && dims.size() == 2 && dims[0] >= 2) {
+        // Subtree under each switch level, root's children first.
+        std::vector<int> path;
+        int span = 1;
+        for (int l = 1; l < dims[1]; ++l) span *= dims[0];
+        for (; span >= 1; span /= dims[0]) path.push_back(node / span);
+        return path;
+    }
+    if (topology.kind == "dragonfly" && dims.size() == 3 && dims[1] >= 1 && dims[2] >= 1) {
+        const int per_group = dims[1] * dims[2];
+        return {node / per_group, node / dims[2], node};
+    }
+    // Torus (and anything else): nodes are one flat tier.
+    return {node};
+}
+
+}  // namespace
+
+Schedule broadcast_tiered(CoreId root, const std::vector<CoreId>& cores,
+                          const core::Profile& profile, Bytes size) {
+    Schedule schedule;
+    if (!profile.topology.enabled() || profile.topology.cores_per_node < 1) {
+        schedule.algorithm = "tiered/binomial";
+        binomial_rounds(rotate_to_front(cores, root), schedule.rounds);
+        return schedule;
+    }
+    const int cpn = profile.topology.cores_per_node;
+    const auto path_of = [&](CoreId core) { return node_path(profile.topology, core / cpn); };
+    const std::size_t depth_count = path_of(root).size() + 1;  // + intra-node stage
+
+    struct Group {
+        std::vector<CoreId> members;
+        CoreId leader;
+    };
+    std::vector<Group> current = {{cores, root}};
+    std::string chosen;
+
+    for (std::size_t depth = 0; depth < depth_count; ++depth) {
+        // Leader-first order per group for this phase; descend in place.
+        std::vector<std::vector<CoreId>> phase_orders;
+        std::vector<Group> next;
+        for (const Group& group : current) {
+            if (depth + 1 == depth_count) {
+                // Innermost phase: broadcast within each node.
+                if (group.members.size() > 1)
+                    phase_orders.push_back(rotate_to_front(group.members, group.leader));
+                continue;
+            }
+            std::map<int, std::vector<CoreId>> parts;
+            for (CoreId core : group.members)
+                parts[path_of(core)[depth]].push_back(core);
+            const int leader_key = path_of(group.leader)[depth];
+            std::vector<CoreId> leaders = {group.leader};
+            for (auto& [key, members] : parts) {
+                const CoreId leader = key == leader_key ? group.leader : members.front();
+                if (key != leader_key) leaders.push_back(leader);
+                next.push_back({std::move(members), leader});
+            }
+            if (leaders.size() > 1) phase_orders.push_back(std::move(leaders));
+        }
+        current = std::move(next);
+        if (phase_orders.empty()) continue;
+
+        // Per-tier algorithm selection: price both sub-schedules for this
+        // phase (all of the tier's lockstep trees together) and keep the
+        // cheaper one.
+        Schedule binomial_phase;
+        Schedule flat_phase;
+        for (const std::vector<CoreId>& ordered : phase_orders) {
+            binomial_rounds(ordered, binomial_phase.rounds);
+            flat_rounds(ordered, flat_phase.rounds);
+        }
+        const Seconds binomial_cost = estimate_schedule(profile, binomial_phase, size);
+        const Seconds flat_cost = estimate_schedule(profile, flat_phase, size);
+        Schedule& picked = flat_cost < binomial_cost ? flat_phase : binomial_phase;
+        if (!chosen.empty()) chosen += '+';
+        chosen += flat_cost < binomial_cost ? "flat" : "binomial";
+        schedule.rounds.insert(schedule.rounds.end(),
+                               std::make_move_iterator(picked.rounds.begin()),
+                               std::make_move_iterator(picked.rounds.end()));
+    }
+    schedule.algorithm = "tiered/" + (chosen.empty() ? std::string("none") : chosen);
+    return schedule;
+}
+
+namespace {
 /// Reverse a broadcast schedule into its mirrored reduction.
 Schedule mirror_schedule(const Schedule& broadcast, const std::string& name) {
     Schedule mirrored;
@@ -296,31 +398,53 @@ Seconds run_schedule(msg::Network& network, const Schedule& schedule, Bytes size
 
 Seconds estimate_schedule(const core::Profile& profile, const Schedule& schedule,
                           Bytes size) {
+    // Classification and curve interpolation are cached across the whole
+    // schedule: a cluster schedule at 10k ranks revisits the same (pair)
+    // and (layer, bytes) lookups round after round, and the analytic
+    // fallback behind comm_layer_of routes over the topology each time.
+    std::map<CorePair, int> layer_cache;
+    std::map<std::pair<int, Bytes>, Seconds> latency_cache;
+    const auto layer_of = [&](CorePair pair) {
+        const CorePair canonical = pair.canonical();
+        const auto it = layer_cache.find(canonical);
+        if (it != layer_cache.end()) return it->second;
+        const int layer = profile.comm_layer_of(canonical);
+        layer_cache.emplace(canonical, layer);
+        return layer;
+    };
+    const auto latency_of = [&](int layer, Bytes bytes) {
+        const auto key = std::make_pair(layer, bytes);
+        const auto it = latency_cache.find(key);
+        if (it != latency_cache.end()) return it->second;
+        const auto base = profile.layer_latency(layer, bytes);
+        SERVET_CHECK(base.has_value());
+        latency_cache.emplace(key, *base);
+        return *base;
+    };
+
     Seconds total = 0;
     for (const Round& round : schedule.rounds) {
         if (round.transfers.empty()) continue;
         std::map<int, int> per_layer;
-        for (const CorePair& transfer : round.transfers)
-            ++per_layer[profile.comm_layer_of(transfer)];
+        for (const CorePair& transfer : round.transfers) ++per_layer[layer_of(transfer)];
+        const Bytes bytes =
+            std::max<Bytes>(1, static_cast<Bytes>(round.size_factor *
+                                                  static_cast<double>(size)));
 
         Seconds round_time = 0;
-        for (const CorePair& transfer : round.transfers) {
-            const int layer_index = profile.comm_layer_of(transfer);
+        // Round duration = max over layers present, not over transfers:
+        // every transfer of one layer at one size prices identically.
+        for (const auto& [layer_index, count] : per_layer) {
             SERVET_CHECK_MSG(layer_index >= 0, "transfer pair not in the profile");
-            const auto base = profile.comm_latency(
-                transfer, std::max<Bytes>(1, static_cast<Bytes>(
-                                                 round.size_factor *
-                                                 static_cast<double>(size))));
-            SERVET_CHECK(base.has_value());
+            const Seconds base = latency_of(layer_index, bytes);
             const auto& layer = profile.comm[static_cast<std::size_t>(layer_index)];
             double slowdown = 1.0;
             if (!layer.slowdown.empty()) {
                 const auto index = std::min<std::size_t>(
-                    static_cast<std::size_t>(per_layer[layer_index] - 1),
-                    layer.slowdown.size() - 1);
+                    static_cast<std::size_t>(count - 1), layer.slowdown.size() - 1);
                 slowdown = std::max(1.0, layer.slowdown[index]);
             }
-            round_time = std::max(round_time, *base * slowdown);
+            round_time = std::max(round_time, base * slowdown);
         }
         total += round_time;
     }

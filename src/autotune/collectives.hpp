@@ -64,6 +64,20 @@ struct Schedule {
 [[nodiscard]] Schedule broadcast_hierarchical(CoreId root, const std::vector<CoreId>& cores,
                                               const core::Profile& profile);
 
+/// Topology-tiered broadcast for cluster profiles: cores are partitioned
+/// along the profile's topology hierarchy (inter-group, inter-node,
+/// intra-node — e.g. dragonfly group / router / node / core), and the
+/// data descends one tier per phase: first among the top-level group
+/// leaders, then to node leaders inside each group (all groups in
+/// lockstep), finally within each node. Each phase's sub-algorithm
+/// (binomial vs flat) is chosen by pricing it against the profile at
+/// `size` — the per-tier selection the name records, e.g.
+/// "tiered/binomial+binomial+flat". Unlike broadcast_hierarchical this
+/// never classifies all O(n^2) pairs, so it scales to 10k ranks.
+/// Degrades to a plain binomial when the profile has no topology block.
+[[nodiscard]] Schedule broadcast_tiered(CoreId root, const std::vector<CoreId>& cores,
+                                        const core::Profile& profile, Bytes size);
+
 /// Reduction to `root`: the mirror image of a broadcast — the same tree
 /// with transfers reversed and rounds replayed back-to-front, so leaves
 /// push partial results upward and every link carries exactly one

@@ -64,6 +64,29 @@ std::map<CoreId, std::vector<std::uint8_t>> execute_broadcast(
     return buffers;
 }
 
+std::map<CoreId, std::vector<std::uint8_t>> execute_broadcast_stepped(
+    msg::CommWorld& world, const Schedule& schedule, CoreId root,
+    const std::vector<CoreId>& cores, std::span<const std::uint8_t> payload) {
+    for (CoreId core : cores) SERVET_CHECK(core >= 0 && core < world.size());
+
+    std::map<CoreId, std::vector<std::uint8_t>> buffers;
+    for (CoreId core : cores) buffers[core] = {};
+    buffers[root].assign(payload.begin(), payload.end());
+
+    for (const Round& round : schedule.rounds) {
+        // Sends first: buffered eager delivery means every message of the
+        // round is in its destination mailbox before any recv below, so
+        // the single thread never blocks and transfer order within the
+        // round cannot matter (a round's senders hold pre-round data by
+        // schedule validity).
+        for (const CorePair& transfer : round.transfers)
+            world.endpoint(transfer.a).send(transfer.b, buffers[transfer.a]);
+        for (const CorePair& transfer : round.transfers)
+            world.endpoint(transfer.b).recv(transfer.a, buffers[transfer.b]);
+    }
+    return buffers;
+}
+
 std::map<CoreId, std::vector<double>> execute_allreduce_sum(
     msg::CommWorld& world, const Schedule& schedule, const std::vector<CoreId>& cores,
     const std::map<CoreId, std::vector<double>>& contributions) {

@@ -25,6 +25,16 @@ namespace servet::autotune {
     msg::CommWorld& world, const Schedule& schedule, CoreId root,
     const std::vector<CoreId>& cores, std::span<const std::uint8_t> payload);
 
+/// Round-stepped broadcast execution on the calling thread: rounds run in
+/// order, and within a round every (buffered eager) send is posted before
+/// any receive drains, so the round's transfers are order-independent.
+/// Semantically identical to execute_broadcast, but with no thread per
+/// core it executes 1k-10k-rank cluster schedules that would exhaust the
+/// OS thread limit. `world` must have at least max(cores)+1 ranks.
+[[nodiscard]] std::map<CoreId, std::vector<std::uint8_t>> execute_broadcast_stepped(
+    msg::CommWorld& world, const Schedule& schedule, CoreId root,
+    const std::vector<CoreId>& cores, std::span<const std::uint8_t> payload);
+
 /// Execute a reduction schedule (reduce_binomial / reduce_hierarchical):
 /// each core contributes `contributions.at(core)`; parents element-wise
 /// add incoming vectors into their accumulator before forwarding. Returns

@@ -1,0 +1,62 @@
+#include "core/cluster.hpp"
+
+#include <map>
+
+#include "base/check.hpp"
+#include "sim/topology.hpp"
+
+namespace servet::core {
+
+std::vector<CorePair> cluster_probe_pairs(const sim::MachineSpec& spec,
+                                          const CommCostsOptions& comm) {
+    if (!spec.topology.enabled()) return {};
+    // One representative beyond the concurrency cap keeps the isolated
+    // baseline pair distinct from the last concurrent sender set.
+    return sim::cluster_probe_pairs(spec.topology, spec.cores_per_node,
+                                    comm.max_concurrent + 1);
+}
+
+void annotate_cluster_profile(Profile* profile, const sim::MachineSpec& spec) {
+    SERVET_CHECK(profile != nullptr);
+    if (!spec.topology.enabled()) return;
+
+    ProfileTopology& out = profile->topology;
+    out.kind = sim::topology_kind_name(spec.topology.kind);
+    out.cores_per_node = spec.cores_per_node;
+    out.dims.clear();
+    switch (spec.topology.kind) {
+        case sim::TopologyKind::FatTree:
+            out.dims = {spec.topology.arity, spec.topology.levels};
+            break;
+        case sim::TopologyKind::Torus:
+            out.dims = spec.topology.dims;
+            break;
+        case sim::TopologyKind::Dragonfly:
+            out.dims = {spec.topology.groups, spec.topology.routers,
+                        spec.topology.nodes_per_router};
+            break;
+        case sim::TopologyKind::None:
+        case sim::TopologyKind::Custom:
+            break;  // custom shapes carry no analytic fallback
+    }
+
+    profile->comm_tiers.clear();
+    const sim::Topology topology(spec.topology);
+    const int cpn = spec.cores_per_node;
+    // First layer containing a class wins: layers are sorted fastest
+    // first, and a class split across clusters belongs with its majority
+    // anyway — the record is a classification, not a measurement.
+    std::map<sim::RouteClass, int> class_layer;
+    for (std::size_t li = 0; li < profile->comm.size(); ++li) {
+        for (const CorePair& pair : profile->comm[li].pairs) {
+            const int node_a = pair.a / cpn;
+            const int node_b = pair.b / cpn;
+            if (node_a == node_b) continue;
+            class_layer.emplace(topology.route_class(node_a, node_b), static_cast<int>(li));
+        }
+    }
+    for (const auto& [cls, layer] : class_layer)
+        profile->comm_tiers.push_back({topology.tier(cls.tier).name, cls.tier, cls.hops, layer});
+}
+
+}  // namespace servet::core

@@ -1,0 +1,31 @@
+// Cluster-run glue between the simulated topology and the measured
+// profile. A cluster suite run probes a sampled pair set (every route
+// class covered, not every pair) and then stamps the topology shape plus
+// the route-class -> comm-layer map onto the profile, so consumers can
+// classify and price *any* pair analytically (docs/cluster-sim.md).
+#pragma once
+
+#include <vector>
+
+#include "core/comm_costs.hpp"
+#include "core/profile.hpp"
+#include "sim/machine.hpp"
+
+namespace servet::core {
+
+/// Sampled probe-pair set for a cluster machine: every intra-node pair of
+/// node 0, plus enough node-disjoint representatives per inter-node route
+/// class to feed the scalability probe (comm.max_concurrent concurrent
+/// senders) — sim::cluster_probe_pairs sized for this suite config.
+/// Empty when the machine has no topology (probe every pair).
+[[nodiscard]] std::vector<CorePair> cluster_probe_pairs(const sim::MachineSpec& spec,
+                                                        const CommCostsOptions& comm);
+
+/// Stamp the [topology] block and the per-route-class [comm-tier] records
+/// onto a measured profile of `spec`. Iterates every pair of every
+/// measured comm layer, so classes that latency clustering merged into
+/// one layer each get their own record pointing at the shared layer.
+/// No-op for machines without a topology.
+void annotate_cluster_profile(Profile* profile, const sim::MachineSpec& spec);
+
+}  // namespace servet::core

@@ -46,15 +46,36 @@ std::vector<Bytes> default_sweep_sizes() {
 /// (the sweep size that equals the probe size, the baseline of a pair the
 /// scan already measured) memo-hit instead of re-measuring.
 MeasureTask pingpong_task(CorePair pair, Bytes size, int reps, int max_retries) {
+    // Canonical pair order: a ping-pong is symmetric, so (b,a) shares the
+    // (a,b) task key and the engine/memo dedupe it to one measurement.
+    const CorePair canonical = pair.canonical();
     MeasureTask task;
     task.key = "comm/pp/m" + std::to_string(size) + "/r" + std::to_string(reps) + "/" +
-               std::to_string(pair.a) + "-" + std::to_string(pair.b);
-    task.body = [pair, size, reps, max_retries](Platform*, msg::Network* network) {
+               std::to_string(canonical.a) + "-" + std::to_string(canonical.b);
+    task.body = [canonical, size, reps, max_retries](Platform*, msg::Network* network) {
         return with_retries(max_retries, [&] {
-            return std::vector<double>{network->pingpong_latency(pair, size, reps)};
+            return std::vector<double>{network->pingpong_latency(canonical, size, reps)};
         });
     };
     return task;
+}
+
+/// The layer-scan pair list: every pair by default, or the caller's
+/// sampled set canonicalized with symmetric/exact duplicates dropped
+/// (first occurrence keeps its position, so the scan order is stable).
+std::vector<CorePair> scan_pairs(const CommCostsOptions& options, int n) {
+    if (options.probe_pairs.empty()) return all_core_pairs(n);
+    std::vector<CorePair> pairs;
+    pairs.reserve(options.probe_pairs.size());
+    std::set<CorePair> seen;
+    for (const CorePair& pair : options.probe_pairs) {
+        SERVET_CHECK_MSG(pair.a >= 0 && pair.a < n && pair.b >= 0 && pair.b < n,
+                         "probe pair core out of range");
+        SERVET_CHECK_MSG(pair.a != pair.b, "probe pair must join two distinct cores");
+        const CorePair canonical = pair.canonical();
+        if (seen.insert(canonical).second) pairs.push_back(canonical);
+    }
+    return pairs;
 }
 }  // namespace
 
@@ -121,9 +142,10 @@ CommCostsResult characterize_communication(MeasureEngine& engine,
     CommCostsResult result;
     result.probe_message = options.probe_message;
 
-    // Fig. 7: probe every pair (batch 1, all independent), cluster similar
-    // latencies into layers.
-    const std::vector<CorePair> pairs = all_core_pairs(n);
+    // Fig. 7: probe the pair set (batch 1, all independent), cluster
+    // similar latencies into layers.
+    const std::vector<CorePair> pairs = scan_pairs(options, n);
+    SERVET_CHECK_MSG(!pairs.empty(), "probe pair set is empty after deduplication");
     std::vector<MeasureTask> probe_tasks;
     probe_tasks.reserve(pairs.size());
     for (const CorePair& pair : pairs)

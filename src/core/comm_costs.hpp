@@ -34,6 +34,12 @@ struct CommCostsOptions {
     /// out reply). Retries are part of the task body, so a retried probe
     /// stays deterministic per task key. Exhausting the budget rethrows.
     int max_retries = 2;
+    /// Core pairs to probe in the layer scan; empty probes every pair.
+    /// Cluster runs pass a sampled set (sim::cluster_probe_pairs) here —
+    /// at 1k+ simulated ranks the O(n^2) full scan is the scaling wall.
+    /// Pairs are canonicalized and deduplicated, so symmetric duplicates
+    /// ((a,b) and (b,a)) cost one measurement.
+    std::vector<CorePair> probe_pairs;
 };
 
 struct CommPairLatency {

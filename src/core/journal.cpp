@@ -105,6 +105,12 @@ std::uint64_t suite_options_hash(const SuiteOptions& options) {
     for (const Bytes size : comm.sweep_sizes) fp.add(size);
     fp.add(comm.max_concurrent);
     fp.add(comm.max_retries);
+    fp.add(static_cast<std::uint64_t>(comm.probe_pairs.size()));
+    for (const CorePair& pair : comm.probe_pairs) {
+        fp.add(pair.a);
+        fp.add(pair.b);
+    }
+    fp.add(options.run_cache_size);
     fp.add(options.run_shared_cache);
     fp.add(options.run_mem_overhead);
     fp.add(options.run_comm);

@@ -8,6 +8,7 @@
 
 #include "base/check.hpp"
 #include "base/fs.hpp"
+#include "sim/topology.hpp"
 
 namespace servet::core {
 
@@ -47,6 +48,15 @@ std::string fmt_curve(const std::vector<std::pair<Bytes, Seconds>>& curve) {
     for (std::size_t i = 0; i < curve.size(); ++i) {
         if (i) out += ';';
         out += std::to_string(curve[i].first) + ':' + fmt_double(curve[i].second);
+    }
+    return out;
+}
+
+std::string fmt_ints(const std::vector<int>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(values[i]);
     }
     return out;
 }
@@ -135,6 +145,17 @@ std::optional<std::vector<std::pair<Bytes, Seconds>>> parse_curve(const std::str
     return curve;
 }
 
+std::optional<std::vector<int>> parse_ints(const std::string& text) {
+    std::vector<int> values;
+    if (text.empty()) return values;
+    for (const std::string& value_text : split(text, ',')) {
+        const auto v = parse_int(value_text);
+        if (!v) return std::nullopt;
+        values.push_back(static_cast<int>(*v));
+    }
+    return values;
+}
+
 std::optional<std::vector<double>> parse_doubles(const std::string& text) {
     std::vector<double> values;
     if (text.empty()) return values;
@@ -168,8 +189,9 @@ bool Profile::shares_cache(std::size_t level, CorePair pair) const {
     return false;
 }
 
-int Profile::comm_layer_of(CorePair pair) const {
-    const CorePair canonical = pair.canonical();
+namespace {
+
+int measured_layer_of(const std::vector<ProfileCommLayer>& comm, CorePair canonical) {
     for (std::size_t i = 0; i < comm.size(); ++i) {
         if (std::find(comm[i].pairs.begin(), comm[i].pairs.end(), canonical) !=
             comm[i].pairs.end())
@@ -178,10 +200,75 @@ int Profile::comm_layer_of(CorePair pair) const {
     return -1;
 }
 
+/// Routing-only (tierless) topology spec rebuilt from the profile block;
+/// nullopt when the block does not describe a routable shape (custom
+/// topologies carry their link list only in the MachineSpec, not the
+/// profile, so they get no analytic fallback).
+std::optional<sim::TopologySpec> rebuild_topology(const ProfileTopology& topology) {
+    sim::TopologySpec spec;
+    if (!sim::topology_kind_parse(topology.kind, &spec.kind)) return std::nullopt;
+    switch (spec.kind) {
+        case sim::TopologyKind::FatTree:
+            if (topology.dims.size() != 2) return std::nullopt;
+            spec.arity = topology.dims[0];
+            spec.levels = topology.dims[1];
+            break;
+        case sim::TopologyKind::Torus:
+            spec.dims = topology.dims;
+            break;
+        case sim::TopologyKind::Dragonfly:
+            if (topology.dims.size() != 3) return std::nullopt;
+            spec.groups = topology.dims[0];
+            spec.routers = topology.dims[1];
+            spec.nodes_per_router = topology.dims[2];
+            break;
+        case sim::TopologyKind::None:
+        case sim::TopologyKind::Custom:
+            return std::nullopt;
+    }
+    if (!spec.validate().empty()) return std::nullopt;
+    return spec;
+}
+
+}  // namespace
+
+int Profile::comm_layer_of(CorePair pair) const {
+    const CorePair canonical = pair.canonical();
+    if (const int layer = measured_layer_of(comm, canonical); layer >= 0) return layer;
+    if (!topology.enabled() || topology.cores_per_node < 1) return -1;
+
+    const int cpn = topology.cores_per_node;
+    const int node_a = canonical.a / cpn;
+    const int node_b = canonical.b / cpn;
+    if (node_a == node_b) {
+        // Homogeneous nodes: an unsampled intra-node pair measures like
+        // its node-0 translation (the sampled set covers node 0).
+        const CorePair local =
+            CorePair{canonical.a % cpn, canonical.b % cpn}.canonical();
+        return local == canonical ? -1 : measured_layer_of(comm, local);
+    }
+
+    const std::optional<sim::TopologySpec> spec = rebuild_topology(topology);
+    if (!spec || node_b >= spec->node_count()) return -1;
+    const sim::RouteClass cls = sim::Topology(*spec).route_class(node_a, node_b);
+    int tier_match = -1;
+    for (const ProfileCommTier& record : comm_tiers) {
+        if (record.tier != cls.tier) continue;
+        if (record.hops == cls.hops) return record.layer;
+        if (tier_match < 0) tier_match = record.layer;
+    }
+    // A class never sampled at this exact hop count still belongs to its
+    // bottleneck tier's layer — the closest measured stand-in.
+    return tier_match;
+}
+
 std::optional<Seconds> Profile::comm_latency(CorePair pair, Bytes size) const {
-    const int layer_index = comm_layer_of(pair);
-    if (layer_index < 0) return std::nullopt;
-    const auto& curve = comm[static_cast<std::size_t>(layer_index)].p2p;
+    return layer_latency(comm_layer_of(pair), size);
+}
+
+std::optional<Seconds> Profile::layer_latency(int layer, Bytes size) const {
+    if (layer < 0 || layer >= static_cast<int>(comm.size())) return std::nullopt;
+    const auto& curve = comm[static_cast<std::size_t>(layer)].p2p;
     if (curve.empty()) return std::nullopt;
 
     if (size <= curve.front().first) {
@@ -347,6 +434,35 @@ std::string Profile::to_json() const {
     }
     out += comm.empty() ? "],\n" : "\n  ],\n";
 
+    // Cluster keys appear only on cluster profiles, mirroring the text
+    // format's omitted sections.
+    if (topology.enabled()) {
+        out += "  \"topology\": {\"kind\": \"";
+        out += json_escape(topology.kind);
+        out += "\", \"cores_per_node\": ";
+        out += std::to_string(topology.cores_per_node);
+        out += ", \"dims\": [";
+        for (std::size_t i = 0; i < topology.dims.size(); ++i) {
+            if (i) out += ",";
+            out += std::to_string(topology.dims[i]);
+        }
+        out += "]},\n";
+        out += "  \"comm_tiers\": [";
+        for (std::size_t i = 0; i < comm_tiers.size(); ++i) {
+            if (i) out += ",";
+            out += "\n    {\"name\": \"";
+            out += json_escape(comm_tiers[i].name);
+            out += "\", \"tier\": ";
+            out += std::to_string(comm_tiers[i].tier);
+            out += ", \"hops\": ";
+            out += std::to_string(comm_tiers[i].hops);
+            out += ", \"layer\": ";
+            out += std::to_string(comm_tiers[i].layer);
+            out += "}";
+        }
+        out += comm_tiers.empty() ? "],\n" : "\n  ],\n";
+    }
+
     out += "  \"phase_seconds\": {";
     std::size_t index = 0;
     for (const auto& [phase, seconds] : phase_seconds) {
@@ -415,6 +531,22 @@ std::string Profile::serialize() const {
         out += "slowdown = " + fmt_doubles(comm[i].slowdown) + '\n';
     }
 
+    // Cluster sections. Omitted entirely for single-node profiles so
+    // historical files serialize (and re-parse) byte-identically.
+    if (topology.enabled()) {
+        out += "\n[topology]\n";
+        out += "kind = " + topology.kind + '\n';
+        out += "cores_per_node = " + std::to_string(topology.cores_per_node) + '\n';
+        out += "dims = " + fmt_ints(topology.dims) + '\n';
+    }
+    for (std::size_t i = 0; i < comm_tiers.size(); ++i) {
+        out += "\n[comm-tier " + std::to_string(i) + "]\n";
+        out += "name = " + comm_tiers[i].name + '\n';
+        out += "tier = " + std::to_string(comm_tiers[i].tier) + '\n';
+        out += "hops = " + std::to_string(comm_tiers[i].hops) + '\n';
+        out += "layer = " + std::to_string(comm_tiers[i].layer) + '\n';
+    }
+
     if (!phase_seconds.empty()) {
         out += "\n[timing]\n";
         for (const auto& [phase, seconds] : phase_seconds)
@@ -447,7 +579,9 @@ std::optional<Profile> Profile::parse(const std::string& text) {
     if (!std::getline(stream, line) || trim(line) != kHeader) return std::nullopt;
 
     Profile profile;
-    enum class Section { Top, Cache, Memory, MemoryTier, CommLayer, Timing, Counters, Errors };
+    enum class Section {
+        Top, Cache, Memory, MemoryTier, CommLayer, Topology, CommTier, Timing, Counters, Errors
+    };
     Section section = Section::Top;
 
     while (std::getline(stream, line)) {
@@ -468,6 +602,11 @@ std::optional<Profile> Profile::parse(const std::string& text) {
             } else if (name.starts_with("comm-layer ")) {
                 section = Section::CommLayer;
                 profile.comm.emplace_back();
+            } else if (name == "topology") {
+                section = Section::Topology;
+            } else if (name.starts_with("comm-tier ")) {
+                section = Section::CommTier;
+                profile.comm_tiers.emplace_back();
             } else if (name == "timing") {
                 section = Section::Timing;
             } else if (name == "counters") {
@@ -567,6 +706,41 @@ std::optional<Profile> Profile::parse(const std::string& text) {
                     const auto v = parse_doubles(value);
                     if (!v) return fail();
                     layer.slowdown = *v;
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::Topology: {
+                if (key == "kind") {
+                    profile.topology.kind = value;
+                } else if (key == "cores_per_node") {
+                    const auto v = parse_int(value);
+                    if (!v || *v < 1) return fail();
+                    profile.topology.cores_per_node = static_cast<int>(*v);
+                } else if (key == "dims") {
+                    const auto v = parse_ints(value);
+                    if (!v) return fail();
+                    profile.topology.dims = *v;
+                } else {
+                    return fail();
+                }
+                break;
+            }
+            case Section::CommTier: {
+                ProfileCommTier& tier = profile.comm_tiers.back();
+                if (key == "name") {
+                    tier.name = value;
+                    break;
+                }
+                const auto v = parse_int(value);
+                if (!v || *v < 0) return fail();
+                if (key == "tier") {
+                    tier.tier = static_cast<int>(*v);
+                } else if (key == "hops") {
+                    tier.hops = static_cast<int>(*v);
+                } else if (key == "layer") {
+                    tier.layer = static_cast<int>(*v);
                 } else {
                     return fail();
                 }

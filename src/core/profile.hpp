@@ -49,6 +49,39 @@ struct ProfileCommLayer {
     friend bool operator==(const ProfileCommLayer&, const ProfileCommLayer&) = default;
 };
 
+/// The cluster topology the profiled machine was measured on (the
+/// `[topology]` section; absent for single-node machines). A cluster
+/// profile only stores measurements for a sampled pair set — this block
+/// plus the comm-tier records let comm_layer_of classify *any* pair
+/// analytically (see docs/cluster-sim.md).
+struct ProfileTopology {
+    /// sim::topology_kind_name value ("fat-tree", "torus", "dragonfly",
+    /// "custom"); empty means no topology.
+    std::string kind;
+    int cores_per_node = 1;
+    /// Kind-specific shape: fat-tree {arity, levels}; torus the dimension
+    /// extents; dragonfly {groups, routers, nodes_per_router}; custom
+    /// empty (no analytic fallback).
+    std::vector<int> dims;
+
+    [[nodiscard]] bool enabled() const { return !kind.empty() && kind != "none"; }
+
+    friend bool operator==(const ProfileTopology&, const ProfileTopology&) = default;
+};
+
+/// One inter-node route class observed while profiling a cluster (a
+/// `[comm-tier k]` section): which measured comm layer the class landed
+/// in. Written by annotate_cluster_profile, consumed by the
+/// comm_layer_of fallback for pairs outside the sampled set.
+struct ProfileCommTier {
+    std::string name;  ///< tier name from the machine/platform description
+    int tier = 0;      ///< bottleneck (highest) link tier on the route
+    int hops = 0;      ///< route hop count
+    int layer = 0;     ///< index into Profile::comm
+
+    friend bool operator==(const ProfileCommTier&, const ProfileCommTier&) = default;
+};
+
 class Profile {
   public:
     std::string machine;
@@ -57,6 +90,12 @@ class Profile {
     std::vector<ProfileCacheLevel> caches;
     ProfileMemory memory;
     std::vector<ProfileCommLayer> comm;
+    /// Cluster topology block; ProfileTopology::enabled() is false (and
+    /// the section is omitted) for single-node profiles.
+    ProfileTopology topology;
+    /// Inter-node route classes -> measured comm layers (cluster profiles
+    /// only).
+    std::vector<ProfileCommTier> comm_tiers;
     /// Wall-clock per benchmark phase (the Table I rows).
     std::map<std::string, Seconds> phase_seconds;
     /// Deterministic observability counters of the producing run (the
@@ -82,12 +121,22 @@ class Profile {
     /// True iff the pair shares the cache at `level`.
     [[nodiscard]] bool shares_cache(std::size_t level, CorePair pair) const;
 
-    /// Comm layer index of the pair, or -1 when uncharacterized.
+    /// Comm layer index of the pair, or -1 when uncharacterized. On a
+    /// cluster profile, pairs outside the measured sample classify
+    /// analytically: an intra-node pair is translated to its node-0
+    /// twin, an inter-node pair is routed over the topology and matched
+    /// against the comm-tier records.
     [[nodiscard]] int comm_layer_of(CorePair pair) const;
 
     /// Estimated one-way latency between the pair for a `size`-byte
     /// message, interpolated from the stored per-layer curve.
     [[nodiscard]] std::optional<Seconds> comm_latency(CorePair pair, Bytes size) const;
+
+    /// The curve lookup behind comm_latency, for callers that already
+    /// classified the pair (schedule pricing caches the layer per pair
+    /// and the latency per (layer, size) — at cluster scale the repeated
+    /// classification dominates otherwise).
+    [[nodiscard]] std::optional<Seconds> layer_latency(int layer, Bytes size) const;
 
     /// Memory tier index whose groups contain both cores (i.e. the pair
     /// collides on a shared memory resource), or -1.

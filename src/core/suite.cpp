@@ -245,13 +245,20 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
         }
     };
 
+    // Skipping cache-size detection starves the phases that consume its
+    // sizes; they skip along with it rather than run mis-sized.
+    if (!options.run_cache_size) {
+        options.run_shared_cache = false;
+        options.run_mem_overhead = false;
+    }
+
     // Phase 1: cache size estimate (Section III-A). Runs first — every
     // other phase is sized by its result — with its sweep parallel inside.
     options.detect.page_size = platform.page_size();
     // A replayed phase bypasses isolate(): decoding a committed record
     // cannot throw, and a corrupt record falls through to re-measurement.
     const RunJournal::Record* cache_record =
-        journal == nullptr ? nullptr : journal->find("cache_size");
+        journal == nullptr || !options.run_cache_size ? nullptr : journal->find("cache_size");
     std::optional<CacheSizePayload> cache_payload;
     if (cache_record != nullptr) {
         cache_payload = decode_cache_size(cache_record->payload);
@@ -263,7 +270,7 @@ SuiteResult run_suite(Platform& platform, msg::Network* network, SuiteOptions op
         result.curve = std::move(cache_payload->curve);
         result.cache_levels = std::move(cache_payload->levels);
         replay("cache_size", *cache_record);
-    } else {
+    } else if (options.run_cache_size) {
         isolate("cache_size", [&] {
             result.curve = timer.time("cache_size", [&] {
                 return run_mcalibrator(engine, options.mcalibrator);

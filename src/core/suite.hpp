@@ -66,7 +66,12 @@ struct SuiteOptions {
     MemOverheadOptions mem_overhead;
     CommCostsOptions comm;
     /// Skip phases (a unicore machine has no pairs to probe; a node
-    /// without a network skips comm).
+    /// without a network skips comm). Skipping cache-size detection (a
+    /// cluster run that only needs the network phase) also skips the
+    /// phases that consume its sizes — shared-cache and mem-overhead —
+    /// and requires an explicit comm probe_message, since the L1-size
+    /// default for it is no longer measured.
+    bool run_cache_size = true;
     bool run_shared_cache = true;
     bool run_mem_overhead = true;
     bool run_comm = true;

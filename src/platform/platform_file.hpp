@@ -1,0 +1,61 @@
+// Declarative cluster platform files: a small text format describing a
+// whole cluster — node count and shape via a topology family (fat-tree,
+// torus, dragonfly, custom tree) plus per-tier link parameters — loaded
+// by `servet profile --platform <file>` into a simulated MachineSpec.
+// The measured profile of such a machine is what the autotuning layers
+// consume; the file is how a user describes a machine the zoo lacks.
+//
+// Format (docs/cluster-sim.md has the full reference):
+//
+//   servet-platform 1
+//   name = ft1024
+//   cores_per_node = 16
+//
+//   [topology]
+//   kind = fat-tree
+//   arity = 4
+//   levels = 3
+//
+//   [tier 0]
+//   name = edge
+//   hop_latency = 2.5e-6
+//   bandwidth = 1.2e9
+//   congestion = 0.35
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace servet {
+
+/// Why a platform file failed to load: a stable machine-readable code
+/// (pinned by the CLI tests; new failures get new codes) plus a human
+/// message. Codes:
+///   platform.io             - unreadable file
+///   platform.header         - missing/wrong "servet-platform 1" header
+///   platform.syntax         - malformed line, unknown section or key
+///   platform.field          - a value fails to parse or is out of range
+///   platform.kind           - unknown topology kind
+///   platform.fattree.arity  - fat-tree arity not a power of two >= 2
+///   platform.tiers.count    - tier sections missing, extra, or non-contiguous
+///   platform.links.cycle    - declared custom links contain a cycle
+///   platform.topology       - any other topology shape problem
+///   platform.machine        - the assembled machine fails validation
+struct PlatformError {
+    std::string code;
+    std::string message;
+};
+
+/// Parse a platform description into a ready-to-simulate MachineSpec
+/// (topology attached, node substrate from zoo::cluster_node_machine).
+/// nullopt on failure, with `error` (when given) filled in.
+[[nodiscard]] std::optional<sim::MachineSpec> parse_platform(const std::string& text,
+                                                             PlatformError* error = nullptr);
+
+/// Read and parse a platform file.
+[[nodiscard]] std::optional<sim::MachineSpec> load_platform(const std::string& path,
+                                                            PlatformError* error = nullptr);
+
+}  // namespace servet

@@ -7,17 +7,32 @@
 namespace servet::sim {
 
 InterconnectModel::InterconnectModel(const MachineSpec& spec) : spec_(&spec) {
-    SERVET_CHECK_MSG(!spec.comm_layers.empty() || spec.n_cores == 1,
+    SERVET_CHECK_MSG(!spec.comm_layers.empty() || spec.n_cores == 1 ||
+                         (spec.topology.enabled() && spec.cores_per_node == 1),
                      "interconnect model needs comm layers");
+    if (spec.topology.enabled()) topology_.emplace(spec.topology);
+}
+
+bool InterconnectModel::routed(CorePair pair) const {
+    return topology_ && spec_->node_of(pair.a) != spec_->node_of(pair.b);
+}
+
+int InterconnectModel::layer_of(CorePair pair) const {
+    if (routed(pair))
+        return static_cast<int>(spec_->comm_layers.size()) +
+               topology_->route_class(spec_->node_of(pair.a), spec_->node_of(pair.b)).tier;
+    return spec_->comm_layer_of(pair);
 }
 
 const CommLayerSpec& InterconnectModel::layer(int index) const {
-    SERVET_CHECK(index >= 0 && index < layer_count());
+    SERVET_CHECK(index >= 0 && index < static_cast<int>(spec_->comm_layers.size()));
     return spec_->comm_layers[static_cast<std::size_t>(index)];
 }
 
 Seconds InterconnectModel::latency(CorePair pair, Bytes size) const {
-    const CommLayerSpec& l = layer(layer_of(pair));
+    if (routed(pair))
+        return topology_->latency(spec_->node_of(pair.a), spec_->node_of(pair.b), size);
+    const CommLayerSpec& l = layer(spec_->comm_layer_of(pair));
     Seconds t = l.base_latency + static_cast<double>(size) / l.bandwidth;
     if (size > l.eager_threshold) t += l.rendezvous_extra;
     return t;
@@ -25,9 +40,15 @@ Seconds InterconnectModel::latency(CorePair pair, Bytes size) const {
 
 Seconds InterconnectModel::latency_concurrent(CorePair pair, Bytes size, int concurrent) const {
     SERVET_CHECK(concurrent >= 1);
-    const CommLayerSpec& l = layer(layer_of(pair));
-    return latency(pair, size) * std::pow(static_cast<double>(concurrent),
-                                          l.concurrency_exponent);
+    double exponent = 0.0;
+    if (routed(pair)) {
+        const RouteClass cls = topology_->route_class(spec_->node_of(pair.a),
+                                                      spec_->node_of(pair.b));
+        exponent = topology_->tier(cls.tier).congestion_exponent;
+    } else {
+        exponent = layer(spec_->comm_layer_of(pair)).concurrency_exponent;
+    }
+    return latency(pair, size) * std::pow(static_cast<double>(concurrent), exponent);
 }
 
 }  // namespace servet::sim

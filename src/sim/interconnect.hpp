@@ -3,13 +3,18 @@
 // intra-processor shared memory, inter-processor shared memory, and the
 // cluster network — including the eager/rendezvous protocol switch that
 // makes LogP/Hockney-style single-line models inaccurate (Section III-D)
-// and the sub-linear scalability of Fig. 10b.
+// and the sub-linear scalability of Fig. 10b. On a machine with a cluster
+// topology (MachineSpec::topology), inter-node pairs route over the
+// topology instead: their latency is the per-hop tier sum and their layer
+// index is comm_layers.size() + the route's bottleneck tier.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "base/types.hpp"
 #include "sim/machine.hpp"
+#include "sim/topology.hpp"
 
 namespace servet::sim {
 
@@ -17,11 +22,16 @@ class InterconnectModel {
   public:
     explicit InterconnectModel(const MachineSpec& spec);
 
-    /// Index of the layer carrying traffic between the pair.
-    [[nodiscard]] int layer_of(CorePair pair) const { return spec_->comm_layer_of(pair); }
+    /// Index of the layer carrying traffic between the pair. Topology
+    /// tiers follow the comm layers: [0, comm_layers.size()) are
+    /// intra-node layers, the rest are bottleneck tiers.
+    [[nodiscard]] int layer_of(CorePair pair) const;
 
+    /// Intra-node layer spec; `index` must be below comm_layers.size().
     [[nodiscard]] const CommLayerSpec& layer(int index) const;
-    [[nodiscard]] int layer_count() const { return static_cast<int>(spec_->comm_layers.size()); }
+    [[nodiscard]] int layer_count() const {
+        return static_cast<int>(spec_->comm_layers.size() + spec_->topology.tiers.size());
+    }
 
     /// One-way latency for an isolated message of `size` bytes.
     [[nodiscard]] Seconds latency(CorePair pair, Bytes size) const;
@@ -32,8 +42,17 @@ class InterconnectModel {
 
     [[nodiscard]] const MachineSpec& spec() const { return *spec_; }
 
+    /// The cluster topology, when the machine has one.
+    [[nodiscard]] const Topology* topology() const {
+        return topology_ ? &*topology_ : nullptr;
+    }
+
   private:
+    /// Inter-node pair on a topology machine? (The topology route path.)
+    [[nodiscard]] bool routed(CorePair pair) const;
+
     const MachineSpec* spec_;
+    std::optional<Topology> topology_;
 };
 
 }  // namespace servet::sim

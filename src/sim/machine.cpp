@@ -26,6 +26,11 @@ bool MachineSpec::share_level(int level, CoreId a, CoreId b) const {
 int MachineSpec::comm_layer_of(CorePair pair) const {
     SERVET_CHECK_MSG(pair.a != pair.b, "comm layer of a core with itself is undefined");
     const bool same_node = node_of(pair.a) == node_of(pair.b);
+    if (topology.enabled() && !same_node) {
+        const Topology topo(topology);
+        return static_cast<int>(comm_layers.size()) +
+               topo.route_class(node_of(pair.a), node_of(pair.b)).tier;
+    }
     for (std::size_t i = 0; i < comm_layers.size(); ++i) {
         const CommScope& scope = comm_layers[i].scope;
         switch (scope.kind) {
@@ -99,6 +104,28 @@ std::uint64_t MachineSpec::fingerprint() const {
         fp.add(layer.rendezvous_extra);
         fp.add(layer.concurrency_exponent);
     }
+    if (topology.enabled()) {
+        fp.add(static_cast<int>(topology.kind));
+        fp.add(topology.arity);
+        fp.add(topology.levels);
+        for (const int d : topology.dims) fp.add(d);
+        fp.add(topology.groups);
+        fp.add(topology.routers);
+        fp.add(topology.nodes_per_router);
+        fp.add(topology.switch_count);
+        fp.add(topology.custom_nodes);
+        for (const TopologyLink& link : topology.links) {
+            fp.add(link.a);
+            fp.add(link.b);
+            fp.add(link.tier);
+        }
+        for (const TopologyTier& tier : topology.tiers) {
+            fp.add(tier.name);
+            fp.add(tier.hop_latency);
+            fp.add(tier.bandwidth);
+            fp.add(tier.congestion_exponent);
+        }
+    }
     fp.add(measurement_jitter);
     fp.add(seed);
     return fp.value();
@@ -165,7 +192,7 @@ std::vector<std::string> MachineSpec::validate() const {
     }
 
     if (n_cores > 1) {
-        if (comm_layers.empty()) {
+        if (comm_layers.empty() && !(topology.enabled() && cores_per_node == 1)) {
             complain("multicore machine needs at least one comm layer");
         } else {
             const bool multi_node = node_count() > 1;
@@ -183,8 +210,24 @@ std::vector<std::string> MachineSpec::validate() const {
             }
             if (cores_per_node > 1 && !has_intra_catchall)
                 complain("missing IntraNode catch-all comm layer");
-            if (multi_node && !has_inter) complain("multi-node machine missing InterNode layer");
+            if (topology.enabled()) {
+                // The topology replaces the flat InterNode layer; the two
+                // classifications must not compete for inter-node pairs.
+                if (has_inter)
+                    complain("topology-connected machine must not declare an InterNode layer");
+            } else if (multi_node && !has_inter) {
+                complain("multi-node machine missing InterNode layer");
+            }
         }
+    }
+    if (topology.enabled()) {
+        for (const std::string& problem : topology.validate())
+            complain("topology: " + problem);
+        if (topology.tiers.empty())
+            complain("topology: tier parameters are required on a machine");
+        if (topology.node_count() != node_count())
+            complain("topology connects " + std::to_string(topology.node_count()) +
+                     " nodes but the machine has " + std::to_string(node_count()));
     }
     if (measurement_jitter < 0 || measurement_jitter >= 0.5)
         complain("measurement_jitter must be in [0, 0.5)");

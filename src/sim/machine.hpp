@@ -11,6 +11,7 @@
 #include "sim/cache.hpp"
 #include "sim/page_mapper.hpp"
 #include "sim/prefetcher.hpp"
+#include "sim/topology.hpp"
 
 namespace servet::sim {
 
@@ -93,6 +94,12 @@ struct MachineSpec {
     std::vector<CacheLevelSpec> levels;  ///< ordered L1 → last level
     MemorySpec memory;
     std::vector<CommLayerSpec> comm_layers;
+    /// Cluster network connecting the nodes (TopologyKind::None for a
+    /// single node). When enabled it replaces any InterNode comm layer:
+    /// intra-node pairs still classify through comm_layers, inter-node
+    /// pairs route over the topology and classify by bottleneck tier
+    /// (layer index comm_layers.size() + tier).
+    TopologySpec topology;
     /// Relative amplitude of deterministic measurement jitter injected by
     /// SimPlatform/SimNetwork (exercises the suite's clustering logic).
     double measurement_jitter = 0.0;

@@ -315,6 +315,131 @@ std::vector<MachineSpec> paper_machines() {
     return {dunnington(), finis_terrae(), dempsey(), athlon3200()};
 }
 
+// Shared per-node substrate for the cluster machines: private L1/L2, one
+// bus contention domain and one IntraNode comm layer per node (none when
+// the nodes are unicore). The interesting structure of these machines is
+// the network between the nodes, so the nodes themselves stay plain.
+MachineSpec cluster_node_machine(std::string name, int nodes, int cores_per_node,
+                                 std::uint64_t seed) {
+    SERVET_CHECK(nodes >= 1 && cores_per_node >= 1);
+    MachineSpec m;
+    m.name = std::move(name);
+    m.n_cores = nodes * cores_per_node;
+    m.cores_per_node = cores_per_node;
+    m.clock_ghz = 2.4;
+    m.page_size = 4 * KiB;
+    m.page_policy = PagePolicy::Random;
+    m.measurement_jitter = 0.02;
+    m.seed = seed;
+
+    CacheLevelSpec l1;
+    l1.name = "L1";
+    l1.geometry = {.size = 32 * KiB, .line_size = 64, .associativity = 8,
+                   .physically_indexed = false};
+    l1.hit_cycles = 3;
+    l1.instances = private_instances(m.n_cores);
+
+    CacheLevelSpec l2;
+    l2.name = "L2";
+    l2.geometry = {.size = 512 * KiB, .line_size = 64, .associativity = 8,
+                   .physically_indexed = true};
+    l2.hit_cycles = 14;
+    l2.instances = private_instances(m.n_cores);
+    m.levels = {l1, l2};
+
+    m.memory.latency_cycles = 210;
+    m.memory.single_core_bandwidth = 5.0e9;
+    if (cores_per_node > 1) {
+        for (int n = 0; n < nodes; ++n)
+            m.memory.domains.push_back({.name = "bus" + std::to_string(n),
+                                        .members = core_range(n * cores_per_node, cores_per_node),
+                                        .aggregate_bandwidth_factor = 1.5,
+                                        .latency_factor_per_extra = 0.06});
+        m.comm_layers = {
+            {.name = "intra-node",
+             .scope = {CommScope::Kind::IntraNode, 0},
+             .base_latency = 1.5e-6,
+             .bandwidth = 1.5e9,
+             .eager_threshold = 32 * KiB,
+             .rendezvous_extra = 3.0e-6,
+             .concurrency_exponent = 0.40},
+        };
+    }
+    return m;
+}
+
+namespace {
+
+/// Fat-tree tier parameters, slowest-growing first (tier 0 = node-edge
+/// links). Every tier is strictly slower than the one below it, so the
+/// per-class modeled latencies come out strictly ascending — which is what
+/// keeps `servet validate`'s comm.latency-order / comm.bandwidth-order
+/// checks green on the measured profiles.
+std::vector<TopologyTier> fat_tree_tiers(int levels) {
+    SERVET_CHECK(levels >= 1 && levels <= 4);
+    const TopologyTier all[4] = {
+        {.name = "edge", .hop_latency = 2.5e-6, .bandwidth = 1.2e9, .congestion_exponent = 0.35},
+        {.name = "aggr", .hop_latency = 5.0e-6, .bandwidth = 0.8e9, .congestion_exponent = 0.45},
+        {.name = "core", .hop_latency = 9.0e-6, .bandwidth = 0.5e9, .congestion_exponent = 0.55},
+        {.name = "spine", .hop_latency = 14.0e-6, .bandwidth = 0.3e9, .congestion_exponent = 0.60},
+    };
+    return {all, all + levels};
+}
+
+}  // namespace
+
+MachineSpec fat_tree_small() {
+    MachineSpec m = cluster_node_machine("ft-small", 4, 2, 0xfa77e1);
+    m.topology.kind = TopologyKind::FatTree;
+    m.topology.arity = 2;
+    m.topology.levels = 2;
+    m.topology.tiers = fat_tree_tiers(2);
+    return m;
+}
+
+MachineSpec torus4x4() {
+    MachineSpec m = cluster_node_machine("torus4x4", 16, 1, 0x70545b);
+    m.topology.kind = TopologyKind::Torus;
+    m.topology.dims = {4, 4};
+    m.topology.tiers = {{.name = "torus-link",
+                         .hop_latency = 2.0e-6,
+                         .bandwidth = 1.0e9,
+                         .congestion_exponent = 0.40}};
+    return m;
+}
+
+MachineSpec fat_tree_cluster(int levels, int cores_per_node) {
+    SERVET_CHECK(levels >= 1 && levels <= 4);
+    int nodes = 1;
+    for (int l = 0; l < levels; ++l) nodes *= 4;
+    MachineSpec m = cluster_node_machine("ft" + std::to_string(nodes * cores_per_node), nodes,
+                                 cores_per_node, 0xc1a540 + static_cast<std::uint64_t>(levels));
+    m.topology.kind = TopologyKind::FatTree;
+    m.topology.arity = 4;
+    m.topology.levels = levels;
+    m.topology.tiers = fat_tree_tiers(levels);
+    return m;
+}
+
+MachineSpec dragonfly_cluster(int groups, int routers, int nodes_per_router, int cores_per_node) {
+    const int nodes = groups * routers * nodes_per_router;
+    MachineSpec m = cluster_node_machine("df" + std::to_string(nodes * cores_per_node), nodes,
+                                 cores_per_node, 0xd7a90f);
+    m.topology.kind = TopologyKind::Dragonfly;
+    m.topology.groups = groups;
+    m.topology.routers = routers;
+    m.topology.nodes_per_router = nodes_per_router;
+    m.topology.tiers = {
+        {.name = "injection", .hop_latency = 2.0e-6, .bandwidth = 1.5e9,
+         .congestion_exponent = 0.30},
+        {.name = "local", .hop_latency = 4.0e-6, .bandwidth = 0.9e9,
+         .congestion_exponent = 0.45},
+        {.name = "global", .hop_latency = 8.0e-6, .bandwidth = 0.5e9,
+         .congestion_exponent = 0.55},
+    };
+    return m;
+}
+
 MachineSpec synthetic(const SyntheticOptions& options) {
     SERVET_CHECK(options.cores >= 1);
     SERVET_CHECK(options.l2_sharing >= 1 && options.cores % options.l2_sharing == 0);

@@ -47,6 +47,34 @@ namespace servet::sim::zoo {
 /// All four paper machines, for sweep-style tests and benches.
 [[nodiscard]] std::vector<MachineSpec> paper_machines();
 
+// ---- cluster entries: multi-node machines over a sim::Topology ----
+
+/// Bare cluster machine awaiting a topology: `nodes` x `cores_per_node`
+/// plain nodes (private 32K/512K caches, one bus domain and one IntraNode
+/// comm layer per node when multicore). The fixed cluster entries below
+/// and the platform-file loader both build on it; the caller fills
+/// MachineSpec::topology.
+[[nodiscard]] MachineSpec cluster_node_machine(std::string name, int nodes, int cores_per_node,
+                                               std::uint64_t seed);
+
+/// Smallest interesting fat-tree cluster: arity-2, 2 switch levels (4
+/// nodes), 2 cores per node — 8 ranks. Golden-pinned.
+[[nodiscard]] MachineSpec fat_tree_small();
+
+/// 4x4 torus of unicore nodes — 16 ranks, no intra-node layers at all:
+/// every pair routes over the topology. Golden-pinned.
+[[nodiscard]] MachineSpec torus4x4();
+
+/// Arity-4 fat-tree cluster of 16-core nodes: `levels` switch levels give
+/// 4^levels nodes (levels 3 -> 1024 ranks, levels 4 -> 4096 ranks — the
+/// cluster-scale test sizes).
+[[nodiscard]] MachineSpec fat_tree_cluster(int levels, int cores_per_node = 16);
+
+/// Dragonfly cluster of 16-core nodes: groups x routers x nodes_per_router
+/// nodes (10, 8, 8 -> 10240 ranks, the 10k-rank variant).
+[[nodiscard]] MachineSpec dragonfly_cluster(int groups, int routers, int nodes_per_router,
+                                            int cores_per_node = 16);
+
 /// Parameters for synthetic test machines.
 struct SyntheticOptions {
     int cores = 4;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "core/suite.hpp"
 #include "msg/sim_network.hpp"
 #include "platform/sim_platform.hpp"
@@ -26,6 +27,8 @@ inline std::vector<GoldenMachine> golden_machines() {
         {"dempsey", sim::zoo::dempsey()},
         {"athlon3200", sim::zoo::athlon3200()},
         {"nehalem2s", sim::zoo::nehalem2s()},
+        {"ft-small", sim::zoo::fat_tree_small()},
+        {"torus4x4", sim::zoo::torus4x4()},
     };
 }
 
@@ -40,6 +43,12 @@ inline core::SuiteOptions golden_options(const sim::MachineSpec& spec) {
     options.mcalibrator.max_size = 3 * spec.levels.back().geometry.size;
     options.mcalibrator.repeats = 2;
     options.profile_counters = true;
+    // Cluster goldens take the same comm-only path `servet profile
+    // --platform` does: cache phases off, sampled probe pairs.
+    if (spec.topology.enabled()) {
+        options.run_cache_size = false;
+        options.comm.probe_pairs = core::cluster_probe_pairs(spec, options.comm);
+    }
     return options;
 }
 
@@ -53,6 +62,8 @@ inline std::string golden_profile_text(const GoldenMachine& machine) {
         core::run_suite(platform, &network, golden_options(machine.spec));
     core::Profile profile =
         result.to_profile(platform.name(), platform.core_count(), platform.page_size());
+    if (machine.spec.topology.enabled())
+        core::annotate_cluster_profile(&profile, machine.spec);
     profile.phase_seconds.clear();
     return profile.serialize();
 }

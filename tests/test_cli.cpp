@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "platform/platform_file.hpp"
+
 namespace servet {
 namespace {
 
@@ -102,6 +104,127 @@ TEST(Cli, DoubleOptionParses) {
     const auto argv = argv_of({"--threshold=2.5"});
     ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
     EXPECT_DOUBLE_EQ(cli.option_double("threshold").value(), 2.5);
+}
+
+// ---- platform files (the `servet profile --platform` input) ----
+
+constexpr const char* kValidFatTree =
+    "servet-platform 1\n"
+    "name = t\n"
+    "cores_per_node = 2\n"
+    "\n"
+    "[topology]\n"
+    "kind = fat-tree\n"
+    "arity = 2\n"
+    "levels = 2\n"
+    "\n"
+    "[tier 0]\n"
+    "name = edge\n"
+    "hop_latency = 2e-6\n"
+    "bandwidth = 1e9\n"
+    "congestion = 0.3\n"
+    "\n"
+    "[tier 1]\n"
+    "name = core\n"
+    "hop_latency = 4e-6\n"
+    "bandwidth = 5e8\n"
+    "congestion = 0.4\n";
+
+/// Error code of a failing parse; "" when the text parses.
+std::string platform_error_code(const std::string& text) {
+    PlatformError error;
+    return parse_platform(text, &error) ? "" : error.code;
+}
+
+TEST(PlatformFile, ValidFatTreeParses) {
+    PlatformError error;
+    const auto machine = parse_platform(kValidFatTree, &error);
+    ASSERT_TRUE(machine) << error.code << ": " << error.message;
+    EXPECT_EQ(machine->name, "t");
+    EXPECT_EQ(machine->n_cores, 8);  // 2^2 nodes x 2 cores
+    EXPECT_EQ(machine->topology.kind, sim::TopologyKind::FatTree);
+    ASSERT_EQ(machine->topology.tiers.size(), 2u);
+    EXPECT_EQ(machine->topology.tiers[0].name, "edge");
+    EXPECT_DOUBLE_EQ(machine->topology.tiers[1].hop_latency, 4e-6);
+    EXPECT_TRUE(machine->validate().empty());
+}
+
+TEST(PlatformFile, MissingHeaderIsStableError) {
+    EXPECT_EQ(platform_error_code("name = t\n"), "platform.header");
+    EXPECT_EQ(platform_error_code("servet-platform 2\n"), "platform.header");
+    EXPECT_EQ(platform_error_code(""), "platform.header");
+}
+
+TEST(PlatformFile, SyntaxErrorsAreStable) {
+    EXPECT_EQ(platform_error_code("servet-platform 1\n[socket 9]\n"), "platform.syntax");
+    EXPECT_EQ(platform_error_code("servet-platform 1\nwat\n"), "platform.syntax");
+    EXPECT_EQ(platform_error_code("servet-platform 1\nflavor = mild\n"),
+              "platform.syntax");
+    // A platform with no [topology] section describes nothing.
+    EXPECT_EQ(platform_error_code("servet-platform 1\nname = t\n"), "platform.syntax");
+}
+
+TEST(PlatformFile, BadFieldValuesAreStable) {
+    EXPECT_EQ(platform_error_code("servet-platform 1\ncores_per_node = zero\n"),
+              "platform.field");
+    EXPECT_EQ(platform_error_code("servet-platform 1\ncores_per_node = -4\n"),
+              "platform.field");
+    EXPECT_EQ(platform_error_code("servet-platform 1\n[topology]\narity = huge\n"),
+              "platform.field");
+}
+
+TEST(PlatformFile, UnknownKindIsStableError) {
+    EXPECT_EQ(platform_error_code("servet-platform 1\n[topology]\nkind = hypercube\n"),
+              "platform.kind");
+    EXPECT_EQ(platform_error_code("servet-platform 1\n[topology]\nkind = none\n"),
+              "platform.kind");
+}
+
+TEST(PlatformFile, NonPowerOfTwoFatTreeArity) {
+    std::string text = kValidFatTree;
+    const auto at = text.find("arity = 2");
+    text.replace(at, 9, "arity = 3");
+    EXPECT_EQ(platform_error_code(text), "platform.fattree.arity");
+}
+
+TEST(PlatformFile, MalformedTierCounts) {
+    // Fewer tiers than the fat-tree's levels need.
+    std::string missing = kValidFatTree;
+    missing.resize(missing.find("[tier 1]"));
+    EXPECT_EQ(platform_error_code(missing), "platform.tiers.count");
+
+    // Non-contiguous tier indices.
+    std::string gap = kValidFatTree;
+    const auto at = gap.find("[tier 1]");
+    gap.replace(at, 8, "[tier 2]");
+    EXPECT_EQ(platform_error_code(gap), "platform.tiers.count");
+
+    // No tier sections at all.
+    std::string none = kValidFatTree;
+    none.resize(none.find("[tier 0]"));
+    EXPECT_EQ(platform_error_code(none), "platform.tiers.count");
+}
+
+TEST(PlatformFile, CustomLinkCycleIsStableError) {
+    // Nodes 0,1; switches 2,3; the 0-3 link closes the cycle 0-2-3-0.
+    const std::string text =
+        "servet-platform 1\n"
+        "[topology]\n"
+        "kind = custom\n"
+        "nodes = 2\n"
+        "switches = 2\n"
+        "links = 0-2:0;1-3:0;2-3:1;0-3:0\n"
+        "[tier 0]\n"
+        "name = leaf\n"
+        "[tier 1]\n"
+        "name = trunk\n";
+    EXPECT_EQ(platform_error_code(text), "platform.links.cycle");
+}
+
+TEST(PlatformFile, LoadReportsMissingFile) {
+    PlatformError error;
+    EXPECT_FALSE(load_platform("/nonexistent/servet.platform", &error));
+    EXPECT_EQ(error.code, "platform.io");
 }
 
 }  // namespace

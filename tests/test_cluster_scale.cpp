@@ -1,0 +1,222 @@
+// Cluster-scale locks: the comm-costs phase driven by sampled probe pairs
+// at 1k-10k simulated ranks, parallel/serial equivalence of a cluster
+// suite run, the measured-once guarantee for symmetric probe pairs, and
+// the topology-tiered broadcast selected on cluster profiles. Tests whose
+// suite name contains "Slow" (the 4k and 10k variants) are registered
+// under the slow CTest label; the rest run in the fast tier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autotune/collective_select.hpp"
+#include "autotune/collectives.hpp"
+#include "autotune/exec_collectives.hpp"
+#include "core/cluster.hpp"
+#include "core/comm_costs.hpp"
+#include "core/suite.hpp"
+#include "msg/comm_world.hpp"
+#include "msg/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet {
+namespace {
+
+/// Comm-only suite options for a cluster machine — the same configuration
+/// `servet profile --platform` uses.
+core::SuiteOptions cluster_options(const sim::MachineSpec& spec, int jobs) {
+    core::SuiteOptions options;
+    options.run_cache_size = false;
+    options.jobs = jobs;
+    options.comm.probe_pairs = core::cluster_probe_pairs(spec, options.comm);
+    return options;
+}
+
+/// Measured cluster profile with the topology annotation stamped on —
+/// what a `servet profile --platform` invocation writes.
+core::Profile cluster_profile(const sim::MachineSpec& spec, int jobs = 1) {
+    SimPlatform platform(spec);
+    msg::SimNetwork network(spec);
+    const core::SuiteResult result =
+        core::run_suite(platform, &network, cluster_options(spec, jobs));
+    EXPECT_TRUE(result.errors.empty());
+    core::Profile profile =
+        result.to_profile(platform.name(), platform.core_count(), platform.page_size());
+    core::annotate_cluster_profile(&profile, spec);
+    return profile;
+}
+
+TEST(ClusterScale, CommCosts1kCoversEveryRouteClass) {
+    const sim::MachineSpec spec = sim::zoo::fat_tree_cluster(3);
+    ASSERT_EQ(spec.n_cores, 1024);
+
+    core::CommCostsOptions options;
+    options.probe_pairs = core::cluster_probe_pairs(spec, options);
+    // Sampled, not O(n^2): a 1024-rank machine has >500k pairs.
+    ASSERT_FALSE(options.probe_pairs.empty());
+    ASSERT_LT(options.probe_pairs.size(), 1000u);
+
+    msg::SimNetwork network(spec);
+    const core::CommCostsResult result = characterize_communication(network, options);
+
+    // Every probed pair is in the scan, and the layers separate the
+    // intra-node class from the three fat-tree route classes (2, 4, and 6
+    // hops with edge/aggregation/core bottlenecks), fastest first.
+    EXPECT_EQ(result.pairs.size(), options.probe_pairs.size());
+    ASSERT_EQ(result.layers.size(), 4u);
+    for (std::size_t l = 1; l < result.layers.size(); ++l)
+        EXPECT_GT(result.layers[l].latency, result.layers[l - 1].latency);
+
+    // Node 0 holds cores [0, 16); node 1 shares node 0's edge switch.
+    EXPECT_EQ(result.layer_of({0, 1}), 0);    // intra-node
+    EXPECT_EQ(result.layer_of({0, 16}), 1);   // 2 hops, edge bottleneck
+    EXPECT_EQ(result.layer_of({0, 64}), 2);   // 4 hops, aggregation
+    EXPECT_EQ(result.layer_of({0, 256}), 3);  // 6 hops, core
+}
+
+TEST(ClusterScale, ParallelSuiteEqualsSerialAt1k) {
+    const sim::MachineSpec spec = sim::zoo::fat_tree_cluster(3);
+    SimPlatform serial_platform(spec);
+    msg::SimNetwork serial_network(spec);
+    const core::SuiteResult serial =
+        core::run_suite(serial_platform, &serial_network, cluster_options(spec, 1));
+    SimPlatform parallel_platform(spec);
+    msg::SimNetwork parallel_network(spec);
+    const core::SuiteResult parallel =
+        core::run_suite(parallel_platform, &parallel_network, cluster_options(spec, 4));
+
+    ASSERT_TRUE(serial.errors.empty());
+    ASSERT_TRUE(parallel.errors.empty());
+    EXPECT_TRUE(serial.measurements_equal(parallel));
+
+    // Byte-identical profiles once the one never-repeatable quantity
+    // (wall clock) is stripped.
+    core::Profile serial_profile = serial.to_profile(spec.name, spec.n_cores, 4 * KiB);
+    core::Profile parallel_profile = parallel.to_profile(spec.name, spec.n_cores, 4 * KiB);
+    core::annotate_cluster_profile(&serial_profile, spec);
+    core::annotate_cluster_profile(&parallel_profile, spec);
+    serial_profile.phase_seconds.clear();
+    parallel_profile.phase_seconds.clear();
+    EXPECT_EQ(serial_profile.serialize(), parallel_profile.serialize());
+}
+
+TEST(ClusterScale, SymmetricProbePairsMeasuredOnce) {
+    const sim::MachineSpec spec = sim::zoo::fat_tree_small();
+    const std::vector<CorePair> unique = {{0, 1}, {0, 2}, {0, 4}};
+    std::vector<CorePair> duplicated = unique;
+    for (const CorePair& pair : unique) duplicated.push_back({pair.b, pair.a});
+
+    obs::Counter& run_counter = obs::counter("exec.tasks.run", obs::Stability::Stable);
+
+    core::CommCostsOptions options;
+    options.probe_pairs = unique;
+    msg::SimNetwork unique_network(spec);
+    const std::uint64_t before_unique = run_counter.value();
+    const core::CommCostsResult unique_result =
+        characterize_communication(unique_network, options);
+    const std::uint64_t unique_tasks = run_counter.value() - before_unique;
+
+    options.probe_pairs = duplicated;
+    msg::SimNetwork duplicated_network(spec);
+    const std::uint64_t before_duplicated = run_counter.value();
+    const core::CommCostsResult duplicated_result =
+        characterize_communication(duplicated_network, options);
+    const std::uint64_t duplicated_tasks = run_counter.value() - before_duplicated;
+
+    // The reversed duplicates collapse onto the canonical pairs: not one
+    // extra measurement task runs, and the characterization is identical.
+    EXPECT_EQ(duplicated_tasks, unique_tasks);
+    EXPECT_EQ(duplicated_result, unique_result);
+    EXPECT_EQ(duplicated_result.pairs.size(), unique.size());
+}
+
+TEST(ClusterScale, TieredBroadcastSelectedOnClusterProfile) {
+    const core::Profile profile = cluster_profile(sim::zoo::fat_tree_small());
+    ASSERT_TRUE(profile.topology.enabled());
+    ASSERT_FALSE(profile.comm_tiers.empty());
+
+    std::vector<CoreId> cores;
+    for (CoreId c = 0; c < profile.cores; ++c) cores.push_back(c);
+    const autotune::CollectiveChoice choice =
+        autotune::choose_broadcast(profile, 0, cores, 256 * KiB);
+
+    // The topology-tiered schedule replaces the O(n^2) hierarchical one
+    // on cluster profiles, and it is a sound broadcast.
+    const auto tiered = std::find_if(
+        choice.candidates.begin(), choice.candidates.end(),
+        [](const auto& candidate) { return candidate.first.starts_with("tiered/"); });
+    ASSERT_NE(tiered, choice.candidates.end());
+    for (const auto& candidate : choice.candidates)
+        EXPECT_FALSE(candidate.first.starts_with("hierarchical"));
+
+    const autotune::Schedule schedule =
+        autotune::broadcast_tiered(0, cores, profile, 256 * KiB);
+    EXPECT_TRUE(schedule.validate_broadcast(0, cores).empty());
+}
+
+TEST(ClusterScale, SteppedExecutorMatchesThreadedExecutor) {
+    const std::vector<CoreId> cores = {0, 1, 2, 3, 4, 5, 6, 7};
+    const autotune::Schedule schedule = autotune::broadcast_binomial(2, cores);
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 5, 8, 13};
+
+    msg::CommWorld threaded_world(8);
+    const auto threaded =
+        autotune::execute_broadcast(threaded_world, schedule, 2, cores, payload);
+    msg::CommWorld stepped_world(8);
+    const auto stepped =
+        autotune::execute_broadcast_stepped(stepped_world, schedule, 2, cores, payload);
+
+    EXPECT_EQ(threaded, stepped);
+    for (const CoreId core : cores) EXPECT_EQ(stepped.at(core), payload);
+}
+
+TEST(ClusterScaleSlow, ParallelSuiteEqualsSerialAt4k) {
+    const sim::MachineSpec spec = sim::zoo::fat_tree_cluster(4);
+    ASSERT_EQ(spec.n_cores, 4096);
+    SimPlatform serial_platform(spec);
+    msg::SimNetwork serial_network(spec);
+    const core::SuiteResult serial =
+        core::run_suite(serial_platform, &serial_network, cluster_options(spec, 1));
+    SimPlatform parallel_platform(spec);
+    msg::SimNetwork parallel_network(spec);
+    const core::SuiteResult parallel =
+        core::run_suite(parallel_platform, &parallel_network, cluster_options(spec, 4));
+
+    ASSERT_TRUE(serial.errors.empty());
+    ASSERT_TRUE(parallel.errors.empty());
+    EXPECT_TRUE(serial.measurements_equal(parallel));
+    // The fourth fat-tree level adds a route class (8 hops over the spine
+    // tier): five layers, ascending.
+    ASSERT_EQ(serial.comm.layers.size(), 5u);
+    for (std::size_t l = 1; l < serial.comm.layers.size(); ++l)
+        EXPECT_GT(serial.comm.layers[l].latency, serial.comm.layers[l - 1].latency);
+}
+
+TEST(ClusterScaleSlow, TieredBroadcastDeliversAt10kRanks) {
+    const sim::MachineSpec spec = sim::zoo::dragonfly_cluster(10, 8, 8);
+    ASSERT_EQ(spec.n_cores, 10240);
+    const core::Profile profile = cluster_profile(spec);
+    ASSERT_TRUE(profile.topology.enabled());
+
+    std::vector<CoreId> cores;
+    for (CoreId c = 0; c < spec.n_cores; ++c) cores.push_back(c);
+    const autotune::Schedule schedule =
+        autotune::broadcast_tiered(0, cores, profile, 64 * KiB);
+    ASSERT_TRUE(schedule.algorithm.starts_with("tiered/"));
+    // Tiered descent, not a flat fan-out: round count grows with the
+    // depth of the hierarchy, not the rank count.
+    EXPECT_LT(schedule.rounds.size(), 100u);
+
+    const std::vector<std::uint8_t> payload = {42, 7, 99};
+    msg::CommWorld world(spec.n_cores);
+    const auto buffers =
+        autotune::execute_broadcast_stepped(world, schedule, 0, cores, payload);
+    for (const CoreId core : cores) ASSERT_EQ(buffers.at(core), payload);
+}
+
+}  // namespace
+}  // namespace servet

@@ -188,5 +188,97 @@ TEST(ProfileSerialization, GroupsEmptyVsPresent) {
     EXPECT_EQ(parsed->caches[1].groups.size(), 2u);
 }
 
+// ---- cluster topology block ([topology] / [comm-tier k]) ----
+
+/// Profile of an arity-2, 2-level fat-tree of 4 dual-core nodes (the
+/// ft-small shape): layer 0 intra-node, layer 1 the 2-hop edge class,
+/// layer 2 the 4-hop top class. Only one representative pair per layer
+/// was "probed" — the rest classify analytically.
+Profile cluster_profile() {
+    Profile profile;
+    profile.machine = "sim:ft-small";
+    profile.cores = 8;
+    profile.page_size = 4096;
+
+    ProfileCommLayer intra;
+    intra.latency = 2.0e-6;
+    intra.pairs = {{0, 1}};
+    intra.p2p = {{1024, 2.0e-6}, {65536, 5.0e-5}};
+    intra.slowdown = {1.0};
+    ProfileCommLayer edge;
+    edge.latency = 6.0e-6;
+    edge.pairs = {{0, 2}};
+    edge.p2p = {{1024, 6.0e-6}, {65536, 1.2e-4}};
+    edge.slowdown = {1.0};
+    ProfileCommLayer top;
+    top.latency = 1.6e-5;
+    top.pairs = {{0, 4}};
+    top.p2p = {{1024, 1.6e-5}, {65536, 3.0e-4}};
+    top.slowdown = {1.0};
+    profile.comm = {intra, edge, top};
+
+    profile.topology = {"fat-tree", 2, {2, 2}};
+    profile.comm_tiers = {{"edge", 0, 2, 1}, {"core", 1, 4, 2}};
+    return profile;
+}
+
+TEST(ProfileSerialization, TopologyRoundTripsExactly) {
+    const Profile original = cluster_profile();
+    const std::string text = original.serialize();
+    EXPECT_NE(text.find("[topology]"), std::string::npos);
+    EXPECT_NE(text.find("[comm-tier 0]"), std::string::npos);
+    EXPECT_NE(text.find("[comm-tier 1]"), std::string::npos);
+    const auto parsed = Profile::parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, original);
+}
+
+TEST(ProfileSerialization, NoTopologyOmitsSections) {
+    // Old profiles must serialize byte-identically: no topology, no new
+    // sections and no new JSON keys.
+    const std::string text = rich_profile().serialize();
+    EXPECT_EQ(text.find("[topology]"), std::string::npos);
+    EXPECT_EQ(text.find("[comm-tier"), std::string::npos);
+    EXPECT_EQ(rich_profile().to_json().find("\"topology\""), std::string::npos);
+}
+
+TEST(ProfileJson, TopologyEmitted) {
+    const std::string json = cluster_profile().to_json();
+    EXPECT_NE(json.find("\"topology\""), std::string::npos);
+    EXPECT_NE(json.find("\"fat-tree\""), std::string::npos);
+    EXPECT_NE(json.find("\"comm_tiers\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ProfileQueries, ClusterFallbackClassifiesUnprobedPairs) {
+    const Profile profile = cluster_profile();
+    // Probed pairs resolve as measured.
+    EXPECT_EQ(profile.comm_layer_of({0, 1}), 0);
+    EXPECT_EQ(profile.comm_layer_of({2, 0}), 1);
+    // Unprobed intra-node pair: node 1's {2,3} translates to the node-0
+    // twin {0,1}.
+    EXPECT_EQ(profile.comm_layer_of({2, 3}), 0);
+    // Unprobed inter-node pairs route over the rebuilt topology and match
+    // a comm tier: (1,2) spans adjacent nodes (2 hops, edge); (3,6) spans
+    // edge switches (4 hops, core).
+    EXPECT_EQ(profile.comm_layer_of({1, 2}), 1);
+    EXPECT_EQ(profile.comm_layer_of({3, 6}), 2);
+    // And prices from the matched layer's stored curve.
+    EXPECT_EQ(profile.comm_latency({3, 6}, 1024), profile.layer_latency(2, 1024));
+    EXPECT_FALSE(profile.layer_latency(9, 1024).has_value());
+}
+
+TEST(ProfileQueries, CustomTopologyHasNoAnalyticFallback) {
+    Profile profile = cluster_profile();
+    profile.topology.kind = "custom";
+    profile.topology.dims.clear();
+    // Measured pairs still classify; unprobed inter-node pairs cannot be
+    // routed without the explicit link list, which the profile does not
+    // carry.
+    EXPECT_EQ(profile.comm_layer_of({0, 2}), 1);
+    EXPECT_EQ(profile.comm_layer_of({3, 6}), -1);
+}
+
 }  // namespace
 }  // namespace servet::core

@@ -52,6 +52,10 @@ TEST(ToolCli, MachinesListsTargets) {
     EXPECT_EQ(result.exit_code, 0);
     EXPECT_NE(result.output.find("dunnington"), std::string::npos);
     EXPECT_NE(result.output.find("native"), std::string::npos);
+    // The cluster zoo rides along: the 1k/4k fat-trees and the 10k dragonfly.
+    EXPECT_NE(result.output.find("ft1024"), std::string::npos);
+    EXPECT_NE(result.output.find("ft4096"), std::string::npos);
+    EXPECT_NE(result.output.find("df10240"), std::string::npos);
 }
 
 TEST(ToolCli, ProfileReportPriceWorkflow) {
@@ -162,6 +166,83 @@ TEST(ToolCli, FaultsWithRobustSamplingStillSucceed) {
     EXPECT_EQ(stored.str().find("[errors]"), std::string::npos);
     EXPECT_NE(stored.str().find("[cache 0]"), std::string::npos);
     std::remove(path.c_str());
+}
+
+/// Writes `text` to a TempDir platform file and returns its path.
+std::string write_platform(const std::string& name, const std::string& text) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return path;
+}
+
+TEST(ToolCli, ClusterPlatformProfileWorkflow) {
+    // Smallest interesting cluster so the end-to-end run stays cheap: a
+    // 2-level arity-2 fat-tree of 4 dual-core nodes (8 ranks).
+    const std::string platform = write_platform(
+        "tool_cli_ft.platform",
+        "servet-platform 1\n"
+        "name = ft-file\n"
+        "cores_per_node = 2\n"
+        "[topology]\n"
+        "kind = fat-tree\n"
+        "arity = 2\n"
+        "levels = 2\n"
+        "[tier 0]\n"
+        "name = edge\n"
+        "hop_latency = 2.5e-6\n"
+        "bandwidth = 1.2e9\n"
+        "congestion = 0.35\n"
+        "[tier 1]\n"
+        "name = core\n"
+        "hop_latency = 5.0e-6\n"
+        "bandwidth = 0.8e9\n"
+        "congestion = 0.45\n");
+    const std::string path = ::testing::TempDir() + "/tool_cli_cluster.profile";
+
+    const auto profile = run_tool("profile --platform " + platform + " --out " + path);
+    ASSERT_EQ(profile.exit_code, 0) << profile.output;
+    EXPECT_NE(profile.output.find("ft-file"), std::string::npos);
+
+    const auto report = run_tool("report --profile " + path);
+    EXPECT_EQ(report.exit_code, 0) << report.output;
+    EXPECT_NE(report.output.find("cluster topology: fat-tree"), std::string::npos);
+    EXPECT_NE(report.output.find("edge"), std::string::npos);
+
+    // (1,6) spans nodes 0 and 3 and is not in the sampled probe set; the
+    // profile prices it through the topology fallback anyway.
+    const auto price = run_tool("price --profile " + path +
+                                " --from 1 --to 6 --size 64KB");
+    EXPECT_EQ(price.exit_code, 0) << price.output;
+    EXPECT_NE(price.output.find("(1,6) 64KB one-way"), std::string::npos);
+
+    const auto validate = run_tool("validate --profile " + path);
+    EXPECT_EQ(validate.exit_code, 0) << validate.output;
+
+    std::remove(platform.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(ToolCli, MalformedPlatformFileExitsTwoWithStableCode) {
+    const std::string platform = write_platform(
+        "tool_cli_bad.platform",
+        "servet-platform 1\n"
+        "[topology]\n"
+        "kind = fat-tree\n"
+        "arity = 3\n"
+        "levels = 1\n"
+        "[tier 0]\n"
+        "name = edge\n");
+    const auto result = run_tool("profile --platform " + platform);
+    EXPECT_EQ(result.exit_code, 2) << result.output;
+    EXPECT_NE(result.output.find("platform.fattree.arity"), std::string::npos);
+    std::remove(platform.c_str());
+}
+
+TEST(ToolCli, MissingPlatformFileExitsTwo) {
+    const auto result = run_tool("profile --platform /nonexistent.platform");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("platform.io"), std::string::npos);
 }
 
 TEST(ToolCli, MalformedFaultSpecFails) {

@@ -23,6 +23,7 @@
 #include "base/fs.hpp"
 #include "base/table.hpp"
 #include "base/units.hpp"
+#include "core/cluster.hpp"
 #include "core/journal.hpp"
 #include "core/report.hpp"
 #include "core/suite.hpp"
@@ -35,6 +36,7 @@
 #include "msg/thread_network.hpp"
 #include "platform/decorators.hpp"
 #include "platform/native_platform.hpp"
+#include "platform/platform_file.hpp"
 #include "platform/sim_platform.hpp"
 #include "sim/zoo.hpp"
 
@@ -57,14 +59,30 @@ constexpr int kExitIncompatibleJournal = 2;
 /// --repair, if given, could not clear it).
 constexpr int kExitInvalidProfile = 2;
 
+/// `servet profile --platform FILE` could not parse the platform file.
+/// Same "wrong invocation" family as the other exit-2 paths; the stderr
+/// line carries the stable PlatformError code.
+constexpr int kExitInvalidPlatform = 2;
+
 struct Target {
     std::unique_ptr<Platform> platform;
     std::unique_ptr<msg::Network> network;
+    /// Filled for simulated targets; cluster handling (sampled probe
+    /// pairs, topology annotation) keys off spec->topology.enabled().
+    std::optional<sim::MachineSpec> spec;
 };
 
-std::optional<Target> make_target(const std::string& name) {
+Target make_sim_target(const sim::MachineSpec& spec) {
     Target target;
+    target.platform = std::make_unique<SimPlatform>(spec);
+    if (spec.n_cores > 1) target.network = std::make_unique<msg::SimNetwork>(spec);
+    target.spec = spec;
+    return target;
+}
+
+std::optional<Target> make_target(const std::string& name) {
     if (name == "native") {
+        Target target;
         auto platform = std::make_unique<NativePlatform>();
         target.network = std::make_unique<msg::ThreadNetwork>(platform->core_count());
         target.platform = std::move(platform);
@@ -77,11 +95,13 @@ std::optional<Target> make_target(const std::string& name) {
     if (name == "dempsey") spec = sim::zoo::dempsey();
     if (name == "athlon3200") spec = sim::zoo::athlon3200();
     if (name == "nehalem2s") spec = sim::zoo::nehalem2s();
+    if (name == "ft-small") spec = sim::zoo::fat_tree_small();
+    if (name == "torus4x4") spec = sim::zoo::torus4x4();
+    if (name == "ft1024") spec = sim::zoo::fat_tree_cluster(3);
+    if (name == "ft4096") spec = sim::zoo::fat_tree_cluster(4);
+    if (name == "df10240") spec = sim::zoo::dragonfly_cluster(10, 8, 8);
     if (!spec) return std::nullopt;
-    auto platform = std::make_unique<SimPlatform>(*spec);
-    if (spec->n_cores > 1) target.network = std::make_unique<msg::SimNetwork>(*spec);
-    target.platform = std::move(platform);
-    return target;
+    return make_sim_target(*spec);
 }
 
 int cmd_machines() {
@@ -96,6 +116,12 @@ int cmd_machines() {
     add(sim::zoo::dempsey(), "Xeon 5060, the smeared-L2 case of Fig. 2");
     add(sim::zoo::athlon3200(), "unicore AMD Athlon");
     add(sim::zoo::nehalem2s(), "post-paper control: 2-socket NUMA with shared L3");
+    add(sim::zoo::fat_tree_small(), "cluster: arity-2/2-level fat-tree, 4 dual-core nodes");
+    add(sim::zoo::torus4x4(), "cluster: 4x4 torus of unicore nodes");
+    add(sim::zoo::fat_tree_cluster(3), "cluster: arity-4/3-level fat-tree, 64 16-core nodes");
+    add(sim::zoo::fat_tree_cluster(4), "cluster: arity-4/4-level fat-tree, 256 16-core nodes");
+    add(sim::zoo::dragonfly_cluster(10, 8, 8),
+        "cluster: 10-group dragonfly, 640 16-core nodes");
     std::printf("%s", table.render().c_str());
     return 0;
 }
@@ -128,9 +154,11 @@ struct MeasureStack {
     msg::Network* network = nullptr;
 };
 
-std::optional<MeasureStack> make_measure_stack(const CliParser& cli) {
+std::optional<MeasureStack> make_measure_stack(const CliParser& cli,
+                                               std::optional<Target> target_override = {}) {
     MeasureStack stack;
-    auto target = make_target(cli.option("machine"));
+    auto target = target_override ? std::move(target_override)
+                                  : make_target(cli.option("machine"));
     if (!target) {
         std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
         return std::nullopt;
@@ -195,6 +223,8 @@ std::optional<core::SuiteOptions> make_suite_options(const CliParser& cli) {
 int cmd_profile(int argc, const char* const* argv) {
     CliParser cli("servet profile: run the full suite and store the result.");
     add_measurement_options(cli);
+    cli.add_option("platform", "cluster platform file describing a simulated machine "
+                   "(overrides --machine; see docs/cluster-sim.md)", "");
     cli.add_option("out", "profile file to write", "servet.profile");
     cli.add_option("task-deadline", "per-measurement-task deadline in seconds (0 = off)",
                    "0");
@@ -209,7 +239,18 @@ int cmd_profile(int argc, const char* const* argv) {
     cli.add_flag("profile-counters", "embed deterministic counters in the profile");
     if (!cli.parse(argc, argv)) return 1;
 
-    std::optional<MeasureStack> stack = make_measure_stack(cli);
+    std::optional<Target> platform_target;
+    if (!cli.option("platform").empty()) {
+        PlatformError error;
+        const auto spec = load_platform(cli.option("platform"), &error);
+        if (!spec) {
+            std::fprintf(stderr, "platform error [%s]: %s\n", error.code.c_str(),
+                         error.message.c_str());
+            return kExitInvalidPlatform;
+        }
+        platform_target = make_sim_target(*spec);
+    }
+    std::optional<MeasureStack> stack = make_measure_stack(cli, std::move(platform_target));
     if (!stack) return 1;
     Platform* platform = stack->platform;
     msg::Network* network = stack->network;
@@ -217,6 +258,17 @@ int cmd_profile(int argc, const char* const* argv) {
     std::optional<core::SuiteOptions> parsed_options = make_suite_options(cli);
     if (!parsed_options) return 1;
     core::SuiteOptions options = std::move(*parsed_options);
+    const std::optional<sim::MachineSpec>& cluster = stack->target.spec;
+    const bool is_cluster = cluster && cluster->topology.enabled();
+    if (is_cluster) {
+        // Cluster runs characterize communication only: the per-node
+        // substrate comes from the zoo, and the cache phases would scale
+        // with rank count. Skipping cache_size keeps the comm probe at its
+        // default message size, and the sampled pair set replaces the
+        // O(n^2) full scan.
+        options.run_cache_size = false;
+        options.comm.probe_pairs = core::cluster_probe_pairs(*cluster, options.comm);
+    }
     options.memo_path = cli.option("memo");
     options.run_dir = cli.option("run-dir");
     options.resume = cli.flag("resume");
@@ -276,6 +328,7 @@ int cmd_profile(int argc, const char* const* argv) {
                     static_cast<unsigned long long>(result.memo_hits + result.memo_misses));
     core::Profile profile = result.to_profile(
         platform->name(), platform->core_count(), platform->page_size());
+    if (is_cluster) core::annotate_cluster_profile(&profile, *cluster);
     if (cli.flag("no-timing")) profile.phase_seconds.clear();
 
     const std::string& path = cli.option("out");
@@ -356,6 +409,19 @@ int cmd_report(int argc, const char* const* argv) {
         std::printf("  layer %zu: %s at probe size, %zu pairs, %zu-point p2p curve\n", l,
                     format_latency(layer.latency).c_str(), layer.pairs.size(),
                     layer.p2p.size());
+    }
+    if (profile->topology.enabled()) {
+        std::string dims;
+        for (std::size_t d = 0; d < profile->topology.dims.size(); ++d) {
+            if (d) dims += "x";
+            dims += std::to_string(profile->topology.dims[d]);
+        }
+        std::printf("\ncluster topology: %s%s%s, %d core(s) per node\n",
+                    profile->topology.kind.c_str(), dims.empty() ? "" : " ", dims.c_str(),
+                    profile->topology.cores_per_node);
+        for (const auto& tier : profile->comm_tiers)
+            std::printf("  route class tier %d (%s), %d hops -> comm layer %d\n", tier.tier,
+                        tier.name.c_str(), tier.hops, tier.layer);
     }
     if (!profile->phase_seconds.empty()) {
         std::printf("\nsuite phase timings:\n");
