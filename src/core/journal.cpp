@@ -18,8 +18,10 @@ namespace servet::core {
 
 namespace {
 
-constexpr const char* kHeader = "servet-journal 1";
-constexpr const char* kFileName = "journal.servet";
+constexpr const char* kRunHeader = "servet-journal 1";
+constexpr const char* kRunFileName = "journal.servet";
+constexpr const char* kSeriesHeader = "servet-series 1";
+constexpr const char* kSeriesFileName = "series.servet";
 
 std::string hex64(std::uint64_t v) {
     char buf[20];
@@ -63,6 +65,174 @@ std::pair<std::string, std::string> split_kv(const std::string& line) {
         return s.substr(begin, end - begin + 1);
     };
     return {trim(line.substr(0, eq)), trim(line.substr(eq + 1))};
+}
+
+// ---- framed-record machinery shared by RunJournal and SeriesJournal ----
+
+/// The identity block every journal kind starts with, after its magic.
+std::string header_text(const char* magic, const RunJournal::Header& header) {
+    std::string out = std::string(magic) + '\n';
+    out += "options = " + hex64(header.options_hash) + '\n';
+    out += "fingerprint = " + hex64(header.fingerprint) + '\n';
+    out += "machine = " + header.machine + '\n';
+    out += "cores = " + std::to_string(header.cores) + '\n';
+    out += "page_size = " + std::to_string(header.page_size) + '\n';
+    return out;
+}
+
+/// Parses the magic + identity block at `pos`, advancing it past the
+/// header. Throws JournalError on any malformation.
+RunJournal::Header parse_header(const std::string& text, std::size_t& pos, const char* magic,
+                                const std::string& path) {
+    std::string line;
+    if (!next_line(text, pos, line) || line != magic)
+        throw JournalError("malformed journal " + path + ": bad header (expected '" +
+                           magic + "')");
+    RunJournal::Header loaded;
+    for (const char* key : {"options", "fingerprint", "machine", "cores", "page_size"}) {
+        if (!next_line(text, pos, line))
+            throw JournalError("malformed journal " + path + ": truncated header");
+        const auto [k, v] = split_kv(line);
+        if (k != key)
+            throw JournalError("malformed journal " + path + ": expected '" + key +
+                               "', found '" + line + "'");
+        if (k == "machine") {
+            loaded.machine = v;
+            continue;
+        }
+        if (k == "options" || k == "fingerprint") {
+            const auto parsed = parse_hex64(v);
+            if (!parsed) throw JournalError("malformed journal " + path + ": bad " + k);
+            (k == "options" ? loaded.options_hash : loaded.fingerprint) = *parsed;
+            continue;
+        }
+        char* end = nullptr;
+        const long long parsed = std::strtoll(v.c_str(), &end, 10);
+        if (v.empty() || end != v.c_str() + v.size() || parsed < 0)
+            throw JournalError("malformed journal " + path + ": bad " + k);
+        if (k == "cores")
+            loaded.cores = static_cast<int>(parsed);
+        else
+            loaded.page_size = static_cast<Bytes>(parsed);
+    }
+    return loaded;
+}
+
+/// Compatibility: resuming must never mix measurements of different
+/// configurations or machines into one journal.
+void check_compatible(const RunJournal::Header& loaded, const RunJournal::Header& expected,
+                      const std::string& path) {
+    if (loaded.options_hash != expected.options_hash)
+        throw JournalError("journal " + path + " was written with options hash " +
+                           hex64(loaded.options_hash) + " but this run's is " +
+                           hex64(expected.options_hash) +
+                           "; pass the same options to resume, or use a fresh --run-dir");
+    if (loaded.fingerprint != 0 && expected.fingerprint != 0) {
+        if (loaded.fingerprint != expected.fingerprint)
+            throw JournalError("journal " + path + " measured machine fingerprint " +
+                               hex64(loaded.fingerprint) + " but this run targets " +
+                               hex64(expected.fingerprint) +
+                               "; resume on the same machine, or use a fresh --run-dir");
+    } else if (loaded.machine != expected.machine) {
+        // No content fingerprint to compare (real hardware): the machine
+        // name is the only identity available.
+        throw JournalError("journal " + path + " measured machine '" + loaded.machine +
+                           "' but this run targets '" + expected.machine +
+                           "'; resume on the same machine, or use a fresh --run-dir");
+    }
+    if (loaded.cores != expected.cores || loaded.page_size != expected.page_size)
+        throw JournalError("journal " + path + " measured a machine with " +
+                           std::to_string(loaded.cores) + " cores and " +
+                           std::to_string(loaded.page_size) + "-byte pages; this run's has " +
+                           std::to_string(expected.cores) + " and " +
+                           std::to_string(expected.page_size));
+}
+
+/// One committed framed record, plus where its frame line started — the
+/// truncation point if a later record turns out torn.
+struct FramedRecord {
+    std::size_t offset = 0;
+    std::string key;
+    std::string extra;  ///< frame-line fields after the length (may be empty)
+    std::string payload;
+};
+
+/// Parses `<kind> <key> <length>[ <extra>]\n<payload>\ncommit <key>
+/// <hash>[ ...]\n` records from `pos` to EOF. Returns the byte offset
+/// where parsing stopped: text.size() when every record committed, the
+/// start of the first undecodable record otherwise (the torn-tail
+/// signature of a crash mid-append — appends are serialized, so only the
+/// last record can be torn).
+std::size_t read_framed_records(const std::string& text, std::size_t pos, const char* kind,
+                                std::vector<FramedRecord>& out) {
+    std::string line;
+    while (true) {
+        const std::size_t record_start = pos;
+        if (!next_line(text, pos, line)) return record_start;
+        if (line.empty()) continue;
+        std::istringstream fields{line};
+        FramedRecord record;
+        record.offset = record_start;
+        std::string tag;
+        std::size_t length = 0;
+        if (!(fields >> tag >> record.key >> length) || tag != kind ||
+            pos + length + 1 > text.size())
+            return record_start;
+        std::getline(fields, record.extra);
+        const std::size_t keep = record.extra.find_first_not_of(" \t");
+        record.extra = keep == std::string::npos ? std::string{} : record.extra.substr(keep);
+        record.payload = text.substr(pos, length);
+        pos += length;
+        if (text[pos] != '\n') return record_start;
+        ++pos;
+        std::string commit_line;
+        if (!next_line(text, pos, commit_line)) return record_start;
+        std::istringstream commit_fields{commit_line};
+        std::string commit_tag;
+        std::string commit_key;
+        std::string hash_text;
+        if (!(commit_fields >> commit_tag >> commit_key >> hash_text) ||
+            commit_tag != "commit" || commit_key != record.key)
+            return record_start;
+        const auto hash = parse_hex64(hash_text);
+        if (!hash || *hash != fnv1a64(record.payload)) return record_start;
+        out.push_back(std::move(record));
+    }
+}
+
+/// Physically removes a torn tail so the next fsync'd append lands after
+/// the last *committed* record — appending after torn bytes would bury
+/// every later record behind an unparseable one. Best-effort: on failure
+/// the journal still loads (the tail re-discards every open), it just
+/// must not be appended to, which the caller's log line makes loud.
+void truncate_torn_tail(const std::string& path, std::size_t valid_bytes) {
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0)
+        SERVET_LOG_ERROR("journal: cannot truncate torn tail of %s at %zu bytes; "
+                         "records appended from here may be lost on the next load",
+                         path.c_str(), valid_bytes);
+}
+
+/// Appends `record` to `path` and fsyncs it. The fsync is the commit
+/// point: once it returns, the record survives any crash; a torn write
+/// before it is discarded on load by the length/hash framing.
+bool append_synced(const std::string& path, const std::string& record) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) return false;
+    const char* data = record.data();
+    std::size_t remaining = record.size();
+    while (remaining > 0) {
+        const ssize_t n = ::write(fd, data, remaining);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            return false;
+        }
+        data += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    return synced;
 }
 
 }  // namespace
@@ -118,7 +288,7 @@ std::uint64_t suite_options_hash(const SuiteOptions& options) {
 }
 
 std::string RunJournal::file_path(const std::string& run_dir) {
-    return run_dir + "/" + kFileName;
+    return run_dir + "/" + kRunFileName;
 }
 
 RunJournal::RunJournal(const std::string& run_dir, const Header& header, Mode mode)
@@ -137,135 +307,32 @@ RunJournal::RunJournal(const std::string& run_dir, const Header& header, Mode mo
     }
     // Fresh journal (Create, or Resume with nothing to resume): write the
     // header block atomically so a half-created journal never exists.
-    std::string out = std::string(kHeader) + '\n';
-    out += "options = " + hex64(header_.options_hash) + '\n';
-    out += "fingerprint = " + hex64(header_.fingerprint) + '\n';
-    out += "machine = " + header_.machine + '\n';
-    out += "cores = " + std::to_string(header_.cores) + '\n';
-    out += "page_size = " + std::to_string(header_.page_size) + '\n';
-    if (!write_file_atomic(path_, out))
+    if (!write_file_atomic(path_, header_text(kRunHeader, header_)))
         throw JournalError("cannot write run journal " + path_);
 }
 
 void RunJournal::load(const std::string& text) {
     std::size_t pos = 0;
-    std::string line;
-    if (!next_line(text, pos, line) || line != kHeader)
-        throw JournalError("malformed run journal " + path_ +
-                           ": bad header (not a servet journal?)");
+    const Header loaded = parse_header(text, pos, kRunHeader, path_);
+    check_compatible(loaded, header_, path_);
 
-    Header loaded;
-    for (const char* key : {"options", "fingerprint", "machine", "cores", "page_size"}) {
-        if (!next_line(text, pos, line))
-            throw JournalError("malformed run journal " + path_ + ": truncated header");
-        const auto [k, v] = split_kv(line);
-        if (k != key)
-            throw JournalError("malformed run journal " + path_ + ": expected '" + key +
-                               "', found '" + line + "'");
-        if (k == "machine") {
-            loaded.machine = v;
-            continue;
-        }
-        if (k == "options" || k == "fingerprint") {
-            const auto parsed = parse_hex64(v);
-            if (!parsed)
-                throw JournalError("malformed run journal " + path_ + ": bad " + k);
-            (k == "options" ? loaded.options_hash : loaded.fingerprint) = *parsed;
-            continue;
-        }
+    std::vector<FramedRecord> framed;
+    std::size_t valid_end = read_framed_records(text, pos, "phase", framed);
+    for (FramedRecord& record : framed) {
+        // The frame's trailing field is the producing run's wall-clock.
         char* end = nullptr;
-        const long long parsed = std::strtoll(v.c_str(), &end, 10);
-        if (v.empty() || end != v.c_str() + v.size() || parsed < 0)
-            throw JournalError("malformed run journal " + path_ + ": bad " + k);
-        if (k == "cores")
-            loaded.cores = static_cast<int>(parsed);
-        else
-            loaded.page_size = static_cast<Bytes>(parsed);
-    }
-
-    // Compatibility: resuming must never mix measurements of different
-    // configurations or machines into one profile.
-    if (loaded.options_hash != header_.options_hash)
-        throw JournalError("run journal " + path_ + " was written with options hash " +
-                           hex64(loaded.options_hash) + " but this run's is " +
-                           hex64(header_.options_hash) +
-                           "; pass the same suite options to resume, or use a fresh "
-                           "--run-dir");
-    if (loaded.fingerprint != 0 && header_.fingerprint != 0) {
-        if (loaded.fingerprint != header_.fingerprint)
-            throw JournalError("run journal " + path_ + " measured machine fingerprint " +
-                               hex64(loaded.fingerprint) + " but this run targets " +
-                               hex64(header_.fingerprint) +
-                               "; resume on the same machine, or use a fresh --run-dir");
-    } else if (loaded.machine != header_.machine) {
-        // No content fingerprint to compare (real hardware): the machine
-        // name is the only identity available.
-        throw JournalError("run journal " + path_ + " measured machine '" + loaded.machine +
-                           "' but this run targets '" + header_.machine +
-                           "'; resume on the same machine, or use a fresh --run-dir");
-    }
-    if (loaded.cores != header_.cores || loaded.page_size != header_.page_size)
-        throw JournalError("run journal " + path_ + " measured a machine with " +
-                           std::to_string(loaded.cores) + " cores and " +
-                           std::to_string(loaded.page_size) + "-byte pages; this run's has " +
-                           std::to_string(header_.cores) + " and " +
-                           std::to_string(header_.page_size));
-
-    // Records. Anything that fails to parse from here on is a torn tail —
-    // the signature of a crash mid-append — and is discarded, not fatal:
-    // appends are serialized, so only the last record can be torn.
-    while (true) {
-        const std::size_t record_start = pos;
-        if (!next_line(text, pos, line)) {
-            dropped_torn_tail_ = record_start < text.size();
-            return;
-        }
-        if (line.empty()) continue;
-        std::istringstream fields{line};
-        std::string tag;
-        std::string phase;
-        std::size_t length = 0;
-        std::string seconds_text;
-        if (!(fields >> tag >> phase >> length >> seconds_text) || tag != "phase" ||
-            pos + length + 1 > text.size()) {
-            dropped_torn_tail_ = true;
-            return;
-        }
-        char* end = nullptr;
-        const double seconds = std::strtod(seconds_text.c_str(), &end);
-        if (end != seconds_text.c_str() + seconds_text.size()) {
-            dropped_torn_tail_ = true;
-            return;
-        }
-        std::string payload = text.substr(pos, length);
-        pos += length;
-        if (text[pos] != '\n') {
-            dropped_torn_tail_ = true;
-            return;
-        }
-        ++pos;
-        std::string commit_line;
-        if (!next_line(text, pos, commit_line)) {
-            dropped_torn_tail_ = true;
-            return;
-        }
-        std::istringstream commit_fields{commit_line};
-        std::string commit_tag;
-        std::string commit_phase;
-        std::string hash_text;
-        if (!(commit_fields >> commit_tag >> commit_phase >> hash_text) ||
-            commit_tag != "commit" || commit_phase != phase) {
-            dropped_torn_tail_ = true;
-            return;
-        }
-        const auto hash = parse_hex64(hash_text);
-        if (!hash || *hash != fnv1a64(payload)) {
-            dropped_torn_tail_ = true;
-            return;
+        const double seconds = std::strtod(record.extra.c_str(), &end);
+        if (record.extra.empty() || end != record.extra.c_str() + record.extra.size()) {
+            valid_end = record.offset;
+            break;
         }
         // Later records win: a repair rewrite never duplicates, but a
         // re-measured phase appended after a replayed one must shadow it.
-        records_.insert_or_assign(phase, Record{std::move(payload), seconds});
+        records_.insert_or_assign(record.key, Record{std::move(record.payload), seconds});
+    }
+    if (valid_end < text.size()) {
+        dropped_torn_tail_ = true;
+        truncate_torn_tail(path_, valid_end);
     }
 }
 
@@ -282,28 +349,9 @@ bool RunJournal::append(const std::string& phase, const std::string& payload,
     record += payload;
     record += '\n';
     record += "commit " + phase + ' ' + hex64(fnv1a64(payload)) + ' ' + hex64(digest) + '\n';
-
-    const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-    if (fd < 0) return false;
-    const char* data = record.data();
-    std::size_t remaining = record.size();
-    while (remaining > 0) {
-        const ssize_t n = ::write(fd, data, remaining);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            ::close(fd);
-            return false;
-        }
-        data += n;
-        remaining -= static_cast<std::size_t>(n);
-    }
-    // The fsync is the commit point: once it returns, this phase survives
-    // any crash. A torn write before it is discarded on load by the
-    // length/hash framing.
-    const bool synced = ::fsync(fd) == 0;
-    ::close(fd);
-    if (synced) records_.insert_or_assign(phase, Record{payload, seconds});
-    return synced;
+    if (!append_synced(path_, record)) return false;
+    records_.insert_or_assign(phase, Record{payload, seconds});
+    return true;
 }
 
 bool RunJournal::drop(const std::string& phase) {
@@ -316,12 +364,7 @@ bool RunJournal::drop(const std::string& phase) {
 }
 
 std::string RunJournal::serialize_all() const {
-    std::string out = std::string(kHeader) + '\n';
-    out += "options = " + hex64(header_.options_hash) + '\n';
-    out += "fingerprint = " + hex64(header_.fingerprint) + '\n';
-    out += "machine = " + header_.machine + '\n';
-    out += "cores = " + std::to_string(header_.cores) + '\n';
-    out += "page_size = " + std::to_string(header_.page_size) + '\n';
+    std::string out = header_text(kRunHeader, header_);
     for (const auto& [phase, record] : records_) {
         out += "phase " + phase + ' ' + std::to_string(record.payload.size()) + ' ' +
                fmt_seconds(record.seconds) + '\n';
@@ -331,6 +374,63 @@ std::string RunJournal::serialize_all() const {
                '\n';
     }
     return out;
+}
+
+std::string SeriesJournal::file_path(const std::string& run_dir) {
+    return run_dir + "/" + kSeriesFileName;
+}
+
+SeriesJournal::SeriesJournal(const std::string& run_dir, const Header& header, Mode mode)
+    : path_(file_path(run_dir)), header_(header) {
+    if (!create_directories(run_dir))
+        throw JournalError("cannot create run directory " + run_dir);
+
+    std::string text;
+    const FileRead read = read_file(path_, &text);
+    if (read == FileRead::Error)
+        throw JournalError("cannot read series journal " + path_);
+
+    if (mode == Mode::Resume && read == FileRead::Ok) {
+        load(text);
+        return;
+    }
+    if (!write_file_atomic(path_, header_text(kSeriesHeader, header_)))
+        throw JournalError("cannot write series journal " + path_);
+}
+
+void SeriesJournal::load(const std::string& text) {
+    std::size_t pos = 0;
+    const Header loaded = parse_header(text, pos, kSeriesHeader, path_);
+    check_compatible(loaded, header_, path_);
+
+    std::vector<FramedRecord> framed;
+    std::size_t valid_end = read_framed_records(text, pos, "sample", framed);
+    for (FramedRecord& record : framed) {
+        // Ticks are positional: sample k must carry key k. A mismatch
+        // means the stream was edited or corrupted mid-file — everything
+        // from here on is untrustworthy and is discarded like a torn tail.
+        if (record.key != std::to_string(samples_.size())) {
+            valid_end = record.offset;
+            break;
+        }
+        samples_.push_back(std::move(record.payload));
+    }
+    if (valid_end < text.size()) {
+        dropped_torn_tail_ = true;
+        truncate_torn_tail(path_, valid_end);
+    }
+}
+
+bool SeriesJournal::append(const std::string& payload) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::string tick = std::to_string(samples_.size());
+    std::string record = "sample " + tick + ' ' + std::to_string(payload.size()) + '\n';
+    record += payload;
+    record += '\n';
+    record += "commit " + tick + ' ' + hex64(fnv1a64(payload)) + '\n';
+    if (!append_synced(path_, record)) return false;
+    samples_.push_back(payload);
+    return true;
 }
 
 }  // namespace servet::core

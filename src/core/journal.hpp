@@ -19,6 +19,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/suite.hpp"
 
@@ -108,6 +109,56 @@ class RunJournal {
     std::string path_;
     Header header_;
     std::map<std::string, Record> records_;
+    bool dropped_torn_tail_ = false;
+    std::mutex mutex_;
+};
+
+/// Append-only time-series journal: the run journal's framed-record
+/// format with a `sample` record kind. `servet watch` commits one sample
+/// per re-measurement tick — fsync'd, length- and hash-framed exactly
+/// like a phase record, so a watch killed mid-append loses at most the
+/// in-flight tick: the torn tail is discarded (and physically truncated)
+/// on the next open, and the resumed watch continues at the next tick.
+/// Ticks are positional — sample k is the k-th committed record — which
+/// keeps the stream append-only and byte-comparable across resumes.
+class SeriesJournal {
+  public:
+    /// Same identity block as the run journal; an existing series whose
+    /// options hash or machine identity disagrees is refused.
+    using Header = RunJournal::Header;
+    using Mode = RunJournal::Mode;
+
+    /// Series file inside a run directory.
+    [[nodiscard]] static std::string file_path(const std::string& run_dir);
+
+    /// Opens the series under `run_dir` (created if missing). Resume
+    /// loads committed samples and verifies `header` compatibility;
+    /// throws JournalError on a malformed header, an identity mismatch,
+    /// or any I/O failure. A torn trailing record (crash mid-append) is
+    /// discarded and truncated away, never fatal.
+    SeriesJournal(const std::string& run_dir, const Header& header, Mode mode);
+
+    SeriesJournal(const SeriesJournal&) = delete;
+    SeriesJournal& operator=(const SeriesJournal&) = delete;
+
+    /// Committed sample payloads, in tick order (index == tick).
+    [[nodiscard]] const std::vector<std::string>& samples() const { return samples_; }
+    [[nodiscard]] const Header& header() const { return header_; }
+
+    /// True when opening discarded a torn trailing record.
+    [[nodiscard]] bool dropped_torn_tail() const { return dropped_torn_tail_; }
+
+    /// Appends the next sample (tick = samples().size()) and fsyncs it.
+    /// Returns false on I/O failure — the watch carries on, the tick just
+    /// loses crash protection.
+    [[nodiscard]] bool append(const std::string& payload);
+
+  private:
+    void load(const std::string& text);
+
+    std::string path_;
+    Header header_;
+    std::vector<std::string> samples_;
     bool dropped_torn_tail_ = false;
     std::mutex mutex_;
 };

@@ -1,6 +1,10 @@
 #include "obs/metrics.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 
@@ -131,9 +135,13 @@ std::string Registry::deterministic_json() const {
     return out;
 }
 
-std::string Registry::to_json() const {
+std::string Registry::to_json(bool stable_only) const {
     std::string out = "{\n  \"deterministic\": ";
     out += deterministic_json();
+    if (stable_only) {
+        out += "\n}\n";
+        return out;
+    }
     out += ",\n  \"volatile\": {";
 
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -212,11 +220,41 @@ Histogram& histogram(const std::string& name, Stability stability,
     return registry().histogram(name, stability, std::move(bounds));
 }
 
-bool write_metrics_json(const std::string& path) {
+std::string Registry::series_line(std::uint64_t tick, std::uint64_t fingerprint) const {
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "{\"tick\": %llu, \"fingerprint\": \"%016llx\", ",
+                  static_cast<unsigned long long>(tick),
+                  static_cast<unsigned long long>(fingerprint));
+    return std::string(prefix) + "\"metrics\": " + deterministic_json() + '}';
+}
+
+bool write_metrics_json(const std::string& path, bool stable_only) {
     std::ofstream out(path);
     if (!out) return false;
-    out << registry().to_json();
+    out << registry().to_json(stable_only);
     return static_cast<bool>(out);
+}
+
+bool write_metrics_series_json(const std::string& path, std::uint64_t tick,
+                               std::uint64_t fingerprint) {
+    const std::string line = registry().series_line(tick, fingerprint) + '\n';
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    const char* data = line.data();
+    std::size_t remaining = line.size();
+    while (remaining > 0) {
+        const ssize_t n = ::write(fd, data, remaining);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            return false;
+        }
+        data += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    return synced;
 }
 
 }  // namespace servet::obs

@@ -106,8 +106,18 @@ class Registry {
 
     /// Full JSON export: {"deterministic": {counters, histograms},
     /// "volatile": {counters, gauges, histograms}}. Keys sorted, so equal
-    /// metric values render byte-identically.
-    [[nodiscard]] std::string to_json() const;
+    /// metric values render byte-identically. With `stable_only`, the
+    /// "volatile" object is omitted entirely and the export is diffable
+    /// across runs (Volatile values never repeat by definition).
+    [[nodiscard]] std::string to_json(bool stable_only = false) const;
+
+    /// One JSON line of a metrics time series: {"tick": N, "fingerprint":
+    /// "<hex64>", "metrics": <deterministic object>}. Stable metrics
+    /// only, no trailing newline — the byte-comparable feed a fleet
+    /// aggregator ingests per watch tick, keyed by the measured machine's
+    /// content fingerprint.
+    [[nodiscard]] std::string series_line(std::uint64_t tick,
+                                          std::uint64_t fingerprint) const;
 
     /// Only the "deterministic" object of to_json() — the byte-comparable
     /// part of a metrics export.
@@ -149,7 +159,15 @@ class Registry {
 [[nodiscard]] Histogram& histogram(const std::string& name, Stability stability,
                                    std::vector<double> bounds);
 
-/// Writes registry().to_json() to `path`. False on I/O failure.
-[[nodiscard]] bool write_metrics_json(const std::string& path);
+/// Writes registry().to_json(stable_only) to `path`. False on I/O
+/// failure.
+[[nodiscard]] bool write_metrics_json(const std::string& path, bool stable_only = false);
+
+/// Appends registry().series_line(tick, fingerprint) + '\n' to the
+/// JSON-lines stream at `path` (created if absent) and fsyncs it, so a
+/// crash never tears the line a fleet aggregator tails. False on I/O
+/// failure.
+[[nodiscard]] bool write_metrics_series_json(const std::string& path, std::uint64_t tick,
+                                             std::uint64_t fingerprint);
 
 }  // namespace servet::obs

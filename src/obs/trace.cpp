@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "base/clock.hpp"
+#include "base/log.hpp"
 
 namespace servet::obs {
 
@@ -50,11 +51,22 @@ std::string Tracer::chrome_trace_json() const {
         out += line;
     }
     out += events.empty() ? "]" : "\n]";
+    // droppedEvents in the footer makes a truncated trace self-describing:
+    // a viewer (or a test) can tell "complete" from "buffers overflowed"
+    // without access to the producing process.
+    std::snprintf(line, sizeof line, ", \"droppedEvents\": %llu",
+                  static_cast<unsigned long long>(dropped()));
+    out += line;
     out += ", \"displayTimeUnit\": \"ms\"}\n";
     return out;
 }
 
 bool Tracer::write_chrome_trace(const std::string& path) const {
+    const std::uint64_t lost = dropped();
+    if (lost > 0)
+        SERVET_LOG_WARN("trace: %llu span(s) dropped on full thread buffers; the "
+                        "export at %s is truncated (raise Tracer::set_thread_capacity)",
+                        static_cast<unsigned long long>(lost), path.c_str());
     std::ofstream out(path);
     if (!out) return false;
     out << chrome_trace_json();

@@ -1,0 +1,175 @@
+#include "watch/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.hpp"
+#include "stats/summary.hpp"
+
+namespace servet::watch {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+const char* verdict_code(Verdict verdict) {
+    switch (verdict) {
+        case Verdict::None: return "drift.none";
+        case Verdict::Suspect: return "drift.suspect";
+        case Verdict::Confirmed: return "drift.confirmed";
+    }
+    return "drift.none";
+}
+
+Verdict worse(Verdict a, Verdict b) { return a < b ? b : a; }
+
+double drift_score(double value, double center, double spread,
+                   const DriftOptions& options) {
+    // The floors keep a noiseless baseline (MAD exactly 0 on a
+    // deterministic simulator, or all-identical samples anywhere) from
+    // dividing by zero: it degrades to a relative band around the median.
+    const double scale = std::max({spread, options.rel_floor * std::fabs(center),
+                                   options.abs_floor});
+    return std::fabs(value - center) / scale;
+}
+
+std::map<std::string, double> profile_metrics(const core::Profile& profile) {
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < profile.caches.size(); ++i)
+        out["cache.L" + std::to_string(i + 1) + ".size"] =
+            static_cast<double>(profile.caches[i].size);
+    if (profile.memory.reference_bandwidth > 0)
+        out["memory.reference_bandwidth"] = profile.memory.reference_bandwidth;
+    for (std::size_t t = 0; t < profile.memory.tiers.size(); ++t)
+        out["memory.tier" + std::to_string(t) + ".bandwidth"] =
+            profile.memory.tiers[t].bandwidth;
+    for (std::size_t l = 0; l < profile.comm.size(); ++l)
+        out["comm.layer" + std::to_string(l) + ".latency"] = profile.comm[l].latency;
+    return out;
+}
+
+DriftDetector::DriftDetector(DriftOptions options) : options_(std::move(options)) {
+    SERVET_CHECK(options_.baseline_window >= 1);
+    SERVET_CHECK(options_.min_baseline >= 1);
+    SERVET_CHECK(options_.confirm_after >= 1);
+    SERVET_CHECK(options_.suspect_score > 0 && options_.confirm_score >= options_.suspect_score);
+}
+
+std::vector<MetricVerdict> DriftDetector::observe(
+    const std::map<std::string, double>& sample) {
+    std::vector<MetricVerdict> out;
+
+    // A metric the baseline knows but the sample lost is the strongest
+    // drift there is: a whole measurement disappeared (a cache level no
+    // longer detected, a comm layer gone).
+    for (const auto& [name, baseline] : baselines_) {
+        if (sample.count(name) != 0) continue;
+        MetricVerdict verdict;
+        verdict.metric = name;
+        verdict.value = kNaN;
+        verdict.baseline = baseline.values.empty() ? kNaN : stats::median(
+            {baseline.values.begin(), baseline.values.end()});
+        verdict.score = kNaN;
+        verdict.verdict = Verdict::Confirmed;
+        out.push_back(std::move(verdict));
+    }
+
+    for (const auto& [name, value] : sample) {
+        Baseline& baseline = baselines_[name];
+        MetricVerdict verdict;
+        verdict.metric = name;
+        verdict.value = value;
+
+        if (baseline.values.size() < options_.min_baseline) {
+            // Calibration: too few observations to judge against. Absorb
+            // unconditionally and report in-band.
+            verdict.baseline =
+                baseline.values.empty()
+                    ? value
+                    : stats::median({baseline.values.begin(), baseline.values.end()});
+            verdict.score = 0;
+            verdict.verdict = Verdict::None;
+        } else {
+            const std::vector<double> window(baseline.values.begin(),
+                                             baseline.values.end());
+            const double center = stats::median(window);
+            const double spread = stats::mad(window);
+            verdict.baseline = center;
+            verdict.score = drift_score(value, center, spread, options_);
+            if (verdict.score < options_.suspect_score) {
+                verdict.verdict = Verdict::None;
+                baseline.out_of_band = 0;
+            } else {
+                ++baseline.out_of_band;
+                verdict.verdict = (verdict.score >= options_.confirm_score ||
+                                   baseline.out_of_band >= options_.confirm_after)
+                                      ? Verdict::Confirmed
+                                      : Verdict::Suspect;
+            }
+        }
+
+        // Only in-band values feed the baseline: a drifted machine must
+        // keep being reported, not quietly become the new normal. (A
+        // deliberate re-baseline is a fresh --run-dir.)
+        if (verdict.verdict == Verdict::None) {
+            baseline.values.push_back(value);
+            if (baseline.values.size() > options_.baseline_window)
+                baseline.values.pop_front();
+        }
+        worst_ = worse(worst_, verdict.verdict);
+        out.push_back(std::move(verdict));
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const MetricVerdict& a, const MetricVerdict& b) {
+                  return a.metric < b.metric;
+              });
+    return out;
+}
+
+std::vector<MetricVerdict> diff_profiles(const core::Profile& baseline,
+                                         const core::Profile& current,
+                                         const DriftOptions& options) {
+    const std::map<std::string, double> old_metrics = profile_metrics(baseline);
+    const std::map<std::string, double> new_metrics = profile_metrics(current);
+
+    std::vector<MetricVerdict> out;
+    for (const auto& [name, old_value] : old_metrics) {
+        MetricVerdict verdict;
+        verdict.metric = name;
+        verdict.baseline = old_value;
+        const auto it = new_metrics.find(name);
+        if (it == new_metrics.end()) {
+            verdict.value = kNaN;
+            verdict.score = kNaN;
+            verdict.verdict = Verdict::Confirmed;
+        } else {
+            verdict.value = it->second;
+            verdict.score = drift_score(it->second, old_value, 0.0, options);
+            verdict.verdict = verdict.score >= options.confirm_score ? Verdict::Confirmed
+                              : verdict.score >= options.suspect_score ? Verdict::Suspect
+                                                                       : Verdict::None;
+        }
+        out.push_back(std::move(verdict));
+    }
+    for (const auto& [name, new_value] : new_metrics) {
+        if (old_metrics.count(name) != 0) continue;
+        MetricVerdict verdict;
+        verdict.metric = name;
+        verdict.value = new_value;
+        verdict.baseline = kNaN;
+        verdict.score = kNaN;
+        verdict.verdict = Verdict::Confirmed;
+        out.push_back(std::move(verdict));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricVerdict& a, const MetricVerdict& b) {
+                  return a.metric < b.metric;
+              });
+    return out;
+}
+
+}  // namespace servet::watch

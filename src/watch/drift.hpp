@@ -1,0 +1,122 @@
+// MAD-based drift detection over profile metrics. A Servet profile is
+// measured once and consulted forever (Section IV-E), but measured
+// performance drifts — thermals, firmware updates, background load — and
+// a stale profile silently mistunes every consumer. This header is the
+// judgement layer of `servet watch`: it flattens a profile (or a watch
+// sample) into named scalar metrics, scores each new value against a
+// rolling baseline with the robust score |x - median| / MAD, and emits
+// stable machine-readable verdicts:
+//
+//   drift.none       in band
+//   drift.suspect    one out-of-band observation (could be a one-off)
+//   drift.confirmed  far out of band, or out of band repeatedly
+//
+// The scale is floored at max(MAD, rel_floor*|median|, abs_floor): a
+// deterministic simulator's baseline has MAD exactly 0, and a noiseless
+// baseline must widen to a relative band rather than divide by zero.
+// Everything here is pure arithmetic over already-measured values, so
+// verdicts inherit the suite's determinism contract — a --jobs 4 watch
+// judges identically to --jobs 1.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+
+namespace servet::watch {
+
+enum class Verdict { None, Suspect, Confirmed };
+
+/// Stable machine-readable code: "drift.none", "drift.suspect",
+/// "drift.confirmed". Scripts and CI match on these, never on prose.
+[[nodiscard]] const char* verdict_code(Verdict verdict);
+
+/// The worse of two verdicts (None < Suspect < Confirmed).
+[[nodiscard]] Verdict worse(Verdict a, Verdict b);
+
+struct DriftOptions {
+    /// Rolling baseline size per metric; older samples age out.
+    std::size_t baseline_window = 8;
+    /// Observations a metric's baseline needs before it is judged at all
+    /// — the first ticks of a fresh watch are calibration, not drift.
+    std::size_t min_baseline = 3;
+    /// Robust score at which a single observation is Suspect. 4 is well
+    /// clear of Gaussian noise (MAD is consistent with sigma).
+    double suspect_score = 4.0;
+    /// Robust score at which a single observation is Confirmed outright.
+    double confirm_score = 16.0;
+    /// Consecutive out-of-band (>= suspect) observations that escalate a
+    /// Suspect metric to Confirmed even below confirm_score.
+    int confirm_after = 2;
+    /// Scale floor as a fraction of |baseline median|: a noiseless
+    /// (MAD = 0) baseline still tolerates this relative deviation.
+    double rel_floor = 0.01;
+    /// Absolute scale floor, guarding metrics whose median is 0 too.
+    double abs_floor = 1e-12;
+};
+
+/// One metric's judgement at one observation.
+struct MetricVerdict {
+    std::string metric;
+    double value = 0;     ///< the observed value (NaN: absent from sample)
+    double baseline = 0;  ///< baseline median it was judged against (NaN: absent)
+    double score = 0;     ///< |value - baseline| / scale
+    Verdict verdict = Verdict::None;
+};
+
+/// The robust score: |value - center| / max(spread, rel_floor*|center|,
+/// abs_floor). `spread` is the baseline MAD (pass 0 for a single-point
+/// baseline, e.g. profile-vs-profile diffs).
+[[nodiscard]] double drift_score(double value, double center, double spread,
+                                 const DriftOptions& options);
+
+/// Flattens the measured quantities of a profile into named metrics:
+/// cache.L<k>.size, memory.reference_bandwidth, memory.tier<t>.bandwidth,
+/// comm.layer<l>.latency. Only sections the profile carries appear.
+[[nodiscard]] std::map<std::string, double> profile_metrics(const core::Profile& profile);
+
+/// Per-metric rolling-baseline detector. Feed it one sample (metric ->
+/// value) per tick; it judges each metric against its own baseline, then
+/// absorbs in-band values (only those — a drifted value must not drag
+/// the baseline toward itself). Deterministic: same sample sequence,
+/// same verdicts.
+class DriftDetector {
+  public:
+    explicit DriftDetector(DriftOptions options = {});
+
+    /// Judge one tick's sample. Returns one MetricVerdict per metric,
+    /// sorted by metric name. A metric seen in earlier ticks but absent
+    /// from this sample is Confirmed (a measurement that disappeared is
+    /// drift of the strongest kind); a brand-new metric starts a fresh
+    /// baseline with verdict None.
+    std::vector<MetricVerdict> observe(const std::map<std::string, double>& sample);
+
+    /// Worst verdict emitted over the detector's lifetime.
+    [[nodiscard]] Verdict worst() const { return worst_; }
+
+  private:
+    struct Baseline {
+        std::deque<double> values;
+        int out_of_band = 0;  ///< consecutive >= suspect observations
+    };
+
+    DriftOptions options_;
+    std::map<std::string, Baseline> baselines_;
+    Verdict worst_ = Verdict::None;
+};
+
+/// Profile-vs-profile diff (`servet validate --against OLD.profile`):
+/// judges every metric of `current` against `baseline` with the same
+/// scoring and codes as the rolling detector, treating the old profile
+/// as a single-point baseline (spread 0, so the rel_floor band applies).
+/// Metrics present in only one profile are Confirmed, with the absent
+/// side reported as NaN.
+[[nodiscard]] std::vector<MetricVerdict> diff_profiles(const core::Profile& baseline,
+                                                       const core::Profile& current,
+                                                       const DriftOptions& options);
+
+}  // namespace servet::watch

@@ -1,0 +1,195 @@
+#include "watch/watch.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/hash.hpp"
+#include "base/log.hpp"
+#include "core/journal.hpp"
+#include "msg/faulty_network.hpp"
+#include "obs/metrics.hpp"
+#include "platform/decorators.hpp"
+#include "stats/summary.hpp"
+
+namespace servet::watch {
+
+namespace {
+
+std::string fmt_hexfloat(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+/// The metrics one tick contributes: the flattened profile plus summary
+/// statistics of the raw mcalibrator curve. The curve statistics matter
+/// because they see value shifts the structural detectors absorb — a
+/// uniform cycle inflation leaves detected cache *sizes* unchanged while
+/// the curve's level moves immediately.
+std::map<std::string, double> sample_metrics(const core::SuiteResult& result,
+                                             const Platform& platform) {
+    const core::Profile profile = result.to_profile(
+        platform.name(), platform.core_count(), platform.page_size());
+    std::map<std::string, double> metrics = profile_metrics(profile);
+    if (!result.curve.cycles.empty()) {
+        const std::vector<double> cycles(result.curve.cycles.begin(),
+                                         result.curve.cycles.end());
+        metrics["mcal.cycles.median"] = stats::median(cycles);
+        metrics["mcal.cycles.min"] = stats::min_value(cycles);
+        metrics["mcal.cycles.max"] = stats::max_value(cycles);
+    }
+    return metrics;
+}
+
+}  // namespace
+
+std::uint64_t watch_options_hash(const WatchOptions& options) {
+    Fingerprint fp;
+    fp.add(std::string_view("watch-options 1"));
+    fp.add(core::suite_options_hash(options.suite));
+    fp.add(options.perturb_tick);
+    fp.add(options.perturb.fingerprint());
+    return fp.value();
+}
+
+std::string encode_sample(const std::map<std::string, double>& metrics) {
+    std::string out;
+    for (const auto& [name, value] : metrics)
+        out += "metric " + name + ' ' + fmt_hexfloat(value) + '\n';
+    return out;
+}
+
+std::optional<std::map<std::string, double>> decode_sample(const std::string& text) {
+    std::map<std::string, double> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) nl = text.size();
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty()) continue;
+        const std::size_t first = line.find(' ');
+        const std::size_t second = line.find(' ', first + 1);
+        if (first == std::string::npos || second == std::string::npos ||
+            line.substr(0, first) != "metric")
+            return std::nullopt;
+        const std::string name = line.substr(first + 1, second - first - 1);
+        const std::string value_text = line.substr(second + 1);
+        char* end = nullptr;
+        const double value = std::strtod(value_text.c_str(), &end);
+        if (value_text.empty() || end != value_text.c_str() + value_text.size())
+            return std::nullopt;
+        if (!out.emplace(name, value).second) return std::nullopt;
+    }
+    return out;
+}
+
+WatchResult run_watch(Platform& platform, msg::Network* network,
+                      const WatchOptions& options) {
+    SERVET_CHECK_MSG(!options.run_dir.empty(), "watch requires a run directory");
+    SERVET_CHECK_MSG(options.suite.run_dir.empty() && !options.suite.resume,
+                     "the suite inside a watch never journals phases; the series "
+                     "journal is the watch's persistence");
+    SERVET_CHECK(options.ticks >= 0);
+
+    core::SeriesJournal::Header header;
+    header.options_hash = watch_options_hash(options);
+    header.fingerprint = platform.fingerprint();
+    header.machine = platform.name();
+    header.cores = platform.core_count();
+    header.page_size = platform.page_size();
+    // Resume is the only mode a watch opens with: an absent series is a
+    // fresh one, an existing compatible series seeds the baselines.
+    core::SeriesJournal journal(options.run_dir, header, core::SeriesJournal::Mode::Resume);
+
+    WatchResult result;
+    result.dropped_torn_tail = journal.dropped_torn_tail();
+    if (result.dropped_torn_tail)
+        SERVET_LOG_WARN("watch: series in %s had a torn trailing record (crash "
+                        "mid-tick); it was discarded and the tick re-measures",
+                        options.run_dir.c_str());
+
+    // Replay: committed samples pass through the detector exactly as they
+    // did when measured, rebuilding the rolling baselines (and the worst
+    // verdict) deterministically.
+    DriftDetector detector(options.drift);
+    for (std::size_t tick = 0; tick < journal.samples().size(); ++tick) {
+        const auto metrics = decode_sample(journal.samples()[tick]);
+        if (!metrics)
+            throw core::JournalError("series journal in " + options.run_dir +
+                                     " holds an undecodable sample at tick " +
+                                     std::to_string(tick));
+        TickReport report;
+        report.tick = tick;
+        report.replayed = true;
+        report.verdicts = detector.observe(*metrics);
+        result.reports.push_back(std::move(report));
+        ++result.replayed;
+    }
+    if (result.replayed > 0)
+        SERVET_LOG_INFO("watch: replayed %zu committed tick(s) from %s", result.replayed,
+                        options.run_dir.c_str());
+
+    // The perturbed substrate, built once and swapped in from the onset
+    // tick: probability-1 plans shift every measured value by a fixed
+    // factor, so drift in tests is deterministic — and fault decisions
+    // key on task identity, not schedule, so parallel ≡ serial holds
+    // through the perturbation (the PR that added the injectors tests
+    // exactly that).
+    std::unique_ptr<FlakyPlatform> perturbed_platform;
+    std::unique_ptr<msg::FaultyNetwork> perturbed_network;
+    const bool can_perturb = options.perturb_tick >= 0 && options.perturb.active();
+    if (can_perturb) {
+        if (options.perturb.any_platform_faults())
+            perturbed_platform = std::make_unique<FlakyPlatform>(platform, options.perturb);
+        if (network != nullptr && options.perturb.any_network_faults())
+            perturbed_network =
+                std::make_unique<msg::FaultyNetwork>(*network, options.perturb);
+    }
+
+    for (int i = 0; i < options.ticks; ++i) {
+        const std::size_t tick = journal.samples().size();
+        const bool perturb = can_perturb &&
+                             tick >= static_cast<std::size_t>(options.perturb_tick);
+        Platform& tick_platform =
+            perturb && perturbed_platform ? *perturbed_platform : platform;
+        msg::Network* tick_network =
+            perturb && perturbed_network ? perturbed_network.get() : network;
+
+        core::SuiteOptions suite = options.suite;
+        const core::SuiteResult measured = run_suite(tick_platform, tick_network, suite);
+        for (const core::PhaseError& error : measured.errors)
+            SERVET_LOG_WARN("watch: tick %zu phase %s failed: %s", tick,
+                            error.phase.c_str(), error.message.c_str());
+
+        const std::map<std::string, double> metrics = sample_metrics(measured, platform);
+        if (!journal.append(encode_sample(metrics)))
+            SERVET_LOG_ERROR("watch: cannot commit tick %zu to %s; this tick loses "
+                             "crash protection",
+                             tick, options.run_dir.c_str());
+        if (!options.series_json.empty() &&
+            !obs::write_metrics_series_json(options.series_json, tick, header.fingerprint))
+            SERVET_LOG_WARN("watch: cannot append tick %zu to metrics series %s", tick,
+                            options.series_json.c_str());
+
+        TickReport report;
+        report.tick = tick;
+        report.verdicts = detector.observe(metrics);
+        result.reports.push_back(std::move(report));
+        ++result.measured;
+
+        if (options.interval_seconds > 0 && i + 1 < options.ticks)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(options.interval_seconds));
+    }
+
+    result.worst = detector.worst();
+    return result;
+}
+
+}  // namespace servet::watch

@@ -1,0 +1,104 @@
+// Continuous profiling: `servet watch` re-measures a designated fast
+// subset of the suite periodically, commits every tick's metrics to an
+// append-only time-series journal under --run-dir (core/journal.hpp's
+// framed-record format, `sample` record kind), and judges each tick
+// against a rolling baseline with the MAD-based detector in
+// watch/drift.hpp. The loop is crash-safe by construction — a watch
+// killed mid-tick loses only the in-flight sample (torn tail discarded
+// on the next open) and resumes at the next tick with its baselines
+// rebuilt by replaying the committed samples through the detector — and
+// deterministic end to end on simulated platforms: samples carry no wall
+// clock (the tick index is the time axis), doubles travel as hexfloats,
+// and measured values are schedule-invariant, so a --jobs 4 watch writes
+// a byte-identical series to --jobs 1.
+//
+// Drift is driven deterministically in tests and CI by perturbing the
+// measurement substrate mid-watch: from `perturb_tick` on, the platform
+// and network are wrapped in the fault injectors (FlakyPlatform /
+// FaultyNetwork) with the given plan — a probability-1 spike/delay plan
+// shifts every measured value by a fixed factor, reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/fault_plan.hpp"
+#include "core/suite.hpp"
+#include "msg/network.hpp"
+#include "platform/platform.hpp"
+#include "watch/drift.hpp"
+
+namespace servet::watch {
+
+struct WatchOptions {
+    /// Suite configuration of the re-measured subset. The caller chooses
+    /// the phases (run_* flags); run_dir/resume must stay unset here —
+    /// each tick is a fresh measurement, and the series journal below is
+    /// the watch's own persistence.
+    core::SuiteOptions suite;
+    /// Directory holding the series journal (required).
+    std::string run_dir;
+    /// New ticks to measure in this invocation (committed samples from a
+    /// previous watch in the same run_dir replay first and only seed the
+    /// baselines — they do not count against this budget).
+    int ticks = 1;
+    /// Sleep between ticks in seconds (0 = back-to-back; tests and CI).
+    double interval_seconds = 0;
+    /// From this global tick index on, measure through the fault
+    /// injectors configured by `perturb` (-1 = never). Deterministic
+    /// drift for tests and the CI drift-smoke job.
+    int perturb_tick = -1;
+    FaultPlan perturb;
+    DriftOptions drift;
+    /// When non-empty, append one JSON line per tick (obs metrics
+    /// registry, fingerprint-tagged) to this file — the fleet-aggregator
+    /// feed (obs::write_metrics_series_json).
+    std::string series_json;
+};
+
+/// One tick's judgement.
+struct TickReport {
+    std::size_t tick = 0;
+    /// Per-metric verdicts, sorted by metric name.
+    std::vector<MetricVerdict> verdicts;
+    /// True when this tick was replayed from the series journal (resume)
+    /// rather than measured by this invocation.
+    bool replayed = false;
+};
+
+struct WatchResult {
+    std::vector<TickReport> reports;
+    /// Worst verdict over every tick, replayed and fresh.
+    Verdict worst = Verdict::None;
+    std::size_t replayed = 0;  ///< ticks restored from the series journal
+    std::size_t measured = 0;  ///< ticks measured by this invocation
+    /// The series journal had a torn trailing record (crash mid-tick).
+    bool dropped_torn_tail = false;
+};
+
+/// Identity hash of a watch configuration, stored in the series journal
+/// header: the suite options hash plus everything else that changes
+/// measured values (the perturbation plan and its onset tick).
+/// Scheduling knobs — jobs, ticks, interval, drift thresholds — are
+/// excluded: a series may legally be resumed with more ticks, different
+/// parallelism, or re-judged under new thresholds.
+[[nodiscard]] std::uint64_t watch_options_hash(const WatchOptions& options);
+
+/// Encode one tick's metrics as a journal sample payload ("metric <name>
+/// <%a-value>" lines; bit-exact round-trip). Exposed for tests.
+[[nodiscard]] std::string encode_sample(const std::map<std::string, double>& metrics);
+[[nodiscard]] std::optional<std::map<std::string, double>> decode_sample(
+    const std::string& text);
+
+/// Run the watch loop: resume the series journal under run_dir, replay
+/// committed samples through the drift detector, then measure and commit
+/// `ticks` new samples. Throws core::JournalError when the existing
+/// series is incompatible with this configuration (different options
+/// hash or machine identity).
+[[nodiscard]] WatchResult run_watch(Platform& platform, msg::Network* network,
+                                    const WatchOptions& options);
+
+}  // namespace servet::watch

@@ -1,0 +1,204 @@
+// The judgement layer of `servet watch`: the robust score, the rolling
+// detector's calibration/absorption/escalation rules, and the
+// profile-vs-profile diff behind `servet validate --against`.
+#include "watch/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace servet::watch {
+namespace {
+
+TEST(Verdict, CodesAreStable) {
+    EXPECT_STREQ(verdict_code(Verdict::None), "drift.none");
+    EXPECT_STREQ(verdict_code(Verdict::Suspect), "drift.suspect");
+    EXPECT_STREQ(verdict_code(Verdict::Confirmed), "drift.confirmed");
+}
+
+TEST(Verdict, WorseOrdersNoneSuspectConfirmed) {
+    EXPECT_EQ(worse(Verdict::None, Verdict::Suspect), Verdict::Suspect);
+    EXPECT_EQ(worse(Verdict::Confirmed, Verdict::Suspect), Verdict::Confirmed);
+    EXPECT_EQ(worse(Verdict::None, Verdict::None), Verdict::None);
+}
+
+TEST(DriftScore, ZeroSpreadFallsBackToRelativeBand) {
+    const DriftOptions options;  // rel_floor = 0.01
+    // A deterministic baseline has MAD exactly 0: the scale must widen to
+    // rel_floor * |center|, never divide by zero.
+    const double score = drift_score(104.0, 100.0, 0.0, options);
+    EXPECT_TRUE(std::isfinite(score));
+    EXPECT_NEAR(score, 4.0, 1e-12);
+}
+
+TEST(DriftScore, ZeroCenterFallsBackToAbsoluteFloor) {
+    const DriftOptions options;  // abs_floor = 1e-12
+    const double score = drift_score(2e-12, 0.0, 0.0, options);
+    EXPECT_TRUE(std::isfinite(score));
+    EXPECT_NEAR(score, 2.0, 1e-9);
+}
+
+TEST(DriftScore, LargeSpreadDominatesFloors) {
+    const DriftOptions options;
+    EXPECT_NEAR(drift_score(110.0, 100.0, 5.0, options), 2.0, 1e-12);
+}
+
+std::map<std::string, double> one_metric(double value) {
+    return {{"m", value}};
+}
+
+TEST(DriftDetector, CalibrationTicksAreNeverJudged) {
+    DriftDetector detector;  // min_baseline = 3
+    for (int tick = 0; tick < 3; ++tick) {
+        // Wildly different values: with a baseline still calibrating they
+        // must all come back None.
+        const auto verdicts = detector.observe(one_metric(tick == 0 ? 1.0 : 1000.0 * tick));
+        ASSERT_EQ(verdicts.size(), 1u);
+        EXPECT_EQ(verdicts[0].verdict, Verdict::None) << "tick " << tick;
+    }
+}
+
+TEST(DriftDetector, IdenticalBaselineStillToleratesRelativeBand) {
+    DriftDetector detector;
+    for (int tick = 0; tick < 4; ++tick)
+        detector.observe(one_metric(100.0));  // MAD = 0
+    // Within rel_floor of the median: in band despite the zero spread.
+    const auto ok = detector.observe(one_metric(100.5));
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok[0].verdict, Verdict::None);
+}
+
+TEST(DriftDetector, FarOutlierConfirmsOutright) {
+    DriftDetector detector;
+    for (int tick = 0; tick < 4; ++tick) detector.observe(one_metric(100.0));
+    const auto verdicts = detector.observe(one_metric(400.0));  // score 300
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].verdict, Verdict::Confirmed);
+    EXPECT_GT(verdicts[0].score, DriftOptions{}.confirm_score);
+    EXPECT_EQ(detector.worst(), Verdict::Confirmed);
+}
+
+TEST(DriftDetector, RepeatedSuspectEscalatesToConfirmed) {
+    DriftOptions options;
+    options.confirm_after = 2;
+    DriftDetector detector(options);
+    for (int tick = 0; tick < 4; ++tick) detector.observe(one_metric(100.0));
+    // Score 8: above suspect (4), below confirm (16).
+    const auto first = detector.observe(one_metric(108.0));
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].verdict, Verdict::Suspect);
+    const auto second = detector.observe(one_metric(108.0));
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].verdict, Verdict::Confirmed);
+}
+
+TEST(DriftDetector, InBandObservationResetsEscalation) {
+    DriftOptions options;
+    options.confirm_after = 2;
+    DriftDetector detector(options);
+    for (int tick = 0; tick < 4; ++tick) detector.observe(one_metric(100.0));
+    EXPECT_EQ(detector.observe(one_metric(108.0))[0].verdict, Verdict::Suspect);
+    EXPECT_EQ(detector.observe(one_metric(100.0))[0].verdict, Verdict::None);
+    // The counter restarted: another single excursion is Suspect again.
+    EXPECT_EQ(detector.observe(one_metric(108.0))[0].verdict, Verdict::Suspect);
+}
+
+TEST(DriftDetector, DriftedValuesDoNotBecomeTheBaseline) {
+    DriftDetector detector;
+    for (int tick = 0; tick < 4; ++tick) detector.observe(one_metric(100.0));
+    // A long run of drifted values must keep judging against the original
+    // baseline — drift never becomes the new normal.
+    for (int tick = 0; tick < 20; ++tick) {
+        const auto verdicts = detector.observe(one_metric(400.0));
+        ASSERT_EQ(verdicts.size(), 1u);
+        EXPECT_EQ(verdicts[0].verdict, Verdict::Confirmed) << "tick " << tick;
+        EXPECT_NEAR(verdicts[0].baseline, 100.0, 1e-12);
+    }
+}
+
+TEST(DriftDetector, MissingMetricIsConfirmedWithNaN) {
+    DriftDetector detector;
+    for (int tick = 0; tick < 4; ++tick)
+        detector.observe({{"kept", 1.0}, {"gone", 2.0}});
+    const auto verdicts = detector.observe({{"kept", 1.0}});
+    ASSERT_EQ(verdicts.size(), 2u);  // sorted: gone, kept
+    EXPECT_EQ(verdicts[0].metric, "gone");
+    EXPECT_EQ(verdicts[0].verdict, Verdict::Confirmed);
+    EXPECT_TRUE(std::isnan(verdicts[0].value));
+    EXPECT_EQ(verdicts[1].metric, "kept");
+    EXPECT_EQ(verdicts[1].verdict, Verdict::None);
+}
+
+TEST(DriftDetector, BrandNewMetricStartsCalibrating) {
+    DriftDetector detector;
+    for (int tick = 0; tick < 4; ++tick) detector.observe(one_metric(100.0));
+    const auto verdicts = detector.observe({{"m", 100.0}, {"fresh", 1e9}});
+    for (const auto& v : verdicts) EXPECT_EQ(v.verdict, Verdict::None) << v.metric;
+}
+
+core::Profile small_profile() {
+    core::Profile profile;
+    profile.machine = "sim:test";
+    profile.cores = 4;
+    profile.caches.push_back({32 * KiB, "peak", {}});
+    profile.memory.reference_bandwidth = 10e9;
+    core::ProfileCommLayer layer;
+    layer.latency = 1e-6;
+    profile.comm.push_back(layer);
+    return profile;
+}
+
+TEST(ProfileMetrics, FlattensEverySection) {
+    const auto metrics = profile_metrics(small_profile());
+    ASSERT_EQ(metrics.count("cache.L1.size"), 1u);
+    EXPECT_NEAR(metrics.at("cache.L1.size"), 32.0 * KiB, 0);
+    EXPECT_NEAR(metrics.at("memory.reference_bandwidth"), 10e9, 0);
+    EXPECT_NEAR(metrics.at("comm.layer0.latency"), 1e-6, 0);
+}
+
+TEST(DiffProfiles, IdenticalProfilesAreAllNone) {
+    const core::Profile profile = small_profile();
+    for (const auto& v : diff_profiles(profile, profile, {}))
+        EXPECT_EQ(v.verdict, Verdict::None) << v.metric;
+}
+
+TEST(DiffProfiles, SmallAndLargeDeviationsGradeSuspectConfirmed) {
+    const core::Profile base = small_profile();
+    core::Profile drifted = base;
+    // 8% bandwidth shift: past suspect (4% of the rel_floor band), short
+    // of confirm (16%).
+    drifted.memory.reference_bandwidth = 10.8e9;
+    bool saw_suspect = false;
+    for (const auto& v : diff_profiles(base, drifted, {}))
+        if (v.metric == "memory.reference_bandwidth") {
+            EXPECT_EQ(v.verdict, Verdict::Suspect);
+            saw_suspect = true;
+        }
+    EXPECT_TRUE(saw_suspect);
+
+    drifted.memory.reference_bandwidth = 40e9;  // 4x: confirmed outright
+    for (const auto& v : diff_profiles(base, drifted, {})) {
+        if (v.metric == "memory.reference_bandwidth") {
+            EXPECT_EQ(v.verdict, Verdict::Confirmed);
+        }
+    }
+}
+
+TEST(DiffProfiles, AsymmetricMetricsAreConfirmedWithNaNSide) {
+    const core::Profile base = small_profile();
+    core::Profile shrunk = base;
+    shrunk.comm.clear();  // comm.layer0.latency only in the baseline
+    bool saw = false;
+    for (const auto& v : diff_profiles(base, shrunk, {}))
+        if (v.metric == "comm.layer0.latency") {
+            EXPECT_EQ(v.verdict, Verdict::Confirmed);
+            EXPECT_TRUE(std::isnan(v.value));
+            EXPECT_FALSE(std::isnan(v.baseline));
+            saw = true;
+        }
+    EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace servet::watch

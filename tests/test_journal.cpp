@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "base/fs.hpp"
+#include "base/hash.hpp"
 #include "core/phase_codec.hpp"
 #include "exec/memo_cache.hpp"
 #include "msg/sim_network.hpp"
@@ -311,6 +312,110 @@ TEST(RunJournal, DropRemovesRecordAndPersists) {
     EXPECT_EQ(journal.find("comm_costs")->payload, "b\n");
     // And the journal stays appendable after the atomic rewrite.
     EXPECT_TRUE(journal.append("cache_size", "a2\n", 3.0, 0));
+}
+
+// ---- the series journal (`servet watch` time series) ----
+
+TEST(SeriesJournal, AppendThenResumeKeepsTickOrder) {
+    const std::string dir = unique_dir("series_rt");
+    {
+        SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Create);
+        ASSERT_TRUE(series.append("metric a 0x1p+0\n"));
+        ASSERT_TRUE(series.append("metric a 0x1.8p+0\n"));
+        ASSERT_TRUE(series.append("metric a 0x1p+1\n"));
+    }
+    SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Resume);
+    EXPECT_FALSE(series.dropped_torn_tail());
+    ASSERT_EQ(series.samples().size(), 3u);
+    EXPECT_EQ(series.samples()[0], "metric a 0x1p+0\n");
+    EXPECT_EQ(series.samples()[2], "metric a 0x1p+1\n");
+}
+
+TEST(SeriesJournal, TornTailIsTruncatedSoLaterAppendsSurvive) {
+    const std::string dir = unique_dir("series_torn");
+    {
+        SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Create);
+        ASSERT_TRUE(series.append("tick zero\n"));
+    }
+    const std::string path = SeriesJournal::file_path(dir);
+    const std::string committed = slurp(path);
+    // A crash mid-append: frame line landed, payload tore off.
+    spit(path, committed + "sample 1 400\nhalf a payl");
+    {
+        SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Resume);
+        EXPECT_TRUE(series.dropped_torn_tail());
+        ASSERT_EQ(series.samples().size(), 1u);
+        // The torn bytes must be physically gone: an append that lands
+        // after garbage would be discarded by the *next* load.
+        EXPECT_EQ(slurp(path), committed);
+        ASSERT_TRUE(series.append("tick one, after the crash\n"));
+    }
+    SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Resume);
+    EXPECT_FALSE(series.dropped_torn_tail());
+    ASSERT_EQ(series.samples().size(), 2u);
+    EXPECT_EQ(series.samples()[1], "tick one, after the crash\n");
+}
+
+TEST(SeriesJournal, TickMismatchDiscardsFromThereOn) {
+    const std::string dir = unique_dir("series_tickmismatch");
+    {
+        SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Create);
+        ASSERT_TRUE(series.append("first\n"));
+    }
+    const std::string path = SeriesJournal::file_path(dir);
+    // A structurally valid record whose tick key skips ahead: positional
+    // ticks make it untrustworthy, like a torn tail.
+    const std::string payload = "out of order\n";
+    char commit[64];
+    std::snprintf(commit, sizeof commit, "commit 7 %016llx\n",
+                  static_cast<unsigned long long>(fnv1a64(payload)));
+    spit(path, slurp(path) + "sample 7 " + std::to_string(payload.size()) + "\n" +
+                   payload + "\n" + commit);
+    SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Resume);
+    EXPECT_TRUE(series.dropped_torn_tail());
+    ASSERT_EQ(series.samples().size(), 1u);
+    EXPECT_EQ(series.samples()[0], "first\n");
+}
+
+TEST(SeriesJournal, RefusesIncompatibleHeaderAndRunJournalMagic) {
+    const std::string dir = unique_dir("series_compat");
+    { SeriesJournal series(dir, test_header(), SeriesJournal::Mode::Create); }
+    RunJournal::Header other = test_header();
+    other.options_hash = 0x7777;
+    EXPECT_THROW(SeriesJournal(dir, other, SeriesJournal::Mode::Resume), JournalError);
+
+    // A run journal dropped where a series is expected (or vice versa)
+    // must be refused by magic, not half-parsed.
+    const std::string crossed = unique_dir("series_crossed");
+    ASSERT_TRUE(create_directories(crossed));
+    spit(SeriesJournal::file_path(crossed), "servet-journal 1\noptions = 0\n");
+    EXPECT_THROW(SeriesJournal(crossed, test_header(), SeriesJournal::Mode::Resume),
+                 JournalError);
+}
+
+TEST(RunJournal, TornTailIsPhysicallyTruncated) {
+    const std::string dir = unique_dir("journal_torn_trunc");
+    {
+        RunJournal journal(dir, test_header(), RunJournal::Mode::Create);
+        ASSERT_TRUE(journal.append("cache_size", "good\n", 1.0, 0));
+    }
+    const std::string path = RunJournal::file_path(dir);
+    const std::string committed = slurp(path);
+    spit(path, committed + "phase comm_costs 99 0x1p+0\ntorn");
+    {
+        RunJournal journal(dir, test_header(), RunJournal::Mode::Resume);
+        EXPECT_TRUE(journal.dropped_torn_tail());
+        EXPECT_EQ(slurp(path), committed);
+        // An append after the crash lands after the *committed* prefix…
+        ASSERT_TRUE(journal.append("comm_costs", "measured again\n", 2.0, 0));
+    }
+    // …so the next load keeps both records instead of discarding the new
+    // one as part of the old torn tail.
+    RunJournal journal(dir, test_header(), RunJournal::Mode::Resume);
+    EXPECT_FALSE(journal.dropped_torn_tail());
+    EXPECT_EQ(journal.records().size(), 2u);
+    ASSERT_NE(journal.find("comm_costs"), nullptr);
+    EXPECT_EQ(journal.find("comm_costs")->payload, "measured again\n");
 }
 
 // ---- MemoCache incremental journal ----

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -105,6 +109,54 @@ TEST_F(ObsMetrics, JsonSplitsDeterministicFromVolatile) {
 
     // Byte-stable render: the property golden tests rely on.
     EXPECT_EQ(deterministic, registry().deterministic_json());
+}
+
+TEST_F(ObsMetrics, StableOnlyJsonOmitsTheVolatileBlockEntirely) {
+    counter("test.stable.events", Stability::Stable).add(3);
+    counter("test.volatile.submissions", Stability::Volatile).add(4);
+    gauge("test.volatile.depth").set(7);
+
+    const std::string json = registry().to_json(/*stable_only=*/true);
+    EXPECT_NE(json.find("\"deterministic\""), std::string::npos);
+    EXPECT_NE(json.find("test.stable.events"), std::string::npos);
+    // Not just empty: the key itself is absent, so the export diffs clean
+    // across runs.
+    EXPECT_EQ(json.find("\"volatile\""), std::string::npos);
+    EXPECT_EQ(json.find("test.volatile.submissions"), std::string::npos);
+    EXPECT_EQ(json.find("\"gauges\""), std::string::npos);
+    // And it is byte-stable, like the deterministic block it wraps.
+    EXPECT_EQ(json, registry().to_json(/*stable_only=*/true));
+}
+
+TEST_F(ObsMetrics, SeriesLineTagsTickAndFingerprintAroundStableMetrics) {
+    counter("test.stable.events", Stability::Stable).add(3);
+    counter("test.volatile.submissions", Stability::Volatile).add(4);
+
+    const std::string line = registry().series_line(12, 0xabcdef0123456789ULL);
+    EXPECT_EQ(line.find("{\"tick\": 12, \"fingerprint\": \"abcdef0123456789\", "), 0u);
+    EXPECT_NE(line.find("\"metrics\": {"), std::string::npos);
+    EXPECT_NE(line.find("test.stable.events"), std::string::npos);
+    EXPECT_EQ(line.find("test.volatile.submissions"), std::string::npos);
+    // One line of a JSON-lines stream: no embedded newlines.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST_F(ObsMetrics, WriteMetricsSeriesJsonAppendsOneLinePerCall) {
+    counter("test.stable.events", Stability::Stable).add(1);
+    const std::string path = testing::TempDir() + "metrics_series_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    ASSERT_TRUE(write_metrics_series_json(path, 0, 0x1111));
+    ASSERT_TRUE(write_metrics_series_json(path, 1, 0x1111));
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.find("{\"tick\": " + std::to_string(lines)), 0u);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2u);
+    std::remove(path.c_str());
 }
 
 TEST_F(ObsMetrics, SummaryRowsHaveFourColumnsAndRenderValues) {

@@ -148,6 +148,26 @@ TEST_F(ObsTrace, ChromeTraceJsonShape) {
     EXPECT_NE(json.find("phase/cache_size"), std::string::npos);
 }
 
+TEST_F(ObsTrace, ChromeTraceFooterCarriesTheDropCount) {
+    // A truncated export must say so in-band: the footer's droppedEvents
+    // lets a viewer (or CI) tell "complete" from "buffers overflowed"
+    // without the producing process's stderr.
+    tracer().set_enabled(true);
+    { SERVET_TRACE_SPAN("kept"); }
+    EXPECT_NE(tracer().chrome_trace_json().find("\"droppedEvents\": 0"),
+              std::string::npos);
+
+    constexpr std::size_t kCapacity = 2;
+    tracer().set_thread_capacity(kCapacity);
+    std::thread recorder([] {
+        for (int i = 0; i < 5; ++i) { SERVET_TRACE_SPAN("overflow"); }
+    });
+    recorder.join();
+    tracer().set_thread_capacity(1 << 16);
+    EXPECT_NE(tracer().chrome_trace_json().find("\"droppedEvents\": 3"),
+              std::string::npos);
+}
+
 TEST_F(ObsTrace, ResetDropsEventsAndZeroesDropCounter) {
     tracer().set_enabled(true);
     { SERVET_TRACE_SPAN("gone"); }

@@ -21,6 +21,19 @@ TEST(Median, RobustToOutlier) {
 
 TEST(Mad, ZeroForConstant) { EXPECT_DOUBLE_EQ(mad({5.0, 5.0, 5.0}), 0.0); }
 
+TEST(Mad, SingleElementIsZero) {
+    // One sample has no spread. Consumers (the drift detector) must floor
+    // a zero MAD before dividing — this pins the zero they floor.
+    EXPECT_DOUBLE_EQ(mad({7.0}), 0.0);
+}
+
+TEST(Mad, AllIdenticalIsExactlyZeroNotTiny) {
+    // Exactly 0.0, not a rounding residue: the detector compares the
+    // scale floor against it with max(), so a tiny positive MAD here
+    // would silently narrow the drift band.
+    EXPECT_EQ(mad({3.14, 3.14, 3.14, 3.14, 3.14}), 0.0);
+}
+
 TEST(Mad, ScalesWithSpread) {
     const double narrow = mad({10.0, 11.0, 12.0, 13.0, 14.0});
     const double wide = mad({10.0, 20.0, 30.0, 40.0, 50.0});
@@ -50,6 +63,7 @@ TEST(Mode, AllDistinctGivesFirst) { EXPECT_EQ(mode({42, 7, 13}), 42u); }
 
 TEST(SummaryDeath, EmptyInputsAbort) {
     EXPECT_DEATH((void)median({}), "");
+    EXPECT_DEATH((void)mad({}), "");
     EXPECT_DEATH((void)mean({}), "");
     EXPECT_DEATH((void)mode({}), "");
 }

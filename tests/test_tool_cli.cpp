@@ -262,6 +262,92 @@ TEST(ToolCli, MissingProfileFails) {
     EXPECT_NE(result.exit_code, 0);
 }
 
+TEST(ToolCli, MetricsStableOnlyOmitsVolatileRows) {
+    const std::string path = ::testing::TempDir() + "/tool_cli_stable_only.json";
+    const auto result =
+        run_tool("metrics --machine dempsey --fast --stable-only --out " + path);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("exec.tasks.run"), std::string::npos);
+    EXPECT_EQ(result.output.find("volatile"), std::string::npos);
+
+    std::ifstream in(path);
+    std::stringstream stored;
+    stored << in.rdbuf();
+    EXPECT_NE(stored.str().find("\"deterministic\""), std::string::npos);
+    EXPECT_EQ(stored.str().find("\"volatile\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ToolCli, ProfileExportFailureExitsFiveButStillWritesTheProfile) {
+    // A directory as the metrics target makes the export unwritable; the
+    // measurement itself succeeded, so the profile must still land and the
+    // exit code must name the export failure, distinct from 2 and 3.
+    const std::string path = ::testing::TempDir() + "/tool_cli_export_fail.profile";
+    const auto result = run_tool("profile --machine dempsey --fast --out " + path +
+                                 " --metrics " + ::testing::TempDir());
+    EXPECT_EQ(result.exit_code, 5) << result.output;
+    EXPECT_NE(result.output.find("cannot write"), std::string::npos);
+
+    std::ifstream in(path);
+    std::stringstream stored;
+    stored << in.rdbuf();
+    EXPECT_NE(stored.str().find("[cache 0]"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ToolCli, WatchStableSeriesExitsZeroWithDriftNone) {
+    const std::string run_dir = ::testing::TempDir() + "/tool_cli_watch_stable_" +
+                                std::to_string(::getpid());
+    const auto result = run_tool("watch --machine dempsey --fast --jobs 4 --run-dir " +
+                                 run_dir + " --ticks 5");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("drift.none"), std::string::npos);
+    EXPECT_EQ(result.output.find("drift.confirmed"), std::string::npos);
+    EXPECT_NE(result.output.find("5 tick(s) measured"), std::string::npos);
+
+    // A second invocation replays the committed series and stays stable.
+    const auto resumed = run_tool("watch --machine dempsey --fast --jobs 4 --run-dir " +
+                                  run_dir + " --ticks 1");
+    EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("5 replayed"), std::string::npos);
+}
+
+TEST(ToolCli, WatchPerturbedSeriesConfirmsDriftAndExitsFour) {
+    const std::string run_dir = ::testing::TempDir() + "/tool_cli_watch_drift_" +
+                                std::to_string(::getpid());
+    const auto result = run_tool(
+        "watch --machine dempsey --fast --jobs 4 --run-dir " + run_dir +
+        " --ticks 5 --perturb-tick 3 --faults spike=1,factor=4,delay=1,delay_factor=4,seed=1");
+    EXPECT_EQ(result.exit_code, 4) << result.output;
+    EXPECT_NE(result.output.find("drift.confirmed"), std::string::npos);
+    EXPECT_NE(result.output.find("worst verdict drift.confirmed"), std::string::npos);
+}
+
+TEST(ToolCli, ValidateAgainstBaselineGradesDrift) {
+    const std::string base = ::testing::TempDir() + "/tool_cli_against_base.profile";
+    const std::string same = ::testing::TempDir() + "/tool_cli_against_same.profile";
+    ASSERT_EQ(run_tool("profile --machine dempsey --fast --out " + base).exit_code, 0);
+    ASSERT_EQ(run_tool("profile --machine dempsey --fast --out " + same).exit_code, 0);
+
+    // Identical measurements: every metric in band, exit 0.
+    const auto clean = run_tool("validate --profile " + same + " --against " + base);
+    EXPECT_EQ(clean.exit_code, 0) << clean.output;
+    EXPECT_NE(clean.output.find("drift.none"), std::string::npos);
+
+    // A spiked re-measurement shifts the memory bandwidths far out of the
+    // baseline band: confirmed drift, the dedicated exit code.
+    const std::string drifted = ::testing::TempDir() + "/tool_cli_against_drift.profile";
+    ASSERT_EQ(run_tool("profile --machine dempsey --fast --faults spike=1,factor=4,seed=1"
+                       " --out " + drifted).exit_code, 0);
+    const auto result = run_tool("validate --profile " + drifted + " --against " + base);
+    EXPECT_EQ(result.exit_code, 4) << result.output;
+    EXPECT_NE(result.output.find("drift.confirmed"), std::string::npos);
+
+    std::remove(base.c_str());
+    std::remove(same.c_str());
+    std::remove(drifted.c_str());
+}
+
 TEST(ToolCli, UnknownCommandFails) {
     const auto result = run_tool("frobnicate");
     EXPECT_NE(result.exit_code, 0);

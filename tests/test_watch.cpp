@@ -1,0 +1,258 @@
+// Continuous profiling end to end: the watch loop's golden verdicts
+// (perturbed -> drift.confirmed, unperturbed -> drift.none), series
+// byte-identity across --jobs and across resumes, crash-tail recovery,
+// and the identity hash that guards a resumed series.
+#include "watch/watch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <fstream>
+#include <string>
+
+#include "base/fs.hpp"
+#include "core/journal.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::watch {
+namespace {
+
+std::string unique_dir(const std::string& stem) {
+    static int serial = 0;
+    return testing::TempDir() + stem + "_" + std::to_string(::getpid()) + "_" +
+           std::to_string(++serial);
+}
+
+std::string slurp(const std::string& path) {
+    std::string text;
+    EXPECT_EQ(read_file(path, &text), FileRead::Ok);
+    return text;
+}
+
+sim::MachineSpec small_machine() {
+    sim::zoo::SyntheticOptions options;
+    options.cores = 4;
+    options.l1_size = 16 * KiB;
+    options.l2_size = 256 * KiB;
+    options.l2_sharing = 2;
+    options.jitter = 0.01;
+    return sim::zoo::synthetic(options);
+}
+
+/// The fast watch subset on a small machine: cache sizes + comm, tiny
+/// sweep. Every tick re-measures this.
+WatchOptions fast_watch(const std::string& run_dir) {
+    WatchOptions options;
+    options.suite.mcalibrator.max_size = 2 * MiB;
+    options.suite.mcalibrator.repeats = 3;
+    options.suite.run_shared_cache = false;
+    options.suite.run_mem_overhead = false;
+    options.run_dir = run_dir;
+    return options;
+}
+
+FaultPlan everything_spikes() {
+    FaultPlan plan;
+    plan.spike_probability = 1.0;
+    plan.spike_factor = 4.0;
+    plan.delay_probability = 1.0;
+    plan.delay_factor = 4.0;
+    plan.seed = 1;
+    return plan;
+}
+
+TEST(Sample, EncodeDecodeRoundTripsUglyDoubles) {
+    const std::map<std::string, double> metrics = {
+        {"a.third", 1.0 / 3.0},
+        {"b.denormal", 5e-324},
+        {"c.huge", 1.7976931348623157e308},
+        {"d.pi", 3.141592653589793},
+    };
+    const auto decoded = decode_sample(encode_sample(metrics));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, metrics);  // bit-exact, not approximately
+}
+
+TEST(Sample, DecodeRejectsMalformedLines) {
+    EXPECT_FALSE(decode_sample("metric only_one_field\n").has_value());
+    EXPECT_FALSE(decode_sample("sample a 1.0\n").has_value());
+    EXPECT_FALSE(decode_sample("metric a not_a_number\n").has_value());
+    EXPECT_FALSE(decode_sample("metric a 1.0\nmetric a 2.0\n").has_value());
+}
+
+TEST(WatchOptionsHash, SchedulingKnobsExcludedPerturbationIncluded) {
+    WatchOptions base = fast_watch("unused");
+    const std::uint64_t h = watch_options_hash(base);
+
+    // jobs, ticks, interval, drift thresholds: legal to change on resume.
+    WatchOptions jobs = base;
+    jobs.suite.jobs = 4;
+    EXPECT_EQ(watch_options_hash(jobs), h);
+    WatchOptions ticks = base;
+    ticks.ticks = 50;
+    ticks.interval_seconds = 3600;
+    ticks.drift.suspect_score = 2.0;
+    EXPECT_EQ(watch_options_hash(ticks), h);
+
+    // The perturbation changes measured values: a perturbed series must
+    // never silently extend a clean one.
+    WatchOptions perturbed = base;
+    perturbed.perturb_tick = 3;
+    perturbed.perturb = everything_spikes();
+    EXPECT_NE(watch_options_hash(perturbed), h);
+    WatchOptions sweep = base;
+    sweep.suite.mcalibrator.max_size = 4 * MiB;
+    EXPECT_NE(watch_options_hash(sweep), h);
+}
+
+TEST(Watch, UnperturbedTicksAreAllNone) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    WatchOptions options = fast_watch(unique_dir("watch_stable"));
+    options.ticks = 5;
+
+    const WatchResult result = run_watch(platform, &network, options);
+    EXPECT_EQ(result.measured, 5u);
+    EXPECT_EQ(result.replayed, 0u);
+    EXPECT_EQ(result.worst, Verdict::None);
+    ASSERT_EQ(result.reports.size(), 5u);
+    for (const TickReport& report : result.reports) {
+        EXPECT_FALSE(report.replayed);
+        for (const MetricVerdict& v : report.verdicts)
+            EXPECT_EQ(v.verdict, Verdict::None)
+                << "tick " << report.tick << " metric " << v.metric;
+    }
+}
+
+TEST(Watch, PerturbedTicksConfirmDrift) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    WatchOptions options = fast_watch(unique_dir("watch_drift"));
+    options.ticks = 5;
+    options.perturb_tick = 3;
+    options.perturb = everything_spikes();
+
+    const WatchResult result = run_watch(platform, &network, options);
+    EXPECT_EQ(result.worst, Verdict::Confirmed);
+    ASSERT_EQ(result.reports.size(), 5u);
+    for (const TickReport& report : result.reports) {
+        Verdict tick_worst = Verdict::None;
+        for (const MetricVerdict& v : report.verdicts)
+            tick_worst = worse(tick_worst, v.verdict);
+        if (report.tick < 3)
+            EXPECT_EQ(tick_worst, Verdict::None) << "tick " << report.tick;
+        else
+            EXPECT_EQ(tick_worst, Verdict::Confirmed) << "tick " << report.tick;
+    }
+}
+
+TEST(Watch, SeriesIsByteIdenticalAcrossJobs) {
+    const std::string serial_dir = unique_dir("watch_jobs1");
+    const std::string parallel_dir = unique_dir("watch_jobs4");
+    {
+        SimPlatform platform(small_machine());
+        msg::SimNetwork network(platform.spec());
+        WatchOptions options = fast_watch(serial_dir);
+        options.ticks = 3;
+        (void)run_watch(platform, &network, options);
+    }
+    {
+        SimPlatform platform(small_machine());
+        msg::SimNetwork network(platform.spec());
+        WatchOptions options = fast_watch(parallel_dir);
+        options.suite.jobs = 4;
+        options.ticks = 3;
+        (void)run_watch(platform, &network, options);
+    }
+    const std::string serial = slurp(core::SeriesJournal::file_path(serial_dir));
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, slurp(core::SeriesJournal::file_path(parallel_dir)));
+}
+
+TEST(Watch, ResumedSeriesMatchesUninterruptedRunByteForByte) {
+    const std::string resumed_dir = unique_dir("watch_resumed");
+    const std::string straight_dir = unique_dir("watch_straight");
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+
+    WatchOptions first = fast_watch(resumed_dir);
+    first.ticks = 3;
+    (void)run_watch(platform, &network, first);
+    WatchOptions second = fast_watch(resumed_dir);
+    second.ticks = 2;
+    const WatchResult continued = run_watch(platform, &network, second);
+    EXPECT_EQ(continued.replayed, 3u);
+    EXPECT_EQ(continued.measured, 2u);
+
+    WatchOptions straight = fast_watch(straight_dir);
+    straight.ticks = 5;
+    (void)run_watch(platform, &network, straight);
+
+    EXPECT_EQ(slurp(core::SeriesJournal::file_path(resumed_dir)),
+              slurp(core::SeriesJournal::file_path(straight_dir)));
+}
+
+TEST(Watch, ResumeIntoDriftedSeriesReportsWorstFromReplay) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    WatchOptions options = fast_watch(unique_dir("watch_redrift"));
+    options.ticks = 4;
+    options.perturb_tick = 3;
+    options.perturb = everything_spikes();
+    (void)run_watch(platform, &network, options);
+
+    // A resumed watch that measures nothing new must still surface the
+    // confirmed drift committed to the series.
+    options.ticks = 0;
+    const WatchResult resumed = run_watch(platform, &network, options);
+    EXPECT_EQ(resumed.replayed, 4u);
+    EXPECT_EQ(resumed.measured, 0u);
+    EXPECT_EQ(resumed.worst, Verdict::Confirmed);
+}
+
+TEST(Watch, TornTailIsDiscardedAndTheTickRemeasured) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    WatchOptions options = fast_watch(unique_dir("watch_torn"));
+    options.ticks = 2;
+    (void)run_watch(platform, &network, options);
+
+    // A SIGKILL mid-append leaves a torn frame after the committed ticks.
+    const std::string path = core::SeriesJournal::file_path(options.run_dir);
+    const std::string committed = slurp(path);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "sample 2 512\nmetric torn 0x1p";
+        ASSERT_TRUE(static_cast<bool>(out));
+    }
+
+    options.ticks = 1;
+    const WatchResult resumed = run_watch(platform, &network, options);
+    EXPECT_TRUE(resumed.dropped_torn_tail);
+    EXPECT_EQ(resumed.replayed, 2u);
+    EXPECT_EQ(resumed.measured, 1u);
+    EXPECT_EQ(resumed.worst, Verdict::None);
+    // The re-measured tick 2 landed after the committed prefix.
+    const std::string after = slurp(path);
+    EXPECT_EQ(after.compare(0, committed.size(), committed), 0);
+    EXPECT_GT(after.size(), committed.size());
+}
+
+TEST(Watch, IncompatibleSeriesIsRefused) {
+    SimPlatform platform(small_machine());
+    msg::SimNetwork network(platform.spec());
+    WatchOptions options = fast_watch(unique_dir("watch_incompat"));
+    options.ticks = 1;
+    (void)run_watch(platform, &network, options);
+
+    WatchOptions changed = options;
+    changed.suite.mcalibrator.max_size = 4 * MiB;  // different sweep
+    EXPECT_THROW((void)run_watch(platform, &network, changed), core::JournalError);
+}
+
+}  // namespace
+}  // namespace servet::watch

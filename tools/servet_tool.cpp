@@ -10,9 +10,14 @@
 //                                         cost one message from the profile
 //   servet metrics  [--machine M] [--out FILE]
 //                                         run the suite, summarize obs metrics
+//   servet watch    --run-dir D [--ticks N]
+//                                         re-measure periodically, journal the
+//                                         time series, judge drift
 //   servet validate --profile FILE       check a profile against physical
-//                                         invariants; --repair re-measures
+//                                         invariants; --repair re-measures,
+//                                         --against diffs two profiles
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -39,6 +44,7 @@
 #include "platform/platform_file.hpp"
 #include "platform/sim_platform.hpp"
 #include "sim/zoo.hpp"
+#include "watch/watch.hpp"
 
 using namespace servet;
 
@@ -63,6 +69,18 @@ constexpr int kExitInvalidProfile = 2;
 /// Same "wrong invocation" family as the other exit-2 paths; the stderr
 /// line carries the stable PlatformError code.
 constexpr int kExitInvalidPlatform = 2;
+
+/// `servet watch` confirmed drift on at least one metric, or `servet
+/// validate --against` did. Distinct from every other code so a cron job
+/// or CI step can branch on "this machine's profile went stale"
+/// specifically.
+constexpr int kExitDrift = 4;
+
+/// The measured result is fine but a requested side export (--trace,
+/// --metrics JSON) could not be written. The primary product (profile,
+/// summary table) was still produced; partial-profile (3) and
+/// invalid-input (2) conditions take precedence.
+constexpr int kExitExportFailed = 5;
 
 struct Target {
     std::unique_ptr<Platform> platform;
@@ -307,20 +325,27 @@ int cmd_profile(int argc, const char* const* argv) {
         std::printf("journal: %llu phase(s) replayed, %llu re-measured\n",
                     static_cast<unsigned long long>(result.journal_replayed),
                     static_cast<unsigned long long>(result.journal_appended));
+    // Export failures must not abort before the profile lands: the
+    // measurement (possibly hours of it) is the product, the exports are
+    // side channels. Remember the failure and report it in the exit code
+    // once the profile is safely on disk.
+    bool export_failed = false;
     if (!cli.option("trace").empty()) {
         obs::tracer().set_enabled(false);
         if (!obs::tracer().write_chrome_trace(cli.option("trace"))) {
             std::fprintf(stderr, "cannot write %s\n", cli.option("trace").c_str());
-            return 1;
+            export_failed = true;
+        } else {
+            std::printf("trace written to %s\n", cli.option("trace").c_str());
         }
-        std::printf("trace written to %s\n", cli.option("trace").c_str());
     }
     if (!cli.option("metrics").empty()) {
         if (!obs::write_metrics_json(cli.option("metrics"))) {
             std::fprintf(stderr, "cannot write %s\n", cli.option("metrics").c_str());
-            return 1;
+            export_failed = true;
+        } else {
+            std::printf("metrics written to %s\n", cli.option("metrics").c_str());
         }
-        std::printf("metrics written to %s\n", cli.option("metrics").c_str());
     }
     if (result.memo_hits > 0)
         std::printf("memo: %llu of %llu measurements replayed\n",
@@ -348,7 +373,7 @@ int cmd_profile(int argc, const char* const* argv) {
                      "[errors] section)\n", result.errors.size());
         return kExitPartialProfile;
     }
-    return 0;
+    return export_failed ? kExitExportFailed : 0;
 }
 
 int cmd_report(int argc, const char* const* argv) {
@@ -563,6 +588,8 @@ int cmd_metrics(int argc, const char* const* argv) {
     cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
     cli.add_option("out", "also write the registry as JSON to this file", "");
     cli.add_flag("fast", "fewer repeats, core-0 pairs only");
+    cli.add_flag("stable-only", "restrict the table and the JSON export to Stable-class "
+                 "metrics (diffable across runs)");
     if (!cli.parse(argc, argv)) return 1;
 
     auto target = make_target(cli.option("machine"));
@@ -584,19 +611,148 @@ int cmd_metrics(int argc, const char* const* argv) {
     options.jobs = static_cast<int>(*jobs);
     (void)core::run_suite(*target->platform, target->network.get(), options);
 
+    const bool stable_only = cli.flag("stable-only");
     TextTable table({"metric", "kind", "stability", "value"});
-    for (const std::vector<std::string>& row : obs::registry().summary_rows())
+    for (const std::vector<std::string>& row : obs::registry().summary_rows()) {
+        if (stable_only && row[2] != "stable") continue;
         table.add_row(row);
+    }
     std::printf("%s", table.render().c_str());
 
     if (!cli.option("out").empty()) {
-        if (!obs::write_metrics_json(cli.option("out"))) {
+        if (!obs::write_metrics_json(cli.option("out"), stable_only)) {
             std::fprintf(stderr, "cannot write %s\n", cli.option("out").c_str());
-            return 1;
+            return kExitExportFailed;
         }
         std::printf("metrics written to %s\n", cli.option("out").c_str());
     }
     return 0;
+}
+
+int cmd_watch(int argc, const char* const* argv) {
+    CliParser cli("servet watch: continuously re-measure a fast subset of the suite, "
+                  "journal the samples as a time series under --run-dir, and judge "
+                  "each tick against a rolling baseline with stable drift codes "
+                  "(drift.none/.suspect/.confirmed). Confirmed drift exits 4; an "
+                  "incompatible existing series exits 2.");
+    cli.add_option("machine", "target (see 'servet machines')", "native");
+    cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
+    cli.add_option("run-dir", "directory holding the series journal (required; an "
+                   "existing compatible series resumes and seeds the baselines)", "");
+    cli.add_option("ticks", "new samples to measure in this invocation", "1");
+    cli.add_option("interval", "seconds to sleep between ticks (0 = back-to-back)", "0");
+    cli.add_option("perturb-tick", "inject the --faults plan from this global tick on "
+                   "(-1 = never; deterministic drift for tests and CI)", "-1");
+    cli.add_option("faults", "fault plan driving the perturbation: spike=P,factor=F,"
+                   "delay=P,delay_factor=F,seed=N (see docs/robustness.md)", "");
+    cli.add_option("series-json", "append one fingerprint-tagged JSON line of stable "
+                   "metrics per tick to this file (fleet-aggregator feed)", "");
+    cli.add_flag("fast", "fewer repeats, core-0 pairs only");
+    cli.add_flag("full", "re-measure every suite phase per tick instead of the fast "
+                 "subset (cache sizes + comm costs)");
+    if (!cli.parse(argc, argv)) return 1;
+
+    auto target = make_target(cli.option("machine"));
+    if (!target) {
+        std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
+        return 1;
+    }
+    if (cli.option("run-dir").empty()) {
+        std::fprintf(stderr, "--run-dir is required (the series journal lives there)\n");
+        return 1;
+    }
+
+    watch::WatchOptions options;
+    options.run_dir = cli.option("run-dir");
+    if (cli.flag("fast")) {
+        options.suite.mcalibrator.repeats = 2;
+        options.suite.shared_cache.only_with_core = 0;
+        options.suite.mem_overhead.only_with_core = 0;
+    }
+    // The designated fast subset: the mcalibrator curve + cache sizes
+    // (cycle-level drift) and the comm probe (latency drift). The
+    // multi-core contention phases are the expensive ones and move with
+    // the same underlying parameters — --full buys them back.
+    if (!cli.flag("full")) {
+        options.suite.run_shared_cache = false;
+        options.suite.run_mem_overhead = false;
+    }
+    const std::optional<sim::MachineSpec>& cluster = target->spec;
+    if (cluster && cluster->topology.enabled()) {
+        // Cluster watch mirrors cluster profile: comm-only, sampled pairs.
+        options.suite.run_cache_size = false;
+        options.suite.run_shared_cache = false;
+        options.suite.run_mem_overhead = false;
+        options.suite.comm.probe_pairs =
+            core::cluster_probe_pairs(*cluster, options.suite.comm);
+    }
+    const auto jobs = cli.option_int("jobs");
+    if (!jobs || *jobs < 1) {
+        std::fprintf(stderr, "--jobs must be an integer >= 1\n");
+        return 1;
+    }
+    options.suite.jobs = static_cast<int>(*jobs);
+    const auto ticks = cli.option_int("ticks");
+    if (!ticks || *ticks < 1) {
+        std::fprintf(stderr, "--ticks must be an integer >= 1\n");
+        return 1;
+    }
+    options.ticks = static_cast<int>(*ticks);
+    const auto interval = cli.option_double("interval");
+    if (!interval || *interval < 0) {
+        std::fprintf(stderr, "--interval must be a number >= 0\n");
+        return 1;
+    }
+    options.interval_seconds = *interval;
+    options.perturb_tick =
+        static_cast<int>(cli.option_int("perturb-tick").value_or(-1));
+    if (!cli.option("faults").empty()) {
+        const std::optional<FaultPlan> faults = FaultPlan::parse(cli.option("faults"));
+        if (!faults) {
+            std::fprintf(stderr, "invalid --faults spec '%s'\n",
+                         cli.option("faults").c_str());
+            return 1;
+        }
+        options.perturb = *faults;
+    }
+    if (options.perturb_tick >= 0 && !options.perturb.active()) {
+        std::fprintf(stderr, "--perturb-tick needs an active --faults plan\n");
+        return 1;
+    }
+    options.series_json = cli.option("series-json");
+
+    watch::WatchResult result;
+    try {
+        result = watch::run_watch(*target->platform, target->network.get(), options);
+    } catch (const core::JournalError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return kExitIncompatibleJournal;
+    }
+
+    const auto fmt_value = [](double v) {
+        char buf[40];
+        if (std::isnan(v)) return std::string("absent");
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return std::string(buf);
+    };
+    for (const watch::TickReport& report : result.reports) {
+        watch::Verdict tick_worst = watch::Verdict::None;
+        for (const watch::MetricVerdict& v : report.verdicts)
+            tick_worst = watch::worse(tick_worst, v.verdict);
+        std::printf("tick %zu%s: %s (%zu metrics)\n", report.tick,
+                    report.replayed ? " (replayed)" : "",
+                    watch::verdict_code(tick_worst), report.verdicts.size());
+        for (const watch::MetricVerdict& v : report.verdicts) {
+            if (v.verdict == watch::Verdict::None) continue;
+            std::printf("  %-15s %-32s baseline %-12s current %-12s score %s\n",
+                        watch::verdict_code(v.verdict), v.metric.c_str(),
+                        fmt_value(v.baseline).c_str(), fmt_value(v.value).c_str(),
+                        std::isnan(v.score) ? "-" : fmt_value(v.score).c_str());
+        }
+    }
+    std::printf("watch: %zu tick(s) measured, %zu replayed, worst verdict %s\n",
+                result.measured, result.replayed, watch::verdict_code(result.worst));
+    return result.worst == watch::Verdict::Confirmed ? kExitDrift : 0;
 }
 
 int cmd_validate(int argc, const char* const* argv) {
@@ -606,6 +762,9 @@ int cmd_validate(int argc, const char* const* argv) {
     cli.add_option("profile", "profile file to check", "servet.profile");
     cli.add_option("run-dir", "run directory holding the producing run's journal "
                    "(needed by --repair)", "");
+    cli.add_option("against", "baseline profile to diff --profile against: every "
+                   "metric is judged with the drift detector's stable codes "
+                   "(drift.none/.suspect/.confirmed); confirmed drift exits 4", "");
     cli.add_flag("repair", "re-measure exactly the implicated phases via the --run-dir "
                  "journal and rewrite the profile (pass the same measurement flags as "
                  "the producing run)");
@@ -633,6 +792,53 @@ int cmd_validate(int argc, const char* const* argv) {
 
     const core::ValidationReport report = core::validate_profile(*profile);
     print_report(report);
+
+    if (!cli.option("against").empty()) {
+        if (cli.flag("repair")) {
+            std::fprintf(stderr, "--against and --repair are mutually exclusive (diff "
+                         "first, then repair in a separate invocation)\n");
+            return 1;
+        }
+        const std::string& baseline_path = cli.option("against");
+        std::string baseline_diagnostic;
+        const std::optional<core::Profile> baseline =
+            core::Profile::load(baseline_path, &baseline_diagnostic);
+        if (!baseline) {
+            std::fprintf(stderr, "%s\n", baseline_diagnostic.c_str());
+            return 1;
+        }
+        if (baseline->machine != profile->machine)
+            std::fprintf(stderr, "warning: diffing profiles of different machines "
+                         "('%s' vs '%s'); every shift below may just be the hardware\n",
+                         baseline->machine.c_str(), profile->machine.c_str());
+
+        const auto fmt_value = [](double v) {
+            char buf[40];
+            if (std::isnan(v)) return std::string("absent");
+            std::snprintf(buf, sizeof buf, "%.6g", v);
+            return std::string(buf);
+        };
+        watch::Verdict worst = watch::Verdict::None;
+        std::size_t confirmed = 0;
+        for (const watch::MetricVerdict& v :
+             watch::diff_profiles(*baseline, *profile, watch::DriftOptions{})) {
+            worst = watch::worse(worst, v.verdict);
+            if (v.verdict == watch::Verdict::Confirmed) ++confirmed;
+            std::printf("%-15s %-32s baseline %-12s current %-12s score %s\n",
+                        watch::verdict_code(v.verdict), v.metric.c_str(),
+                        fmt_value(v.baseline).c_str(), fmt_value(v.value).c_str(),
+                        std::isnan(v.score) ? "-" : fmt_value(v.score).c_str());
+        }
+        std::printf("diff against %s: %s\n", baseline_path.c_str(),
+                    watch::verdict_code(worst));
+        if (report.has_errors()) {
+            std::fprintf(stderr, "%s: profile also violates physical invariants (see "
+                         "above)\n", path.c_str());
+            return kExitInvalidProfile;
+        }
+        return worst == watch::Verdict::Confirmed ? kExitDrift : 0;
+    }
+
     if (!report.has_errors()) {
         std::printf("%s: profile of %s passes validation (%zu warning(s))\n", path.c_str(),
                     profile->machine.c_str(), report.violations.size());
@@ -707,8 +913,10 @@ void usage() {
                  "  map        place application ranks using a profile\n"
                  "  broadcast  choose a collective algorithm from a profile\n"
                  "  metrics    run the suite and summarize the obs metrics registry\n"
+                 "  watch      re-measure a fast subset periodically and judge drift "
+                 "against a rolling baseline\n"
                  "  validate   check a profile against physical invariants "
-                 "(--repair re-measures)\n\n"
+                 "(--repair re-measures, --against diffs two profiles)\n\n"
                  "run 'servet <command> --help' for per-command options.\n");
 }
 
@@ -730,6 +938,7 @@ int main(int argc, char** argv) {
     if (command == "map") return cmd_map(sub_argc, sub_argv);
     if (command == "broadcast") return cmd_broadcast(sub_argc, sub_argv);
     if (command == "metrics") return cmd_metrics(sub_argc, sub_argv);
+    if (command == "watch") return cmd_watch(sub_argc, sub_argv);
     if (command == "validate") return cmd_validate(sub_argc, sub_argv);
     usage();
     return command == "--help" || command == "help" ? 0 : 1;
