@@ -318,13 +318,27 @@ void RunJournal::load(const std::string& text) {
 
     std::vector<FramedRecord> framed;
     std::size_t valid_end = read_framed_records(text, pos, "phase", framed);
-    for (FramedRecord& record : framed) {
+    for (std::size_t i = 0; i < framed.size(); ++i) {
+        FramedRecord& record = framed[i];
         // The frame's trailing field is the producing run's wall-clock.
+        // The commit hash covers only the payload, so this field can be
+        // damaged on a record whose payload still verifies.
         char* end = nullptr;
         const double seconds = std::strtod(record.extra.c_str(), &end);
         if (record.extra.empty() || end != record.extra.c_str() + record.extra.size()) {
-            valid_end = record.offset;
-            break;
+            if (i + 1 == framed.size()) {
+                // Last committed record: the damage is a genuine tail and
+                // truncating it only removes the bad record itself.
+                valid_end = record.offset;
+                break;
+            }
+            // Committed records follow: mid-file damage, not a torn tail.
+            // Skip just this record in memory — truncating here would
+            // physically destroy every later committed record.
+            SERVET_LOG_ERROR("journal: skipping phase '%s' in %s: corrupt seconds "
+                             "field on an otherwise committed record",
+                             record.key.c_str(), path_.c_str());
+            continue;
         }
         // Later records win: a repair rewrite never duplicates, but a
         // re-measured phase appended after a replayed one must shadow it.

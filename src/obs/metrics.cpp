@@ -221,11 +221,10 @@ Histogram& histogram(const std::string& name, Stability stability,
 }
 
 std::string Registry::series_line(std::uint64_t tick, std::uint64_t fingerprint) const {
-    char prefix[64];
-    std::snprintf(prefix, sizeof prefix, "{\"tick\": %llu, \"fingerprint\": \"%016llx\", ",
-                  static_cast<unsigned long long>(tick),
-                  static_cast<unsigned long long>(fingerprint));
-    return std::string(prefix) + "\"metrics\": " + deterministic_json() + '}';
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(fingerprint));
+    return "{\"tick\": " + std::to_string(tick) + ", \"fingerprint\": \"" + hex +
+           "\", \"metrics\": " + deterministic_json() + '}';
 }
 
 bool write_metrics_json(const std::string& path, bool stable_only) {

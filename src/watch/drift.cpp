@@ -74,6 +74,7 @@ std::vector<MetricVerdict> DriftDetector::observe(
             {baseline.values.begin(), baseline.values.end()});
         verdict.score = kNaN;
         verdict.verdict = Verdict::Confirmed;
+        worst_ = worse(worst_, verdict.verdict);
         out.push_back(std::move(verdict));
     }
 

@@ -121,6 +121,7 @@ TEST(DriftDetector, MissingMetricIsConfirmedWithNaN) {
     DriftDetector detector;
     for (int tick = 0; tick < 4; ++tick)
         detector.observe({{"kept", 1.0}, {"gone", 2.0}});
+    EXPECT_EQ(detector.worst(), Verdict::None);
     const auto verdicts = detector.observe({{"kept", 1.0}});
     ASSERT_EQ(verdicts.size(), 2u);  // sorted: gone, kept
     EXPECT_EQ(verdicts[0].metric, "gone");
@@ -128,6 +129,9 @@ TEST(DriftDetector, MissingMetricIsConfirmedWithNaN) {
     EXPECT_TRUE(std::isnan(verdicts[0].value));
     EXPECT_EQ(verdicts[1].metric, "kept");
     EXPECT_EQ(verdicts[1].verdict, Verdict::None);
+    // The disappearance alone must drive the detector-level verdict: a
+    // watch whose only drift is a vanished metric exits nonzero on it.
+    EXPECT_EQ(detector.worst(), Verdict::Confirmed);
 }
 
 TEST(DriftDetector, BrandNewMetricStartsCalibrating) {

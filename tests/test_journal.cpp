@@ -248,6 +248,58 @@ TEST(RunJournal, CorruptedPayloadHashIsDropped) {
     EXPECT_EQ(journal.find("cache_size"), nullptr);
 }
 
+TEST(RunJournal, MidFileCorruptSecondsSkipsOnlyThatRecord) {
+    const std::string dir = unique_dir("journal_midsec");
+    {
+        RunJournal journal(dir, test_header(), RunJournal::Mode::Create);
+        ASSERT_TRUE(journal.append("cache_size", "payload A\n", 1.0, 0));
+        ASSERT_TRUE(journal.append("comm_costs", "payload B\n", 1.0, 0));
+    }
+    const std::string path = RunJournal::file_path(dir);
+    std::string text = slurp(path);
+    // Damage the FIRST record's seconds field (the commit hash covers only
+    // the payload, so the record still frames as committed). Same-length
+    // garbage keeps every later offset valid.
+    const std::size_t seconds_at = text.find("0x1p+0");
+    ASSERT_NE(seconds_at, std::string::npos);
+    text.replace(seconds_at, 6, "0xQp+0");
+    spit(path, text);
+
+    RunJournal journal(dir, test_header(), RunJournal::Mode::Resume);
+    // Mid-file damage must not be treated as a torn tail: the bad record
+    // is skipped in memory, the committed record after it survives, and
+    // nothing is physically truncated.
+    EXPECT_FALSE(journal.dropped_torn_tail());
+    EXPECT_EQ(journal.find("cache_size"), nullptr);
+    ASSERT_NE(journal.find("comm_costs"), nullptr);
+    EXPECT_EQ(journal.find("comm_costs")->payload, "payload B\n");
+    EXPECT_EQ(slurp(path), text);
+}
+
+TEST(RunJournal, TailCorruptSecondsTruncatesOnlyTheTail) {
+    const std::string dir = unique_dir("journal_tailsec");
+    {
+        RunJournal journal(dir, test_header(), RunJournal::Mode::Create);
+        ASSERT_TRUE(journal.append("cache_size", "payload A\n", 1.0, 0));
+        ASSERT_TRUE(journal.append("comm_costs", "payload B\n", 2.5, 0));
+    }
+    const std::string path = RunJournal::file_path(dir);
+    std::string text = slurp(path);
+    // Damage the LAST record's seconds (2.5 formats as 0x1.4p+1): a
+    // genuine tail, dropped and truncated so appends land after the
+    // surviving record.
+    const std::size_t seconds_at = text.find("0x1.4p+1");
+    ASSERT_NE(seconds_at, std::string::npos);
+    text.replace(seconds_at, 8, "0xQ.4p+1");
+    spit(path, text);
+
+    RunJournal journal(dir, test_header(), RunJournal::Mode::Resume);
+    EXPECT_TRUE(journal.dropped_torn_tail());
+    ASSERT_NE(journal.find("cache_size"), nullptr);
+    EXPECT_EQ(journal.find("comm_costs"), nullptr);
+    EXPECT_LT(slurp(path).size(), text.size());
+}
+
 TEST(RunJournal, RefusesIncompatibleHeaders) {
     const std::string dir = unique_dir("journal_compat");
     { RunJournal journal(dir, test_header(), RunJournal::Mode::Create); }

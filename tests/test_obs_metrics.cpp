@@ -8,8 +8,10 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -139,6 +141,19 @@ TEST_F(ObsMetrics, SeriesLineTagsTickAndFingerprintAroundStableMetrics) {
     EXPECT_EQ(line.find("test.volatile.submissions"), std::string::npos);
     // One line of a JSON-lines stream: no embedded newlines.
     EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST_F(ObsMetrics, SeriesLinePrefixSurvivesWorstCaseWidths) {
+    counter("test.stable.events", Stability::Stable).add(1);
+    // 20-digit tick plus all-ones fingerprint is the widest prefix there
+    // is; it must come through unclipped, not silently truncated JSON.
+    const std::string line =
+        registry().series_line(std::numeric_limits<std::uint64_t>::max(),
+                               std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(line.find("{\"tick\": 18446744073709551615, "
+                        "\"fingerprint\": \"ffffffffffffffff\", \"metrics\": {"),
+              0u);
+    EXPECT_EQ(line.back(), '}');
 }
 
 TEST_F(ObsMetrics, WriteMetricsSeriesJsonAppendsOneLinePerCall) {

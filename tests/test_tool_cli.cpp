@@ -310,6 +310,13 @@ TEST(ToolCli, WatchStableSeriesExitsZeroWithDriftNone) {
                                   run_dir + " --ticks 1");
     EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
     EXPECT_NE(resumed.output.find("5 replayed"), std::string::npos);
+
+    // --ticks 0 is replay-only: re-judge the committed series without
+    // measuring a new sample.
+    const auto replayed = run_tool("watch --machine dempsey --fast --run-dir " +
+                                   run_dir + " --ticks 0");
+    EXPECT_EQ(replayed.exit_code, 0) << replayed.output;
+    EXPECT_NE(replayed.output.find("0 tick(s) measured, 6 replayed"), std::string::npos);
 }
 
 TEST(ToolCli, WatchPerturbedSeriesConfirmsDriftAndExitsFour) {

@@ -639,7 +639,8 @@ int cmd_watch(int argc, const char* const* argv) {
     cli.add_option("jobs", "concurrent measurement tasks (modeled machines only)", "1");
     cli.add_option("run-dir", "directory holding the series journal (required; an "
                    "existing compatible series resumes and seeds the baselines)", "");
-    cli.add_option("ticks", "new samples to measure in this invocation", "1");
+    cli.add_option("ticks", "new samples to measure in this invocation (0 = replay "
+                   "and re-judge the existing series without measuring)", "1");
     cli.add_option("interval", "seconds to sleep between ticks (0 = back-to-back)", "0");
     cli.add_option("perturb-tick", "inject the --faults plan from this global tick on "
                    "(-1 = never; deterministic drift for tests and CI)", "-1");
@@ -693,8 +694,8 @@ int cmd_watch(int argc, const char* const* argv) {
     }
     options.suite.jobs = static_cast<int>(*jobs);
     const auto ticks = cli.option_int("ticks");
-    if (!ticks || *ticks < 1) {
-        std::fprintf(stderr, "--ticks must be an integer >= 1\n");
+    if (!ticks || *ticks < 0) {
+        std::fprintf(stderr, "--ticks must be an integer >= 0\n");
         return 1;
     }
     options.ticks = static_cast<int>(*ticks);
