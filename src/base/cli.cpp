@@ -13,12 +13,13 @@ CliParser::CliParser(std::string program_description)
 }
 
 void CliParser::add_flag(std::string name, std::string help) {
-    entries_.emplace(std::move(name), Entry{std::move(help), "false", /*is_flag=*/true, false});
+    entries_.emplace(std::move(name),
+                     Entry{std::move(help), "false", "false", /*is_flag=*/true, false});
 }
 
 void CliParser::add_option(std::string name, std::string help, std::string default_value) {
-    entries_.emplace(std::move(name),
-                     Entry{std::move(help), std::move(default_value), /*is_flag=*/false, false});
+    entries_.emplace(std::move(name), Entry{std::move(help), default_value,
+                                            std::move(default_value), /*is_flag=*/false, false});
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
@@ -44,7 +45,22 @@ bool CliParser::parse(int argc, const char* const* argv) {
         Entry& entry = it->second;
         entry.seen = true;
         if (entry.is_flag) {
-            entry.value = inline_value.value_or("true");
+            // `--flag=VALUE` must be an actual boolean: anything else used
+            // to parse "successfully" and then compare unequal to "true",
+            // silently disabling the flag the user just asked for.
+            const std::string_view raw = inline_value.value_or("true");
+            if (raw == "true" || raw == "1") {
+                entry.value = "true";
+            } else if (raw == "false" || raw == "0") {
+                entry.value = "false";
+            } else {
+                std::fprintf(stderr,
+                             "%s: option --%.*s requires a boolean value "
+                             "(true/false/1/0), got '%.*s'\n",
+                             argv[0], static_cast<int>(key.size()), key.data(),
+                             static_cast<int>(raw.size()), raw.data());
+                return false;
+            }
         } else if (inline_value) {
             entry.value = *inline_value;
         } else if (i + 1 < argc) {
@@ -90,18 +106,28 @@ std::optional<double> CliParser::option_double(std::string_view name) const {
     return value;
 }
 
-void CliParser::print_usage(std::string_view argv0) const {
-    std::fprintf(stderr, "%s\n\nusage: %.*s [options]\n\noptions:\n", description_.c_str(),
-                 static_cast<int>(argv0.size()), argv0.data());
+std::string CliParser::usage_text(std::string_view argv0) const {
+    std::string out = description_ + "\n\nusage: " + std::string(argv0) +
+                      " [options]\n\noptions:\n";
+    char line[512];
     for (const auto& [name, entry] : entries_) {
         if (entry.is_flag) {
-            std::fprintf(stderr, "  --%-22s %s\n", name.c_str(), entry.help.c_str());
+            std::snprintf(line, sizeof line, "  --%-22s %s\n", name.c_str(),
+                          entry.help.c_str());
         } else {
-            std::string label = name + " <v>";
-            std::fprintf(stderr, "  --%-22s %s (default: %s)\n", label.c_str(),
-                         entry.help.c_str(), entry.value.c_str());
+            // The registered default, not the parsed value: `--help` next
+            // to other options must not fold them into the usage text.
+            const std::string label = name + " <v>";
+            std::snprintf(line, sizeof line, "  --%-22s %s (default: %s)\n", label.c_str(),
+                          entry.help.c_str(), entry.default_value.c_str());
         }
+        out += line;
     }
+    return out;
+}
+
+void CliParser::print_usage(std::string_view argv0) const {
+    std::fprintf(stderr, "%s", usage_text(argv0).c_str());
 }
 
 }  // namespace servet

@@ -15,7 +15,9 @@ class CliParser {
   public:
     explicit CliParser(std::string program_description);
 
-    /// Register a boolean flag (`--name`).
+    /// Register a boolean flag (`--name`, or explicitly `--name=true`,
+    /// `--name=false`, `--name=1`, `--name=0`; any other value is a parse
+    /// error).
     void add_flag(std::string name, std::string help);
 
     /// Register a valued option (`--name VALUE` or `--name=VALUE`) with a
@@ -32,12 +34,16 @@ class CliParser {
     [[nodiscard]] std::optional<double> option_double(std::string_view name) const;
     [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
 
+    /// The --help text. Defaults shown are the registered ones, unchanged
+    /// by any values parse() already applied.
+    [[nodiscard]] std::string usage_text(std::string_view argv0) const;
     void print_usage(std::string_view argv0) const;
 
   private:
     struct Entry {
         std::string help;
-        std::string value;   // current value (default until parsed)
+        std::string value;          // current value (default until parsed)
+        std::string default_value;  // registered default, frozen for --help
         bool is_flag = false;
         bool seen = false;
     };

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
@@ -43,8 +44,21 @@ bool create_parent_dirs(const std::string& path) {
 }
 
 bool write_file_atomic(const std::string& path, std::string_view content) {
-    const std::string tmp = path + ".tmp";
-    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    // The temp name must be unique per writer: a fixed `path + ".tmp"`
+    // lets two concurrent writers open the same temp file and publish a
+    // mix of both contents through the rename. pid + a process-local
+    // counter disambiguates across processes and across threads, and
+    // O_EXCL turns any residual collision into a retry instead of a
+    // silent shared file.
+    static std::atomic<unsigned long> tmp_serial{0};
+    std::string tmp;
+    int fd = -1;
+    for (int attempt = 0; attempt < 16 && fd < 0; ++attempt) {
+        tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+              std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
+        fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd < 0 && errno != EEXIST) return false;
+    }
     if (fd < 0) return false;
 
     const char* data = content.data();

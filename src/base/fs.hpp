@@ -20,11 +20,14 @@ namespace servet {
 /// parent to create and trivially succeeds.
 [[nodiscard]] bool create_parent_dirs(const std::string& path);
 
-/// Crash-atomic whole-file write: `content` lands in a temporary sibling,
-/// is flushed to disk (fsync), renamed over `path` (atomic within a
-/// directory per POSIX), and the directory entry itself is fsync'd. A
-/// crash at any point leaves either the previous file or the new one.
-/// Returns false on any I/O failure, with the temporary removed.
+/// Crash-atomic whole-file write: `content` lands in a uniquely named
+/// temporary sibling (pid + counter, opened O_EXCL so concurrent writers
+/// to the same path never share a temp file), is flushed to disk (fsync),
+/// renamed over `path` (atomic within a directory per POSIX), and the
+/// directory entry itself is fsync'd. A crash at any point leaves either
+/// the previous file or the new one; concurrent writers leave exactly one
+/// writer's complete content. Returns false on any I/O failure, with the
+/// temporary removed.
 [[nodiscard]] bool write_file_atomic(const std::string& path, std::string_view content);
 
 /// Outcome of read_file: distinguishes "nothing there" (routine — first

@@ -68,18 +68,35 @@ std::optional<std::string> read_file(const std::string& path) {
 }
 }  // namespace
 
-std::vector<SysfsCache> sysfs_caches(CoreId core) {
+namespace {
+/// Strict sysfs `level` parse: digits with optional trailing newline, like
+/// the endptr-checked parsers above. An unparsable or non-positive level
+/// means the index is garbage, not a level-0 cache.
+std::optional<int> parse_sysfs_level(const std::string& text) {
+    std::string trimmed = text;
+    while (!trimmed.empty() && (trimmed.back() == '\n' || trimmed.back() == ' '))
+        trimmed.pop_back();
+    int level = 0;
+    const auto [p, ec] =
+        std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), level);
+    if (ec != std::errc{} || p != trimmed.data() + trimmed.size() || level < 1)
+        return std::nullopt;
+    return level;
+}
+}  // namespace
+
+std::vector<SysfsCache> sysfs_caches(CoreId core, const std::string& sysfs_cpu_root) {
     std::vector<SysfsCache> caches;
-#if defined(__linux__)
-    const std::string base =
-        "/sys/devices/system/cpu/cpu" + std::to_string(core) + "/cache/index";
+    const std::string base = sysfs_cpu_root + "/cpu" + std::to_string(core) + "/cache/index";
     for (int index = 0; index < 8; ++index) {
         const std::string dir = base + std::to_string(index) + "/";
         const auto level_text = read_file(dir + "level");
         if (!level_text) break;  // no more indices
 
         SysfsCache cache;
-        cache.level = std::atoi(level_text->c_str());
+        const auto level = parse_sysfs_level(*level_text);
+        if (!level) continue;  // malformed index: skip it, don't invent a level-0 cache
+        cache.level = *level;
         cache.type = read_file(dir + "type").value_or("");
         while (!cache.type.empty() && cache.type.back() == '\n') cache.type.pop_back();
         if (cache.type == "Instruction") continue;
@@ -90,10 +107,11 @@ std::vector<SysfsCache> sysfs_caches(CoreId core) {
             cache.shared_with = parse_cpulist(*list_text).value_or(std::vector<CoreId>{});
         caches.push_back(std::move(cache));
     }
-#else
-    (void)core;
-#endif
     return caches;
+}
+
+std::vector<SysfsCache> sysfs_caches(CoreId core) {
+    return sysfs_caches(core, "/sys/devices/system/cpu");
 }
 
 }  // namespace servet::hw

@@ -21,8 +21,16 @@ struct SysfsCache {
 
 /// Caches visible to `core` per sysfs, or empty when sysfs is unavailable
 /// (non-Linux, restricted container). Instruction caches are filtered out —
-/// Servet measures the data path.
+/// Servet measures the data path. An index whose `level` file does not
+/// parse as a positive integer is skipped rather than reported as a bogus
+/// level-0 cache.
 [[nodiscard]] std::vector<SysfsCache> sysfs_caches(CoreId core);
+
+/// Same probe against an alternative sysfs cpu root (the directory that
+/// holds `cpuN/cache/indexM/`); lets tests exercise the parser against a
+/// fixture tree.
+[[nodiscard]] std::vector<SysfsCache> sysfs_caches(CoreId core,
+                                                   const std::string& sysfs_cpu_root);
 
 /// Parse a kernel cpulist string ("0-2,12-14") into core ids; exposed for
 /// tests. Returns nullopt on malformed input.

@@ -1,0 +1,201 @@
+#include "serve/handlers.hpp"
+
+#include <vector>
+
+namespace servet::serve {
+
+namespace {
+
+constexpr const char* kProfileContentType = "text/x-servet-profile";
+
+/// Splits a path into non-empty segments ("/v1/profile/a" -> v1,profile,a).
+std::vector<std::string> segments_of(const std::string& path) {
+    std::vector<std::string> segments;
+    std::size_t pos = 1;  // path always starts with '/'
+    while (pos <= path.size()) {
+        const std::size_t slash = std::min(path.find('/', pos), path.size());
+        if (slash > pos) segments.push_back(path.substr(pos, slash - pos));
+        pos = slash + 1;
+    }
+    return segments;
+}
+
+/// True when If-None-Match names `etag` ("*", quoted, or bare token;
+/// weak validators W/"..." match too — the content hash is exact).
+bool etag_matches(const std::string& if_none_match, const std::string& etag) {
+    std::size_t pos = 0;
+    while (pos <= if_none_match.size()) {
+        const std::size_t comma = std::min(if_none_match.find(',', pos),
+                                           if_none_match.size());
+        std::string candidate = if_none_match.substr(pos, comma - pos);
+        pos = comma + 1;
+        const auto strip = [&](char c) {
+            while (!candidate.empty() && candidate.front() == c)
+                candidate.erase(candidate.begin());
+            while (!candidate.empty() && (candidate.back() == c)) candidate.pop_back();
+        };
+        strip(' ');
+        if (candidate.starts_with("W/")) candidate.erase(0, 2);
+        strip('"');
+        if (candidate == "*" || candidate == etag) return true;
+    }
+    return false;
+}
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Response error_response(int status, std::string_view code, std::string_view message) {
+    Response response;
+    response.status = status;
+    response.content_type = "application/json";
+    response.body = "{\"error\": \"" + std::string(code) + "\", \"message\": \"" +
+                    json_escape(std::string(message)) + "\"}\n";
+    return response;
+}
+
+Response Handler::handle(const HttpRequest& request) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const auto fail = [&](int status, std::string_view code, std::string_view message) {
+        if (status >= 400 && status < 500)
+            client_errors_.fetch_add(1, std::memory_order_relaxed);
+        return error_response(status, code, message);
+    };
+
+    if (request.method != "GET" && request.method != "PUT")
+        return fail(405, "http.method", "only GET and PUT are served");
+
+    const std::vector<std::string> segments = segments_of(request.path);
+    if (segments.size() == 2 && segments[0] == "v1" && segments[1] == "healthz") {
+        if (request.method != "GET") return fail(405, "http.method", "healthz is GET-only");
+        Response response;
+        response.body = "ok\n";
+        return response;
+    }
+    if (segments.size() == 2 && segments[0] == "v1" && segments[1] == "stats") {
+        if (request.method != "GET") return fail(405, "http.method", "stats is GET-only");
+        Response response;
+        response.content_type = "application/json";
+        response.body = stats_json();
+        return response;
+    }
+
+    if (segments.size() < 3 || segments.size() > 4 || segments[0] != "v1" ||
+        segments[1] != "profile")
+        return fail(404, "http.path", "unknown resource " + request.path);
+
+    const std::string& fingerprint = segments[2];
+    if (!ProfileStore::valid_key(fingerprint))
+        return fail(400, "store.key",
+                    "fingerprint must be 16 lowercase hex digits, got '" + fingerprint +
+                        "'");
+
+    if (request.method == "PUT") {
+        if (segments.size() != 4)
+            return fail(400, "store.key", "PUT needs /v1/profile/<fp>/<options>");
+        if (request.header("content-length") == nullptr)
+            return fail(411, "http.length", "PUT requires content-length");
+        switch (store_.put(fingerprint, segments[3], request.body)) {
+            case ProfileStore::PutStatus::Stored: {
+                puts_.fetch_add(1, std::memory_order_relaxed);
+                Response response;
+                response.status = 201;
+                response.content_type = "application/json";
+                response.etag = segments[3];
+                response.body = "{\"stored\": true, \"fingerprint\": \"" + fingerprint +
+                                "\", \"options\": \"" + segments[3] + "\"}\n";
+                return response;
+            }
+            case ProfileStore::PutStatus::InvalidKey:
+                return fail(400, "store.key",
+                            "options hash must be 16 lowercase hex digits");
+            case ProfileStore::PutStatus::InvalidProfile:
+                return fail(400, "profile.parse",
+                            "body is not a parseable servet profile");
+            case ProfileStore::PutStatus::IoError:
+                return fail(500, "store.io", "could not persist the profile");
+        }
+        return fail(500, "store.io", "unreachable put status");
+    }
+
+    // GET /v1/profile/<fp>[/<opts>]
+    std::string options;
+    if (segments.size() == 4) {
+        options = segments[3];
+        if (!ProfileStore::valid_key(options))
+            return fail(400, "store.key",
+                        "options hash must be 16 lowercase hex digits, got '" + options +
+                            "'");
+    } else {
+        const auto latest = store_.head(fingerprint);
+        if (!latest) {
+            not_found_.fetch_add(1, std::memory_order_relaxed);
+            return fail(404, "profile.unknown",
+                        "no profile stored for fingerprint " + fingerprint);
+        }
+        options = *latest;
+    }
+
+    // The options hash is the validator: a fleet client that already holds
+    // this exact profile revalidates for the cost of the headers alone.
+    if (const std::string* if_none_match = request.header("if-none-match")) {
+        if (etag_matches(*if_none_match, options)) {
+            not_modified_.fetch_add(1, std::memory_order_relaxed);
+            Response response;
+            response.status = 304;
+            response.etag = options;
+            return response;
+        }
+    }
+
+    const auto body = store_.get(fingerprint, options);
+    if (!body) {
+        not_found_.fetch_add(1, std::memory_order_relaxed);
+        return fail(404, "profile.unknown",
+                    "no profile stored for " + fingerprint + "/" + options);
+    }
+    gets_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.content_type = kProfileContentType;
+    response.etag = options;
+    response.body = *body;
+    return response;
+}
+
+std::string Handler::stats_json() const {
+    const StoreStats store = store_.stats();
+    std::string out = "{\n";
+    const auto field = [&out](const char* name, std::uint64_t value, bool last = false) {
+        out += "  \"";
+        out += name;
+        out += "\": " + std::to_string(value) + (last ? "\n" : ",\n");
+    };
+    field("requests", requests_.load(std::memory_order_relaxed));
+    field("gets", gets_.load(std::memory_order_relaxed));
+    field("puts", puts_.load(std::memory_order_relaxed));
+    field("not_modified", not_modified_.load(std::memory_order_relaxed));
+    field("not_found", not_found_.load(std::memory_order_relaxed));
+    field("client_errors", client_errors_.load(std::memory_order_relaxed));
+    field("cache_hits", store.cache_hits);
+    field("cache_misses", store.cache_misses);
+    field("cache_evictions", store.evictions);
+    field("stored_profiles", store.puts, /*last=*/true);
+    out += "}\n";
+    return out;
+}
+
+}  // namespace servet::serve

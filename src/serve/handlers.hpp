@@ -1,0 +1,59 @@
+// Request routing for the profile service, kept free of sockets so the
+// protocol is unit-testable: a parsed HttpRequest goes in, a Response
+// (status + body + cache validators) comes out. The socket layer
+// (serve/server.hpp) only serializes what this returns.
+//
+// Routes (docs/serve.md is the authoritative protocol description):
+//   GET /v1/healthz                    liveness probe
+//   GET /v1/stats                      JSON counters (requests, cache, store)
+//   GET /v1/profile/<fp>               latest profile for the fingerprint
+//   GET /v1/profile/<fp>/<opts>        exact (fingerprint, options) profile
+//   PUT /v1/profile/<fp>/<opts>        upload (body = profile text)
+//
+// GETs carry `ETag: "<opts>"`; a matching If-None-Match answers 304 with
+// no body — the conditional-GET fleet machines poll with.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/http.hpp"
+#include "serve/store.hpp"
+
+namespace servet::serve {
+
+struct Response {
+    int status = 200;
+    std::string body;
+    std::string content_type = "text/plain";
+    std::string etag;  ///< raw token; quoted by the serializer when set
+};
+
+/// JSON problem body with a stable machine-readable code, mirroring the
+/// stable error codes elsewhere in servet (platform.*, drift.*).
+[[nodiscard]] Response error_response(int status, std::string_view code,
+                                      std::string_view message);
+
+class Handler {
+  public:
+    explicit Handler(ProfileStore& store) : store_(store) {}
+
+    /// Routes one request. Never throws; anything unroutable is a 4xx.
+    [[nodiscard]] Response handle(const HttpRequest& request);
+
+    /// The /v1/stats payload (also reachable directly, e.g. for the
+    /// shutdown summary line).
+    [[nodiscard]] std::string stats_json() const;
+
+  private:
+    ProfileStore& store_;
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> gets_{0};
+    std::atomic<std::uint64_t> puts_{0};
+    std::atomic<std::uint64_t> not_modified_{0};
+    std::atomic<std::uint64_t> not_found_{0};
+    std::atomic<std::uint64_t> client_errors_{0};
+};
+
+}  // namespace servet::serve

@@ -1,0 +1,98 @@
+// Minimal HTTP/1.1 for the profile service: an incremental request parser
+// built for a non-blocking read loop (bytes arrive in arbitrary chunks —
+// a request may be torn across many reads, or several pipelined requests
+// may land in one), plus the response serializer. Only what `servet
+// serve` speaks: GET/PUT, Content-Length bodies, keep-alive, ETag /
+// If-None-Match. Anything outside that maps to a definite 4xx/5xx status
+// rather than undefined behavior — the parser is the first thing on the
+// server that hostile bytes reach.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace servet::serve {
+
+struct HttpRequest {
+    std::string method;  ///< verbatim ("GET", "PUT", ...)
+    std::string target;  ///< raw request target as sent
+    std::string path;    ///< target up to '?'
+    std::string query;   ///< after '?', empty when absent
+    int version_minor = 1;  ///< HTTP/1.<minor>; only 0 and 1 parse
+    /// Header names lowercased (HTTP names are case-insensitive); values
+    /// trimmed. Duplicate names: last one wins.
+    std::map<std::string, std::string> headers;
+    std::string body;
+    bool keep_alive = true;
+
+    /// Header value or nullptr. `name` must already be lowercase.
+    [[nodiscard]] const std::string* header(const std::string& name) const;
+};
+
+/// Incremental request parser: feed() arbitrary byte chunks, pop complete
+/// requests in arrival order. An error is sticky — the connection it came
+/// from cannot be resynchronized and must be closed after the error
+/// response is sent.
+class HttpParser {
+  public:
+    struct Limits {
+        std::size_t max_head_bytes = 8 * 1024;         ///< request line + headers
+        std::size_t max_body_bytes = 16 * 1024 * 1024; ///< Content-Length cap
+    };
+
+    enum class State {
+        NeedMore,  ///< no complete request buffered yet
+        Ready,     ///< at least one complete request waiting in take_request()
+        Error,     ///< malformed input; see error_status()/error_reason()
+    };
+
+    HttpParser();  ///< default Limits
+    explicit HttpParser(Limits limits);
+
+    /// Appends bytes and parses as far as possible. Returns state().
+    State feed(std::string_view bytes);
+
+    [[nodiscard]] State state() const;
+    [[nodiscard]] bool has_request() const { return !ready_.empty(); }
+
+    /// Pops the oldest complete request. Call only when has_request().
+    [[nodiscard]] HttpRequest take_request();
+
+    /// HTTP status for the failure (400, 413, 431, 501). 0 unless Error.
+    [[nodiscard]] int error_status() const { return error_status_; }
+    [[nodiscard]] const std::string& error_reason() const { return error_reason_; }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  private:
+    enum class Phase { Head, Body };
+
+    void parse_available();
+    bool parse_head(std::string_view head);
+    void fail(int status, std::string reason);
+
+    Limits limits_;
+    std::string buffer_;
+    Phase phase_ = Phase::Head;
+    HttpRequest pending_;
+    std::size_t body_remaining_ = 0;
+    std::deque<HttpRequest> ready_;
+    int error_status_ = 0;
+    std::string error_reason_;
+};
+
+/// Reason phrase for the statuses the service emits.
+[[nodiscard]] std::string_view status_reason(int status);
+
+/// Serializes one response. `etag` (raw token, quoted on the wire) and
+/// `close` add their headers when set; a 304 carries headers but no body
+/// bytes regardless of `body`.
+[[nodiscard]] std::string render_response(int status, std::string_view content_type,
+                                          std::string_view body, std::string_view etag = {},
+                                          bool close = false);
+
+}  // namespace servet::serve

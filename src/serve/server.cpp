@@ -1,0 +1,327 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/fs.hpp"
+
+namespace servet::serve {
+
+namespace {
+/// EINTR-proof close; the fds here are sockets, retrying close on EINTR
+/// would be wrong (Linux closes the fd regardless), so just call once.
+void close_fd(int& fd) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+}
+}  // namespace
+
+ServeServer::ServeServer(ServeOptions options)
+    : options_(std::move(options)),
+      store_(options_.store_dir, options_.cache_entries),
+      handler_(store_) {}
+
+ServeServer::~ServeServer() {
+    if (started_ && !joined_) {
+        request_stop();
+        join();
+    }
+    close_fd(listen_fd_);
+    close_fd(epoll_fd_);
+    close_fd(wake_fd_);
+}
+
+bool ServeServer::start(std::string* error) {
+    const auto fail = [&](const std::string& what) {
+        if (error != nullptr) *error = what + ": " + std::strerror(errno);
+        close_fd(listen_fd_);
+        close_fd(epoll_fd_);
+        close_fd(wake_fd_);
+        return false;
+    };
+
+    if (!create_directories(options_.store_dir)) {
+        if (error != nullptr)
+            *error = "cannot create store directory " + options_.store_dir;
+        return false;
+    }
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    const int one = 1;
+    (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+        if (error != nullptr) *error = "invalid bind address " + options_.bind_address;
+        close_fd(listen_fd_);
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+        return fail("bind " + options_.bind_address + ":" + std::to_string(options_.port));
+    if (::listen(listen_fd_, 512) != 0) return fail("listen");
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0)
+        return fail("getsockname");
+    port_ = ntohs(bound.sin_port);
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return fail("epoll_create1");
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) return fail("eventfd");
+
+    epoll_event accept_event{};
+    accept_event.events = EPOLLIN;
+    accept_event.data.ptr = nullptr;  // nullptr = the listener
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &accept_event) != 0)
+        return fail("epoll_ctl(listen)");
+    epoll_event wake_event{};
+    wake_event.events = EPOLLIN;
+    wake_event.data.ptr = &wake_fd_;  // sentinel: the wake eventfd
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_event) != 0)
+        return fail("epoll_ctl(wake)");
+
+    const int threads = options_.threads < 1 ? 1 : options_.threads;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+    io_thread_ = std::thread([this] { io_loop(); });
+    started_ = true;
+    return true;
+}
+
+void ServeServer::request_stop() {
+    // Only async-signal-safe calls: the SIGTERM handler runs this.
+    stopping_.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    if (wake_fd_ >= 0) {
+        const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+        (void)n;
+    }
+}
+
+void ServeServer::join() {
+    if (!started_ || joined_) return;
+    io_thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        workers_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    // Whatever connections survived (idle keep-alives, half-parsed
+    // requests) are torn down now; the workers have drained their queue.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (Connection* conn : conns_) {
+        close_fd(conn->fd);
+        delete conn;
+    }
+    conns_.clear();
+    joined_ = true;
+}
+
+void ServeServer::enqueue(Connection* conn) {
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+}
+
+void ServeServer::close_connection(Connection* conn) {
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns_.erase(conn);
+    }
+    // The fd leaves the epoll set automatically on close.
+    close_fd(conn->fd);
+    delete conn;
+}
+
+bool ServeServer::rearm(Connection* conn) {
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+    event.data.ptr = conn;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0;
+}
+
+void ServeServer::io_loop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    while (true) {
+        const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            if (events[i].data.ptr == &wake_fd_) {
+                std::uint64_t drained = 0;
+                const ssize_t r = ::read(wake_fd_, &drained, sizeof drained);
+                (void)r;
+                continue;  // stop flag checked below, after this batch
+            }
+            if (events[i].data.ptr == nullptr) {
+                // The listener: accept until EAGAIN.
+                while (true) {
+                    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+                    if (fd < 0) break;
+                    bool at_capacity = false;
+                    {
+                        std::lock_guard<std::mutex> lock(conns_mutex_);
+                        at_capacity = conns_.size() >= options_.max_connections;
+                    }
+                    if (at_capacity || stopping_.load(std::memory_order_acquire)) {
+                        ::close(fd);
+                        continue;
+                    }
+                    const int one = 1;
+                    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+                    auto* conn = new Connection(options_.limits);
+                    conn->fd = fd;
+                    {
+                        std::lock_guard<std::mutex> lock(conns_mutex_);
+                        conns_.insert(conn);
+                    }
+                    epoll_event event{};
+                    event.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+                    event.data.ptr = conn;
+                    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0)
+                        close_connection(conn);
+                }
+                continue;
+            }
+
+            // A connection became readable (EPOLLONESHOT: it is ours alone
+            // until re-armed). Read everything available, feed the parser,
+            // and decide: worker (complete request or protocol error),
+            // re-arm (clean but incomplete), or close (EOF, no work left).
+            auto* conn = static_cast<Connection*>(events[i].data.ptr);
+            char chunk[16 * 1024];
+            bool io_dead = false;
+            while (true) {
+                const ssize_t got = ::recv(conn->fd, chunk, sizeof chunk, 0);
+                if (got > 0) {
+                    (void)conn->parser.feed(
+                        std::string_view(chunk, static_cast<std::size_t>(got)));
+                    if (conn->parser.state() == HttpParser::State::Error) break;
+                    continue;
+                }
+                if (got == 0) {
+                    conn->saw_eof = true;
+                    break;
+                }
+                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                if (errno == EINTR) continue;
+                io_dead = true;
+                break;
+            }
+            if ((events[i].events & (EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0)
+                conn->saw_eof = true;
+
+            if (io_dead) {
+                close_connection(conn);
+            } else if (conn->parser.has_request() ||
+                       conn->parser.state() == HttpParser::State::Error) {
+                enqueue(conn);
+            } else if (conn->saw_eof) {
+                close_connection(conn);  // peer gone, nothing to answer
+            } else if (!rearm(conn)) {
+                close_connection(conn);
+            }
+        }
+        if (stopping_.load(std::memory_order_acquire)) break;
+    }
+    // Stop accepting; established connections drain through the workers.
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    close_fd(listen_fd_);
+}
+
+void ServeServer::worker_loop() {
+    while (true) {
+        Connection* conn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // workers_stop_ and drained
+            conn = queue_.front();
+            queue_.pop_front();
+        }
+        if (serve_ready_requests(conn)) {
+            if (!rearm(conn)) close_connection(conn);
+        } else {
+            close_connection(conn);
+        }
+    }
+}
+
+bool ServeServer::send_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    int stalls = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            stalls = 0;
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // A reader that stops draining for 30s is gone (or hostile);
+            // a worker must not be pinned to it forever.
+            if (++stalls > 30) return false;
+            pollfd waiter{fd, POLLOUT, 0};
+            (void)::poll(&waiter, 1, 1000);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+bool ServeServer::serve_ready_requests(Connection* conn) {
+    while (conn->parser.has_request()) {
+        const HttpRequest request = conn->parser.take_request();
+        const Response response = handler_.handle(request);
+        const bool close_after =
+            !request.keep_alive ||
+            (conn->saw_eof && !conn->parser.has_request() &&
+             conn->parser.state() != HttpParser::State::Error);
+        if (!send_all(conn->fd, render_response(response.status, response.content_type,
+                                                response.body, response.etag,
+                                                close_after)))
+            return false;
+        if (!request.keep_alive) return false;
+    }
+    if (conn->parser.state() == HttpParser::State::Error) {
+        // One best-effort error response, then drop the connection — after
+        // a framing error there is no trustworthy request boundary left.
+        const Response response =
+            error_response(conn->parser.error_status(), "http.malformed",
+                           conn->parser.error_reason());
+        (void)send_all(conn->fd, render_response(response.status, response.content_type,
+                                                 response.body, /*etag=*/{},
+                                                 /*close=*/true));
+        return false;
+    }
+    return !conn->saw_eof;
+}
+
+}  // namespace servet::serve

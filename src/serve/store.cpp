@@ -1,0 +1,119 @@
+#include "serve/store.hpp"
+
+#include <utility>
+
+#include "base/fs.hpp"
+#include "core/profile.hpp"
+
+namespace servet::serve {
+
+namespace {
+std::string cache_key(const std::string& fingerprint, const std::string& options) {
+    return fingerprint + '/' + options;
+}
+}  // namespace
+
+ProfileStore::ProfileStore(std::string root_dir, std::size_t cache_entries)
+    : root_(std::move(root_dir)), cache_entries_(cache_entries) {}
+
+bool ProfileStore::valid_key(const std::string& key) {
+    if (key.size() != 16) return false;
+    for (const char c : key) {
+        const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex) return false;
+    }
+    return true;
+}
+
+std::string ProfileStore::profile_path(const std::string& fingerprint,
+                                       const std::string& options) const {
+    return root_ + '/' + fingerprint + '/' + options + ".profile";
+}
+
+std::string ProfileStore::head_path(const std::string& fingerprint) const {
+    return root_ + '/' + fingerprint + "/HEAD";
+}
+
+void ProfileStore::cache_insert_locked(const std::string& key, const std::string& body) {
+    if (cache_entries_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = body;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, body);
+    index_[key] = lru_.begin();
+    while (lru_.size() > cache_entries_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+ProfileStore::PutStatus ProfileStore::put(const std::string& fingerprint,
+                                          const std::string& options,
+                                          const std::string& body) {
+    if (!valid_key(fingerprint) || !valid_key(options)) return PutStatus::InvalidKey;
+    if (!core::Profile::parse(body)) return PutStatus::InvalidProfile;
+
+    const std::string path = profile_path(fingerprint, options);
+    if (!create_parent_dirs(path)) return PutStatus::IoError;
+    // The profile must be durable before HEAD names it: a crash between
+    // the two writes leaves the previous HEAD pointing at its previous
+    // (still complete) profile.
+    if (!write_file_atomic(path, body)) return PutStatus::IoError;
+    if (!write_file_atomic(head_path(fingerprint), options + '\n'))
+        return PutStatus::IoError;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_insert_locked(cache_key(fingerprint, options), body);
+    heads_[fingerprint] = options;
+    ++stats_.puts;
+    return PutStatus::Stored;
+}
+
+std::optional<std::string> ProfileStore::get(const std::string& fingerprint,
+                                             const std::string& options) {
+    if (!valid_key(fingerprint) || !valid_key(options)) return std::nullopt;
+    const std::string key = cache_key(fingerprint, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++stats_.cache_hits;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->second;
+        }
+        ++stats_.cache_misses;
+    }
+    std::string body;
+    if (read_file(profile_path(fingerprint, options), &body) != FileRead::Ok)
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_insert_locked(key, body);
+    return body;
+}
+
+std::optional<std::string> ProfileStore::head(const std::string& fingerprint) {
+    if (!valid_key(fingerprint)) return std::nullopt;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = heads_.find(fingerprint);
+        if (it != heads_.end()) return it->second;
+    }
+    std::string text;
+    if (read_file(head_path(fingerprint), &text) != FileRead::Ok) return std::nullopt;
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) text.pop_back();
+    if (!valid_key(text)) return std::nullopt;  // corrupt HEAD: treat as absent
+    std::lock_guard<std::mutex> lock(mutex_);
+    heads_[fingerprint] = text;
+    return text;
+}
+
+StoreStats ProfileStore::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace servet::serve

@@ -1,0 +1,87 @@
+// Content-addressed profile store behind `servet serve`. A profile is
+// addressed by the pair the measurement pipeline already computes: the
+// machine fingerprint (Platform::fingerprint, the journal's identity
+// check) and the suite options hash (core::suite_options_hash) — both
+// 16-hex-digit tokens on the wire and on disk. Layout under the root:
+//
+//   <root>/<fingerprint>/<options>.profile   one upload, written atomically
+//   <root>/<fingerprint>/HEAD                options hash of the latest upload
+//
+// so a fleet of machines with the same hardware converges on one entry,
+// and a crashed upload never publishes a torn profile (write_file_atomic
+// with unique O_EXCL temp names — concurrent uploads are the normal case
+// here, not a race). Hot entries are served from an in-memory LRU keyed
+// on (fingerprint, options); the disk is only consulted on a miss.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace servet::serve {
+
+struct StoreStats {
+    std::uint64_t cache_hits = 0;    ///< LRU served the body
+    std::uint64_t cache_misses = 0;  ///< disk read (present or absent)
+    std::uint64_t puts = 0;          ///< accepted uploads
+    std::uint64_t evictions = 0;     ///< LRU entries displaced
+};
+
+class ProfileStore {
+  public:
+    /// `cache_entries` bounds the LRU (0 disables in-memory caching).
+    ProfileStore(std::string root_dir, std::size_t cache_entries);
+
+    enum class PutStatus {
+        Stored,          ///< accepted, on disk, HEAD updated
+        InvalidKey,      ///< fingerprint/options not a 16-hex-digit token
+        InvalidProfile,  ///< body does not parse as a servet profile
+        IoError,         ///< disk write failed
+    };
+
+    /// Accepts an upload: validates the keys and the body (a body that
+    /// core::Profile::parse rejects never reaches disk), writes the
+    /// profile atomically, then moves HEAD to it.
+    [[nodiscard]] PutStatus put(const std::string& fingerprint, const std::string& options,
+                                const std::string& body);
+
+    /// The stored profile text for the exact (fingerprint, options) pair,
+    /// LRU-cached; nullopt when absent.
+    [[nodiscard]] std::optional<std::string> get(const std::string& fingerprint,
+                                                 const std::string& options);
+
+    /// Options hash of the latest upload for the fingerprint; nullopt for
+    /// an unknown fingerprint.
+    [[nodiscard]] std::optional<std::string> head(const std::string& fingerprint);
+
+    /// Exactly 16 lowercase hex digits — the wire/disk form of the
+    /// 64-bit fingerprints and options hashes.
+    [[nodiscard]] static bool valid_key(const std::string& key);
+
+    [[nodiscard]] StoreStats stats() const;
+    [[nodiscard]] const std::string& root() const { return root_; }
+
+  private:
+    [[nodiscard]] std::string profile_path(const std::string& fingerprint,
+                                           const std::string& options) const;
+    [[nodiscard]] std::string head_path(const std::string& fingerprint) const;
+    void cache_insert_locked(const std::string& key, const std::string& body);
+
+    std::string root_;
+    std::size_t cache_entries_;
+
+    mutable std::mutex mutex_;
+    /// MRU-first list of (cache key, body); index_ points into it.
+    std::list<std::pair<std::string, std::string>> lru_;
+    std::unordered_map<std::string, std::list<std::pair<std::string, std::string>>::iterator>
+        index_;
+    /// fingerprint -> latest options hash, mirroring the HEAD files.
+    std::map<std::string, std::string> heads_;
+    StoreStats stats_;
+};
+
+}  // namespace servet::serve

@@ -29,6 +29,59 @@ TEST(Cli, FlagSet) {
     EXPECT_TRUE(cli.flag("verbose"));
 }
 
+TEST(Cli, FlagAcceptsBooleanSpellings) {
+    // --flag=<v> for every accepted spelling; "=1" used to parse as false
+    // because the stored value was compared verbatim against "true".
+    const struct {
+        const char* arg;
+        bool expected;
+    } cases[] = {
+        {"--resume=true", true},
+        {"--resume=1", true},
+        {"--resume=false", false},
+        {"--resume=0", false},
+    };
+    for (const auto& c : cases) {
+        CliParser cli("test");
+        cli.add_flag("resume", "resume the run");
+        const auto argv = argv_of({c.arg});
+        ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data())) << c.arg;
+        EXPECT_EQ(cli.flag("resume"), c.expected) << c.arg;
+    }
+}
+
+TEST(Cli, FlagRejectsNonBooleanValue) {
+    for (const char* arg : {"--resume=yes", "--resume=2", "--resume=TRUE",
+                            "--resume=garbage", "--resume="}) {
+        CliParser cli("test");
+        cli.add_flag("resume", "resume the run");
+        const auto argv = argv_of({arg});
+        EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data())) << arg;
+    }
+}
+
+TEST(Cli, FlagBareStillTrue) {
+    CliParser cli("test");
+    cli.add_flag("resume", "resume the run");
+    const auto argv = argv_of({"--resume"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(cli.flag("resume"));
+}
+
+TEST(Cli, UsageShowsRegisteredDefaultNotParsedValue) {
+    // --help alongside other options must print the registered default,
+    // not whatever this invocation happened to pass.
+    CliParser cli("test");
+    cli.add_option("machine", "target machine", "dunnington");
+    cli.add_flag("fast", "fewer repeats");
+    const auto argv = argv_of({"--machine", "dempsey", "--fast"});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_EQ(cli.option("machine"), "dempsey");  // parse still took effect
+    const std::string usage = cli.usage_text("prog");
+    EXPECT_NE(usage.find("default: dunnington"), std::string::npos) << usage;
+    EXPECT_EQ(usage.find("default: dempsey"), std::string::npos) << usage;
+}
+
 TEST(Cli, OptionDefault) {
     CliParser cli("test");
     cli.add_option("machine", "target machine", "dunnington");

@@ -1,0 +1,147 @@
+// Regression tests for the crash-atomic write path, centered on the
+// concurrent-writer guarantee: write_file_atomic once used the fixed
+// temp name `path + ".tmp"`, so two simultaneous writers shared (and
+// clobbered) one temp file — a reader could then see one writer's bytes
+// under the other writer's rename, or a torn mix. The unique O_EXCL temp
+// per writer makes every rename publish exactly one writer's complete
+// content.
+#include "base/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace servet {
+namespace {
+
+/// Fresh scratch directory per test; removed on teardown.
+class FsTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        char pattern[] = "/tmp/servet-fs-XXXXXX";
+        ASSERT_NE(::mkdtemp(pattern), nullptr);
+        dir_ = pattern;
+    }
+    void TearDown() override {
+        for (const std::string& name : list_dir())
+            (void)::unlink((dir_ + "/" + name).c_str());
+        (void)::rmdir(dir_.c_str());
+    }
+
+    std::vector<std::string> list_dir() const {
+        std::vector<std::string> names;
+        DIR* dir = ::opendir(dir_.c_str());
+        if (dir == nullptr) return names;
+        while (const dirent* entry = ::readdir(dir)) {
+            const std::string name = entry->d_name;
+            if (name != "." && name != "..") names.push_back(name);
+        }
+        ::closedir(dir);
+        return names;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(FsTest, WriteReadRoundTrip) {
+    const std::string path = dir_ + "/file.txt";
+    ASSERT_TRUE(write_file_atomic(path, "hello\n"));
+    std::string content;
+    ASSERT_EQ(read_file(path, &content), FileRead::Ok);
+    EXPECT_EQ(content, "hello\n");
+}
+
+TEST_F(FsTest, OverwriteReplacesWholeFile) {
+    const std::string path = dir_ + "/file.txt";
+    ASSERT_TRUE(write_file_atomic(path, "a long first version of the file\n"));
+    ASSERT_TRUE(write_file_atomic(path, "short\n"));
+    std::string content;
+    ASSERT_EQ(read_file(path, &content), FileRead::Ok);
+    EXPECT_EQ(content, "short\n");  // no stale tail from the longer write
+}
+
+TEST_F(FsTest, NoTempResidueAfterWrites) {
+    const std::string path = dir_ + "/file.txt";
+    for (int i = 0; i < 8; ++i) {
+        std::string content = "v";
+        content += std::to_string(i);
+        ASSERT_TRUE(write_file_atomic(path, content));
+    }
+    const std::vector<std::string> names = list_dir();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "file.txt");
+}
+
+TEST_F(FsTest, ConcurrentWritersNeverTearOrClobber) {
+    // Several threads repeatedly rewrite the same path with distinct,
+    // recognizable contents. Every read observed during and after the
+    // race must be exactly one writer's complete payload.
+    const std::string path = dir_ + "/contested.txt";
+    constexpr int kWriters = 4;
+    constexpr int kRounds = 200;
+    const auto payload_of = [](int writer) {
+        // Distinct sizes so a torn or mixed write cannot masquerade as a
+        // valid payload.
+        return std::string(static_cast<std::size_t>(64 + writer * 37),
+                           static_cast<char>('A' + writer));
+    };
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&, w] {
+            const std::string payload = payload_of(w);
+            for (int round = 0; round < kRounds; ++round)
+                if (!write_file_atomic(path, payload)) failed.store(true);
+        });
+    std::thread reader([&] {
+        for (int i = 0; i < kRounds; ++i) {
+            std::string seen;
+            if (read_file(path, &seen) != FileRead::Ok) continue;
+            bool valid = false;
+            for (int w = 0; w < kWriters; ++w)
+                if (seen == payload_of(w)) valid = true;
+            if (!valid) failed.store(true);
+        }
+    });
+    for (std::thread& t : writers) t.join();
+    reader.join();
+    EXPECT_FALSE(failed.load());
+
+    std::string final_content;
+    ASSERT_EQ(read_file(path, &final_content), FileRead::Ok);
+    bool valid = false;
+    for (int w = 0; w < kWriters; ++w)
+        if (final_content == payload_of(w)) valid = true;
+    EXPECT_TRUE(valid) << "final file is not any single writer's payload";
+
+    const std::vector<std::string> names = list_dir();
+    ASSERT_EQ(names.size(), 1u) << "temp files left behind after the race";
+    EXPECT_EQ(names[0], "contested.txt");
+}
+
+TEST_F(FsTest, WriteIntoMissingDirectoryFails) {
+    EXPECT_FALSE(write_file_atomic(dir_ + "/no/such/dir/file.txt", "x"));
+}
+
+TEST_F(FsTest, CreateParentDirsThenWrite) {
+    const std::string path = dir_ + "/a/b/c.txt";
+    ASSERT_TRUE(create_parent_dirs(path));
+    ASSERT_TRUE(write_file_atomic(path, "nested"));
+    std::string content;
+    ASSERT_EQ(read_file(path, &content), FileRead::Ok);
+    EXPECT_EQ(content, "nested");
+    (void)::unlink(path.c_str());
+    (void)::rmdir((dir_ + "/a/b").c_str());
+    (void)::rmdir((dir_ + "/a").c_str());
+}
+
+}  // namespace
+}  // namespace servet

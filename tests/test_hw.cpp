@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "base/fs.hpp"
 #include "hw/affinity.hpp"
 #include "hw/kernels.hpp"
 #include "hw/timer.hpp"
@@ -128,6 +132,75 @@ TEST(Topology, SysfsCachesDoNotCrash) {
         EXPECT_NE(cache.type, "Instruction");
         EXPECT_GE(cache.level, 1);
     }
+}
+
+// A fake sysfs cpu tree exercising the fixture-root overload.
+
+class SysfsFixture : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        char pattern[] = "/tmp/servet-sysfs-XXXXXX";
+        ASSERT_NE(::mkdtemp(pattern), nullptr);
+        root_ = pattern;
+    }
+    void TearDown() override {
+        // Best-effort recursive cleanup of the tiny fixed-shape tree.
+        for (int index = 0; index < 8; ++index) {
+            const std::string dir = root_ + "/cpu0/cache/index" + std::to_string(index);
+            for (const char* file : {"level", "type", "size", "shared_cpu_list"})
+                (void)::unlink((dir + "/" + file).c_str());
+            (void)::rmdir(dir.c_str());
+        }
+        (void)::rmdir((root_ + "/cpu0/cache").c_str());
+        (void)::rmdir((root_ + "/cpu0").c_str());
+        (void)::rmdir(root_.c_str());
+    }
+
+    void add_index(int index, const std::string& level, const std::string& type,
+                   const std::string& size, const std::string& shared) {
+        const std::string dir = root_ + "/cpu0/cache/index" + std::to_string(index);
+        ASSERT_TRUE(create_directories(dir));
+        ASSERT_TRUE(write_file_atomic(dir + "/level", level));
+        ASSERT_TRUE(write_file_atomic(dir + "/type", type));
+        ASSERT_TRUE(write_file_atomic(dir + "/size", size));
+        ASSERT_TRUE(write_file_atomic(dir + "/shared_cpu_list", shared));
+    }
+
+    std::string root_;
+};
+
+TEST_F(SysfsFixture, WellFormedTreeParses) {
+    add_index(0, "1\n", "Data\n", "32K\n", "0\n");
+    add_index(1, "1\n", "Instruction\n", "32K\n", "0\n");
+    add_index(2, "2\n", "Unified\n", "6144K\n", "0-1\n");
+    const auto caches = sysfs_caches(0, root_);
+    ASSERT_EQ(caches.size(), 2u);  // the instruction cache is dropped
+    EXPECT_EQ(caches[0].level, 1);
+    EXPECT_EQ(caches[0].size, 32 * KiB);
+    EXPECT_EQ(caches[1].level, 2);
+    EXPECT_EQ(caches[1].size, 6 * MiB);
+    EXPECT_EQ(caches[1].shared_with, (std::vector<CoreId>{0, 1}));
+}
+
+TEST_F(SysfsFixture, MalformedLevelIsSkippedNotLevelZero) {
+    // A garbage `level` file used to go through unchecked atoi and come
+    // back as a bogus level-0 cache; it must be skipped instead, without
+    // hiding the well-formed indices after it.
+    add_index(0, "1\n", "Data\n", "32K\n", "0\n");
+    add_index(1, "not-a-number\n", "Unified\n", "256K\n", "0\n");
+    add_index(2, "\n", "Unified\n", "1024K\n", "0\n");
+    add_index(3, "0\n", "Unified\n", "2048K\n", "0\n");  // level < 1 is garbage too
+    add_index(4, "3\n", "Unified\n", "8192K\n", "0-3\n");
+    const auto caches = sysfs_caches(0, root_);
+    ASSERT_EQ(caches.size(), 2u);
+    EXPECT_EQ(caches[0].level, 1);
+    EXPECT_EQ(caches[1].level, 3);
+    for (const SysfsCache& cache : caches) EXPECT_GE(cache.level, 1);
+}
+
+TEST_F(SysfsFixture, MissingTreeYieldsEmpty) {
+    EXPECT_TRUE(sysfs_caches(0, root_ + "/nonexistent").empty());
+    EXPECT_TRUE(sysfs_caches(7, root_).empty());  // no cpu7 directory
 }
 
 }  // namespace

@@ -2,13 +2,20 @@
 // workflow (profile -> report -> price) executed through the real CLI.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #ifndef SERVET_TOOL_PATH
 #error "SERVET_TOOL_PATH must be defined by the build"
@@ -353,6 +360,100 @@ TEST(ToolCli, ValidateAgainstBaselineGradesDrift) {
     std::remove(base.c_str());
     std::remove(same.c_str());
     std::remove(drifted.c_str());
+}
+
+/// One request on a fresh loopback connection, read to EOF.
+std::string serve_round_trip(int port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char chunk[8192];
+    while (true) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) break;
+        response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(ToolCli, ServeUploadFetchSigterm) {
+    // The full daemon lifecycle: fork/exec `servet serve` on an ephemeral
+    // port, drive the protocol over raw sockets, SIGTERM, expect exit 0.
+    const std::string dir = ::testing::TempDir() + "/tool_cli_serve_" +
+                            std::to_string(::getpid());
+    const std::string port_file = dir + "/port";
+    const std::string store_dir = dir + "/store";
+    ASSERT_EQ(run_tool("profile --machine athlon3200 --fast --no-timing --out " + dir +
+                       "/golden.profile").exit_code, 0);
+    std::string body;
+    {
+        std::ifstream in(dir + "/golden.profile");
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        body = buffer.str();
+    }
+    ASSERT_FALSE(body.empty());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::execl(SERVET_TOOL_PATH, SERVET_TOOL_PATH, "serve", "--port", "0",
+                "--store-dir", store_dir.c_str(), "--port-file", port_file.c_str(),
+                static_cast<char*>(nullptr));
+        _exit(127);  // exec failed
+    }
+
+    int port = 0;
+    for (int attempt = 0; attempt < 100 && port == 0; ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::ifstream in(port_file);
+        in >> port;
+    }
+    ASSERT_GT(port, 0) << "daemon never wrote the port file";
+
+    const std::string fp = "00000000deadbeef";
+    const std::string opts = "0123456789abcdef";
+    const std::string put = serve_round_trip(
+        port, "PUT /v1/profile/" + fp + "/" + opts + " HTTP/1.1\r\ncontent-length: " +
+                  std::to_string(body.size()) + "\r\nconnection: close\r\n\r\n" + body);
+    EXPECT_EQ(put.compare(0, 12, "HTTP/1.1 201"), 0) << put;
+
+    const std::string get = serve_round_trip(
+        port, "GET /v1/profile/" + fp + " HTTP/1.1\r\nconnection: close\r\n\r\n");
+    EXPECT_EQ(get.compare(0, 12, "HTTP/1.1 200"), 0) << get;
+    const std::size_t head_end = get.find("\r\n\r\n");
+    ASSERT_NE(head_end, std::string::npos);
+    EXPECT_EQ(get.substr(head_end + 4), body);  // byte-identical round trip
+
+    const std::string revalidated = serve_round_trip(
+        port, "GET /v1/profile/" + fp + " HTTP/1.1\r\nif-none-match: \"" + opts +
+                  "\"\r\nconnection: close\r\n\r\n");
+    EXPECT_EQ(revalidated.compare(0, 12, "HTTP/1.1 304"), 0) << revalidated;
+
+    const std::string malformed = serve_round_trip(port, "NOT-HTTP\r\n\r\n");
+    EXPECT_EQ(malformed.compare(0, 12, "HTTP/1.1 400"), 0) << malformed;
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit cleanly on SIGTERM";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 TEST(ToolCli, UnknownCommandFails) {

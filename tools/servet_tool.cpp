@@ -16,8 +16,12 @@
 //   servet validate --profile FILE       check a profile against physical
 //                                         invariants; --repair re-measures,
 //                                         --against diffs two profiles
+//   servet serve    [--port P] [--store-dir D]
+//                                         long-running profile service
+//                                         (HTTP/1.1 + JSON; see docs/serve.md)
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 
@@ -43,6 +47,7 @@
 #include "platform/native_platform.hpp"
 #include "platform/platform_file.hpp"
 #include "platform/sim_platform.hpp"
+#include "serve/server.hpp"
 #include "sim/zoo.hpp"
 #include "watch/watch.hpp"
 
@@ -901,6 +906,84 @@ int cmd_validate(int argc, const char* const* argv) {
     return 0;
 }
 
+/// The one server this process runs; the signal handler may only touch
+/// async-signal-safe state, and ServeServer::request_stop() is exactly
+/// that (an atomic store + an eventfd write).
+serve::ServeServer* g_serve_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+    if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+    CliParser cli("servet serve: long-running profile service. Stores profiles "
+                  "content-addressed by machine fingerprint and suite options hash, "
+                  "serves them over minimal HTTP/1.1 with conditional GET "
+                  "(If-None-Match -> 304). SIGTERM/SIGINT drain in-flight requests "
+                  "and exit 0. Protocol and store layout: docs/serve.md.");
+    cli.add_option("store-dir", "directory holding the profile store", "servet-store");
+    cli.add_option("bind", "IPv4 address to bind", "127.0.0.1");
+    cli.add_option("port", "TCP port (0 = ephemeral; see --port-file)", "0");
+    cli.add_option("threads", "worker threads answering requests", "2");
+    cli.add_option("cache", "hot profiles kept in the in-memory LRU", "256");
+    cli.add_option("port-file", "write the bound port to this file once listening "
+                   "(how scripts find an ephemeral port)", "");
+    if (!cli.parse(argc, argv)) return 1;
+
+    serve::ServeOptions options;
+    options.store_dir = cli.option("store-dir");
+    options.bind_address = cli.option("bind");
+    const auto port = cli.option_int("port");
+    if (!port || *port < 0 || *port > 65535) {
+        std::fprintf(stderr, "--port must be an integer in [0, 65535]\n");
+        return 2;
+    }
+    options.port = static_cast<std::uint16_t>(*port);
+    const auto threads = cli.option_int("threads");
+    if (!threads || *threads < 1 || *threads > 64) {
+        std::fprintf(stderr, "--threads must be an integer in [1, 64]\n");
+        return 2;
+    }
+    options.threads = static_cast<int>(*threads);
+    const auto cache = cli.option_int("cache");
+    if (!cache || *cache < 0) {
+        std::fprintf(stderr, "--cache must be an integer >= 0\n");
+        return 2;
+    }
+    options.cache_entries = static_cast<std::size_t>(*cache);
+
+    serve::ServeServer server(options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+    g_serve_server = &server;
+    struct sigaction action{};
+    action.sa_handler = serve_signal_handler;
+    ::sigemptyset(&action.sa_mask);
+    (void)::sigaction(SIGTERM, &action, nullptr);
+    (void)::sigaction(SIGINT, &action, nullptr);
+
+    if (!cli.option("port-file").empty() &&
+        !write_file_atomic(cli.option("port-file"),
+                           std::to_string(server.port()) + "\n")) {
+        std::fprintf(stderr, "cannot write %s\n", cli.option("port-file").c_str());
+        server.request_stop();
+        server.join();
+        return kExitExportFailed;
+    }
+
+    std::printf("serve: listening on %s:%u, store %s, %d worker(s)\n",
+                options.bind_address.c_str(), static_cast<unsigned>(server.port()),
+                options.store_dir.c_str(), options.threads);
+    std::fflush(stdout);
+    server.join();  // returns once a signal (or caller) requested stop
+    g_serve_server = nullptr;
+    std::printf("serve: drained and stopped\n");
+    return 0;
+}
+
 void usage() {
     std::fprintf(stderr,
                  "servet — measure multicore hardware parameters for autotuning\n\n"
@@ -917,7 +1000,9 @@ void usage() {
                  "  watch      re-measure a fast subset periodically and judge drift "
                  "against a rolling baseline\n"
                  "  validate   check a profile against physical invariants "
-                 "(--repair re-measures, --against diffs two profiles)\n\n"
+                 "(--repair re-measures, --against diffs two profiles)\n"
+                 "  serve      long-running profile service over HTTP "
+                 "(content-addressed store, conditional GET)\n\n"
                  "run 'servet <command> --help' for per-command options.\n");
 }
 
@@ -941,6 +1026,7 @@ int main(int argc, char** argv) {
     if (command == "metrics") return cmd_metrics(sub_argc, sub_argv);
     if (command == "watch") return cmd_watch(sub_argc, sub_argv);
     if (command == "validate") return cmd_validate(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     usage();
     return command == "--help" || command == "help" ? 0 : 1;
 }
