@@ -2,12 +2,40 @@
 
 #include <algorithm>
 
+#include "autotune/search/strategy.hpp"
 #include "base/check.hpp"
 
 namespace servet::autotune {
 
-std::optional<AggregationAdvice> advise_aggregation(const core::Profile& profile,
-                                                    CorePair pair, Bytes size, int count) {
+namespace {
+
+/// The two-option aggregation decision as a Tunable. Costs are
+/// precomputed from the profile at construction; "scattered" enumerates
+/// first so a cost tie keeps it (the advisor aggregates only on strict
+/// benefit).
+class AggregationTunable final : public search::Tunable {
+  public:
+    AggregationTunable(Seconds scattered_cost, Seconds aggregated_cost)
+        : scattered_cost_(scattered_cost), aggregated_cost_(aggregated_cost) {
+        space_.add_enum("mode", {"scattered", "aggregated"});
+    }
+
+    [[nodiscard]] std::string name() const override { return "aggregation"; }
+    [[nodiscard]] const search::ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        return config.label("mode") == "scattered" ? scattered_cost_ : aggregated_cost_;
+    }
+
+  private:
+    Seconds scattered_cost_;
+    Seconds aggregated_cost_;
+    search::ConfigSpace space_;
+};
+
+/// Prices both options, nullopt when the profile lacks the data.
+std::optional<AggregationAdvice> price_options(const core::Profile& profile, CorePair pair,
+                                               Bytes size, int count) {
     SERVET_CHECK(count >= 1 && size > 0);
     const int layer_index = profile.comm_layer_of(pair);
     if (layer_index < 0) return std::nullopt;
@@ -31,7 +59,29 @@ std::optional<AggregationAdvice> advise_aggregation(const core::Profile& profile
     advice.scattered_cost = *isolated * slowdown;
     advice.aggregated_cost = *gathered;
     advice.benefit = advice.scattered_cost / advice.aggregated_cost;
-    advice.aggregate = advice.benefit > 1.0;
+    return advice;
+}
+
+}  // namespace
+
+std::unique_ptr<search::Tunable> make_aggregation_tunable(const core::Profile& profile,
+                                                          CorePair pair, Bytes size,
+                                                          int count) {
+    const auto priced = price_options(profile, pair, size, count);
+    if (!priced) return nullptr;
+    return std::make_unique<AggregationTunable>(priced->scattered_cost,
+                                                priced->aggregated_cost);
+}
+
+std::optional<AggregationAdvice> advise_aggregation(const core::Profile& profile,
+                                                    CorePair pair, Bytes size, int count) {
+    auto advice = price_options(profile, pair, size, count);
+    if (!advice) return std::nullopt;
+    const auto tunable = make_aggregation_tunable(profile, pair, size, count);
+    SERVET_CHECK(tunable != nullptr);
+    const auto result = search::run_search(*tunable, {});
+    SERVET_CHECK(result.has_value());
+    advice->aggregate = result->best.label("mode") == "aggregated";
     return advice;
 }
 

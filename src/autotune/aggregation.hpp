@@ -6,6 +6,9 @@
 // from the profile and says which wins.
 #pragma once
 
+#include <memory>
+
+#include "autotune/search/tunable.hpp"
 #include "base/types.hpp"
 #include "core/profile.hpp"
 
@@ -22,6 +25,15 @@ struct AggregationAdvice {
 /// serving `pair` versus one gathered message. Returns nullopt when the
 /// profile lacks data for the pair.
 [[nodiscard]] std::optional<AggregationAdvice> advise_aggregation(
+    const core::Profile& profile, CorePair pair, Bytes size, int count);
+
+/// Tunable view of the aggregation decision: a `mode` enum axis over
+/// {scattered, aggregated} priced from the profile's curves (scattered
+/// listed first, so the tie benefit == 1.0 resolves to not aggregating,
+/// like the advisor's strict > test). nullptr when the profile lacks the
+/// layer or curve data for the pair — degenerate profiles surface here
+/// instead of producing a garbage choice.
+[[nodiscard]] std::unique_ptr<search::Tunable> make_aggregation_tunable(
     const core::Profile& profile, CorePair pair, Bytes size, int count);
 
 }  // namespace servet::autotune

@@ -1,15 +1,75 @@
 #include "autotune/collective_select.hpp"
 
+#include <utility>
+
+#include "autotune/search/strategy.hpp"
 #include "base/check.hpp"
 
 namespace servet::autotune {
 
 namespace {
 
-CollectiveChoice pick_cheapest(const core::Profile& profile, std::vector<Schedule> schedules,
-                               Bytes size);
+/// An algorithm shoot-out as a Tunable: one enum axis whose labels are
+/// the candidate algorithm names, each point priced at construction by
+/// estimate_schedule. Candidates keep their given order, so a cost tie
+/// resolves to the earlier algorithm — same rule as the pre-search
+/// selector.
+class CollectiveTunable final : public search::Tunable {
+  public:
+    CollectiveTunable(std::string collective, std::vector<std::string> algorithms,
+                      std::vector<Seconds> costs)
+        : name_("collective." + std::move(collective)), costs_(std::move(costs)) {
+        space_.add_enum("algorithm", std::move(algorithms));
+    }
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] const search::ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        return costs_[static_cast<std::size_t>(config.at("algorithm"))];
+    }
+
+  private:
+    std::string name_;
+    std::vector<Seconds> costs_;
+    search::ConfigSpace space_;
+};
+
+CollectiveChoice pick_cheapest(const core::Profile& profile, std::string collective,
+                               std::vector<Schedule> schedules, Bytes size) {
+    CollectiveChoice choice;
+    auto tunable = make_collective_tunable(profile, std::move(collective), schedules, size);
+    if (!tunable) return choice;  // empty candidate list: the default choice
+    const auto result = search::run_search(*tunable, {});
+    SERVET_CHECK(result.has_value());
+    for (const auto& eval : result->trace)
+        choice.candidates.emplace_back(
+            schedules[eval.order - 1].algorithm,
+            eval.prior.value_or(0.0));  // enumeration order == schedule order
+    choice.estimated_cost = result->best_cost;
+    choice.schedule =
+        std::move(schedules[static_cast<std::size_t>(result->best.at("algorithm"))]);
+    return choice;
+}
 
 }  // namespace
+
+std::unique_ptr<search::Tunable> make_collective_tunable(const core::Profile& profile,
+                                                         std::string collective,
+                                                         std::vector<Schedule> schedules,
+                                                         Bytes size) {
+    if (schedules.empty()) return nullptr;
+    std::vector<std::string> algorithms;
+    std::vector<Seconds> costs;
+    algorithms.reserve(schedules.size());
+    costs.reserve(schedules.size());
+    for (const Schedule& schedule : schedules) {
+        algorithms.push_back(schedule.algorithm);
+        costs.push_back(estimate_schedule(profile, schedule, size));
+    }
+    return std::make_unique<CollectiveTunable>(std::move(collective), std::move(algorithms),
+                                               std::move(costs));
+}
 
 CollectiveChoice choose_broadcast(const core::Profile& profile, CoreId root,
                                   const std::vector<CoreId>& cores, Bytes size) {
@@ -28,7 +88,7 @@ CollectiveChoice choose_broadcast(const core::Profile& profile, CoreId root,
         schedules.push_back(broadcast_hierarchical(root, cores, profile));
     }
     schedules.push_back(broadcast_scatter_allgather(root, cores));
-    return pick_cheapest(profile, std::move(schedules), size);
+    return pick_cheapest(profile, "broadcast", std::move(schedules), size);
 }
 
 CollectiveChoice choose_allreduce(const core::Profile& profile,
@@ -38,27 +98,7 @@ CollectiveChoice choose_allreduce(const core::Profile& profile,
     schedules.push_back(allreduce_composed(cores.front(), cores, profile));
     if ((cores.size() & (cores.size() - 1)) == 0)
         schedules.push_back(allreduce_recursive_doubling(cores));
-    return pick_cheapest(profile, std::move(schedules), size);
+    return pick_cheapest(profile, "allreduce", std::move(schedules), size);
 }
-
-namespace {
-
-CollectiveChoice pick_cheapest(const core::Profile& profile, std::vector<Schedule> schedules,
-                               Bytes size) {
-    CollectiveChoice choice;
-    bool first = true;
-    for (Schedule& schedule : schedules) {
-        const Seconds cost = estimate_schedule(profile, schedule, size);
-        choice.candidates.emplace_back(schedule.algorithm, cost);
-        if (first || cost < choice.estimated_cost) {
-            choice.estimated_cost = cost;
-            choice.schedule = std::move(schedule);
-            first = false;
-        }
-    }
-    return choice;
-}
-
-}  // namespace
 
 }  // namespace servet::autotune

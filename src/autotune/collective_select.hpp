@@ -5,10 +5,12 @@
 // ... adapt the behavior of an application" adoption path of Section V.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "autotune/collectives.hpp"
+#include "autotune/search/tunable.hpp"
 #include "core/profile.hpp"
 
 namespace servet::autotune {
@@ -29,5 +31,13 @@ struct CollectiveChoice {
 /// recursive doubling (the latter only offered for power-of-two counts).
 [[nodiscard]] CollectiveChoice choose_allreduce(const core::Profile& profile,
                                                 const std::vector<CoreId>& cores, Bytes size);
+
+/// Tunable view of an algorithm shoot-out: an `algorithm` enum axis over
+/// the candidate schedules, each priced by estimate_schedule against the
+/// profile. choose_broadcast/choose_allreduce are one-shot exhaustive
+/// searches over this. nullptr for an empty candidate list.
+[[nodiscard]] std::unique_ptr<search::Tunable> make_collective_tunable(
+    const core::Profile& profile, std::string collective, std::vector<Schedule> schedules,
+    Bytes size);
 
 }  // namespace servet::autotune

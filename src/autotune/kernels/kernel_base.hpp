@@ -1,0 +1,50 @@
+// Shared substrate for the tunable kernels: profile storage, the
+// config-space cache, and the nominal cache-fit cost model every
+// analytic prior builds on. Internal to src/autotune/kernels/.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "autotune/search/tunable.hpp"
+#include "base/types.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune::kernels {
+
+class KernelBase : public search::Tunable {
+  public:
+    KernelBase(std::string name, core::Profile profile, int max_cores)
+        : name_(std::move(name)), profile_(std::move(profile)),
+          max_cores_(max_cores < 1 ? 1 : max_cores) {}
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] const search::ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] bool measurable() const override { return true; }
+
+  protected:
+    /// Nominal cycles per access of a `working_set`-byte streaming
+    /// working set, from the profile's detected cache ladder: the
+    /// smallest fitting level costs 4^level, a memory-resident set costs
+    /// 4^levels * 2.5. The absolute numbers are nominal — only the
+    /// ordering matters, and any machine whose caches get slower outward
+    /// orders the same way. nullopt when the profile has no cache data
+    /// (no prior available).
+    [[nodiscard]] std::optional<double> nominal_access_cycles(Bytes working_set) const {
+        if (profile_.caches.empty()) return std::nullopt;
+        double cost = 1.0;
+        for (const auto& level : profile_.caches) {
+            if (level.size >= working_set) return cost;
+            cost *= 4.0;
+        }
+        return cost * 2.5;
+    }
+
+    std::string name_;
+    core::Profile profile_;
+    int max_cores_;
+    search::ConfigSpace space_;
+};
+
+}  // namespace servet::autotune::kernels

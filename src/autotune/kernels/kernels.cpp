@@ -1,0 +1,20 @@
+#include "autotune/kernels/kernels.hpp"
+
+namespace servet::autotune::kernels {
+
+const std::vector<std::string>& kernel_names() {
+    static const std::vector<std::string> names = {"stencil", "transpose", "reduction",
+                                                   "spmv"};
+    return names;
+}
+
+std::unique_ptr<search::Tunable> make_kernel(std::string_view name,
+                                             const core::Profile& profile, int max_cores) {
+    if (name == "stencil") return make_stencil(profile, max_cores);
+    if (name == "transpose") return make_transpose(profile, max_cores);
+    if (name == "reduction") return make_reduction(profile, max_cores);
+    if (name == "spmv") return make_spmv(profile, max_cores);
+    return nullptr;
+}
+
+}  // namespace servet::autotune::kernels

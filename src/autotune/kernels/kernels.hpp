@@ -1,0 +1,45 @@
+// A PBBS-style set of tunable kernels — stencil, transpose, reduction,
+// spmv — exposed as search::Tunable so every SearchStrategy can drive
+// them. Each kernel's measured cost composes Platform probes (strided
+// traversals, streaming-copy bandwidths) whose parameters derive from the
+// config, so the same kernel tunes on the simulator and on real hardware
+// through the same fault-tolerant exec pipeline; its analytic cost
+// mirrors the composition using the machine profile (cache sizes, memory
+// scalability curves) as the prior the guided strategy ranks by. Cost
+// units are kernel-local (cycles per point for the cache kernels, seconds
+// for reduction) — comparisons are only meaningful within one kernel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "autotune/search/tunable.hpp"
+#include "core/profile.hpp"
+
+namespace servet::autotune::kernels {
+
+/// Registry order is the CLI/docs order: stencil, transpose, reduction,
+/// spmv.
+[[nodiscard]] const std::vector<std::string>& kernel_names();
+
+/// Builds the named kernel. `max_cores` bounds any core-count axis (pass
+/// the platform's core_count() for measured runs, profile.cores
+/// otherwise); `profile` feeds the analytic prior and may be empty, in
+/// which case analytic_cost returns nullopt and only blind strategies
+/// make sense. nullptr for an unknown name.
+[[nodiscard]] std::unique_ptr<search::Tunable> make_kernel(std::string_view name,
+                                                           const core::Profile& profile,
+                                                           int max_cores);
+
+[[nodiscard]] std::unique_ptr<search::Tunable> make_stencil(const core::Profile& profile,
+                                                            int max_cores);
+[[nodiscard]] std::unique_ptr<search::Tunable> make_transpose(const core::Profile& profile,
+                                                              int max_cores);
+[[nodiscard]] std::unique_ptr<search::Tunable> make_reduction(const core::Profile& profile,
+                                                              int max_cores);
+[[nodiscard]] std::unique_ptr<search::Tunable> make_spmv(const core::Profile& profile,
+                                                         int max_cores);
+
+}  // namespace servet::autotune::kernels

@@ -1,0 +1,87 @@
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "autotune/kernels/kernel_base.hpp"
+#include "autotune/kernels/kernels.hpp"
+#include "base/check.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::autotune::kernels {
+
+namespace {
+
+constexpr Bytes kTotal = 64 * MiB;
+/// Nominal per-chunk dispatch overhead (work-queue pop + task setup).
+constexpr double kDispatchSeconds = 2e-6;
+
+int ceil_log2(std::int64_t n) {
+    int bits = 0;
+    std::int64_t v = 1;
+    while (v < n) {
+        v *= 2;
+        ++bits;
+    }
+    return bits;
+}
+
+/// Tree reduction of a fixed 64 MiB array: `cores` workers stream
+/// disjoint `grain`-byte chunks, then combine partials in ceil(log2 k)
+/// steps each bounded by the slowest streamer. More cores buy aggregate
+/// bandwidth until the memory system saturates (which the profile's
+/// scalability curve predicts); finer grains balance load but pay
+/// per-chunk dispatch. Cost is in seconds.
+class ReductionKernel final : public KernelBase {
+  public:
+    ReductionKernel(core::Profile profile, int max_cores)
+        : KernelBase("reduction", std::move(profile), max_cores) {
+        space_.add_int("cores", 1, max_cores_);
+        space_.add_pow2("grain", 64 * 1024, 4 * 1024 * 1024);
+    }
+
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        const auto k = config.at("cores");
+        const auto grain = static_cast<double>(config.at("grain"));
+        auto per_core = profile_.memory_bandwidth_at(0, static_cast<int>(k));
+        if (!per_core && profile_.memory.reference_bandwidth > 0)
+            per_core = profile_.memory.reference_bandwidth;
+        if (!per_core || *per_core <= 0) return std::nullopt;
+        const double aggregate = *per_core * static_cast<double>(k);
+        return cost_model(static_cast<double>(k), grain, aggregate, *per_core);
+    }
+
+    [[nodiscard]] double measure(const search::Config& config, Platform* platform,
+                                 msg::Network* /*network*/) const override {
+        SERVET_CHECK(platform != nullptr);
+        const auto k = config.at("cores");
+        const auto grain = static_cast<Bytes>(config.at("grain"));
+        std::vector<CoreId> cores(static_cast<std::size_t>(k));
+        std::iota(cores.begin(), cores.end(), 0);
+        const auto bws = platform->copy_bandwidth_concurrent(cores, grain);
+        const double aggregate = std::accumulate(bws.begin(), bws.end(), 0.0);
+        const double slowest = *std::min_element(bws.begin(), bws.end());
+        return cost_model(static_cast<double>(k), static_cast<double>(grain), aggregate,
+                          slowest);
+    }
+
+  private:
+    static double cost_model(double k, double grain, double aggregate, double slowest) {
+        const double total = static_cast<double>(kTotal);
+        const double stream = total / aggregate;
+        const double dispatch = (total / grain) * kDispatchSeconds / k;
+        const double combine =
+            static_cast<double>(ceil_log2(static_cast<std::int64_t>(k))) * grain / slowest;
+        return stream + dispatch + combine;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<search::Tunable> make_reduction(const core::Profile& profile, int max_cores) {
+    return std::make_unique<ReductionKernel>(profile, max_cores);
+}
+
+}  // namespace servet::autotune::kernels

@@ -1,0 +1,73 @@
+#include <memory>
+#include <utility>
+
+#include "autotune/kernels/kernel_base.hpp"
+#include "autotune/kernels/kernels.hpp"
+#include "base/check.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::autotune::kernels {
+
+namespace {
+
+constexpr std::int64_t kRows = 65536;
+constexpr std::int64_t kNnzPerRow = 16;
+/// CSR row footprint: nnz * (8-byte value + 4-byte column) + row pointer
+/// and output element.
+constexpr Bytes kBytesPerRow =
+    static_cast<Bytes>(kNnzPerRow) * (8 + 4) + 16;
+constexpr Bytes kXBytes = static_cast<Bytes>(kRows) * 8;  // 512 KiB
+/// Amortized cycles/nnz of pre-sorting column indices per row block.
+constexpr double kSortOverheadCycles = 0.75;
+
+/// CSR sparse matrix-vector product, 65536 rows x 16 nnz. Two streams
+/// per nnz: the matrix stream (values + indices) through a
+/// row_block-row buffer, and the x-vector gather, whose locality
+/// depends on whether column indices are pre-sorted per block ("sorted"
+/// walks x near-sequentially for an amortized preprocessing toll,
+/// "scalar" jumps). Whether sorting pays depends on how expensive the
+/// scattered gather is on this machine — a profile question.
+class SpmvKernel final : public KernelBase {
+  public:
+    SpmvKernel(core::Profile profile, int max_cores)
+        : KernelBase("spmv", std::move(profile), max_cores) {
+        space_.add_pow2("row_block", 64, 8192);
+        space_.add_enum("gather", {"scalar", "sorted"});
+    }
+
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        const auto stream = nominal_access_cycles(stream_ws(config));
+        const auto gather = nominal_access_cycles(kXBytes);
+        if (!stream || !gather) return std::nullopt;
+        const bool sorted = config.label("gather") == "sorted";
+        // A scattered gather misses where the sorted walk reuses lines;
+        // 3x is the nominal amplification (one line per element vs. one
+        // line per eight 8-byte elements, damped by partial reuse).
+        const double gather_cost = *gather * (sorted ? 1.0 : 3.0);
+        return *stream + gather_cost + (sorted ? kSortOverheadCycles : 0.0);
+    }
+
+    [[nodiscard]] double measure(const search::Config& config, Platform* platform,
+                                 msg::Network* /*network*/) const override {
+        SERVET_CHECK(platform != nullptr);
+        const Cycles stream = platform->traverse_cycles(0, stream_ws(config), 64, 2);
+        const bool sorted = config.label("gather") == "sorted";
+        const Bytes gather_stride = sorted ? 64 : 1024;
+        const Cycles gather = platform->traverse_cycles(0, kXBytes, gather_stride, 2);
+        return stream + gather + (sorted ? kSortOverheadCycles : 0.0);
+    }
+
+  private:
+    static Bytes stream_ws(const search::Config& config) {
+        return static_cast<Bytes>(config.at("row_block")) * kBytesPerRow;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<search::Tunable> make_spmv(const core::Profile& profile, int max_cores) {
+    return std::make_unique<SpmvKernel>(profile, max_cores);
+}
+
+}  // namespace servet::autotune::kernels

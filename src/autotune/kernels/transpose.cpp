@@ -1,0 +1,63 @@
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "autotune/kernels/kernel_base.hpp"
+#include "autotune/kernels/kernels.hpp"
+#include "base/check.hpp"
+#include "platform/platform.hpp"
+
+namespace servet::autotune::kernels {
+
+namespace {
+
+constexpr Bytes kElement = 8;
+constexpr Bytes kLine = 64;
+
+/// Blocked out-of-place transpose of a 1024x1024 matrix with BxB blocks.
+/// Per element the kernel runs one sequential stream over the 2*B*B
+/// block working set (source rows + destination rows) and one
+/// stride-B*8 stream (the column walk of the source block). Small blocks
+/// keep the strided walk inside cache lines but give the walk no reuse
+/// window; large blocks spill the working set — the classic transpose
+/// blocking tradeoff.
+class TransposeKernel final : public KernelBase {
+  public:
+    TransposeKernel(core::Profile profile, int max_cores)
+        : KernelBase("transpose", std::move(profile), max_cores) {
+        space_.add_pow2("block", 4, 256);
+    }
+
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        const auto block = static_cast<Bytes>(config.at("block"));
+        const auto base = nominal_access_cycles(working_set(block));
+        if (!base) return std::nullopt;
+        // The strided walk costs a fresh line every max(1, line/stride)
+        // elements; past one line per element it saturates at 8x.
+        const double stride_factor = std::clamp(
+            static_cast<double>(block * kElement) / static_cast<double>(kLine), 1.0, 8.0);
+        return *base * (1.0 + stride_factor);
+    }
+
+    [[nodiscard]] double measure(const search::Config& config, Platform* platform,
+                                 msg::Network* /*network*/) const override {
+        SERVET_CHECK(platform != nullptr);
+        const auto block = static_cast<Bytes>(config.at("block"));
+        const Bytes ws = working_set(block);
+        const Cycles sequential = platform->traverse_cycles(0, ws, kElement, 2);
+        const Cycles strided = platform->traverse_cycles(0, ws, block * kElement, 2);
+        return sequential + strided;
+    }
+
+  private:
+    static Bytes working_set(Bytes block) { return 2 * block * block * kElement; }
+};
+
+}  // namespace
+
+std::unique_ptr<search::Tunable> make_transpose(const core::Profile& profile, int max_cores) {
+    return std::make_unique<TransposeKernel>(profile, max_cores);
+}
+
+}  // namespace servet::autotune::kernels

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "autotune/search/strategy.hpp"
 #include "base/check.hpp"
 #include "base/rng.hpp"
 
@@ -142,11 +143,41 @@ double placement_cost(const core::Profile& profile, const CommGraph& graph,
                memory_penalty(profile, core_of_rank);
 }
 
-MappingResult map_processes(const core::Profile& profile, const CommGraph& graph,
-                            const MappingOptions& options) {
-    SERVET_CHECK_MSG(graph.validate().empty(), "invalid communication graph");
-    SERVET_CHECK_MSG(graph.ranks <= profile.cores, "more ranks than cores");
+namespace {
 
+/// The two seed placements the mapper chooses between, with their
+/// unrefined objective values.
+struct SeedPlacements {
+    std::vector<CoreId> greedy;
+    double greedy_cost = 0.0;
+    std::vector<CoreId> identity;
+    double identity_cost = 0.0;
+};
+
+/// The seed choice as a Tunable: "greedy" enumerates first, so a cost
+/// tie keeps the greedy construction — the pre-search selector replaced
+/// it only on strict improvement.
+class MappingTunable final : public search::Tunable {
+  public:
+    MappingTunable(double greedy_cost, double identity_cost)
+        : costs_{greedy_cost, identity_cost} {
+        space_.add_enum("seed", {"greedy", "identity"});
+    }
+
+    [[nodiscard]] std::string name() const override { return "mapping"; }
+    [[nodiscard]] const search::ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        return costs_[static_cast<std::size_t>(config.at("seed"))];
+    }
+
+  private:
+    double costs_[2];
+    search::ConfigSpace space_;
+};
+
+SeedPlacements seed_placements(const core::Profile& profile, const CommGraph& graph,
+                               const MappingOptions& options) {
     const int n_ranks = graph.ranks;
     const int n_cores = profile.cores;
 
@@ -195,22 +226,48 @@ MappingResult map_processes(const core::Profile& profile, const CommGraph& graph
         used[static_cast<std::size_t>(best_core)] = true;
     }
 
-    MappingResult result;
-    result.greedy_cost = placement_cost(profile, graph, placement, options);
-
+    SeedPlacements seeds;
+    seeds.greedy_cost = placement_cost(profile, graph, placement, options);
+    seeds.greedy = std::move(placement);
     // The identity placement (rank r on core r) is the no-tuning baseline;
-    // greedy construction can land somewhere worse, so seed the refinement
-    // from whichever is cheaper. Guarantees the result never loses to the
+    // greedy construction can land somewhere worse. The seed search picks
+    // whichever is cheaper, guaranteeing the result never loses to the
     // naive launcher it is meant to replace.
-    {
-        std::vector<CoreId> identity(static_cast<std::size_t>(n_ranks));
-        std::iota(identity.begin(), identity.end(), 0);
-        const double identity_cost = placement_cost(profile, graph, identity, options);
-        if (identity_cost < result.greedy_cost) {
-            placement = std::move(identity);
-            result.greedy_cost = identity_cost;
-        }
-    }
+    seeds.identity.resize(static_cast<std::size_t>(n_ranks));
+    std::iota(seeds.identity.begin(), seeds.identity.end(), 0);
+    seeds.identity_cost = placement_cost(profile, graph, seeds.identity, options);
+    return seeds;
+}
+
+}  // namespace
+
+std::unique_ptr<search::Tunable> make_mapping_tunable(const core::Profile& profile,
+                                                      const CommGraph& graph,
+                                                      const MappingOptions& options) {
+    SERVET_CHECK_MSG(graph.validate().empty(), "invalid communication graph");
+    SERVET_CHECK_MSG(graph.ranks <= profile.cores, "more ranks than cores");
+    const SeedPlacements seeds = seed_placements(profile, graph, options);
+    return std::make_unique<MappingTunable>(seeds.greedy_cost, seeds.identity_cost);
+}
+
+MappingResult map_processes(const core::Profile& profile, const CommGraph& graph,
+                            const MappingOptions& options) {
+    SERVET_CHECK_MSG(graph.validate().empty(), "invalid communication graph");
+    SERVET_CHECK_MSG(graph.ranks <= profile.cores, "more ranks than cores");
+
+    const int n_ranks = graph.ranks;
+    const int n_cores = profile.cores;
+
+    SeedPlacements seeds = seed_placements(profile, graph, options);
+    const MappingTunable tunable(seeds.greedy_cost, seeds.identity_cost);
+    const auto searched = search::run_search(tunable, {});
+    SERVET_CHECK(searched.has_value());
+    const bool use_identity = searched->best.label("seed") == "identity";
+
+    MappingResult result;
+    result.greedy_cost = use_identity ? seeds.identity_cost : seeds.greedy_cost;
+    std::vector<CoreId> placement =
+        use_identity ? std::move(seeds.identity) : std::move(seeds.greedy);
 
     // Pairwise refinement: try moving each rank to every core (swapping
     // with its occupant when taken); keep strict improvements.
@@ -243,6 +300,19 @@ MappingResult map_processes(const core::Profile& profile, const CommGraph& graph
     result.core_of_rank = std::move(placement);
     result.cost = current;
     return result;
+}
+
+std::optional<MappingResult> try_map_processes(const core::Profile& profile,
+                                               const CommGraph& graph,
+                                               const MappingOptions& options) {
+    if (!graph.edges.empty()) {
+        bool priceable = false;
+        for (std::size_t layer = 0; layer < profile.comm.size() && !priceable; ++layer)
+            if (profile.layer_latency(static_cast<int>(layer), options.message_size))
+                priceable = true;
+        if (!priceable) return std::nullopt;
+    }
+    return map_processes(profile, graph, options);
 }
 
 }  // namespace servet::autotune

@@ -11,8 +11,11 @@
 // deterministic.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "autotune/search/tunable.hpp"
 #include "base/types.hpp"
 #include "core/profile.hpp"
 
@@ -69,7 +72,24 @@ struct MappingResult {
                                     const MappingOptions& options);
 
 /// Map `graph.ranks` ranks onto the profile's cores (ranks <= cores).
+/// Edges the profile cannot price are silently skipped; callers that
+/// need a loud failure on comm-less profiles use try_map_processes.
 [[nodiscard]] MappingResult map_processes(const core::Profile& profile, const CommGraph& graph,
                                           const MappingOptions& options = {});
+
+/// map_processes behind a degenerate-profile guard: nullopt when the
+/// graph has edges but the profile cannot price a message of
+/// options.message_size on any measured comm layer — every placement
+/// would then cost the same and the "optimized" mapping would be
+/// garbage. Prefer this entry point for profiles of unknown provenance.
+[[nodiscard]] std::optional<MappingResult> try_map_processes(
+    const core::Profile& profile, const CommGraph& graph, const MappingOptions& options = {});
+
+/// Tunable view of the mapping seed choice: a `seed` enum axis over
+/// {greedy, identity} priced by the unrefined placement_cost (greedy
+/// first, so a tie keeps it); map_processes refines the search winner by
+/// pairwise-swap hill climbing, exactly as before.
+[[nodiscard]] std::unique_ptr<search::Tunable> make_mapping_tunable(
+    const core::Profile& profile, const CommGraph& graph, const MappingOptions& options = {});
 
 }  // namespace servet::autotune

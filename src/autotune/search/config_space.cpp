@@ -1,0 +1,183 @@
+#include "autotune/search/config_space.hpp"
+
+#include "base/check.hpp"
+#include "base/hash.hpp"
+
+namespace servet::autotune::search {
+
+namespace {
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+std::vector<std::int64_t> Axis::values() const {
+    std::vector<std::int64_t> out;
+    switch (kind) {
+        case AxisKind::Int:
+            for (std::int64_t v = lo; v <= hi; v += step) out.push_back(v);
+            break;
+        case AxisKind::Pow2:
+            for (std::int64_t v = lo; v <= hi; v *= 2) out.push_back(v);
+            break;
+        case AxisKind::Enum:
+            for (std::size_t i = 0; i < labels.size(); ++i)
+                out.push_back(static_cast<std::int64_t>(i));
+            break;
+    }
+    return out;
+}
+
+std::string Axis::render(std::int64_t value) const {
+    if (kind == AxisKind::Enum) {
+        if (value >= 0 && static_cast<std::size_t>(value) < labels.size())
+            return labels[static_cast<std::size_t>(value)];
+        return "<invalid:" + std::to_string(value) + ">";
+    }
+    return std::to_string(value);
+}
+
+std::int64_t Config::at(std::string_view axis) const {
+    SERVET_CHECK(space_ != nullptr);
+    const auto index = space_->axis_index(axis);
+    SERVET_CHECK_MSG(index.has_value(), "unknown config axis");
+    return values_[*index];
+}
+
+std::string Config::label(std::string_view axis) const {
+    SERVET_CHECK(space_ != nullptr);
+    const auto index = space_->axis_index(axis);
+    SERVET_CHECK_MSG(index.has_value(), "unknown config axis");
+    return space_->axis(*index).render(values_[*index]);
+}
+
+std::string Config::key() const {
+    SERVET_CHECK(space_ != nullptr);
+    std::string out;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        const Axis& axis = space_->axis(i);
+        if (i > 0) out += ',';
+        out += axis.name;
+        out += '=';
+        out += axis.render(values_[i]);
+    }
+    return out;
+}
+
+std::uint64_t Config::hash() const {
+    SERVET_CHECK(space_ != nullptr);
+    Fingerprint fp;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        fp.add(std::string_view(space_->axis(i).name));
+        fp.add(values_[i]);
+    }
+    return fp.value();
+}
+
+ConfigSpace& ConfigSpace::add_int(std::string name, std::int64_t lo, std::int64_t hi,
+                                  std::int64_t step) {
+    SERVET_CHECK_MSG(lo <= hi && step >= 1, "empty or ill-stepped int axis");
+    Axis axis;
+    axis.name = std::move(name);
+    axis.kind = AxisKind::Int;
+    axis.lo = lo;
+    axis.hi = hi;
+    axis.step = step;
+    axes_.push_back(std::move(axis));
+    return *this;
+}
+
+ConfigSpace& ConfigSpace::add_pow2(std::string name, std::int64_t lo, std::int64_t hi) {
+    SERVET_CHECK_MSG(is_pow2(lo) && is_pow2(hi) && lo <= hi, "pow2 axis bounds");
+    Axis axis;
+    axis.name = std::move(name);
+    axis.kind = AxisKind::Pow2;
+    axis.lo = lo;
+    axis.hi = hi;
+    axes_.push_back(std::move(axis));
+    return *this;
+}
+
+ConfigSpace& ConfigSpace::add_enum(std::string name, std::vector<std::string> labels) {
+    SERVET_CHECK_MSG(!labels.empty(), "enum axis needs labels");
+    Axis axis;
+    axis.name = std::move(name);
+    axis.kind = AxisKind::Enum;
+    axis.labels = std::move(labels);
+    axes_.push_back(std::move(axis));
+    return *this;
+}
+
+ConfigSpace& ConfigSpace::add_constraint(std::string name, Constraint keep) {
+    SERVET_CHECK(keep != nullptr);
+    constraints_.emplace_back(std::move(name), std::move(keep));
+    return *this;
+}
+
+const Axis& ConfigSpace::axis(std::size_t i) const {
+    SERVET_CHECK(i < axes_.size());
+    return axes_[i];
+}
+
+std::optional<std::size_t> ConfigSpace::axis_index(std::string_view name) const {
+    for (std::size_t i = 0; i < axes_.size(); ++i)
+        if (axes_[i].name == name) return i;
+    return std::nullopt;
+}
+
+Config ConfigSpace::make(std::vector<std::int64_t> values) const {
+    SERVET_CHECK_MSG(values.size() == axes_.size(), "config arity mismatch");
+    return Config(this, std::move(values));
+}
+
+bool ConfigSpace::admits(const Config& config) const {
+    for (const auto& [name, keep] : constraints_)
+        if (!keep(config)) return false;
+    return true;
+}
+
+std::vector<Config> ConfigSpace::enumerate() const {
+    std::vector<Config> out;
+    if (axes_.empty()) return out;
+    std::vector<std::vector<std::int64_t>> axis_values;
+    axis_values.reserve(axes_.size());
+    for (const Axis& axis : axes_) {
+        axis_values.push_back(axis.values());
+        if (axis_values.back().empty()) return out;
+    }
+    // Odometer: the last axis spins fastest, so enumeration order matches
+    // the lexicographic order of the value tuples.
+    std::vector<std::size_t> odo(axes_.size(), 0);
+    for (;;) {
+        std::vector<std::int64_t> values(axes_.size());
+        for (std::size_t i = 0; i < axes_.size(); ++i) values[i] = axis_values[i][odo[i]];
+        Config config(this, std::move(values));
+        if (admits(config)) out.push_back(std::move(config));
+        std::size_t i = axes_.size();
+        while (i > 0) {
+            --i;
+            if (++odo[i] < axis_values[i].size()) break;
+            odo[i] = 0;
+            if (i == 0) return out;
+        }
+    }
+}
+
+std::uint64_t ConfigSpace::space_hash() const {
+    Fingerprint fp;
+    fp.add(static_cast<std::uint64_t>(axes_.size()));
+    for (const Axis& axis : axes_) {
+        fp.add(std::string_view(axis.name));
+        fp.add(static_cast<std::int64_t>(axis.kind));
+        fp.add(axis.lo);
+        fp.add(axis.hi);
+        fp.add(axis.step);
+        fp.add(static_cast<std::uint64_t>(axis.labels.size()));
+        for (const std::string& label : axis.labels) fp.add(std::string_view(label));
+    }
+    fp.add(static_cast<std::uint64_t>(constraints_.size()));
+    for (const auto& [name, keep] : constraints_) fp.add(std::string_view(name));
+    return fp.value();
+}
+
+}  // namespace servet::autotune::search

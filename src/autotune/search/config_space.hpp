@@ -1,0 +1,117 @@
+// Declarative configuration spaces for the autotune search core. A
+// ConfigSpace names the axes a tunable computation exposes (integer
+// ranges, power-of-two ranges, enumerated choices) plus the constraints
+// that prune infeasible combinations, and enumerates the admitted points
+// in a deterministic odometer order — the same order on every run and
+// every machine, which is what lets search traces be byte-compared
+// across --jobs settings and pinned in golden tests. Points carry a
+// stable textual key ("tile_i=32,mode=greedy") and a Fingerprint-based
+// hash for content addressing through the measurement memo cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace servet::autotune::search {
+
+class ConfigSpace;
+
+enum class AxisKind { Int, Pow2, Enum };
+
+/// One named dimension of a ConfigSpace. Values are always int64: an Int
+/// axis walks [lo, hi] in `step` increments, a Pow2 axis walks the powers
+/// of two in [lo, hi], and an Enum axis indexes into `labels`.
+struct Axis {
+    std::string name;
+    AxisKind kind = AxisKind::Int;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::int64_t step = 1;
+    std::vector<std::string> labels;  ///< Enum only; the value indexes this.
+
+    /// Every value of the axis, ascending (Enum: 0..labels.size()-1).
+    [[nodiscard]] std::vector<std::int64_t> values() const;
+    /// Human rendering of a value: the label for Enum axes, the number
+    /// otherwise.
+    [[nodiscard]] std::string render(std::int64_t value) const;
+};
+
+/// One point of a ConfigSpace: axis values aligned with the space's axes.
+/// Configs borrow their space — the ConfigSpace (in practice the Tunable
+/// owning it) must outlive every Config and SearchResult derived from it.
+class Config {
+  public:
+    /// Empty sentinel (no space); only assignment targets. Accessors
+    /// CHECK against use.
+    Config() = default;
+
+    /// Value of the named axis. CHECK-fails on an unknown axis name —
+    /// a typo here is a programming error, not a data error.
+    [[nodiscard]] std::int64_t at(std::string_view axis) const;
+    /// Rendered value of the named axis (the label for Enum axes).
+    [[nodiscard]] std::string label(std::string_view axis) const;
+    [[nodiscard]] const std::vector<std::int64_t>& values() const { return values_; }
+
+    /// Stable textual identity, "axis=value" in axis order joined with
+    /// commas: "tile_i=32,mode=greedy". Feeds task keys and traces.
+    [[nodiscard]] std::string key() const;
+    /// Stable structural hash over (axis name, value) pairs.
+    [[nodiscard]] std::uint64_t hash() const;
+
+  private:
+    friend class ConfigSpace;
+    Config(const ConfigSpace* space, std::vector<std::int64_t> values)
+        : space_(space), values_(std::move(values)) {}
+
+    const ConfigSpace* space_ = nullptr;
+    std::vector<std::int64_t> values_;
+};
+
+/// A named set of axes plus declarative constraints. Build with the
+/// add_* chain, then enumerate() the admitted points.
+class ConfigSpace {
+  public:
+    /// Keeps a candidate when it returns true. Constraints are named so
+    /// the space hash covers which prunes were active.
+    using Constraint = std::function<bool(const Config&)>;
+
+    /// Integer axis over [lo, hi] in `step` increments (lo <= hi, step >= 1).
+    ConfigSpace& add_int(std::string name, std::int64_t lo, std::int64_t hi,
+                         std::int64_t step = 1);
+    /// Power-of-two axis over [lo, hi]; both bounds must be powers of two.
+    ConfigSpace& add_pow2(std::string name, std::int64_t lo, std::int64_t hi);
+    /// Enumerated axis; the value is an index into `labels`.
+    ConfigSpace& add_enum(std::string name, std::vector<std::string> labels);
+    ConfigSpace& add_constraint(std::string name, Constraint keep);
+
+    [[nodiscard]] std::size_t axis_count() const { return axes_.size(); }
+    [[nodiscard]] const Axis& axis(std::size_t i) const;
+    [[nodiscard]] std::optional<std::size_t> axis_index(std::string_view name) const;
+
+    /// A Config of this space from raw axis-aligned values (CHECKs the
+    /// arity; values are not range-checked — tests use this to probe
+    /// constraints directly).
+    [[nodiscard]] Config make(std::vector<std::int64_t> values) const;
+    /// True when every constraint keeps the config.
+    [[nodiscard]] bool admits(const Config& config) const;
+
+    /// Every admitted point in deterministic odometer order (first axis
+    /// slowest, last axis fastest). Empty when any axis is empty or the
+    /// constraints prune everything.
+    [[nodiscard]] std::vector<Config> enumerate() const;
+
+    /// Structural hash of the space: axes (name, kind, bounds, labels)
+    /// plus constraint names.
+    [[nodiscard]] std::uint64_t space_hash() const;
+
+  private:
+    std::vector<Axis> axes_;
+    std::vector<std::pair<std::string, Constraint>> constraints_;
+};
+
+}  // namespace servet::autotune::search

@@ -1,0 +1,80 @@
+// Budgeted one-shot search over a Tunable's ConfigSpace. Three
+// strategies: exhaustive walks the space in enumeration order, random
+// walks a seeded deterministic shuffle of it, and profile-guided ranks
+// candidates by the tunable's analytic cost (the profile acting as a
+// prior) before spending the measurement budget — so a good profile
+// provably reduces evaluations-to-best, which bench_search_convergence
+// pins. Candidate order is fixed before any evaluation runs and measured
+// evaluations flow through core::MeasureEngine with config-derived task
+// keys, so a --jobs 4 search trace is byte-identical to --jobs 1.
+//
+// Obs metrics: `autotune.search.evals` (Stable counter, evaluations
+// performed) and `autotune.search.best_cost` (gauge, final best cost in
+// nano-units, clamped at zero — rank-style negative costs read as 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "autotune/search/tunable.hpp"
+
+namespace servet::core {
+class MeasureEngine;
+}
+
+namespace servet::autotune::search {
+
+enum class Strategy { Exhaustive, Random, Guided };
+
+/// Stable wire names: "exhaustive", "random", "guided".
+[[nodiscard]] std::string_view strategy_name(Strategy strategy);
+[[nodiscard]] std::optional<Strategy> parse_strategy(std::string_view text);
+[[nodiscard]] const std::vector<Strategy>& all_strategies();
+
+struct SearchOptions {
+    Strategy strategy = Strategy::Exhaustive;
+    /// Maximum evaluations to spend; 0 = the whole admitted space.
+    std::size_t budget = 0;
+    /// Seeds Strategy::Random's candidate shuffle (only).
+    std::uint64_t seed = 0x5eed;
+    /// When non-null and the tunable is measurable, candidates are costed
+    /// by Tunable::measure through this engine; otherwise by
+    /// analytic_cost (nullopt pricing as +infinity).
+    core::MeasureEngine* engine = nullptr;
+};
+
+/// One row of a search trace.
+struct Evaluation {
+    std::size_t order = 0;  ///< 1-based evaluation index
+    std::string config_key;
+    std::uint64_t config_hash = 0;
+    std::optional<double> prior;  ///< analytic cost (the guided ranking key)
+    double cost = 0;
+    bool measured = false;
+};
+
+struct SearchResult {
+    Config best;  ///< borrows the tunable's space — keep the tunable alive
+    double best_cost = 0;
+    std::size_t space_size = 0;  ///< candidates the space admits
+    std::size_t evals = 0;
+    std::size_t evals_to_best = 0;  ///< 1-based index of the first best-cost eval
+    std::vector<Evaluation> trace;
+};
+
+/// Runs one budgeted search. nullopt when the space admits no candidate
+/// — degenerate tunables (empty axes, over-constrained spaces) surface
+/// here instead of producing a garbage best.
+[[nodiscard]] std::optional<SearchResult> run_search(const Tunable& tunable,
+                                                     const SearchOptions& options);
+
+/// The search trace as deterministic JSON (keys in fixed order, %.17g
+/// numbers): byte-identical for equal traces, so --jobs determinism is
+/// testable by string comparison. `servet tune --trace` emits this.
+[[nodiscard]] std::string trace_json(const Tunable& tunable, const SearchOptions& options,
+                                     const SearchResult& result);
+
+}  // namespace servet::autotune::search

@@ -1,0 +1,59 @@
+// The interface between a tunable computation and the search strategies.
+// A Tunable declares its ConfigSpace and at least one way to cost a point
+// in it: an analytic model from the machine's `core::Profile` (cheap,
+// available to every legacy consumer), and optionally a measured
+// evaluation against a live Platform/Network — run through the
+// fault-tolerant core::MeasureEngine so measured searches inherit the
+// suite's parallel ≡ serial determinism. The profile-guided strategy uses
+// the analytic cost as a prior that orders measured evaluations.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "autotune/search/config_space.hpp"
+#include "base/check.hpp"
+
+namespace servet {
+class Platform;
+namespace msg {
+class Network;
+}
+}  // namespace servet
+
+namespace servet::autotune::search {
+
+class Tunable {
+  public:
+    virtual ~Tunable() = default;
+
+    /// Stable identity; prefixes measurement task keys and trace output.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// The space to search. The returned reference (and the Tunable) must
+    /// outlive every Config and SearchResult derived from it.
+    [[nodiscard]] virtual const ConfigSpace& space() const = 0;
+
+    /// Cost of `config` predicted from the machine profile, lower is
+    /// better. nullopt when the profile lacks the data to price this
+    /// point (such configs rank last under the guided strategy).
+    [[nodiscard]] virtual std::optional<double> analytic_cost(const Config& config) const = 0;
+
+    /// Whether measure() is implemented.
+    [[nodiscard]] virtual bool measurable() const { return false; }
+
+    /// Measured cost of `config`, lower is better. Called with a private
+    /// replica of the search's platform/network (the shared originals
+    /// when the substrate cannot fork); either may be null when the
+    /// search runs without that substrate.
+    [[nodiscard]] virtual double measure(const Config& config, Platform* platform,
+                                         msg::Network* network) const {
+        (void)config;
+        (void)platform;
+        (void)network;
+        SERVET_CHECK_MSG(false, "Tunable::measure called on an analytic-only tunable");
+        return 0.0;
+    }
+};
+
+}  // namespace servet::autotune::search

@@ -1,28 +1,85 @@
 #include "autotune/throttle.hpp"
 
+#include <utility>
+
+#include "autotune/search/strategy.hpp"
 #include "base/check.hpp"
 
 namespace servet::autotune {
+
+namespace {
+
+/// The throttle walk as a Tunable: `cores` = k is admitted only when
+/// every step 2..k cleared the marginal-gain threshold, so the feasible
+/// set is a prefix {1..K} of the curve and the -cores cost makes any
+/// search return K — exactly the original early-stopping walk.
+class ThrottleTunable final : public search::Tunable {
+  public:
+    ThrottleTunable(std::vector<BytesPerSecond> aggregate_by_n, double min_marginal_gain)
+        : aggregate_by_n_(std::move(aggregate_by_n)) {
+        space_.add_int("cores", 1, static_cast<std::int64_t>(aggregate_by_n_.size()));
+        space_.add_constraint(
+            "prefix-marginal-gain", [this, min_marginal_gain](const search::Config& c) {
+                const auto k = static_cast<std::size_t>(c.at("cores"));
+                for (std::size_t step = 1; step < k; ++step) {
+                    const double gain =
+                        aggregate_by_n_[step] - aggregate_by_n_[step - 1];
+                    if (gain < min_marginal_gain * aggregate_by_n_[step - 1]) return false;
+                }
+                return true;
+            });
+    }
+
+    [[nodiscard]] std::string name() const override { return "throttle"; }
+    [[nodiscard]] const search::ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        return -static_cast<double>(config.at("cores"));
+    }
+
+  private:
+    std::vector<BytesPerSecond> aggregate_by_n_;
+    search::ConfigSpace space_;
+};
+
+std::optional<std::vector<BytesPerSecond>> aggregate_curve(const core::Profile& profile,
+                                                           std::size_t tier) {
+    if (tier >= profile.memory.tiers.size()) return std::nullopt;
+    const auto& curve = profile.memory.tiers[tier].scalability;
+    if (curve.empty()) return std::nullopt;
+    std::vector<BytesPerSecond> aggregate;
+    aggregate.reserve(curve.size());
+    for (std::size_t k = 0; k < curve.size(); ++k)
+        aggregate.push_back(static_cast<double>(k + 1) * curve[k]);
+    return aggregate;
+}
+
+}  // namespace
+
+std::unique_ptr<search::Tunable> make_throttle_tunable(const core::Profile& profile,
+                                                       std::size_t tier,
+                                                       double min_marginal_gain) {
+    SERVET_CHECK(min_marginal_gain >= 0);
+    auto aggregate = aggregate_curve(profile, tier);
+    if (!aggregate) return nullptr;
+    return std::make_unique<ThrottleTunable>(std::move(*aggregate), min_marginal_gain);
+}
 
 std::optional<ThrottleAdvice> advise_core_throttle(const core::Profile& profile,
                                                    std::size_t tier,
                                                    double min_marginal_gain) {
     SERVET_CHECK(min_marginal_gain >= 0);
-    if (tier >= profile.memory.tiers.size()) return std::nullopt;
-    const auto& curve = profile.memory.tiers[tier].scalability;
-    if (curve.empty()) return std::nullopt;
+    auto aggregate = aggregate_curve(profile, tier);
+    if (!aggregate) return std::nullopt;
+
+    const auto tunable = make_throttle_tunable(profile, tier, min_marginal_gain);
+    SERVET_CHECK(tunable != nullptr);
+    const auto result = search::run_search(*tunable, {});
+    SERVET_CHECK(result.has_value());  // cores=1 is always admitted
 
     ThrottleAdvice advice;
-    advice.aggregate_by_n.reserve(curve.size());
-    for (std::size_t k = 0; k < curve.size(); ++k)
-        advice.aggregate_by_n.push_back(static_cast<double>(k + 1) * curve[k]);
-
-    advice.recommended_cores = 1;
-    for (std::size_t k = 1; k < advice.aggregate_by_n.size(); ++k) {
-        const double gain = advice.aggregate_by_n[k] - advice.aggregate_by_n[k - 1];
-        if (gain < min_marginal_gain * advice.aggregate_by_n[k - 1]) break;
-        advice.recommended_cores = static_cast<int>(k + 1);
-    }
+    advice.aggregate_by_n = std::move(*aggregate);
+    advice.recommended_cores = static_cast<int>(result->best.at("cores"));
     return advice;
 }
 

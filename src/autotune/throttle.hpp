@@ -6,9 +6,11 @@
 // threshold.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "autotune/search/tunable.hpp"
 #include "base/types.hpp"
 #include "core/profile.hpp"
 
@@ -24,6 +26,14 @@ struct ThrottleAdvice {
 /// the current aggregate bandwidth one more core must add to be worth it.
 /// Returns nullopt when the tier has no scalability data.
 [[nodiscard]] std::optional<ThrottleAdvice> advise_core_throttle(
+    const core::Profile& profile, std::size_t tier, double min_marginal_gain = 0.05);
+
+/// Tunable view of the throttle choice: a `cores` axis over the measured
+/// curve with a prefix-feasibility constraint (every step up to k must
+/// clear the marginal-gain threshold — the paper's "stop adding cores"
+/// walk) and analytic cost -cores, so the search's best is the longest
+/// passing prefix. nullptr when the tier has no scalability data.
+[[nodiscard]] std::unique_ptr<search::Tunable> make_throttle_tunable(
     const core::Profile& profile, std::size_t tier, double min_marginal_gain = 0.05);
 
 }  // namespace servet::autotune

@@ -1,10 +1,39 @@
 #include "autotune/tiling.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "autotune/search/strategy.hpp"
 #include "base/check.hpp"
 
 namespace servet::autotune {
+
+namespace {
+
+/// One cache level's tile choice as a Tunable: the `tile` axis walks the
+/// feasible square dimensions (the effective budget already folds in the
+/// physical-index margin), the analytic cost is -tile so the largest
+/// fitting tile wins any search order.
+class TilingTunable final : public search::Tunable {
+  public:
+    TilingTunable(std::size_t level, int max_tile) {
+        name_ = "tiling.L" + std::to_string(level + 1);
+        space_.add_int("tile", 1, max_tile);
+    }
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] const search::ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(
+        const search::Config& config) const override {
+        return -static_cast<double>(config.at("tile"));
+    }
+
+  private:
+    std::string name_;
+    search::ConfigSpace space_;
+};
+
+}  // namespace
 
 int max_square_tile(Bytes cache_bytes, const TilingRequest& request) {
     SERVET_CHECK(request.element_bytes > 0 && request.tiles_in_flight > 0);
@@ -16,21 +45,34 @@ int max_square_tile(Bytes cache_bytes, const TilingRequest& request) {
     return dim >= 1 ? dim : 1;
 }
 
+std::unique_ptr<search::Tunable> make_tiling_tunable(const core::Profile& profile,
+                                                     std::size_t level,
+                                                     const TilingRequest& request) {
+    SERVET_CHECK(request.physical_index_margin > 0 && request.physical_index_margin <= 1.0);
+    if (level >= profile.caches.size()) return nullptr;
+    const Bytes size = profile.caches[level].size;
+    if (size == 0) return nullptr;
+    // L1 is virtually indexed and usable to its budgeted capacity; lower
+    // levels need conflict-miss headroom under random placement.
+    const double margin = level == 0 ? 1.0 : request.physical_index_margin;
+    const auto effective = static_cast<Bytes>(margin * static_cast<double>(size));
+    return std::make_unique<TilingTunable>(level, max_square_tile(effective, request));
+}
+
 std::vector<TileChoice> plan_tiles(const core::Profile& profile,
                                    const TilingRequest& request) {
     SERVET_CHECK(request.physical_index_margin > 0 && request.physical_index_margin <= 1.0);
     std::vector<TileChoice> plan;
     plan.reserve(profile.caches.size());
     for (std::size_t level = 0; level < profile.caches.size(); ++level) {
+        const auto tunable = make_tiling_tunable(profile, level, request);
+        if (!tunable) continue;  // undetected (zero) size: nothing to tile for
+        const auto result = search::run_search(*tunable, {});
+        SERVET_CHECK(result.has_value());
         TileChoice choice;
         choice.level = level;
         choice.cache_size = profile.caches[level].size;
-        // L1 is virtually indexed and usable to its budgeted capacity;
-        // lower levels need conflict-miss headroom under random placement.
-        const double margin = level == 0 ? 1.0 : request.physical_index_margin;
-        const auto effective = static_cast<Bytes>(
-            margin * static_cast<double>(choice.cache_size));
-        choice.tile_elements = max_square_tile(effective, request);
+        choice.tile_elements = static_cast<int>(result->best.at("tile"));
         choice.tile_bytes = static_cast<Bytes>(choice.tile_elements) *
                             static_cast<Bytes>(choice.tile_elements) * request.element_bytes;
         plan.push_back(choice);

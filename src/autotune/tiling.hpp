@@ -7,8 +7,10 @@
 // of a cache level, per level.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "autotune/search/tunable.hpp"
 #include "base/types.hpp"
 #include "core/profile.hpp"
 
@@ -43,7 +45,18 @@ struct TileChoice {
 
 /// One TileChoice per detected cache level (the multi-level tiling plan of
 /// a blocked kernel). Empty when the profile has no cache estimates.
+/// Levels whose size was not detected (0) are skipped — a zero-byte
+/// budget has no meaningful tile. Implemented as a one-shot exhaustive
+/// search over the level's TilingTunable.
 [[nodiscard]] std::vector<TileChoice> plan_tiles(const core::Profile& profile,
                                                  const TilingRequest& request = {});
+
+/// Tunable view of one cache level's tile-size choice: an integer `tile`
+/// axis over the feasible square dimensions with analytic cost -tile
+/// (the largest fitting tile wins), so an exhaustive search reproduces
+/// max_square_tile exactly while gaining budgets and trace reporting.
+/// nullptr when the level is absent or its size undetected (0).
+[[nodiscard]] std::unique_ptr<search::Tunable> make_tiling_tunable(
+    const core::Profile& profile, std::size_t level, const TilingRequest& request = {});
 
 }  // namespace servet::autotune

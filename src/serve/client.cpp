@@ -1,0 +1,100 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace servet::serve {
+
+namespace {
+
+FetchResult fail(std::string error) {
+    FetchResult result;
+    result.error = std::move(error);
+    return result;
+}
+
+FetchResult fail_errno(const char* what) {
+    return fail(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// RAII socket so every error path closes.
+struct Socket {
+    int fd = -1;
+    ~Socket() {
+        if (fd >= 0) ::close(fd);
+    }
+};
+
+}  // namespace
+
+FetchResult http_fetch(const FetchOptions& options) {
+    if (options.port <= 0 || options.port > 65535)
+        return fail("port out of range: " + std::to_string(options.port));
+    if (options.path.empty() || options.path.front() != '/')
+        return fail("request path must be absolute, got '" + options.path + "'");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+    if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1)
+        return fail("host must be a numeric IPv4 address, got '" + options.host + "'");
+
+    Socket sock;
+    sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (sock.fd < 0) return fail_errno("socket");
+
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options.timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options.timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    (void)::setsockopt(sock.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    (void)::setsockopt(sock.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+    if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+        return fail_errno("connect");
+
+    std::string request = "GET " + options.path + " HTTP/1.1\r\n";
+    request += "host: " + options.host + ":" + std::to_string(options.port) + "\r\n";
+    if (!options.etag.empty()) request += "if-none-match: \"" + options.etag + "\"\r\n";
+    request += "connection: close\r\n\r\n";
+
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(sock.fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) return fail_errno("send");
+        sent += static_cast<std::size_t>(n);
+    }
+
+    HttpResponseParser parser;
+    char buf[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(sock.fd, buf, sizeof buf, 0);
+        if (n < 0) return fail_errno("recv");
+        if (n == 0) {
+            (void)parser.finish_eof();
+            break;
+        }
+        if (parser.feed(std::string_view(buf, static_cast<std::size_t>(n))) !=
+            HttpResponseParser::State::NeedMore)
+            break;
+    }
+    if (parser.state() != HttpResponseParser::State::Complete)
+        return fail("malformed response: " + (parser.error_reason().empty()
+                                                  ? std::string("truncated")
+                                                  : parser.error_reason()));
+
+    FetchResult result;
+    result.ok = true;
+    result.response = parser.response();
+    return result;
+}
+
+}  // namespace servet::serve

@@ -1,0 +1,38 @@
+// Minimal blocking HTTP/1.1 client — the consumer half of the profile
+// service. `servet fetch` uses it so nodes can self-provision a profile
+// from a `servet serve` store at boot: one GET per call, conditional via
+// If-None-Match when the caller already holds an ETag, response parsed
+// by the same serve/http grammar the server speaks. Numeric IPv4 hosts
+// only (the store runs on the loopback or a rack-local address); no TLS
+// — same trust model as the server.
+#pragma once
+
+#include <string>
+
+#include "serve/http.hpp"
+
+namespace servet::serve {
+
+struct FetchOptions {
+    std::string host = "127.0.0.1";  ///< numeric IPv4 address
+    int port = 0;
+    std::string path;  ///< absolute request path, e.g. "/v1/profile/<fp>"
+    /// Raw ETag token from a previous fetch; when non-empty the request
+    /// carries If-None-Match and an unchanged resource answers 304.
+    std::string etag;
+    double timeout_seconds = 10.0;  ///< per socket operation
+};
+
+struct FetchResult {
+    /// True when the HTTP exchange completed (any status); false on a
+    /// transport or parse failure, described in `error`.
+    bool ok = false;
+    std::string error;
+    HttpResponse response;
+};
+
+/// One blocking GET. Opens a connection, sends the request with
+/// Connection: close, reads until the response completes or EOF.
+[[nodiscard]] FetchResult http_fetch(const FetchOptions& options);
+
+}  // namespace servet::serve

@@ -213,6 +213,171 @@ bool HttpParser::parse_head(std::string_view head) {
     return true;
 }
 
+const std::string* HttpResponse::header(const std::string& name) const {
+    const auto it = headers.find(name);
+    return it == headers.end() ? nullptr : &it->second;
+}
+
+std::string HttpResponse::etag_token() const {
+    const std::string* raw = header("etag");
+    if (raw == nullptr) return "";
+    std::string_view token = *raw;
+    if (token.size() >= 2 && token.front() == '"' && token.back() == '"')
+        token = token.substr(1, token.size() - 2);
+    return std::string(token);
+}
+
+HttpResponseParser::HttpResponseParser() : HttpResponseParser(HttpParser::Limits{}) {}
+
+HttpResponseParser::HttpResponseParser(HttpParser::Limits limits) : limits_(limits) {}
+
+HttpResponseParser::State HttpResponseParser::state() const {
+    if (!error_reason_.empty()) return State::Error;
+    return phase_ == Phase::Done ? State::Complete : State::NeedMore;
+}
+
+void HttpResponseParser::fail(std::string reason) { error_reason_ = std::move(reason); }
+
+HttpResponseParser::State HttpResponseParser::feed(std::string_view bytes) {
+    if (state() != State::NeedMore) return state();
+    buffer_.append(bytes.data(), bytes.size());
+
+    if (phase_ == Phase::Head) {
+        // Head ends at the first blank line; tolerate CRLF and bare LF
+        // like the request parser.
+        std::size_t head_end = std::string::npos;
+        std::size_t body_start = 0;
+        const std::size_t crlf = buffer_.find("\r\n\r\n");
+        const std::size_t lf = buffer_.find("\n\n");
+        if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+            head_end = crlf;
+            body_start = crlf + 4;
+        } else if (lf != std::string::npos) {
+            head_end = lf;
+            body_start = lf + 2;
+        }
+        if (head_end == std::string::npos) {
+            if (buffer_.size() > limits_.max_head_bytes)
+                fail("response head exceeds " + std::to_string(limits_.max_head_bytes) +
+                     " bytes");
+            return state();
+        }
+        const std::string head = buffer_.substr(0, head_end);
+        buffer_.erase(0, body_start);
+        if (!parse_head(head)) return state();
+        phase_ = Phase::Body;
+    }
+
+    if (phase_ == Phase::Body && !until_eof_) {
+        if (buffer_.size() > body_remaining_) {
+            fail("bytes past the declared response body");
+            return state();
+        }
+        if (buffer_.size() == body_remaining_) {
+            response_.body = std::move(buffer_);
+            buffer_.clear();
+            phase_ = Phase::Done;
+        }
+    }
+    return state();
+}
+
+HttpResponseParser::State HttpResponseParser::finish_eof() {
+    if (state() != State::NeedMore) return state();
+    if (phase_ == Phase::Body && until_eof_) {
+        response_.body = std::move(buffer_);
+        buffer_.clear();
+        phase_ = Phase::Done;
+    } else {
+        fail("connection closed mid-response");
+    }
+    return state();
+}
+
+bool HttpResponseParser::parse_head(std::string_view head) {
+    // Status line: HTTP/1.x SP NNN [SP reason]
+    std::size_t line_end = std::min(head.find('\n'), head.size());
+    const std::string_view status_line = trim(head.substr(0, line_end));
+    const std::size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string_view::npos) {
+        fail("malformed status line");
+        return false;
+    }
+    const std::string_view version = status_line.substr(0, sp1);
+    if (version == "HTTP/1.1") {
+        response_.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+        response_.version_minor = 0;
+    } else {
+        fail("unsupported protocol version");
+        return false;
+    }
+    const std::string_view rest = trim(status_line.substr(sp1 + 1));
+    const std::size_t sp2 = std::min(rest.find(' '), rest.size());
+    const std::string_view code = rest.substr(0, sp2);
+    int status = 0;
+    const auto [end, ec] = std::from_chars(code.data(), code.data() + code.size(), status);
+    if (ec != std::errc{} || end != code.data() + code.size() || status < 100 ||
+        status > 599) {
+        fail("malformed status code");
+        return false;
+    }
+    response_.status = status;
+    if (sp2 < rest.size()) response_.reason = std::string(trim(rest.substr(sp2 + 1)));
+
+    // Header lines — same grammar as requests.
+    std::size_t pos = line_end == head.size() ? head.size() : line_end + 1;
+    while (pos < head.size()) {
+        line_end = std::min(head.find('\n', pos), head.size());
+        const std::string_view line =
+            trim(std::string_view(head).substr(pos, line_end - pos));
+        pos = line_end + 1;
+        if (line.empty()) continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            fail("malformed header line");
+            return false;
+        }
+        const std::string_view name = line.substr(0, colon);
+        if (name.find(' ') != std::string_view::npos ||
+            name.find('\t') != std::string_view::npos) {
+            fail("whitespace in header name");
+            return false;
+        }
+        response_.headers[to_lower(name)] = std::string(trim(line.substr(colon + 1)));
+    }
+
+    if (response_.header("transfer-encoding") != nullptr) {
+        fail("transfer-encoding is not supported");
+        return false;
+    }
+    // 304/204/1xx never carry a body regardless of headers; otherwise a
+    // content-length delimits it and its absence means read-to-EOF.
+    const bool bodiless =
+        response_.status == 304 || response_.status == 204 || response_.status < 200;
+    body_remaining_ = 0;
+    until_eof_ = false;
+    if (!bodiless) {
+        if (const std::string* length = response_.header("content-length")) {
+            std::size_t value = 0;
+            const auto [lend, lec] =
+                std::from_chars(length->data(), length->data() + length->size(), value);
+            if (lec != std::errc{} || lend != length->data() + length->size()) {
+                fail("malformed content-length");
+                return false;
+            }
+            if (value > limits_.max_body_bytes) {
+                fail("body exceeds " + std::to_string(limits_.max_body_bytes) + " bytes");
+                return false;
+            }
+            body_remaining_ = value;
+        } else {
+            until_eof_ = true;
+        }
+    }
+    return true;
+}
+
 std::string_view status_reason(int status) {
     switch (status) {
         case 200: return "OK";

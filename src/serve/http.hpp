@@ -85,6 +85,63 @@ class HttpParser {
     std::string error_reason_;
 };
 
+struct HttpResponse {
+    int status = 0;
+    std::string reason;
+    int version_minor = 1;
+    /// Header names lowercased, values trimmed — same grammar as requests.
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /// Header value or nullptr. `name` must already be lowercase.
+    [[nodiscard]] const std::string* header(const std::string& name) const;
+    /// The etag header's raw token with the wire quotes stripped; empty
+    /// when absent (render_response always quotes, so this inverts it).
+    [[nodiscard]] std::string etag_token() const;
+};
+
+/// Incremental response parser — the client half of the protocol
+/// (`servet fetch`). Same torn-chunk discipline and header grammar as
+/// HttpParser; one response per connection. A response without
+/// content-length (and that isn't a bodiless 304/204/1xx) is delimited
+/// by connection close: call finish_eof() when the peer closes to
+/// complete it.
+class HttpResponseParser {
+  public:
+    enum class State {
+        NeedMore,  ///< response not complete yet
+        Complete,  ///< response() is fully parsed
+        Error,     ///< malformed input; see error_reason()
+    };
+
+    HttpResponseParser();  ///< default HttpParser::Limits
+    explicit HttpResponseParser(HttpParser::Limits limits);
+
+    /// Appends bytes and parses as far as possible. Returns state().
+    State feed(std::string_view bytes);
+    /// Signals connection close. Completes a length-less body; anything
+    /// else still incomplete becomes an Error (truncated response).
+    State finish_eof();
+
+    [[nodiscard]] State state() const;
+    [[nodiscard]] const HttpResponse& response() const { return response_; }
+    [[nodiscard]] const std::string& error_reason() const { return error_reason_; }
+
+  private:
+    enum class Phase { Head, Body, Done };
+
+    bool parse_head(std::string_view head);
+    void fail(std::string reason);
+
+    HttpParser::Limits limits_;
+    std::string buffer_;
+    Phase phase_ = Phase::Head;
+    bool until_eof_ = false;
+    std::size_t body_remaining_ = 0;
+    HttpResponse response_;
+    std::string error_reason_;
+};
+
 /// Reason phrase for the statuses the service emits.
 [[nodiscard]] std::string_view status_reason(int status);
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "autotune/search/strategy.hpp"
+
 namespace servet::autotune {
 namespace {
 
@@ -65,6 +67,39 @@ TEST(Aggregation, MissingSlowdownTreatedAsScalable) {
 TEST(Aggregation, UnknownPairGivesNothing) {
     const auto profile = profile_with_layer({1.0});
     EXPECT_FALSE(advise_aggregation(profile, {0, 7}, KiB, 2).has_value());
+}
+
+TEST(Aggregation, CommLessProfileYieldsNeitherAdviceNorTunable) {
+    const core::Profile empty;
+    EXPECT_FALSE(advise_aggregation(empty, {0, 1}, 2 * KiB, 8).has_value());
+    EXPECT_EQ(make_aggregation_tunable(empty, {0, 1}, 2 * KiB, 8), nullptr);
+}
+
+TEST(AggregationTunable, SearchAgreesWithAdvisorBothWays) {
+    for (const bool poorly_scaling : {true, false}) {
+        const auto profile = poorly_scaling
+            ? profile_with_layer({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0})
+            : profile_with_layer({1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+        const auto advice = advise_aggregation(profile, {0, 1}, 2 * KiB, 8);
+        ASSERT_TRUE(advice.has_value());
+        const auto tunable = make_aggregation_tunable(profile, {0, 1}, 2 * KiB, 8);
+        ASSERT_NE(tunable, nullptr);
+        const auto result = search::run_search(*tunable, {});
+        ASSERT_TRUE(result.has_value());
+        EXPECT_EQ(result->space_size, 2u);
+        EXPECT_EQ(result->best.label("mode") == "aggregated", advice->aggregate);
+    }
+}
+
+TEST(AggregationTunable, CostTieKeepsMessagesScattered) {
+    // count == 1 prices both modes identically; like the advisor's strict
+    // benefit > 1.0 test, the tie must resolve to not aggregating.
+    const auto profile = profile_with_layer({1.0, 2.0});
+    const auto tunable = make_aggregation_tunable(profile, {0, 1}, 4 * KiB, 1);
+    ASSERT_NE(tunable, nullptr);
+    const auto result = search::run_search(*tunable, {});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->best.label("mode"), "scattered");
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+#include "autotune/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "autotune/search/strategy.hpp"
+#include "core/measure.hpp"
+#include "msg/sim_network.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::autotune::kernels {
+namespace {
+
+/// A dempsey-shaped profile by hand — the kernels only consult the cache
+/// ladder and the memory curves, so tests need not run the suite.
+core::Profile dempsey_like_profile() {
+    core::Profile profile;
+    profile.machine = "test-dempsey";
+    profile.cores = 2;
+    profile.caches = {{16 * KiB, "peak", {}}, {2 * MiB, "peak", {}}};
+    profile.memory.reference_bandwidth = 3e9;
+    core::ProfileMemoryTier tier;
+    tier.bandwidth = 3e9;
+    tier.scalability = {1.0, 1.6};
+    profile.memory.tiers = {tier};
+    return profile;
+}
+
+TEST(Kernels, RegistryBuildsEveryKernelAndRejectsUnknown) {
+    const auto profile = dempsey_like_profile();
+    ASSERT_EQ(kernel_names().size(), 4u);
+    for (const std::string& name : kernel_names()) {
+        const auto kernel = make_kernel(name, profile, 2);
+        ASSERT_NE(kernel, nullptr) << name;
+        EXPECT_EQ(kernel->name(), name);
+        EXPECT_TRUE(kernel->measurable());
+        EXPECT_FALSE(kernel->space().enumerate().empty()) << name;
+    }
+    EXPECT_EQ(make_kernel("fft", profile, 2), nullptr);
+}
+
+TEST(Kernels, AnalyticCostPricesEveryAdmittedPoint) {
+    const auto profile = dempsey_like_profile();
+    for (const std::string& name : kernel_names()) {
+        const auto kernel = make_kernel(name, profile, 2);
+        ASSERT_NE(kernel, nullptr);
+        for (const search::Config& config : kernel->space().enumerate()) {
+            const auto cost = kernel->analytic_cost(config);
+            ASSERT_TRUE(cost.has_value()) << name << " " << config.key();
+            EXPECT_GT(*cost, 0.0) << name << " " << config.key();
+        }
+    }
+}
+
+TEST(Kernels, EmptyProfileMakesAnalyticCostUnavailable) {
+    const core::Profile empty;
+    for (const std::string& name : kernel_names()) {
+        const auto kernel = make_kernel(name, empty, 2);
+        ASSERT_NE(kernel, nullptr);
+        const auto points = kernel->space().enumerate();
+        ASSERT_FALSE(points.empty());
+        EXPECT_FALSE(kernel->analytic_cost(points.front()).has_value()) << name;
+    }
+}
+
+TEST(Kernels, StencilConstraintPrunesDegenerateSlivers) {
+    const auto profile = dempsey_like_profile();
+    const auto kernel = make_stencil(profile, 2);
+    const auto& space = kernel->space();
+    EXPECT_FALSE(space.admits(space.make({8, 128})));   // aspect 1:16
+    EXPECT_FALSE(space.admits(space.make({128, 8})));
+    EXPECT_TRUE(space.admits(space.make({16, 128})));   // aspect 1:8 allowed
+    EXPECT_TRUE(space.admits(space.make({64, 64})));
+}
+
+TEST(Kernels, ReductionCoreAxisIsBoundedByMaxCores) {
+    const auto profile = dempsey_like_profile();
+    const auto kernel = make_reduction(profile, 2);
+    const auto& space = kernel->space();
+    const auto index = space.axis_index("cores");
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(space.axis(*index).hi, 2);
+    // A degenerate single-core machine still yields a searchable space.
+    const auto solo = make_reduction(profile, 1);
+    EXPECT_FALSE(solo->space().enumerate().empty());
+}
+
+TEST(Kernels, MeasuredSearchOnSimFindsAnInteriorOptimum) {
+    const auto profile = dempsey_like_profile();
+    const sim::MachineSpec spec = sim::zoo::dempsey();
+    SimPlatform platform(spec);
+    msg::SimNetwork network(spec);
+    core::MeasureEngine engine(&platform, &network, nullptr, nullptr);
+
+    const auto kernel = make_stencil(profile, platform.core_count());
+    search::SearchOptions options;
+    options.engine = &engine;
+    const auto exhaustive = search::run_search(*kernel, options);
+    ASSERT_TRUE(exhaustive.has_value());
+    EXPECT_EQ(exhaustive->evals, exhaustive->space_size);
+    EXPECT_GT(exhaustive->best_cost, 0.0);
+    for (const search::Evaluation& eval : exhaustive->trace) EXPECT_TRUE(eval.measured);
+
+    // The measured optimum on the dempsey model keeps its working set
+    // inside a cache level: strictly smaller than the largest admitted
+    // tile, which spills.
+    const auto ti = exhaustive->best.at("tile_i");
+    const auto tj = exhaustive->best.at("tile_j");
+    EXPECT_LT(ti * tj, 128 * 128);
+}
+
+TEST(Kernels, GuidedPriorAgreesWithMeasurementOnStencil) {
+    // The convergence bench pins this quantitatively; the test pins the
+    // qualitative contract so a kernel-model regression fails fast here.
+    const auto profile = dempsey_like_profile();
+    const sim::MachineSpec spec = sim::zoo::dempsey();
+    SimPlatform platform(spec);
+    core::MeasureEngine engine(&platform, nullptr, nullptr, nullptr);
+
+    const auto kernel = make_stencil(profile, platform.core_count());
+    search::SearchOptions options;
+    options.engine = &engine;
+    const auto exhaustive = search::run_search(*kernel, options);
+    ASSERT_TRUE(exhaustive.has_value());
+
+    options.strategy = search::Strategy::Guided;
+    const auto guided = search::run_search(*kernel, options);
+    ASSERT_TRUE(guided.has_value());
+    EXPECT_EQ(guided->best_cost, exhaustive->best_cost);
+    EXPECT_LE(guided->evals_to_best, exhaustive->space_size / 2);
+}
+
+}  // namespace
+}  // namespace servet::autotune::kernels

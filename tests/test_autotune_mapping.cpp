@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "autotune/search/strategy.hpp"
+
 #include <algorithm>
 #include <set>
 #include <utility>
@@ -221,6 +223,47 @@ TEST(MapProcesses, NeverWorseThanIdentity) {
 TEST(MapProcessesDeath, MoreRanksThanCores) {
     const core::Profile profile = toy_profile();
     EXPECT_DEATH((void)map_processes(profile, CommGraph::ring(5), {}), "");
+}
+
+TEST(TryMapProcesses, RefusesProfilesThatCannotPriceEdges) {
+    // A comm-less profile prices every placement identically; the guarded
+    // entry point reports that instead of returning an arbitrary mapping.
+    core::Profile commless = toy_profile();
+    commless.comm.clear();
+    EXPECT_FALSE(try_map_processes(commless, CommGraph::ring(4), {}).has_value());
+    // An edge-less graph needs no comm data: any placement is fine.
+    CommGraph isolated;
+    isolated.ranks = 2;
+    EXPECT_TRUE(try_map_processes(commless, isolated, {}).has_value());
+}
+
+TEST(TryMapProcesses, MatchesMapProcessesOnHealthyProfiles) {
+    const core::Profile profile = toy_profile();
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    const CommGraph graph = CommGraph::ring(4);
+    const auto guarded = try_map_processes(profile, graph, options);
+    ASSERT_TRUE(guarded.has_value());
+    const MappingResult direct = map_processes(profile, graph, options);
+    EXPECT_EQ(guarded->core_of_rank, direct.core_of_rank);
+    EXPECT_EQ(guarded->cost, direct.cost);
+}
+
+TEST(MappingTunable, SeedSearchNeverBeatenByEitherSeed) {
+    const core::Profile profile = toy_profile();
+    MappingOptions options;
+    options.message_size = 1 * KiB;
+    const CommGraph graph = CommGraph::random_sparse(4, 2, 7);
+    const auto tunable = make_mapping_tunable(profile, graph, options);
+    ASSERT_NE(tunable, nullptr);
+    const auto result = search::run_search(*tunable, {});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->space_size, 2u);  // greedy and identity seeds
+    // The search winner is the better (unrefined) seed, which is what
+    // map_processes refines: its greedy_cost must equal the search best.
+    const MappingResult refined = map_processes(profile, graph, options);
+    EXPECT_EQ(refined.greedy_cost, result->best_cost);
+    EXPECT_LE(refined.cost, result->best_cost + 1e-15);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "autotune/search/strategy.hpp"
+
 namespace servet::autotune {
 namespace {
 
@@ -56,6 +58,22 @@ TEST(Throttle, MissingTierOrData) {
     EXPECT_FALSE(advise_core_throttle(profile, 0).has_value());
     const auto ok = profile_with_scalability({1e9});
     EXPECT_FALSE(advise_core_throttle(ok, 5).has_value());
+}
+
+TEST(ThrottleTunable, MissingTierYieldsNoTunable) {
+    EXPECT_EQ(make_throttle_tunable(profile_with_scalability({}), 0), nullptr);
+    EXPECT_EQ(make_throttle_tunable(profile_with_scalability({1e9}), 5), nullptr);
+}
+
+TEST(ThrottleTunable, SearchReproducesAdvisedCoreCount) {
+    const auto profile = profile_with_scalability({2.0e9, 1.1e9, 0.74e9, 0.555e9});
+    const auto advice = advise_core_throttle(profile, 0, 0.05);
+    ASSERT_TRUE(advice.has_value());
+    const auto tunable = make_throttle_tunable(profile, 0, 0.05);
+    ASSERT_NE(tunable, nullptr);
+    const auto result = search::run_search(*tunable, {});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->best.at("cores"), advice->recommended_cores);
 }
 
 }  // namespace

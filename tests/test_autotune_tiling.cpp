@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "autotune/search/strategy.hpp"
+
 namespace servet::autotune {
 namespace {
 
@@ -82,6 +84,34 @@ TEST(PlanTilesDeath, RejectsBadRequest) {
     TilingRequest request;
     request.occupancy = 0.0;
     EXPECT_DEATH((void)plan_tiles(profile_with_caches(), request), "");
+}
+
+TEST(PlanTiles, SkipsUndetectedZeroSizeLevels) {
+    // A partial profile may carry a level whose size detection failed and
+    // recorded 0; a zero-byte budget has no meaningful tile, so the plan
+    // skips it instead of returning a degenerate 1-element tile.
+    auto profile = profile_with_caches();
+    profile.caches[1].size = 0;
+    const auto plan = plan_tiles(profile);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].level, 0u);
+    EXPECT_EQ(plan[1].level, 2u);
+    EXPECT_EQ(make_tiling_tunable(profile, 1), nullptr);
+}
+
+TEST(TilingTunable, AbsentLevelYieldsNoTunable) {
+    EXPECT_EQ(make_tiling_tunable(profile_with_caches(), 7), nullptr);
+    EXPECT_EQ(make_tiling_tunable(core::Profile{}, 0), nullptr);
+}
+
+TEST(TilingTunable, SearchReproducesMaxSquareTile) {
+    const auto profile = profile_with_caches();
+    const TilingRequest request;
+    const auto tunable = make_tiling_tunable(profile, 0, request);
+    ASSERT_NE(tunable, nullptr);
+    const auto result = search::run_search(*tunable, {});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->best.at("tile"), max_square_tile(32 * KiB, request));
 }
 
 }  // namespace

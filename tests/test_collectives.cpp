@@ -5,6 +5,7 @@
 #include <set>
 
 #include "autotune/collective_select.hpp"
+#include "autotune/search/strategy.hpp"
 #include "core/suite.hpp"
 #include "msg/sim_network.hpp"
 #include "platform/sim_platform.hpp"
@@ -375,6 +376,56 @@ TEST(CollectiveSelect, SmallGroupIntraNode) {
     for (const auto& [name, cost] : choice.candidates)
         if (name == "flat") flat_cost = cost;
     EXPECT_GT(flat_cost, choice.estimated_cost);
+}
+
+TEST(CollectiveSelectDeath, SingleCoreGroupIsALoudPreconditionFailure) {
+    // A one-core "collective" is a caller bug, not a tuning question; the
+    // selectors refuse it with a stable CHECK rather than fabricating a
+    // zero-cost schedule the runtime would then try to execute.
+    const core::Profile profile = ft_profile();
+    EXPECT_DEATH((void)choose_broadcast(profile, 0, {0}, 16 * KiB), "cores");
+    EXPECT_DEATH((void)choose_allreduce(profile, {0}, 16 * KiB), "cores");
+}
+
+TEST(CollectiveSelect, RecursiveDoublingOfferedExactlyAtPowersOfTwo) {
+    const core::Profile profile = ft_profile();
+    const auto has_doubling = [](const CollectiveChoice& choice) {
+        for (const auto& [name, cost] : choice.candidates)
+            if (name == "recursive-doubling") return true;
+        return false;
+    };
+    EXPECT_TRUE(has_doubling(choose_allreduce(profile, core_range(8), 1 * KiB)));
+    EXPECT_FALSE(has_doubling(choose_allreduce(profile, core_range(6), 1 * KiB)));
+}
+
+TEST(CollectiveSelect, EmptyCandidateListYieldsNoTunable) {
+    const core::Profile profile = ft_profile();
+    EXPECT_EQ(make_collective_tunable(profile, "broadcast", {}, 1 * KiB), nullptr);
+}
+
+TEST(CollectiveSelect, TunableSearchMatchesChooseBroadcast) {
+    const core::Profile profile = ft_profile();
+    const auto choice = choose_broadcast(profile, 0, core_range(16), 16 * KiB);
+    std::vector<Schedule> schedules;
+    schedules.push_back(broadcast_flat(0, core_range(16)));
+    schedules.push_back(broadcast_binomial(0, core_range(16)));
+    auto tunable =
+        make_collective_tunable(profile, "broadcast", std::move(schedules), 16 * KiB);
+    ASSERT_NE(tunable, nullptr);
+    const auto result = search::run_search(*tunable, {});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->space_size, 2u);
+    // Binomial beats flat on any multi-core group, matching the full
+    // selector's ranking of the same two candidates.
+    EXPECT_EQ(result->best.label("algorithm"), "binomial");
+    double flat_cost = 0;
+    double binomial_cost = 0;
+    for (const auto& [name, cost] : choice.candidates) {
+        if (name == "flat") flat_cost = cost;
+        if (name == "binomial") binomial_cost = cost;
+    }
+    EXPECT_LT(binomial_cost, flat_cost);
+    EXPECT_EQ(result->best_cost, binomial_cost);
 }
 
 }  // namespace

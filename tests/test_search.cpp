@@ -1,0 +1,330 @@
+#include "autotune/search/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "autotune/search/config_space.hpp"
+#include "autotune/search/tunable.hpp"
+#include "core/measure.hpp"
+#include "exec/pool.hpp"
+#include "obs/metrics.hpp"
+#include "platform/sim_platform.hpp"
+#include "sim/zoo.hpp"
+
+namespace servet::autotune::search {
+namespace {
+
+// ---- ConfigSpace ----
+
+TEST(ConfigSpace, EnumerationIsOdometerOrderLastAxisFastest) {
+    ConfigSpace space;
+    space.add_int("x", 0, 1).add_enum("mode", {"a", "b"});
+    const auto points = space.enumerate();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].key(), "x=0,mode=a");
+    EXPECT_EQ(points[1].key(), "x=0,mode=b");
+    EXPECT_EQ(points[2].key(), "x=1,mode=a");
+    EXPECT_EQ(points[3].key(), "x=1,mode=b");
+}
+
+TEST(ConfigSpace, Pow2AxisWalksPowersOfTwo) {
+    ConfigSpace space;
+    space.add_pow2("tile", 8, 64);
+    const auto values = space.axis(0).values();
+    EXPECT_EQ(values, (std::vector<std::int64_t>{8, 16, 32, 64}));
+}
+
+TEST(ConfigSpace, IntAxisHonorsStep) {
+    ConfigSpace space;
+    space.add_int("n", 1, 7, 3);
+    EXPECT_EQ(space.axis(0).values(), (std::vector<std::int64_t>{1, 4, 7}));
+}
+
+TEST(ConfigSpace, EnumRendersLabels) {
+    ConfigSpace space;
+    space.add_enum("mode", {"scattered", "aggregated"});
+    const auto points = space.enumerate();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].label("mode"), "scattered");
+    EXPECT_EQ(points[1].label("mode"), "aggregated");
+    EXPECT_EQ(points[1].at("mode"), 1);
+}
+
+TEST(ConfigSpace, ConstraintsPruneEnumeration) {
+    ConfigSpace space;
+    space.add_int("a", 0, 3).add_int("b", 0, 3);
+    space.add_constraint("diagonal", [](const Config& c) {
+        return c.at("a") == c.at("b");
+    });
+    const auto points = space.enumerate();
+    ASSERT_EQ(points.size(), 4u);
+    for (const Config& point : points) EXPECT_EQ(point.at("a"), point.at("b"));
+    EXPECT_TRUE(space.admits(space.make({2, 2})));
+    EXPECT_FALSE(space.admits(space.make({2, 3})));
+}
+
+TEST(ConfigSpace, HashDistinguishesPointsAndIsStable) {
+    ConfigSpace space;
+    space.add_int("x", 0, 7);
+    const auto points = space.enumerate();
+    std::set<std::uint64_t> hashes;
+    for (const Config& point : points) hashes.insert(point.hash());
+    EXPECT_EQ(hashes.size(), points.size());
+    EXPECT_EQ(space.make({3}).hash(), space.make({3}).hash());
+}
+
+TEST(ConfigSpace, SpaceHashCoversAxesAndConstraints) {
+    ConfigSpace plain;
+    plain.add_int("x", 0, 7);
+    ConfigSpace wider;
+    wider.add_int("x", 0, 15);
+    ConfigSpace constrained;
+    constrained.add_int("x", 0, 7);
+    constrained.add_constraint("even", [](const Config& c) { return c.at("x") % 2 == 0; });
+    EXPECT_NE(plain.space_hash(), wider.space_hash());
+    EXPECT_NE(plain.space_hash(), constrained.space_hash());
+}
+
+// ---- Strategies ----
+
+/// Analytic-only toy: cost = |x - 7|, so the unique optimum is x=7 and
+/// the analytic ranking is fully informative.
+class VShape final : public Tunable {
+  public:
+    VShape() { space_.add_int("x", 0, 15); }
+    [[nodiscard]] std::string name() const override { return "toy.vshape"; }
+    [[nodiscard]] const ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(const Config& config) const override {
+        return std::abs(static_cast<double>(config.at("x")) - 7.0);
+    }
+
+  private:
+    ConfigSpace space_;
+};
+
+/// Measurable toy on the same shape; measure() is a pure function of the
+/// config so parallel and serial searches must agree bit-for-bit. The
+/// analytic prior is deliberately misleading (ascending in x) to tell
+/// the orderings apart.
+class MeasurableVShape final : public Tunable {
+  public:
+    MeasurableVShape() { space_.add_int("x", 0, 15); }
+    [[nodiscard]] std::string name() const override { return "toy.measured"; }
+    [[nodiscard]] const ConfigSpace& space() const override { return space_; }
+    [[nodiscard]] std::optional<double> analytic_cost(const Config& config) const override {
+        return static_cast<double>(config.at("x"));
+    }
+    [[nodiscard]] bool measurable() const override { return true; }
+    [[nodiscard]] double measure(const Config& config, Platform*,
+                                 msg::Network*) const override {
+        return std::abs(static_cast<double>(config.at("x")) - 9.0);
+    }
+
+  private:
+    ConfigSpace space_;
+};
+
+TEST(Search, ExhaustiveWalksEnumerationOrderAndFindsOptimum) {
+    const VShape tunable;
+    const auto result = run_search(tunable, {});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->space_size, 16u);
+    EXPECT_EQ(result->evals, 16u);
+    EXPECT_EQ(result->best.at("x"), 7);
+    EXPECT_EQ(result->best_cost, 0.0);
+    EXPECT_EQ(result->evals_to_best, 8u);  // x=7 is the 8th point
+    ASSERT_EQ(result->trace.size(), 16u);
+    for (std::size_t i = 0; i < result->trace.size(); ++i) {
+        EXPECT_EQ(result->trace[i].order, i + 1);
+        EXPECT_EQ(result->trace[i].config_key, "x=" + std::to_string(i));
+        EXPECT_FALSE(result->trace[i].measured);
+    }
+}
+
+TEST(Search, BudgetTruncatesAfterOrdering) {
+    const VShape tunable;
+    SearchOptions options;
+    options.budget = 5;
+    const auto result = run_search(tunable, options);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->evals, 5u);
+    EXPECT_EQ(result->space_size, 16u);
+    EXPECT_EQ(result->best.at("x"), 4);  // best within the first 5 points
+}
+
+TEST(Search, GuidedRanksByAnalyticCostAndHitsOptimumFirst) {
+    const VShape tunable;
+    SearchOptions options;
+    options.strategy = Strategy::Guided;
+    options.budget = 1;
+    const auto result = run_search(tunable, options);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->best.at("x"), 7);
+    EXPECT_EQ(result->evals_to_best, 1u);
+}
+
+TEST(Search, GuidedTieBreaksByEnumerationOrder) {
+    // Every |x-7| value except 0 appears twice (7-d and 7+d); the stable
+    // sort must keep the smaller x first within each tie.
+    const VShape tunable;
+    SearchOptions options;
+    options.strategy = Strategy::Guided;
+    const auto result = run_search(tunable, options);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(result->trace.size(), 16u);
+    EXPECT_EQ(result->trace[0].config_key, "x=7");
+    EXPECT_EQ(result->trace[1].config_key, "x=6");
+    EXPECT_EQ(result->trace[2].config_key, "x=8");
+    EXPECT_EQ(result->trace[15].config_key, "x=15");
+}
+
+TEST(Search, RandomIsASeededPermutationOfTheSpace) {
+    const VShape tunable;
+    SearchOptions options;
+    options.strategy = Strategy::Random;
+    options.seed = 42;
+    const auto first = run_search(tunable, options);
+    const auto again = run_search(tunable, options);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(again.has_value());
+    std::set<std::string> keys;
+    for (const Evaluation& eval : first->trace) keys.insert(eval.config_key);
+    EXPECT_EQ(keys.size(), 16u);  // a permutation: every point exactly once
+    for (std::size_t i = 0; i < first->trace.size(); ++i)
+        EXPECT_EQ(first->trace[i].config_key, again->trace[i].config_key);
+    EXPECT_EQ(first->best.at("x"), 7);  // full budget always finds the optimum
+
+    options.seed = 43;
+    const auto other = run_search(tunable, options);
+    ASSERT_TRUE(other.has_value());
+    bool differs = false;
+    for (std::size_t i = 0; i < other->trace.size(); ++i)
+        differs = differs || other->trace[i].config_key != first->trace[i].config_key;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Search, EmptySpaceReturnsNullopt) {
+    class Empty final : public Tunable {
+      public:
+        Empty() {
+            space_.add_int("x", 0, 3);
+            space_.add_constraint("never", [](const Config&) { return false; });
+        }
+        [[nodiscard]] std::string name() const override { return "toy.empty"; }
+        [[nodiscard]] const ConfigSpace& space() const override { return space_; }
+        [[nodiscard]] std::optional<double> analytic_cost(const Config&) const override {
+            return 0.0;
+        }
+
+      private:
+        ConfigSpace space_;
+    };
+    const Empty tunable;
+    EXPECT_FALSE(run_search(tunable, {}).has_value());
+}
+
+TEST(Search, UnpriceablePointsRankLastUnderGuided) {
+    class PartialPrior final : public Tunable {
+      public:
+        PartialPrior() { space_.add_int("x", 0, 3); }
+        [[nodiscard]] std::string name() const override { return "toy.partial"; }
+        [[nodiscard]] const ConfigSpace& space() const override { return space_; }
+        [[nodiscard]] std::optional<double> analytic_cost(
+            const Config& config) const override {
+            if (config.at("x") < 2) return std::nullopt;
+            return static_cast<double>(config.at("x"));
+        }
+
+      private:
+        ConfigSpace space_;
+    };
+    const PartialPrior tunable;
+    SearchOptions options;
+    options.strategy = Strategy::Guided;
+    const auto result = run_search(tunable, options);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->trace[0].config_key, "x=2");
+    EXPECT_EQ(result->trace[1].config_key, "x=3");
+    EXPECT_EQ(result->trace[2].config_key, "x=0");  // nullopt priors last,
+    EXPECT_EQ(result->trace[3].config_key, "x=1");  // enumeration order kept
+    EXPECT_FALSE(result->trace[2].prior.has_value());
+}
+
+TEST(Search, StrategyNamesRoundTrip) {
+    for (const Strategy strategy : all_strategies())
+        EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
+    EXPECT_FALSE(parse_strategy("annealing").has_value());
+}
+
+TEST(Search, EvalsCounterCountsEvaluations) {
+    const std::uint64_t before =
+        obs::registry().stable_counters()["autotune.search.evals"];
+    const VShape tunable;
+    (void)run_search(tunable, {});
+    const std::uint64_t after =
+        obs::registry().stable_counters()["autotune.search.evals"];
+    EXPECT_EQ(after - before, 16u);
+}
+
+// ---- Measured searches through the engine ----
+
+TEST(Search, MeasuredSearchUsesMeasureAndMarksTrace) {
+    SimPlatform platform(sim::zoo::dempsey());
+    core::MeasureEngine engine(&platform, nullptr, nullptr, nullptr);
+    const MeasurableVShape tunable;
+    SearchOptions options;
+    options.engine = &engine;
+    const auto result = run_search(tunable, options);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->best.at("x"), 9);  // the measured optimum, not the prior's
+    EXPECT_EQ(result->best_cost, 0.0);
+    for (const Evaluation& eval : result->trace) {
+        EXPECT_TRUE(eval.measured);
+        ASSERT_TRUE(eval.prior.has_value());  // prior still recorded alongside
+    }
+}
+
+TEST(Search, ParallelSearchTraceIsByteIdenticalToSerial) {
+    const MeasurableVShape tunable;
+    const auto run_with_pool = [&](exec::ThreadPool* pool, Strategy strategy) {
+        SimPlatform platform(sim::zoo::dempsey());
+        core::MeasureEngine engine(&platform, nullptr, pool, nullptr);
+        SearchOptions options;
+        options.strategy = strategy;
+        options.engine = &engine;
+        const auto result = run_search(tunable, options);
+        EXPECT_TRUE(result.has_value());
+        return trace_json(tunable, options, *result);
+    };
+    exec::ThreadPool pool(3);  // --jobs 4: caller + 3 workers
+    for (const Strategy strategy : all_strategies()) {
+        const std::string serial = run_with_pool(nullptr, strategy);
+        const std::string parallel = run_with_pool(&pool, strategy);
+        EXPECT_EQ(serial, parallel)
+            << "strategy " << strategy_name(strategy) << " trace differs across jobs";
+    }
+}
+
+TEST(Search, TraceJsonCarriesTheSearchShape) {
+    const VShape tunable;
+    SearchOptions options;
+    options.strategy = Strategy::Guided;
+    options.budget = 3;
+    const auto result = run_search(tunable, options);
+    ASSERT_TRUE(result.has_value());
+    const std::string json = trace_json(tunable, options, *result);
+    EXPECT_NE(json.find("\"tunable\":\"toy.vshape\""), std::string::npos);
+    EXPECT_NE(json.find("\"strategy\":\"guided\""), std::string::npos);
+    EXPECT_NE(json.find("\"budget\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"key\":\"x=7\""), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace servet::autotune::search

@@ -456,6 +456,141 @@ TEST(ToolCli, ServeUploadFetchSigterm) {
     EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
+std::string read_whole_file(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(ToolCli, TuneSearchesEveryStrategyAndWritesTheTrace) {
+    // One measured-in-advance profile shared by all invocations so each
+    // tune run skips the in-process suite.
+    const std::string dir = ::testing::TempDir() + "/tool_cli_tune_" +
+                            std::to_string(::getpid());
+    const std::string profile = dir + "/dempsey.profile";
+    ASSERT_EQ(run_tool("profile --machine dempsey --fast --no-timing --out " + profile)
+                  .exit_code, 0);
+
+    for (const std::string strategy : {"exhaustive", "random", "guided"}) {
+        const std::string trace = dir + "/trace_" + strategy + ".json";
+        const auto result =
+            run_tool("tune --machine dempsey --kernel transpose --strategy " + strategy +
+                     " --profile " + profile + " --trace " + trace);
+        EXPECT_EQ(result.exit_code, 0) << result.output;
+        EXPECT_NE(result.output.find("tune: transpose"), std::string::npos);
+        EXPECT_NE(result.output.find("best block="), std::string::npos);
+        const std::string json = read_whole_file(trace);
+        EXPECT_EQ(json.compare(0, 1, "{"), 0);
+        EXPECT_NE(json.find("\"tunable\":\"transpose\""), std::string::npos);
+        EXPECT_NE(json.find("\"strategy\":\"" + strategy + "\""), std::string::npos);
+        EXPECT_NE(json.find("\"measured\":true"), std::string::npos);
+        std::remove(trace.c_str());
+    }
+    std::remove(profile.c_str());
+}
+
+TEST(ToolCli, TuneTraceIsByteIdenticalAcrossJobs) {
+    const std::string dir = ::testing::TempDir() + "/tool_cli_tune_jobs_" +
+                            std::to_string(::getpid());
+    const std::string profile = dir + "/dempsey.profile";
+    ASSERT_EQ(run_tool("profile --machine dempsey --fast --no-timing --out " + profile)
+                  .exit_code, 0);
+    const std::string serial_trace = dir + "/serial.json";
+    const std::string parallel_trace = dir + "/parallel.json";
+    ASSERT_EQ(run_tool("tune --machine dempsey --kernel stencil --strategy guided "
+                       "--budget 9 --jobs 1 --profile " + profile + " --trace " +
+                       serial_trace).exit_code, 0);
+    ASSERT_EQ(run_tool("tune --machine dempsey --kernel stencil --strategy guided "
+                       "--budget 9 --jobs 4 --profile " + profile + " --trace " +
+                       parallel_trace).exit_code, 0);
+    const std::string serial = read_whole_file(serial_trace);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, read_whole_file(parallel_trace));
+    std::remove(serial_trace.c_str());
+    std::remove(parallel_trace.c_str());
+    std::remove(profile.c_str());
+}
+
+TEST(ToolCli, TuneRejectsInvalidInvocationsWithExitTwo) {
+    EXPECT_EQ(run_tool("tune --kernel fft").exit_code, 2);
+    EXPECT_EQ(run_tool("tune --strategy annealing").exit_code, 2);
+    EXPECT_EQ(run_tool("tune --machine not-a-machine").exit_code, 2);
+    EXPECT_EQ(run_tool("tune --budget -3").exit_code, 2);
+    EXPECT_EQ(run_tool("tune --jobs 0").exit_code, 2);
+}
+
+TEST(ToolCli, FetchConditionalGetAgainstLiveDaemon) {
+    const std::string dir = ::testing::TempDir() + "/tool_cli_fetch_" +
+                            std::to_string(::getpid());
+    const std::string port_file = dir + "/port";
+    const std::string store_dir = dir + "/store";
+    const std::string out = dir + "/fetched.profile";
+    ASSERT_EQ(run_tool("profile --machine athlon3200 --fast --no-timing --out " + dir +
+                       "/golden.profile").exit_code, 0);
+    const std::string body = read_whole_file(dir + "/golden.profile");
+    ASSERT_FALSE(body.empty());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::execl(SERVET_TOOL_PATH, SERVET_TOOL_PATH, "serve", "--port", "0",
+                "--store-dir", store_dir.c_str(), "--port-file", port_file.c_str(),
+                static_cast<char*>(nullptr));
+        _exit(127);  // exec failed
+    }
+    int port = 0;
+    for (int attempt = 0; attempt < 100 && port == 0; ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::ifstream in(port_file);
+        in >> port;
+    }
+    ASSERT_GT(port, 0) << "daemon never wrote the port file";
+
+    const std::string fp = "00000000deadbeef";
+    const std::string opts = "0123456789abcdef";
+    const std::string put = serve_round_trip(
+        port, "PUT /v1/profile/" + fp + "/" + opts + " HTTP/1.1\r\ncontent-length: " +
+                  std::to_string(body.size()) + "\r\nconnection: close\r\n\r\n" + body);
+    ASSERT_EQ(put.compare(0, 12, "HTTP/1.1 201"), 0) << put;
+
+    // Cold fetch: 200, body saved verbatim, ETag sidecar stored.
+    const std::string fetch_args = "fetch --port " + std::to_string(port) +
+                                   " --fingerprint " + fp + " --options " + opts +
+                                   " --out " + out;
+    const auto cold = run_tool(fetch_args);
+    EXPECT_EQ(cold.exit_code, 0) << cold.output;
+    EXPECT_NE(cold.output.find("wrote"), std::string::npos);
+    EXPECT_EQ(read_whole_file(out), body);
+    EXPECT_EQ(read_whole_file(out + ".etag"), opts + "\n");
+
+    // Warm fetch: the stored ETag rides If-None-Match, the server answers
+    // 304, and the on-disk profile is left alone.
+    const auto warm = run_tool(fetch_args);
+    EXPECT_EQ(warm.exit_code, 0) << warm.output;
+    EXPECT_NE(warm.output.find("current"), std::string::npos);
+    EXPECT_EQ(read_whole_file(out), body);
+
+    // Unknown fingerprint: a clean HTTP-level failure, exit 1.
+    const auto missing = run_tool("fetch --port " + std::to_string(port) +
+                                  " --fingerprint 00000000ffffffff --out " + dir +
+                                  "/missing.profile");
+    EXPECT_EQ(missing.exit_code, 1);
+    EXPECT_NE(missing.output.find("404"), std::string::npos);
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ToolCli, FetchRejectsInvalidInvocationsWithExitTwo) {
+    EXPECT_EQ(run_tool("fetch --fingerprint 00000000deadbeef").exit_code, 2);  // no port
+    EXPECT_EQ(run_tool("fetch --port 99999 --fingerprint f").exit_code, 2);
+    EXPECT_EQ(run_tool("fetch --port 8080").exit_code, 2);  // no fingerprint
+}
+
 TEST(ToolCli, UnknownCommandFails) {
     const auto result = run_tool("frobnicate");
     EXPECT_NE(result.exit_code, 0);

@@ -19,6 +19,12 @@
 //   servet serve    [--port P] [--store-dir D]
 //                                         long-running profile service
 //                                         (HTTP/1.1 + JSON; see docs/serve.md)
+//   servet fetch    --port P --fingerprint FP [--out FILE]
+//                                         download a profile from a serve
+//                                         store (conditional GET via ETag)
+//   servet tune     --kernel K --strategy S [--budget N]
+//                                         search a tunable kernel's config
+//                                         space (see docs/autotune.md)
 #include <algorithm>
 #include <cmath>
 #include <csignal>
@@ -26,7 +32,9 @@
 #include <cstring>
 
 #include "autotune/collective_select.hpp"
+#include "autotune/kernels/kernels.hpp"
 #include "autotune/mapping.hpp"
+#include "autotune/search/strategy.hpp"
 #include "base/cli.hpp"
 #include "base/fault_plan.hpp"
 #include "base/fs.hpp"
@@ -35,9 +43,11 @@
 #include "core/cluster.hpp"
 #include "core/journal.hpp"
 #include "core/report.hpp"
+#include "core/measure.hpp"
 #include "core/suite.hpp"
 #include "core/tlb_detect.hpp"
 #include "core/validate.hpp"
+#include "exec/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "msg/faulty_network.hpp"
@@ -47,6 +57,7 @@
 #include "platform/native_platform.hpp"
 #include "platform/platform_file.hpp"
 #include "platform/sim_platform.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/zoo.hpp"
 #include "watch/watch.hpp"
@@ -984,6 +995,230 @@ int cmd_serve(int argc, const char* const* argv) {
     return 0;
 }
 
+int cmd_tune(int argc, const char* const* argv) {
+    CliParser cli("servet tune: search a tunable kernel's configuration space and "
+                  "report the best config. Strategies: exhaustive walks the space in "
+                  "enumeration order, random walks a seeded shuffle, guided ranks "
+                  "candidates by the profile's analytic cost model before spending "
+                  "the measurement budget. Candidate order is fixed before any "
+                  "evaluation runs, so --trace output is byte-identical across "
+                  "--jobs values. See docs/autotune.md.");
+    cli.add_option("machine", "target (see 'servet machines')", "dempsey");
+    cli.add_option("kernel", "tunable kernel: stencil | transpose | reduction | spmv",
+                   "stencil");
+    cli.add_option("strategy", "search order: exhaustive | random | guided", "guided");
+    cli.add_option("budget", "measured evaluations to spend (0 = the whole space)", "0");
+    cli.add_option("seed", "random-strategy shuffle seed", "24301");
+    cli.add_option("jobs", "concurrent measured evaluations (modeled machines only)",
+                   "1");
+    cli.add_option("profile", "stored profile supplying the analytic priors (default: "
+                   "measure the target's profile in-process first)", "");
+    cli.add_option("trace", "write the search trace JSON to this file", "");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto strategy = autotune::search::parse_strategy(cli.option("strategy"));
+    if (!strategy) {
+        std::fprintf(stderr, "unknown strategy '%s' (expected exhaustive, random, or "
+                     "guided)\n", cli.option("strategy").c_str());
+        return 2;
+    }
+    const auto budget = cli.option_int("budget");
+    if (!budget || *budget < 0) {
+        std::fprintf(stderr, "--budget must be an integer >= 0\n");
+        return 2;
+    }
+    const auto seed = cli.option_int("seed");
+    if (!seed || *seed < 0) {
+        std::fprintf(stderr, "--seed must be an integer >= 0\n");
+        return 2;
+    }
+    const auto jobs = cli.option_int("jobs");
+    if (!jobs || *jobs < 1) {
+        std::fprintf(stderr, "--jobs must be an integer >= 1\n");
+        return 2;
+    }
+    auto target = make_target(cli.option("machine"));
+    if (!target) {
+        std::fprintf(stderr, "unknown machine '%s'\n", cli.option("machine").c_str());
+        return 2;
+    }
+
+    // Reject a bad kernel name before the (possibly in-process-measured)
+    // profile is acquired: the registry knows the names without one.
+    const auto known_kernels = autotune::kernels::kernel_names();
+    if (std::find(known_kernels.begin(), known_kernels.end(), cli.option("kernel")) ==
+        known_kernels.end()) {
+        std::string names;
+        for (const std::string& name : known_kernels)
+            names += (names.empty() ? "" : ", ") + name;
+        std::fprintf(stderr, "unknown kernel '%s' (expected one of: %s)\n",
+                     cli.option("kernel").c_str(), names.c_str());
+        return 2;
+    }
+
+    // The analytic prior the guided strategy ranks by: a stored profile
+    // when given, otherwise the target's own — measured in-process (fast
+    // on the modeled machines this command is built for).
+    core::Profile profile;
+    if (!cli.option("profile").empty()) {
+        std::string diagnostic;
+        const auto loaded = core::Profile::load(cli.option("profile"), &diagnostic);
+        if (!loaded) {
+            std::fprintf(stderr, "%s\n", diagnostic.c_str());
+            return 2;
+        }
+        profile = *loaded;
+    } else {
+        // The prior only needs the rough shape (cache sizes, the
+        // scalability curve), so the fast suite configuration suffices.
+        core::SuiteOptions suite_options;
+        suite_options.mcalibrator.repeats = 2;
+        suite_options.shared_cache.only_with_core = 0;
+        suite_options.mem_overhead.only_with_core = 0;
+        const auto result =
+            core::run_suite(*target->platform, target->network.get(), suite_options);
+        profile = result.to_profile(target->platform->name(),
+                                    target->platform->core_count(),
+                                    target->platform->page_size());
+    }
+
+    const auto kernel = autotune::kernels::make_kernel(
+        cli.option("kernel"), profile, target->platform->core_count());
+    if (!kernel) {
+        // Name already validated: only a profile unfit for this kernel
+        // (e.g. no cache levels detected) lands here.
+        std::fprintf(stderr, "kernel '%s' cannot be built from this profile\n",
+                     cli.option("kernel").c_str());
+        return 2;
+    }
+
+    // Same pool shape as the suite: the calling thread participates, so
+    // --jobs N means N-1 workers.
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (*jobs > 1) pool = std::make_unique<exec::ThreadPool>(static_cast<int>(*jobs) - 1);
+    core::MeasureEngine engine(target->platform.get(), target->network.get(), pool.get(),
+                               nullptr);
+
+    autotune::search::SearchOptions options;
+    options.strategy = *strategy;
+    options.budget = static_cast<std::size_t>(*budget);
+    options.seed = static_cast<std::uint64_t>(*seed);
+    options.engine = &engine;
+    const auto result = autotune::search::run_search(*kernel, options);
+    if (!result) {
+        std::fprintf(stderr, "kernel '%s' admits no configuration on this target\n",
+                     cli.option("kernel").c_str());
+        return 1;
+    }
+
+    std::printf("tune: %s on %s, strategy %s, space %zu, %zu evaluation(s)\n",
+                kernel->name().c_str(), cli.option("machine").c_str(),
+                std::string(autotune::search::strategy_name(*strategy)).c_str(),
+                result->space_size, result->evals);
+    std::printf("best %s: cost %.6g, first reached at evaluation %zu\n",
+                result->best.key().c_str(), result->best_cost, result->evals_to_best);
+
+    if (!cli.option("trace").empty() &&
+        !write_file_atomic(cli.option("trace"),
+                           autotune::search::trace_json(*kernel, options, *result))) {
+        std::fprintf(stderr, "cannot write %s\n", cli.option("trace").c_str());
+        return kExitExportFailed;
+    }
+    return 0;
+}
+
+int cmd_fetch(int argc, const char* const* argv) {
+    CliParser cli("servet fetch: download a profile from a running servet serve "
+                  "store. Conditional: when --out already holds a profile and its "
+                  ".etag sidecar exists, the request carries If-None-Match and an "
+                  "unchanged profile answers 304 without a body (the stored file is "
+                  "kept). The body is validated as a profile before it replaces "
+                  "--out.");
+    cli.add_option("host", "server IPv4 address", "127.0.0.1");
+    cli.add_option("port", "server TCP port", "0");
+    cli.add_option("fingerprint", "machine fingerprint key (16 lowercase hex digits)",
+                   "");
+    cli.add_option("options", "suite options hash qualifying the profile (16 lowercase "
+                   "hex digits; empty = the store's default entry)", "");
+    cli.add_option("out", "profile file to write", "servet.profile");
+    cli.add_option("timeout", "per-socket-operation timeout in seconds", "10");
+    if (!cli.parse(argc, argv)) return 1;
+
+    const auto port = cli.option_int("port");
+    if (!port || *port < 1 || *port > 65535) {
+        std::fprintf(stderr, "--port must be an integer in [1, 65535]\n");
+        return 2;
+    }
+    if (cli.option("fingerprint").empty()) {
+        std::fprintf(stderr, "--fingerprint is required (see 'servet serve' / "
+                     "docs/serve.md for the key format)\n");
+        return 2;
+    }
+
+    const std::string out = cli.option("out");
+    const std::string etag_path = out + ".etag";
+
+    serve::FetchOptions options;
+    options.host = cli.option("host");
+    options.port = static_cast<int>(*port);
+    options.path = "/v1/profile/" + cli.option("fingerprint");
+    if (!cli.option("options").empty()) options.path += "/" + cli.option("options");
+    options.timeout_seconds =
+        static_cast<double>(cli.option_int("timeout").value_or(10));
+
+    // A 304 is only useful when the previous body is still on disk, so the
+    // conditional header requires both the profile and its sidecar.
+    std::string existing;
+    std::string stored_etag;
+    if (read_file(out, &existing) == FileRead::Ok &&
+        read_file(etag_path, &stored_etag) == FileRead::Ok) {
+        while (!stored_etag.empty() &&
+               (stored_etag.back() == '\n' || stored_etag.back() == '\r' ||
+                stored_etag.back() == ' '))
+            stored_etag.pop_back();
+        options.etag = stored_etag;
+    }
+
+    const serve::FetchResult result = serve::http_fetch(options);
+    if (!result.ok) {
+        std::fprintf(stderr, "fetch: %s\n", result.error.c_str());
+        return 1;
+    }
+    const serve::HttpResponse& response = result.response;
+
+    if (response.status == 304) {
+        std::printf("fetch: %s is current (etag %s)\n", out.c_str(),
+                    options.etag.c_str());
+        return 0;
+    }
+    if (response.status != 200) {
+        std::fprintf(stderr, "fetch: server answered %d %s for %s\n", response.status,
+                     response.reason.c_str(), options.path.c_str());
+        return 1;
+    }
+
+    // Never replace a good profile with bytes that don't parse as one —
+    // a half-broken store should leave the node's copy alone.
+    const auto profile = core::Profile::parse(response.body);
+    if (!profile) {
+        std::fprintf(stderr, "fetch: response body is not a valid profile\n");
+        return 1;
+    }
+    if (!write_file_atomic(out, response.body)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return kExitExportFailed;
+    }
+    const std::string etag = response.etag_token();
+    if (!etag.empty() && !write_file_atomic(etag_path, etag + "\n")) {
+        std::fprintf(stderr, "cannot write %s\n", etag_path.c_str());
+        return kExitExportFailed;
+    }
+    std::printf("fetch: wrote %s (%zu bytes, machine %s%s%s)\n", out.c_str(),
+                response.body.size(), profile->machine.c_str(),
+                etag.empty() ? "" : ", etag ", etag.c_str());
+    return 0;
+}
+
 void usage() {
     std::fprintf(stderr,
                  "servet — measure multicore hardware parameters for autotuning\n\n"
@@ -1002,7 +1237,11 @@ void usage() {
                  "  validate   check a profile against physical invariants "
                  "(--repair re-measures, --against diffs two profiles)\n"
                  "  serve      long-running profile service over HTTP "
-                 "(content-addressed store, conditional GET)\n\n"
+                 "(content-addressed store, conditional GET)\n"
+                 "  fetch      download a profile from a serve store "
+                 "(conditional GET via a stored ETag)\n"
+                 "  tune       search a tunable kernel's configuration space "
+                 "(exhaustive | random | guided)\n\n"
                  "run 'servet <command> --help' for per-command options.\n");
 }
 
@@ -1027,6 +1266,8 @@ int main(int argc, char** argv) {
     if (command == "watch") return cmd_watch(sub_argc, sub_argv);
     if (command == "validate") return cmd_validate(sub_argc, sub_argv);
     if (command == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (command == "fetch") return cmd_fetch(sub_argc, sub_argv);
+    if (command == "tune") return cmd_tune(sub_argc, sub_argv);
     usage();
     return command == "--help" || command == "help" ? 0 : 1;
 }
