@@ -40,6 +40,12 @@ std::uint64_t FaultPlan::fingerprint() const {
     fp.add(drop_probability);
     fp.add(delay_probability);
     fp.add(delay_factor);
+    fp.add(conn_drop_probability);
+    fp.add(conn_delay_probability);
+    fp.add(conn_delay_seconds);
+    fp.add(conn_reset_probability);
+    fp.add(conn_truncate_probability);
+    fp.add(conn_trickle_probability);
     fp.add(seed);
     return fp.value();
 }
@@ -92,6 +98,21 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
             ok = set_probability(plan.delay_probability);
         } else if (key == "delay_factor") {
             ok = set_factor(plan.delay_factor);
+        } else if (key == "conn_drop") {
+            ok = set_probability(plan.conn_drop_probability);
+        } else if (key == "conn_delay") {
+            ok = set_probability(plan.conn_delay_probability);
+        } else if (key == "conn_delay_seconds") {
+            char* endp = nullptr;
+            const double v = std::strtod(value.c_str(), &endp);
+            ok = !value.empty() && endp == value.c_str() + value.size() && v >= 0.0;
+            if (ok) plan.conn_delay_seconds = v;
+        } else if (key == "conn_reset") {
+            ok = set_probability(plan.conn_reset_probability);
+        } else if (key == "conn_truncate") {
+            ok = set_probability(plan.conn_truncate_probability);
+        } else if (key == "conn_trickle") {
+            ok = set_probability(plan.conn_trickle_probability);
         } else if (key == "seed") {
             char* endp = nullptr;
             const unsigned long long v = std::strtoull(value.c_str(), &endp, 0);

@@ -49,6 +49,19 @@ struct FaultPlan {
     double delay_probability = 0.0;  ///< multiply the latency
     double delay_factor = 4.0;       ///< by this factor (>= 1)
 
+    // ---- transport faults (serve::ChaosProxy), per TCP connection ----
+    // The profile-service counterpart of the platform/network families:
+    // each accepted connection draws one fault decision from the plan's
+    // seed mixed with the connection index, so a chaos run is exactly
+    // reproducible and a retrying client sees the same failure sequence
+    // every time.
+    double conn_drop_probability = 0.0;     ///< accept, then close unanswered
+    double conn_delay_probability = 0.0;    ///< stall before the response
+    Seconds conn_delay_seconds = 0.05;      ///< length of an injected stall
+    double conn_reset_probability = 0.0;    ///< RST mid-response (SO_LINGER 0)
+    double conn_truncate_probability = 0.0; ///< cut the response body short
+    double conn_trickle_probability = 0.0;  ///< dribble the response bytewise
+
     std::uint64_t seed = 0x5eedULL;
 
     [[nodiscard]] bool any_platform_faults() const {
@@ -58,8 +71,13 @@ struct FaultPlan {
     [[nodiscard]] bool any_network_faults() const {
         return drop_probability > 0 || delay_probability > 0;
     }
+    [[nodiscard]] bool any_transport_faults() const {
+        return conn_drop_probability > 0 || conn_delay_probability > 0 ||
+               conn_reset_probability > 0 || conn_truncate_probability > 0 ||
+               conn_trickle_probability > 0;
+    }
     [[nodiscard]] bool active() const {
-        return any_platform_faults() || any_network_faults();
+        return any_platform_faults() || any_network_faults() || any_transport_faults();
     }
 
     /// True when the plan can change a *value* the platform reports.
@@ -84,8 +102,10 @@ struct FaultPlan {
     /// Parses "key=value,key=value" specs, e.g.
     /// "spike=0.05,factor=8,nan=0.01,throw=0.01,drop=0.02,seed=42".
     /// Keys: spike, factor, nan, throw, hang, hang_seconds, drop, delay,
-    /// delay_factor, seed. Unknown keys or malformed values reject the
-    /// whole spec. An empty spec is the inactive plan.
+    /// delay_factor, conn_drop, conn_delay, conn_delay_seconds,
+    /// conn_reset, conn_truncate, conn_trickle, seed. Unknown keys or
+    /// malformed values reject the whole spec. An empty spec is the
+    /// inactive plan.
     [[nodiscard]] static std::optional<FaultPlan> parse(const std::string& spec);
 
     /// Plan from the SERVET_FAULTS environment variable (the CI fault

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -97,6 +98,28 @@ FileRead read_file(const std::string& path, std::string* out) {
     if (in.bad()) return FileRead::Error;
     *out = buffer.str();
     return FileRead::Ok;
+}
+
+bool list_directory(const std::string& dir, std::vector<std::string>* names) {
+    names->clear();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+        if (ec == std::errc::no_such_file_or_directory) return true;
+        return false;
+    }
+    for (const auto& entry : it) {
+        std::error_code type_ec;
+        if (entry.is_regular_file(type_ec)) names->push_back(entry.path().filename().string());
+    }
+    std::sort(names->begin(), names->end());
+    return true;
+}
+
+bool remove_file(const std::string& path) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return !ec;
 }
 
 }  // namespace servet

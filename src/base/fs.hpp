@@ -9,6 +9,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace servet {
 
@@ -36,5 +37,15 @@ enum class FileRead { Ok, Absent, Error };
 
 /// Reads the whole file into `out` (unmodified unless Ok is returned).
 [[nodiscard]] FileRead read_file(const std::string& path, std::string* out);
+
+/// Names of the regular files directly inside `dir`, sorted
+/// lexicographically (the order spool drains replay in). An absent
+/// directory is an empty listing, not an error; false only on a real
+/// I/O failure.
+[[nodiscard]] bool list_directory(const std::string& dir, std::vector<std::string>* names);
+
+/// Deletes one file. Absent already counts as success (idempotent —
+/// spool drains race with nothing, but crashes can re-run them).
+[[nodiscard]] bool remove_file(const std::string& path);
 
 }  // namespace servet

@@ -1,0 +1,85 @@
+// Deterministic in-process transport chaos for serve tests — the TCP
+// counterpart of PR 3's FlakyPlatform. A ChaosProxy sits between a
+// client and a real ServeServer on the loopback, relays each
+// connection's request upstream, and injects exactly one fault decision
+// per accepted connection, drawn from an Rng seeded by the FaultPlan's
+// seed mixed with the connection index. Clients connect sequentially, so
+// the fault sequence a retrying client sees is a pure function of the
+// plan: same seed, same drops/resets/truncations, byte-identical retry
+// traces (the acceptance bar for the chaos matrix).
+//
+// Fault kinds (FaultPlan's conn_* family, decided in this fixed order):
+//   Drop      accept, drain the request, then close without answering —
+//             the client deterministically sees EOF before any response
+//             byte (net.closed).
+//   Delay     stall conn_delay_seconds before relaying the response —
+//             models a briefly unresponsive server (times the client's
+//             per-operation budget).
+//   Reset     relay part of the response, then RST (SO_LINGER 0) — the
+//             client sees ECONNRESET mid-body.
+//   Truncate  relay the response minus its tail, then clean FIN — the
+//             client's parser sees a short Content-Length body.
+//   Trickle   relay the response one byte at a time with a small pause —
+//             defeats per-operation timeouts; only the client's overall
+//             deadline bounds it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/fault_plan.hpp"
+
+namespace servet::serve {
+
+class ChaosProxy {
+  public:
+    enum class FaultKind { None, Drop, Delay, Reset, Truncate, Trickle };
+
+    /// Forwards to `upstream_port` on the loopback, injecting per `plan`.
+    ChaosProxy(std::uint16_t upstream_port, FaultPlan plan);
+    ~ChaosProxy();
+
+    ChaosProxy(const ChaosProxy&) = delete;
+    ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+    /// Binds an ephemeral loopback port and spawns the accept loop.
+    [[nodiscard]] bool start(std::string* error);
+    /// Stops accepting and joins every relay thread. Idempotent.
+    void stop();
+
+    /// The proxy's bound port — point the client here.
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// The fault decided for connection `index` (0-based accept order).
+    /// Pure function of the plan — callable before any connection
+    /// arrives, so tests can predict the failure sequence.
+    [[nodiscard]] FaultKind fault_for(std::uint64_t index) const;
+
+    /// Faults actually injected so far, in accept order.
+    [[nodiscard]] std::vector<FaultKind> injected() const;
+
+    [[nodiscard]] static const char* fault_name(FaultKind kind);
+
+  private:
+    void accept_loop();
+    void relay(int client_fd, FaultKind fault);
+
+    FaultPlan plan_;
+    std::uint16_t upstream_port_ = 0;
+    std::uint16_t port_ = 0;
+    int listen_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::thread accept_thread_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::thread> relays_;
+    std::vector<FaultKind> injected_;
+    std::uint64_t next_index_ = 0;
+};
+
+}  // namespace servet::serve

@@ -1,38 +1,118 @@
-// Minimal blocking HTTP/1.1 client — the consumer half of the profile
-// service. `servet fetch` uses it so nodes can self-provision a profile
-// from a `servet serve` store at boot: one GET per call, conditional via
-// If-None-Match when the caller already holds an ETag, response parsed
-// by the same serve/http grammar the server speaks. Numeric IPv4 hosts
-// only (the store runs on the loopback or a rack-local address); no TLS
-// — same trust model as the server.
+// Fault-tolerant blocking HTTP/1.1 client — the consumer half of the
+// profile service. `servet fetch` self-provisions a node from a `servet
+// serve` store with it, and `servet watch --push` publishes per-tick
+// samples through it, so it has to survive the transport failures a
+// fleet actually sees: unroutable hosts, servers that die mid-response,
+// byte-trickling peers, transient resets. The discipline mirrors PR 3's
+// measurement pipeline:
+//
+//   - every socket operation (connect included, via non-blocking connect
+//     + poll) is bounded by a per-operation timeout,
+//   - the whole call — attempts, backoffs, trickled bytes — is bounded
+//     by one overall deadline, so a hostile peer cannot pin a node,
+//   - failures carry stable machine-readable codes (net.connect,
+//     net.timeout, net.reset, net.closed, http.malformed, ...) the CLI
+//     and tests key on,
+//   - retries follow a RetryPolicy: capped exponential backoff with
+//     deterministic seeded jitter, applied only to requests that are
+//     safe to repeat (GETs, and PUTs the caller marks idempotent — the
+//     store is content-addressed, so replaying an upload is a no-op),
+//   - the attempt sequence is recorded in a deterministic trace: two
+//     runs against the same failure sequence with the same seed produce
+//     byte-identical traces (no wall-clock values in the trace).
+//
+// Numeric IPv4 hosts only (the store runs on the loopback or a
+// rack-local address); no TLS — the shared-secret token (see
+// docs/serve.md) is the auth story for non-loopback binds.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/http.hpp"
 
 namespace servet::serve {
 
+/// Stable error codes (FetchResult::code / FetchAttempt::code):
+///   net.option     invalid FetchOptions (no retry)
+///   net.connect    connection refused / unreachable
+///   net.timeout    a per-operation timeout expired ("timed out after Ns")
+///   net.deadline   the overall deadline expired
+///   net.reset      ECONNRESET / EPIPE mid-exchange
+///   net.closed     peer closed before a complete response (truncation)
+///   net.io         any other socket-level errno
+///   http.malformed response bytes violate the HTTP grammar (no retry)
+
+struct RetryPolicy {
+    int max_attempts = 1;             ///< total attempts; 1 = no retries
+    double backoff_initial_ms = 50.0; ///< first retry's base backoff
+    double backoff_multiplier = 2.0;  ///< growth per retry
+    double backoff_cap_ms = 2000.0;   ///< backoff ceiling
+    /// Multiplicative jitter amplitude in [0,1): each backoff is
+    /// base * (1 ± jitter), drawn from an Rng seeded by `seed` — the
+    /// same seed always yields the same backoff sequence.
+    double jitter = 0.2;
+    std::uint64_t seed = 0x5eedULL;
+};
+
 struct FetchOptions {
     std::string host = "127.0.0.1";  ///< numeric IPv4 address
     int port = 0;
-    std::string path;  ///< absolute request path, e.g. "/v1/profile/<fp>"
-    /// Raw ETag token from a previous fetch; when non-empty the request
-    /// carries If-None-Match and an unchanged resource answers 304.
+    std::string path;        ///< absolute request path, e.g. "/v1/profile/<fp>"
+    std::string method = "GET";
+    std::string body;        ///< request body (PUT)
+    std::string content_type;///< body's content-type (sent when body non-empty)
+    /// Raw ETag token from a previous fetch; when non-empty a GET carries
+    /// If-None-Match and an unchanged resource answers 304.
     std::string etag;
-    double timeout_seconds = 10.0;  ///< per socket operation
+    /// Compare-and-swap precondition: when non-empty a PUT carries
+    /// If-Match (raw token, or "*" for "must already exist").
+    std::string if_match;
+    /// Shared-secret auth token; sent as `authorization: Bearer <token>`.
+    std::string token;
+    double timeout_seconds = 10.0;  ///< per socket operation (and connect)
+    /// Wall-clock cap on the whole call: every attempt, every backoff,
+    /// every trickled byte. 0 = derive as 6 * timeout_seconds.
+    double deadline_seconds = 0.0;
+    /// Allow retrying a non-GET. Off by default (a generic PUT is not
+    /// safe to repeat); the watch push path turns it on because its PUTs
+    /// are content-addressed per tick and therefore idempotent.
+    bool retry_unsafe = false;
+    RetryPolicy retry;
+};
+
+/// One attempt's outcome, recorded whether it succeeded or not.
+struct FetchAttempt {
+    std::string code;      ///< stable error code; empty on success
+    std::string error;     ///< human-readable detail
+    int status = 0;        ///< HTTP status when a response completed
+    /// Planned backoff before the next attempt (0 on the last attempt).
+    /// Computed from the policy alone — deterministic per seed.
+    long long backoff_ms = 0;
 };
 
 struct FetchResult {
     /// True when the HTTP exchange completed (any status); false on a
-    /// transport or parse failure, described in `error`.
+    /// transport or parse failure, described in `code` + `error`.
     bool ok = false;
+    std::string code;   ///< stable error code of the final failure
     std::string error;
     HttpResponse response;
+    std::vector<FetchAttempt> attempts;
+
+    /// Deterministic one-line-per-attempt trace, e.g.
+    ///   attempt 1: net.reset connect: Connection reset by peer; backoff 55ms
+    ///   attempt 2: ok 200
+    /// No wall-clock values: two same-seed runs against the same failure
+    /// sequence render byte-identical traces.
+    [[nodiscard]] std::string trace() const;
 };
 
-/// One blocking GET. Opens a connection, sends the request with
-/// Connection: close, reads until the response completes or EOF.
+/// One blocking request with retries per `options.retry`. Opens a fresh
+/// connection per attempt, sends the request with Connection: close,
+/// reads until the response completes or EOF. Never blocks past the
+/// overall deadline.
 [[nodiscard]] FetchResult http_fetch(const FetchOptions& options);
 
 }  // namespace servet::serve

@@ -20,26 +20,15 @@ std::vector<std::string> segments_of(const std::string& path) {
     return segments;
 }
 
-/// True when If-None-Match names `etag` ("*", quoted, or bare token;
-/// weak validators W/"..." match too — the content hash is exact).
-bool etag_matches(const std::string& if_none_match, const std::string& etag) {
-    std::size_t pos = 0;
-    while (pos <= if_none_match.size()) {
-        const std::size_t comma = std::min(if_none_match.find(',', pos),
-                                           if_none_match.size());
-        std::string candidate = if_none_match.substr(pos, comma - pos);
-        pos = comma + 1;
-        const auto strip = [&](char c) {
-            while (!candidate.empty() && candidate.front() == c)
-                candidate.erase(candidate.begin());
-            while (!candidate.empty() && (candidate.back() == c)) candidate.pop_back();
-        };
-        strip(' ');
-        if (candidate.starts_with("W/")) candidate.erase(0, 2);
-        strip('"');
-        if (candidate == "*" || candidate == etag) return true;
-    }
-    return false;
+/// Equality that touches every byte regardless of where the first
+/// mismatch is, so response timing does not leak the token prefix.
+bool constant_time_equals(const std::string& a, const std::string& b) {
+    unsigned diff = a.size() == b.size() ? 0u : 1u;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+        diff |= static_cast<unsigned>(static_cast<unsigned char>(a[i]) ^
+                                      static_cast<unsigned char>(b[i]));
+    return diff == 0;
 }
 
 std::string json_escape(const std::string& text) {
@@ -68,6 +57,13 @@ Response error_response(int status, std::string_view code, std::string_view mess
     return response;
 }
 
+bool Handler::authorized(const HttpRequest& request) const {
+    if (token_.empty()) return true;
+    const std::string* header = request.header("authorization");
+    if (header == nullptr) return false;
+    return constant_time_equals(*header, "Bearer " + token_);
+}
+
 Response Handler::handle(const HttpRequest& request) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     const auto fail = [&](int status, std::string_view code, std::string_view message) {
@@ -86,11 +82,64 @@ Response Handler::handle(const HttpRequest& request) {
         response.body = "ok\n";
         return response;
     }
+    // Everything past the liveness probe is token-gated when the server
+    // holds one; healthz stays open so load balancers and the watch
+    // push path can probe reachability without the secret.
+    if (!authorized(request)) {
+        auth_failures_.fetch_add(1, std::memory_order_relaxed);
+        return fail(401, "auth.token", "missing or invalid authorization token");
+    }
+
     if (segments.size() == 2 && segments[0] == "v1" && segments[1] == "stats") {
         if (request.method != "GET") return fail(405, "http.method", "stats is GET-only");
         Response response;
         response.content_type = "application/json";
         response.body = stats_json();
+        return response;
+    }
+
+    if (segments.size() == 5 && segments[0] == "v1" && segments[1] == "series") {
+        const std::string& fingerprint = segments[2];
+        const std::string& opts = segments[3];
+        const std::string& tick = segments[4];
+        if (!ProfileStore::valid_key(fingerprint) || !ProfileStore::valid_key(opts))
+            return fail(400, "store.key",
+                        "series keys must be 16 lowercase hex digits");
+        if (!ProfileStore::valid_tick(tick))
+            return fail(400, "store.key",
+                        "tick must be 1-10 decimal digits, got '" + tick + "'");
+        if (request.method == "PUT") {
+            if (request.header("content-length") == nullptr)
+                return fail(411, "http.length", "PUT requires content-length");
+            switch (store_.put_sample(fingerprint, opts, tick, request.body)) {
+                case ProfileStore::PutStatus::Stored: {
+                    samples_.fetch_add(1, std::memory_order_relaxed);
+                    Response response;
+                    response.status = 201;
+                    response.content_type = "application/json";
+                    response.body = "{\"stored\": true, \"tick\": " + tick + "}\n";
+                    return response;
+                }
+                case ProfileStore::PutStatus::InvalidKey:
+                    return fail(400, "store.key", "invalid series key");
+                case ProfileStore::PutStatus::InvalidProfile:
+                    return fail(400, "sample.parse",
+                                "body is not a watch series sample");
+                case ProfileStore::PutStatus::CasMismatch:
+                case ProfileStore::PutStatus::IoError:
+                    return fail(500, "store.io", "could not persist the sample");
+            }
+            return fail(500, "store.io", "unreachable put status");
+        }
+        const auto body = store_.get_sample(fingerprint, opts, tick);
+        if (!body) {
+            not_found_.fetch_add(1, std::memory_order_relaxed);
+            return fail(404, "sample.unknown",
+                        "no sample stored for " + fingerprint + "/" + opts + "/" + tick);
+        }
+        gets_.fetch_add(1, std::memory_order_relaxed);
+        Response response;
+        response.body = *body;
         return response;
     }
 
@@ -109,7 +158,8 @@ Response Handler::handle(const HttpRequest& request) {
             return fail(400, "store.key", "PUT needs /v1/profile/<fp>/<options>");
         if (request.header("content-length") == nullptr)
             return fail(411, "http.length", "PUT requires content-length");
-        switch (store_.put(fingerprint, segments[3], request.body)) {
+        switch (store_.put(fingerprint, segments[3], request.body,
+                           request.header("if-match"))) {
             case ProfileStore::PutStatus::Stored: {
                 puts_.fetch_add(1, std::memory_order_relaxed);
                 Response response;
@@ -128,6 +178,11 @@ Response Handler::handle(const HttpRequest& request) {
                             "body is not a parseable servet profile");
             case ProfileStore::PutStatus::IoError:
                 return fail(500, "store.io", "could not persist the profile");
+            case ProfileStore::PutStatus::CasMismatch:
+                cas_conflicts_.fetch_add(1, std::memory_order_relaxed);
+                return fail(412, "store.cas",
+                            "If-Match precondition failed: HEAD for " + fingerprint +
+                                " is not what the request named");
         }
         return fail(500, "store.io", "unreachable put status");
     }
@@ -153,7 +208,7 @@ Response Handler::handle(const HttpRequest& request) {
     // The options hash is the validator: a fleet client that already holds
     // this exact profile revalidates for the cost of the headers alone.
     if (const std::string* if_none_match = request.header("if-none-match")) {
-        if (etag_matches(*if_none_match, options)) {
+        if (etag_list_matches(*if_none_match, options)) {
             not_modified_.fetch_add(1, std::memory_order_relaxed);
             Response response;
             response.status = 304;
@@ -190,6 +245,9 @@ std::string Handler::stats_json() const {
     field("not_modified", not_modified_.load(std::memory_order_relaxed));
     field("not_found", not_found_.load(std::memory_order_relaxed));
     field("client_errors", client_errors_.load(std::memory_order_relaxed));
+    field("auth_failures", auth_failures_.load(std::memory_order_relaxed));
+    field("cas_conflicts", cas_conflicts_.load(std::memory_order_relaxed));
+    field("samples", samples_.load(std::memory_order_relaxed));
     field("cache_hits", store.cache_hits);
     field("cache_misses", store.cache_misses);
     field("cache_evictions", store.evictions);

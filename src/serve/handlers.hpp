@@ -9,14 +9,23 @@
 //   GET /v1/profile/<fp>               latest profile for the fingerprint
 //   GET /v1/profile/<fp>/<opts>        exact (fingerprint, options) profile
 //   PUT /v1/profile/<fp>/<opts>        upload (body = profile text)
+//   PUT /v1/series/<fp>/<opts>/<tick>  one watch-series sample (idempotent)
+//   GET /v1/series/<fp>/<opts>/<tick>  the stored sample
 //
 // GETs carry `ETag: "<opts>"`; a matching If-None-Match answers 304 with
-// no body — the conditional-GET fleet machines poll with.
+// no body — the conditional-GET fleet machines poll with. A profile PUT
+// with If-Match is a compare-and-swap on the fingerprint's HEAD: a
+// stale precondition answers 412 (code store.cas) without writing.
+//
+// When the server holds a shared-secret token, every route except
+// /v1/healthz requires `authorization: Bearer <token>` (compared in
+// constant time); a miss answers 401 (code auth.token).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "serve/http.hpp"
 #include "serve/store.hpp"
@@ -37,7 +46,8 @@ struct Response {
 
 class Handler {
   public:
-    explicit Handler(ProfileStore& store) : store_(store) {}
+    explicit Handler(ProfileStore& store, std::string token = {})
+        : store_(store), token_(std::move(token)) {}
 
     /// Routes one request. Never throws; anything unroutable is a 4xx.
     [[nodiscard]] Response handle(const HttpRequest& request);
@@ -47,13 +57,20 @@ class Handler {
     [[nodiscard]] std::string stats_json() const;
 
   private:
+    [[nodiscard]] bool authorized(const HttpRequest& request) const;
+
     ProfileStore& store_;
+    /// Shared-secret auth token; empty = open (loopback trust model).
+    std::string token_;
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> gets_{0};
     std::atomic<std::uint64_t> puts_{0};
     std::atomic<std::uint64_t> not_modified_{0};
     std::atomic<std::uint64_t> not_found_{0};
     std::atomic<std::uint64_t> client_errors_{0};
+    std::atomic<std::uint64_t> auth_failures_{0};
+    std::atomic<std::uint64_t> cas_conflicts_{0};
+    std::atomic<std::uint64_t> samples_{0};
 };
 
 }  // namespace servet::serve

@@ -384,9 +384,11 @@ std::string_view status_reason(int status) {
         case 201: return "Created";
         case 304: return "Not Modified";
         case 400: return "Bad Request";
+        case 401: return "Unauthorized";
         case 404: return "Not Found";
         case 405: return "Method Not Allowed";
         case 411: return "Length Required";
+        case 412: return "Precondition Failed";
         case 413: return "Content Too Large";
         case 431: return "Request Header Fields Too Large";
         case 500: return "Internal Server Error";
@@ -396,8 +398,29 @@ std::string_view status_reason(int status) {
     }
 }
 
+bool etag_list_matches(const std::string& header_value, const std::string& etag) {
+    std::size_t pos = 0;
+    while (pos <= header_value.size()) {
+        const std::size_t comma =
+            std::min(header_value.find(',', pos), header_value.size());
+        std::string candidate = header_value.substr(pos, comma - pos);
+        pos = comma + 1;
+        const auto strip = [&](char c) {
+            while (!candidate.empty() && candidate.front() == c)
+                candidate.erase(candidate.begin());
+            while (!candidate.empty() && candidate.back() == c) candidate.pop_back();
+        };
+        strip(' ');
+        if (candidate.starts_with("W/")) candidate.erase(0, 2);
+        strip('"');
+        if (candidate == "*" || candidate == etag) return true;
+    }
+    return false;
+}
+
 std::string render_response(int status, std::string_view content_type,
-                            std::string_view body, std::string_view etag, bool close) {
+                            std::string_view body, std::string_view etag, bool close,
+                            std::string_view extra_headers) {
     // A 304 is a header-only promise about an entity the client already
     // holds: advertising content-length 0 is correct, sending bytes is not.
     const bool send_body = status != 304;
@@ -415,6 +438,7 @@ std::string render_response(int status, std::string_view content_type,
         out += "\"\r\n";
     }
     if (close) out += "connection: close\r\n";
+    out += extra_headers;
     out += "content-length: " + std::to_string(send_body ? body.size() : 0) + "\r\n\r\n";
     if (send_body) out += body;
     return out;

@@ -147,9 +147,18 @@ class HttpResponseParser {
 
 /// Serializes one response. `etag` (raw token, quoted on the wire) and
 /// `close` add their headers when set; a 304 carries headers but no body
-/// bytes regardless of `body`.
+/// bytes regardless of `body`. `extra_headers` is pre-rendered
+/// "name: value\r\n" lines appended verbatim (e.g. Retry-After on a 503
+/// shed response).
 [[nodiscard]] std::string render_response(int status, std::string_view content_type,
                                           std::string_view body, std::string_view etag = {},
-                                          bool close = false);
+                                          bool close = false,
+                                          std::string_view extra_headers = {});
+
+/// True when an If-None-Match / If-Match header value names `etag`:
+/// "*", a quoted or bare token in a comma-separated list; weak
+/// validators (W/"...") match too — the content hash is exact.
+[[nodiscard]] bool etag_list_matches(const std::string& header_value,
+                                     const std::string& etag);
 
 }  // namespace servet::serve

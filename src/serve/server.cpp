@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 #include "base/fs.hpp"
@@ -24,12 +25,17 @@ void close_fd(int& fd) {
     if (fd >= 0) ::close(fd);
     fd = -1;
 }
+
+/// Width of one timer-wheel slot. Fine enough that sub-second idle
+/// timeouts (tests) reap promptly; coarse enough that the wheel for the
+/// default 30s timeout stays small.
+constexpr std::int64_t kWheelSlotMs = 100;
 }  // namespace
 
 ServeServer::ServeServer(ServeOptions options)
     : options_(std::move(options)),
       store_(options_.store_dir, options_.cache_entries),
-      handler_(store_) {}
+      handler_(store_, options_.token) {}
 
 ServeServer::~ServeServer() {
     if (started_ && !joined_) {
@@ -95,6 +101,22 @@ bool ServeServer::start(std::string* error) {
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_event) != 0)
         return fail("epoll_ctl(wake)");
 
+    if (options_.idle_timeout_seconds > 0) {
+        const auto slots = static_cast<std::size_t>(
+            std::ceil(options_.idle_timeout_seconds * 1000.0 /
+                      static_cast<double>(kWheelSlotMs))) + 2;
+        wheel_.assign(slots, {});
+        wheel_epoch_ = Clock::now();
+        wheel_cursor_ = 0;
+    }
+    {
+        const Response shed =
+            error_response(503, "server.capacity", "connection limit reached");
+        shed_response_ = render_response(shed.status, shed.content_type, shed.body,
+                                         /*etag=*/{}, /*close=*/true,
+                                         "retry-after: 1\r\n");
+    }
+
     const int threads = options_.threads < 1 ? 1 : options_.threads;
     workers_.reserve(static_cast<std::size_t>(threads));
     for (int i = 0; i < threads; ++i)
@@ -147,10 +169,78 @@ void ServeServer::close_connection(Connection* conn) {
     {
         std::lock_guard<std::mutex> lock(conns_mutex_);
         conns_.erase(conn);
+        wheel_remove_locked(conn);
     }
     // The fd leaves the epoll set automatically on close.
     close_fd(conn->fd);
     delete conn;
+}
+
+std::size_t ServeServer::wheel_slot_for(Clock::time_point when) const {
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(when - wheel_epoch_)
+            .count();
+    return static_cast<std::size_t>((ms < 0 ? 0 : ms) / kWheelSlotMs) % wheel_.size();
+}
+
+void ServeServer::wheel_place_locked(Connection* conn, Clock::time_point expiry) {
+    if (wheel_.empty()) return;
+    wheel_remove_locked(conn);
+    conn->wheel_slot = wheel_slot_for(expiry);
+    wheel_[conn->wheel_slot].insert(conn);
+}
+
+void ServeServer::wheel_remove_locked(Connection* conn) {
+    if (conn->wheel_slot == kNoSlot || wheel_.empty()) return;
+    wheel_[conn->wheel_slot].erase(conn);
+    conn->wheel_slot = kNoSlot;
+}
+
+void ServeServer::touch_locked(Connection* conn, Clock::time_point now) {
+    conn->last_activity = now;
+    if (!wheel_.empty())
+        wheel_place_locked(
+            conn, now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                options_.idle_timeout_seconds)));
+}
+
+void ServeServer::reap_idle() {
+    if (wheel_.empty()) return;
+    const Clock::time_point now = Clock::now();
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - wheel_epoch_)
+            .count();
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(elapsed_ms < 0 ? 0 : elapsed_ms / kWheelSlotMs);
+    const auto idle = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options_.idle_timeout_seconds));
+
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    // After a long stall (debugger, suspended VM) one revolution covers
+    // every slot — no need to replay older ticks.
+    if (target > wheel_cursor_ + wheel_.size())
+        wheel_cursor_ = target - wheel_.size();
+    while (wheel_cursor_ < target) {
+        ++wheel_cursor_;
+        auto due = std::move(wheel_[wheel_cursor_ % wheel_.size()]);
+        wheel_[wheel_cursor_ % wheel_.size()].clear();
+        for (Connection* conn : due) {
+            conn->wheel_slot = kNoSlot;
+            // Lazy re-hash: a connection that was active (or is owned by
+            // a worker right now) just moves to the slot its real idle
+            // budget expires in. Only the truly idle are reaped.
+            if (conn->busy) {
+                wheel_place_locked(conn, now + idle);
+            } else if (conn->last_activity + idle > now) {
+                wheel_place_locked(conn, conn->last_activity + idle);
+            } else {
+                conns_.erase(conn);
+                close_fd(conn->fd);
+                delete conn;
+            }
+        }
+    }
 }
 
 bool ServeServer::rearm(Connection* conn) {
@@ -160,11 +250,25 @@ bool ServeServer::rearm(Connection* conn) {
     return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0;
 }
 
+void ServeServer::release_connection(Connection* conn) {
+    bool ok = false;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conn->busy = false;
+        touch_locked(conn, Clock::now());
+        ok = rearm(conn);
+    }
+    if (!ok) close_connection(conn);
+}
+
 void ServeServer::io_loop() {
     constexpr int kMaxEvents = 64;
     epoll_event events[kMaxEvents];
+    // With reaping enabled the wait must tick even when no bytes arrive —
+    // that tick is what advances the timer wheel past a slow-loris.
+    const int wait_ms = wheel_.empty() ? -1 : static_cast<int>(kWheelSlotMs);
     while (true) {
-        const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+        const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, wait_ms);
         if (n < 0) {
             if (errno == EINTR) continue;
             break;
@@ -188,6 +292,13 @@ void ServeServer::io_loop() {
                         at_capacity = conns_.size() >= options_.max_connections;
                     }
                     if (at_capacity || stopping_.load(std::memory_order_acquire)) {
+                        // Shed, don't ghost: a one-shot 503 + Retry-After
+                        // tells a retrying client when to come back. Best
+                        // effort — the fd is non-blocking and a full send
+                        // buffer is not worth waiting on.
+                        if (at_capacity)
+                            (void)::send(fd, shed_response_.data(),
+                                         shed_response_.size(), MSG_NOSIGNAL);
                         ::close(fd);
                         continue;
                     }
@@ -198,6 +309,7 @@ void ServeServer::io_loop() {
                     {
                         std::lock_guard<std::mutex> lock(conns_mutex_);
                         conns_.insert(conn);
+                        touch_locked(conn, Clock::now());
                     }
                     epoll_event event{};
                     event.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
@@ -213,6 +325,12 @@ void ServeServer::io_loop() {
             // and decide: worker (complete request or protocol error),
             // re-arm (clean but incomplete), or close (EOF, no work left).
             auto* conn = static_cast<Connection*>(events[i].data.ptr);
+            {
+                // Claimed: from here until release/close the reaper must
+                // leave the connection alone, whatever its idle budget.
+                std::lock_guard<std::mutex> lock(conns_mutex_);
+                conn->busy = true;
+            }
             char chunk[16 * 1024];
             bool io_dead = false;
             while (true) {
@@ -239,13 +357,14 @@ void ServeServer::io_loop() {
                 close_connection(conn);
             } else if (conn->parser.has_request() ||
                        conn->parser.state() == HttpParser::State::Error) {
-                enqueue(conn);
+                enqueue(conn);  // stays busy until the worker releases it
             } else if (conn->saw_eof) {
                 close_connection(conn);  // peer gone, nothing to answer
-            } else if (!rearm(conn)) {
-                close_connection(conn);
+            } else {
+                release_connection(conn);
             }
         }
+        reap_idle();
         if (stopping_.load(std::memory_order_acquire)) break;
     }
     // Stop accepting; established connections drain through the workers.
@@ -264,7 +383,7 @@ void ServeServer::worker_loop() {
             queue_.pop_front();
         }
         if (serve_ready_requests(conn)) {
-            if (!rearm(conn)) close_connection(conn);
+            release_connection(conn);
         } else {
             close_connection(conn);
         }

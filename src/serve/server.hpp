@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -34,7 +35,15 @@ struct ServeOptions {
     std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound one from port()
     int threads = 2;         ///< worker pool size
     std::size_t cache_entries = 256;    ///< store LRU capacity
-    std::size_t max_connections = 1024; ///< beyond this, accepts are refused
+    /// Beyond this, new connections are shed with a best-effort
+    /// `503 + Retry-After` instead of being accepted unboundedly.
+    std::size_t max_connections = 1024;
+    /// A connection idle this long (no bytes, no in-flight request) is
+    /// reaped — the slow-loris defense. <= 0 disables reaping.
+    double idle_timeout_seconds = 30.0;
+    /// Shared-secret auth token; when non-empty every route except
+    /// /v1/healthz requires `authorization: Bearer <token>`.
+    std::string token;
     HttpParser::Limits limits;
 };
 
@@ -65,10 +74,20 @@ class ServeServer {
     [[nodiscard]] Handler& handler() { return handler_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
     struct Connection {
         int fd = -1;
         HttpParser parser;
         bool saw_eof = false;  ///< peer half-closed; close once responses drain
+        /// True from the moment the I/O thread claims the readable event
+        /// until the worker re-arms it — the reaper never touches a busy
+        /// connection (the worker owns its lifetime). Guarded by
+        /// conns_mutex_.
+        bool busy = false;
+        Clock::time_point last_activity{};  ///< guarded by conns_mutex_
+        std::size_t wheel_slot = kNoSlot;   ///< guarded by conns_mutex_
         explicit Connection(HttpParser::Limits limits) : parser(limits) {}
     };
 
@@ -81,7 +100,24 @@ class ServeServer {
     void enqueue(Connection* conn);
     void close_connection(Connection* conn);
     [[nodiscard]] bool rearm(Connection* conn);
+    /// Hands a connection back to the epoll set: clears busy, refreshes
+    /// its idle budget, and re-arms — all under conns_mutex_, so the
+    /// reaper can never free a connection the worker still holds. Closes
+    /// it when re-arming fails.
+    void release_connection(Connection* conn);
     [[nodiscard]] bool send_all(int fd, std::string_view bytes);
+
+    // ---- idle-connection timer wheel (slow-loris defense) ----
+    // Hashed wheel with fixed-width slots; a connection sits in the slot
+    // where its idle budget runs out. Lazily re-hashed on expiry: the
+    // reaper re-places connections that turned out to be active or busy
+    // and closes the truly idle. Runs on the I/O thread between epoll
+    // batches; every wheel/flag mutation happens under conns_mutex_.
+    [[nodiscard]] std::size_t wheel_slot_for(Clock::time_point when) const;
+    void wheel_place_locked(Connection* conn, Clock::time_point expiry);
+    void wheel_remove_locked(Connection* conn);
+    void touch_locked(Connection* conn, Clock::time_point now);
+    void reap_idle();
 
     ServeOptions options_;
     ProfileStore store_;
@@ -105,6 +141,10 @@ class ServeServer {
 
     std::mutex conns_mutex_;
     std::unordered_set<Connection*> conns_;
+    std::vector<std::unordered_set<Connection*>> wheel_;  ///< empty = reaping off
+    Clock::time_point wheel_epoch_{};
+    std::uint64_t wheel_cursor_ = 0;  ///< last absolute tick processed
+    std::string shed_response_;       ///< pre-rendered 503 + Retry-After
 };
 
 }  // namespace servet::serve

@@ -41,13 +41,37 @@ class ProfileStore {
         InvalidKey,      ///< fingerprint/options not a 16-hex-digit token
         InvalidProfile,  ///< body does not parse as a servet profile
         IoError,         ///< disk write failed
+        CasMismatch,     ///< If-Match precondition failed (HEAD moved)
     };
 
     /// Accepts an upload: validates the keys and the body (a body that
     /// core::Profile::parse rejects never reaches disk), writes the
-    /// profile atomically, then moves HEAD to it.
+    /// profile atomically, then moves HEAD to it. When `if_match` is
+    /// non-null it is an If-Match header value (quoted/bare tokens or
+    /// "*") naming the HEAD the caller believes is current: puts are
+    /// serialized, and a precondition that no longer holds returns
+    /// CasMismatch without touching disk — lost-update-proof HEAD moves.
     [[nodiscard]] PutStatus put(const std::string& fingerprint, const std::string& options,
-                                const std::string& body);
+                                const std::string& body,
+                                const std::string* if_match = nullptr);
+
+    /// Stores one watch-series sample under
+    /// `<root>/<fp>/series-<options>/<tick>.sample`. The body is the
+    /// watch sample codec's text ("metric <name> <value>" lines);
+    /// anything else is InvalidProfile. Content-addressed per tick —
+    /// replaying the same PUT is idempotent, which is what lets the
+    /// watch push path retry and drain its spool safely.
+    [[nodiscard]] PutStatus put_sample(const std::string& fingerprint,
+                                       const std::string& options,
+                                       const std::string& tick, const std::string& body);
+
+    /// The stored sample text; nullopt when absent or keys are invalid.
+    [[nodiscard]] std::optional<std::string> get_sample(const std::string& fingerprint,
+                                                        const std::string& options,
+                                                        const std::string& tick);
+
+    /// Tick tokens on the wire: 1-10 decimal digits, no sign.
+    [[nodiscard]] static bool valid_tick(const std::string& tick);
 
     /// The stored profile text for the exact (fingerprint, options) pair,
     /// LRU-cached; nullopt when absent.
@@ -74,6 +98,9 @@ class ProfileStore {
     std::string root_;
     std::size_t cache_entries_;
 
+    /// Serializes put() end to end so an If-Match check and the write it
+    /// guards are one atomic step. gets stay concurrent (mutex_ only).
+    std::mutex put_mutex_;
     mutable std::mutex mutex_;
     /// MRU-first list of (cache key, body); index_ points into it.
     std::list<std::pair<std::string, std::string>> lru_;

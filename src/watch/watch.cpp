@@ -8,12 +8,14 @@
 #include <utility>
 
 #include "base/check.hpp"
+#include "base/fs.hpp"
 #include "base/hash.hpp"
 #include "base/log.hpp"
 #include "core/journal.hpp"
 #include "msg/faulty_network.hpp"
 #include "obs/metrics.hpp"
 #include "platform/decorators.hpp"
+#include "serve/client.hpp"
 #include "stats/summary.hpp"
 
 namespace servet::watch {
@@ -45,6 +47,117 @@ std::map<std::string, double> sample_metrics(const core::SuiteResult& result,
     }
     return metrics;
 }
+
+std::string hex16(std::uint64_t value) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/// Spool-and-drain publisher: every committed tick first lands as
+/// `<run_dir>/spool/<tick-padded>.sample` (atomic write), then the spool
+/// drains oldest-first through the retrying client. Padding the tick to
+/// 10 digits makes the lexicographic listing the tick order AND keeps
+/// the file stem a valid wire tick token, so the spool file name is the
+/// URL segment — nothing to parse, nothing to disagree about after a
+/// crash.
+class SamplePusher {
+  public:
+    SamplePusher(const WatchOptions::PushOptions& push, const std::string& run_dir,
+                 std::uint64_t fingerprint, std::uint64_t options_hash)
+        : push_(push),
+          spool_dir_(run_dir + "/spool"),
+          fp_key_(hex16(fingerprint)),
+          opts_key_(hex16(options_hash)) {}
+
+    [[nodiscard]] bool enabled() const { return push_.port > 0; }
+
+    /// Spools one tick's payload. Returns false when even the local
+    /// spool write fails (disk trouble — the sample survives only in the
+    /// series journal).
+    [[nodiscard]] bool spool(std::size_t tick, const std::string& payload) {
+        char stem[16];
+        std::snprintf(stem, sizeof stem, "%010zu", tick);
+        const std::string path = spool_dir_ + '/' + stem + ".sample";
+        if (!create_parent_dirs(path) || !write_file_atomic(path, payload)) {
+            SERVET_LOG_WARN("watch: cannot spool tick %zu under %s", tick,
+                            spool_dir_.c_str());
+            return false;
+        }
+        return true;
+    }
+
+    /// Pushes spooled samples oldest-first until the spool is empty or
+    /// the server stops answering. Returns acknowledged count.
+    std::size_t drain() {
+        std::vector<std::string> names;
+        if (!list_directory(spool_dir_, &names)) return 0;
+        std::size_t acknowledged = 0;
+        for (const std::string& name : names) {
+            if (!name.ends_with(".sample")) continue;
+            const std::string tick_token = name.substr(0, name.size() - 7);
+            const std::string path = spool_dir_ + '/' + name;
+            std::string payload;
+            if (read_file(path, &payload) != FileRead::Ok) continue;
+
+            serve::FetchOptions request;
+            request.host = push_.host;
+            request.port = push_.port;
+            request.path = "/v1/series/" + fp_key_ + '/' + opts_key_ + '/' + tick_token;
+            request.method = "PUT";
+            request.body = payload;
+            request.content_type = "text/plain";
+            request.token = push_.token;
+            request.timeout_seconds = push_.timeout_seconds;
+            request.deadline_seconds = push_.deadline_seconds;
+            // A per-tick sample PUT is content-addressed: replaying it
+            // after a half-acknowledged attempt stores the same bytes.
+            request.retry_unsafe = true;
+            request.retry.max_attempts = push_.attempts < 1 ? 1 : push_.attempts;
+            request.retry.seed = push_.seed;
+
+            const serve::FetchResult result = serve::http_fetch(request);
+            if (result.ok && result.response.status < 300) {
+                (void)remove_file(path);
+                ++acknowledged;
+                continue;
+            }
+            if (result.ok && result.response.status != 503) {
+                // The server answered and said no (bad token, bad key):
+                // retrying the same bytes cannot succeed — drop the
+                // sample rather than wedge every tick behind it. It is
+                // still in the series journal.
+                SERVET_LOG_WARN("watch: store rejected spooled tick %s with status %d; "
+                                "dropping it from the spool",
+                                tick_token.c_str(), result.response.status);
+                (void)remove_file(path);
+                continue;
+            }
+            SERVET_LOG_WARN("watch: push of tick %s failed (%s); %s",
+                            tick_token.c_str(),
+                            result.ok ? "503" : result.code.c_str(),
+                            "keeping it spooled");
+            break;  // server unreachable/shedding: later ticks wait too
+        }
+        return acknowledged;
+    }
+
+    /// Samples still spooled (what drain could not deliver).
+    [[nodiscard]] std::size_t pending() const {
+        std::vector<std::string> names;
+        if (!list_directory(spool_dir_, &names)) return 0;
+        std::size_t count = 0;
+        for (const std::string& name : names)
+            if (name.ends_with(".sample")) ++count;
+        return count;
+    }
+
+  private:
+    WatchOptions::PushOptions push_;
+    std::string spool_dir_;
+    std::string fp_key_;
+    std::string opts_key_;
+};
 
 }  // namespace
 
@@ -152,7 +265,17 @@ WatchResult run_watch(Platform& platform, msg::Network* network,
                 std::make_unique<msg::FaultyNetwork>(*network, options.perturb);
     }
 
+    SamplePusher pusher(options.push, options.run_dir, header.fingerprint,
+                        header.options_hash);
+    const auto stop_requested = [&options] {
+        return options.stop != nullptr && options.stop->load(std::memory_order_acquire);
+    };
+
     for (int i = 0; i < options.ticks; ++i) {
+        if (stop_requested()) {
+            result.stopped = true;
+            break;
+        }
         const std::size_t tick = journal.samples().size();
         const bool perturb = can_perturb &&
                              tick >= static_cast<std::size_t>(options.perturb_tick);
@@ -168,7 +291,8 @@ WatchResult run_watch(Platform& platform, msg::Network* network,
                             error.phase.c_str(), error.message.c_str());
 
         const std::map<std::string, double> metrics = sample_metrics(measured, platform);
-        if (!journal.append(encode_sample(metrics)))
+        const std::string payload = encode_sample(metrics);
+        if (!journal.append(payload))
             SERVET_LOG_ERROR("watch: cannot commit tick %zu to %s; this tick loses "
                              "crash protection",
                              tick, options.run_dir.c_str());
@@ -176,6 +300,13 @@ WatchResult run_watch(Platform& platform, msg::Network* network,
             !obs::write_metrics_series_json(options.series_json, tick, header.fingerprint))
             SERVET_LOG_WARN("watch: cannot append tick %zu to metrics series %s", tick,
                             options.series_json.c_str());
+        if (pusher.enabled()) {
+            // Spool first, then drain: one code path whether the server
+            // is up (the fresh tick drains immediately, after anything
+            // an outage left behind) or down (it just stays spooled).
+            (void)pusher.spool(tick, payload);
+            result.pushed += pusher.drain();
+        }
 
         TickReport report;
         report.tick = tick;
@@ -183,11 +314,24 @@ WatchResult run_watch(Platform& platform, msg::Network* network,
         result.reports.push_back(std::move(report));
         ++result.measured;
 
-        if (options.interval_seconds > 0 && i + 1 < options.ticks)
-            std::this_thread::sleep_for(
-                std::chrono::duration<double>(options.interval_seconds));
+        if (options.interval_seconds > 0 && i + 1 < options.ticks) {
+            // Sliced sleep so a --daemon SIGTERM ends the wait promptly
+            // instead of after a full interval.
+            const auto until = std::chrono::steady_clock::now() +
+                               std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(
+                                       options.interval_seconds));
+            while (!stop_requested() && std::chrono::steady_clock::now() < until)
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            if (stop_requested()) {
+                result.stopped = true;
+                break;
+            }
+        }
     }
 
+    if (pusher.enabled()) result.spooled = pusher.pending();
     result.worst = detector.worst();
     return result;
 }

@@ -19,6 +19,7 @@
 // shifts every measured value by a fixed factor, reproducibly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -57,6 +58,30 @@ struct WatchOptions {
     /// registry, fingerprint-tagged) to this file — the fleet-aggregator
     /// feed (obs::write_metrics_series_json).
     std::string series_json;
+
+    /// Cooperative stop flag (`--daemon`'s SIGTERM/SIGINT handlers flip
+    /// it): checked before each tick and while sleeping an interval. The
+    /// in-flight tick always finishes — its sample is committed and
+    /// fsync'd — so a signalled watch exits with an intact, resumable
+    /// series journal.
+    const std::atomic<bool>* stop = nullptr;
+
+    /// Publication of committed ticks to a `servet serve` store
+    /// (`PUT /v1/series/<fp>/<opts>/<tick>` through the retrying
+    /// client). Every tick is first spooled under `<run_dir>/spool`,
+    /// then the spool drains in tick order; whatever the server did not
+    /// acknowledge stays spooled for the next tick (or the next watch) —
+    /// a dead server degrades the watch to local-only, it never fails it.
+    struct PushOptions {
+        std::string host = "127.0.0.1";  ///< numeric IPv4 address
+        int port = 0;                    ///< 0 = pushing disabled
+        std::string token;               ///< serve's shared-secret token
+        double timeout_seconds = 5.0;    ///< per socket operation
+        double deadline_seconds = 30.0;  ///< per PUT, attempts included
+        int attempts = 3;                ///< retry budget per PUT
+        std::uint64_t seed = 0x5eedULL;  ///< backoff jitter seed
+    };
+    PushOptions push;
 };
 
 /// One tick's judgement.
@@ -77,6 +102,10 @@ struct WatchResult {
     std::size_t measured = 0;  ///< ticks measured by this invocation
     /// The series journal had a torn trailing record (crash mid-tick).
     bool dropped_torn_tail = false;
+    /// The stop flag ended the loop before the tick budget ran out.
+    bool stopped = false;
+    std::size_t pushed = 0;   ///< samples the store acknowledged
+    std::size_t spooled = 0;  ///< samples still spooled at exit
 };
 
 /// Identity hash of a watch configuration, stored in the series journal

@@ -26,6 +26,7 @@
 //                                         search a tunable kernel's config
 //                                         space (see docs/autotune.md)
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -645,6 +646,14 @@ int cmd_metrics(int argc, const char* const* argv) {
     return 0;
 }
 
+// --daemon's signal handlers only flip this flag; the watch loop polls
+// it between ticks, so the in-flight tick always commits before exit.
+std::atomic<bool> g_watch_stop{false};
+
+extern "C" void watch_signal_handler(int) {
+    g_watch_stop.store(true, std::memory_order_relaxed);
+}
+
 int cmd_watch(int argc, const char* const* argv) {
     CliParser cli("servet watch: continuously re-measure a fast subset of the suite, "
                   "journal the samples as a time series under --run-dir, and judge "
@@ -664,6 +673,20 @@ int cmd_watch(int argc, const char* const* argv) {
                    "delay=P,delay_factor=F,seed=N (see docs/robustness.md)", "");
     cli.add_option("series-json", "append one fingerprint-tagged JSON line of stable "
                    "metrics per tick to this file (fleet-aggregator feed)", "");
+    cli.add_option("push-port", "publish every committed tick to the 'servet serve' "
+                   "store listening on this port (0 = no publication; samples spool "
+                   "under <run-dir>/spool while the server is unreachable and drain "
+                   "in tick order once it answers again)", "0");
+    cli.add_option("push-host", "profile-service address for --push-port", "127.0.0.1");
+    cli.add_option("push-token", "shared-secret token for the push PUTs", "");
+    cli.add_option("push-timeout", "per-socket-operation timeout for push PUTs, "
+                   "seconds", "5");
+    cli.add_option("push-retries", "attempts per push PUT (capped exponential "
+                   "backoff, deterministic jitter)", "3");
+    cli.add_option("push-seed", "backoff-jitter seed for push retries", "23741");
+    cli.add_flag("daemon", "run until SIGTERM/SIGINT: the signal finishes the "
+                 "in-flight tick, commits and fsyncs its sample, and exits 0 with a "
+                 "resumable journal (pair with a large --ticks budget)");
     cli.add_flag("fast", "fewer repeats, core-0 pairs only");
     cli.add_flag("full", "re-measure every suite phase per tick instead of the fast "
                  "subset (cache sizes + comm costs)");
@@ -738,6 +761,42 @@ int cmd_watch(int argc, const char* const* argv) {
     }
     options.series_json = cli.option("series-json");
 
+    const auto push_port = cli.option_int("push-port");
+    if (!push_port || *push_port < 0 || *push_port > 65535) {
+        std::fprintf(stderr, "--push-port must be an integer in [0, 65535]\n");
+        return 1;
+    }
+    options.push.port = static_cast<int>(*push_port);
+    options.push.host = cli.option("push-host");
+    options.push.token = cli.option("push-token");
+    const auto push_timeout = cli.option_double("push-timeout");
+    if (!push_timeout || *push_timeout <= 0) {
+        std::fprintf(stderr, "--push-timeout must be a number > 0\n");
+        return 1;
+    }
+    options.push.timeout_seconds = *push_timeout;
+    options.push.deadline_seconds = *push_timeout * 6;
+    const auto push_retries = cli.option_int("push-retries");
+    if (!push_retries || *push_retries < 1 || *push_retries > 100) {
+        std::fprintf(stderr, "--push-retries must be an integer in [1, 100]\n");
+        return 1;
+    }
+    options.push.attempts = static_cast<int>(*push_retries);
+    const auto push_seed = cli.option_int("push-seed");
+    if (!push_seed) {
+        std::fprintf(stderr, "--push-seed must be an integer\n");
+        return 1;
+    }
+    options.push.seed = static_cast<std::uint64_t>(*push_seed);
+
+    if (cli.flag("daemon")) {
+        options.stop = &g_watch_stop;
+        struct sigaction action = {};
+        action.sa_handler = watch_signal_handler;
+        ::sigaction(SIGTERM, &action, nullptr);
+        ::sigaction(SIGINT, &action, nullptr);
+    }
+
     watch::WatchResult result;
     try {
         result = watch::run_watch(*target->platform, target->network.get(), options);
@@ -767,8 +826,12 @@ int cmd_watch(int argc, const char* const* argv) {
                         std::isnan(v.score) ? "-" : fmt_value(v.score).c_str());
         }
     }
-    std::printf("watch: %zu tick(s) measured, %zu replayed, worst verdict %s\n",
-                result.measured, result.replayed, watch::verdict_code(result.worst));
+    std::printf("watch: %zu tick(s) measured, %zu replayed, worst verdict %s%s\n",
+                result.measured, result.replayed, watch::verdict_code(result.worst),
+                result.stopped ? " (stopped by signal)" : "");
+    if (options.push.port != 0)
+        std::printf("watch: %zu sample(s) pushed, %zu still spooled\n",
+                    result.pushed, result.spooled);
     return result.worst == watch::Verdict::Confirmed ? kExitDrift : 0;
 }
 
@@ -939,6 +1002,13 @@ int cmd_serve(int argc, const char* const* argv) {
     cli.add_option("cache", "hot profiles kept in the in-memory LRU", "256");
     cli.add_option("port-file", "write the bound port to this file once listening "
                    "(how scripts find an ephemeral port)", "");
+    cli.add_option("token", "require 'authorization: Bearer <token>' on every "
+                   "request except /healthz (compared in constant time)", "");
+    cli.add_option("idle-timeout", "seconds a connection may sit idle before the "
+                   "server closes it — the slow-loris defense (0 = never reap)",
+                   "30");
+    cli.add_option("max-connections", "open-connection cap; excess connections are "
+                   "shed with 503 + retry-after", "1024");
     if (!cli.parse(argc, argv)) return 1;
 
     serve::ServeOptions options;
@@ -962,6 +1032,19 @@ int cmd_serve(int argc, const char* const* argv) {
         return 2;
     }
     options.cache_entries = static_cast<std::size_t>(*cache);
+    options.token = cli.option("token");
+    const auto idle_timeout = cli.option_double("idle-timeout");
+    if (!idle_timeout || *idle_timeout < 0) {
+        std::fprintf(stderr, "--idle-timeout must be a number >= 0\n");
+        return 2;
+    }
+    options.idle_timeout_seconds = *idle_timeout;
+    const auto max_connections = cli.option_int("max-connections");
+    if (!max_connections || *max_connections < 1) {
+        std::fprintf(stderr, "--max-connections must be an integer >= 1\n");
+        return 2;
+    }
+    options.max_connections = static_cast<std::size_t>(*max_connections);
 
     serve::ServeServer server(options);
     std::string error;
@@ -1141,7 +1224,17 @@ int cmd_fetch(int argc, const char* const* argv) {
     cli.add_option("options", "suite options hash qualifying the profile (16 lowercase "
                    "hex digits; empty = the store's default entry)", "");
     cli.add_option("out", "profile file to write", "servet.profile");
-    cli.add_option("timeout", "per-socket-operation timeout in seconds", "10");
+    cli.add_option("timeout", "per-socket-operation timeout in seconds (connect "
+                   "included)", "10");
+    cli.add_option("deadline", "overall wall-clock cap in seconds — attempts, "
+                   "backoffs and trickled bytes included (0 = 6x timeout)", "0");
+    cli.add_option("retries", "total attempts for transient transport failures "
+                   "(capped exponential backoff, deterministic jitter)", "3");
+    cli.add_option("retry-seed", "backoff-jitter seed (same seed, same trace)",
+                   "23741");
+    cli.add_option("token", "shared-secret auth token (sent as authorization: "
+                   "Bearer)", "");
+    cli.add_flag("trace", "print the deterministic per-attempt retry trace");
     if (!cli.parse(argc, argv)) return 1;
 
     const auto port = cli.option_int("port");
@@ -1163,8 +1256,31 @@ int cmd_fetch(int argc, const char* const* argv) {
     options.port = static_cast<int>(*port);
     options.path = "/v1/profile/" + cli.option("fingerprint");
     if (!cli.option("options").empty()) options.path += "/" + cli.option("options");
-    options.timeout_seconds =
-        static_cast<double>(cli.option_int("timeout").value_or(10));
+    const auto timeout = cli.option_double("timeout");
+    if (!timeout || *timeout <= 0) {
+        std::fprintf(stderr, "--timeout must be a number > 0\n");
+        return 2;
+    }
+    options.timeout_seconds = *timeout;
+    const auto deadline = cli.option_double("deadline");
+    if (!deadline || *deadline < 0) {
+        std::fprintf(stderr, "--deadline must be a number >= 0\n");
+        return 2;
+    }
+    options.deadline_seconds = *deadline;
+    const auto retries = cli.option_int("retries");
+    if (!retries || *retries < 1 || *retries > 100) {
+        std::fprintf(stderr, "--retries must be an integer in [1, 100]\n");
+        return 2;
+    }
+    options.retry.max_attempts = static_cast<int>(*retries);
+    const auto retry_seed = cli.option_int("retry-seed");
+    if (!retry_seed) {
+        std::fprintf(stderr, "--retry-seed must be an integer\n");
+        return 2;
+    }
+    options.retry.seed = static_cast<std::uint64_t>(*retry_seed);
+    options.token = cli.option("token");
 
     // A 304 is only useful when the previous body is still on disk, so the
     // conditional header requires both the profile and its sidecar.
@@ -1180,8 +1296,10 @@ int cmd_fetch(int argc, const char* const* argv) {
     }
 
     const serve::FetchResult result = serve::http_fetch(options);
+    if (cli.flag("trace")) std::fputs(result.trace().c_str(), stdout);
     if (!result.ok) {
-        std::fprintf(stderr, "fetch: %s\n", result.error.c_str());
+        std::fprintf(stderr, "fetch: [%s] %s\n", result.code.c_str(),
+                     result.error.c_str());
         return 1;
     }
     const serve::HttpResponse& response = result.response;
